@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	// Keep fast: only cheap experiments, overridden to tiny corpora.
+	for _, exp := range []string{"table1", "fig8", "ablation-winnow"} {
+		t.Run(exp, func(t *testing.T) {
+			if err := run([]string{"-experiment", exp, "-revisions", "10", "-books", "2"}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunFig11(t *testing.T) {
+	if err := run([]string{"-experiment", "fig11"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesOutputFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-experiment", "table1", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Wikipedia") {
+		t.Errorf("output file content: %q", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "unknown experiment", args: []string{"-experiment", "fig99"}},
+		{name: "unknown scale", args: []string{"-scale", "galactic"}},
+		{name: "bad flag", args: []string{"-nope"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Errorf("args %v: want error", tt.args)
+			}
+		})
+	}
+}

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// ctl invokes run with a state file in dir, returning stdout.
+func ctl(t *testing.T, dir string, args ...string) (string, error) {
+	t.Helper()
+	full := append([]string{"-state", filepath.Join(dir, "state.bf")}, args...)
+	var out bytes.Buffer
+	err := run(full, strings.NewReader(""), &out)
+	return out.String(), err
+}
+
+func mustCtl(t *testing.T, dir string, args ...string) string {
+	t.Helper()
+	out, err := ctl(t, dir, args...)
+	if err != nil {
+		t.Fatalf("bfctl %v: %v", args, err)
+	}
+	return out
+}
+
+const ctlSecret = "The acquisition target list for next quarter includes three storage startups and a database vendor."
+
+func TestLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	mustCtl(t, dir, "init")
+	mustCtl(t, dir, "-name", "wiki", "-lp", "tw", "-lc", "tw", "add-service")
+	mustCtl(t, dir, "-name", "docs", "add-service")
+
+	out := mustCtl(t, dir, "-service", "wiki", "-seg", "wiki/m&a#p0", "-text", ctlSecret, "observe")
+	if !strings.Contains(out, "decision: allow") {
+		t.Errorf("observe output: %q", out)
+	}
+
+	// Release check against docs flags the text.
+	out = mustCtl(t, dir, "-dest", "docs", "-text", ctlSecret, "check")
+	if !strings.Contains(out, "decision: warn") || !strings.Contains(out, "tw") {
+		t.Errorf("check output: %q", out)
+	}
+
+	// Label inspection.
+	out = mustCtl(t, dir, "-seg", "wiki/m&a#p0", "label")
+	if !strings.Contains(out, "tw") {
+		t.Errorf("label output: %q", out)
+	}
+
+	// Suppression + audit.
+	mustCtl(t, dir, "-user", "alice", "-seg", "wiki/m&a#p0", "-tag", "tw", "-why", "board approved", "suppress")
+	out = mustCtl(t, dir, "audit")
+	if !strings.Contains(out, "suppress") || !strings.Contains(out, "alice") {
+		t.Errorf("audit output: %q", out)
+	}
+
+	// Stats.
+	out = mustCtl(t, dir, "stats")
+	if !strings.Contains(out, "paragraph segments: 1") {
+		t.Errorf("stats output: %q", out)
+	}
+
+	// Services listing.
+	out = mustCtl(t, dir, "services")
+	if !strings.Contains(out, "wiki") || !strings.Contains(out, "Lp={tw}") {
+		t.Errorf("services output: %q", out)
+	}
+}
+
+func TestSourcesAndAttribute(t *testing.T) {
+	dir := t.TempDir()
+	mustCtl(t, dir, "init")
+	mustCtl(t, dir, "-name", "wiki", "-lp", "tw", "-lc", "tw", "add-service")
+	mustCtl(t, dir, "-service", "wiki", "-seg", "wiki/m&a#p0", "-text", ctlSecret, "observe")
+
+	out := mustCtl(t, dir, "-text", ctlSecret, "sources")
+	if !strings.Contains(out, "wiki/m&a#p0") || !strings.Contains(out, "100%") {
+		t.Errorf("sources output: %q", out)
+	}
+	out = mustCtl(t, dir, "-text", "nothing related here at all today", "sources")
+	if !strings.Contains(out, "no sources") {
+		t.Errorf("sources output: %q", out)
+	}
+
+	out = mustCtl(t, dir, "-seg", "wiki/m&a#p0", "-text", "prefix words "+ctlSecret, "attribute")
+	if !strings.Contains(out, "[") || !strings.Contains(out, "quarter") {
+		t.Errorf("attribute output: %q", out)
+	}
+	out = mustCtl(t, dir, "-seg", "wiki/m&a#p0", "-text", "unrelated body", "attribute")
+	if !strings.Contains(out, "no passages") {
+		t.Errorf("attribute output: %q", out)
+	}
+	// Missing flags.
+	if _, err := ctl(t, dir, "sources"); err == nil {
+		t.Error("sources without text accepted")
+	}
+	if _, err := ctl(t, dir, "attribute"); err == nil {
+		t.Error("attribute without flags accepted")
+	}
+}
+
+func TestEnforcingMode(t *testing.T) {
+	dir := t.TempDir()
+	mustCtl(t, dir, "init")
+	mustCtl(t, dir, "-name", "wiki", "-lp", "tw", "-lc", "tw", "add-service")
+	mustCtl(t, dir, "-name", "docs", "add-service")
+	mustCtl(t, dir, "-service", "wiki", "-seg", "wiki/x#p0", "-text", ctlSecret, "observe")
+	out := mustCtl(t, dir, "-mode", "enforcing", "-dest", "docs", "-text", ctlSecret, "check")
+	if !strings.Contains(out, "decision: block") {
+		t.Errorf("enforcing check: %q", out)
+	}
+}
+
+func TestEncryptedState(t *testing.T) {
+	dir := t.TempDir()
+	mustCtl(t, dir, "-passphrase", "pw", "init")
+	mustCtl(t, dir, "-passphrase", "pw", "-name", "wiki", "-lp", "tw", "-lc", "tw", "add-service")
+	// Wrong passphrase fails to load.
+	if _, err := ctl(t, dir, "-passphrase", "nope", "stats"); err == nil {
+		t.Error("wrong passphrase accepted")
+	}
+	out := mustCtl(t, dir, "-passphrase", "pw", "stats")
+	if !strings.Contains(out, "paragraph segments") {
+		t.Errorf("stats: %q", out)
+	}
+}
+
+func TestStdinText(t *testing.T) {
+	dir := t.TempDir()
+	mustCtl(t, dir, "init")
+	mustCtl(t, dir, "-name", "wiki", "-lp", "tw", "-lc", "tw", "add-service")
+	var out bytes.Buffer
+	err := run([]string{"-state", filepath.Join(dir, "state.bf"),
+		"-service", "wiki", "-seg", "wiki/s#p0", "-text", "-", "observe"},
+		strings.NewReader(ctlSecret), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "decision:") {
+		t.Errorf("output: %q", out.String())
+	}
+}
+
+func TestInitFromPolicyFile(t *testing.T) {
+	dir := t.TempDir()
+	policyPath := filepath.Join(dir, "policy.json")
+	policyJSON := `{"services":[{"name":"wiki","privilege":["tw"],"confidentiality":["tw"]},{"name":"docs"}]}`
+	if err := os.WriteFile(policyPath, []byte(policyJSON), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	mustCtl(t, dir, "-policy", policyPath, "init")
+	out := mustCtl(t, dir, "services")
+	if !strings.Contains(out, "wiki") || !strings.Contains(out, "docs") {
+		t.Errorf("services after policy init: %q", out)
+	}
+	// Observing against a policy-registered service works immediately.
+	out = mustCtl(t, dir, "-service", "wiki", "-seg", "wiki/a#p0", "-text", ctlSecret, "observe")
+	if !strings.Contains(out, "decision: allow") {
+		t.Errorf("observe: %q", out)
+	}
+	// Bad policy file errors.
+	if _, err := ctl(t, dir, "-policy", filepath.Join(dir, "missing.json"), "init"); err == nil {
+		t.Error("missing policy accepted")
+	}
+}
+
+func TestTagCommands(t *testing.T) {
+	dir := t.TempDir()
+	mustCtl(t, dir, "init")
+	mustCtl(t, dir, "-name", "wiki", "-lp", "tw", "-lc", "tw", "add-service")
+	mustCtl(t, dir, "-user", "bob", "-tag", "tn", "allocate")
+	mustCtl(t, dir, "-user", "bob", "-tag", "tn", "-service", "wiki", "grant")
+	out := mustCtl(t, dir, "audit")
+	if !strings.Contains(out, "allocate") || !strings.Contains(out, "grant") {
+		t.Errorf("audit: %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "no command", args: nil},
+		{name: "unknown command", args: []string{"frobnicate"}},
+		{name: "missing state", args: []string{"stats"}},
+		{name: "bad mode", args: []string{"-mode", "yolo", "init"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ctl(t, dir, tt.args...); err == nil {
+				t.Errorf("args %v: want error", tt.args)
+			}
+		})
+	}
+	// Missing required flags per command.
+	mustCtl(t, dir, "init")
+	for _, args := range [][]string{
+		{"add-service"},
+		{"observe"},
+		{"check"},
+		{"suppress"},
+		{"allocate"},
+		{"grant"},
+		{"label"},
+	} {
+		if _, err := ctl(t, dir, args...); err == nil {
+			t.Errorf("%v without flags: want error", args)
+		}
+	}
+}
+
+func TestSplitTags(t *testing.T) {
+	got := splitTags(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("splitTags=%v", got)
+	}
+	if splitTags("") != nil {
+		t.Error("empty splitTags should be nil")
+	}
+}

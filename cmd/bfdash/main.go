@@ -1,0 +1,51 @@
+// Command bfdash serves the read-only operations dashboard over a saved
+// BrowserFlow state file.
+//
+// Usage:
+//
+//	bfdash -state s.bf -passphrase pw -addr :8088
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"github.com/lsds/browserflow"
+	"github.com/lsds/browserflow/internal/dashboard"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bfdash:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bfdash", flag.ContinueOnError)
+	var (
+		statePath  = fs.String("state", "browserflow.state", "state file path")
+		passphrase = fs.String("passphrase", "", "state passphrase")
+		addr       = fs.String("addr", ":8088", "listen address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mw, err := browserflow.New(browserflow.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	if err := mw.Load(*statePath, *passphrase); err != nil {
+		return fmt.Errorf("load state: %w", err)
+	}
+	h, err := dashboard.New(mw.Tracker(), mw.Registry())
+	if err != nil {
+		return err
+	}
+	stats := mw.Stats()
+	fmt.Printf("bfdash: serving on %s (%d segments, %d audit entries)\n",
+		*addr, stats.ParagraphSegments, stats.AuditEntries)
+	return http.ListenAndServe(*addr, h)
+}

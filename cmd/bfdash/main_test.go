@@ -1,0 +1,35 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/lsds/browserflow"
+)
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-state", filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Error("missing state accepted")
+	}
+}
+
+func TestRunListenFailure(t *testing.T) {
+	// A valid state but an unusable listen address: setup succeeds, the
+	// listener fails fast.
+	dir := t.TempDir()
+	statePath := filepath.Join(dir, "s.bf")
+	mw, err := browserflow.New(browserflow.DefaultConfig(),
+		browserflow.Service{Name: "wiki", Privilege: []browserflow.Tag{"tw"}, Confidentiality: []browserflow.Tag{"tw"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.Save(statePath, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-state", statePath, "-addr", "256.256.256.256:0"}); err == nil {
+		t.Error("expected listen error")
+	}
+}

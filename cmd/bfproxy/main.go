@@ -1,0 +1,101 @@
+// Command bfproxy runs the native-application gateway of §4.4: an
+// inspecting HTTP forwarder that applies corpus fingerprint matching (and
+// optionally a BrowserFlow state file's TDM policy) to traffic from
+// applications outside the browser.
+//
+// Usage:
+//
+//	bfproxy -upstream http://internal-services:8080 -addr :9090 \
+//	        -sensitive secrets.txt -sensitive plans.txt
+//	bfproxy -upstream http://host:8080 -state s.bf -passphrase pw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+
+	"github.com/lsds/browserflow"
+	"github.com/lsds/browserflow/internal/dlpmon"
+	"github.com/lsds/browserflow/internal/proxy"
+	"github.com/lsds/browserflow/internal/webapp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bfproxy:", err)
+		os.Exit(1)
+	}
+}
+
+// stringList collects repeatable -sensitive flags.
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint([]string(*s)) }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bfproxy", flag.ContinueOnError)
+	var (
+		upstreamRaw = fs.String("upstream", "", "upstream base URL (required)")
+		addr        = fs.String("addr", ":9090", "listen address")
+		threshold   = fs.Float64("threshold", 0.5, "corpus match threshold")
+		statePath   = fs.String("state", "", "optional BrowserFlow state file for TDM policy checks")
+		passphrase  = fs.String("passphrase", "", "state file passphrase")
+		sensitive   stringList
+	)
+	fs.Var(&sensitive, "sensitive", "file whose contents are sensitive (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *upstreamRaw == "" {
+		return fmt.Errorf("-upstream is required")
+	}
+	upstream, err := url.Parse(*upstreamRaw)
+	if err != nil {
+		return fmt.Errorf("parse upstream: %w", err)
+	}
+
+	monitor, err := dlpmon.New(dlpmon.Config{Threshold: *threshold})
+	if err != nil {
+		return err
+	}
+	for _, path := range sensitive {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("read sensitive file: %w", err)
+		}
+		if err := monitor.AddSensitive(filepath.Base(path), string(data)); err != nil {
+			return err
+		}
+	}
+
+	cfg := proxy.Config{Upstream: upstream, Monitor: monitor}
+	if *statePath != "" {
+		mw, err := browserflow.New(browserflow.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		if err := mw.Load(*statePath, *passphrase); err != nil {
+			return fmt.Errorf("load state: %w", err)
+		}
+		cfg.Engine = mw.Engine()
+		cfg.ServiceOf = func(u *url.URL) (string, bool) {
+			return webapp.ServiceForPath(u.Path)
+		}
+	}
+
+	p, err := proxy.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bfproxy: %s -> %s (%d sensitive documents)\n", *addr, upstream, monitor.CorpusSize())
+	return http.ListenAndServe(*addr, p)
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing upstream accepted")
+	}
+	if err := run([]string{"-upstream", "http://x", "-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-upstream", "http://x", "-sensitive", "/nonexistent"}); err == nil {
+		t.Error("missing sensitive file accepted")
+	}
+	if err := run([]string{"-upstream", "http://x", "-state", "/nonexistent"}); err == nil {
+		t.Error("missing state file accepted")
+	}
+	if err := run([]string{"-upstream", "http://x", "-threshold", "7"}); err == nil {
+		t.Error("bad threshold accepted")
+	}
+}
+
+func TestSensitiveFileLoading(t *testing.T) {
+	// Use an unroutable addr so ListenAndServe fails fast after setup
+	// succeeds — the error must be about listening, not configuration.
+	dir := t.TempDir()
+	sensPath := filepath.Join(dir, "secrets.txt")
+	if err := os.WriteFile(sensPath, []byte("the secret plans for the quarter"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-upstream", "http://127.0.0.1:1", "-addr", "256.256.256.256:0", "-sensitive", sensPath})
+	if err == nil {
+		t.Fatal("expected listen error")
+	}
+}
+
+func TestStringList(t *testing.T) {
+	var s stringList
+	if err := s.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 || s.String() == "" {
+		t.Errorf("stringList=%v", s)
+	}
+}

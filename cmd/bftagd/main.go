@@ -1,0 +1,93 @@
+// Command bftagd runs the shared enterprise tag service: a central
+// BrowserFlow engine that devices sync fingerprint hashes through, making
+// disclosure tracking consistent across every employee's browser.
+//
+// Usage:
+//
+//	bftagd -policy policy.json -addr :7000
+//	bftagd -policy policy.json -state tags.bf -save-every 100
+//
+// Devices connect with internal/tagserver.Client; text never leaves the
+// device — only winnowed fingerprint hashes cross the wire.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sync/atomic"
+
+	"github.com/lsds/browserflow"
+	"github.com/lsds/browserflow/internal/store"
+	"github.com/lsds/browserflow/internal/tagserver"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bftagd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bftagd", flag.ContinueOnError)
+	var (
+		policyPath = fs.String("policy", "", "policy JSON file (required)")
+		statePath  = fs.String("state", "", "optional state file to load and periodically save")
+		passphrase = fs.String("passphrase", "", "state passphrase")
+		saveEvery  = fs.Int("save-every", 500, "save state every N observe requests (0 disables)")
+		addr       = fs.String("addr", ":7000", "listen address")
+		expire     = fs.Duration("expire-every", 0, "run fingerprint expiry at this interval (0 disables)")
+		retain     = fs.Uint64("retain", 100000, "observations to retain when expiry runs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *policyPath == "" {
+		return fmt.Errorf("-policy is required")
+	}
+	mw, err := browserflow.NewFromPolicyFile(*policyPath)
+	if err != nil {
+		return err
+	}
+	if *statePath != "" {
+		if _, err := os.Stat(*statePath); err == nil {
+			if err := mw.Load(*statePath, *passphrase); err != nil {
+				return fmt.Errorf("load state: %w", err)
+			}
+		}
+	}
+
+	server, err := tagserver.NewServer(mw.Engine())
+	if err != nil {
+		return err
+	}
+
+	// Periodic removal of old fingerprints (§4.4).
+	if *expire > 0 {
+		janitor := store.NewJanitor(mw.Tracker(), *expire, *retain)
+		defer janitor.Shutdown()
+	}
+
+	// Periodic persistence keyed on observe traffic.
+	var observeCount atomic.Int64
+	handler := http.Handler(server)
+	if *statePath != "" && *saveEvery > 0 {
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			server.ServeHTTP(w, r)
+			if r.URL.Path == "/v1/observe" {
+				if n := observeCount.Add(1); n%int64(*saveEvery) == 0 {
+					if err := mw.Save(*statePath, *passphrase); err != nil {
+						fmt.Fprintln(os.Stderr, "bftagd: save state:", err)
+					}
+				}
+			}
+		})
+	}
+
+	stats := mw.Stats()
+	fmt.Printf("bftagd: serving on %s (%d segments, %d hashes)\n",
+		*addr, stats.ParagraphSegments, stats.DistinctHashes)
+	return http.ListenAndServe(*addr, handler)
+}

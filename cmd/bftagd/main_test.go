@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing policy accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-policy", "/nonexistent.json"}); err == nil {
+		t.Error("missing policy file accepted")
+	}
+}
+
+func TestRunListenFailure(t *testing.T) {
+	dir := t.TempDir()
+	policyPath := filepath.Join(dir, "policy.json")
+	policyJSON := `{"services":[{"name":"wiki","privilege":["tw"],"confidentiality":["tw"]}]}`
+	if err := os.WriteFile(policyPath, []byte(policyJSON), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// Setup succeeds; the unusable address fails fast.
+	if err := run([]string{"-policy", policyPath, "-addr", "256.256.256.256:0"}); err == nil {
+		t.Error("expected listen error")
+	}
+	// Bad saved state is reported.
+	statePath := filepath.Join(dir, "state.bf")
+	if err := os.WriteFile(statePath, []byte("{corrupt"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-policy", policyPath, "-state", statePath}); err == nil {
+		t.Error("corrupt state accepted")
+	}
+}

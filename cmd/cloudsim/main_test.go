@@ -1,0 +1,75 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/webapp"
+)
+
+func TestDemoRunsEndToEnd(t *testing.T) {
+	if err := run([]string{"-demo"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemoWritesFigure2HTML(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig2.html")
+	if err := run([]string{"-demo", "-htmlout", path}); err != nil {
+		t.Fatal(err)
+	}
+	html, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(html), "background-color") {
+		t.Error("Figure 2 artifact missing the red paragraph background")
+	}
+	if !strings.Contains(string(html), "kix-paragraph") {
+		t.Error("artifact missing the docs editor structure")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("want flag error")
+	}
+}
+
+func TestSeededContentServed(t *testing.T) {
+	server := webapp.NewServer()
+	seed(server)
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/wiki/interview-guidelines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "two independent interviewers") {
+		t.Error("seeded wiki content missing")
+	}
+
+	resp2, err := http.Get(srv.URL + "/docs/shared-notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body2), "kix-paragraph") {
+		t.Error("seeded doc content missing")
+	}
+}

@@ -1,0 +1,89 @@
+package browserflow_test
+
+import (
+	"fmt"
+
+	"github.com/lsds/browserflow"
+)
+
+// The canonical setup: an internal wiki whose text carries the "tw" tag
+// and an untrusted external docs service.
+func newExampleMiddleware() *browserflow.Middleware {
+	mw, err := browserflow.New(browserflow.DefaultConfig(),
+		browserflow.Service{
+			Name:            "wiki",
+			Privilege:       []browserflow.Tag{"tw"},
+			Confidentiality: []browserflow.Tag{"tw"},
+		},
+		browserflow.Service{Name: "docs"},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return mw
+}
+
+const exampleSecret = "The migration plan moves every internal workload to the Dublin " +
+	"region by March, decommissioning both on-premise data centres."
+
+func ExampleMiddleware_CheckText() {
+	mw := newExampleMiddleware()
+	if _, err := mw.ObserveParagraph("wiki", "wiki/plan#p0", exampleSecret); err != nil {
+		panic(err)
+	}
+	verdict, err := mw.CheckText(exampleSecret, "docs")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(verdict.Decision, verdict.Violating)
+	// Output: warn [tw]
+}
+
+func ExampleMiddleware_Similarity() {
+	mw := newExampleMiddleware()
+	edited := exampleSecret[:60] + " (redacted) " + exampleSecret[80:]
+	d, err := mw.Similarity(exampleSecret, edited)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d > 0.3, d < 1.0)
+	// Output: true true
+}
+
+func ExampleMiddleware_Suppress() {
+	mw := newExampleMiddleware()
+	if _, err := mw.ObserveParagraph("wiki", "wiki/plan#p0", exampleSecret); err != nil {
+		panic(err)
+	}
+	// Copy lands in docs and inherits the wiki tag implicitly.
+	if _, err := mw.ObserveParagraph("docs", "docs/copy#p0", exampleSecret); err != nil {
+		panic(err)
+	}
+	before, _ := mw.CheckUpload("docs/copy#p0", "docs")
+	// The user declassifies, with a justification that lands in the audit
+	// trail.
+	if err := mw.Suppress("alice", "docs/copy#p0", "tw", "public launch announced"); err != nil {
+		panic(err)
+	}
+	after, _ := mw.CheckUpload("docs/copy#p0", "docs")
+	fmt.Println(before.Decision, "->", after.Decision)
+	fmt.Println(mw.AuditEntries()[0].Action)
+	// Output:
+	// warn -> allow
+	// suppress
+}
+
+func ExampleMiddleware_Sources() {
+	mw := newExampleMiddleware()
+	if _, err := mw.ObserveParagraph("wiki", "wiki/plan#p0", exampleSecret); err != nil {
+		panic(err)
+	}
+	sources, err := mw.Sources("Prefix text, then a paste: " + exampleSecret)
+	if err != nil {
+		panic(err)
+	}
+	for _, src := range sources {
+		fmt.Printf("%s %.0f%%\n", src.Seg, src.Disclosure*100)
+	}
+	// Output: wiki/plan#p0 100%
+}

@@ -1,0 +1,111 @@
+// Interview walks through the paper's §2 scenario and the Figures 3–5 TDM
+// flows: an Interview Tool and an internal Wiki that must stay separate, an
+// untrusted Google-Docs-like service, tag suppression with an audit trail,
+// and user-allocated custom tags.
+//
+// Run with:
+//
+//	go run ./examples/interview
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/lsds/browserflow"
+)
+
+const (
+	evaluation = "Candidate showed deep understanding of replication protocols " +
+		"and reasoned clearly about failure detectors during the systems interview."
+	guidelines = "Interviewers must file their written evaluation before discussing " +
+		"the candidate with anyone, and never reuse questions from this bank."
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := browserflow.DefaultConfig()
+	cfg.Mode = browserflow.ModeEnforcing
+	mw, err := browserflow.New(cfg,
+		browserflow.Service{Name: "itool", Privilege: []browserflow.Tag{"ti"}, Confidentiality: []browserflow.Tag{"ti"}},
+		browserflow.Service{Name: "wiki", Privilege: []browserflow.Tag{"tw"}, Confidentiality: []browserflow.Tag{"tw"}},
+		browserflow.Service{Name: "docs"},
+	)
+	if err != nil {
+		return err
+	}
+
+	// --- Figure 3: default tags block cross-service flows -------------
+	fmt.Println("== Figure 3: default tag assignment ==")
+	if _, err := mw.ObserveParagraph("itool", "itool/eval#p0", evaluation); err != nil {
+		return err
+	}
+	verdict, err := mw.CheckUpload("itool/eval#p0", "wiki")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("copy evaluation itool -> wiki: %s (violating %v)\n", verdict.Decision, verdict.Violating)
+
+	// Public text from docs flows anywhere.
+	if _, err := mw.ObserveParagraph("docs", "docs/pub#p0", "A public blog announcement about our new office opening."); err != nil {
+		return err
+	}
+	verdict, err = mw.CheckUpload("docs/pub#p0", "wiki")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("copy public text docs -> wiki: %s\n", verdict.Decision)
+
+	// --- Figure 4: suppression declassifies, with accountability -------
+	fmt.Println("\n== Figure 4: tag suppression ==")
+	if _, err := mw.ObserveParagraph("wiki", "wiki/eval-copy#p0", evaluation); err != nil {
+		return err
+	}
+	verdict, err = mw.CheckUpload("wiki/eval-copy#p0", "wiki")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("evaluation copied into wiki page: %s (implicit tags %v)\n", verdict.Decision, verdict.Violating)
+	if err := mw.Suppress("alice", "wiki/eval-copy#p0", "ti", "candidate consented to sharing"); err != nil {
+		return err
+	}
+	verdict, err = mw.CheckUpload("wiki/eval-copy#p0", "wiki")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after alice suppresses ti: %s\n", verdict.Decision)
+
+	// --- Figure 5: custom tags restrict further ------------------------
+	fmt.Println("\n== Figure 5: custom tags ==")
+	if _, err := mw.ObserveParagraph("wiki", "wiki/secret#p0", guidelines); err != nil {
+		return err
+	}
+	if err := mw.AllocateTag("bob", "question-bank"); err != nil {
+		return err
+	}
+	if err := mw.AddTagToSegment("bob", "wiki/secret#p0", "question-bank"); err != nil {
+		return err
+	}
+	verdict, err = mw.CheckUpload("wiki/secret#p0", "wiki")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("segment stays usable in the wiki (auto-granted): %s\n", verdict.Decision)
+	verdict, err = mw.CheckText(guidelines, "docs")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pasting guidelines into docs: %s (violating %v)\n", verdict.Decision, verdict.Violating)
+
+	// --- the audit trail ------------------------------------------------
+	fmt.Println("\n== Audit trail ==")
+	for _, e := range mw.AuditEntries() {
+		fmt.Printf("%d. %s by %s tag=%s seg=%s %q\n", e.Seq, e.Action, e.User, e.Tag, e.Segment, e.Justification)
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+// Nativeapp demonstrates the §4.4 extension path for traffic that never
+// touches the browser: a "native application" (plain http.Client) posts
+// text through the BrowserFlow gateway (internal/proxy), which combines
+// the network DLP monitor with the TDM policy engine.
+//
+// Run with:
+//
+//	go run ./examples/nativeapp
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+
+	"github.com/lsds/browserflow"
+	"github.com/lsds/browserflow/internal/dlpmon"
+	"github.com/lsds/browserflow/internal/proxy"
+	"github.com/lsds/browserflow/internal/webapp"
+)
+
+const roadmap = "The combined product roadmap retires the legacy storage line " +
+	"and moves every customer to the new platform within twelve months."
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Upstream: the simulated cloud services.
+	services := webapp.NewServer()
+	services.SeedWikiPage("roadmap", roadmap)
+	upstream := httptest.NewServer(services)
+	defer upstream.Close()
+	upstreamURL, err := url.Parse(upstream.URL)
+	if err != nil {
+		return err
+	}
+
+	// BrowserFlow policy: the roadmap was observed in the wiki. The
+	// gateway enforces, so run the engine in enforcing mode.
+	cfg := browserflow.DefaultConfig()
+	cfg.Mode = browserflow.ModeEnforcing
+	mw, err := browserflow.New(cfg,
+		browserflow.Service{Name: "wiki", Privilege: []browserflow.Tag{"tw"}, Confidentiality: []browserflow.Tag{"tw"}},
+		browserflow.Service{Name: "docs"},
+	)
+	if err != nil {
+		return err
+	}
+	if _, err := mw.ObserveParagraph("wiki", "wiki/roadmap#p0", roadmap); err != nil {
+		return err
+	}
+
+	// Gateway A: classic network DLP — corpus matching only. It has no
+	// notion of destinations, so it blocks the roadmap even when posted
+	// back to its own wiki.
+	monitor, err := dlpmon.New(dlpmon.Config{})
+	if err != nil {
+		return err
+	}
+	if err := monitor.AddSensitive("roadmap", roadmap); err != nil {
+		return err
+	}
+	dlpGW, err := proxy.New(proxy.Config{Upstream: upstreamURL, Monitor: monitor})
+	if err != nil {
+		return err
+	}
+	dlpFront := httptest.NewServer(dlpGW)
+	defer dlpFront.Close()
+
+	// Gateway B: BrowserFlow's TDM policy — label-aware, so the same text
+	// is allowed back into the wiki but blocked towards docs.
+	policyGW, err := proxy.New(proxy.Config{
+		Upstream: upstreamURL,
+		Engine:   mw.Engine(),
+		ServiceOf: func(u *url.URL) (string, bool) {
+			return webapp.ServiceForPath(u.Path)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	policyFront := httptest.NewServer(policyGW)
+	defer policyFront.Close()
+
+	// The "native app" — e.g. a desktop sync client — posts through a
+	// gateway.
+	post := func(front, path, content string) {
+		resp, err := http.PostForm(front+path, url.Values{"content": {content}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		fmt.Printf("  POST %-14s -> %d %s\n", path, resp.StatusCode, firstLine(string(body)))
+	}
+
+	fmt.Println("through the network-DLP gateway (no destination awareness):")
+	post(dlpFront.URL, "/wiki/roadmap", roadmap) // blocked — even its own service!
+	post(dlpFront.URL, "/docs/extern", roadmap)  // blocked
+
+	fmt.Println("\nthrough the TDM policy gateway (label-aware):")
+	post(policyFront.URL, "/wiki/roadmap", roadmap)                      // allowed: own service
+	post(policyFront.URL, "/docs/extern", roadmap)                       // blocked: untrusted destination
+	post(policyFront.URL, "/wiki/roadmap", "a harmless status update..") // allowed: clean text
+
+	d, p := dlpGW.Stats(), policyGW.Stats()
+	fmt.Printf("\nstats: dlp forwarded=%d blocked=%d | policy forwarded=%d blocked=%d\n",
+		d.Forwarded, d.Blocked, p.Forwarded, p.Blocked)
+	return nil
+}
+
+func firstLine(s string) string {
+	for i, c := range s {
+		if c == '\n' {
+			return s[:i]
+		}
+	}
+	if len(s) > 60 {
+		return s[:60] + "..."
+	}
+	return s
+}

@@ -1,0 +1,78 @@
+// Quickstart: fingerprint-based disclosure detection in five minutes.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/lsds/browserflow"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Two services: an internal wiki whose text is tagged "tw", and an
+	// external docs service trusted with nothing.
+	mw, err := browserflow.New(browserflow.DefaultConfig(),
+		browserflow.Service{
+			Name:            "wiki",
+			Privilege:       []browserflow.Tag{"tw"},
+			Confidentiality: []browserflow.Tag{"tw"},
+		},
+		browserflow.Service{Name: "docs"},
+	)
+	if err != nil {
+		return err
+	}
+
+	secret := "The migration plan moves every internal workload to the Dublin " +
+		"region by March, decommissioning both on-premise data centres."
+
+	// Text created in the wiki gets the wiki's confidentiality label.
+	if _, err := mw.ObserveParagraph("wiki", "wiki/plan#p0", secret); err != nil {
+		return err
+	}
+	fmt.Println("observed secret paragraph in the wiki; label:", mw.Label("wiki/plan#p0"))
+
+	// The user pastes the text into a docs form: BrowserFlow flags it.
+	verdict, err := mw.CheckText(secret, "docs")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pasting verbatim into docs: decision=%s violating=%v\n", verdict.Decision, verdict.Violating)
+
+	// A lightly edited copy is still caught...
+	edited := "The migration plan moves every internal workload to the Dublin " +
+		"region by June, decommissioning both on-premise data centres."
+	verdict, err = mw.CheckText(edited, "docs")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pasting an edited copy:     decision=%s (disclosure %.0f%%)\n",
+		verdict.Decision, verdict.Sources[0].Disclosure*100)
+
+	// ...but a full rewrite is not: the text no longer discloses anything.
+	rewritten := "All company workloads will relocate abroad next spring, and " +
+		"the old machine rooms will close afterwards."
+	verdict, err = mw.CheckText(rewritten, "docs")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pasting a full rewrite:     decision=%s\n", verdict.Decision)
+
+	// Pairwise similarity is available directly.
+	d, err := mw.Similarity(secret, edited)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("similarity(secret, edited) = %.2f\n", d)
+	return nil
+}

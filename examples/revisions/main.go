@@ -1,0 +1,85 @@
+// Revisions tracks disclosure across an evolving document corpus — the
+// Figures 9/10 experiments in miniature. A base document is observed, then
+// successive revisions (light edits, sentence churn, full rewrites) are
+// checked against it, showing disclosure decaying as similarity fades.
+//
+// Run with:
+//
+//	go run ./examples/revisions
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/lsds/browserflow"
+	"github.com/lsds/browserflow/internal/dataset"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	mw, err := browserflow.New(browserflow.DefaultConfig(),
+		browserflow.Service{Name: "wiki", Privilege: []browserflow.Tag{"tw"}, Confidentiality: []browserflow.Tag{"tw"}},
+		browserflow.Service{Name: "docs"},
+	)
+	if err != nil {
+		return err
+	}
+
+	// A small revision chain from the synthetic corpus generator: one
+	// volatile article, 40 revisions.
+	cfg := dataset.DefaultRevisionCorpusConfig()
+	cfg.Revisions = 40
+	cfg.Paragraphs = 8
+	articles := dataset.GenerateRevisionCorpus(cfg)
+	article := articles[len(articles)-1] // a volatile one
+	fmt.Printf("article %q: %d revisions, volatility %.2f\n",
+		article.Title, len(article.Revisions), article.Volatility)
+
+	// Observe the base revision's paragraphs in the wiki.
+	for i, p := range article.Base() {
+		seg := browserflow.SegmentID(fmt.Sprintf("wiki/article#p%d", i))
+		if _, err := mw.ObserveParagraph("wiki", seg, p); err != nil {
+			return err
+		}
+	}
+
+	// Walk the revision history: how many base paragraphs does each
+	// revision still disclose, and would uploading it to docs be flagged?
+	fmt.Println("\nrev  disclosing-base-paragraphs  docs-upload")
+	for r := 0; r < len(article.Revisions); r += 8 {
+		revText := strings.Join(article.Revisions[r], "\n\n")
+		sources, err := mw.Sources(revText)
+		if err != nil {
+			return err
+		}
+		verdict, err := mw.CheckText(revText, "docs")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%3d  %26d  %s\n", r, len(sources), verdict.Decision)
+	}
+
+	// The last revision of a volatile article has drifted: individual
+	// fresh paragraphs are safe to publish even though early ones were
+	// not.
+	last := article.Latest()
+	fresh := 0
+	for _, p := range last {
+		verdict, err := mw.CheckText(p, "docs")
+		if err != nil {
+			return err
+		}
+		if verdict.Decision == browserflow.DecisionAllow {
+			fresh++
+		}
+	}
+	fmt.Printf("\nlatest revision: %d/%d paragraphs publishable to docs\n", fresh, len(last))
+	return nil
+}

@@ -1,0 +1,41 @@
+package browserflow
+
+// Smoke tests: every runnable example must build and exit cleanly. Each
+// `go run` compiles a binary, so the suite is skipped under -short.
+
+import (
+	"context"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test (go run) skipped in -short mode")
+	}
+	examples := []string{
+		"./examples/quickstart",
+		"./examples/interview",
+		"./examples/revisions",
+		"./examples/liveproxy",
+		"./examples/nativeapp",
+		"./examples/enterprise",
+	}
+	for _, path := range examples {
+		path := path
+		t.Run(path, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", path)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", path, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("%s produced no output", path)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/lsds/browserflow
+
+go 1.22

@@ -1,0 +1,126 @@
+package browserflow
+
+// Integration test: the public Middleware driving the full simulated stack
+// (HTTP services, browser, plug-in), including a state save/restore cycle
+// in the middle of the scenario — the deployment lifecycle an IT
+// department would run.
+
+import (
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/browser"
+	"github.com/lsds/browserflow/internal/intercept"
+	"github.com/lsds/browserflow/internal/webapp"
+)
+
+const playbook = "The incident response playbook mandates paging the on-call lead before any external communication is drafted or sent."
+
+func TestIntegrationFullStackWithRestart(t *testing.T) {
+	services := webapp.NewServer()
+	services.SeedWikiPage("playbook", playbook)
+	services.SeedDoc("external", "Notes shared with the vendor.")
+	srv := httptest.NewServer(services)
+	defer srv.Close()
+
+	cfg := DefaultConfig()
+	cfg.Mode = ModeEnforcing
+	newDeployment := func(mw *Middleware) (*browser.Browser, *intercept.Plugin) {
+		t.Helper()
+		plugin, err := intercept.New(intercept.Config{Engine: mw.Engine(), User: "alice"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(plugin.Shutdown)
+		b := browser.New()
+		plugin.AttachToBrowser(b)
+		return b, plugin
+	}
+
+	// Phase 1: first session observes the wiki content.
+	mw1, err := New(cfg, paperServices()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, plugin1 := newDeployment(mw1)
+	if _, err := b1.OpenTab(srv.URL + "/wiki/playbook"); err != nil {
+		t.Fatal(err)
+	}
+	plugin1.Flush()
+	if mw1.Stats().ParagraphSegments == 0 {
+		t.Fatal("phase 1: nothing observed")
+	}
+
+	// Persist and "restart".
+	statePath := filepath.Join(t.TempDir(), "state.enc")
+	if err := mw1.Save(statePath, "deployment-key"); err != nil {
+		t.Fatal(err)
+	}
+	mw2, err := New(cfg, paperServices()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mw2.Load(statePath, "deployment-key"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: a fresh browser under the restored middleware still blocks
+	// the paste into the external docs service.
+	b2, plugin2 := newDeployment(mw2)
+	wikiTab, err := b2.OpenTab(srv.URL + "/wiki/playbook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docsTab, err := b2.OpenTab(srv.URL + "/docs/external")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plugin2.Flush()
+
+	wikiTab.CopyText(wikiTab.Document().Root().ByID("par-0"))
+	editor, err := webapp.AttachDocsEditor(docsTab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := editor.PasteAppend(); !errors.Is(err, browser.ErrBlocked) {
+		t.Fatalf("paste after restart: err=%v, want ErrBlocked", err)
+	}
+	if got := services.Doc("external"); len(got) != 1 {
+		t.Errorf("blocked paste reached backend: %v", got)
+	}
+
+	// The blocked paste still exists locally, so the plug-in tracked the
+	// docs paragraph and it carries the wiki tag implicitly.
+	plugin2.Flush()
+	pastedSeg := SegmentID("docs:/docs/external#kix-1")
+	label := mw2.Label(pastedSeg)
+	if label == nil || !label.Implicit().Has("tw") {
+		t.Fatalf("pasted paragraph label=%v, want implicit tw", label)
+	}
+	verdict, err := mw2.CheckUpload(pastedSeg, "docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict.Decision != DecisionBlock {
+		t.Fatalf("CheckUpload=%v, want block", verdict.Decision)
+	}
+
+	// Per §3.1, the user declassifies the tag on the *destination*
+	// segment, case by case, leaving an audit trail.
+	if err := mw2.Suppress("alice", pastedSeg, "tw", "vendor under NDA"); err != nil {
+		t.Fatal(err)
+	}
+	verdict, err = mw2.CheckUpload(pastedSeg, "docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict.Decision != DecisionAllow {
+		t.Errorf("after suppression: %v (violating %v)", verdict.Decision, verdict.Violating)
+	}
+	entries := mw2.AuditEntries()
+	if len(entries) == 0 || entries[len(entries)-1].User != "alice" {
+		t.Errorf("audit=%+v", entries)
+	}
+}

@@ -1,0 +1,151 @@
+// Package audit provides the append-only audit trail that the TDM requires
+// for tag suppression (§3.1): "Along with a suppressed tag, we also store an
+// identifier of the user who initiated the suppression and a justification
+// to facilitate future audits."
+package audit
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Action classifies an audit entry.
+type Action string
+
+const (
+	// ActionSuppress records a user declassifying a tag on a segment.
+	ActionSuppress Action = "suppress"
+
+	// ActionAllocate records a user allocating a custom tag.
+	ActionAllocate Action = "allocate"
+
+	// ActionGrant records a tag being added to a service privilege label.
+	ActionGrant Action = "grant"
+
+	// ActionRevoke records a tag being removed from a service privilege label.
+	ActionRevoke Action = "revoke"
+
+	// ActionOverride records a user overriding a Block/Warn decision.
+	ActionOverride Action = "override"
+)
+
+// Entry is one immutable audit record.
+type Entry struct {
+	Seq           uint64    `json:"seq"`
+	Time          time.Time `json:"time"`
+	User          string    `json:"user"`
+	Action        Action    `json:"action"`
+	Tag           string    `json:"tag,omitempty"`
+	Segment       string    `json:"segment,omitempty"`
+	Service       string    `json:"service,omitempty"`
+	Justification string    `json:"justification,omitempty"`
+}
+
+// Log is an append-only, thread-safe audit trail.
+type Log struct {
+	mu      sync.RWMutex
+	now     func() time.Time
+	entries []Entry
+}
+
+// NewLog returns an empty Log stamping entries with time.Now.
+func NewLog() *Log {
+	return &Log{now: time.Now}
+}
+
+// NewLogWithClock returns a Log with an injected time source, for
+// deterministic tests.
+func NewLogWithClock(now func() time.Time) *Log {
+	return &Log{now: now}
+}
+
+// Append records e (its Seq and Time are assigned by the log) and returns
+// the stored entry.
+func (l *Log) Append(e Entry) Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = uint64(len(l.entries) + 1)
+	e.Time = l.now()
+	l.entries = append(l.entries, e)
+	return e
+}
+
+// Len returns the number of entries.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Entries returns a copy of all entries in append order.
+func (l *Log) Entries() []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Filter returns the entries for which keep returns true, in append order.
+func (l *Log) Filter(keep func(Entry) bool) []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Entry
+	for _, e := range l.entries {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByUser returns all entries initiated by user.
+func (l *Log) ByUser(user string) []Entry {
+	return l.Filter(func(e Entry) bool { return e.User == user })
+}
+
+// ByTag returns all entries involving tag.
+func (l *Log) ByTag(tag string) []Entry {
+	return l.Filter(func(e Entry) bool { return e.Tag == tag })
+}
+
+// Replace swaps the log's contents for a previously captured entry list
+// (used when restoring persisted state).
+func (l *Log) Replace(entries []Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = make([]Entry, len(entries))
+	copy(l.entries, entries)
+}
+
+// WriteJSON streams the log as JSON lines to w.
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.Entries() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSON loads JSON-lines entries from r, replacing the log's contents.
+func (l *Log) ReadJSON(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	var entries []Entry
+	for {
+		var e Entry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		entries = append(entries, e)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = entries
+	return nil
+}

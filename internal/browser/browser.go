@@ -1,0 +1,401 @@
+// Package browser simulates the client environment BrowserFlow runs in: a
+// multi-tab web browser with a DOM per tab, a shared clipboard, HTML form
+// submission and asynchronous (XHR) requests.
+//
+// The two interception points of §5 are modelled directly:
+//
+//   - form submission hooks correspond to the plug-in's listener on the
+//     submit event of <form> elements (§5.1); and
+//   - XHR hooks correspond to redefining XMLHttpRequest.prototype.send
+//     (§5.2) — every asynchronous request a page issues flows through the
+//     registered hooks, which may inspect, modify or block it.
+//
+// Extensions attach to tabs via Browser.OnTabOpen, the analogue of a
+// content-script injection point.
+package browser
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+
+	"github.com/lsds/browserflow/internal/dom"
+)
+
+// ErrBlocked is returned when an extension hook prevents a network request.
+var ErrBlocked = errors.New("browser: request blocked by extension")
+
+// XHRRequest is an asynchronous request issued by page logic. Hooks may
+// mutate Body (e.g. to encrypt it) before transmission.
+type XHRRequest struct {
+	Method string
+	URL    *url.URL
+	Body   []byte
+	Header http.Header
+}
+
+// XHRHook observes an outgoing XHR. Returning an error blocks the request.
+type XHRHook func(tab *Tab, req *XHRRequest) error
+
+// SubmitHook observes a form submission with its visible (non-hidden) field
+// values. Returning an error blocks the submission.
+type SubmitHook func(tab *Tab, form *dom.Node, visible url.Values) error
+
+// Browser owns tabs and the shared clipboard.
+type Browser struct {
+	client *http.Client
+
+	mu        sync.Mutex
+	clipboard string
+	tabs      []*Tab
+	onOpen    []func(*Tab)
+}
+
+// Option configures a Browser.
+type Option interface {
+	apply(*Browser)
+}
+
+type transportOption struct{ rt http.RoundTripper }
+
+func (o transportOption) apply(b *Browser) {
+	b.client = &http.Client{Transport: o.rt}
+}
+
+// WithTransport routes all page traffic through rt (e.g. an httptest
+// server's transport or a recording proxy).
+func WithTransport(rt http.RoundTripper) Option {
+	return transportOption{rt: rt}
+}
+
+// New returns a Browser. By default it uses http.DefaultTransport.
+func New(opts ...Option) *Browser {
+	b := &Browser{client: &http.Client{}}
+	for _, o := range opts {
+		o.apply(b)
+	}
+	return b
+}
+
+// OnTabOpen registers fn to run for every subsequently opened tab — the
+// extension attach point.
+func (b *Browser) OnTabOpen(fn func(*Tab)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onOpen = append(b.onOpen, fn)
+}
+
+// OpenTab navigates a new tab to rawURL.
+func (b *Browser) OpenTab(rawURL string) (*Tab, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("browser: parse url: %w", err)
+	}
+	tab := &Tab{browser: b, url: u, doc: dom.NewDocument()}
+
+	b.mu.Lock()
+	b.tabs = append(b.tabs, tab)
+	hooks := append([]func(*Tab){}, b.onOpen...)
+	b.mu.Unlock()
+
+	for _, fn := range hooks {
+		fn(tab)
+	}
+	if err := tab.Navigate(rawURL); err != nil {
+		return nil, err
+	}
+	return tab, nil
+}
+
+// Tabs returns the open tabs.
+func (b *Browser) Tabs() []*Tab {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]*Tab{}, b.tabs...)
+}
+
+// SetClipboard stores text on the shared clipboard.
+func (b *Browser) SetClipboard(text string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.clipboard = text
+}
+
+// Clipboard returns the clipboard contents.
+func (b *Browser) Clipboard() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.clipboard
+}
+
+// Tab is one browser tab: a URL, a live DOM and its extension hooks.
+type Tab struct {
+	browser *Browser
+
+	mu          sync.Mutex
+	url         *url.URL
+	doc         *dom.Document
+	xhrHooks    []XHRHook
+	submitHooks []SubmitHook
+	onNavigate  []func()
+}
+
+// Browser returns the owning browser.
+func (t *Tab) Browser() *Browser { return t.browser }
+
+// URL returns the tab's current URL.
+func (t *Tab) URL() *url.URL {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.url
+}
+
+// Document returns the tab's live DOM document.
+func (t *Tab) Document() *dom.Document {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.doc
+}
+
+// RegisterXHRHook adds a hook over every asynchronous request the page
+// issues (the XMLHttpRequest.prototype.send interception of §5.2).
+func (t *Tab) RegisterXHRHook(h XHRHook) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.xhrHooks = append(t.xhrHooks, h)
+}
+
+// RegisterSubmitHook adds a hook over form submissions (§5.1).
+func (t *Tab) RegisterSubmitHook(h SubmitHook) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.submitHooks = append(t.submitHooks, h)
+}
+
+// OnNavigate registers fn to run after each page load in this tab.
+func (t *Tab) OnNavigate(fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onNavigate = append(t.onNavigate, fn)
+}
+
+// Navigate loads ref (absolute or relative to the current URL) and replaces
+// the tab's document.
+func (t *Tab) Navigate(ref string) error {
+	target, err := t.resolve(ref)
+	if err != nil {
+		return err
+	}
+	resp, err := t.browser.client.Get(target.String())
+	if err != nil {
+		return fmt.Errorf("browser: navigate %s: %w", target, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("browser: read %s: %w", target, err)
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("browser: navigate %s: status %d", target, resp.StatusCode)
+	}
+	finalURL := target
+	if resp.Request != nil && resp.Request.URL != nil {
+		finalURL = resp.Request.URL
+	}
+
+	t.mu.Lock()
+	t.url = finalURL
+	t.doc = dom.Parse(string(body))
+	hooks := append([]func(){}, t.onNavigate...)
+	t.mu.Unlock()
+
+	for _, fn := range hooks {
+		fn()
+	}
+	return nil
+}
+
+// XHR issues an asynchronous JSON request from page logic, routing it
+// through the registered hooks. Hooks run in registration order; any error
+// blocks the request and is wrapped with ErrBlocked semantics preserved.
+func (t *Tab) XHR(method, ref string, body []byte) (*http.Response, error) {
+	return t.XHRWithType(method, ref, "application/json", body)
+}
+
+// XHRWithType is XHR with an explicit Content-Type, for services whose
+// wire format is not JSON.
+func (t *Tab) XHRWithType(method, ref, contentType string, body []byte) (*http.Response, error) {
+	target, err := t.resolve(ref)
+	if err != nil {
+		return nil, err
+	}
+	req := &XHRRequest{
+		Method: method,
+		URL:    target,
+		Body:   body,
+		Header: make(http.Header),
+	}
+	req.Header.Set("Content-Type", contentType)
+
+	t.mu.Lock()
+	hooks := append([]XHRHook{}, t.xhrHooks...)
+	t.mu.Unlock()
+	for _, h := range hooks {
+		if err := h(t, req); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBlocked, err)
+		}
+	}
+
+	httpReq, err := http.NewRequest(req.Method, req.URL.String(), bytes.NewReader(req.Body))
+	if err != nil {
+		return nil, fmt.Errorf("browser: build xhr: %w", err)
+	}
+	httpReq.Header = req.Header
+	resp, err := t.browser.client.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("browser: xhr %s: %w", req.URL, err)
+	}
+	return resp, nil
+}
+
+// SubmitForm submits a <form> element. Field values are read from the
+// form's <input> and <textarea> descendants; overrides supplies the values
+// the user typed. Submit hooks see only non-hidden fields, mirroring the
+// §5.1 plug-in, and may block the submission. On success the tab navigates
+// to the response.
+func (t *Tab) SubmitForm(form *dom.Node, overrides map[string]string) error {
+	if form == nil || form.Tag != "form" {
+		return fmt.Errorf("browser: SubmitForm needs a <form> element")
+	}
+	values, visible := collectFormValues(form, overrides)
+
+	t.mu.Lock()
+	hooks := append([]SubmitHook{}, t.submitHooks...)
+	t.mu.Unlock()
+	for _, h := range hooks {
+		if err := h(t, form, visible); err != nil {
+			return fmt.Errorf("%w: %v", ErrBlocked, err)
+		}
+	}
+
+	action := form.Attr("action")
+	if action == "" {
+		action = t.URL().String()
+	}
+	target, err := t.resolve(action)
+	if err != nil {
+		return err
+	}
+	method := strings.ToUpper(form.Attr("method"))
+	if method == "" {
+		method = http.MethodGet
+	}
+
+	var resp *http.Response
+	if method == http.MethodPost {
+		resp, err = t.browser.client.PostForm(target.String(), values)
+	} else {
+		q := target.Query()
+		for k, vs := range values {
+			for _, v := range vs {
+				q.Add(k, v)
+			}
+		}
+		target.RawQuery = q.Encode()
+		resp, err = t.browser.client.Get(target.String())
+	}
+	if err != nil {
+		return fmt.Errorf("browser: submit %s: %w", target, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("browser: read submit response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("browser: submit %s: status %d", target, resp.StatusCode)
+	}
+	finalURL := target
+	if resp.Request != nil && resp.Request.URL != nil {
+		finalURL = resp.Request.URL
+	}
+
+	t.mu.Lock()
+	t.url = finalURL
+	t.doc = dom.Parse(string(body))
+	hooks2 := append([]func(){}, t.onNavigate...)
+	t.mu.Unlock()
+	for _, fn := range hooks2 {
+		fn()
+	}
+	return nil
+}
+
+// CopyText places the rendered text of node on the shared clipboard.
+func (t *Tab) CopyText(node *dom.Node) {
+	t.browser.SetClipboard(node.InnerText())
+}
+
+// CopyTextRange places a selection — the byte range [start, end) of the
+// node's rendered text — on the clipboard, like a user selecting part of a
+// paragraph. Out-of-range bounds are clamped.
+func (t *Tab) CopyTextRange(node *dom.Node, start, end int) {
+	text := node.InnerText()
+	if start < 0 {
+		start = 0
+	}
+	if end > len(text) {
+		end = len(text)
+	}
+	if start >= end {
+		t.browser.SetClipboard("")
+		return
+	}
+	t.browser.SetClipboard(text[start:end])
+}
+
+func (t *Tab) resolve(ref string) (*url.URL, error) {
+	u, err := url.Parse(ref)
+	if err != nil {
+		return nil, fmt.Errorf("browser: parse %q: %w", ref, err)
+	}
+	base := t.URL()
+	if base == nil {
+		return u, nil
+	}
+	return base.ResolveReference(u), nil
+}
+
+// collectFormValues gathers all named field values (for the wire) and the
+// visible subset (for hooks). Overrides replace field values by name.
+func collectFormValues(form *dom.Node, overrides map[string]string) (all, visible url.Values) {
+	all = make(url.Values)
+	visible = make(url.Values)
+	fields := form.FindAll(func(n *dom.Node) bool {
+		return n.Type == dom.ElementNode && (n.Tag == "input" || n.Tag == "textarea") && n.Attr("name") != ""
+	})
+	for _, f := range fields {
+		name := f.Attr("name")
+		fieldType := strings.ToLower(f.Attr("type"))
+		if f.Tag == "input" && (fieldType == "submit" || fieldType == "button") {
+			continue
+		}
+		value := f.Attr("value")
+		if f.Tag == "textarea" {
+			value = f.InnerText()
+		}
+		if ov, ok := overrides[name]; ok {
+			value = ov
+		}
+		all.Set(name, value)
+		if fieldType != "hidden" {
+			visible.Set(name, value)
+		}
+	}
+	return all, visible
+}

@@ -1,0 +1,326 @@
+package browser
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/dom"
+)
+
+// testSite serves a small form page and records submissions and XHR bodies.
+type testSite struct {
+	srv     *httptest.Server
+	lastGot url.Values
+	lastXHR string
+}
+
+func newTestSite(t *testing.T) *testSite {
+	t.Helper()
+	site := &testSite{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/page", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `<html><body>
+<p id="content">Visible page text, quite interesting.</p>
+<form id="f" action="/submit" method="post">
+  <input type="text" name="title" value="default title"/>
+  <textarea name="body">default body</textarea>
+  <input type="hidden" name="csrf" value="tok"/>
+  <input type="submit" value="Go"/>
+</form>
+</body></html>`)
+	})
+	mux.HandleFunc("/submit", func(w http.ResponseWriter, r *http.Request) {
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+		site.lastGot = r.PostForm
+		fmt.Fprint(w, `<html><body><p id="done">saved</p></body></html>`)
+	})
+	mux.HandleFunc("/xhr", func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		site.lastXHR = string(b)
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	mux.HandleFunc("/missing", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "gone", http.StatusNotFound)
+	})
+	site.srv = httptest.NewServer(mux)
+	t.Cleanup(site.srv.Close)
+	return site
+}
+
+func TestOpenTabParsesDocument(t *testing.T) {
+	site := newTestSite(t)
+	b := New()
+	tab, err := b.OpenTab(site.srv.URL + "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Document().Root().ByID("content"); got == nil {
+		t.Fatal("page content missing from DOM")
+	}
+	if tab.URL().Path != "/page" {
+		t.Errorf("URL=%v", tab.URL())
+	}
+	if len(b.Tabs()) != 1 {
+		t.Errorf("Tabs=%d, want 1", len(b.Tabs()))
+	}
+}
+
+func TestOpenTabError(t *testing.T) {
+	site := newTestSite(t)
+	b := New()
+	if _, err := b.OpenTab(site.srv.URL + "/missing"); err == nil {
+		t.Error("404 page opened without error")
+	}
+	if _, err := b.OpenTab("http://127.0.0.1:1/nothing-here"); err == nil {
+		t.Error("unreachable host opened without error")
+	}
+}
+
+func TestOnTabOpenHook(t *testing.T) {
+	site := newTestSite(t)
+	b := New()
+	attached := 0
+	b.OnTabOpen(func(tab *Tab) { attached++ })
+	if _, err := b.OpenTab(site.srv.URL + "/page"); err != nil {
+		t.Fatal(err)
+	}
+	if attached != 1 {
+		t.Errorf("attached=%d, want 1", attached)
+	}
+}
+
+func TestSubmitFormDeliversValues(t *testing.T) {
+	site := newTestSite(t)
+	b := New()
+	tab, err := b.OpenTab(site.srv.URL + "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	form := tab.Document().Root().ByID("f")
+	if err := tab.SubmitForm(form, map[string]string{"body": "user wrote this"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := site.lastGot.Get("body"); got != "user wrote this" {
+		t.Errorf("body=%q", got)
+	}
+	if got := site.lastGot.Get("title"); got != "default title" {
+		t.Errorf("title=%q", got)
+	}
+	if got := site.lastGot.Get("csrf"); got != "tok" {
+		t.Errorf("hidden csrf=%q (hidden fields must still reach the wire)", got)
+	}
+	// Tab navigated to the response.
+	if tab.Document().Root().ByID("done") == nil {
+		t.Error("tab did not navigate after submit")
+	}
+}
+
+func TestSubmitHookSeesOnlyVisibleFields(t *testing.T) {
+	site := newTestSite(t)
+	b := New()
+	tab, err := b.OpenTab(site.srv.URL + "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen url.Values
+	tab.RegisterSubmitHook(func(_ *Tab, _ *dom.Node, visible url.Values) error {
+		seen = visible
+		return nil
+	})
+	form := tab.Document().Root().ByID("f")
+	if err := tab.SubmitForm(form, nil); err != nil {
+		t.Fatal(err)
+	}
+	if seen.Get("csrf") != "" {
+		t.Error("hook saw hidden field")
+	}
+	if seen.Get("title") == "" || seen.Get("body") == "" {
+		t.Errorf("hook missing visible fields: %v", seen)
+	}
+}
+
+func TestSubmitHookBlocks(t *testing.T) {
+	site := newTestSite(t)
+	b := New()
+	tab, err := b.OpenTab(site.srv.URL + "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.RegisterSubmitHook(func(*Tab, *dom.Node, url.Values) error {
+		return errors.New("policy violation")
+	})
+	form := tab.Document().Root().ByID("f")
+	err = tab.SubmitForm(form, map[string]string{"body": "secret"})
+	if !errors.Is(err, ErrBlocked) {
+		t.Fatalf("err=%v, want ErrBlocked", err)
+	}
+	if site.lastGot != nil {
+		t.Error("blocked submission reached the server")
+	}
+}
+
+func TestSubmitFormValidation(t *testing.T) {
+	site := newTestSite(t)
+	b := New()
+	tab, err := b.OpenTab(site.srv.URL + "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.SubmitForm(nil, nil); err == nil {
+		t.Error("nil form accepted")
+	}
+	notForm := tab.Document().Root().ByID("content")
+	if err := tab.SubmitForm(notForm, nil); err == nil {
+		t.Error("non-form element accepted")
+	}
+}
+
+func TestXHRHookObservesAndMutates(t *testing.T) {
+	site := newTestSite(t)
+	b := New()
+	tab, err := b.OpenTab(site.srv.URL + "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.RegisterXHRHook(func(_ *Tab, req *XHRRequest) error {
+		req.Body = []byte(strings.ToUpper(string(req.Body)))
+		return nil
+	})
+	resp, err := tab.XHR("POST", "/xhr", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if site.lastXHR != "HELLO" {
+		t.Errorf("server saw %q, want mutated body", site.lastXHR)
+	}
+}
+
+func TestXHRHookBlocks(t *testing.T) {
+	site := newTestSite(t)
+	b := New()
+	tab, err := b.OpenTab(site.srv.URL + "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.RegisterXHRHook(func(*Tab, *XHRRequest) error {
+		return errors.New("contains sensitive data")
+	})
+	if _, err := tab.XHR("POST", "/xhr", []byte("secret")); !errors.Is(err, ErrBlocked) {
+		t.Fatalf("err=%v, want ErrBlocked", err)
+	}
+	if site.lastXHR != "" {
+		t.Error("blocked XHR reached the server")
+	}
+}
+
+func TestXHRRelativeResolution(t *testing.T) {
+	site := newTestSite(t)
+	b := New()
+	tab, err := b.OpenTab(site.srv.URL + "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tab.XHR("POST", "/xhr", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if site.lastXHR != "x" {
+		t.Error("relative XHR did not reach the same origin")
+	}
+}
+
+func TestClipboardSharedAcrossTabs(t *testing.T) {
+	site := newTestSite(t)
+	b := New()
+	tab1, err := b.OpenTab(site.srv.URL + "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab2, err := b.OpenTab(site.srv.URL + "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab1.CopyText(tab1.Document().Root().ByID("content"))
+	if got := tab2.Browser().Clipboard(); got != "Visible page text, quite interesting." {
+		t.Errorf("clipboard=%q", got)
+	}
+}
+
+func TestCopyTextRange(t *testing.T) {
+	site := newTestSite(t)
+	b := New()
+	tab, err := b.OpenTab(site.srv.URL + "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := tab.Document().Root().ByID("content")
+	full := content.InnerText() // "Visible page text, quite interesting."
+	tab.CopyTextRange(content, 0, 7)
+	if got := b.Clipboard(); got != full[:7] {
+		t.Errorf("clipboard=%q", got)
+	}
+	// Clamping.
+	tab.CopyTextRange(content, -5, 10_000)
+	if got := b.Clipboard(); got != full {
+		t.Errorf("clamped clipboard=%q", got)
+	}
+	// Empty selection.
+	tab.CopyTextRange(content, 5, 2)
+	if got := b.Clipboard(); got != "" {
+		t.Errorf("empty selection clipboard=%q", got)
+	}
+}
+
+func TestOnNavigateFires(t *testing.T) {
+	site := newTestSite(t)
+	b := New()
+	tab, err := b.OpenTab(site.srv.URL + "/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	tab.OnNavigate(func() { count++ })
+	if err := tab.Navigate("/page"); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("OnNavigate fired %d times, want 1", count)
+	}
+	form := tab.Document().Root().ByID("f")
+	if err := tab.SubmitForm(form, nil); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("OnNavigate after submit: %d, want 2", count)
+	}
+}
+
+func TestWithTransport(t *testing.T) {
+	called := false
+	rt := roundTripperFunc(func(req *http.Request) (*http.Response, error) {
+		called = true
+		return nil, errors.New("sentinel")
+	})
+	b := New(WithTransport(rt))
+	if _, err := b.OpenTab("http://example.invalid/"); err == nil {
+		t.Error("expected error from sentinel transport")
+	}
+	if !called {
+		t.Error("custom transport not used")
+	}
+}
+
+type roundTripperFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripperFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }

@@ -1,0 +1,127 @@
+// Package cryptoall implements the second comparison baseline of §2.2:
+// browser-side enforcement that encrypts *all* data before upload to
+// untrusted services (in the style of ShadowCrypt or Mylar). "This is
+// often infeasible, however, because services may need to index, search,
+// and inspect the original data."
+//
+// The baseline is an XHR hook that seals every docs-style payload to
+// untrusted services with AES-GCM. It keeps data confidential
+// unconditionally — and unconditionally breaks server-side functionality
+// like search, which the comparison experiment quantifies against
+// BrowserFlow's selective approach.
+package cryptoall
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"github.com/lsds/browserflow/internal/browser"
+	"github.com/lsds/browserflow/internal/webapp"
+)
+
+// prefix marks sealed payload text.
+const prefix = "caenc:"
+
+// Encryptor seals all user text bound for untrusted services.
+type Encryptor struct {
+	key       []byte
+	untrusted map[string]bool
+	sealedN   atomic.Int64
+}
+
+// New returns an Encryptor for the given 32-byte key; untrusted lists the
+// service names whose uploads are sealed.
+func New(key []byte, untrusted ...string) (*Encryptor, error) {
+	if len(key) != 32 {
+		return nil, fmt.Errorf("cryptoall: key must be 32 bytes, got %d", len(key))
+	}
+	set := make(map[string]bool, len(untrusted))
+	for _, s := range untrusted {
+		set[s] = true
+	}
+	return &Encryptor{key: append([]byte(nil), key...), untrusted: set}, nil
+}
+
+// SealedCount returns how many payloads were sealed.
+func (e *Encryptor) SealedCount() int64 { return e.sealedN.Load() }
+
+// Hook is the XMLHttpRequest interception: docs mutation payloads to
+// untrusted services get their text sealed; everything else passes.
+func (e *Encryptor) Hook(tab *browser.Tab, req *browser.XHRRequest) error {
+	service, ok := webapp.ServiceForPath(req.URL.Path)
+	if !ok || !e.untrusted[service] {
+		return nil
+	}
+	var m webapp.MutateRequest
+	if err := json.Unmarshal(req.Body, &m); err != nil || m.Op == "" {
+		return nil
+	}
+	if m.Text == "" || strings.HasPrefix(m.Text, prefix) {
+		return nil
+	}
+	sealed, err := e.Seal(m.Text)
+	if err != nil {
+		return fmt.Errorf("cryptoall: %w", err)
+	}
+	m.Text = sealed
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("cryptoall: %w", err)
+	}
+	req.Body = body
+	e.sealedN.Add(1)
+	return nil
+}
+
+// Seal encrypts text.
+func (e *Encryptor) Seal(text string) (string, error) {
+	gcm, err := e.gcm()
+	if err != nil {
+		return "", err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return "", err
+	}
+	return prefix + base64.StdEncoding.EncodeToString(gcm.Seal(nonce, nonce, []byte(text), nil)), nil
+}
+
+// Open decrypts text sealed by Seal.
+func (e *Encryptor) Open(sealed string) (string, error) {
+	if !strings.HasPrefix(sealed, prefix) {
+		return "", fmt.Errorf("cryptoall: not a sealed payload")
+	}
+	raw, err := base64.StdEncoding.DecodeString(sealed[len(prefix):])
+	if err != nil {
+		return "", err
+	}
+	gcm, err := e.gcm()
+	if err != nil {
+		return "", err
+	}
+	if len(raw) < gcm.NonceSize() {
+		return "", fmt.Errorf("cryptoall: ciphertext too short")
+	}
+	plain, err := gcm.Open(nil, raw[:gcm.NonceSize()], raw[gcm.NonceSize():], nil)
+	if err != nil {
+		return "", fmt.Errorf("cryptoall: %w", err)
+	}
+	return string(plain), nil
+}
+
+// IsSealed reports whether text was produced by Seal.
+func IsSealed(text string) bool { return strings.HasPrefix(text, prefix) }
+
+func (e *Encryptor) gcm() (cipher.AEAD, error) {
+	block, err := aes.NewCipher(e.key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}

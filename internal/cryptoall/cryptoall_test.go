@@ -1,0 +1,160 @@
+package cryptoall
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/browser"
+	"github.com/lsds/browserflow/internal/webapp"
+)
+
+func testKey() []byte {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i * 3)
+	}
+	return key
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]byte("short")); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := New(testKey(), "docs"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	e, err := New(testKey(), "docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := e.Seal("the secret text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSealed(sealed) || strings.Contains(sealed, "secret") {
+		t.Errorf("sealed=%q", sealed)
+	}
+	plain, err := e.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != "the secret text" {
+		t.Errorf("plain=%q", plain)
+	}
+	if _, err := e.Open("not-sealed"); err == nil {
+		t.Error("bad prefix accepted")
+	}
+	if _, err := e.Open(prefix + "!!!"); err == nil {
+		t.Error("bad base64 accepted")
+	}
+	if _, err := e.Open(prefix + "AAAA"); err == nil {
+		t.Error("short ciphertext accepted")
+	}
+}
+
+// End to end: with the encrypt-everything hook installed, the docs backend
+// only ever stores ciphertext — and its search feature stops working, the
+// §2.2 infeasibility argument.
+func TestEncryptAllBreaksServerSearch(t *testing.T) {
+	server := webapp.NewServer()
+	server.SeedDoc("notes", "starter")
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	e, err := New(testKey(), webapp.ServiceDocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := browser.New()
+	b.OnTabOpen(func(tab *browser.Tab) { tab.RegisterXHRHook(e.Hook) })
+	tab, err := b.OpenTab(srv.URL + "/docs/notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := webapp.AttachDocsEditor(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ed.AppendParagraph("quarterly earnings report draft"); err != nil {
+		t.Fatal(err)
+	}
+	if e.SealedCount() != 1 {
+		t.Errorf("sealed=%d", e.SealedCount())
+	}
+	// The backend holds ciphertext only.
+	stored := server.Doc("notes")
+	if len(stored) != 2 || !IsSealed(stored[1]) {
+		t.Fatalf("backend=%v", stored)
+	}
+	plain, err := e.Open(stored[1])
+	if err != nil || plain != "quarterly earnings report draft" {
+		t.Errorf("open=%q err=%v", plain, err)
+	}
+
+	// Server-side search cannot find the content.
+	resp, err := http.Get(srv.URL + "/docs/notes/search?q=earnings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hits []int
+	if err := json.NewDecoder(resp.Body).Decode(&hits); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Errorf("search found encrypted content: %v", hits)
+	}
+}
+
+// Control: without the hook, the same search works — and that is what
+// BrowserFlow preserves for non-sensitive text.
+func TestSearchWorksWithoutEncryptAll(t *testing.T) {
+	server := webapp.NewServer()
+	server.SeedDoc("notes", "quarterly earnings report draft")
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/docs/notes/search?q=earnings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hits []int
+	if err := json.NewDecoder(resp.Body).Decode(&hits); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0] != 0 {
+		t.Errorf("hits=%v", hits)
+	}
+}
+
+func TestHookIgnoresTrustedAndNonMutation(t *testing.T) {
+	e, err := New(testKey(), webapp.ServiceDocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := webapp.NewServer()
+	server.SeedWikiPage("w", "wiki text")
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+	b := browser.New()
+	b.OnTabOpen(func(tab *browser.Tab) { tab.RegisterXHRHook(e.Hook) })
+	tab, err := b.OpenTab(srv.URL + "/wiki/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An XHR to a trusted (non-listed) service passes unsealed.
+	resp, err := tab.XHR("POST", "/wiki/w", []byte(`not json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if e.SealedCount() != 0 {
+		t.Errorf("sealed=%d, want 0", e.SealedCount())
+	}
+}

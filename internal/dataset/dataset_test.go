@@ -1,0 +1,331 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+)
+
+func TestTextGenDeterministic(t *testing.T) {
+	a := NewTextGen(7, 100)
+	b := NewTextGen(7, 100)
+	for i := 0; i < 20; i++ {
+		if a.Word() != b.Word() {
+			t.Fatal("same seed produced different words")
+		}
+	}
+	if NewTextGen(7, 100).Sentence(5, 10) != NewTextGen(7, 100).Sentence(5, 10) {
+		t.Error("sentences not deterministic")
+	}
+}
+
+func TestTextGenShapes(t *testing.T) {
+	g := NewTextGen(3, 200)
+	s := g.Sentence(5, 5)
+	if !strings.HasSuffix(s, ".") {
+		t.Errorf("sentence %q missing full stop", s)
+	}
+	if len(strings.Fields(s)) != 5 {
+		t.Errorf("sentence %q has %d words, want 5", s, len(strings.Fields(s)))
+	}
+	p := g.Paragraph(3, 3)
+	if got := strings.Count(p, "."); got != 3 {
+		t.Errorf("paragraph has %d sentences, want 3", got)
+	}
+}
+
+func TestLightEditPreservesFingerprint(t *testing.T) {
+	g := NewTextGen(11, 300)
+	p := g.Paragraph(4, 6)
+	edited := g.LightEdit(p, 0.08)
+	cfg := fingerprint.DefaultConfig()
+	fa, err := fingerprint.Compute(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := fingerprint.Compute(edited, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := fa.Containment(fb); c < 0.5 {
+		t.Errorf("light edit broke fingerprint: containment=%v", c)
+	}
+}
+
+func TestRephraseBreaksFingerprint(t *testing.T) {
+	g := NewTextGen(13, 300)
+	p := g.Paragraph(4, 6)
+	rephrased := g.Rephrase(p)
+	cfg := fingerprint.DefaultConfig()
+	fa, err := fingerprint.Compute(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := fingerprint.Compute(rephrased, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := fa.Containment(fb); c > 0.2 {
+		t.Errorf("rephrase kept containment %v, want near 0", c)
+	}
+}
+
+func TestSentenceOps(t *testing.T) {
+	g := NewTextGen(17, 300)
+	p := g.Paragraph(4, 4)
+	if got := strings.Count(g.DropSentence(p), "."); got != 3 {
+		t.Errorf("DropSentence: %d sentences, want 3", got)
+	}
+	if got := strings.Count(g.AppendSentence(p), "."); got != 5 {
+		t.Errorf("AppendSentence: %d sentences, want 5", got)
+	}
+	shuffled := g.ShuffleSentences(p)
+	if strings.Count(shuffled, ".") != 4 {
+		t.Error("ShuffleSentences changed sentence count")
+	}
+	single := "Only one sentence here."
+	if g.DropSentence(single) != single {
+		t.Error("DropSentence removed the only sentence")
+	}
+}
+
+func TestGenerateRevisionCorpus(t *testing.T) {
+	cfg := DefaultRevisionCorpusConfig()
+	cfg.Revisions = 50
+	cfg.Paragraphs = 10
+	articles := GenerateRevisionCorpus(cfg)
+	if len(articles) != 8 {
+		t.Fatalf("articles=%d, want 8", len(articles))
+	}
+	for _, a := range articles {
+		if len(a.Revisions) != 50 {
+			t.Errorf("%s: revisions=%d", a.Title, len(a.Revisions))
+		}
+		if len(a.Base()) != 10 {
+			t.Errorf("%s: base paragraphs=%d", a.Title, len(a.Base()))
+		}
+	}
+	// Determinism.
+	again := GenerateRevisionCorpus(cfg)
+	if articles[0].Latest()[0] != again[0].Latest()[0] {
+		t.Error("corpus not deterministic")
+	}
+}
+
+func TestVolatileArticlesChangeMore(t *testing.T) {
+	cfg := DefaultRevisionCorpusConfig()
+	cfg.Revisions = 150
+	cfg.Paragraphs = 20
+	articles := GenerateRevisionCorpus(cfg)
+	var stableChange, volatileChange float64
+	for _, a := range articles {
+		if a.Volatility <= cfg.StableVolatility {
+			stableChange += RelativeLengthChange(a)
+		} else {
+			volatileChange += RelativeLengthChange(a)
+		}
+	}
+	// Volatile articles must churn more in aggregate (Figure 8 shape).
+	if volatileChange <= stableChange {
+		t.Errorf("volatile change %v <= stable change %v", volatileChange, stableChange)
+	}
+}
+
+func TestExtraArticles(t *testing.T) {
+	cfg := DefaultRevisionCorpusConfig()
+	cfg.Revisions = 5
+	cfg.Paragraphs = 3
+	cfg.ExtraArticles = 4
+	articles := GenerateRevisionCorpus(cfg)
+	if len(articles) != 12 {
+		t.Errorf("articles=%d, want 12", len(articles))
+	}
+}
+
+func TestGenerateManuals(t *testing.T) {
+	chapters := GenerateManuals(1)
+	if len(chapters) != 4 {
+		t.Fatalf("chapters=%d, want 4", len(chapters))
+	}
+	for _, c := range chapters {
+		if len(c.Versions) != 4 {
+			t.Errorf("%s: versions=%d, want 4", c.Name, len(c.Versions))
+		}
+		base := c.Base()
+		if base.GroundTruthDisclosed() != len(base.Paragraphs) {
+			t.Errorf("%s: base must fully disclose itself", c.Name)
+		}
+		for _, v := range c.Versions {
+			if len(v.BaseEdits) != len(base.Paragraphs) {
+				t.Errorf("%s %s: BaseEdits=%d, want %d", c.Name, v.Label, len(v.BaseEdits), len(base.Paragraphs))
+			}
+		}
+	}
+	if _, ok := ChapterByName(chapters, "MySQL What's MySQL"); !ok {
+		t.Error("ChapterByName failed")
+	}
+	if _, ok := ChapterByName(chapters, "nonexistent"); ok {
+		t.Error("ChapterByName found a ghost")
+	}
+}
+
+func TestManualChurnShapes(t *testing.T) {
+	chapters := GenerateManuals(1)
+	camera, _ := ChapterByName(chapters, "IPhone Camera")
+	whats, _ := ChapterByName(chapters, "MySQL What's MySQL")
+
+	// iPhone Camera: last version discloses almost nothing of the base.
+	last := camera.Versions[len(camera.Versions)-1]
+	frac := float64(last.GroundTruthDisclosed()) / float64(len(camera.Base().Paragraphs))
+	if frac > 0.3 {
+		t.Errorf("iPhone Camera final disclosure=%v, want near 0", frac)
+	}
+	// What's MySQL: stays essentially fully disclosed.
+	lastW := whats.Versions[len(whats.Versions)-1]
+	fracW := float64(lastW.GroundTruthDisclosed()) / float64(len(whats.Base().Paragraphs))
+	if fracW < 0.7 {
+		t.Errorf("What's MySQL final disclosure=%v, want near 1", fracW)
+	}
+}
+
+func TestEditKindDiscloses(t *testing.T) {
+	if !EditKept.Discloses() || !EditLight.Discloses() || !EditRephrased.Discloses() {
+		t.Error("kept/light/rephrased must disclose")
+	}
+	if EditRemoved.Discloses() {
+		t.Error("removed must not disclose")
+	}
+}
+
+func TestGenerateEbooks(t *testing.T) {
+	cfg := EbookConfig{Seed: 5, Books: 3, MinBytes: 10 << 10, MaxBytes: 20 << 10}
+	books := GenerateEbooks(cfg)
+	if len(books) != 3 {
+		t.Fatalf("books=%d", len(books))
+	}
+	for _, b := range books {
+		if b.SizeBytes() < cfg.MinBytes {
+			t.Errorf("%s: size=%d < min %d", b.Title, b.SizeBytes(), cfg.MinBytes)
+		}
+	}
+	if TotalSizeBytes(books) < 30<<10 {
+		t.Error("total size too small")
+	}
+	page := books[0].Page(0)
+	if len(page) < 1024 {
+		t.Errorf("page=%d bytes, want ~2KB", len(page))
+	}
+	// Determinism.
+	again := GenerateEbooks(cfg)
+	if books[0].Paragraphs[0] != again[0].Paragraphs[0] {
+		t.Error("ebooks not deterministic")
+	}
+}
+
+func TestPopularPassagesShared(t *testing.T) {
+	cfg := EbookConfig{
+		Seed: 5, Books: 3, MinBytes: 30 << 10, MaxBytes: 40 << 10,
+		PopularPassages: 3, PopularEvery: 10,
+	}
+	books := GenerateEbooks(cfg)
+	// Find a paragraph in book 0 containing an injected passage: a
+	// passage is a sentence that also appears verbatim in another book.
+	shared := 0
+	for _, p0 := range books[0].Paragraphs {
+		for _, sentence := range splitSentences(p0) {
+			if len(sentence) < 60 {
+				continue
+			}
+			for _, p1 := range books[1].Paragraphs {
+				if strings.Contains(p1, sentence) {
+					shared++
+				}
+			}
+		}
+	}
+	if shared == 0 {
+		t.Error("no popular passages shared across books")
+	}
+	// Without injection, no cross-book sharing of long sentences.
+	cfg.PopularPassages = 0
+	plain := GenerateEbooks(cfg)
+	sharedPlain := 0
+	for _, p0 := range plain[0].Paragraphs[:20] {
+		for _, sentence := range splitSentences(p0) {
+			if len(sentence) < 60 {
+				continue
+			}
+			for _, p1 := range plain[1].Paragraphs {
+				if strings.Contains(p1, sentence) {
+					sharedPlain++
+				}
+			}
+		}
+	}
+	if sharedPlain != 0 {
+		t.Errorf("unexpected sharing without injection: %d", sharedPlain)
+	}
+}
+
+func TestPopularPassagesZipfProfile(t *testing.T) {
+	cfg := EbookConfig{
+		Seed: 5, Books: 1, MinBytes: 60 << 10, MaxBytes: 60 << 10,
+		PopularPassages: 2, PopularEvery: 10,
+	}
+	books := GenerateEbooks(cfg)
+	pgen := NewTextGen(cfg.Seed+424242, 1500)
+	first := pgen.Sentence(12, 18)
+	second := pgen.Sentence(12, 18)
+	count := func(needle string) int {
+		n := 0
+		for _, p := range books[0].Paragraphs {
+			if strings.Contains(p, needle) {
+				n++
+			}
+		}
+		return n
+	}
+	c1, c2 := count(first), count(second)
+	if c1 == 0 || c2 == 0 {
+		t.Fatalf("passages not injected: %d %d", c1, c2)
+	}
+	if c1 <= c2 {
+		t.Errorf("Zipf profile violated: passage0=%d <= passage1=%d", c1, c2)
+	}
+}
+
+func TestStatsAndTable(t *testing.T) {
+	cfg := DefaultRevisionCorpusConfig()
+	cfg.Revisions = 5
+	cfg.Paragraphs = 4
+	articles := GenerateRevisionCorpus(cfg)
+	chapters := GenerateManuals(1)
+	books := GenerateEbooks(EbookConfig{Seed: 5, Books: 2, MinBytes: 5 << 10, MaxBytes: 6 << 10})
+
+	rows := []Stats{RevisionCorpusStats(articles)}
+	rows = append(rows, ManualStats(chapters)...)
+	rows = append(rows, EbookStats(books))
+
+	if rows[0].Documents != 8 || rows[0].Versions != 5 {
+		t.Errorf("wikipedia row=%+v", rows[0])
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows=%d, want 6", len(rows))
+	}
+	table := FormatTable(rows)
+	for _, want := range []string{"Wikipedia", "IPhone Camera", "MySQL New Features", "Ebooks"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestStatsEmptyInputs(t *testing.T) {
+	if s := RevisionCorpusStats(nil); s.Documents != 0 {
+		t.Error("empty corpus stats")
+	}
+	if s := EbookStats(nil); s.Documents != 0 {
+		t.Error("empty ebook stats")
+	}
+}

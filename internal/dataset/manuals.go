@@ -1,0 +1,196 @@
+package dataset
+
+import (
+	"math/rand"
+)
+
+// The Manuals dataset (Table 1): two chapters from each of two technical
+// manuals, four versions per chapter. The generator's edit log plays the
+// role of the paper's human expert: it records, for every base paragraph
+// and every later version, whether that version still discloses the base
+// paragraph's content ("similar content or concepts ... regardless of the
+// actual words used").
+
+// EditKind is what happened to a base paragraph in a given version.
+type EditKind int
+
+const (
+	// EditKept keeps the paragraph verbatim.
+	EditKept EditKind = iota + 1
+
+	// EditLight rewrites a few words; content clearly disclosed.
+	EditLight
+
+	// EditRephrased rewrites the paragraph in fresh words while keeping
+	// the concept. The expert reports disclosure; fingerprints cannot —
+	// the systematic false negative of §6.1.
+	EditRephrased
+
+	// EditRemoved drops the paragraph; no disclosure.
+	EditRemoved
+)
+
+// Discloses reports whether the human expert counts this edit as
+// disclosing the base paragraph.
+func (k EditKind) Discloses() bool {
+	return k == EditKept || k == EditLight || k == EditRephrased
+}
+
+// ManualVersion is one version of a chapter.
+type ManualVersion struct {
+	// Label names the version ("iOS3", "4.1", ...).
+	Label string
+
+	// Paragraphs is the version's text.
+	Paragraphs []string
+
+	// BaseEdits[i] records what this version did with base paragraph i.
+	BaseEdits []EditKind
+}
+
+// GroundTruthDisclosed returns how many base paragraphs the expert counts
+// as disclosed by this version.
+func (v ManualVersion) GroundTruthDisclosed() int {
+	n := 0
+	for _, k := range v.BaseEdits {
+		if k.Discloses() {
+			n++
+		}
+	}
+	return n
+}
+
+// Chapter is one manual chapter across versions.
+type Chapter struct {
+	// Name identifies the chapter ("IPhone Camera", ...).
+	Name string
+
+	// Versions holds the versions, oldest (the base) first.
+	Versions []ManualVersion
+}
+
+// Base returns the oldest version.
+func (c Chapter) Base() ManualVersion { return c.Versions[0] }
+
+// chapterSpec describes a chapter's churn profile: survival[v] is the
+// fraction of base paragraphs still disclosed (kept or lightly edited) in
+// version v, and rephrased[v] the fraction rephrased-but-same-concept.
+type chapterSpec struct {
+	name       string
+	labels     []string
+	paragraphs int
+	survival   []float64
+	rephrased  []float64
+}
+
+// chapterSpecs mirrors the qualitative shapes of Figure 10: the iPhone
+// chapters churn heavily (almost nothing of iOS3 survives to iOS7), MySQL
+// "New Features" drops after 4.1, and "What's MySQL" barely changes.
+var chapterSpecs = []chapterSpec{
+	{
+		name:       "IPhone Camera",
+		labels:     []string{"iOS3", "iOS4", "iOS5", "iOS7"},
+		paragraphs: 40,
+		survival:   []float64{1.0, 0.55, 0.30, 0.04},
+		rephrased:  []float64{0, 0.05, 0.05, 0.03},
+	},
+	{
+		name:       "IPhone Message",
+		labels:     []string{"iOS3", "iOS4", "iOS5", "iOS7"},
+		paragraphs: 20,
+		survival:   []float64{1.0, 0.60, 0.25, 0.02},
+		rephrased:  []float64{0, 0.05, 0.08, 0.04},
+	},
+	{
+		name:       "MySQL New Features",
+		labels:     []string{"4.0", "4.1", "5.0", "5.1"},
+		paragraphs: 28,
+		survival:   []float64{1.0, 0.85, 0.45, 0.35},
+		rephrased:  []float64{0, 0.03, 0.05, 0.05},
+	},
+	{
+		name:       "MySQL What's MySQL",
+		labels:     []string{"4.0", "4.1", "5.0", "5.1"},
+		paragraphs: 8,
+		survival:   []float64{1.0, 1.0, 0.95, 0.95},
+		rephrased:  []float64{0, 0, 0.05, 0.05},
+	},
+}
+
+// GenerateManuals builds the four chapters deterministically from seed.
+func GenerateManuals(seed int64) []Chapter {
+	chapters := make([]Chapter, 0, len(chapterSpecs))
+	for i, spec := range chapterSpecs {
+		chapters = append(chapters, generateChapter(spec, seed+int64(i)*101))
+	}
+	return chapters
+}
+
+// ChapterByName returns the named chapter from GenerateManuals output.
+func ChapterByName(chapters []Chapter, name string) (Chapter, bool) {
+	for _, c := range chapters {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Chapter{}, false
+}
+
+func generateChapter(spec chapterSpec, seed int64) Chapter {
+	gen := NewTextGen(seed, 500)
+	rng := rand.New(rand.NewSource(seed * 31337))
+
+	base := make([]string, spec.paragraphs)
+	for i := range base {
+		base[i] = gen.Paragraph(3, 5)
+	}
+	baseVersion := ManualVersion{
+		Label:      spec.labels[0],
+		Paragraphs: base,
+		BaseEdits:  make([]EditKind, spec.paragraphs),
+	}
+	for i := range baseVersion.BaseEdits {
+		baseVersion.BaseEdits[i] = EditKept
+	}
+
+	chapter := Chapter{Name: spec.name, Versions: []ManualVersion{baseVersion}}
+	for v := 1; v < len(spec.labels); v++ {
+		chapter.Versions = append(chapter.Versions,
+			deriveVersion(spec, v, base, gen, rng))
+	}
+	return chapter
+}
+
+// deriveVersion builds version v directly from the base: each base
+// paragraph independently survives, is lightly edited, is rephrased, or is
+// removed, at rates interpolated from the spec. New paragraphs are added
+// to keep chapter length roughly stable.
+func deriveVersion(spec chapterSpec, v int, base []string, gen *TextGen, rng *rand.Rand) ManualVersion {
+	version := ManualVersion{
+		Label:     spec.labels[v],
+		BaseEdits: make([]EditKind, len(base)),
+	}
+	surviveP := spec.survival[v]
+	rephraseP := spec.rephrased[v]
+	for i, p := range base {
+		r := rng.Float64()
+		switch {
+		case r < surviveP*0.7:
+			version.BaseEdits[i] = EditKept
+			version.Paragraphs = append(version.Paragraphs, p)
+		case r < surviveP:
+			version.BaseEdits[i] = EditLight
+			version.Paragraphs = append(version.Paragraphs, gen.LightEdit(p, 0.03))
+		case r < surviveP+rephraseP:
+			version.BaseEdits[i] = EditRephrased
+			version.Paragraphs = append(version.Paragraphs, gen.Rephrase(p))
+		default:
+			version.BaseEdits[i] = EditRemoved
+		}
+	}
+	// Top up with brand-new paragraphs (not counted in ground truth).
+	for len(version.Paragraphs) < len(base) {
+		version.Paragraphs = append(version.Paragraphs, gen.Paragraph(3, 5))
+	}
+	return version
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats is one row of Table 1.
+type Stats struct {
+	// Dataset is the group ("Wikipedia", "Manuals", "Ebooks").
+	Dataset string
+
+	// Name is the row label within the group.
+	Name string
+
+	// Documents is the number of distinct documents.
+	Documents int
+
+	// Versions is the number of versions per document.
+	Versions int
+
+	// AvgParagraphs is the mean paragraph count across versions.
+	AvgParagraphs float64
+
+	// AvgSizeKB is the mean version size in KB.
+	AvgSizeKB float64
+}
+
+// RevisionCorpusStats summarises the Wikipedia-style corpus as one row.
+func RevisionCorpusStats(articles []Article) Stats {
+	var pars, bytes, versions int
+	for _, a := range articles {
+		for _, rev := range a.Revisions {
+			pars += len(rev)
+			bytes += ArticleSizeBytes(rev)
+			versions++
+		}
+	}
+	s := Stats{
+		Dataset:   "Wikipedia",
+		Name:      "Articles",
+		Documents: len(articles),
+	}
+	if len(articles) > 0 {
+		s.Versions = len(articles[0].Revisions)
+	}
+	if versions > 0 {
+		s.AvgParagraphs = float64(pars) / float64(versions)
+		s.AvgSizeKB = float64(bytes) / float64(versions) / 1024
+	}
+	return s
+}
+
+// ManualStats summarises each chapter as one row.
+func ManualStats(chapters []Chapter) []Stats {
+	out := make([]Stats, 0, len(chapters))
+	for _, c := range chapters {
+		var pars, bytes int
+		for _, v := range c.Versions {
+			pars += len(v.Paragraphs)
+			bytes += ArticleSizeBytes(v.Paragraphs)
+		}
+		n := len(c.Versions)
+		out = append(out, Stats{
+			Dataset:       "Manuals",
+			Name:          c.Name,
+			Documents:     1,
+			Versions:      n,
+			AvgParagraphs: float64(pars) / float64(n),
+			AvgSizeKB:     float64(bytes) / float64(n) / 1024,
+		})
+	}
+	return out
+}
+
+// EbookStats summarises the e-book corpus as one row.
+func EbookStats(books []Ebook) Stats {
+	var pars, bytes int
+	for _, b := range books {
+		pars += len(b.Paragraphs)
+		bytes += b.SizeBytes()
+	}
+	s := Stats{
+		Dataset:   "Ebooks",
+		Name:      "Books",
+		Documents: len(books),
+		Versions:  1,
+	}
+	if len(books) > 0 {
+		s.AvgParagraphs = float64(pars) / float64(len(books))
+		s.AvgSizeKB = float64(bytes) / float64(len(books)) / 1024
+	}
+	return s
+}
+
+// FormatTable renders rows in the layout of Table 1.
+func FormatTable(rows []Stats) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-22s %9s %8s %10s %9s\n",
+		"Dataset", "Name", "Documents", "Versions", "Paragraphs", "Size(KB)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %-22s %9d %8d %10.0f %9.1f\n",
+			r.Dataset, r.Name, r.Documents, r.Versions, r.AvgParagraphs, r.AvgSizeKB)
+	}
+	return sb.String()
+}

@@ -1,0 +1,157 @@
+package disclosure
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAttributeFindsCopiedPassage(t *testing.T) {
+	tr := newTracker(t, testParams())
+	if _, err := tr.ObserveParagraph("wiki#p0", wikiText); err != nil {
+		t.Fatal(err)
+	}
+	prefix := "Here are my own notes before the copied part: "
+	suffix := " and some trailing thoughts after it."
+	observed := prefix + wikiText + suffix
+
+	spans, err := tr.AttributeParagraph(observed, "wiki#p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans attributed")
+	}
+	// Every span must land inside (or at least overlap) the copied region.
+	copiedStart, copiedEnd := len(prefix), len(prefix)+len(wikiText)
+	for _, s := range spans {
+		if s.End <= copiedStart || s.Start >= copiedEnd {
+			t.Errorf("span %+v (%q) outside the copied region", s, observed[s.Start:s.End])
+		}
+	}
+	// The spans collectively cover a meaningful part of the copy.
+	total := 0
+	for _, s := range spans {
+		total += s.Len()
+	}
+	if total < len(wikiText)/4 {
+		t.Errorf("attributed %d bytes, want at least %d", total, len(wikiText)/4)
+	}
+}
+
+func TestAttributeNothingForUnrelatedText(t *testing.T) {
+	tr := newTracker(t, testParams())
+	if _, err := tr.ObserveParagraph("wiki#p0", wikiText); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := tr.AttributeParagraph(otherText, "wiki#p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 0 {
+		t.Errorf("unrelated text attributed spans: %v", spans)
+	}
+}
+
+func TestAttributeUnknownSource(t *testing.T) {
+	tr := newTracker(t, testParams())
+	spans, err := tr.AttributeParagraph(wikiText, "ghost#p0")
+	if err != nil || spans != nil {
+		t.Errorf("unknown source: spans=%v err=%v", spans, err)
+	}
+}
+
+func TestAttributeRespectsAuthority(t *testing.T) {
+	// B holds the same text but observed later; attribution against B must
+	// be empty because A is the authoritative source of every hash.
+	tr := newTracker(t, testParams())
+	if _, err := tr.ObserveParagraph("A#p0", wikiText); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ObserveParagraph("B#p0", wikiText); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := tr.AttributeParagraph(wikiText, "B#p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 0 {
+		t.Errorf("non-authoritative source attributed: %v", spans)
+	}
+	spansA, err := tr.AttributeParagraph(wikiText, "A#p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spansA) == 0 {
+		t.Error("authoritative source attributed nothing")
+	}
+}
+
+func TestAttributeDocumentGranularity(t *testing.T) {
+	tr := newTracker(t, testParams())
+	doc := wikiText + "\n\n" + otherText
+	if _, err := tr.ObserveDocument("wiki/doc", doc); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := tr.AttributeDocument(wikiText, "wiki/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Error("document attribution empty")
+	}
+}
+
+func TestMergeSpans(t *testing.T) {
+	tests := []struct {
+		name string
+		give []Span
+		want []Span
+	}{
+		{name: "empty", give: nil, want: nil},
+		{name: "disjoint", give: []Span{{0, 2}, {5, 7}}, want: []Span{{0, 2}, {5, 7}}},
+		{name: "overlapping", give: []Span{{0, 5}, {3, 8}}, want: []Span{{0, 8}}},
+		{name: "touching", give: []Span{{0, 3}, {3, 6}}, want: []Span{{0, 6}}},
+		{name: "unsorted nested", give: []Span{{4, 6}, {0, 10}}, want: []Span{{0, 10}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := mergeSpans(append([]Span(nil), tt.give...))
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+			for i := range tt.want {
+				if got[i] != tt.want[i] {
+					t.Errorf("got %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestSpanLen(t *testing.T) {
+	if (Span{Start: 3, End: 10}).Len() != 7 {
+		t.Error("Span.Len wrong")
+	}
+}
+
+// Attribution output can be used to highlight: verify the spans select
+// text resembling the source.
+func TestAttributeSpansPointAtSourceWords(t *testing.T) {
+	tr := newTracker(t, testParams())
+	if _, err := tr.ObserveParagraph("wiki#p0", wikiText); err != nil {
+		t.Fatal(err)
+	}
+	observed := "intro words " + wikiText
+	spans, err := tr.AttributeParagraph(observed, "wiki#p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var highlighted strings.Builder
+	for _, s := range spans {
+		highlighted.WriteString(observed[s.Start:s.End])
+		highlighted.WriteByte(' ')
+	}
+	if !strings.Contains(highlighted.String(), "interview") {
+		t.Errorf("highlighted text %q misses source content", highlighted.String())
+	}
+}

@@ -1,0 +1,338 @@
+// Package disclosure implements BrowserFlow's imprecise data flow tracking
+// (§4): the document/paragraph disclosure metrics, their authoritative
+// adjustment for overlapping documents (§4.3), and Algorithm 1, which
+// answers the information disclosure problem — "what is the set of original
+// sources in the database that this text discloses significant information
+// from currently?".
+package disclosure
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/index"
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+// Params configures a Tracker. The zero value is not usable; use
+// DefaultParams.
+type Params struct {
+	// Fingerprint holds the winnowing parameters (paper: 15-char n-grams,
+	// window 30, 32-bit hashes).
+	Fingerprint fingerprint.Config
+
+	// Tpar is the default paragraph disclosure threshold (paper: 0.5).
+	Tpar float64
+
+	// Tdoc is the default document disclosure threshold (paper: 0.5).
+	Tdoc float64
+
+	// DisableAuthoritative turns off the authoritative-fingerprint
+	// adjustment of §4.3 and uses raw pairwise containment. Only used by
+	// the ablation experiments; leave false in production.
+	DisableAuthoritative bool
+
+	// DisableCache turns off the fingerprint-keyed decision cache. Only
+	// used by the ablation experiments.
+	DisableCache bool
+
+	// Incremental enables the §4.3 incremental evaluation of Algorithm 1:
+	// re-observations only inspect hashes added since the previous
+	// observation plus the previous sources. Per-edit cost becomes
+	// proportional to the edit, at the cost of refreshing a *source's*
+	// changed disclosure value lazily (the paper's behaviour).
+	Incremental bool
+}
+
+// DefaultParams returns the configuration used in the paper's evaluation.
+func DefaultParams() Params {
+	return Params{
+		Fingerprint: fingerprint.DefaultConfig(),
+		Tpar:        0.5,
+		Tdoc:        0.5,
+	}
+}
+
+// Source is one origin segment from which significant information is being
+// disclosed.
+type Source struct {
+	// Seg is the origin segment (paragraph or document).
+	Seg segment.ID
+
+	// Disclosure is D(src, target) in [0, 1] using the authoritative
+	// fingerprint of the source.
+	Disclosure float64
+
+	// Threshold is the origin's disclosure threshold that was met.
+	Threshold float64
+}
+
+// Report is the outcome of observing one text segment.
+type Report struct {
+	// Seg is the observed segment.
+	Seg segment.ID
+
+	// Granularity records whether this was a paragraph or document
+	// observation.
+	Granularity segment.Granularity
+
+	// FingerprintLen is the number of distinct hashes of the observed text.
+	FingerprintLen int
+
+	// Sources lists the origin segments whose disclosure requirement the
+	// observed text meets, sorted by descending disclosure.
+	Sources []Source
+
+	// CacheHit reports whether the result was served from the decision
+	// cache (the fingerprint had not changed since the last observation).
+	CacheHit bool
+}
+
+// Disclosing reports whether the observation met any origin's disclosure
+// requirement.
+func (r Report) Disclosing() bool { return len(r.Sources) > 0 }
+
+// SourceSegs returns just the origin segment IDs.
+func (r Report) SourceSegs() []segment.ID {
+	out := make([]segment.ID, len(r.Sources))
+	for i, s := range r.Sources {
+		out[i] = s.Seg
+	}
+	return out
+}
+
+// Tracker maintains the paragraph- and document-granularity fingerprint
+// databases and serves disclosure queries. It is safe for concurrent use.
+type Tracker struct {
+	params Params
+
+	pars *index.DB
+	docs *index.DB
+
+	mu    sync.Mutex
+	cache map[segment.ID]cacheEntry
+	prev  map[segment.ID]prevState
+}
+
+type cacheEntry struct {
+	digest uint64
+	report Report
+}
+
+// NewTracker returns a Tracker with the given parameters.
+func NewTracker(params Params) (*Tracker, error) {
+	if err := params.Fingerprint.Validate(); err != nil {
+		return nil, err
+	}
+	if params.Tpar < 0 || params.Tpar > 1 {
+		return nil, fmt.Errorf("disclosure: Tpar %v out of [0,1]", params.Tpar)
+	}
+	if params.Tdoc < 0 || params.Tdoc > 1 {
+		return nil, fmt.Errorf("disclosure: Tdoc %v out of [0,1]", params.Tdoc)
+	}
+	return &Tracker{
+		params: params,
+		pars:   index.New(params.Tpar),
+		docs:   index.New(params.Tdoc),
+		cache:  make(map[segment.ID]cacheEntry),
+		prev:   make(map[segment.ID]prevState),
+	}, nil
+}
+
+// Params returns the tracker's configuration.
+func (t *Tracker) Params() Params { return t.params }
+
+// Paragraphs exposes the paragraph-granularity database (read-mostly use:
+// stats, thresholds, persistence).
+func (t *Tracker) Paragraphs() *index.DB { return t.pars }
+
+// Documents exposes the document-granularity database.
+func (t *Tracker) Documents() *index.DB { return t.docs }
+
+// Fingerprint computes the fingerprint of text under the tracker's
+// parameters without updating any state.
+func (t *Tracker) Fingerprint(text string) (*fingerprint.Fingerprint, error) {
+	return fingerprint.Compute(text, t.params.Fingerprint)
+}
+
+// ObserveParagraph records the current text of a paragraph segment and
+// returns the set of origin paragraphs it now discloses. This is the per-
+// keystroke entry point of the middleware: the decision cache means that
+// edits that do not change the winnowed fingerprint are answered without
+// recomputing Algorithm 1.
+func (t *Tracker) ObserveParagraph(seg segment.ID, text string) (Report, error) {
+	return t.observe(seg, text, segment.GranularityParagraph, t.pars)
+}
+
+// ObserveDocument records the current text of a whole document and returns
+// the origin documents it discloses.
+func (t *Tracker) ObserveDocument(seg segment.ID, text string) (Report, error) {
+	return t.observe(seg, text, segment.GranularityDocument, t.docs)
+}
+
+// ObserveParagraphFP is ObserveParagraph for a fingerprint computed by the
+// caller — the entry point for remote clients that keep text on-device and
+// ship hashes only (tag-server deployments).
+func (t *Tracker) ObserveParagraphFP(seg segment.ID, fp *fingerprint.Fingerprint) (Report, error) {
+	return t.observeFP(seg, fp, segment.GranularityParagraph, t.pars)
+}
+
+// ObserveDocumentFP is ObserveDocument for a caller-computed fingerprint.
+func (t *Tracker) ObserveDocumentFP(seg segment.ID, fp *fingerprint.Fingerprint) (Report, error) {
+	return t.observeFP(seg, fp, segment.GranularityDocument, t.docs)
+}
+
+// QueryParagraphFP runs Algorithm 1 for a caller-computed fingerprint
+// without recording it.
+func (t *Tracker) QueryParagraphFP(fp *fingerprint.Fingerprint, exclude segment.ID) []Source {
+	return t.sources(fp, exclude, t.pars)
+}
+
+func (t *Tracker) observe(seg segment.ID, text string, g segment.Granularity, db *index.DB) (Report, error) {
+	fp, err := fingerprint.Compute(text, t.params.Fingerprint)
+	if err != nil {
+		return Report{}, err
+	}
+	return t.observeFP(seg, fp, g, db)
+}
+
+func (t *Tracker) observeFP(seg segment.ID, fp *fingerprint.Fingerprint, g segment.Granularity, db *index.DB) (Report, error) {
+	digest := fp.Digest()
+	if !t.params.DisableCache {
+		t.mu.Lock()
+		if entry, ok := t.cache[seg]; ok && entry.digest == digest {
+			report := entry.report
+			report.CacheHit = true
+			t.mu.Unlock()
+			return report, nil
+		}
+		t.mu.Unlock()
+	}
+
+	var sources []Source
+	if t.params.Incremental {
+		t.mu.Lock()
+		prev, hasPrev := t.prev[seg]
+		t.mu.Unlock()
+		if hasPrev {
+			sources = t.incrementalSources(fp, seg, db, prev)
+		} else {
+			sources = t.sources(fp, seg, db)
+		}
+	} else {
+		sources = t.sources(fp, seg, db)
+	}
+	db.Update(seg, fp)
+
+	report := Report{
+		Seg:            seg,
+		Granularity:    g,
+		FingerprintLen: fp.Len(),
+		Sources:        sources,
+	}
+	t.mu.Lock()
+	if !t.params.DisableCache {
+		t.cache[seg] = cacheEntry{digest: digest, report: report}
+	}
+	if t.params.Incremental {
+		t.prev[seg] = prevState{fp: fp, sources: sources}
+	}
+	t.mu.Unlock()
+	return report, nil
+}
+
+// QueryParagraph runs Algorithm 1 for text against the paragraph database
+// without recording the text as a new observation.
+func (t *Tracker) QueryParagraph(text string, exclude segment.ID) ([]Source, error) {
+	fp, err := fingerprint.Compute(text, t.params.Fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	return t.sources(fp, exclude, t.pars), nil
+}
+
+// QueryDocument is QueryParagraph at document granularity.
+func (t *Tracker) QueryDocument(text string, exclude segment.ID) ([]Source, error) {
+	fp, err := fingerprint.Compute(text, t.params.Fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	return t.sources(fp, exclude, t.docs), nil
+}
+
+// sources implements Algorithm 1 of the paper: it returns the origin
+// segments whose (authoritative) disclosure towards fp meets their
+// threshold. Candidates are discovered through the oldest holder of each of
+// fp's hashes, so the complexity is linear in the number of segments that
+// share at least one hash with fp.
+func (t *Tracker) sources(fp *fingerprint.Fingerprint, self segment.ID, db *index.DB) []Source {
+	if fp.Empty() {
+		return nil
+	}
+	checked := make(map[segment.ID]bool)
+	var out []Source
+	for _, h := range fp.Hashes() {
+		for _, p := range t.candidatesFor(h, db) {
+			if p == self || checked[p] {
+				continue
+			}
+			checked[p] = true
+			if src, ok := t.evaluateCandidate(fp, p, db); ok {
+				out = append(out, src)
+			}
+		}
+	}
+	sortSources(out)
+	return out
+}
+
+// candidatesFor returns the candidate origin segments for hash h. With the
+// authoritative adjustment enabled this is just the oldest holder (younger
+// holders cannot contribute authoritative hashes); with it disabled, every
+// holder is a candidate.
+func (t *Tracker) candidatesFor(h uint32, db *index.DB) []segment.ID {
+	if t.params.DisableAuthoritative {
+		return db.Holders(h)
+	}
+	if holder, ok := db.OldestHolder(h); ok {
+		return []segment.ID{holder}
+	}
+	return nil
+}
+
+// Pairwise returns the unadjusted pairwise disclosure D(a, b) = |F(a) ∩
+// F(b)| / |F(a)| between two texts, the §4.2 definition before the
+// overlapping-documents fix. It is independent of tracker state.
+func (t *Tracker) Pairwise(a, b string) (float64, error) {
+	fa, err := fingerprint.Compute(a, t.params.Fingerprint)
+	if err != nil {
+		return 0, err
+	}
+	fb, err := fingerprint.Compute(b, t.params.Fingerprint)
+	if err != nil {
+		return 0, err
+	}
+	return fa.Containment(fb), nil
+}
+
+// Forget removes a segment from the given granularity's database and from
+// the decision cache.
+func (t *Tracker) Forget(seg segment.ID, g segment.Granularity) {
+	db := t.pars
+	if g == segment.GranularityDocument {
+		db = t.docs
+	}
+	db.RemoveSegment(seg)
+	t.mu.Lock()
+	delete(t.cache, seg)
+	delete(t.prev, seg)
+	t.mu.Unlock()
+}
+
+// CacheLen returns the number of cached decisions (for tests and metrics).
+func (t *Tracker) CacheLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.cache)
+}

@@ -1,0 +1,109 @@
+package disclosure
+
+import (
+	"sort"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/index"
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+// Incremental evaluation of Algorithm 1 (§4.3): "It can operate in an
+// incremental fashion: if a user edits paragraph P by adding one hash h,
+// the algorithm's main loop only needs to inspect h."
+//
+// When a segment is re-observed, only two candidate groups can change its
+// source set:
+//
+//   - oldest holders of hashes *added* to the fingerprint — a segment that
+//     was not a source can only become one if its authoritative overlap
+//     grew, which requires a newly shared hash; and
+//   - the *previous* sources — removals can push them below threshold.
+//
+// Everything else is untouched, so the per-edit cost is proportional to
+// the edit, not to the paragraph. Like the paper's implementation this
+// trades a sliver of precision for speed: if a *source's own* text changed
+// since the last observation, its disclosure value is refreshed only when
+// one of the two candidate groups surfaces it (BrowserFlow "only updates
+// the label of the text segment being edited", §3.2).
+
+// prevState remembers the last evaluation of a segment for delta
+// computation.
+type prevState struct {
+	fp      *fingerprint.Fingerprint
+	sources []Source
+}
+
+// incrementalSources runs the restricted candidate evaluation. prev is the
+// previous state of seg; fp is the new fingerprint.
+func (t *Tracker) incrementalSources(fp *fingerprint.Fingerprint, seg segment.ID, db *index.DB, prev prevState) []Source {
+	if fp.Empty() {
+		return nil
+	}
+	checked := make(map[segment.ID]bool)
+	var out []Source
+
+	evaluate := func(p segment.ID) {
+		if p == seg || checked[p] {
+			return
+		}
+		checked[p] = true
+		if src, ok := t.evaluateCandidate(fp, p, db); ok {
+			out = append(out, src)
+		}
+	}
+
+	// Group 1: oldest holders of added hashes.
+	for _, h := range fp.Hashes() {
+		if prev.fp != nil && prev.fp.Contains(h) {
+			continue
+		}
+		if holder, ok := db.OldestHolder(h); ok {
+			evaluate(holder)
+		}
+	}
+	// Group 2: previous sources (may have dropped below threshold).
+	for _, src := range prev.sources {
+		evaluate(src.Seg)
+	}
+
+	sortSources(out)
+	return out
+}
+
+// evaluateCandidate runs the per-candidate body of Algorithm 1: threshold
+// lookup, early discard, authoritative overlap, decision.
+func (t *Tracker) evaluateCandidate(fp *fingerprint.Fingerprint, p segment.ID, db *index.DB) (Source, bool) {
+	threshold := db.Threshold(p)
+	origin, ok := db.Fingerprint(p)
+	if !ok || origin.Empty() {
+		return Source{}, false
+	}
+	if float64(origin.Len())*threshold > float64(fp.Len()) {
+		return Source{}, false
+	}
+	var overlap, originLen int
+	if t.params.DisableAuthoritative {
+		overlap = origin.IntersectCount(fp)
+		originLen = origin.Len()
+	} else {
+		overlap, originLen = db.AuthoritativeOverlap(p, fp)
+	}
+	if originLen == 0 || overlap == 0 {
+		return Source{}, false
+	}
+	d := float64(overlap) / float64(originLen)
+	if d < threshold {
+		return Source{}, false
+	}
+	return Source{Seg: p, Disclosure: d, Threshold: threshold}, true
+}
+
+func sortSources(out []Source) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Disclosure != out[j].Disclosure {
+			return out[i].Disclosure > out[j].Disclosure
+		}
+		return out[i].Seg < out[j].Seg
+	})
+}

@@ -1,0 +1,174 @@
+package disclosure
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+func incParams() Params {
+	p := testParams()
+	p.Incremental = true
+	return p
+}
+
+func TestIncrementalDetectsNewDisclosure(t *testing.T) {
+	tr := newTracker(t, incParams())
+	if _, err := tr.ObserveParagraph("wiki#p0", wikiText); err != nil {
+		t.Fatal(err)
+	}
+	// First observation of the destination (full path).
+	if _, err := tr.ObserveParagraph("docs#p0", "Starting with some harmless words about office plants and chairs."); err != nil {
+		t.Fatal(err)
+	}
+	// Append the sensitive text: incremental path must find the source.
+	report, err := tr.ObserveParagraph("docs#p0", "Starting with some harmless words about office plants and chairs. "+wikiText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Disclosing() || report.Sources[0].Seg != "wiki#p0" {
+		t.Fatalf("incremental append missed disclosure: %+v", report)
+	}
+}
+
+func TestIncrementalDropsStaleSource(t *testing.T) {
+	tr := newTracker(t, incParams())
+	if _, err := tr.ObserveParagraph("wiki#p0", wikiText); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ObserveParagraph("docs#p0", wikiText); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite: previous source must be re-evaluated and dropped.
+	report, err := tr.ObserveParagraph("docs#p0", "Entirely new content about botanical gardens, greenhouses and seasonal pruning schedules.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Disclosing() {
+		t.Errorf("stale source survived rewrite: %v", report.SourceSegs())
+	}
+}
+
+// Incremental and full evaluation agree on single-writer edit sequences.
+func TestIncrementalMatchesFullEvaluation(t *testing.T) {
+	words := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot",
+		"golf", "hotel", "india", "juliett", "kilo", "lima"}
+	rng := rand.New(rand.NewSource(2024))
+	mkText := func(n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		return sb.String()
+	}
+
+	full := newTracker(t, testParams())
+	inc := newTracker(t, incParams())
+
+	// Shared corpus of sources.
+	for i := 0; i < 10; i++ {
+		text := mkText(25)
+		seg := segment.ID(fmt.Sprintf("src#%d", i))
+		if _, err := full.ObserveParagraph(seg, text); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inc.ObserveParagraph(seg, text); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One destination paragraph evolving over 30 edits.
+	cur := mkText(10)
+	for step := 0; step < 30; step++ {
+		switch rng.Intn(3) {
+		case 0:
+			cur += " " + mkText(5)
+		case 1:
+			f := strings.Fields(cur)
+			if len(f) > 6 {
+				cur = strings.Join(f[:len(f)-4], " ")
+			}
+		case 2:
+			cur += " " + words[rng.Intn(len(words))]
+		}
+		rf, err := full.ObserveParagraph("dst#p0", cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri, err := inc.ObserveParagraph("dst#p0", cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullSegs := fmt.Sprint(rf.SourceSegs())
+		incSegs := fmt.Sprint(ri.SourceSegs())
+		if fullSegs != incSegs {
+			t.Fatalf("step %d: full=%v incremental=%v (text %q)", step, fullSegs, incSegs, cur)
+		}
+	}
+}
+
+func TestIncrementalForgetClearsState(t *testing.T) {
+	tr := newTracker(t, incParams())
+	if _, err := tr.ObserveParagraph("wiki#p0", wikiText); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ObserveParagraph("docs#p0", wikiText); err != nil {
+		t.Fatal(err)
+	}
+	tr.Forget("docs#p0", segment.GranularityParagraph)
+	// Re-observing after Forget takes the full path and still works.
+	report, err := tr.ObserveParagraph("docs#p0", wikiText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Disclosing() {
+		t.Error("post-Forget observation missed disclosure")
+	}
+}
+
+// The incremental path's cost is proportional to the edit, not the
+// paragraph: benchmark appending words to a large paragraph.
+func BenchmarkIncrementalAppend(b *testing.B) { benchAppend(b, true) }
+func BenchmarkFullAppend(b *testing.B)        { benchAppend(b, false) }
+
+func benchAppend(b *testing.B, incremental bool) {
+	p := DefaultParams()
+	p.Incremental = incremental
+	p.DisableCache = true // isolate the Algorithm 1 cost
+	tr, err := NewTracker(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	words := []string{"storage", "compute", "network", "billing", "support",
+		"region", "cluster", "tenant", "replica", "quorum"}
+	mk := func(n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		return sb.String()
+	}
+	// 50 source paragraphs the destination overlaps.
+	for i := 0; i < 50; i++ {
+		if _, err := tr.ObserveParagraph(segment.ID(fmt.Sprintf("src#%d", i)), mk(40)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cur := mk(400)
+	if _, err := tr.ObserveParagraph("dst#p0", cur); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur += words[i%len(words)] + " "
+		if _, err := tr.ObserveParagraph("dst#p0", cur); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

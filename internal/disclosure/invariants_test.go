@@ -1,0 +1,138 @@
+package disclosure
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+// Property-based invariants of imprecise data flow tracking (§4).
+
+func randomSentence(rng *rand.Rand, words int) string {
+	vocab := []string{"ledger", "invoice", "payroll", "forecast", "audit",
+		"budget", "reserve", "accrual", "margin", "liability"}
+	var sb strings.Builder
+	for i := 0; i < words; i++ {
+		sb.WriteString(vocab[rng.Intn(len(vocab))])
+		sb.WriteByte(' ')
+	}
+	return sb.String()
+}
+
+// Invariant: adding unrelated sources never hides a verbatim copy.
+func TestQuickDetectionStableUnderMoreSources(t *testing.T) {
+	f := func(seed int64, extraRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := NewTracker(testParams())
+		if err != nil {
+			return false
+		}
+		secret := randomSentence(rng, 25)
+		if _, err := tr.ObserveParagraph("src#p0", secret); err != nil {
+			return false
+		}
+		// Unrelated noise sources.
+		for i := 0; i < int(extraRaw)%20; i++ {
+			noise := randomSentence(rng, 20)
+			if _, err := tr.ObserveParagraph(segment.ID(fmt.Sprintf("noise#%d", i)), noise); err != nil {
+				return false
+			}
+		}
+		report, err := tr.ObserveParagraph("dst#p0", secret)
+		if err != nil {
+			return false
+		}
+		for _, s := range report.Sources {
+			if s.Seg == "src#p0" {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Invariant: lowering a source's threshold never loses a detection.
+func TestQuickDetectionMonotoneInThreshold(t *testing.T) {
+	f := func(seed int64, cut uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		secret := randomSentence(rng, 30)
+		fraction := 0.3 + float64(cut%60)/100 // 0.3..0.89
+		partial := secret[:int(float64(len(secret))*fraction)]
+
+		detectAt := func(threshold float64) (bool, error) {
+			tr, err := NewTracker(testParams())
+			if err != nil {
+				return false, err
+			}
+			if _, err := tr.ObserveParagraph("src#p0", secret); err != nil {
+				return false, err
+			}
+			tr.Paragraphs().SetThreshold("src#p0", threshold)
+			report, err := tr.ObserveParagraph("dst#p0", partial)
+			if err != nil {
+				return false, err
+			}
+			return report.Disclosing(), nil
+		}
+		high, err := detectAt(0.7)
+		if err != nil {
+			return false
+		}
+		low, err := detectAt(0.2)
+		if err != nil {
+			return false
+		}
+		// Detection at the higher threshold implies detection at the lower.
+		return !high || low
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Invariant: disclosure values are always within [0, 1] and sources sorted
+// descending.
+func TestQuickReportWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := NewTracker(testParams())
+		if err != nil {
+			return false
+		}
+		base := randomSentence(rng, 25)
+		for i := 0; i < 5; i++ {
+			variant := base
+			if i%2 == 0 {
+				variant = base + randomSentence(rng, 5)
+			}
+			if _, err := tr.ObserveParagraph(segment.ID(fmt.Sprintf("v#%d", i)), variant); err != nil {
+				return false
+			}
+		}
+		report, err := tr.ObserveParagraph("probe#p0", base)
+		if err != nil {
+			return false
+		}
+		prev := 2.0
+		for _, s := range report.Sources {
+			if s.Disclosure < 0 || s.Disclosure > 1 {
+				return false
+			}
+			if s.Disclosure > prev {
+				return false
+			}
+			prev = s.Disclosure
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package dlpmon implements the comparison baseline of §2.2: a
+// network-level data-leakage-prevention (DLP) monitor in the style of
+// application-level firewalls. It inspects *outgoing HTTP request bodies*
+// for fingerprint matches against a corpus of sensitive documents and can
+// block matching requests.
+//
+// The baseline deliberately has the limitations the paper attributes to
+// network DLP:
+//
+//   - it only understands wire formats it has decoders for (form-encoded
+//     and JSON by default) — obfuscated or proprietary formats must be
+//     reverse-engineered per service;
+//   - it sees data only at the network boundary, after any client-side
+//     encoding/encryption; and
+//   - it has no notion of labels or transitive propagation: it can only
+//     compare bytes against the registered corpus.
+//
+// BrowserFlow's in-browser interception avoids all three (§5), which the
+// RunBaselineComparison experiment quantifies.
+package dlpmon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+)
+
+// Match is one sensitive document detected in an outgoing request.
+type Match struct {
+	// Name identifies the sensitive document.
+	Name string
+
+	// Containment is the fraction of the document's fingerprint found in
+	// the request body.
+	Containment float64
+}
+
+// Verdict is the outcome of inspecting one request.
+type Verdict struct {
+	// Inspected reports whether any decoder produced text to scan.
+	Inspected bool
+
+	// Matches lists the sensitive documents the body disclosed, by
+	// descending containment.
+	Matches []Match
+}
+
+// Blocked reports whether the monitor would block the request.
+func (v Verdict) Blocked() bool { return len(v.Matches) > 0 }
+
+// Decoder extracts scannable text from a request body of a given content
+// type. ok=false means the decoder does not apply.
+type Decoder func(contentType string, body []byte) (text string, ok bool)
+
+// FormDecoder handles application/x-www-form-urlencoded bodies by
+// concatenating all field values.
+func FormDecoder(contentType string, body []byte) (string, bool) {
+	if !strings.HasPrefix(contentType, "application/x-www-form-urlencoded") {
+		return "", false
+	}
+	values, err := url.ParseQuery(string(body))
+	if err != nil {
+		return "", false
+	}
+	var parts []string
+	for _, vs := range values {
+		parts = append(parts, vs...)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\n"), true
+}
+
+// JSONDecoder handles application/json bodies by collecting every string
+// value in the document.
+func JSONDecoder(contentType string, body []byte) (string, bool) {
+	if !strings.HasPrefix(contentType, "application/json") {
+		return "", false
+	}
+	var doc interface{}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return "", false
+	}
+	var parts []string
+	collectStrings(doc, &parts)
+	return strings.Join(parts, "\n"), true
+}
+
+func collectStrings(v interface{}, out *[]string) {
+	switch x := v.(type) {
+	case string:
+		*out = append(*out, x)
+	case []interface{}:
+		for _, e := range x {
+			collectStrings(e, out)
+		}
+	case map[string]interface{}:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			collectStrings(x[k], out)
+		}
+	}
+}
+
+// Config configures a Monitor.
+type Config struct {
+	// Fingerprint holds the winnowing parameters (defaults to the paper's
+	// 15/30 when zero).
+	Fingerprint fingerprint.Config
+
+	// Threshold is the containment above which a document counts as
+	// disclosed (defaults to 0.5).
+	Threshold float64
+
+	// Decoders are tried in order; the first that applies wins. Defaults
+	// to FormDecoder then JSONDecoder.
+	Decoders []Decoder
+}
+
+// Monitor is a network-level DLP scanner. It is safe for concurrent use.
+type Monitor struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	corpus map[string]*fingerprint.Fingerprint
+}
+
+// New returns a Monitor.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Fingerprint == (fingerprint.Config{}) {
+		cfg.Fingerprint = fingerprint.DefaultConfig()
+	}
+	if err := cfg.Fingerprint.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 0.5
+	}
+	if cfg.Threshold < 0 || cfg.Threshold > 1 {
+		return nil, fmt.Errorf("dlpmon: threshold %v out of [0,1]", cfg.Threshold)
+	}
+	if cfg.Decoders == nil {
+		cfg.Decoders = []Decoder{FormDecoder, JSONDecoder}
+	}
+	return &Monitor{
+		cfg:    cfg,
+		corpus: make(map[string]*fingerprint.Fingerprint),
+	}, nil
+}
+
+// AddSensitive registers a sensitive document under name.
+func (m *Monitor) AddSensitive(name, text string) error {
+	fp, err := fingerprint.Compute(text, m.cfg.Fingerprint)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.corpus[name] = fp
+	m.mu.Unlock()
+	return nil
+}
+
+// CorpusSize returns the number of registered documents.
+func (m *Monitor) CorpusSize() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.corpus)
+}
+
+// InspectBody scans a raw body with the configured decoders.
+func (m *Monitor) InspectBody(contentType string, body []byte) (Verdict, error) {
+	var text string
+	decoded := false
+	for _, dec := range m.cfg.Decoders {
+		if t, ok := dec(contentType, body); ok {
+			text, decoded = t, true
+			break
+		}
+	}
+	if !decoded {
+		return Verdict{}, nil
+	}
+	bodyFP, err := fingerprint.Compute(text, m.cfg.Fingerprint)
+	if err != nil {
+		return Verdict{}, err
+	}
+	verdict := Verdict{Inspected: true}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for name, fp := range m.corpus {
+		if fp.Empty() {
+			continue
+		}
+		if c := fp.Containment(bodyFP); c >= m.cfg.Threshold {
+			verdict.Matches = append(verdict.Matches, Match{Name: name, Containment: c})
+		}
+	}
+	sort.Slice(verdict.Matches, func(i, j int) bool {
+		if verdict.Matches[i].Containment != verdict.Matches[j].Containment {
+			return verdict.Matches[i].Containment > verdict.Matches[j].Containment
+		}
+		return verdict.Matches[i].Name < verdict.Matches[j].Name
+	})
+	return verdict, nil
+}
+
+// InspectRequest scans an *http.Request, restoring its body for onward
+// transmission.
+func (m *Monitor) InspectRequest(req *http.Request) (Verdict, error) {
+	if req.Body == nil {
+		return Verdict{}, nil
+	}
+	body, err := io.ReadAll(req.Body)
+	req.Body.Close()
+	if err != nil {
+		return Verdict{}, fmt.Errorf("dlpmon: read body: %w", err)
+	}
+	req.Body = io.NopCloser(bytes.NewReader(body))
+	return m.InspectBody(req.Header.Get("Content-Type"), body)
+}
+
+// blockedError is returned through the transport when a request matches.
+type blockedError struct {
+	matches []Match
+}
+
+func (e *blockedError) Error() string {
+	names := make([]string, len(e.matches))
+	for i, m := range e.matches {
+		names[i] = m.Name
+	}
+	return "dlpmon: request blocked, discloses " + strings.Join(names, ", ")
+}
+
+// RoundTripper wraps next so that matching requests are blocked at the
+// network boundary — the application-firewall deployment model.
+func (m *Monitor) RoundTripper(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return roundTripperFunc(func(req *http.Request) (*http.Response, error) {
+		verdict, err := m.InspectRequest(req)
+		if err != nil {
+			return nil, err
+		}
+		if verdict.Blocked() {
+			return nil, &blockedError{matches: verdict.Matches}
+		}
+		return next.RoundTrip(req)
+	})
+}
+
+type roundTripperFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripperFunc) RoundTrip(req *http.Request) (*http.Response, error) {
+	return f(req)
+}

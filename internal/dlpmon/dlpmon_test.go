@@ -1,0 +1,207 @@
+package dlpmon
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+)
+
+const sensitive = "The board approved acquiring the storage startup for ninety million dollars, pending regulatory review in two jurisdictions."
+
+func newMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	m, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSensitive("board-minutes", sensitive); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Threshold: 2}); err == nil {
+		t.Error("bad threshold accepted")
+	}
+	if _, err := New(Config{Fingerprint: fingerprint.Config{NGram: -1, Window: 1}}); err == nil {
+		t.Error("bad fingerprint config accepted")
+	}
+	m, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CorpusSize() != 0 {
+		t.Error("fresh monitor has corpus entries")
+	}
+}
+
+func TestDetectsFormExfiltration(t *testing.T) {
+	m := newMonitor(t)
+	body := url.Values{"content": {sensitive}, "csrf": {"tok"}}.Encode()
+	v, err := m.InspectBody("application/x-www-form-urlencoded", []byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Inspected || !v.Blocked() {
+		t.Fatalf("form exfiltration missed: %+v", v)
+	}
+	if v.Matches[0].Name != "board-minutes" || v.Matches[0].Containment < 0.9 {
+		t.Errorf("match=%+v", v.Matches[0])
+	}
+}
+
+func TestDetectsJSONExfiltration(t *testing.T) {
+	m := newMonitor(t)
+	body, _ := json.Marshal(map[string]interface{}{
+		"op":   "replace",
+		"par":  3,
+		"text": sensitive,
+	})
+	v, err := m.InspectBody("application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Blocked() {
+		t.Fatalf("JSON exfiltration missed: %+v", v)
+	}
+}
+
+func TestCleanBodiesPass(t *testing.T) {
+	m := newMonitor(t)
+	body := url.Values{"content": {"A perfectly harmless status update about the cafeteria menu."}}.Encode()
+	v, err := m.InspectBody("application/x-www-form-urlencoded", []byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Blocked() {
+		t.Errorf("clean body blocked: %+v", v)
+	}
+}
+
+// The baseline's core weakness: an obfuscated wire format (base64 JSON
+// envelope) slips through because no decoder understands it.
+func TestObfuscatedPayloadEvadesBaseline(t *testing.T) {
+	m := newMonitor(t)
+	inner, _ := json.Marshal(map[string][]string{"paragraphs": {sensitive}})
+	envelope := url.Values{"payload": {base64.StdEncoding.EncodeToString(inner)}}.Encode()
+	v, err := m.InspectBody("application/x-www-form-urlencoded", []byte(envelope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Blocked() {
+		t.Error("baseline unexpectedly saw through the obfuscated envelope")
+	}
+	if !v.Inspected {
+		t.Error("form decoder should still have applied")
+	}
+}
+
+func TestUnknownContentTypeNotInspected(t *testing.T) {
+	m := newMonitor(t)
+	v, err := m.InspectBody("application/octet-stream", []byte(sensitive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Inspected || v.Blocked() {
+		t.Errorf("binary body inspected: %+v", v)
+	}
+}
+
+func TestInspectRequestRestoresBody(t *testing.T) {
+	m := newMonitor(t)
+	body := url.Values{"content": {sensitive}}.Encode()
+	req := httptest.NewRequest("POST", "http://x/submit", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	v, err := m.InspectRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Blocked() {
+		t.Fatal("request not blocked")
+	}
+	// Body must be readable again.
+	if err := req.ParseForm(); err != nil {
+		t.Fatal(err)
+	}
+	if req.PostFormValue("content") != sensitive {
+		t.Error("body not restored after inspection")
+	}
+}
+
+func TestInspectRequestNilBody(t *testing.T) {
+	m := newMonitor(t)
+	req := httptest.NewRequest("GET", "http://x/", nil)
+	req.Body = nil
+	v, err := m.InspectRequest(req)
+	if err != nil || v.Inspected {
+		t.Errorf("nil body: v=%+v err=%v", v, err)
+	}
+}
+
+func TestRoundTripperBlocks(t *testing.T) {
+	m := newMonitor(t)
+	reached := false
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reached = true
+	}))
+	defer backend.Close()
+	client := &http.Client{Transport: m.RoundTripper(nil)}
+
+	// Sensitive form post blocked.
+	_, err := client.PostForm(backend.URL, url.Values{"content": {sensitive}})
+	if err == nil || !strings.Contains(err.Error(), "board-minutes") {
+		t.Errorf("err=%v, want blocked error naming the document", err)
+	}
+	if reached {
+		t.Error("blocked request reached the backend")
+	}
+
+	// Clean post passes.
+	resp, err := client.PostForm(backend.URL, url.Values{"content": {"hello world"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !reached {
+		t.Error("clean request did not reach the backend")
+	}
+}
+
+func TestThresholdRespected(t *testing.T) {
+	m, err := New(Config{Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSensitive("doc", sensitive); err != nil {
+		t.Fatal(err)
+	}
+	// Half the document is below the 0.9 threshold.
+	half := sensitive[:len(sensitive)/2]
+	v, err := m.InspectBody("application/x-www-form-urlencoded", []byte(url.Values{"c": {half}}.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Blocked() {
+		t.Errorf("partial copy blocked at threshold 0.9: %+v", v)
+	}
+}
+
+func TestDecoders(t *testing.T) {
+	if _, ok := FormDecoder("text/plain", nil); ok {
+		t.Error("FormDecoder applied to wrong type")
+	}
+	if _, ok := JSONDecoder("application/json", []byte("{bad")); ok {
+		t.Error("JSONDecoder accepted malformed JSON")
+	}
+	text, ok := JSONDecoder("application/json", []byte(`{"a":["x","y"],"b":{"c":"z"}}`))
+	if !ok || !strings.Contains(text, "x") || !strings.Contains(text, "z") {
+		t.Errorf("JSONDecoder=%q,%v", text, ok)
+	}
+}

@@ -1,0 +1,240 @@
+package dom
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MutationType classifies a mutation record, mirroring the W3C DOM4
+// MutationObserver categories the paper's plug-in relies on (§5.2).
+type MutationType int
+
+const (
+	// MutationChildList reports added or removed children.
+	MutationChildList MutationType = iota + 1
+
+	// MutationCharacterData reports text node edits.
+	MutationCharacterData
+
+	// MutationAttributes reports attribute changes.
+	MutationAttributes
+)
+
+// String implements fmt.Stringer.
+func (m MutationType) String() string {
+	switch m {
+	case MutationChildList:
+		return "childList"
+	case MutationCharacterData:
+		return "characterData"
+	case MutationAttributes:
+		return "attributes"
+	default:
+		return fmt.Sprintf("mutation(%d)", int(m))
+	}
+}
+
+// MutationRecord describes one observed change.
+type MutationRecord struct {
+	Type     MutationType
+	Target   *Node
+	Added    []*Node
+	Removed  []*Node
+	OldText  string
+	AttrName string
+}
+
+// Observer receives mutation records for a subtree. Callbacks run
+// synchronously on the mutating goroutine, like microtask delivery in a
+// real browser event loop.
+type Observer struct {
+	root *Node
+	fn   func(MutationRecord)
+	doc  *Document
+}
+
+// Disconnect stops delivery to the observer.
+func (o *Observer) Disconnect() {
+	if o.doc != nil {
+		o.doc.removeObserver(o)
+	}
+}
+
+// Document owns a DOM tree and its observers. All mutations go through its
+// methods. It is safe for concurrent use.
+type Document struct {
+	mu        sync.Mutex
+	root      *Node
+	observers []*Observer
+}
+
+// NewDocument returns a Document with an empty <html> root.
+func NewDocument() *Document {
+	d := &Document{}
+	d.root = NewElement("html", nil)
+	d.adopt(d.root)
+	return d
+}
+
+// Root returns the document root element.
+func (d *Document) Root() *Node { return d.root }
+
+// adopt links a detached subtree to this document.
+func (d *Document) adopt(n *Node) {
+	n.Walk(func(node *Node) bool {
+		node.doc = d
+		return true
+	})
+}
+
+// Observe registers fn for all mutations within the subtree rooted at root.
+func (d *Document) Observe(root *Node, fn func(MutationRecord)) *Observer {
+	o := &Observer{root: root, fn: fn, doc: d}
+	d.mu.Lock()
+	d.observers = append(d.observers, o)
+	d.mu.Unlock()
+	return o
+}
+
+func (d *Document) removeObserver(o *Observer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, cur := range d.observers {
+		if cur == o {
+			d.observers = append(d.observers[:i], d.observers[i+1:]...)
+			return
+		}
+	}
+}
+
+// notify delivers rec to every observer whose root is an ancestor of the
+// target. Called with d.mu held; callbacks run outside the lock.
+func (d *Document) notifyLocked(rec MutationRecord) []*Observer {
+	var hit []*Observer
+	for _, o := range d.observers {
+		if rec.Target.HasAncestor(o.root) {
+			hit = append(hit, o)
+		}
+	}
+	return hit
+}
+
+func (d *Document) dispatch(rec MutationRecord) {
+	d.mu.Lock()
+	hit := d.notifyLocked(rec)
+	d.mu.Unlock()
+	for _, o := range hit {
+		o.fn(rec)
+	}
+}
+
+// AppendChild attaches child as the last child of parent.
+func (d *Document) AppendChild(parent, child *Node) error {
+	return d.InsertChild(parent, child, parent.ChildCount())
+}
+
+// InsertChild attaches child at position idx of parent's child list.
+func (d *Document) InsertChild(parent, child *Node, idx int) error {
+	if parent.doc != d {
+		return fmt.Errorf("dom: parent not owned by this document")
+	}
+	if child.parent != nil {
+		return fmt.Errorf("dom: child already attached")
+	}
+	if idx < 0 || idx > len(parent.children) {
+		return fmt.Errorf("dom: insert index %d out of range", idx)
+	}
+	d.adopt(child)
+	child.parent = parent
+	parent.children = append(parent.children, nil)
+	copy(parent.children[idx+1:], parent.children[idx:])
+	parent.children[idx] = child
+	d.dispatch(MutationRecord{
+		Type:   MutationChildList,
+		Target: parent,
+		Added:  []*Node{child},
+	})
+	return nil
+}
+
+// RemoveChild detaches child from parent.
+func (d *Document) RemoveChild(parent, child *Node) error {
+	if child.parent != parent {
+		return fmt.Errorf("dom: node is not a child of parent")
+	}
+	for i, c := range parent.children {
+		if c == child {
+			parent.children = append(parent.children[:i], parent.children[i+1:]...)
+			child.parent = nil
+			d.dispatch(MutationRecord{
+				Type:    MutationChildList,
+				Target:  parent,
+				Removed: []*Node{child},
+			})
+			return nil
+		}
+	}
+	return fmt.Errorf("dom: child not found")
+}
+
+// SetText replaces the character data of a text node.
+func (d *Document) SetText(n *Node, text string) error {
+	if n.Type != TextNode {
+		return fmt.Errorf("dom: SetText on %v node", n.Type)
+	}
+	if n.doc != d {
+		return fmt.Errorf("dom: node not owned by this document")
+	}
+	old := n.Text
+	n.Text = text
+	d.dispatch(MutationRecord{
+		Type:    MutationCharacterData,
+		Target:  n,
+		OldText: old,
+	})
+	return nil
+}
+
+// SetElementText replaces the children of an element with a single text
+// node — the common "paragraph content changed" mutation.
+func (d *Document) SetElementText(n *Node, text string) error {
+	if n.Type != ElementNode {
+		return fmt.Errorf("dom: SetElementText on %v node", n.Type)
+	}
+	if len(n.children) == 1 && n.children[0].Type == TextNode {
+		return d.SetText(n.children[0], text)
+	}
+	for len(n.children) > 0 {
+		if err := d.RemoveChild(n, n.children[len(n.children)-1]); err != nil {
+			return err
+		}
+	}
+	return d.AppendChild(n, NewText(text))
+}
+
+// SetAttr sets an attribute on an element.
+func (d *Document) SetAttr(n *Node, name, value string) error {
+	if n.Type != ElementNode {
+		return fmt.Errorf("dom: SetAttr on %v node", n.Type)
+	}
+	if n.doc != d {
+		return fmt.Errorf("dom: node not owned by this document")
+	}
+	n.Attrs[name] = value
+	d.dispatch(MutationRecord{
+		Type:     MutationAttributes,
+		Target:   n,
+		AttrName: name,
+	})
+	return nil
+}
+
+// Body returns the <body> element, or the root if the document has none.
+func (d *Document) Body() *Node {
+	if body := d.root.Find(func(n *Node) bool {
+		return n.Type == ElementNode && n.Tag == "body"
+	}); body != nil {
+		return body
+	}
+	return d.root
+}

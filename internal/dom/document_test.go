@@ -1,0 +1,178 @@
+package dom
+
+import (
+	"testing"
+)
+
+func TestMutationObserverChildList(t *testing.T) {
+	doc := Parse(`<body><div id="editor"></div></body>`)
+	editor := doc.Root().ByID("editor")
+	var records []MutationRecord
+	obs := doc.Observe(editor, func(r MutationRecord) { records = append(records, r) })
+	defer obs.Disconnect()
+
+	p := NewElement("p", nil)
+	if err := doc.AppendChild(editor, p); err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || records[0].Type != MutationChildList || len(records[0].Added) != 1 {
+		t.Fatalf("records=%+v", records)
+	}
+	if err := doc.RemoveChild(editor, p); err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || len(records[1].Removed) != 1 {
+		t.Fatalf("records=%+v", records)
+	}
+}
+
+func TestMutationObserverCharacterData(t *testing.T) {
+	doc := Parse(`<body><p id="p0">old text</p></body>`)
+	p0 := doc.Root().ByID("p0")
+	var got []MutationRecord
+	doc.Observe(p0, func(r MutationRecord) { got = append(got, r) })
+
+	if err := doc.SetElementText(p0, "new text"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Type != MutationCharacterData || got[0].OldText != "old text" {
+		t.Fatalf("got=%+v", got)
+	}
+	if p0.InnerText() != "new text" {
+		t.Errorf("InnerText=%q", p0.InnerText())
+	}
+}
+
+func TestObserverScoping(t *testing.T) {
+	doc := Parse(`<body><div id="watched"></div><div id="other"></div></body>`)
+	watched, other := doc.Root().ByID("watched"), doc.Root().ByID("other")
+	count := 0
+	doc.Observe(watched, func(MutationRecord) { count++ })
+
+	if err := doc.AppendChild(other, NewElement("p", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Errorf("observer fired for mutation outside its subtree: %d", count)
+	}
+	if err := doc.AppendChild(watched, NewElement("p", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("count=%d, want 1", count)
+	}
+}
+
+func TestObserverDisconnect(t *testing.T) {
+	doc := NewDocument()
+	count := 0
+	obs := doc.Observe(doc.Root(), func(MutationRecord) { count++ })
+	obs.Disconnect()
+	if err := doc.AppendChild(doc.Root(), NewText("x")); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Errorf("disconnected observer fired %d times", count)
+	}
+}
+
+func TestNestedObserversBothFire(t *testing.T) {
+	// The paper's Google Docs interception uses a document observer plus
+	// per-paragraph observers; both must fire for a paragraph edit.
+	doc := Parse(`<body><div id="doc"><p id="p0">x</p></div></body>`)
+	docEl, p0 := doc.Root().ByID("doc"), doc.Root().ByID("p0")
+	var docSaw, parSaw int
+	doc.Observe(docEl, func(MutationRecord) { docSaw++ })
+	doc.Observe(p0, func(MutationRecord) { parSaw++ })
+
+	if err := doc.SetElementText(p0, "edited"); err != nil {
+		t.Fatal(err)
+	}
+	if docSaw != 1 || parSaw != 1 {
+		t.Errorf("docSaw=%d parSaw=%d, want 1,1", docSaw, parSaw)
+	}
+}
+
+func TestSetAttrMutation(t *testing.T) {
+	doc := Parse(`<body><p id="p0">x</p></body>`)
+	p0 := doc.Root().ByID("p0")
+	var rec MutationRecord
+	doc.Observe(p0, func(r MutationRecord) { rec = r })
+	if err := doc.SetAttr(p0, "style", "background: red"); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Type != MutationAttributes || rec.AttrName != "style" {
+		t.Errorf("rec=%+v", rec)
+	}
+	if p0.Attr("style") != "background: red" {
+		t.Error("attribute not set")
+	}
+}
+
+func TestInsertChildOrdering(t *testing.T) {
+	doc := NewDocument()
+	body := doc.Root()
+	a, b, c := NewText("a"), NewText("b"), NewText("c")
+	if err := doc.AppendChild(body, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.AppendChild(body, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.InsertChild(body, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := body.InnerText(); got != "a b c" {
+		t.Errorf("order=%q, want %q", got, "a b c")
+	}
+}
+
+func TestMutationErrors(t *testing.T) {
+	doc := NewDocument()
+	other := NewDocument()
+	child := NewText("x")
+	if err := doc.AppendChild(other.Root(), child); err == nil {
+		t.Error("cross-document append accepted")
+	}
+	if err := doc.InsertChild(doc.Root(), NewText("y"), 5); err == nil {
+		t.Error("out-of-range insert accepted")
+	}
+	attached := NewText("z")
+	if err := doc.AppendChild(doc.Root(), attached); err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.AppendChild(doc.Root(), attached); err == nil {
+		t.Error("double attach accepted")
+	}
+	if err := doc.RemoveChild(doc.Root(), NewText("ghost")); err == nil {
+		t.Error("removing non-child accepted")
+	}
+	if err := doc.SetText(doc.Root(), "x"); err == nil {
+		t.Error("SetText on element accepted")
+	}
+	if err := doc.SetAttr(NewText("t"), "a", "b"); err == nil {
+		t.Error("SetAttr on text accepted")
+	}
+}
+
+func TestBodyFallback(t *testing.T) {
+	withBody := Parse(`<html><body><p>x</p></body></html>`)
+	if withBody.Body().Tag != "body" {
+		t.Errorf("Body tag=%q", withBody.Body().Tag)
+	}
+	noBody := Parse(`<p>x</p>`)
+	if noBody.Body() == nil {
+		t.Error("Body() nil without <body>")
+	}
+}
+
+func TestMutationTypeString(t *testing.T) {
+	if MutationChildList.String() != "childList" ||
+		MutationCharacterData.String() != "characterData" ||
+		MutationAttributes.String() != "attributes" {
+		t.Error("MutationType strings wrong")
+	}
+	if MutationType(9).String() != "mutation(9)" {
+		t.Error("unknown mutation type string")
+	}
+}

@@ -1,0 +1,115 @@
+package dom
+
+import (
+	"regexp"
+	"strings"
+)
+
+// The §5.1 extraction heuristics: reward elements whose id/class look like
+// article content, penalise boilerplate containers and link farms.
+var (
+	positiveHint = regexp.MustCompile(`(?i)article|body|content|entry|main|page|post|text|story`)
+	negativeHint = regexp.MustCompile(`(?i)footer|meta|nav|sidebar|comment|menu|banner|ad-|advert|promo|share|social|header`)
+)
+
+// candidateTags are the block containers considered as "interesting text"
+// roots.
+var candidateTags = map[string]bool{
+	"div": true, "article": true, "section": true, "main": true,
+	"td": true, "body": true, "p": true,
+}
+
+// ExtractMain returns the element with the most "interesting" text in the
+// document and its score, following the Readability-style heuristics of
+// §5.1: the existence of <p> tags, text that contains commas and
+// representative id attributes raise an element's score; bad class names
+// and a high number of links over text length lower it. It returns nil if
+// the document has no scoring candidates.
+func ExtractMain(doc *Document) (*Node, float64) {
+	var (
+		best      *Node
+		bestScore float64
+	)
+	doc.Root().Walk(func(n *Node) bool {
+		if n.Type != ElementNode || !candidateTags[n.Tag] {
+			return true
+		}
+		if score := scoreElement(n); best == nil || score > bestScore {
+			best, bestScore = n, score
+		}
+		return true
+	})
+	return best, bestScore
+}
+
+// ExtractMainText returns the interesting text of the document with all
+// HTML tags removed, or "" when nothing scores.
+func ExtractMainText(doc *Document) string {
+	best, _ := ExtractMain(doc)
+	if best == nil {
+		return ""
+	}
+	return best.InnerText()
+}
+
+// ExtractParagraphs returns the text of each <p> descendant of root (or of
+// root itself if it is a <p>), skipping empty ones. It is how the plug-in
+// derives trackable paragraph segments from a page.
+func ExtractParagraphs(root *Node) []string {
+	var out []string
+	for _, p := range root.ElementsByTag("p") {
+		if text := p.InnerText(); text != "" {
+			out = append(out, text)
+		}
+	}
+	return out
+}
+
+// scoreElement implements the ranking heuristics.
+func scoreElement(n *Node) float64 {
+	text := n.InnerText()
+	if len(text) == 0 {
+		return 0
+	}
+	score := 1.0
+
+	// Reward commas: prose has them, navigation chrome does not.
+	score += float64(strings.Count(text, ","))
+
+	// Reward length, capped so one huge blob does not dominate hints.
+	score += minFloat(float64(len(text))/100, 20)
+
+	// Reward <p> structure beneath the candidate.
+	pDescendants := len(n.ElementsByTag("p"))
+	if n.Tag == "p" {
+		pDescendants-- // ElementsByTag includes the node itself
+		score += 3
+	}
+	score += float64(pDescendants) * 5
+
+	// id/class hints.
+	hints := n.ID() + " " + n.Class()
+	if positiveHint.MatchString(hints) {
+		score += 25
+	}
+	if negativeHint.MatchString(hints) {
+		score -= 25
+	}
+
+	// Penalise high link density.
+	linkLen := 0
+	for _, a := range n.ElementsByTag("a") {
+		linkLen += len(a.InnerText())
+	}
+	density := float64(linkLen) / float64(len(text))
+	score *= 1 - density
+
+	return score
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

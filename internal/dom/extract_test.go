@@ -1,0 +1,106 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+)
+
+// cmsPage mimics a Drupal/WordPress-style page: header/nav/footer chrome
+// around an article body (§5.1's target workload).
+const cmsPage = `
+<html><body>
+  <div class="header"><a href="/">Home</a> <a href="/about">About</a> <a href="/contact">Contact</a></div>
+  <div class="sidebar"><a href="/1">Link one</a><a href="/2">Link two</a><a href="/3">Link three</a></div>
+  <div id="article">
+    <p>The quarterly report shows, among other things, that revenue grew by twelve percent, costs fell, and hiring accelerated.</p>
+    <p>Management attributes the growth to the new enterprise product line, which, according to the CFO, exceeded projections.</p>
+    <p>The board will review the findings next month, and a follow-up statement is expected shortly afterwards.</p>
+  </div>
+  <div class="footer"><a href="/privacy">Privacy</a> <a href="/terms">Terms</a></div>
+</body></html>`
+
+func TestExtractMainPrefersArticle(t *testing.T) {
+	doc := Parse(cmsPage)
+	best, score := ExtractMain(doc)
+	if best == nil {
+		t.Fatal("no candidate")
+	}
+	if score <= 0 {
+		t.Errorf("score=%v, want > 0", score)
+	}
+	// The winner must be the article (or a container of it), never the
+	// footer/sidebar chrome.
+	hints := best.ID() + best.Class()
+	if strings.Contains(hints, "footer") || strings.Contains(hints, "sidebar") || strings.Contains(hints, "header") {
+		t.Errorf("extraction picked chrome element: id=%q class=%q", best.ID(), best.Class())
+	}
+	text := best.InnerText()
+	if !strings.Contains(text, "quarterly report") {
+		t.Errorf("article text missing from extraction: %q", text)
+	}
+}
+
+func TestExtractMainTextStripsTags(t *testing.T) {
+	doc := Parse(cmsPage)
+	text := ExtractMainText(doc)
+	if strings.ContainsAny(text, "<>") {
+		t.Errorf("tags leaked into extracted text: %q", text)
+	}
+	if !strings.Contains(text, "enterprise product line") {
+		t.Errorf("content missing: %q", text)
+	}
+}
+
+func TestExtractMainTextEmptyDocument(t *testing.T) {
+	doc := NewDocument()
+	if got := ExtractMainText(doc); got != "" {
+		t.Errorf("empty document extracted %q", got)
+	}
+}
+
+func TestLinkDensityPenalty(t *testing.T) {
+	page := `
+<body>
+  <div id="nav-like"><a href="/a">One two three four five six seven eight nine ten, eleven,</a></div>
+  <div id="prose-like">One two three four five six seven eight nine ten, eleven, twelve thirteen fourteen.</div>
+</body>`
+	doc := Parse(page)
+	nav := doc.Root().ByID("nav-like")
+	prose := doc.Root().ByID("prose-like")
+	if scoreElement(nav) >= scoreElement(prose) {
+		t.Errorf("link-heavy element outscored prose: %v vs %v", scoreElement(nav), scoreElement(prose))
+	}
+}
+
+func TestNegativeHintPenalty(t *testing.T) {
+	page := `
+<body>
+  <div class="footer">Contact us by mail, phone, or fax, at any of our regional offices, any time.</div>
+  <div class="entry">Contact us by mail, phone, or fax, at any of our regional offices, any time.</div>
+</body>`
+	doc := Parse(page)
+	divs := doc.Root().ElementsByTag("div")
+	if len(divs) != 2 {
+		t.Fatal("setup broken")
+	}
+	if scoreElement(divs[0]) >= scoreElement(divs[1]) {
+		t.Error("footer not penalised relative to entry")
+	}
+}
+
+func TestExtractParagraphs(t *testing.T) {
+	doc := Parse(cmsPage)
+	pars := ExtractParagraphs(doc.Root().ByID("article"))
+	if len(pars) != 3 {
+		t.Fatalf("paragraphs=%d, want 3", len(pars))
+	}
+	if !strings.HasPrefix(pars[0], "The quarterly report") {
+		t.Errorf("pars[0]=%q", pars[0])
+	}
+	// Empty paragraphs skipped.
+	doc2 := Parse(`<div><p></p><p>  </p><p>real</p></div>`)
+	pars2 := ExtractParagraphs(doc2.Root())
+	if len(pars2) != 1 || pars2[0] != "real" {
+		t.Errorf("pars2=%v", pars2)
+	}
+}

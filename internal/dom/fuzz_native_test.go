@@ -1,0 +1,39 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the HTML parser with arbitrary input; it must never
+// panic, and serialise-reparse must preserve text content. Run with
+//
+//	go test -fuzz FuzzParse ./internal/dom
+//
+// for continuous fuzzing; under plain `go test` the seed corpus runs.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<p>hello</p>",
+		"<div class='x'><p>a<b>b</b></p></div>",
+		"<p>unclosed",
+		"</stray>",
+		"<script>var x = '<p>';</script>after",
+		"<!DOCTYPE html><!-- c --><p>z</p>",
+		"<input type=\"hidden\" value='v'/>",
+		"a < b > c &amp; d",
+		"<p id=フィンガープリント>ユニコード</p>",
+		strings.Repeat("<div>", 50) + "deep" + strings.Repeat("</div>", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		doc := Parse(input)
+		text := doc.Root().InnerText()
+		re := Parse(doc.Root().OuterHTML())
+		if got := re.Root().InnerText(); got != text {
+			t.Errorf("reparse text changed: %q -> %q", text, got)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package dom
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Parse never panics and always yields a document whose text is
+// recoverable, for arbitrary byte soup.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(input string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", input, r)
+				ok = false
+			}
+		}()
+		doc := Parse(input)
+		_ = doc.Root().InnerText()
+		_ = doc.Root().OuterHTML()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: serialise-then-reparse is text-content stable.
+func TestQuickSerialiseReparseStable(t *testing.T) {
+	tags := []string{"div", "p", "span", "b", "ul", "li"}
+	f := func(seed int64, depth uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		buildRandomHTML(&sb, rng, int(depth)%4+1)
+		first := Parse(sb.String())
+		second := Parse(first.Root().OuterHTML())
+		return first.Root().InnerText() == second.Root().InnerText()
+	}
+	_ = tags
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildRandomHTML emits a random but well-formed HTML fragment.
+func buildRandomHTML(sb *strings.Builder, rng *rand.Rand, depth int) {
+	tags := []string{"div", "p", "span", "b", "ul", "li"}
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	n := rng.Intn(4) + 1
+	for i := 0; i < n; i++ {
+		if depth == 0 || rng.Intn(3) == 0 {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+			continue
+		}
+		tag := tags[rng.Intn(len(tags))]
+		sb.WriteByte('<')
+		sb.WriteString(tag)
+		if rng.Intn(2) == 0 {
+			sb.WriteString(` class="c` + words[rng.Intn(len(words))] + `"`)
+		}
+		sb.WriteByte('>')
+		buildRandomHTML(sb, rng, depth-1)
+		sb.WriteString("</")
+		sb.WriteString(tag)
+		sb.WriteByte('>')
+	}
+}
+
+// Property: extraction never panics and returns text free of tags for
+// arbitrary input.
+func TestQuickExtractMainTextSafe(t *testing.T) {
+	f := func(input string) bool {
+		text := ExtractMainText(Parse(input))
+		return !strings.Contains(text, "</")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

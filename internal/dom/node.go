@@ -1,0 +1,231 @@
+// Package dom provides the miniature Document Object Model that the
+// simulated browser is built on: an HTML parser, a mutable tree, W3C-style
+// mutation observers (§5.2) and the Readability-like interesting-text
+// extraction heuristics of §5.1.
+//
+// BrowserFlow's plug-in consumes exactly two DOM capabilities — observing
+// mutations and reading text out of subtrees — so the model implements
+// those faithfully and keeps the rest minimal.
+package dom
+
+import (
+	"sort"
+	"strings"
+)
+
+// NodeType distinguishes elements from text nodes.
+type NodeType int
+
+const (
+	// ElementNode is a tag with attributes and children.
+	ElementNode NodeType = iota + 1
+
+	// TextNode is a leaf holding character data.
+	TextNode
+)
+
+// Node is one node of the DOM tree. Mutations must go through the owning
+// Document's methods so that observers fire.
+type Node struct {
+	// Type is the node kind.
+	Type NodeType
+
+	// Tag is the lower-case element name (empty for text nodes).
+	Tag string
+
+	// Attrs holds the element attributes (nil for text nodes).
+	Attrs map[string]string
+
+	// Text is the character data of a text node.
+	Text string
+
+	parent   *Node
+	children []*Node
+	doc      *Document
+}
+
+// NewElement returns a detached element node.
+func NewElement(tag string, attrs map[string]string) *Node {
+	if attrs == nil {
+		attrs = make(map[string]string)
+	}
+	return &Node{Type: ElementNode, Tag: strings.ToLower(tag), Attrs: attrs}
+}
+
+// NewText returns a detached text node.
+func NewText(text string) *Node {
+	return &Node{Type: TextNode, Text: text}
+}
+
+// Parent returns the node's parent, or nil at the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Children returns a copy of the node's child list.
+func (n *Node) Children() []*Node {
+	out := make([]*Node, len(n.children))
+	copy(out, n.children)
+	return out
+}
+
+// ChildCount returns the number of children without copying.
+func (n *Node) ChildCount() int { return len(n.children) }
+
+// Attr returns the value of an attribute.
+func (n *Node) Attr(name string) string {
+	if n.Attrs == nil {
+		return ""
+	}
+	return n.Attrs[strings.ToLower(name)]
+}
+
+// ID returns the element's id attribute.
+func (n *Node) ID() string { return n.Attr("id") }
+
+// Class returns the element's class attribute.
+func (n *Node) Class() string { return n.Attr("class") }
+
+// InnerText returns the concatenated text of the subtree, with element
+// boundaries collapsed to single spaces and whitespace normalised.
+func (n *Node) InnerText() string {
+	var sb strings.Builder
+	n.collectText(&sb)
+	return strings.Join(strings.Fields(sb.String()), " ")
+}
+
+func (n *Node) collectText(sb *strings.Builder) {
+	if n.Type == TextNode {
+		sb.WriteString(n.Text)
+		sb.WriteByte(' ')
+		return
+	}
+	if n.Tag == "script" || n.Tag == "style" {
+		return
+	}
+	for _, c := range n.children {
+		c.collectText(sb)
+	}
+}
+
+// Walk visits the subtree rooted at n in document order. Returning false
+// from fn stops the walk.
+func (n *Node) Walk(fn func(*Node) bool) bool {
+	if !fn(n) {
+		return false
+	}
+	for _, c := range n.children {
+		if !c.Walk(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Find returns the first node in document order satisfying pred.
+func (n *Node) Find(pred func(*Node) bool) *Node {
+	var found *Node
+	n.Walk(func(node *Node) bool {
+		if pred(node) {
+			found = node
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// FindAll returns every node in document order satisfying pred.
+func (n *Node) FindAll(pred func(*Node) bool) []*Node {
+	var out []*Node
+	n.Walk(func(node *Node) bool {
+		if pred(node) {
+			out = append(out, node)
+		}
+		return true
+	})
+	return out
+}
+
+// ElementsByTag returns the descendants (including n) with the given tag.
+func (n *Node) ElementsByTag(tag string) []*Node {
+	tag = strings.ToLower(tag)
+	return n.FindAll(func(node *Node) bool {
+		return node.Type == ElementNode && node.Tag == tag
+	})
+}
+
+// ByID returns the descendant element with the given id.
+func (n *Node) ByID(id string) *Node {
+	return n.Find(func(node *Node) bool {
+		return node.Type == ElementNode && node.ID() == id
+	})
+}
+
+// HasAncestor reports whether a is n itself or one of its ancestors.
+func (n *Node) HasAncestor(a *Node) bool {
+	for cur := n; cur != nil; cur = cur.parent {
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}
+
+// OuterHTML serialises the subtree back to HTML (attributes sorted for
+// determinism).
+func (n *Node) OuterHTML() string {
+	var sb strings.Builder
+	n.writeHTML(&sb)
+	return sb.String()
+}
+
+func (n *Node) writeHTML(sb *strings.Builder) {
+	if n.Type == TextNode {
+		sb.WriteString(escapeText(n.Text))
+		return
+	}
+	sb.WriteByte('<')
+	sb.WriteString(n.Tag)
+	names := make([]string, 0, len(n.Attrs))
+	for name := range n.Attrs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sb.WriteByte(' ')
+		sb.WriteString(name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeAttr(n.Attrs[name]))
+		sb.WriteByte('"')
+	}
+	if isVoidTag(n.Tag) && len(n.children) == 0 {
+		sb.WriteString("/>")
+		return
+	}
+	sb.WriteByte('>')
+	for _, c := range n.children {
+		c.writeHTML(sb)
+	}
+	sb.WriteString("</")
+	sb.WriteString(n.Tag)
+	sb.WriteByte('>')
+}
+
+func escapeText(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+func escapeAttr(s string) string {
+	return strings.ReplaceAll(escapeText(s), `"`, "&quot;")
+}
+
+func isVoidTag(tag string) bool {
+	switch tag {
+	case "area", "base", "br", "col", "embed", "hr", "img", "input",
+		"link", "meta", "param", "source", "track", "wbr":
+		return true
+	}
+	return false
+}

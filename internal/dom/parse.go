@@ -1,0 +1,230 @@
+package dom
+
+import (
+	"strings"
+)
+
+// Parse builds a Document from HTML source. The parser is deliberately
+// tolerant — unknown tags are kept, unclosed tags are closed when an
+// ancestor closes, and stray close tags are ignored — which is enough for
+// the simulated cloud services and for Readability-style extraction over
+// CMS-generated pages.
+func Parse(html string) *Document {
+	doc := NewDocument()
+	p := &parser{src: html}
+	p.parseInto(doc, doc.Root())
+	return doc
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+// parseInto appends parsed nodes under parent. Mutation observers are not
+// registered during initial parse, so direct tree construction is safe.
+func (p *parser) parseInto(doc *Document, parent *Node) {
+	stack := []*Node{parent}
+	top := func() *Node { return stack[len(stack)-1] }
+	attach := func(n *Node) {
+		cur := top()
+		n.parent = cur
+		n.doc = doc
+		cur.children = append(cur.children, n)
+	}
+
+	for p.pos < len(p.src) {
+		if p.src[p.pos] != '<' {
+			text := p.readText()
+			if strings.TrimSpace(text) != "" || len(top().children) > 0 {
+				attach(NewText(decodeEntities(text)))
+			}
+			continue
+		}
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "<!--"):
+			p.skipComment()
+		case strings.HasPrefix(p.src[p.pos:], "<!"):
+			p.skipUntil('>') // doctype etc.
+		case strings.HasPrefix(p.src[p.pos:], "</"):
+			tag := p.readCloseTag()
+			// Pop to the matching open tag; ignore unmatched closers.
+			for i := len(stack) - 1; i > 0; i-- {
+				if stack[i].Tag == tag {
+					stack = stack[:i]
+					break
+				}
+			}
+		default:
+			node, selfClosing := p.readOpenTag()
+			if node == nil {
+				// Malformed "<" — treat as text.
+				attach(NewText("<"))
+				p.pos++
+				continue
+			}
+			attach(node)
+			if node.Tag == "script" || node.Tag == "style" {
+				raw := p.readRawUntilClose(node.Tag)
+				if raw != "" {
+					text := NewText(raw)
+					text.parent = node
+					text.doc = doc
+					node.children = append(node.children, text)
+				}
+				continue
+			}
+			if !selfClosing && !isVoidTag(node.Tag) {
+				stack = append(stack, node)
+			}
+		}
+	}
+}
+
+func (p *parser) readText() string {
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != '<' {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) skipComment() {
+	end := strings.Index(p.src[p.pos:], "-->")
+	if end < 0 {
+		p.pos = len(p.src)
+		return
+	}
+	p.pos += end + len("-->")
+}
+
+func (p *parser) skipUntil(ch byte) {
+	for p.pos < len(p.src) && p.src[p.pos] != ch {
+		p.pos++
+	}
+	if p.pos < len(p.src) {
+		p.pos++
+	}
+}
+
+func (p *parser) readCloseTag() string {
+	p.pos += 2 // "</"
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != '>' {
+		p.pos++
+	}
+	tag := strings.ToLower(strings.TrimSpace(p.src[start:p.pos]))
+	if p.pos < len(p.src) {
+		p.pos++
+	}
+	return tag
+}
+
+// readOpenTag parses "<tag attr=... >"; returns nil if the "<" does not
+// start a well-formed tag name.
+func (p *parser) readOpenTag() (*Node, bool) {
+	i := p.pos + 1
+	start := i
+	for i < len(p.src) && isTagNameChar(p.src[i]) {
+		i++
+	}
+	if i == start {
+		return nil, false
+	}
+	tag := strings.ToLower(p.src[start:i])
+	attrs := make(map[string]string)
+	selfClosing := false
+	for i < len(p.src) && p.src[i] != '>' {
+		// Skip whitespace.
+		if isSpace(p.src[i]) {
+			i++
+			continue
+		}
+		if p.src[i] == '/' {
+			selfClosing = true
+			i++
+			continue
+		}
+		// Attribute name.
+		nameStart := i
+		for i < len(p.src) && p.src[i] != '=' && p.src[i] != '>' && p.src[i] != '/' && !isSpace(p.src[i]) {
+			i++
+		}
+		name := strings.ToLower(p.src[nameStart:i])
+		if name == "" {
+			i++
+			continue
+		}
+		// Optional value.
+		value := ""
+		if i < len(p.src) && p.src[i] == '=' {
+			i++
+			if i < len(p.src) && (p.src[i] == '"' || p.src[i] == '\'') {
+				quote := p.src[i]
+				i++
+				valStart := i
+				for i < len(p.src) && p.src[i] != quote {
+					i++
+				}
+				value = p.src[valStart:i]
+				if i < len(p.src) {
+					i++
+				}
+			} else {
+				valStart := i
+				for i < len(p.src) && !isSpace(p.src[i]) && p.src[i] != '>' {
+					i++
+				}
+				value = p.src[valStart:i]
+			}
+		}
+		attrs[name] = decodeEntities(value)
+	}
+	if i < len(p.src) {
+		i++ // '>'
+	}
+	p.pos = i
+	return NewElement(tag, attrs), selfClosing
+}
+
+// readRawUntilClose consumes raw text up to the matching close tag for
+// script/style content.
+func (p *parser) readRawUntilClose(tag string) string {
+	lower := strings.ToLower(p.src[p.pos:])
+	closeTag := "</" + tag
+	end := strings.Index(lower, closeTag)
+	if end < 0 {
+		raw := p.src[p.pos:]
+		p.pos = len(p.src)
+		return raw
+	}
+	raw := p.src[p.pos : p.pos+end]
+	p.pos += end
+	p.skipUntil('>')
+	return raw
+}
+
+func isTagNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-'
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+var entityReplacer = strings.NewReplacer(
+	"&amp;", "&",
+	"&lt;", "<",
+	"&gt;", ">",
+	"&quot;", `"`,
+	"&#39;", "'",
+	"&apos;", "'",
+	"&nbsp;", " ",
+)
+
+func decodeEntities(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	return entityReplacer.Replace(s)
+}

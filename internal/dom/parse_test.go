@@ -1,0 +1,148 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimple(t *testing.T) {
+	doc := Parse(`<html><body><p id="intro">Hello, <b>World</b>!</p></body></html>`)
+	p := doc.Root().ByID("intro")
+	if p == nil {
+		t.Fatal("no #intro element")
+	}
+	if p.Tag != "p" {
+		t.Errorf("tag=%q, want p", p.Tag)
+	}
+	if got := p.InnerText(); got != "Hello, World !" {
+		t.Errorf("InnerText=%q", got)
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	doc := Parse(`<div id="a" class='two words' data-x=plain disabled></div>`)
+	div := doc.Root().ByID("a")
+	if div == nil {
+		t.Fatal("no #a")
+	}
+	if div.Class() != "two words" {
+		t.Errorf("class=%q", div.Class())
+	}
+	if div.Attr("data-x") != "plain" {
+		t.Errorf("data-x=%q", div.Attr("data-x"))
+	}
+	if _, ok := div.Attrs["disabled"]; !ok {
+		t.Error("boolean attribute missing")
+	}
+}
+
+func TestParseVoidAndSelfClosing(t *testing.T) {
+	doc := Parse(`<body><p>one<br>two</p><img src="x.png"/><p>three</p></body>`)
+	ps := doc.Root().ElementsByTag("p")
+	if len(ps) != 2 {
+		t.Fatalf("p count=%d, want 2 (void tags must not swallow siblings)", len(ps))
+	}
+	if got := ps[0].InnerText(); got != "one two" {
+		t.Errorf("first p=%q", got)
+	}
+}
+
+func TestParseUnclosedTags(t *testing.T) {
+	doc := Parse(`<body><p>first<p>second</body>`)
+	ps := doc.Root().ElementsByTag("p")
+	// Tolerant parsing: the second <p> may nest under the first, but both
+	// paragraphs' text must be reachable.
+	all := doc.Root().InnerText()
+	if !strings.Contains(all, "first") || !strings.Contains(all, "second") {
+		t.Errorf("text lost: %q", all)
+	}
+	if len(ps) != 2 {
+		t.Errorf("p count=%d, want 2", len(ps))
+	}
+}
+
+func TestParseStrayCloseTag(t *testing.T) {
+	doc := Parse(`<body></div><p>ok</p></body>`)
+	if doc.Root().ElementsByTag("p") == nil {
+		t.Error("stray close tag broke parsing")
+	}
+}
+
+func TestParseCommentsAndDoctype(t *testing.T) {
+	doc := Parse("<!DOCTYPE html><!-- a comment --><body><p>text</p></body>")
+	if got := doc.Root().InnerText(); got != "text" {
+		t.Errorf("InnerText=%q", got)
+	}
+}
+
+func TestParseScriptStyleExcludedFromText(t *testing.T) {
+	doc := Parse(`<body><script>var x = "<p>not text</p>";</script><style>p{}</style><p>real</p></body>`)
+	if got := doc.Root().InnerText(); got != "real" {
+		t.Errorf("InnerText=%q, want %q", got, "real")
+	}
+	scripts := doc.Root().ElementsByTag("script")
+	if len(scripts) != 1 {
+		t.Fatalf("script count=%d", len(scripts))
+	}
+	// Raw content preserved on the node itself.
+	if !strings.Contains(scripts[0].children[0].Text, "not text") {
+		t.Error("script raw content lost")
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	doc := Parse(`<p>Fish &amp; Chips &lt;3 &quot;yum&quot;</p>`)
+	if got := doc.Root().InnerText(); got != `Fish & Chips <3 "yum"` {
+		t.Errorf("InnerText=%q", got)
+	}
+}
+
+func TestParseMalformedAngle(t *testing.T) {
+	doc := Parse(`<p>a < b and c > d</p>`)
+	text := doc.Root().InnerText()
+	if !strings.Contains(text, "a <") {
+		t.Errorf("lone < lost: %q", text)
+	}
+}
+
+func TestOuterHTMLRoundTrip(t *testing.T) {
+	src := `<div class="x" id="y"><p>Hello &amp; goodbye</p><br/></div>`
+	doc := Parse(src)
+	out := doc.Body().OuterHTML()
+	// Reparse the serialisation: same text content and structure.
+	doc2 := Parse(out)
+	if doc.Root().InnerText() != doc2.Root().InnerText() {
+		t.Errorf("round trip text mismatch: %q vs %q", doc.Root().InnerText(), doc2.Root().InnerText())
+	}
+	if len(doc2.Root().ElementsByTag("p")) != 1 {
+		t.Error("structure lost in round trip")
+	}
+}
+
+func TestFindHelpers(t *testing.T) {
+	doc := Parse(`<body><div><p class="a">one</p><p class="b">two</p></div></body>`)
+	if n := doc.Root().Find(func(n *Node) bool { return n.Class() == "b" }); n == nil || n.InnerText() != "two" {
+		t.Error("Find failed")
+	}
+	all := doc.Root().FindAll(func(n *Node) bool { return n.Type == ElementNode && n.Tag == "p" })
+	if len(all) != 2 {
+		t.Errorf("FindAll=%d, want 2", len(all))
+	}
+	if doc.Root().ByID("nope") != nil {
+		t.Error("ByID should return nil for missing id")
+	}
+}
+
+func TestHasAncestor(t *testing.T) {
+	doc := Parse(`<body><div id="outer"><p id="inner">x</p></div></body>`)
+	outer, inner := doc.Root().ByID("outer"), doc.Root().ByID("inner")
+	if !inner.HasAncestor(outer) {
+		t.Error("inner should have outer as ancestor")
+	}
+	if outer.HasAncestor(inner) {
+		t.Error("outer should not have inner as ancestor")
+	}
+	if !inner.HasAncestor(inner) {
+		t.Error("node is its own ancestor for subtree checks")
+	}
+}

@@ -1,0 +1,141 @@
+// Package exactmatch implements the specialised companion system that §4.4
+// delegates short secrets to: "Imprecise data flow tracking is not
+// effective at a finer granularity than paragraphs ... For such specific
+// use cases, for example password reuse prevention, specialised systems
+// which rely on data equality only are more effective."
+//
+// A Store keeps salted HMAC-SHA256 digests of registered secrets — never
+// the secrets themselves — and detects exact occurrences of any secret
+// inside outgoing text. Detection slides a window of each registered
+// secret length over the text, so a password embedded in a sentence is
+// still caught, at O(len(text) × distinct secret lengths) cost.
+package exactmatch
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Match reports one detected secret.
+type Match struct {
+	// Name is the label the secret was registered under.
+	Name string
+
+	// Offset is the rune offset of the occurrence in the scanned text.
+	Offset int
+}
+
+// Store holds secret digests. It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	salt    []byte
+	byLen   map[int]map[string]string // rune length -> digest -> name
+	lengths []int
+}
+
+// NewStore returns a Store with a random salt.
+func NewStore() (*Store, error) {
+	salt := make([]byte, 32)
+	if _, err := rand.Read(salt); err != nil {
+		return nil, fmt.Errorf("exactmatch: salt: %w", err)
+	}
+	return NewStoreWithSalt(salt), nil
+}
+
+// NewStoreWithSalt returns a Store with a caller-provided salt, for
+// deterministic tests and for sharing a store across restarts.
+func NewStoreWithSalt(salt []byte) *Store {
+	return &Store{
+		salt:  append([]byte(nil), salt...),
+		byLen: make(map[int]map[string]string),
+	}
+}
+
+// digest computes the salted digest of s.
+func (s *Store) digest(runes []rune) string {
+	mac := hmac.New(sha256.New, s.salt)
+	mac.Write([]byte(string(runes)))
+	return string(mac.Sum(nil))
+}
+
+// Register stores a secret under name. Secrets shorter than 4 runes are
+// rejected — they would match constantly.
+func (s *Store) Register(name, secret string) error {
+	runes := []rune(secret)
+	if len(runes) < 4 {
+		return fmt.Errorf("exactmatch: secret %q too short (min 4 runes)", name)
+	}
+	d := s.digest(runes)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bucket, ok := s.byLen[len(runes)]
+	if !ok {
+		bucket = make(map[string]string)
+		s.byLen[len(runes)] = bucket
+		s.lengths = append(s.lengths, len(runes))
+		sort.Ints(s.lengths)
+	}
+	bucket[d] = name
+	return nil
+}
+
+// Len returns the number of registered secrets.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, bucket := range s.byLen {
+		n += len(bucket)
+	}
+	return n
+}
+
+// CheckValue reports whether value is exactly a registered secret.
+func (s *Store) CheckValue(value string) (Match, bool) {
+	runes := []rune(value)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bucket, ok := s.byLen[len(runes)]
+	if !ok {
+		return Match{}, false
+	}
+	if name, ok := bucket[s.digest(runes)]; ok {
+		return Match{Name: name}, true
+	}
+	return Match{}, false
+}
+
+// Scan returns every occurrence of a registered secret inside text.
+func (s *Store) Scan(text string) []Match {
+	runes := []rune(text)
+	s.mu.RLock()
+	lengths := append([]int(nil), s.lengths...)
+	s.mu.RUnlock()
+
+	var out []Match
+	for _, l := range lengths {
+		if l > len(runes) {
+			continue
+		}
+		for i := 0; i+l <= len(runes); i++ {
+			window := runes[i : i+l]
+			s.mu.RLock()
+			name, ok := s.byLen[l][s.digest(window)]
+			s.mu.RUnlock()
+			if ok {
+				out = append(out, Match{Name: name, Offset: i})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Offset != out[j].Offset {
+			return out[i].Offset < out[j].Offset
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,183 @@
+package exactmatch
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	return NewStoreWithSalt([]byte("test-salt"))
+}
+
+func TestRegisterAndCheckValue(t *testing.T) {
+	s := newStore(t)
+	if err := s.Register("db-password", "hunter22"); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := s.CheckValue("hunter22"); !ok || m.Name != "db-password" {
+		t.Errorf("CheckValue=%+v,%v", m, ok)
+	}
+	if _, ok := s.CheckValue("hunter2222"); ok {
+		t.Error("different value matched")
+	}
+	if _, ok := s.CheckValue("HUNTER22"); ok {
+		t.Error("matching is case-sensitive for secrets; case variant matched")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len=%d", s.Len())
+	}
+}
+
+func TestRegisterRejectsShortSecrets(t *testing.T) {
+	s := newStore(t)
+	if err := s.Register("tiny", "abc"); err == nil {
+		t.Error("3-rune secret accepted")
+	}
+}
+
+func TestScanFindsEmbeddedSecret(t *testing.T) {
+	s := newStore(t)
+	if err := s.Register("api-key", "sk-XYZZY-42"); err != nil {
+		t.Fatal(err)
+	}
+	text := "please use the key sk-XYZZY-42 when calling the staging API"
+	matches := s.Scan(text)
+	if len(matches) != 1 || matches[0].Name != "api-key" {
+		t.Fatalf("matches=%+v", matches)
+	}
+	wantOffset := len([]rune("please use the key "))
+	if matches[0].Offset != wantOffset {
+		t.Errorf("offset=%d, want %d", matches[0].Offset, wantOffset)
+	}
+}
+
+func TestScanMultipleSecretsAndLengths(t *testing.T) {
+	s := newStore(t)
+	if err := s.Register("short", "abcd"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("long", "correct horse battery staple"); err != nil {
+		t.Fatal(err)
+	}
+	text := "abcd then correct horse battery staple then abcd again"
+	matches := s.Scan(text)
+	var names []string
+	for _, m := range matches {
+		names = append(names, m.Name)
+	}
+	got := strings.Join(names, ",")
+	if got != "short,long,short" {
+		t.Errorf("matches=%v", got)
+	}
+}
+
+func TestScanNoSecrets(t *testing.T) {
+	s := newStore(t)
+	if got := s.Scan("nothing registered yet"); got != nil {
+		t.Errorf("Scan=%v", got)
+	}
+	if err := s.Register("k", "secret-value"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Scan("completely unrelated words"); got != nil {
+		t.Errorf("Scan=%v", got)
+	}
+	if got := s.Scan("srt"); got != nil {
+		t.Errorf("Scan of short text=%v", got)
+	}
+}
+
+func TestUnicodeSecrets(t *testing.T) {
+	s := newStore(t)
+	if err := s.Register("uni", "pässwörd"); err != nil {
+		t.Fatal(err)
+	}
+	matches := s.Scan("the value pässwörd appears here")
+	if len(matches) != 1 {
+		t.Fatalf("matches=%+v", matches)
+	}
+}
+
+func TestSaltsDiffer(t *testing.T) {
+	a, err := NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Register("x", "same-secret"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register("x", "same-secret"); err != nil {
+		t.Fatal(err)
+	}
+	// Different salts: digests differ (cannot compare directly, but both
+	// stores still match their own secret).
+	if _, ok := a.CheckValue("same-secret"); !ok {
+		t.Error("store a lost its secret")
+	}
+	if _, ok := b.CheckValue("same-secret"); !ok {
+		t.Error("store b lost its secret")
+	}
+}
+
+func TestConcurrentScan(t *testing.T) {
+	s := newStore(t)
+	if err := s.Register("k", "parallel-secret"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.Scan("text with parallel-secret inside")
+				s.Register("k2", "another-secret")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Property: any registered secret embedded at any position in random
+// surrounding text is found at the right offset.
+func TestQuickEmbeddedAlwaysFound(t *testing.T) {
+	s := newStore(t)
+	const secret = "qu1ck-s3cret"
+	if err := s.Register("q", secret); err != nil {
+		t.Fatal(err)
+	}
+	f := func(prefix, suffix string) bool {
+		text := prefix + secret + suffix
+		for _, m := range s.Scan(text) {
+			if m.Name == "q" && m.Offset == len([]rune(prefix)) {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	s := NewStoreWithSalt([]byte("bench"))
+	for _, sec := range []string{"alpha-secret", "beta-secret-longer", "gamma-key"} {
+		if err := s.Register(sec, sec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	text := strings.Repeat("some ordinary prose with no secrets in it at all ", 40)
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Scan(text)
+	}
+}

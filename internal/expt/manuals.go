@@ -1,0 +1,206 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/lsds/browserflow/internal/dataset"
+	"github.com/lsds/browserflow/internal/fingerprint"
+)
+
+// --- Figure 10: manuals, BrowserFlow vs ground truth ----------------------
+
+// Fig10Row is one version's bar pair.
+type Fig10Row struct {
+	Version string
+
+	// BrowserFlowPct is the percentage of base paragraphs BrowserFlow
+	// reports as disclosed by this version.
+	BrowserFlowPct float64
+
+	// GroundTruthPct is the human-expert (generator edit log) percentage.
+	GroundTruthPct float64
+}
+
+// Fig10Chapter is one chapter's chart.
+type Fig10Chapter struct {
+	Chapter string
+	Rows    []Fig10Row
+}
+
+// Fig10Result holds the four sub-figures 10a–10d.
+type Fig10Result struct {
+	Chapters []Fig10Chapter
+}
+
+// RunFigure10 replays each chapter's versions and compares BrowserFlow's
+// paragraph-disclosure decisions against the generator's ground truth.
+func RunFigure10(scale Scale, params fingerprint.Config, tpar float64) (Fig10Result, error) {
+	chapters := dataset.GenerateManuals(scale.Seed)
+	var result Fig10Result
+	for _, c := range chapters {
+		fc, err := chapterFigure(c, params, tpar)
+		if err != nil {
+			return Fig10Result{}, err
+		}
+		result.Chapters = append(result.Chapters, fc)
+	}
+	return result, nil
+}
+
+// chapterFigure measures disclosure of the base version's paragraphs by
+// each later version. Paragraphs whose fingerprint is empty are still part
+// of the percentages (they are the systematic false negatives the paper
+// reports); Figure 11 filters them out separately.
+func chapterFigure(c dataset.Chapter, params fingerprint.Config, tpar float64) (Fig10Chapter, error) {
+	base := c.Base()
+	baseFPs := make([]*fingerprint.Fingerprint, len(base.Paragraphs))
+	for i, p := range base.Paragraphs {
+		fp, err := fingerprint.Compute(p, params)
+		if err != nil {
+			return Fig10Chapter{}, err
+		}
+		baseFPs[i] = fp
+	}
+	fc := Fig10Chapter{Chapter: c.Name}
+	for _, v := range c.Versions {
+		verText := strings.Join(v.Paragraphs, "\n\n")
+		verFP, err := fingerprint.Compute(verText, params)
+		if err != nil {
+			return Fig10Chapter{}, err
+		}
+		detected := 0
+		for _, fp := range baseFPs {
+			if !fp.Empty() && fp.Containment(verFP) >= tpar {
+				detected++
+			}
+		}
+		total := float64(len(base.Paragraphs))
+		fc.Rows = append(fc.Rows, Fig10Row{
+			Version:        v.Label,
+			BrowserFlowPct: 100 * float64(detected) / total,
+			GroundTruthPct: 100 * float64(v.GroundTruthDisclosed()) / total,
+		})
+	}
+	return fc, nil
+}
+
+// Format renders the four sub-figures.
+func (r Fig10Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 10: Paragraph disclosure (Manuals dataset)\n")
+	for _, c := range r.Chapters {
+		fmt.Fprintf(&sb, "%s:\n", c.Chapter)
+		fmt.Fprintf(&sb, "  %-8s %12s %12s\n", "version", "BrowserFlow", "GroundTruth")
+		for _, row := range c.Rows {
+			fmt.Fprintf(&sb, "  %-8s %11.1f%% %11.1f%%\n", row.Version, row.BrowserFlowPct, row.GroundTruthPct)
+		}
+	}
+	return sb.String()
+}
+
+// --- Figure 11: paragraph disclosure threshold sweep -----------------------
+
+// Fig11Point is one (Tpar, ratio) sample.
+type Fig11Point struct {
+	Tpar float64
+
+	// Ratio is total BrowserFlow-detected disclosures over total
+	// ground-truth disclosures, across all chapters and versions; 1 means
+	// agreement, >1 false positives, <1 false negatives.
+	Ratio float64
+}
+
+// Fig11Result is the threshold-sweep curve.
+type Fig11Result struct {
+	Points []Fig11Point
+}
+
+// RunFigure11 sweeps Tpar over [0, 1] in the given step. Following §6.1,
+// base paragraphs with empty fingerprints are excluded to remove the
+// systematic short-paragraph error.
+func RunFigure11(scale Scale, params fingerprint.Config, step float64) (Fig11Result, error) {
+	if step <= 0 {
+		step = 0.1
+	}
+	chapters := dataset.GenerateManuals(scale.Seed)
+
+	// Precompute base fingerprints and version fingerprints once.
+	type chapterData struct {
+		baseFPs  []*fingerprint.Fingerprint
+		baseEdit [][]dataset.EditKind // per version
+		verFPs   []*fingerprint.Fingerprint
+	}
+	var data []chapterData
+	for _, c := range chapters {
+		var cd chapterData
+		for _, p := range c.Base().Paragraphs {
+			fp, err := fingerprint.Compute(p, params)
+			if err != nil {
+				return Fig11Result{}, err
+			}
+			cd.baseFPs = append(cd.baseFPs, fp)
+		}
+		for _, v := range c.Versions[1:] {
+			fp, err := fingerprint.Compute(strings.Join(v.Paragraphs, "\n\n"), params)
+			if err != nil {
+				return Fig11Result{}, err
+			}
+			cd.verFPs = append(cd.verFPs, fp)
+			cd.baseEdit = append(cd.baseEdit, v.BaseEdits)
+		}
+		data = append(data, cd)
+	}
+
+	var result Fig11Result
+	for tpar := 0.0; tpar <= 1.0+1e-9; tpar += step {
+		detected, truth := 0, 0
+		for _, cd := range data {
+			for v, verFP := range cd.verFPs {
+				for i, fp := range cd.baseFPs {
+					if fp.Empty() {
+						continue // systematic error excluded (§6.1)
+					}
+					if cd.baseEdit[v][i].Discloses() {
+						truth++
+					}
+					if fp.Containment(verFP) >= tpar {
+						detected++
+					}
+				}
+			}
+		}
+		ratio := 0.0
+		if truth > 0 {
+			ratio = float64(detected) / float64(truth)
+		}
+		result.Points = append(result.Points, Fig11Point{Tpar: tpar, Ratio: ratio})
+	}
+	return result, nil
+}
+
+// Format renders the sweep.
+func (r Fig11Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 11: Impact of paragraph disclosure threshold\n")
+	sb.WriteString("Tpar   detected/ground-truth\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "%4.1f   %6.3f\n", p.Tpar, p.Ratio)
+	}
+	return sb.String()
+}
+
+// RatioAt returns the ratio nearest a given Tpar.
+func (r Fig11Result) RatioAt(tpar float64) float64 {
+	best, bestDist := 0.0, 1e9
+	for _, p := range r.Points {
+		d := p.Tpar - tpar
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			best, bestDist = p.Ratio, d
+		}
+	}
+	return best
+}

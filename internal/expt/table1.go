@@ -1,0 +1,111 @@
+// Package expt implements one runner per table and figure of the paper's
+// evaluation (§6). Each runner returns structured results plus a formatted
+// text report with the same rows/series the paper plots; cmd/bfbench and
+// the root bench harness call into it.
+//
+// Absolute numbers differ from the paper (different hardware, synthetic
+// corpora); the shapes — who wins, decay curves, crossover thresholds —
+// are the reproduction target. EXPERIMENTS.md records paper-vs-measured.
+package expt
+
+import (
+	"github.com/lsds/browserflow/internal/dataset"
+)
+
+// Scale selects corpus sizes: laptop-scale defaults for tests and quick
+// runs, larger values to approach the paper's Table 1.
+type Scale struct {
+	// Seed drives every generator.
+	Seed int64
+
+	// Revisions per Wikipedia-style article (paper: 1000).
+	Revisions int
+
+	// ArticleParagraphs per article (paper: ~60).
+	ArticleParagraphs int
+
+	// ExtraArticles beyond the eight named ones (paper: 100 articles).
+	ExtraArticles int
+
+	// Books in the e-book corpus (paper: 180).
+	Books int
+
+	// BookMinBytes/BookMaxBytes bound book sizes (paper: 300 KB–5.5 MB).
+	BookMinBytes int
+	BookMaxBytes int
+
+	// PopularPassages injects shared passages across books (§6.2's
+	// performance driver); see dataset.EbookConfig.
+	PopularPassages int
+}
+
+// DefaultScale is the laptop-scale configuration used by `go test` and the
+// default bfbench run.
+func DefaultScale() Scale {
+	return Scale{
+		Seed:              1,
+		Revisions:         120,
+		ArticleParagraphs: 24,
+		Books:             8,
+		BookMinBytes:      100 << 10,
+		BookMaxBytes:      400 << 10,
+		PopularPassages:   8,
+	}
+}
+
+// PaperScale approximates the paper's corpus sizes. Running the full
+// performance experiments at this scale takes minutes and gigabytes.
+func PaperScale() Scale {
+	return Scale{
+		Seed:              1,
+		Revisions:         1000,
+		ArticleParagraphs: 60,
+		ExtraArticles:     92,
+		Books:             180,
+		BookMinBytes:      300 << 10,
+		BookMaxBytes:      5500 << 10,
+		PopularPassages:   50,
+	}
+}
+
+func (s Scale) revisionConfig() dataset.RevisionCorpusConfig {
+	cfg := dataset.DefaultRevisionCorpusConfig()
+	cfg.Seed = s.Seed
+	cfg.Revisions = s.Revisions
+	cfg.Paragraphs = s.ArticleParagraphs
+	cfg.ExtraArticles = s.ExtraArticles
+	return cfg
+}
+
+func (s Scale) ebookConfig() dataset.EbookConfig {
+	return dataset.EbookConfig{
+		Seed:            s.Seed + 41,
+		Books:           s.Books,
+		MinBytes:        s.BookMinBytes,
+		MaxBytes:        s.BookMaxBytes,
+		PopularPassages: s.PopularPassages,
+	}
+}
+
+// Table1Result is the dataset summary (Table 1).
+type Table1Result struct {
+	Rows []dataset.Stats
+}
+
+// RunTable1 generates every dataset at the given scale and summarises it.
+func RunTable1(scale Scale) Table1Result {
+	articles := dataset.GenerateRevisionCorpus(scale.revisionConfig())
+	chapters := dataset.GenerateManuals(scale.Seed)
+	books := dataset.GenerateEbooks(scale.ebookConfig())
+
+	rows := []dataset.Stats{dataset.RevisionCorpusStats(articles)}
+	rows = append(rows, dataset.ManualStats(chapters)...)
+	rows = append(rows, dataset.EbookStats(books))
+	return Table1Result{Rows: rows}
+}
+
+// Format renders the table.
+func (r Table1Result) Format() string {
+	return "Table 1: Datasets used for information disclosure evaluation\n" +
+		dataset.FormatTable(r.Rows)
+}

@@ -1,0 +1,275 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/lsds/browserflow/internal/dataset"
+	"github.com/lsds/browserflow/internal/fingerprint"
+)
+
+// --- Figure 8: CDF of relative article-length changes ---------------------
+
+// Fig8Point is one point of the length-change CDF.
+type Fig8Point struct {
+	// RelChange is |len(latest)-len(base)|/len(base).
+	RelChange float64
+
+	// Fraction is the cumulative fraction of articles with change <=
+	// RelChange.
+	Fraction float64
+}
+
+// Fig8Result is the Figure 8 series.
+type Fig8Result struct {
+	Points []Fig8Point
+}
+
+// RunFigure8 computes the cumulative distribution of article length
+// changes between the oldest and most recent revisions.
+func RunFigure8(scale Scale) Fig8Result {
+	articles := dataset.GenerateRevisionCorpus(scale.revisionConfig())
+	changes := make([]float64, 0, len(articles))
+	for _, a := range articles {
+		changes = append(changes, dataset.RelativeLengthChange(a))
+	}
+	sort.Float64s(changes)
+	points := make([]Fig8Point, len(changes))
+	for i, c := range changes {
+		points[i] = Fig8Point{
+			RelChange: c,
+			Fraction:  float64(i+1) / float64(len(changes)),
+		}
+	}
+	return Fig8Result{Points: points}
+}
+
+// Format renders the CDF series.
+func (r Fig8Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 8: Changes in article length (CDF)\n")
+	sb.WriteString("rel-change  fraction\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "%10.4f  %8.4f\n", p.RelChange, p.Fraction)
+	}
+	return sb.String()
+}
+
+// --- Figure 9: paragraph disclosure across revisions ----------------------
+
+// Fig9Point is one (revision distance, %) sample.
+type Fig9Point struct {
+	// Revision is the distance from the base version.
+	Revision int
+
+	// DisclosingPct is the percentage of base paragraphs the revision
+	// still discloses.
+	DisclosingPct float64
+}
+
+// Fig9Series is one article's curve.
+type Fig9Series struct {
+	Article string
+	Points  []Fig9Point
+}
+
+// Fig9Result holds the per-article series of Figure 9a or 9b.
+type Fig9Result struct {
+	// Stable is true for Figure 9a (low length variation) and false for
+	// Figure 9b.
+	Stable bool
+
+	Series []Fig9Series
+}
+
+// RunFigure9 measures, for each named article, the percentage of base-
+// revision paragraphs whose paragraph disclosure towards each sampled
+// newer revision meets Tpar. samples controls how many revision points are
+// measured per article.
+func RunFigure9(scale Scale, stable bool, samples int, params fingerprint.Config, tpar float64) (Fig9Result, error) {
+	articles := dataset.GenerateRevisionCorpus(scale.revisionConfig())
+	titles := dataset.StableTitles
+	if !stable {
+		titles = dataset.VolatileTitles
+	}
+	result := Fig9Result{Stable: stable}
+	for _, a := range articles {
+		if !containsTitle(titles, a.Title) {
+			continue
+		}
+		series, err := articleDisclosureSeries(a, samples, params, tpar)
+		if err != nil {
+			return Fig9Result{}, err
+		}
+		result.Series = append(result.Series, series)
+	}
+	return result, nil
+}
+
+// articleDisclosureSeries fingerprints the base paragraphs once and then
+// measures their containment in each sampled revision's full text —
+// exactly the paper's "disclosing paragraphs (%)" metric.
+func articleDisclosureSeries(a dataset.Article, samples int, params fingerprint.Config, tpar float64) (Fig9Series, error) {
+	baseFPs := make([]*fingerprint.Fingerprint, 0, len(a.Base()))
+	for _, p := range a.Base() {
+		fp, err := fingerprint.Compute(p, params)
+		if err != nil {
+			return Fig9Series{}, err
+		}
+		if !fp.Empty() {
+			baseFPs = append(baseFPs, fp)
+		}
+	}
+	series := Fig9Series{Article: a.Title}
+	if samples < 1 {
+		samples = 1
+	}
+	step := (len(a.Revisions) - 1) / samples
+	if step < 1 {
+		step = 1
+	}
+	for r := step; r < len(a.Revisions); r += step {
+		revText := strings.Join(a.Revisions[r], "\n\n")
+		revFP, err := fingerprint.Compute(revText, params)
+		if err != nil {
+			return Fig9Series{}, err
+		}
+		disclosed := 0
+		for _, fp := range baseFPs {
+			if fp.Containment(revFP) >= tpar {
+				disclosed++
+			}
+		}
+		pct := 0.0
+		if len(baseFPs) > 0 {
+			pct = 100 * float64(disclosed) / float64(len(baseFPs))
+		}
+		series.Points = append(series.Points, Fig9Point{Revision: r, DisclosingPct: pct})
+	}
+	return series, nil
+}
+
+// --- Figure 9 at document granularity --------------------------------------
+
+// Fig9DocPoint is one (revision distance, Ddoc) sample.
+type Fig9DocPoint struct {
+	Revision int
+
+	// Ddoc is the document disclosure of the base revision towards this
+	// revision.
+	Ddoc float64
+}
+
+// Fig9DocSeries is one article's document-level curve.
+type Fig9DocSeries struct {
+	Article string
+	Points  []Fig9DocPoint
+}
+
+// Fig9DocResult is the document-granularity variant of Figure 9; §6.1
+// reports that "the results for the document granularity are similar".
+type Fig9DocResult struct {
+	Stable bool
+	Series []Fig9DocSeries
+}
+
+// RunFigure9Doc measures Ddoc(base, revision) for each sampled revision of
+// the named articles.
+func RunFigure9Doc(scale Scale, stable bool, samples int, params fingerprint.Config) (Fig9DocResult, error) {
+	articles := dataset.GenerateRevisionCorpus(scale.revisionConfig())
+	titles := dataset.StableTitles
+	if !stable {
+		titles = dataset.VolatileTitles
+	}
+	result := Fig9DocResult{Stable: stable}
+	for _, a := range articles {
+		if !containsTitle(titles, a.Title) {
+			continue
+		}
+		baseFP, err := fingerprint.Compute(strings.Join(a.Base(), "\n\n"), params)
+		if err != nil {
+			return Fig9DocResult{}, err
+		}
+		series := Fig9DocSeries{Article: a.Title}
+		if samples < 1 {
+			samples = 1
+		}
+		step := (len(a.Revisions) - 1) / samples
+		if step < 1 {
+			step = 1
+		}
+		for r := step; r < len(a.Revisions); r += step {
+			revFP, err := fingerprint.Compute(strings.Join(a.Revisions[r], "\n\n"), params)
+			if err != nil {
+				return Fig9DocResult{}, err
+			}
+			series.Points = append(series.Points, Fig9DocPoint{
+				Revision: r,
+				Ddoc:     baseFP.Containment(revFP),
+			})
+		}
+		result.Series = append(result.Series, series)
+	}
+	return result, nil
+}
+
+// Format renders the document-granularity series.
+func (r Fig9DocResult) Format() string {
+	var sb strings.Builder
+	name := "Figure 9a (document granularity): stable articles"
+	if !r.Stable {
+		name = "Figure 9b (document granularity): volatile articles"
+	}
+	sb.WriteString(name + " — Ddoc(base, revision)\n")
+	for _, s := range r.Series {
+		fmt.Fprintf(&sb, "%s:\n", s.Article)
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "  rev %5d  %6.3f\n", p.Revision, p.Ddoc)
+		}
+	}
+	return sb.String()
+}
+
+// FinalDdoc returns the last point of a series.
+func (s Fig9DocSeries) FinalDdoc() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Ddoc
+}
+
+// Format renders the per-article series.
+func (r Fig9Result) Format() string {
+	var sb strings.Builder
+	name := "Figure 9a: Articles with low length variations"
+	if !r.Stable {
+		name = "Figure 9b: Articles with high length variations"
+	}
+	sb.WriteString(name + " (paragraph disclosure %)\n")
+	for _, s := range r.Series {
+		fmt.Fprintf(&sb, "%s:\n", s.Article)
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "  rev %5d  %6.1f%%\n", p.Revision, p.DisclosingPct)
+		}
+	}
+	return sb.String()
+}
+
+// FinalPct returns the last point of an article's curve (used in tests and
+// EXPERIMENTS.md summaries).
+func (s Fig9Series) FinalPct() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].DisclosingPct
+}
+
+func containsTitle(titles []string, t string) bool {
+	for _, x := range titles {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}

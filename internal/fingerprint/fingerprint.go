@@ -1,0 +1,263 @@
+// Package fingerprint implements BrowserFlow's text fingerprinting (§4.1),
+// an application of the winnowing algorithm (Schleimer et al., SIGMOD'03).
+//
+// A fingerprint is a small set of 32-bit hashes chosen from the n-gram
+// hashes of the normalised text:
+//
+//	S1  normalise the text (see package normalize),
+//	S2  hash every n-gram with a Karp–Rabin rolling hash (package rollhash),
+//	S3  slide a window of w consecutive hashes over the hash sequence,
+//	S4  keep the minimum hash of each window (rightmost on ties).
+//
+// Winnowing guarantees that any shared passage of at least w+n-1 characters
+// between two texts contributes at least one common hash to both
+// fingerprints, while small edits perturb only the hashes near the edit.
+package fingerprint
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lsds/browserflow/internal/normalize"
+	"github.com/lsds/browserflow/internal/rollhash"
+)
+
+// Config holds the fingerprinting parameters. The paper's evaluation (§6)
+// uses 32-bit hashes over 15-character n-grams with a window of 30.
+type Config struct {
+	// NGram is the n-gram length in normalised bytes (S2).
+	NGram int
+
+	// Window is the number of consecutive n-gram hashes per window (S3).
+	Window int
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation: n-grams of 15 characters and a window size of 30.
+func DefaultConfig() Config {
+	return Config{NGram: 15, Window: 30}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.NGram <= 0 {
+		return fmt.Errorf("fingerprint: NGram must be positive, got %d", c.NGram)
+	}
+	if c.Window <= 0 {
+		return fmt.Errorf("fingerprint: Window must be positive, got %d", c.Window)
+	}
+	return nil
+}
+
+// GuaranteeThreshold returns the minimum shared passage length (in
+// normalised characters) that is guaranteed to produce a common fingerprint
+// hash: w + n - 1.
+func (c Config) GuaranteeThreshold() int {
+	return c.Window + c.NGram - 1
+}
+
+// Position attributes one selected hash to the passage of the original text
+// that produced it.
+type Position struct {
+	// Hash is the selected n-gram hash.
+	Hash uint32
+
+	// Start and End delimit the originating n-gram in the *original*
+	// (pre-normalisation) text, as byte offsets.
+	Start int
+	End   int
+}
+
+// Fingerprint is the set of winnowed hashes of one text segment, with the
+// source position of each selection retained for attribution.
+type Fingerprint struct {
+	hashes    map[uint32]struct{}
+	positions []Position
+}
+
+// Compute fingerprints text under cfg. Texts shorter than one n-gram (after
+// normalisation) yield an empty fingerprint — the systematic false-negative
+// source for very short paragraphs that §6.1 reports.
+func Compute(text string, cfg Config) (*Fingerprint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	norm := normalize.Normalize(text)
+	hashes, err := rollhash.NGrams([]byte(norm.Text), cfg.NGram)
+	if err != nil {
+		return nil, err
+	}
+	fp := &Fingerprint{hashes: make(map[uint32]struct{})}
+	if len(hashes) == 0 {
+		return fp, nil
+	}
+
+	record := func(hashIdx int) {
+		h := hashes[hashIdx]
+		start, end := norm.OrigRange(hashIdx, hashIdx+cfg.NGram)
+		fp.positions = append(fp.positions, Position{Hash: h, Start: start, End: end})
+		fp.hashes[h] = struct{}{}
+	}
+
+	for _, idx := range winnow(hashes, cfg.Window) {
+		record(idx)
+	}
+	return fp, nil
+}
+
+// winnow implements steps S3–S4: slide a window of `window` consecutive
+// hashes and keep the index of the minimum of each window (rightmost on
+// ties), recording each selection once. Texts shorter than one window
+// yield their single global minimum.
+//
+// A monotonic deque gives O(n) total cost instead of the naive O(n·w):
+// indices wait in the deque in strictly increasing hash order; pushing a
+// new hash evicts every back entry with an equal-or-larger hash (equal
+// included, which is what makes the front the *rightmost* minimal index of
+// the window), and the front is evicted once it slides out of range.
+func winnow(hashes []uint32, window int) []int {
+	if len(hashes) == 0 {
+		return nil
+	}
+	if len(hashes) <= window {
+		return []int{minIndex(hashes, 0, len(hashes))}
+	}
+	// Ring buffer of candidate indices; head..tail (exclusive) in push
+	// order, at most window entries live at once.
+	ring := make([]int, window+1)
+	head, tail := 0, 0
+	push := func(i int) { ring[tail%len(ring)] = i; tail++ }
+	popBack := func() { tail-- }
+	popFront := func() { head++ }
+	front := func() int { return ring[head%len(ring)] }
+	back := func() int { return ring[(tail-1)%len(ring)] }
+
+	var selected []int
+	prevSel := -1
+	for i, h := range hashes {
+		for tail > head && hashes[back()] >= h {
+			popBack()
+		}
+		push(i)
+		if front() <= i-window {
+			popFront()
+		}
+		if i >= window-1 {
+			if sel := front(); sel != prevSel {
+				selected = append(selected, sel)
+				prevSel = sel
+			}
+		}
+	}
+	return selected
+}
+
+// minIndex returns the index of the rightmost minimum of hashes[lo:hi].
+func minIndex(hashes []uint32, lo, hi int) int {
+	best := lo
+	for i := lo + 1; i < hi; i++ {
+		if hashes[i] <= hashes[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Len returns the number of distinct hashes in the fingerprint.
+func (f *Fingerprint) Len() int { return len(f.hashes) }
+
+// Empty reports whether the fingerprint selected no hashes (text shorter
+// than one n-gram).
+func (f *Fingerprint) Empty() bool { return len(f.hashes) == 0 }
+
+// Contains reports whether h is one of the fingerprint's hashes.
+func (f *Fingerprint) Contains(h uint32) bool {
+	_, ok := f.hashes[h]
+	return ok
+}
+
+// Hashes returns the distinct hashes in ascending order. The slice is a
+// fresh copy.
+func (f *Fingerprint) Hashes() []uint32 {
+	out := make([]uint32, 0, len(f.hashes))
+	for h := range f.hashes {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Positions returns the selected hashes in text order with their source
+// ranges. The slice is a fresh copy.
+func (f *Fingerprint) Positions() []Position {
+	out := make([]Position, len(f.positions))
+	copy(out, f.positions)
+	return out
+}
+
+// PositionsOf returns the source ranges whose n-grams hashed to h, in text
+// order. It returns nil if h is not in the fingerprint.
+func (f *Fingerprint) PositionsOf(h uint32) []Position {
+	var out []Position
+	for _, p := range f.positions {
+		if p.Hash == h {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// IntersectCount returns |f ∩ g| over distinct hashes.
+func (f *Fingerprint) IntersectCount(g *Fingerprint) int {
+	small, large := f, g
+	if small.Len() > large.Len() {
+		small, large = large, small
+	}
+	n := 0
+	for h := range small.hashes {
+		if large.Contains(h) {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports whether two fingerprints select exactly the same hash set.
+func (f *Fingerprint) Equal(g *Fingerprint) bool {
+	if f.Len() != g.Len() {
+		return false
+	}
+	return f.IntersectCount(g) == f.Len()
+}
+
+// Containment returns |f ∩ g| / |f|, the fraction of f's hashes found in g
+// (Broder containment). It returns 0 for an empty f.
+func (f *Fingerprint) Containment(g *Fingerprint) float64 {
+	if f.Len() == 0 {
+		return 0
+	}
+	return float64(f.IntersectCount(g)) / float64(f.Len())
+}
+
+// Digest returns an order-independent 64-bit summary of the hash set,
+// suitable as a cache key for "has this fingerprint changed?" checks. Equal
+// hash sets produce equal digests.
+func (f *Fingerprint) Digest() uint64 {
+	var sum, xor uint64
+	for h := range f.hashes {
+		v := uint64(h) * 0x9e3779b97f4a7c15
+		sum += v
+		xor ^= v
+	}
+	return sum ^ (xor << 1) ^ uint64(len(f.hashes))
+}
+
+// FromHashes builds a Fingerprint from a raw hash set, without positions.
+// It is used when restoring persisted state.
+func FromHashes(hashes []uint32) *Fingerprint {
+	fp := &Fingerprint{hashes: make(map[uint32]struct{}, len(hashes))}
+	for _, h := range hashes {
+		fp.hashes[h] = struct{}{}
+	}
+	return fp
+}

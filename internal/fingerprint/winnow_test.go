@@ -1,0 +1,198 @@
+package fingerprint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestWinnowPaperExample replays the worked example of §4.1: hash sequence
+// {52, 40, 53, 13, 22} with windows of 3 yields windows {52,40,53},
+// {40,53,13}, {53,13,22}; selecting the minimum of each gives the
+// fingerprint {40, 13}.
+func TestWinnowPaperExample(t *testing.T) {
+	hashes := []uint32{52, 40, 53, 13, 22}
+	idxs := winnow(hashes, 3)
+	var selected []uint32
+	for _, i := range idxs {
+		selected = append(selected, hashes[i])
+	}
+	want := []uint32{40, 13}
+	if len(selected) != len(want) {
+		t.Fatalf("selected=%v, want %v", selected, want)
+	}
+	for i := range want {
+		if selected[i] != want[i] {
+			t.Errorf("selected=%v, want %v", selected, want)
+		}
+	}
+}
+
+func TestWinnowEdgeCases(t *testing.T) {
+	if got := winnow(nil, 3); got != nil {
+		t.Errorf("empty input: %v", got)
+	}
+	// Shorter than a window: global minimum.
+	if got := winnow([]uint32{9, 2, 7}, 5); len(got) != 1 || got[0] != 1 {
+		t.Errorf("short input: %v", got)
+	}
+	// Single hash.
+	if got := winnow([]uint32{5}, 3); len(got) != 1 || got[0] != 0 {
+		t.Errorf("single hash: %v", got)
+	}
+	// Ties select the rightmost index within a window.
+	if got := winnow([]uint32{3, 3, 3}, 3); len(got) != 1 || got[0] != 2 {
+		t.Errorf("ties: %v", got)
+	}
+}
+
+func TestWinnowMonotoneDecreasing(t *testing.T) {
+	// Strictly decreasing hashes: each window's minimum is its last
+	// element, so every position from window-1 on is selected.
+	hashes := []uint32{50, 40, 30, 20, 10}
+	got := winnow(hashes, 3)
+	want := []int{2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// winnowNaive is the O(n·w) reference implementation the deque version
+// must match exactly.
+func winnowNaive(hashes []uint32, window int) []int {
+	if len(hashes) == 0 {
+		return nil
+	}
+	if len(hashes) <= window {
+		return []int{minIndex(hashes, 0, len(hashes))}
+	}
+	var selected []int
+	prevSel := -1
+	for w := 0; w+window <= len(hashes); w++ {
+		sel := minIndex(hashes, w, w+window)
+		if sel != prevSel {
+			selected = append(selected, sel)
+			prevSel = sel
+		}
+	}
+	return selected
+}
+
+// Property: the deque winnow is index-for-index identical to the naive
+// reference, including tie handling.
+func TestQuickWinnowMatchesNaive(t *testing.T) {
+	f := func(seed int64, n uint8, wRaw uint8, small bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n)%150 + 1
+		window := int(wRaw)%12 + 1
+		hashes := make([]uint32, size)
+		for i := range hashes {
+			if small {
+				// Small value range forces many ties.
+				hashes[i] = rng.Uint32() % 4
+			} else {
+				hashes[i] = rng.Uint32()
+			}
+		}
+		a := winnow(hashes, window)
+		b := winnowNaive(hashes, window)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the winnowing guarantee — every window of `window` consecutive
+// hashes contains at least one selected index.
+func TestQuickWinnowCoverage(t *testing.T) {
+	f := func(seed int64, n uint8, wRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n)%100 + 1
+		window := int(wRaw)%10 + 1
+		hashes := make([]uint32, size)
+		for i := range hashes {
+			hashes[i] = rng.Uint32()
+		}
+		selected := winnow(hashes, window)
+		sel := make(map[int]bool, len(selected))
+		for _, i := range selected {
+			sel[i] = true
+		}
+		if size <= window {
+			return len(selected) == 1
+		}
+		for w := 0; w+window <= size; w++ {
+			covered := false
+			for i := w; i < w+window; i++ {
+				if sel[i] {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every selected index is the minimum of at least one window
+// containing it.
+func TestQuickWinnowSelectionsAreMinima(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n)%80 + 10
+		const window = 4
+		hashes := make([]uint32, size)
+		for i := range hashes {
+			hashes[i] = rng.Uint32() % 1000
+		}
+		for _, idx := range winnow(hashes, window) {
+			isMin := false
+			for w := idx - window + 1; w <= idx; w++ {
+				if w < 0 || w+window > size {
+					continue
+				}
+				min := true
+				for i := w; i < w+window; i++ {
+					if hashes[i] < hashes[idx] {
+						min = false
+						break
+					}
+				}
+				if min {
+					isMin = true
+					break
+				}
+			}
+			if size <= window {
+				return true
+			}
+			if !isMin {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+// SegmentRecord is the serialisable form of one DBpar entry.
+type SegmentRecord struct {
+	Seg       segment.ID `json:"seg"`
+	Hashes    []uint32   `json:"hashes"`
+	Threshold float64    `json:"threshold"`
+	Updated   uint64     `json:"updated"`
+}
+
+// PostingRecord is the serialisable form of one DBhash association.
+type PostingRecord struct {
+	Hash uint32     `json:"hash"`
+	Seg  segment.ID `json:"seg"`
+	Seq  uint64     `json:"seq"`
+}
+
+// ExportData is a complete serialisable snapshot of a DB, preserving the
+// first-seen ordering that the authoritative-fingerprint logic depends on.
+type ExportData struct {
+	DefaultThreshold float64         `json:"defaultThreshold"`
+	Clock            uint64          `json:"clock"`
+	Segments         []SegmentRecord `json:"segments"`
+	Postings         []PostingRecord `json:"postings"`
+}
+
+// Export snapshots the DB. Segments are sorted by ID and postings by
+// (seq, hash) so exports are deterministic.
+func (db *DB) Export() ExportData {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	data := ExportData{
+		DefaultThreshold: db.defaultThreshold,
+		Clock:            db.clock,
+	}
+	for seg, entry := range db.par {
+		rec := SegmentRecord{
+			Seg:       seg,
+			Threshold: entry.threshold,
+			Updated:   entry.updated,
+		}
+		if entry.fp != nil {
+			rec.Hashes = entry.fp.Hashes()
+		}
+		data.Segments = append(data.Segments, rec)
+	}
+	sort.Slice(data.Segments, func(i, j int) bool { return data.Segments[i].Seg < data.Segments[j].Seg })
+	for h, postings := range db.hash {
+		for _, p := range postings {
+			data.Postings = append(data.Postings, PostingRecord{Hash: h, Seg: p.Seg, Seq: p.Seq})
+		}
+	}
+	sort.Slice(data.Postings, func(i, j int) bool {
+		if data.Postings[i].Seq != data.Postings[j].Seq {
+			return data.Postings[i].Seq < data.Postings[j].Seq
+		}
+		return data.Postings[i].Hash < data.Postings[j].Hash
+	})
+	return data
+}
+
+// Import replaces the DB's contents with a previously exported snapshot.
+func (db *DB) Import(data ExportData) error {
+	hash := make(map[uint32][]Posting, len(data.Postings))
+	// Postings must be replayed in seq order to restore first-seen
+	// semantics; Export writes them sorted, but do not trust external data.
+	postings := make([]PostingRecord, len(data.Postings))
+	copy(postings, data.Postings)
+	sort.Slice(postings, func(i, j int) bool { return postings[i].Seq < postings[j].Seq })
+	for _, p := range postings {
+		if p.Seq > data.Clock {
+			return fmt.Errorf("index: posting seq %d exceeds clock %d", p.Seq, data.Clock)
+		}
+		hash[p.Hash] = append(hash[p.Hash], Posting{Seg: p.Seg, Seq: p.Seq})
+	}
+	par := make(map[segment.ID]*parEntry, len(data.Segments))
+	for _, rec := range data.Segments {
+		if rec.Updated > data.Clock {
+			return fmt.Errorf("index: segment %s updated %d exceeds clock %d", rec.Seg, rec.Updated, data.Clock)
+		}
+		par[rec.Seg] = &parEntry{
+			fp:        fingerprint.FromHashes(rec.Hashes),
+			threshold: rec.Threshold,
+			updated:   rec.Updated,
+		}
+	}
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.defaultThreshold = data.DefaultThreshold
+	db.clock = data.Clock
+	db.hash = hash
+	db.par = par
+	return nil
+}

@@ -1,0 +1,75 @@
+package index
+
+import (
+	"testing"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	db := New(0.5)
+	db.Update("a", fingerprint.FromHashes([]uint32{1, 2, 3}))
+	db.Update("b", fingerprint.FromHashes([]uint32{2, 4}))
+	db.SetThreshold("b", 0.8)
+
+	data := db.Export()
+	db2 := New(0.9)
+	if err := db2.Import(data); err != nil {
+		t.Fatal(err)
+	}
+	if db2.DefaultThreshold() != 0.5 {
+		t.Errorf("default threshold=%v, want 0.5", db2.DefaultThreshold())
+	}
+	if got := db2.Threshold("b"); got != 0.8 {
+		t.Errorf("threshold(b)=%v, want 0.8", got)
+	}
+	// First-seen order preserved: a is still authoritative for hash 2.
+	if holder, ok := db2.OldestHolder(2); !ok || holder != "a" {
+		t.Errorf("OldestHolder(2)=%q,%v, want a,true", holder, ok)
+	}
+	if got, want := db2.Stats(), db.Stats(); got != want {
+		t.Errorf("stats=%+v, want %+v", got, want)
+	}
+	// Clock continues past imported value.
+	seq := db2.Update("c", fingerprint.FromHashes([]uint32{9}))
+	if seq <= data.Clock {
+		t.Errorf("clock did not resume: %d <= %d", seq, data.Clock)
+	}
+}
+
+func TestExportDeterministic(t *testing.T) {
+	db := New(0.5)
+	db.Update("z", fingerprint.FromHashes([]uint32{5, 6}))
+	db.Update("a", fingerprint.FromHashes([]uint32{5, 7}))
+	x, y := db.Export(), db.Export()
+	if len(x.Segments) != len(y.Segments) || len(x.Postings) != len(y.Postings) {
+		t.Fatal("non-deterministic export sizes")
+	}
+	for i := range x.Segments {
+		if x.Segments[i].Seg != y.Segments[i].Seg {
+			t.Fatal("non-deterministic segment order")
+		}
+	}
+	for i := range x.Postings {
+		if x.Postings[i] != y.Postings[i] {
+			t.Fatal("non-deterministic posting order")
+		}
+	}
+}
+
+func TestImportRejectsInconsistentClock(t *testing.T) {
+	bad := ExportData{
+		Clock:    1,
+		Postings: []PostingRecord{{Hash: 1, Seg: "a", Seq: 5}},
+	}
+	if err := New(0.5).Import(bad); err == nil {
+		t.Error("posting seq beyond clock accepted")
+	}
+	bad2 := ExportData{
+		Clock:    1,
+		Segments: []SegmentRecord{{Seg: "a", Updated: 9}},
+	}
+	if err := New(0.5).Import(bad2); err == nil {
+		t.Error("segment updated beyond clock accepted")
+	}
+}

@@ -1,0 +1,324 @@
+// Package index implements the two data structures behind BrowserFlow's
+// text disclosure algorithm (§4.3, Algorithm 1):
+//
+//   - DBhash: associations of fingerprint hashes to the segments that were
+//     observed to contain them, with first-seen timestamps, and
+//   - DBpar: the last fingerprint calculated for each segment, plus its
+//     disclosure threshold.
+//
+// First-seen timestamps are logical sequence numbers from an internal
+// monotonic clock so that behaviour is deterministic; ordering semantics are
+// identical to the paper's wall-clock timestamps. The oldest holder of a
+// hash is the *authoritative* source for it, which is how the paper avoids
+// misreporting disclosure when documents overlap (Figure 7).
+package index
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+// Posting records that a segment was observed containing a hash, at logical
+// time Seq.
+type Posting struct {
+	Seg segment.ID
+	Seq uint64
+}
+
+// Stats summarises the size of a DB, used by the scalability experiments
+// (Figure 13).
+type Stats struct {
+	// Segments is the number of tracked segments.
+	Segments int
+
+	// DistinctHashes is the number of distinct fingerprint hashes in DBhash.
+	DistinctHashes int
+
+	// Postings is the total number of (hash, segment) associations.
+	Postings int
+
+	// ApproxBytes is a rough in-memory footprint estimate derived from the
+	// counts (map buckets, posting structs, fingerprint sets). It tracks
+	// growth trends, not exact heap use.
+	ApproxBytes int64
+}
+
+// DB is one fingerprint database (the paper instantiates one per tracking
+// granularity). It is safe for concurrent use.
+type DB struct {
+	mu sync.RWMutex
+
+	defaultThreshold float64
+
+	// hash is DBhash: postings per hash ordered by ascending Seq, at most
+	// one posting per (hash, segment) recording the first observation.
+	hash map[uint32][]Posting
+
+	// par is DBpar: the latest fingerprint and threshold per segment.
+	par map[segment.ID]*parEntry
+
+	// clock is the logical time source; increments on every observation.
+	clock uint64
+}
+
+type parEntry struct {
+	fp        *fingerprint.Fingerprint
+	threshold float64
+	updated   uint64
+}
+
+// New returns an empty DB whose segments default to the given disclosure
+// threshold (the paper's default is Tpar = 0.5, §6.1).
+func New(defaultThreshold float64) *DB {
+	return &DB{
+		defaultThreshold: defaultThreshold,
+		hash:             make(map[uint32][]Posting),
+		par:              make(map[segment.ID]*parEntry),
+	}
+}
+
+// DefaultThreshold returns the threshold assigned to segments that have not
+// set their own.
+func (db *DB) DefaultThreshold() float64 { return db.defaultThreshold }
+
+// Update stores fp as the latest fingerprint for seg and records first-seen
+// postings for any hash not previously associated with seg. It returns the
+// logical time of the update.
+func (db *DB) Update(seg segment.ID, fp *fingerprint.Fingerprint) uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	db.clock++
+	now := db.clock
+
+	entry, ok := db.par[seg]
+	if !ok {
+		entry = &parEntry{threshold: db.defaultThreshold}
+		db.par[seg] = entry
+	}
+	entry.fp = fp
+	entry.updated = now
+
+	for _, h := range fp.Hashes() {
+		if !db.hasPostingLocked(h, seg) {
+			db.hash[h] = append(db.hash[h], Posting{Seg: seg, Seq: now})
+		}
+	}
+	return now
+}
+
+// hasPostingLocked reports whether (h, seg) is already recorded. Caller
+// holds at least a read lock.
+func (db *DB) hasPostingLocked(h uint32, seg segment.ID) bool {
+	for _, p := range db.hash[h] {
+		if p.Seg == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// SetThreshold overrides the disclosure threshold of seg (creating the
+// entry if needed), modelling per-paragraph thresholds set by authors
+// (§4.2).
+func (db *DB) SetThreshold(seg segment.ID, t float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	entry, ok := db.par[seg]
+	if !ok {
+		entry = &parEntry{fp: fingerprint.FromHashes(nil)}
+		db.par[seg] = entry
+	}
+	entry.threshold = t
+}
+
+// Threshold returns seg's disclosure threshold, or the default if seg is
+// unknown.
+func (db *DB) Threshold(seg segment.ID) float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if entry, ok := db.par[seg]; ok {
+		return entry.threshold
+	}
+	return db.defaultThreshold
+}
+
+// Fingerprint returns the latest fingerprint stored for seg.
+func (db *DB) Fingerprint(seg segment.ID) (*fingerprint.Fingerprint, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	entry, ok := db.par[seg]
+	if !ok || entry.fp == nil {
+		return nil, false
+	}
+	return entry.fp, true
+}
+
+// OldestHolder returns the segment first observed with hash h — the
+// authoritative source for h.
+func (db *DB) OldestHolder(h uint32) (segment.ID, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.oldestHolderLocked(h)
+}
+
+func (db *DB) oldestHolderLocked(h uint32) (segment.ID, bool) {
+	postings := db.hash[h]
+	if len(postings) == 0 {
+		return "", false
+	}
+	// Postings are appended in clock order, so the first is the oldest.
+	return postings[0].Seg, true
+}
+
+// Holders returns every segment associated with h, oldest first.
+func (db *DB) Holders(h uint32) []segment.ID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	postings := db.hash[h]
+	out := make([]segment.ID, len(postings))
+	for i, p := range postings {
+		out[i] = p.Seg
+	}
+	return out
+}
+
+// AuthoritativeCount returns |Fauthoritative(seg)|: how many of seg's
+// fingerprint hashes have seg as their oldest holder.
+func (db *DB) AuthoritativeCount(seg segment.ID) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	entry, ok := db.par[seg]
+	if !ok || entry.fp == nil {
+		return 0
+	}
+	n := 0
+	for _, h := range entry.fp.Hashes() {
+		if holder, ok := db.oldestHolderLocked(h); ok && holder == seg {
+			n++
+		}
+	}
+	return n
+}
+
+// AuthoritativeOverlap returns |Fauthoritative(src) ∩ target| — the core
+// quantity of the adjusted disclosure metrics of §4.3 — together with
+// |F(src)|. It returns (0, 0) if src has no stored fingerprint.
+func (db *DB) AuthoritativeOverlap(src segment.ID, target *fingerprint.Fingerprint) (overlap, srcLen int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	entry, ok := db.par[src]
+	if !ok || entry.fp == nil {
+		return 0, 0
+	}
+	srcLen = entry.fp.Len()
+	for _, h := range entry.fp.Hashes() {
+		holder, ok := db.oldestHolderLocked(h)
+		if !ok || holder != src {
+			continue
+		}
+		if target.Contains(h) {
+			overlap++
+		}
+	}
+	return overlap, srcLen
+}
+
+// RemoveSegment deletes seg's fingerprint and all its postings. Subsequent
+// oldest-holder queries may promote younger segments to authoritative.
+func (db *DB) RemoveSegment(seg segment.ID) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	entry, ok := db.par[seg]
+	if !ok {
+		return
+	}
+	delete(db.par, seg)
+	if entry.fp == nil {
+		return
+	}
+	for _, h := range entry.fp.Hashes() {
+		db.hash[h] = removePosting(db.hash[h], seg)
+		if len(db.hash[h]) == 0 {
+			delete(db.hash, h)
+		}
+	}
+}
+
+// ExpireBefore removes postings whose first observation is older than the
+// given logical time, and drops segments whose last update is older. This
+// implements the periodic removal of old fingerprints recommended in §4.4.
+// It returns the number of postings removed.
+func (db *DB) ExpireBefore(seq uint64) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	removed := 0
+	for h, postings := range db.hash {
+		kept := postings[:0]
+		for _, p := range postings {
+			if p.Seq >= seq {
+				kept = append(kept, p)
+			} else {
+				removed++
+			}
+		}
+		if len(kept) == 0 {
+			delete(db.hash, h)
+		} else {
+			db.hash[h] = kept
+		}
+	}
+	for seg, entry := range db.par {
+		if entry.updated < seq {
+			delete(db.par, seg)
+		}
+	}
+	return removed
+}
+
+// Now returns the current logical time.
+func (db *DB) Now() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.clock
+}
+
+// Segments returns the IDs of all tracked segments, sorted.
+func (db *DB) Segments() []segment.ID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]segment.ID, 0, len(db.par))
+	for seg := range db.par {
+		out = append(out, seg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats returns current size statistics.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := Stats{Segments: len(db.par), DistinctHashes: len(db.hash)}
+	for _, postings := range db.hash {
+		s.Postings += len(postings)
+	}
+	// Rough per-item costs: a DBhash map entry (bucket share + slice
+	// header) ≈ 56 B, a posting (segment.ID string header + seq) ≈ 40 B
+	// with the shared string bytes amortised, a fingerprint hash in a
+	// DBpar set ≈ 48 B, a segment entry ≈ 160 B.
+	s.ApproxBytes = int64(s.DistinctHashes)*56 + int64(s.Postings)*(40+48) + int64(s.Segments)*160
+	return s
+}
+
+func removePosting(postings []Posting, seg segment.ID) []Posting {
+	for i, p := range postings {
+		if p.Seg == seg {
+			return append(postings[:i], postings[i+1:]...)
+		}
+	}
+	return postings
+}

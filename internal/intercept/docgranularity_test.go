@@ -1,0 +1,81 @@
+package intercept
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/policy"
+	"github.com/lsds/browserflow/internal/segment"
+	"github.com/lsds/browserflow/internal/webapp"
+)
+
+// Paragraphs of three sentences each; the attacker copies one sentence
+// from every paragraph — each excerpt stays below the paragraph threshold,
+// but together they disclose the document (§4.1: "revealing one sentence
+// from each paragraph would disclose the document").
+var crossPars = []string{
+	"The acquisition closes in March pending antitrust review. Deal terms value the target at ninety million dollars. Integration planning starts immediately after signature.",
+	"Severance packages were approved for the duplicated roles. Retention bonuses cover the core engineering team only. Managers communicate individually next Tuesday morning.",
+	"The combined roadmap drops the legacy storage product. Customers migrate to the new platform within a year. Pricing stays unchanged during the migration window.",
+	"Press strategy is silence until the regulator files notice. Leaks trigger the prepared statement immediately. Employee briefings follow the public announcement only.",
+}
+
+func TestCrossParagraphDisclosureCaughtAtDocumentGranularity(t *testing.T) {
+	w := newWorld(t, policy.ModeAdvisory)
+	w.server.SeedWikiPage("merger", crossPars...)
+	w.server.SeedDoc("draft", "My own harmless draft introduction paragraph.")
+
+	wikiTab := w.openWiki(t, "merger")
+	_ = wikiTab
+	// The document author lowers the wiki document's disclosure threshold
+	// (per-document thresholds, §4.2).
+	wikiDocSeg := segment.DocSegmentID(segment.DocumentID("wiki:/wiki/merger"))
+	w.engine.Tracker().Documents().SetThreshold(wikiDocSeg, 0.25)
+
+	_, ed := w.openDocs(t, "draft")
+	// Copy the first sentence of each wiki paragraph into the doc.
+	for _, p := range crossPars {
+		sentence := p[:strings.Index(p, ".")+1]
+		if err := ed.AppendParagraph(sentence); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.plugin.Flush()
+
+	var parViolation, docViolation bool
+	for _, e := range w.eventList() {
+		if e.Service != webapp.ServiceDocs || !e.Verdict.Violation() {
+			continue
+		}
+		switch e.Kind {
+		case EventEdit:
+			parViolation = true
+		case EventDoc:
+			docViolation = true
+		}
+	}
+	if parViolation {
+		t.Error("single sentences should stay below the paragraph threshold")
+	}
+	if !docViolation {
+		t.Error("document granularity missed the cross-paragraph disclosure")
+	}
+}
+
+func TestDocumentGranularityCleanPage(t *testing.T) {
+	w := newWorld(t, policy.ModeAdvisory)
+	w.server.SeedDoc("draft", "Original text paragraph one.", "Original text paragraph two.")
+	if _, err := w.browser.OpenTab(w.srv.URL + "/docs/draft"); err != nil {
+		t.Fatal(err)
+	}
+	w.plugin.Flush()
+	for _, e := range w.eventList() {
+		if e.Kind == EventDoc && e.Verdict.Violation() {
+			t.Errorf("clean page flagged at document granularity: %+v", e)
+		}
+	}
+	// Document segment was tracked.
+	if got := w.engine.Tracker().Documents().Stats().Segments; got == 0 {
+		t.Error("no document segments tracked")
+	}
+}

@@ -1,0 +1,93 @@
+package intercept
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/browser"
+	"github.com/lsds/browserflow/internal/exactmatch"
+	"github.com/lsds/browserflow/internal/policy"
+)
+
+// newSecretWorld is newWorld plus a registered exact-match secret.
+func newSecretWorld(t *testing.T, mode policy.Mode) (*world, *exactmatch.Store) {
+	t.Helper()
+	w := newWorld(t, mode)
+	secrets := exactmatch.NewStoreWithSalt([]byte("test"))
+	if err := secrets.Register("prod-db-password", "sw0rdf1sh-9000"); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the plugin with the secret store attached.
+	w.plugin.Shutdown()
+	plugin, err := New(Config{
+		Engine:  w.engine,
+		User:    "alice",
+		Secrets: secrets,
+		OnEvent: func(e Event) {
+			w.mu.Lock()
+			w.events = append(w.events, e)
+			w.mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(plugin.Shutdown)
+	w.plugin = plugin
+	w.browser = browser.New()
+	w.plugin.AttachToBrowser(w.browser)
+	return w, secrets
+}
+
+func TestSecretBlockedInFormEvenInAdvisoryMode(t *testing.T) {
+	w, _ := newSecretWorld(t, policy.ModeAdvisory)
+	w.server.SeedWikiPage("notes", "Starter paragraph.")
+	wikiTab := w.openWiki(t, "notes")
+	form := wikiTab.Document().Root().ByID("edit")
+	err := wikiTab.SubmitForm(form, map[string]string{
+		"content": "remember the db password is sw0rdf1sh-9000 for tonight",
+	})
+	if !errors.Is(err, browser.ErrBlocked) {
+		t.Fatalf("err=%v, want ErrBlocked (secrets block regardless of mode)", err)
+	}
+	if got := w.server.WikiPage("notes"); len(got) != 1 {
+		t.Errorf("secret reached backend: %v", got)
+	}
+	var sawSecret bool
+	for _, e := range w.eventList() {
+		if e.Kind == EventSecret {
+			sawSecret = true
+			if e.Verdict.Decision != policy.DecisionBlock {
+				t.Errorf("secret verdict=%v", e.Verdict.Decision)
+			}
+		}
+	}
+	if !sawSecret {
+		t.Error("no secret event emitted")
+	}
+}
+
+func TestSecretBlockedInXHR(t *testing.T) {
+	w, _ := newSecretWorld(t, policy.ModeAdvisory)
+	w.server.SeedDoc("scratch", "Starter.")
+	_, ed := w.openDocs(t, "scratch")
+	err := ed.AppendParagraph("api credentials: sw0rdf1sh-9000")
+	if !errors.Is(err, browser.ErrBlocked) {
+		t.Fatalf("err=%v, want ErrBlocked", err)
+	}
+	if got := w.server.Doc("scratch"); len(got) != 1 {
+		t.Errorf("secret reached docs backend: %v", got)
+	}
+}
+
+func TestNonSecretTextUnaffected(t *testing.T) {
+	w, _ := newSecretWorld(t, policy.ModeAdvisory)
+	w.server.SeedDoc("scratch", "Starter.")
+	_, ed := w.openDocs(t, "scratch")
+	if err := ed.AppendParagraph("just a normal sentence without credentials"); err != nil {
+		t.Fatalf("clean text blocked: %v", err)
+	}
+	if got := w.server.Doc("scratch"); len(got) != 2 {
+		t.Errorf("backend=%v", got)
+	}
+}

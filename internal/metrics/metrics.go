@@ -1,0 +1,180 @@
+// Package metrics provides the latency instrumentation used by the
+// performance experiments (§6.2): a concurrent sample recorder with
+// percentile and CDF queries matching the series the paper plots in
+// Figures 12 and 13.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Recorder collects duration samples. It is safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{}
+}
+
+// Add records one sample.
+func (r *Recorder) Add(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Time runs fn and records its duration.
+func (r *Recorder) Time(fn func()) {
+	start := time.Now()
+	fn()
+	r.Add(time.Since(start))
+}
+
+// Count returns the number of samples.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Reset discards all samples.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.samples = nil
+	r.mu.Unlock()
+}
+
+// snapshotSorted returns a sorted copy of the samples.
+func (r *Recorder) snapshotSorted() []time.Duration {
+	r.mu.Lock()
+	out := make([]time.Duration, len(r.samples))
+	copy(out, r.samples)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank. It returns 0 with no samples.
+func (r *Recorder) Percentile(p float64) time.Duration {
+	s := r.snapshotSorted()
+	if len(s) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}
+
+// FractionBelow returns the fraction of samples strictly at or below d.
+func (r *Recorder) FractionBelow(d time.Duration) float64 {
+	s := r.snapshotSorted()
+	if len(s) == 0 {
+		return 0
+	}
+	idx := sort.Search(len(s), func(i int) bool { return s[i] > d })
+	return float64(idx) / float64(len(s))
+}
+
+// CDFPoint is one point of a cumulative distribution.
+type CDFPoint struct {
+	// Value is the sample value.
+	Value time.Duration
+
+	// Fraction is the cumulative fraction of samples <= Value.
+	Fraction float64
+}
+
+// CDF returns up to points evenly spaced points of the sample CDF.
+func (r *Recorder) CDF(points int) []CDFPoint {
+	s := r.snapshotSorted()
+	if len(s) == 0 || points <= 0 {
+		return nil
+	}
+	if points > len(s) {
+		points = len(s)
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 1; i <= points; i++ {
+		idx := i*len(s)/points - 1
+		out = append(out, CDFPoint{
+			Value:    s[idx],
+			Fraction: float64(idx+1) / float64(len(s)),
+		})
+	}
+	return out
+}
+
+// Summary holds the headline statistics of a sample set.
+type Summary struct {
+	Count int
+	Min   time.Duration
+	Max   time.Duration
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Summarize computes a Summary.
+func (r *Recorder) Summarize() Summary {
+	s := r.snapshotSorted()
+	if len(s) == 0 {
+		return Summary{}
+	}
+	var total time.Duration
+	for _, d := range s {
+		total += d
+	}
+	pct := func(p float64) time.Duration {
+		rank := int(math.Ceil(p / 100 * float64(len(s))))
+		if rank < 1 {
+			rank = 1
+		}
+		return s[rank-1]
+	}
+	return Summary{
+		Count: len(s),
+		Min:   s[0],
+		Max:   s[len(s)-1],
+		Mean:  total / time.Duration(len(s)),
+		P50:   pct(50),
+		P95:   pct(95),
+		P99:   pct(99),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d min=%v p50=%v mean=%v p95=%v p99=%v max=%v",
+		s.Count, s.Min, s.P50, s.Mean, s.P95, s.P99, s.Max)
+}
+
+// FormatCDF renders a CDF as aligned "value fraction" rows for harness
+// output.
+func FormatCDF(points []CDFPoint) string {
+	var sb strings.Builder
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%12v  %6.4f\n", p.Value, p.Fraction)
+	}
+	return sb.String()
+}

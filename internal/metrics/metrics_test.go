@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fill(r *Recorder, n int) {
+	for i := 1; i <= n; i++ {
+		r.Add(time.Duration(i) * time.Millisecond)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	r := NewRecorder()
+	fill(r, 100) // 1ms..100ms
+	tests := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{p: 50, want: 50 * time.Millisecond},
+		{p: 95, want: 95 * time.Millisecond},
+		{p: 99, want: 99 * time.Millisecond},
+		{p: 100, want: 100 * time.Millisecond},
+		{p: 1, want: 1 * time.Millisecond},
+		{p: 0, want: 1 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		if got := r.Percentile(tt.p); got != tt.want {
+			t.Errorf("P%v=%v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if got := NewRecorder().Percentile(50); got != 0 {
+		t.Errorf("empty P50=%v, want 0", got)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	r := NewRecorder()
+	fill(r, 100)
+	if got := r.FractionBelow(30 * time.Millisecond); got != 0.3 {
+		t.Errorf("FractionBelow(30ms)=%v, want 0.3", got)
+	}
+	if got := r.FractionBelow(200 * time.Millisecond); got != 1.0 {
+		t.Errorf("FractionBelow(200ms)=%v, want 1.0", got)
+	}
+	if got := r.FractionBelow(0); got != 0 {
+		t.Errorf("FractionBelow(0)=%v, want 0", got)
+	}
+	if got := NewRecorder().FractionBelow(time.Second); got != 0 {
+		t.Errorf("empty FractionBelow=%v, want 0", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	r := NewRecorder()
+	fill(r, 100)
+	points := r.CDF(10)
+	if len(points) != 10 {
+		t.Fatalf("points=%d, want 10", len(points))
+	}
+	if points[len(points)-1].Fraction != 1.0 {
+		t.Errorf("last fraction=%v, want 1.0", points[len(points)-1].Fraction)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Value < points[i-1].Value || points[i].Fraction <= points[i-1].Fraction {
+			t.Errorf("CDF not monotone at %d: %+v %+v", i, points[i-1], points[i])
+		}
+	}
+	// More points than samples collapses to sample count.
+	small := NewRecorder()
+	fill(small, 3)
+	if got := len(small.CDF(50)); got != 3 {
+		t.Errorf("capped points=%d, want 3", got)
+	}
+	if NewRecorder().CDF(5) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder()
+	fill(r, 10)
+	s := r.Summarize()
+	if s.Count != 10 || s.Min != time.Millisecond || s.Max != 10*time.Millisecond {
+		t.Errorf("summary=%+v", s)
+	}
+	wantMean := time.Duration(55) * time.Millisecond / 10
+	if s.Mean != wantMean {
+		t.Errorf("mean=%v, want %v", s.Mean, wantMean)
+	}
+	if s.P50 != 5*time.Millisecond {
+		t.Errorf("p50=%v", s.P50)
+	}
+	if !strings.Contains(s.String(), "n=10") {
+		t.Errorf("String()=%q", s.String())
+	}
+	if (Summary{}).String() != "no samples" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestTimeHelper(t *testing.T) {
+	r := NewRecorder()
+	r.Time(func() { time.Sleep(time.Millisecond) })
+	if r.Count() != 1 {
+		t.Fatalf("count=%d", r.Count())
+	}
+	if r.Percentile(50) < time.Millisecond {
+		t.Errorf("recorded %v, want >= 1ms", r.Percentile(50))
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder()
+	fill(r, 5)
+	r.Reset()
+	if r.Count() != 0 {
+		t.Error("Reset did not clear samples")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Add(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 800 {
+		t.Errorf("count=%d, want 800", r.Count())
+	}
+}
+
+func TestFormatCDF(t *testing.T) {
+	r := NewRecorder()
+	fill(r, 4)
+	out := FormatCDF(r.CDF(2))
+	if !strings.Contains(out, "1.0000") {
+		t.Errorf("FormatCDF=%q", out)
+	}
+}

@@ -1,0 +1,48 @@
+package normalize
+
+import (
+	"testing"
+	"unicode"
+)
+
+// FuzzNormalize checks the core invariants for arbitrary input: no panics,
+// idempotence, offsets in range and monotone.
+func FuzzNormalize(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"Hello World!",
+		"MySQL 5.1",
+		"père Noël",
+		"机密文件",
+		"\xff\xfe invalid utf8 \x80",
+		"á combining",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		r := Normalize(input)
+		if len(r.Offsets) != len(r.Text) {
+			t.Fatalf("offsets/text length mismatch: %d vs %d", len(r.Offsets), len(r.Text))
+		}
+		prev := int32(-1)
+		for i, off := range r.Offsets {
+			if int(off) >= len(input) || off < 0 {
+				t.Fatalf("offset %d out of range at %d", off, i)
+			}
+			if off < prev {
+				t.Fatalf("offsets not monotone at %d", i)
+			}
+			prev = off
+		}
+		// Idempotence.
+		if twice := Normalize(r.Text).Text; twice != r.Text {
+			t.Errorf("not idempotent: %q -> %q", r.Text, twice)
+		}
+		// Output alphabet: letters and digits only.
+		for _, c := range r.Text {
+			if !unicode.IsLetter(c) && !unicode.IsDigit(c) {
+				t.Fatalf("non-letter %q survived", c)
+			}
+		}
+	})
+}

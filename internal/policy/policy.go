@@ -1,0 +1,314 @@
+// Package policy combines the disclosure tracker (§4) with the Text
+// Disclosure Model (§3) into the two modules of Figure 1:
+//
+//   - the policy *lookup* module extracts the security label associated with
+//     a text segment that is about to be uploaded, using imprecise data flow
+//     tracking to discover which origins the text discloses; and
+//   - the policy *enforcement* module compares that label with the
+//     destination service's privilege label and decides whether the upload
+//     may proceed.
+//
+// BrowserFlow is advisory by design — most data disclosure happens by
+// accident, so users keep the final decision — but the engine also supports
+// enforcing and encrypting modes for stricter deployments.
+package policy
+
+import (
+	"fmt"
+
+	"github.com/lsds/browserflow/internal/audit"
+	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/segment"
+	"github.com/lsds/browserflow/internal/tdm"
+)
+
+// Decision is the outcome of an enforcement check.
+type Decision int
+
+const (
+	// DecisionAllow permits the upload unchanged.
+	DecisionAllow Decision = iota + 1
+
+	// DecisionWarn permits the upload but flags the violation to the user
+	// (advisory mode: red paragraph background in the paper's plug-in).
+	DecisionWarn
+
+	// DecisionBlock prevents the upload.
+	DecisionBlock
+
+	// DecisionEncrypt permits the upload after encrypting the payload so
+	// the untrusted service never sees plaintext.
+	DecisionEncrypt
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case DecisionAllow:
+		return "allow"
+	case DecisionWarn:
+		return "warn"
+	case DecisionBlock:
+		return "block"
+	case DecisionEncrypt:
+		return "encrypt"
+	default:
+		return fmt.Sprintf("decision(%d)", int(d))
+	}
+}
+
+// ParseDecision converts a decision's string form back to a Decision; it
+// is used by remote clients deserialising verdicts.
+func ParseDecision(s string) (Decision, error) {
+	switch s {
+	case "allow":
+		return DecisionAllow, nil
+	case "warn":
+		return DecisionWarn, nil
+	case "block":
+		return DecisionBlock, nil
+	case "encrypt":
+		return DecisionEncrypt, nil
+	default:
+		return 0, fmt.Errorf("policy: unknown decision %q", s)
+	}
+}
+
+// Mode selects what the enforcement module does on a violation.
+type Mode int
+
+const (
+	// ModeAdvisory warns but never blocks (the paper's default posture).
+	ModeAdvisory Mode = iota + 1
+
+	// ModeEnforcing blocks violating uploads.
+	ModeEnforcing
+
+	// ModeEncrypting encrypts violating uploads before transmission.
+	ModeEncrypting
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeAdvisory:
+		return "advisory"
+	case ModeEnforcing:
+		return "enforcing"
+	case ModeEncrypting:
+		return "encrypting"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Verdict is the result of one policy evaluation.
+type Verdict struct {
+	// Decision is what the enforcement module chose.
+	Decision Decision
+
+	// Seg is the evaluated segment (empty for ad-hoc text checks).
+	Seg segment.ID
+
+	// Service is the destination service.
+	Service string
+
+	// Violating lists the tags that are not covered by the destination's
+	// privilege label (empty when Decision is Allow).
+	Violating []tdm.Tag
+
+	// Sources are the origin segments the text was found to disclose.
+	Sources []disclosure.Source
+
+	// CacheHit reports whether the disclosure result came from the
+	// decision cache.
+	CacheHit bool
+}
+
+// Violation reports whether the evaluation found a policy violation
+// (regardless of the mode's chosen decision).
+func (v Verdict) Violation() bool { return len(v.Violating) > 0 }
+
+// Engine wires the tracker and the registry together. It is safe for
+// concurrent use.
+type Engine struct {
+	tracker  *disclosure.Tracker
+	registry *tdm.Registry
+	mode     Mode
+}
+
+// NewEngine returns an Engine in the given mode.
+func NewEngine(tracker *disclosure.Tracker, registry *tdm.Registry, mode Mode) (*Engine, error) {
+	if tracker == nil || registry == nil {
+		return nil, fmt.Errorf("policy: tracker and registry are required")
+	}
+	switch mode {
+	case ModeAdvisory, ModeEnforcing, ModeEncrypting:
+	default:
+		return nil, fmt.Errorf("policy: invalid mode %d", int(mode))
+	}
+	return &Engine{tracker: tracker, registry: registry, mode: mode}, nil
+}
+
+// Tracker returns the underlying disclosure tracker.
+func (e *Engine) Tracker() *disclosure.Tracker { return e.tracker }
+
+// Registry returns the underlying TDM registry.
+func (e *Engine) Registry() *tdm.Registry { return e.registry }
+
+// Mode returns the engine's enforcement mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// ObserveEdit is the policy lookup path for a paragraph edit inside a
+// service (a DOM mutation in the browser): it records the text, refreshes
+// the segment's label from its current disclosure sources, and returns the
+// verdict of uploading the text back to its *own* service — which flags the
+// "red background" state while the user is still editing.
+func (e *Engine) ObserveEdit(seg segment.ID, service, text string) (Verdict, error) {
+	if _, err := e.registry.ObserveSegment(seg, service); err != nil {
+		return Verdict{}, err
+	}
+	report, err := e.tracker.ObserveParagraph(seg, text)
+	if err != nil {
+		return Verdict{}, err
+	}
+	e.registry.RefreshImplicit(seg, report.SourceSegs())
+	return e.verdictFor(seg, service, report.Sources, report.CacheHit)
+}
+
+// ObserveDocumentEdit records a whole-document observation (the second
+// tracking granularity of §4.1).
+func (e *Engine) ObserveDocumentEdit(doc segment.ID, service, text string) (Verdict, error) {
+	if _, err := e.registry.ObserveSegment(doc, service); err != nil {
+		return Verdict{}, err
+	}
+	report, err := e.tracker.ObserveDocument(doc, text)
+	if err != nil {
+		return Verdict{}, err
+	}
+	e.registry.RefreshImplicit(doc, report.SourceSegs())
+	return e.verdictFor(doc, service, report.Sources, report.CacheHit)
+}
+
+// ObserveEditFP is ObserveEdit for a fingerprint computed by the caller —
+// remote (tag-server) clients keep text on-device and ship hashes only.
+func (e *Engine) ObserveEditFP(seg segment.ID, service string, fp *fingerprint.Fingerprint) (Verdict, error) {
+	if _, err := e.registry.ObserveSegment(seg, service); err != nil {
+		return Verdict{}, err
+	}
+	report, err := e.tracker.ObserveParagraphFP(seg, fp)
+	if err != nil {
+		return Verdict{}, err
+	}
+	e.registry.RefreshImplicit(seg, report.SourceSegs())
+	return e.verdictFor(seg, service, report.Sources, report.CacheHit)
+}
+
+// ObserveDocumentEditFP is ObserveDocumentEdit for a caller-computed
+// fingerprint.
+func (e *Engine) ObserveDocumentEditFP(doc segment.ID, service string, fp *fingerprint.Fingerprint) (Verdict, error) {
+	if _, err := e.registry.ObserveSegment(doc, service); err != nil {
+		return Verdict{}, err
+	}
+	report, err := e.tracker.ObserveDocumentFP(doc, fp)
+	if err != nil {
+		return Verdict{}, err
+	}
+	e.registry.RefreshImplicit(doc, report.SourceSegs())
+	return e.verdictFor(doc, service, report.Sources, report.CacheHit)
+}
+
+// CheckFP is CheckText for a caller-computed fingerprint.
+func (e *Engine) CheckFP(fp *fingerprint.Fingerprint, destService string) (Verdict, error) {
+	sources := e.tracker.QueryParagraphFP(fp, "")
+	return e.checkSources(sources, destService)
+}
+
+// checkSources evaluates ad-hoc content given its disclosure sources.
+func (e *Engine) checkSources(sources []disclosure.Source, destService string) (Verdict, error) {
+	svc, err := e.registry.Service(destService)
+	if err != nil {
+		return Verdict{}, err
+	}
+	label := tdm.NewLabel()
+	implicit := tdm.NewTagSet()
+	for _, src := range sources {
+		if srcLabel := e.registry.Label(src.Seg); srcLabel != nil {
+			implicit = implicit.Union(srcLabel.Explicit())
+		}
+	}
+	label.SetImplicit(implicit)
+	ok, violating := label.ReleasableTo(svc.Privilege)
+	v := Verdict{Service: destService, Sources: sources}
+	if ok {
+		v.Decision = DecisionAllow
+		return v, nil
+	}
+	v.Violating = violating
+	v.Decision = e.violationDecision()
+	return v, nil
+}
+
+// CheckUpload evaluates releasing an already tracked segment to a
+// destination service — the enforcement path for intercepted requests.
+func (e *Engine) CheckUpload(seg segment.ID, destService string) (Verdict, error) {
+	return e.verdictFor(seg, destService, nil, false)
+}
+
+// CheckText evaluates ad-hoc text (e.g. a form field value) against a
+// destination service without recording it as an observation. The text's
+// label is the union of the explicit tags of the origins it discloses —
+// exactly the implicit label a new destination segment would receive.
+func (e *Engine) CheckText(text, destService string) (Verdict, error) {
+	sources, err := e.tracker.QueryParagraph(text, "")
+	if err != nil {
+		return Verdict{}, err
+	}
+	return e.checkSources(sources, destService)
+}
+
+// Override records a user explicitly permitting a flagged upload
+// (accountable declassification at the decision point). It returns the
+// allow verdict.
+func (e *Engine) Override(user string, seg segment.ID, destService, justification string) Verdict {
+	e.registry.Audit().Append(audit.Entry{
+		User:          user,
+		Action:        audit.ActionOverride,
+		Segment:       string(seg),
+		Service:       destService,
+		Justification: justification,
+	})
+	return Verdict{Decision: DecisionAllow, Seg: seg, Service: destService}
+}
+
+func (e *Engine) verdictFor(seg segment.ID, service string, sources []disclosure.Source, cacheHit bool) (Verdict, error) {
+	ok, violating, err := e.registry.CheckRelease(seg, service)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v := Verdict{
+		Seg:      seg,
+		Service:  service,
+		Sources:  sources,
+		CacheHit: cacheHit,
+	}
+	if ok {
+		v.Decision = DecisionAllow
+		return v, nil
+	}
+	v.Violating = violating
+	v.Decision = e.violationDecision()
+	return v, nil
+}
+
+func (e *Engine) violationDecision() Decision {
+	switch e.mode {
+	case ModeEnforcing:
+		return DecisionBlock
+	case ModeEncrypting:
+		return DecisionEncrypt
+	default:
+		return DecisionWarn
+	}
+}

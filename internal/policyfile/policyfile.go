@@ -1,0 +1,145 @@
+// Package policyfile loads enterprise data disclosure policies from JSON.
+// §3.1: "Policies are set by enterprise-wide administrators once" — this is
+// the artefact administrators author and ship to every device:
+//
+//	{
+//	  "services": [
+//	    {"name": "itool", "privilege": ["ti"], "confidentiality": ["ti"]},
+//	    {"name": "wiki",  "privilege": ["tw"], "confidentiality": ["tw"]},
+//	    {"name": "docs"}
+//	  ],
+//	  "mode": "advisory",
+//	  "tpar": 0.5,
+//	  "tdoc": 0.5,
+//	  "secrets": [
+//	    {"name": "prod-db-password", "value": "..."}
+//	  ]
+//	}
+package policyfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/lsds/browserflow/internal/policy"
+)
+
+// ServiceSpec declares one cloud service.
+type ServiceSpec struct {
+	Name            string   `json:"name"`
+	Privilege       []string `json:"privilege,omitempty"`
+	Confidentiality []string `json:"confidentiality,omitempty"`
+}
+
+// SecretSpec registers one exact-match secret.
+type SecretSpec struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Policy is the root document.
+type Policy struct {
+	Services []ServiceSpec `json:"services"`
+
+	// Mode is "advisory" (default), "enforcing" or "encrypting".
+	Mode string `json:"mode,omitempty"`
+
+	// Tpar and Tdoc are the default disclosure thresholds (default 0.5).
+	Tpar float64 `json:"tpar,omitempty"`
+	Tdoc float64 `json:"tdoc,omitempty"`
+
+	// Secrets to protect by exact matching.
+	Secrets []SecretSpec `json:"secrets,omitempty"`
+}
+
+// Parse reads and validates a policy document.
+func Parse(r io.Reader) (Policy, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var p Policy
+	if err := dec.Decode(&p); err != nil {
+		return Policy{}, fmt.Errorf("policyfile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Policy{}, err
+	}
+	p.applyDefaults()
+	return p, nil
+}
+
+// Load parses a policy file from disk.
+func Load(path string) (Policy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Policy{}, fmt.Errorf("policyfile: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Validate checks structural constraints.
+func (p Policy) Validate() error {
+	if len(p.Services) == 0 {
+		return fmt.Errorf("policyfile: at least one service is required")
+	}
+	seen := make(map[string]bool, len(p.Services))
+	for _, svc := range p.Services {
+		if svc.Name == "" {
+			return fmt.Errorf("policyfile: service with empty name")
+		}
+		if seen[svc.Name] {
+			return fmt.Errorf("policyfile: duplicate service %q", svc.Name)
+		}
+		seen[svc.Name] = true
+	}
+	switch p.Mode {
+	case "", "advisory", "enforcing", "encrypting":
+	default:
+		return fmt.Errorf("policyfile: unknown mode %q", p.Mode)
+	}
+	if p.Tpar < 0 || p.Tpar > 1 {
+		return fmt.Errorf("policyfile: tpar %v out of [0,1]", p.Tpar)
+	}
+	if p.Tdoc < 0 || p.Tdoc > 1 {
+		return fmt.Errorf("policyfile: tdoc %v out of [0,1]", p.Tdoc)
+	}
+	for _, s := range p.Secrets {
+		if s.Name == "" || s.Value == "" {
+			return fmt.Errorf("policyfile: secret entries need name and value")
+		}
+	}
+	return nil
+}
+
+func (p *Policy) applyDefaults() {
+	if p.Mode == "" {
+		p.Mode = "advisory"
+	}
+	if p.Tpar == 0 {
+		p.Tpar = 0.5
+	}
+	if p.Tdoc == 0 {
+		p.Tdoc = 0.5
+	}
+}
+
+// PolicyMode converts the mode string.
+func (p Policy) PolicyMode() policy.Mode {
+	switch p.Mode {
+	case "enforcing":
+		return policy.ModeEnforcing
+	case "encrypting":
+		return policy.ModeEncrypting
+	default:
+		return policy.ModeAdvisory
+	}
+}
+
+// Write serialises the policy as indented JSON.
+func (p Policy) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}

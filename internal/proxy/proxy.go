@@ -1,0 +1,167 @@
+// Package proxy provides the §4.4 extension path for data that leaves the
+// browser: "Imprecise data flow tracking should be extended to be aware of
+// data sources outside the browser. This can be achieved by integrating
+// with DLP systems that monitor data flow in native applications."
+//
+// The Proxy is an HTTP forwarding gateway for native applications: every
+// request body passing through it is inspected by both the network DLP
+// monitor (exact corpus fingerprints) and, optionally, the BrowserFlow
+// policy engine (label-aware, destination-specific). Violating requests
+// are rejected with 403 before reaching the upstream service.
+package proxy
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+
+	"github.com/lsds/browserflow/internal/dlpmon"
+	"github.com/lsds/browserflow/internal/policy"
+)
+
+// Config configures a Proxy.
+type Config struct {
+	// Upstream is the base URL requests are forwarded to (required).
+	Upstream *url.URL
+
+	// Monitor, if set, runs corpus fingerprint inspection on bodies.
+	Monitor *dlpmon.Monitor
+
+	// Engine, if set, additionally evaluates decoded body text against
+	// the TDM policy for the destination service.
+	Engine *policy.Engine
+
+	// ServiceOf maps the forwarded request URL to a TDM service name for
+	// Engine checks. Requests it rejects skip the policy check.
+	ServiceOf func(*url.URL) (string, bool)
+
+	// Transport performs the upstream requests (default
+	// http.DefaultTransport).
+	Transport http.RoundTripper
+}
+
+// Stats counts proxy outcomes.
+type Stats struct {
+	Forwarded int64
+	Blocked   int64
+}
+
+// Proxy is an inspecting HTTP forwarder. It implements http.Handler.
+type Proxy struct {
+	cfg Config
+
+	forwarded atomic.Int64
+	blocked   atomic.Int64
+}
+
+var _ http.Handler = (*Proxy)(nil)
+
+// New returns a Proxy.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Upstream == nil {
+		return nil, fmt.Errorf("proxy: Upstream is required")
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = http.DefaultTransport
+	}
+	if cfg.Engine != nil && cfg.ServiceOf == nil {
+		return nil, fmt.Errorf("proxy: Engine requires ServiceOf")
+	}
+	return &Proxy{cfg: cfg}, nil
+}
+
+// Stats returns the forward/block counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{Forwarded: p.forwarded.Load(), Blocked: p.blocked.Load()}
+}
+
+// ServeHTTP inspects and forwards one request.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		http.Error(w, "proxy: read body: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+
+	target := p.cfg.Upstream.ResolveReference(&url.URL{Path: r.URL.Path, RawQuery: r.URL.RawQuery})
+
+	// 1. Corpus fingerprint inspection (network DLP).
+	if p.cfg.Monitor != nil {
+		verdict, err := p.cfg.Monitor.InspectBody(r.Header.Get("Content-Type"), body)
+		if err != nil {
+			http.Error(w, "proxy: inspect: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+		if verdict.Blocked() {
+			p.blocked.Add(1)
+			http.Error(w, fmt.Sprintf("proxy: blocked, request discloses %q", verdict.Matches[0].Name), http.StatusForbidden)
+			return
+		}
+	}
+
+	// 2. TDM policy evaluation against the destination service.
+	if p.cfg.Engine != nil && len(body) > 0 {
+		if service, ok := p.cfg.ServiceOf(target); ok {
+			if text, ok := decodeText(r.Header.Get("Content-Type"), body); ok {
+				verdict, err := p.cfg.Engine.CheckText(text, service)
+				if err != nil {
+					http.Error(w, "proxy: policy: "+err.Error(), http.StatusBadGateway)
+					return
+				}
+				if verdict.Decision == policy.DecisionBlock {
+					p.blocked.Add(1)
+					http.Error(w, fmt.Sprintf("proxy: blocked, discloses %v to %s", verdict.Violating, service), http.StatusForbidden)
+					return
+				}
+			}
+		}
+	}
+
+	// 3. Forward.
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, target.String(), bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, "proxy: build request: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	out.Header = r.Header.Clone()
+	resp, err := p.cfg.Transport.RoundTrip(out)
+	if err != nil {
+		http.Error(w, "proxy: upstream: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	p.forwarded.Add(1)
+
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// Response already partially written; nothing sensible to do.
+		return
+	}
+}
+
+func readBody(r *http.Request) ([]byte, error) {
+	if r.Body == nil {
+		return nil, nil
+	}
+	defer r.Body.Close()
+	return io.ReadAll(r.Body)
+}
+
+// decodeText extracts scannable text using the same decoders as the DLP
+// monitor.
+func decodeText(contentType string, body []byte) (string, bool) {
+	for _, dec := range []dlpmon.Decoder{dlpmon.FormDecoder, dlpmon.JSONDecoder} {
+		if text, ok := dec(contentType, body); ok {
+			return text, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,89 @@
+package store
+
+import (
+	"sync"
+	"time"
+
+	"github.com/lsds/browserflow/internal/disclosure"
+)
+
+// Janitor periodically removes old fingerprints from a tracker's databases,
+// the §4.4 mitigation against long-term fingerprint accumulation. Age is
+// measured in logical observations: postings older than Retain observations
+// behind the database clock are dropped.
+type Janitor struct {
+	tracker  *disclosure.Tracker
+	interval time.Duration
+	retain   uint64
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu      sync.Mutex
+	removed int
+	runs    int
+}
+
+// NewJanitor starts a janitor sweeping the tracker every interval, keeping
+// the most recent retain observations per database.
+func NewJanitor(tracker *disclosure.Tracker, interval time.Duration, retain uint64) *Janitor {
+	j := &Janitor{
+		tracker:  tracker,
+		interval: interval,
+		retain:   retain,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go j.run()
+	return j
+}
+
+func (j *Janitor) run() {
+	defer close(j.done)
+	ticker := time.NewTicker(j.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			j.Sweep()
+		case <-j.stop:
+			return
+		}
+	}
+}
+
+// Sweep runs one expiry pass immediately and returns the number of postings
+// removed.
+func (j *Janitor) Sweep() int {
+	removed := 0
+	for _, db := range []interface {
+		Now() uint64
+		ExpireBefore(uint64) int
+	}{j.tracker.Paragraphs(), j.tracker.Documents()} {
+		now := db.Now()
+		if now <= j.retain {
+			continue
+		}
+		removed += db.ExpireBefore(now - j.retain)
+	}
+	j.mu.Lock()
+	j.removed += removed
+	j.runs++
+	j.mu.Unlock()
+	return removed
+}
+
+// Stats returns the total postings removed and sweeps performed.
+func (j *Janitor) Stats() (removed, runs int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.removed, j.runs
+}
+
+// Shutdown stops the background goroutine and waits for it to exit. It is
+// safe to call multiple times.
+func (j *Janitor) Shutdown() {
+	j.stopOnce.Do(func() { close(j.stop) })
+	<-j.done
+}

@@ -1,0 +1,183 @@
+// Package store persists BrowserFlow state — the fingerprint databases, the
+// TDM registry and the audit log — and implements the §4.4 mitigations for
+// long-term fingerprint storage: encryption of all fingerprint data at rest
+// (AES-256-GCM) and periodic removal of old fingerprints.
+package store
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/lsds/browserflow/internal/audit"
+	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/index"
+	"github.com/lsds/browserflow/internal/tdm"
+)
+
+// SnapshotVersion is the current on-disk format version.
+const SnapshotVersion = 1
+
+// magic prefixes encrypted snapshot files so Load can detect mismatched
+// keys vs plaintext files.
+var magic = []byte("BFLOWENC")
+
+// ErrBadKey reports that decryption failed (wrong key or corrupted file).
+var ErrBadKey = errors.New("store: cannot decrypt snapshot (wrong key or corrupt file)")
+
+// Snapshot is the complete serialisable state of a BrowserFlow deployment.
+type Snapshot struct {
+	Version    int              `json:"version"`
+	SavedAt    time.Time        `json:"savedAt"`
+	Paragraphs index.ExportData `json:"paragraphs"`
+	Documents  index.ExportData `json:"documents"`
+	Registry   tdm.ExportData   `json:"registry"`
+	Audit      []audit.Entry    `json:"audit"`
+}
+
+// Capture snapshots a tracker and registry.
+func Capture(tracker *disclosure.Tracker, registry *tdm.Registry) Snapshot {
+	return Snapshot{
+		Version:    SnapshotVersion,
+		SavedAt:    time.Now().UTC(),
+		Paragraphs: tracker.Paragraphs().Export(),
+		Documents:  tracker.Documents().Export(),
+		Registry:   registry.Export(),
+		Audit:      registry.Audit().Entries(),
+	}
+}
+
+// Restore loads the snapshot into the given tracker and registry, replacing
+// their state.
+func (s Snapshot) Restore(tracker *disclosure.Tracker, registry *tdm.Registry) error {
+	if s.Version != SnapshotVersion {
+		return fmt.Errorf("store: unsupported snapshot version %d", s.Version)
+	}
+	if err := tracker.Paragraphs().Import(s.Paragraphs); err != nil {
+		return fmt.Errorf("restore paragraphs: %w", err)
+	}
+	if err := tracker.Documents().Import(s.Documents); err != nil {
+		return fmt.Errorf("restore documents: %w", err)
+	}
+	if err := registry.Import(s.Registry); err != nil {
+		return fmt.Errorf("restore registry: %w", err)
+	}
+	registry.Audit().Replace(s.Audit)
+	return nil
+}
+
+// DeriveKey turns a passphrase into a 32-byte AES-256 key.
+func DeriveKey(passphrase string) []byte {
+	sum := sha256.Sum256([]byte("browserflow-store-v1:" + passphrase))
+	return sum[:]
+}
+
+// Save writes the snapshot to path atomically (write-to-temp + rename). A
+// nil key writes plaintext JSON; otherwise the payload is sealed with
+// AES-256-GCM.
+func Save(path string, s Snapshot, key []byte) error {
+	plain, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("marshal snapshot: %w", err)
+	}
+	data := plain
+	if key != nil {
+		if data, err = seal(plain, key); err != nil {
+			return err
+		}
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bfstore-*")
+	if err != nil {
+		return fmt.Errorf("create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("write snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("close snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("rename snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot from path. The key must match the one used by Save
+// (nil for plaintext files).
+func Load(path string, key []byte) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("read snapshot: %w", err)
+	}
+	if len(data) >= len(magic) && string(data[:len(magic)]) == string(magic) {
+		if key == nil {
+			return Snapshot{}, ErrBadKey
+		}
+		if data, err = open(data, key); err != nil {
+			return Snapshot{}, err
+		}
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("unmarshal snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// seal encrypts plain with AES-256-GCM under key: magic || nonce || ciphertext.
+func seal(plain, key []byte) ([]byte, error) {
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("nonce: %w", err)
+	}
+	out := make([]byte, 0, len(magic)+len(nonce)+len(plain)+gcm.Overhead())
+	out = append(out, magic...)
+	out = append(out, nonce...)
+	return gcm.Seal(out, nonce, plain, nil), nil
+}
+
+// open decrypts a sealed payload.
+func open(data, key []byte) ([]byte, error) {
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	body := data[len(magic):]
+	if len(body) < gcm.NonceSize() {
+		return nil, ErrBadKey
+	}
+	nonce, ciphertext := body[:gcm.NonceSize()], body[gcm.NonceSize():]
+	plain, err := gcm.Open(nil, nonce, ciphertext, nil)
+	if err != nil {
+		return nil, ErrBadKey
+	}
+	return plain, nil
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("gcm: %w", err)
+	}
+	return gcm, nil
+}

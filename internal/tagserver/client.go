@@ -1,0 +1,157 @@
+package tagserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/segment"
+	"github.com/lsds/browserflow/internal/tdm"
+)
+
+// Client is one device's connection to the shared tag service. It
+// fingerprints text locally (the text never leaves the device) and ships
+// only the winnowed hashes.
+type Client struct {
+	base   string
+	device string
+	cfg    fingerprint.Config
+	http   *http.Client
+}
+
+// NewClient returns a Client for the service at base (e.g.
+// "http://tags.corp:7000"), identifying itself as device.
+func NewClient(base, device string, cfg fingerprint.Config) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if base == "" || device == "" {
+		return nil, fmt.Errorf("tagserver: base URL and device are required")
+	}
+	return &Client{base: base, device: device, cfg: cfg, http: &http.Client{}}, nil
+}
+
+// Verdict is the client-side decision result.
+type Verdict struct {
+	Decision  string
+	Violating []tdm.Tag
+	Sources   []SourceDT
+}
+
+// Violation reports whether the verdict carries violating tags.
+func (v Verdict) Violation() bool { return len(v.Violating) > 0 }
+
+// Observe records the current text of a paragraph with the shared service.
+func (c *Client) Observe(service string, seg segment.ID, text string) (Verdict, error) {
+	fp, err := fingerprint.Compute(text, c.cfg)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return c.postVerdict("/v1/observe", ObserveRequest{
+		Device:  c.device,
+		Service: service,
+		Seg:     seg,
+		Hashes:  fp.Hashes(),
+	})
+}
+
+// Check evaluates ad-hoc text against a destination service.
+func (c *Client) Check(text, dest string) (Verdict, error) {
+	fp, err := fingerprint.Compute(text, c.cfg)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return c.postVerdict("/v1/check", CheckRequest{
+		Device: c.device,
+		Dest:   dest,
+		Hashes: fp.Hashes(),
+	})
+}
+
+// CheckUpload evaluates releasing a tracked segment to a destination.
+func (c *Client) CheckUpload(seg segment.ID, dest string) (Verdict, error) {
+	return c.postVerdict("/v1/upload", UploadRequest{
+		Device: c.device,
+		Seg:    seg,
+		Dest:   dest,
+	})
+}
+
+// Suppress declassifies a tag on a segment, audited under user.
+func (c *Client) Suppress(user string, seg segment.ID, tag tdm.Tag, justification string) error {
+	resp, err := c.post("/v1/suppress", SuppressRequest{
+		User: user, Seg: seg, Tag: tag, Justification: justification,
+	})
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("tagserver: suppress status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Label fetches a segment's label.
+func (c *Client) Label(seg segment.ID) (LabelResponse, error) {
+	resp, err := c.http.Get(c.base + "/v1/label?seg=" + url.QueryEscape(string(seg)))
+	if err != nil {
+		return LabelResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return LabelResponse{}, fmt.Errorf("tagserver: label status %d", resp.StatusCode)
+	}
+	var out LabelResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return LabelResponse{}, err
+	}
+	return out, nil
+}
+
+// Stats fetches the service's database sizes.
+func (c *Client) Stats() (StatsResponse, error) {
+	resp, err := c.http.Get(c.base + "/v1/stats")
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return StatsResponse{}, err
+	}
+	return out, nil
+}
+
+func (c *Client) postVerdict(path string, req interface{}) (Verdict, error) {
+	resp, err := c.post(path, req)
+	if err != nil {
+		return Verdict{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return Verdict{}, fmt.Errorf("tagserver: %s status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var wire VerdictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{Decision: wire.Decision, Violating: wire.Violating, Sources: wire.Sources}, nil
+}
+
+func (c *Client) post(path string, req interface{}) (*http.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("tagserver: %s: %w", path, err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,282 @@
+// Package tagserver provides the shared enterprise tag service: a central
+// HTTP endpoint holding the fingerprint databases and TDM labels for a
+// whole organisation, so that text observed on one employee's device is
+// recognised when it surfaces on another's.
+//
+// Devices keep text local and ship *fingerprint hashes only* — the same
+// privacy posture the paper recommends for fingerprint data at rest
+// (§4.4). The protocol mirrors the plug-in's decision points:
+//
+//	POST /v1/observe   {device, service, seg, hashes}      -> verdict
+//	POST /v1/check     {device, dest, hashes}              -> verdict
+//	POST /v1/upload    {device, seg, dest}                 -> verdict
+//	POST /v1/suppress  {user, seg, tag, justification}     -> ok
+//	GET  /v1/label?seg=...                                 -> label
+//	GET  /v1/stats                                         -> sizes
+package tagserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/policy"
+	"github.com/lsds/browserflow/internal/segment"
+	"github.com/lsds/browserflow/internal/tdm"
+)
+
+// ObserveRequest records an observation from a device.
+type ObserveRequest struct {
+	Device  string     `json:"device"`
+	Service string     `json:"service"`
+	Seg     segment.ID `json:"seg"`
+	Hashes  []uint32   `json:"hashes"`
+
+	// Granularity is "paragraph" (default) or "document".
+	Granularity string `json:"granularity,omitempty"`
+}
+
+// CheckRequest asks whether content may be released to a destination.
+type CheckRequest struct {
+	Device string   `json:"device"`
+	Dest   string   `json:"dest"`
+	Hashes []uint32 `json:"hashes"`
+}
+
+// UploadRequest asks whether a tracked segment may be released.
+type UploadRequest struct {
+	Device string     `json:"device"`
+	Seg    segment.ID `json:"seg"`
+	Dest   string     `json:"dest"`
+}
+
+// SuppressRequest declassifies a tag on a segment.
+type SuppressRequest struct {
+	User          string     `json:"user"`
+	Seg           segment.ID `json:"seg"`
+	Tag           tdm.Tag    `json:"tag"`
+	Justification string     `json:"justification"`
+}
+
+// VerdictResponse is the wire form of a policy verdict.
+type VerdictResponse struct {
+	Decision  string     `json:"decision"`
+	Violating []tdm.Tag  `json:"violating,omitempty"`
+	Sources   []SourceDT `json:"sources,omitempty"`
+}
+
+// SourceDT is one disclosure source on the wire.
+type SourceDT struct {
+	Seg        segment.ID `json:"seg"`
+	Disclosure float64    `json:"disclosure"`
+}
+
+// LabelResponse is the wire form of a segment label.
+type LabelResponse struct {
+	Explicit   []tdm.Tag `json:"explicit"`
+	Implicit   []tdm.Tag `json:"implicit"`
+	Suppressed []tdm.Tag `json:"suppressed"`
+}
+
+// StatsResponse reports database sizes.
+type StatsResponse struct {
+	Segments       int `json:"segments"`
+	DistinctHashes int `json:"distinctHashes"`
+	AuditEntries   int `json:"auditEntries"`
+}
+
+// Server is the shared tag service. It is safe for concurrent use.
+type Server struct {
+	engine *policy.Engine
+	mux    *http.ServeMux
+
+	// Operational counters, exported in Prometheus text format at
+	// /metrics.
+	observes     atomic.Int64
+	checks       atomic.Int64
+	uploads      atomic.Int64
+	suppressions atomic.Int64
+	violations   atomic.Int64
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer returns a Server over the given engine.
+func NewServer(engine *policy.Engine) (*Server, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("tagserver: engine is required")
+	}
+	s := &Server{engine: engine, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/observe", s.handleObserve)
+	s.mux.HandleFunc("/v1/check", s.handleCheck)
+	s.mux.HandleFunc("/v1/upload", s.handleUpload)
+	s.mux.HandleFunc("/v1/suppress", s.handleSuppress)
+	s.mux.HandleFunc("/v1/label", s.handleLabel)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObserveRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if req.Seg == "" || req.Service == "" {
+		http.Error(w, "seg and service required", http.StatusBadRequest)
+		return
+	}
+	var (
+		verdict policy.Verdict
+		err     error
+	)
+	switch req.Granularity {
+	case "", "paragraph":
+		verdict, err = s.engine.ObserveEditFP(req.Seg, req.Service, fingerprint.FromHashes(req.Hashes))
+	case "document":
+		verdict, err = s.engine.ObserveDocumentEditFP(req.Seg, req.Service, fingerprint.FromHashes(req.Hashes))
+	default:
+		http.Error(w, "unknown granularity", http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.observes.Add(1)
+	s.countViolation(verdict)
+	writeVerdict(w, verdict)
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req CheckRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if req.Dest == "" {
+		http.Error(w, "dest required", http.StatusBadRequest)
+		return
+	}
+	verdict, err := s.engine.CheckFP(fingerprint.FromHashes(req.Hashes), req.Dest)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.checks.Add(1)
+	s.countViolation(verdict)
+	writeVerdict(w, verdict)
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var req UploadRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if req.Seg == "" || req.Dest == "" {
+		http.Error(w, "seg and dest required", http.StatusBadRequest)
+		return
+	}
+	verdict, err := s.engine.CheckUpload(req.Seg, req.Dest)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.uploads.Add(1)
+	s.countViolation(verdict)
+	writeVerdict(w, verdict)
+}
+
+func (s *Server) handleSuppress(w http.ResponseWriter, r *http.Request) {
+	var req SuppressRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if err := s.engine.Registry().SuppressTag(req.User, req.Seg, req.Tag, req.Justification); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.suppressions.Add(1)
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) countViolation(v policy.Verdict) {
+	if v.Violation() {
+		s.violations.Add(1)
+	}
+}
+
+// handleMetrics exposes operational counters and database sizes in
+// Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	stats := s.engine.Tracker().Paragraphs().Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# TYPE browserflow_observes_total counter\nbrowserflow_observes_total %d\n", s.observes.Load())
+	fmt.Fprintf(w, "# TYPE browserflow_checks_total counter\nbrowserflow_checks_total %d\n", s.checks.Load())
+	fmt.Fprintf(w, "# TYPE browserflow_uploads_total counter\nbrowserflow_uploads_total %d\n", s.uploads.Load())
+	fmt.Fprintf(w, "# TYPE browserflow_suppressions_total counter\nbrowserflow_suppressions_total %d\n", s.suppressions.Load())
+	fmt.Fprintf(w, "# TYPE browserflow_violations_total counter\nbrowserflow_violations_total %d\n", s.violations.Load())
+	fmt.Fprintf(w, "# TYPE browserflow_segments gauge\nbrowserflow_segments %d\n", stats.Segments)
+	fmt.Fprintf(w, "# TYPE browserflow_distinct_hashes gauge\nbrowserflow_distinct_hashes %d\n", stats.DistinctHashes)
+	fmt.Fprintf(w, "# TYPE browserflow_audit_entries gauge\nbrowserflow_audit_entries %d\n", s.engine.Registry().Audit().Len())
+}
+
+func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
+	seg := segment.ID(r.URL.Query().Get("seg"))
+	if seg == "" {
+		http.Error(w, "seg required", http.StatusBadRequest)
+		return
+	}
+	label := s.engine.Registry().Label(seg)
+	if label == nil {
+		http.Error(w, "unknown segment", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, LabelResponse{
+		Explicit:   label.Explicit().Sorted(),
+		Implicit:   label.Implicit().Sorted(),
+		Suppressed: label.Suppressed().Sorted(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	stats := s.engine.Tracker().Paragraphs().Stats()
+	writeJSON(w, StatsResponse{
+		Segments:       stats.Segments,
+		DistinctHashes: stats.DistinctHashes,
+		AuditEntries:   s.engine.Registry().Audit().Len(),
+	})
+}
+
+func decodePost(w http.ResponseWriter, r *http.Request, into interface{}) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeVerdict(w http.ResponseWriter, v policy.Verdict) {
+	resp := VerdictResponse{Decision: v.Decision.String(), Violating: v.Violating}
+	for _, src := range v.Sources {
+		resp.Sources = append(resp.Sources, SourceDT{Seg: src.Seg, Disclosure: src.Disclosure})
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,114 @@
+package tdm
+
+import (
+	"sort"
+
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+// ServiceRecord is the serialisable form of a service.
+type ServiceRecord struct {
+	Name            string `json:"name"`
+	Privilege       []Tag  `json:"privilege"`
+	Confidentiality []Tag  `json:"confidentiality"`
+}
+
+// LabelRecord is the serialisable form of a segment label.
+type LabelRecord struct {
+	Seg        segment.ID `json:"seg"`
+	Explicit   []Tag      `json:"explicit"`
+	Implicit   []Tag      `json:"implicit"`
+	Suppressed []Tag      `json:"suppressed"`
+	StoredBy   []string   `json:"storedBy"`
+}
+
+// TagRecord is the serialisable form of a custom tag allocation.
+type TagRecord struct {
+	Tag   Tag    `json:"tag"`
+	Owner string `json:"owner"`
+}
+
+// ExportData is a complete serialisable snapshot of a Registry (the audit
+// log is persisted separately).
+type ExportData struct {
+	Services []ServiceRecord `json:"services"`
+	Labels   []LabelRecord   `json:"labels"`
+	Tags     []TagRecord     `json:"tags"`
+}
+
+// Export snapshots the registry deterministically.
+func (r *Registry) Export() ExportData {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var data ExportData
+	for _, svc := range r.services {
+		data.Services = append(data.Services, ServiceRecord{
+			Name:            svc.Name,
+			Privilege:       svc.Privilege.Sorted(),
+			Confidentiality: svc.Confidentiality.Sorted(),
+		})
+	}
+	sort.Slice(data.Services, func(i, j int) bool { return data.Services[i].Name < data.Services[j].Name })
+
+	for seg, label := range r.labels {
+		rec := LabelRecord{
+			Seg:        seg,
+			Explicit:   label.explicit.Sorted(),
+			Implicit:   label.implicit.Sorted(),
+			Suppressed: label.suppressed.Sorted(),
+		}
+		for svc := range r.stored[seg] {
+			rec.StoredBy = append(rec.StoredBy, svc)
+		}
+		sort.Strings(rec.StoredBy)
+		data.Labels = append(data.Labels, rec)
+	}
+	sort.Slice(data.Labels, func(i, j int) bool { return data.Labels[i].Seg < data.Labels[j].Seg })
+
+	for tag, owner := range r.tagOwners {
+		data.Tags = append(data.Tags, TagRecord{Tag: tag, Owner: owner})
+	}
+	sort.Slice(data.Tags, func(i, j int) bool { return data.Tags[i].Tag < data.Tags[j].Tag })
+	return data
+}
+
+// Import replaces the registry's contents with a previously exported
+// snapshot. The audit log is untouched.
+func (r *Registry) Import(data ExportData) error {
+	services := make(map[string]*Service, len(data.Services))
+	for _, rec := range data.Services {
+		services[rec.Name] = &Service{
+			Name:            rec.Name,
+			Privilege:       NewTagSet(rec.Privilege...),
+			Confidentiality: NewTagSet(rec.Confidentiality...),
+		}
+	}
+	labels := make(map[segment.ID]*Label, len(data.Labels))
+	stored := make(map[segment.ID]map[string]bool, len(data.Labels))
+	for _, rec := range data.Labels {
+		label := NewLabel(rec.Explicit...)
+		label.SetImplicit(NewTagSet(rec.Implicit...))
+		for _, t := range rec.Suppressed {
+			label.suppressed.Add(t)
+		}
+		labels[rec.Seg] = label
+		if len(rec.StoredBy) > 0 {
+			stored[rec.Seg] = make(map[string]bool, len(rec.StoredBy))
+			for _, svc := range rec.StoredBy {
+				stored[rec.Seg][svc] = true
+			}
+		}
+	}
+	tagOwners := make(map[Tag]string, len(data.Tags))
+	for _, rec := range data.Tags {
+		tagOwners[rec.Tag] = rec.Owner
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.services = services
+	r.labels = labels
+	r.stored = stored
+	r.tagOwners = tagOwners
+	return nil
+}

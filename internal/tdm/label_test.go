@@ -1,0 +1,137 @@
+package tdm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLabelEffective(t *testing.T) {
+	l := NewLabel("ti")
+	l.SetImplicit(NewTagSet("tw"))
+	eff := l.Effective()
+	if !eff.Has("ti") || !eff.Has("tw") || eff.Len() != 2 {
+		t.Errorf("Effective=%v", eff)
+	}
+}
+
+func TestLabelSuppression(t *testing.T) {
+	l := NewLabel("ti")
+	if !l.Suppress("ti") {
+		t.Fatal("Suppress(ti) should succeed for attached tag")
+	}
+	if l.Effective().Has("ti") {
+		t.Error("suppressed tag still effective")
+	}
+	// The suppressed tag remains attached for audit (§3.1).
+	if !l.All().Has("ti") {
+		t.Error("suppressed tag lost from All()")
+	}
+	l.Unsuppress("ti")
+	if !l.Effective().Has("ti") {
+		t.Error("Unsuppress did not restore the tag")
+	}
+}
+
+func TestLabelSuppressAbsentTag(t *testing.T) {
+	l := NewLabel("ti")
+	if l.Suppress("tw") {
+		t.Error("Suppress of absent tag should return false")
+	}
+	if l.Suppressed().Len() != 0 {
+		t.Error("absent tag recorded as suppressed")
+	}
+}
+
+func TestLabelSuppressImplicit(t *testing.T) {
+	l := NewLabel()
+	l.SetImplicit(NewTagSet("ti"))
+	if !l.Suppress("ti") {
+		t.Error("implicit tags must be suppressible")
+	}
+	if l.Effective().Has("ti") {
+		t.Error("suppressed implicit tag still effective")
+	}
+}
+
+func TestLabelReleasableTo(t *testing.T) {
+	l := NewLabel("ti")
+	ok, violating := l.ReleasableTo(NewTagSet("ti", "tw"))
+	if !ok || violating != nil {
+		t.Errorf("ReleasableTo superset: ok=%v violating=%v", ok, violating)
+	}
+	ok, violating = l.ReleasableTo(NewTagSet("tw"))
+	if ok {
+		t.Error("release should be denied")
+	}
+	if len(violating) != 1 || violating[0] != "ti" {
+		t.Errorf("violating=%v, want [ti]", violating)
+	}
+}
+
+func TestLabelReleasableToEmptyPrivilege(t *testing.T) {
+	// Google Docs in the paper: Lp = {} — only unlabelled data may flow.
+	googleDocs := NewTagSet()
+	if ok, _ := NewLabel().ReleasableTo(googleDocs); !ok {
+		t.Error("empty label should be releasable to empty Lp")
+	}
+	if ok, _ := NewLabel("ti").ReleasableTo(googleDocs); ok {
+		t.Error("tagged label released to empty Lp")
+	}
+}
+
+func TestLabelSetImplicitReplaces(t *testing.T) {
+	l := NewLabel()
+	l.SetImplicit(NewTagSet("old"))
+	l.SetImplicit(NewTagSet("new"))
+	if l.Implicit().Has("old") {
+		t.Error("SetImplicit did not replace previous implicit tags")
+	}
+	if !l.Implicit().Has("new") {
+		t.Error("SetImplicit lost the new tag")
+	}
+}
+
+func TestLabelCloneIndependence(t *testing.T) {
+	l := NewLabel("ti")
+	c := l.Clone()
+	c.AddExplicit("tw")
+	c.Suppress("ti")
+	if l.Explicit().Has("tw") {
+		t.Error("clone shares explicit set")
+	}
+	if l.Suppressed().Has("ti") {
+		t.Error("clone shares suppressed set")
+	}
+}
+
+func TestLabelAccessorsCopy(t *testing.T) {
+	l := NewLabel("ti")
+	l.Explicit().Add("evil")
+	if l.Explicit().Has("evil") {
+		t.Error("Explicit() exposed internal set")
+	}
+}
+
+func TestLabelRemoveExplicit(t *testing.T) {
+	l := NewLabel("ti", "tw")
+	l.RemoveExplicit("ti")
+	if l.Explicit().Has("ti") {
+		t.Error("RemoveExplicit failed")
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	l := NewLabel("ti")
+	l.SetImplicit(NewTagSet("tw"))
+	l.Suppress("tw")
+	got := l.String()
+	if got == "" {
+		t.Error("empty String")
+	}
+	// Sanity: mentions all three classes.
+	for _, sub := range []string{"ti", "tw", "suppressed"} {
+		if !strings.Contains(got, sub) {
+			t.Errorf("String()=%q missing %q", got, sub)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package tdm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/lsds/browserflow/internal/audit"
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+// Common registry errors, exported so callers can match with errors.Is.
+var (
+	ErrServiceExists   = errors.New("tdm: service already registered")
+	ErrServiceUnknown  = errors.New("tdm: unknown service")
+	ErrTagExists       = errors.New("tdm: tag already allocated")
+	ErrTagUnknown      = errors.New("tdm: tag not allocated")
+	ErrNotTagOwner     = errors.New("tdm: user does not own tag")
+	ErrTagNotOnSegment = errors.New("tdm: tag not attached to segment")
+)
+
+// Service is a cloud service with its TDM label pair (§3.1): the privilege
+// label Lp marks the highest level of confidential data the service is
+// trusted to receive; the confidentiality label Lc is the default
+// confidentiality of data created within it.
+type Service struct {
+	// Name identifies the service ("wiki", "itool", "docs").
+	Name string
+
+	// Privilege is Lp.
+	Privilege TagSet
+
+	// Confidentiality is Lc.
+	Confidentiality TagSet
+}
+
+// Registry holds the enterprise-wide TDM state: services, segment labels,
+// custom tag ownership, and which services store which segments. It is safe
+// for concurrent use.
+type Registry struct {
+	mu sync.RWMutex
+
+	services  map[string]*Service
+	labels    map[segment.ID]*Label
+	tagOwners map[Tag]string
+	stored    map[segment.ID]map[string]bool
+
+	auditLog *audit.Log
+}
+
+// NewRegistry returns an empty Registry writing to auditLog. A nil auditLog
+// creates a private one.
+func NewRegistry(auditLog *audit.Log) *Registry {
+	if auditLog == nil {
+		auditLog = audit.NewLog()
+	}
+	return &Registry{
+		services:  make(map[string]*Service),
+		labels:    make(map[segment.ID]*Label),
+		tagOwners: make(map[Tag]string),
+		stored:    make(map[segment.ID]map[string]bool),
+		auditLog:  auditLog,
+	}
+}
+
+// Audit returns the registry's audit log.
+func (r *Registry) Audit() *audit.Log { return r.auditLog }
+
+// RegisterService adds a service with its label pair. The administrator
+// performs this once per service.
+func (r *Registry) RegisterService(name string, lp, lc TagSet) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.services[name]; ok {
+		return fmt.Errorf("%w: %s", ErrServiceExists, name)
+	}
+	r.services[name] = &Service{
+		Name:            name,
+		Privilege:       lp.Clone(),
+		Confidentiality: lc.Clone(),
+	}
+	return nil
+}
+
+// Service returns a copy of the named service.
+func (r *Registry) Service(name string) (Service, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	svc, ok := r.services[name]
+	if !ok {
+		return Service{}, fmt.Errorf("%w: %s", ErrServiceUnknown, name)
+	}
+	return Service{
+		Name:            svc.Name,
+		Privilege:       svc.Privilege.Clone(),
+		Confidentiality: svc.Confidentiality.Clone(),
+	}, nil
+}
+
+// Services returns copies of all registered services, sorted by name.
+func (r *Registry) Services() []Service {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Service, 0, len(r.services))
+	for _, svc := range r.services {
+		out = append(out, Service{
+			Name:            svc.Name,
+			Privilege:       svc.Privilege.Clone(),
+			Confidentiality: svc.Confidentiality.Clone(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ObserveSegment records that seg is stored by service and, if the segment
+// has no label yet, assigns it the service's confidentiality label Lc as
+// explicit tags (default tag assignment, §3.1). It returns a copy of the
+// segment's label.
+func (r *Registry) ObserveSegment(seg segment.ID, service string) (*Label, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	svc, ok := r.services[service]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrServiceUnknown, service)
+	}
+	if r.stored[seg] == nil {
+		r.stored[seg] = make(map[string]bool)
+	}
+	r.stored[seg][service] = true
+
+	label, ok := r.labels[seg]
+	if !ok {
+		label = NewLabel()
+		for t := range svc.Confidentiality {
+			label.AddExplicit(t)
+		}
+		r.labels[seg] = label
+	}
+	return label.Clone(), nil
+}
+
+// Label returns a copy of seg's label, or nil if the segment is unknown.
+func (r *Registry) Label(seg segment.ID) *Label {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if label, ok := r.labels[seg]; ok {
+		return label.Clone()
+	}
+	return nil
+}
+
+// RefreshImplicit replaces seg's implicit tags with the union of the
+// *explicit* tags of its current disclosure sources (§3.2). Implicit tags of
+// the sources are deliberately not copied — a segment that merely disclosed
+// information in the past is not the authoritative origin, which is what
+// stops outdated tags from propagating (Figure 6).
+func (r *Registry) RefreshImplicit(seg segment.ID, sources []segment.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	label, ok := r.labels[seg]
+	if !ok {
+		label = NewLabel()
+		r.labels[seg] = label
+	}
+	implicit := NewTagSet()
+	for _, src := range sources {
+		if srcLabel, ok := r.labels[src]; ok {
+			implicit = implicit.Union(srcLabel.Explicit())
+		}
+	}
+	// The segment's own explicit tags need not be duplicated as implicit.
+	label.SetImplicit(implicit.Minus(label.Explicit()))
+}
+
+// CheckRelease evaluates the §3.1 release condition for seg towards
+// service: effective(label) ⊆ Lp. Unknown segments (never observed) carry
+// the empty label and are releasable anywhere.
+func (r *Registry) CheckRelease(seg segment.ID, service string) (ok bool, violating []Tag, err error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	svc, found := r.services[service]
+	if !found {
+		return false, nil, fmt.Errorf("%w: %s", ErrServiceUnknown, service)
+	}
+	label, found := r.labels[seg]
+	if !found {
+		return true, nil, nil
+	}
+	ok, violating = label.ReleasableTo(svc.Privilege)
+	return ok, violating, nil
+}
+
+// SuppressTag declassifies tag on seg for this propagation (§3.1 "User tag
+// suppression"). The suppression is recorded in the audit trail with the
+// user and justification. Suppression is case-by-case: it applies to this
+// destination segment only, and copying the same source again to a new
+// destination requires a fresh suppression.
+func (r *Registry) SuppressTag(user string, seg segment.ID, tag Tag, justification string) error {
+	r.mu.Lock()
+	label, ok := r.labels[seg]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s on %s", ErrTagNotOnSegment, tag, seg)
+	}
+	if !label.Suppress(tag) {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s on %s", ErrTagNotOnSegment, tag, seg)
+	}
+	r.mu.Unlock()
+
+	r.auditLog.Append(audit.Entry{
+		User:          user,
+		Action:        audit.ActionSuppress,
+		Tag:           string(tag),
+		Segment:       string(seg),
+		Justification: justification,
+	})
+	return nil
+}
+
+// AllocateTag reserves a new custom tag owned by user (§3.1 "Custom tag
+// allocation").
+func (r *Registry) AllocateTag(user string, tag Tag) error {
+	r.mu.Lock()
+	if _, ok := r.tagOwners[tag]; ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrTagExists, tag)
+	}
+	r.tagOwners[tag] = user
+	r.mu.Unlock()
+
+	r.auditLog.Append(audit.Entry{
+		User:   user,
+		Action: audit.ActionAllocate,
+		Tag:    string(tag),
+	})
+	return nil
+}
+
+// TagOwner returns the user that allocated tag.
+func (r *Registry) TagOwner(tag Tag) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	owner, ok := r.tagOwners[tag]
+	return owner, ok
+}
+
+// AddTagToSegment attaches a previously allocated custom tag to seg's
+// explicit label. Per §3.1, every service that *already stores* the segment
+// automatically receives the tag in its privilege label, so that the TDM
+// does not restrict propagation of text those services already hold
+// (Figure 5, step 4).
+func (r *Registry) AddTagToSegment(user string, seg segment.ID, tag Tag) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	owner, ok := r.tagOwners[tag]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrTagUnknown, tag)
+	}
+	if owner != user {
+		return fmt.Errorf("%w: %s owned by %s", ErrNotTagOwner, tag, owner)
+	}
+	label, ok := r.labels[seg]
+	if !ok {
+		label = NewLabel()
+		r.labels[seg] = label
+	}
+	label.AddExplicit(tag)
+	for svcName := range r.stored[seg] {
+		if svc, ok := r.services[svcName]; ok {
+			svc.Privilege.Add(tag)
+		}
+	}
+	return nil
+}
+
+// GrantTag adds a custom tag to a service's privilege label. Only the tag's
+// owner controls which services may process data protected with it.
+func (r *Registry) GrantTag(user string, service string, tag Tag) error {
+	if err := r.mutatePrivilege(user, service, tag, true); err != nil {
+		return err
+	}
+	r.auditLog.Append(audit.Entry{
+		User:    user,
+		Action:  audit.ActionGrant,
+		Tag:     string(tag),
+		Service: service,
+	})
+	return nil
+}
+
+// RevokeTag removes a custom tag from a service's privilege label.
+func (r *Registry) RevokeTag(user string, service string, tag Tag) error {
+	if err := r.mutatePrivilege(user, service, tag, false); err != nil {
+		return err
+	}
+	r.auditLog.Append(audit.Entry{
+		User:    user,
+		Action:  audit.ActionRevoke,
+		Tag:     string(tag),
+		Service: service,
+	})
+	return nil
+}
+
+func (r *Registry) mutatePrivilege(user, service string, tag Tag, add bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	owner, ok := r.tagOwners[tag]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrTagUnknown, tag)
+	}
+	if owner != user {
+		return fmt.Errorf("%w: %s owned by %s", ErrNotTagOwner, tag, owner)
+	}
+	svc, ok := r.services[service]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrServiceUnknown, service)
+	}
+	if add {
+		svc.Privilege.Add(tag)
+	} else {
+		svc.Privilege.Remove(tag)
+	}
+	return nil
+}
+
+// StoredBy returns the names of the services currently storing seg, sorted.
+func (r *Registry) StoredBy(seg segment.ID) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.stored[seg]))
+	for svc := range r.stored[seg] {
+		out = append(out, svc)
+	}
+	sort.Strings(out)
+	return out
+}

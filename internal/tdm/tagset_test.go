@@ -1,0 +1,112 @@
+package tdm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTagSetBasics(t *testing.T) {
+	s := NewTagSet("ti", "tw")
+	if !s.Has("ti") || !s.Has("tw") || s.Has("tn") {
+		t.Error("membership wrong after NewTagSet")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len=%d, want 2", s.Len())
+	}
+	s.Add("tn")
+	if !s.Has("tn") {
+		t.Error("Add failed")
+	}
+	s.Remove("ti")
+	if s.Has("ti") {
+		t.Error("Remove failed")
+	}
+}
+
+func TestTagSetSubset(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b TagSet
+		want bool
+	}{
+		{name: "empty subset of empty", a: NewTagSet(), b: NewTagSet(), want: true},
+		{name: "empty subset of any", a: NewTagSet(), b: NewTagSet("x"), want: true},
+		{name: "equal sets", a: NewTagSet("x", "y"), b: NewTagSet("y", "x"), want: true},
+		{name: "proper subset", a: NewTagSet("x"), b: NewTagSet("x", "y"), want: true},
+		{name: "paper example ti not in tw", a: NewTagSet("ti"), b: NewTagSet("tw"), want: false},
+		{name: "superset not subset", a: NewTagSet("x", "y"), b: NewTagSet("x"), want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.SubsetOf(tt.b); got != tt.want {
+				t.Errorf("SubsetOf=%v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTagSetUnionMinus(t *testing.T) {
+	a := NewTagSet("x", "y")
+	b := NewTagSet("y", "z")
+	u := a.Union(b)
+	if u.Len() != 3 || !u.Has("x") || !u.Has("y") || !u.Has("z") {
+		t.Errorf("Union=%v", u)
+	}
+	m := a.Minus(b)
+	if m.Len() != 1 || !m.Has("x") {
+		t.Errorf("Minus=%v", m)
+	}
+	// Union/Minus must not alias the receivers.
+	u.Add("w")
+	if a.Has("w") || b.Has("w") {
+		t.Error("Union aliased its inputs")
+	}
+}
+
+func TestTagSetCloneIndependent(t *testing.T) {
+	a := NewTagSet("x")
+	c := a.Clone()
+	c.Add("y")
+	if a.Has("y") {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestTagSetSortedAndString(t *testing.T) {
+	s := NewTagSet("zeta", "alpha", "mid")
+	sorted := s.Sorted()
+	want := []Tag{"alpha", "mid", "zeta"}
+	for i := range want {
+		if sorted[i] != want[i] {
+			t.Fatalf("Sorted=%v, want %v", sorted, want)
+		}
+	}
+	if got := s.String(); got != "{alpha, mid, zeta}" {
+		t.Errorf("String=%q", got)
+	}
+	if got := NewTagSet().String(); got != "{}" {
+		t.Errorf("empty String=%q", got)
+	}
+}
+
+// Property: subset relation is reflexive and transitive over random sets.
+func TestQuickSubsetLaws(t *testing.T) {
+	mk := func(xs []uint8) TagSet {
+		s := NewTagSet()
+		for _, x := range xs {
+			s.Add(Tag(string(rune('a' + x%8))))
+		}
+		return s
+	}
+	f := func(xs, ys []uint8) bool {
+		a, b := mk(xs), mk(ys)
+		if !a.SubsetOf(a) {
+			return false
+		}
+		u := a.Union(b)
+		return a.SubsetOf(u) && b.SubsetOf(u) && a.Minus(b).SubsetOf(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,210 @@
+package webapp
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/lsds/browserflow/internal/browser"
+	"github.com/lsds/browserflow/internal/dom"
+)
+
+// DocsEditor emulates the client-side JavaScript of the Docs service: it
+// mutates the page's custom paragraph elements (which fires the mutation
+// observers BrowserFlow relies on) and ships every edit to the backend as
+// an asynchronous JSON request through the tab's XHR path (which the
+// plug-in's XMLHttpRequest hook intercepts).
+type DocsEditor struct {
+	tab    *browser.Tab
+	editor *dom.Node
+	docID  string
+
+	// localOnly marks paragraphs whose insert was blocked by the plug-in:
+	// they exist in the DOM but not on the backend, so later operations
+	// must skip them when computing backend indices.
+	localOnly map[*dom.Node]bool
+}
+
+// AttachDocsEditor binds to the editor element of a loaded /docs/ page.
+func AttachDocsEditor(tab *browser.Tab) (*DocsEditor, error) {
+	editor := tab.Document().Root().ByID("editor")
+	if editor == nil {
+		return nil, fmt.Errorf("webapp: page has no #editor element")
+	}
+	docID := editor.Attr("data-doc")
+	if docID == "" {
+		return nil, fmt.Errorf("webapp: editor missing data-doc")
+	}
+	return &DocsEditor{
+		tab:       tab,
+		editor:    editor,
+		docID:     docID,
+		localOnly: make(map[*dom.Node]bool),
+	}, nil
+}
+
+// DocID returns the backing document's ID.
+func (e *DocsEditor) DocID() string { return e.docID }
+
+// Editor returns the editor root element.
+func (e *DocsEditor) Editor() *dom.Node { return e.editor }
+
+// Paragraphs returns the paragraph elements in document order.
+func (e *DocsEditor) Paragraphs() []*dom.Node {
+	return e.editor.FindAll(func(n *dom.Node) bool {
+		return n.Type == dom.ElementNode && n.Tag == "div" && n.Class() == "kix-paragraph"
+	})
+}
+
+// ParagraphText returns the current text of paragraph i.
+func (e *DocsEditor) ParagraphText(i int) (string, error) {
+	pars := e.Paragraphs()
+	if i < 0 || i >= len(pars) {
+		return "", fmt.Errorf("webapp: paragraph %d out of range (%d)", i, len(pars))
+	}
+	return pars[i].InnerText(), nil
+}
+
+// backendIndex maps a DOM paragraph position to its index on the backend,
+// skipping paragraphs that only exist locally because their upload was
+// blocked.
+func (e *DocsEditor) backendIndex(pars []*dom.Node, i int) int {
+	idx := 0
+	for _, p := range pars[:i] {
+		if !e.localOnly[p] {
+			idx++
+		}
+	}
+	return idx
+}
+
+// ReplaceParagraph sets paragraph i's text locally (firing DOM observers)
+// and synchronises the edit to the backend. If the plug-in blocks the
+// upload the DOM keeps the local edit but the request does not leave the
+// browser — exactly the paper's enforcement point. A previously blocked
+// paragraph is retried as an insert, so editing it into compliance
+// resynchronises it.
+func (e *DocsEditor) ReplaceParagraph(i int, text string) error {
+	pars := e.Paragraphs()
+	if i < 0 || i >= len(pars) {
+		return fmt.Errorf("webapp: paragraph %d out of range (%d)", i, len(pars))
+	}
+	par := pars[i]
+	if err := e.tab.Document().SetElementText(par, text); err != nil {
+		return err
+	}
+	if e.localOnly[par] {
+		if err := e.sync(MutateRequest{Op: "insert", Par: e.backendIndex(pars, i), Text: text}); err != nil {
+			return err
+		}
+		delete(e.localOnly, par)
+		return nil
+	}
+	return e.sync(MutateRequest{Op: "replace", Par: e.backendIndex(pars, i), Text: text})
+}
+
+// AppendParagraph adds a paragraph at the end and synchronises it. On a
+// blocked upload the paragraph stays in the DOM but is marked local-only.
+func (e *DocsEditor) AppendParagraph(text string) error {
+	pars := e.Paragraphs()
+	par := dom.NewElement("div", map[string]string{
+		"class": "kix-paragraph",
+		"id":    fmt.Sprintf("kix-%d", len(pars)),
+	})
+	if err := e.tab.Document().AppendChild(e.editor, par); err != nil {
+		return err
+	}
+	if err := e.tab.Document().SetElementText(par, text); err != nil {
+		return err
+	}
+	if err := e.sync(MutateRequest{Op: "insert", Par: e.backendIndex(pars, len(pars)), Text: text}); err != nil {
+		e.localOnly[par] = true
+		return err
+	}
+	return nil
+}
+
+// InsertParagraph inserts a paragraph at DOM position i and synchronises
+// it.
+func (e *DocsEditor) InsertParagraph(i int, text string) error {
+	pars := e.Paragraphs()
+	if i < 0 || i > len(pars) {
+		return fmt.Errorf("webapp: insert position %d out of range (%d)", i, len(pars))
+	}
+	par := dom.NewElement("div", map[string]string{
+		"class": "kix-paragraph",
+		"id":    fmt.Sprintf("kix-ins-%d-%d", i, len(pars)),
+	})
+	if err := e.tab.Document().InsertChild(e.editor, par, i); err != nil {
+		return err
+	}
+	if err := e.tab.Document().SetElementText(par, text); err != nil {
+		return err
+	}
+	if err := e.sync(MutateRequest{Op: "insert", Par: e.backendIndex(e.Paragraphs(), i), Text: text}); err != nil {
+		e.localOnly[par] = true
+		return err
+	}
+	return nil
+}
+
+// DeleteParagraph removes paragraph i locally and on the backend. Deleting
+// a local-only (blocked) paragraph touches just the DOM.
+func (e *DocsEditor) DeleteParagraph(i int) error {
+	pars := e.Paragraphs()
+	if i < 0 || i >= len(pars) {
+		return fmt.Errorf("webapp: paragraph %d out of range (%d)", i, len(pars))
+	}
+	par := pars[i]
+	backendIdx := e.backendIndex(pars, i)
+	wasLocal := e.localOnly[par]
+	if err := e.tab.Document().RemoveChild(par.Parent(), par); err != nil {
+		return err
+	}
+	delete(e.localOnly, par)
+	if wasLocal {
+		return nil
+	}
+	return e.sync(MutateRequest{Op: "delete", Par: backendIdx})
+}
+
+// TypeParagraph simulates a user typing text into paragraph i in chunks of
+// chunk runes: each chunk updates the DOM and ships one mutation request,
+// approximating Google Docs' per-keystroke synchronisation.
+func (e *DocsEditor) TypeParagraph(i int, text string, chunk int) error {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	runes := []rune(text)
+	for pos := 0; pos < len(runes); pos += chunk {
+		end := pos + chunk
+		if end > len(runes) {
+			end = len(runes)
+		}
+		if err := e.ReplaceParagraph(i, string(runes[:end])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PasteAppend appends the browser clipboard contents as a new paragraph —
+// the canonical accidental-disclosure action of §2.
+func (e *DocsEditor) PasteAppend() error {
+	return e.AppendParagraph(e.tab.Browser().Clipboard())
+}
+
+func (e *DocsEditor) sync(req MutateRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("webapp: marshal mutation: %w", err)
+	}
+	resp, err := e.tab.XHR("POST", "/docs/"+e.docID+"/mutate", body)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("webapp: mutate status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package webapp
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/browser"
+)
+
+func setupDocs(t *testing.T) (*Server, *browser.Browser, *DocsEditor) {
+	t.Helper()
+	s := NewServer()
+	s.SeedDoc("report", "Initial paragraph content here.")
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	b := browser.New()
+	tab, err := b.OpenTab(srv.URL + "/docs/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := AttachDocsEditor(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, b, ed
+}
+
+func TestAttachDocsEditor(t *testing.T) {
+	_, _, ed := setupDocs(t)
+	if ed.DocID() != "report" {
+		t.Errorf("DocID=%q", ed.DocID())
+	}
+	if got := len(ed.Paragraphs()); got != 1 {
+		t.Errorf("paragraphs=%d, want 1", got)
+	}
+	if text, err := ed.ParagraphText(0); err != nil || text != "Initial paragraph content here." {
+		t.Errorf("ParagraphText=(%q,%v)", text, err)
+	}
+	if _, err := ed.ParagraphText(5); err == nil {
+		t.Error("out-of-range paragraph accepted")
+	}
+}
+
+func TestAttachDocsEditorWrongPage(t *testing.T) {
+	s := NewServer()
+	s.SeedWikiPage("w", "x")
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	b := browser.New()
+	tab, err := b.OpenTab(srv.URL + "/wiki/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AttachDocsEditor(tab); err == nil {
+		t.Error("attached to a non-docs page")
+	}
+}
+
+func TestReplaceParagraphSyncs(t *testing.T) {
+	s, _, ed := setupDocs(t)
+	if err := ed.ReplaceParagraph(0, "Edited content."); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Doc("report"); got[0] != "Edited content." {
+		t.Errorf("backend=%v", got)
+	}
+	if text, _ := ed.ParagraphText(0); text != "Edited content." {
+		t.Errorf("DOM=%q", text)
+	}
+	if err := ed.ReplaceParagraph(7, "x"); err == nil {
+		t.Error("out-of-range replace accepted")
+	}
+}
+
+func TestAppendParagraphSyncs(t *testing.T) {
+	s, _, ed := setupDocs(t)
+	if err := ed.AppendParagraph("Second paragraph."); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Doc("report"); len(got) != 2 || got[1] != "Second paragraph." {
+		t.Errorf("backend=%v", got)
+	}
+	if got := len(ed.Paragraphs()); got != 2 {
+		t.Errorf("DOM paragraphs=%d", got)
+	}
+}
+
+func TestInsertAndDeleteParagraph(t *testing.T) {
+	s, _, ed := setupDocs(t)
+	if err := ed.AppendParagraph("Tail paragraph."); err != nil {
+		t.Fatal(err)
+	}
+	// Insert between the two.
+	if err := ed.InsertParagraph(1, "Middle paragraph."); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Initial paragraph content here.", "Middle paragraph.", "Tail paragraph."}
+	got := s.Doc("report")
+	if len(got) != 3 {
+		t.Fatalf("backend=%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("backend[%d]=%q, want %q", i, got[i], want[i])
+		}
+	}
+	// Delete the middle one.
+	if err := ed.DeleteParagraph(1); err != nil {
+		t.Fatal(err)
+	}
+	got = s.Doc("report")
+	if len(got) != 2 || got[1] != "Tail paragraph." {
+		t.Errorf("after delete: %v", got)
+	}
+	if len(ed.Paragraphs()) != 2 {
+		t.Errorf("DOM paragraphs=%d", len(ed.Paragraphs()))
+	}
+	// Out-of-range errors.
+	if err := ed.InsertParagraph(9, "x"); err == nil {
+		t.Error("bad insert accepted")
+	}
+	if err := ed.DeleteParagraph(9); err == nil {
+		t.Error("bad delete accepted")
+	}
+}
+
+func TestDeleteLocalOnlyParagraph(t *testing.T) {
+	s, b, ed := setupDocs(t)
+	for _, tab := range b.Tabs() {
+		tab.RegisterXHRHook(func(_ *browser.Tab, req *browser.XHRRequest) error {
+			if strings.Contains(string(req.Body), "SECRET") {
+				return errors.New("blocked")
+			}
+			return nil
+		})
+	}
+	if err := ed.AppendParagraph("SECRET stuff"); !errors.Is(err, browser.ErrBlocked) {
+		t.Fatalf("err=%v", err)
+	}
+	// Deleting the blocked paragraph is a purely local operation.
+	if err := ed.DeleteParagraph(1); err != nil {
+		t.Fatalf("delete local-only: %v", err)
+	}
+	if got := s.Doc("report"); len(got) != 1 {
+		t.Errorf("backend=%v", got)
+	}
+	if len(ed.Paragraphs()) != 1 {
+		t.Errorf("DOM=%d paragraphs", len(ed.Paragraphs()))
+	}
+}
+
+func TestTypeParagraphChunks(t *testing.T) {
+	s, _, ed := setupDocs(t)
+	text := "typed character by character"
+	if err := ed.TypeParagraph(0, text, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Doc("report"); got[0] != text {
+		t.Errorf("backend=%q", got[0])
+	}
+	// Chunk <= 0 coerced to 1.
+	if err := ed.TypeParagraph(0, "ab", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackendFailureSurfacesToClient(t *testing.T) {
+	s, _, ed := setupDocs(t)
+	s.SetFailEvery(2) // every 2nd mutation fails
+	if err := ed.ReplaceParagraph(0, "first edit goes through"); err != nil {
+		t.Fatalf("first edit: %v", err)
+	}
+	err := ed.ReplaceParagraph(0, "second edit hits the injected failure")
+	if err == nil || !strings.Contains(err.Error(), "status 500") {
+		t.Fatalf("err=%v, want injected 500", err)
+	}
+	// Recovery: the next mutation succeeds again.
+	if err := ed.ReplaceParagraph(0, "third edit recovers"); err != nil {
+		t.Fatalf("third edit: %v", err)
+	}
+	if got := s.Doc("report"); got[0] != "third edit recovers" {
+		t.Errorf("backend=%v", got)
+	}
+	s.SetFailEvery(0)
+	if err := ed.ReplaceParagraph(0, "injection disabled"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPasteAppend(t *testing.T) {
+	s, b, ed := setupDocs(t)
+	b.SetClipboard("Copied sensitive text from the wiki.")
+	if err := ed.PasteAppend(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Doc("report"); len(got) != 2 || !strings.Contains(got[1], "sensitive") {
+		t.Errorf("backend=%v", got)
+	}
+}
+
+func TestBlockedAppendDoesNotCorruptIndices(t *testing.T) {
+	s, b, ed := setupDocs(t)
+	// Block only payloads containing "SECRET".
+	for _, tab := range b.Tabs() {
+		tab.RegisterXHRHook(func(_ *browser.Tab, req *browser.XHRRequest) error {
+			if strings.Contains(string(req.Body), "SECRET") {
+				return errors.New("blocked by policy")
+			}
+			return nil
+		})
+	}
+	if err := ed.AppendParagraph("SECRET paragraph"); !errors.Is(err, browser.ErrBlocked) {
+		t.Fatalf("err=%v, want ErrBlocked", err)
+	}
+	// A subsequent clean append must land at the correct backend index.
+	if err := ed.AppendParagraph("clean paragraph"); err != nil {
+		t.Fatalf("clean append after block: %v", err)
+	}
+	got := s.Doc("report")
+	if len(got) != 2 || got[1] != "clean paragraph" {
+		t.Errorf("backend=%v", got)
+	}
+	// DOM holds all three paragraphs.
+	if len(ed.Paragraphs()) != 3 {
+		t.Errorf("DOM paragraphs=%d, want 3", len(ed.Paragraphs()))
+	}
+	// Rewriting the blocked paragraph into compliance resynchronises it
+	// as an insert at its DOM position.
+	if err := ed.ReplaceParagraph(1, "now harmless"); err != nil {
+		t.Fatalf("resync rewrite: %v", err)
+	}
+	got = s.Doc("report")
+	if len(got) != 3 || got[1] != "now harmless" {
+		t.Errorf("backend after resync=%v", got)
+	}
+}
+
+func TestBlockedSyncKeepsLocalEdit(t *testing.T) {
+	s, b, ed := setupDocs(t)
+	for _, tab := range b.Tabs() {
+		tab.RegisterXHRHook(func(*browser.Tab, *browser.XHRRequest) error {
+			return errors.New("blocked by policy")
+		})
+	}
+	err := ed.ReplaceParagraph(0, "Secret addition.")
+	if !errors.Is(err, browser.ErrBlocked) {
+		t.Fatalf("err=%v, want ErrBlocked", err)
+	}
+	// Local DOM has the edit; the backend does not.
+	if text, _ := ed.ParagraphText(0); text != "Secret addition." {
+		t.Errorf("DOM=%q", text)
+	}
+	if got := s.Doc("report"); got[0] == "Secret addition." {
+		t.Error("blocked mutation reached the backend")
+	}
+}

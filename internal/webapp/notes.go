@@ -1,0 +1,121 @@
+package webapp
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+)
+
+// The Notes service is an Evernote-like fourth cloud service whose wire
+// format is *obfuscated*: the client ships the whole note as
+// base64-encoded JSON inside a form field. Network-level DLP systems that
+// scan outgoing bodies for sensitive text cannot see through it without
+// reverse-engineering the protocol (§2.2), whereas BrowserFlow observes
+// the plaintext in the DOM before it is encoded (§5).
+
+// ServiceNotes is the TDM name of the notes service.
+const ServiceNotes = "notes"
+
+// NotesPayload is the JSON document inside the base64 envelope.
+type NotesPayload struct {
+	// Paragraphs is the full note content.
+	Paragraphs []string `json:"paragraphs"`
+}
+
+// EncodeNotesPayload seals a payload in the service's wire format.
+func EncodeNotesPayload(p NotesPayload) (string, error) {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return "", err
+	}
+	return base64.StdEncoding.EncodeToString(raw), nil
+}
+
+// DecodeNotesPayload opens the wire format. It is the "service-specific
+// transformation of the service's data to text segments" of §4.4 — the
+// adapter BrowserFlow needs to inspect this service's uploads.
+func DecodeNotesPayload(s string) (NotesPayload, error) {
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return NotesPayload{}, fmt.Errorf("webapp: notes payload: %w", err)
+	}
+	var p NotesPayload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return NotesPayload{}, fmt.Errorf("webapp: notes payload: %w", err)
+	}
+	return p, nil
+}
+
+// SeedNote preloads a note.
+func (s *Server) SeedNote(note string, paragraphs ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.notes == nil {
+		s.notes = make(map[string][]string)
+	}
+	s.notes[note] = append([]string(nil), paragraphs...)
+}
+
+// Note returns a note's paragraphs.
+func (s *Server) Note(note string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.notes[note]...)
+}
+
+func (s *Server) handleNotes(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/notes/")
+	if rest == "" {
+		http.Error(w, "note required", http.StatusNotFound)
+		return
+	}
+	if strings.HasSuffix(rest, "/sync") {
+		s.handleNoteSync(w, r, strings.TrimSuffix(rest, "/sync"))
+		return
+	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.renderNote(w, rest)
+}
+
+func (s *Server) handleNoteSync(w http.ResponseWriter, r *http.Request, note string) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	payload, err := DecodeNotesPayload(r.PostFormValue("payload"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	if s.notes == nil {
+		s.notes = make(map[string][]string)
+	}
+	s.notes[note] = payload.Paragraphs
+	s.mu.Unlock()
+	fmt.Fprint(w, `{"ok":true}`)
+}
+
+func (s *Server) renderNote(w http.ResponseWriter, note string) {
+	s.mu.RLock()
+	pars := append([]string(nil), s.notes[note]...)
+	s.mu.RUnlock()
+	var sb strings.Builder
+	sb.WriteString(`<html><body>`)
+	fmt.Fprintf(&sb, `<div id="note" class="note-editor" data-note="%s">`, html.EscapeString(note))
+	for i, p := range pars {
+		fmt.Fprintf(&sb, `<div class="note-par" id="note-par-%d">%s</div>`, i, html.EscapeString(p))
+	}
+	sb.WriteString(`</div></body></html>`)
+	writeHTML(w, sb.String())
+}

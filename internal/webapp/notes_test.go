@@ -1,0 +1,142 @@
+package webapp
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/browser"
+)
+
+func TestNotesPayloadRoundTrip(t *testing.T) {
+	p := NotesPayload{Paragraphs: []string{"one", "two"}}
+	enc, err := EncodeNotesPayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(enc, "one") {
+		t.Error("payload not obfuscated")
+	}
+	dec, err := DecodeNotesPayload(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Paragraphs) != 2 || dec.Paragraphs[0] != "one" {
+		t.Errorf("decoded=%+v", dec)
+	}
+}
+
+func TestDecodeNotesPayloadErrors(t *testing.T) {
+	if _, err := DecodeNotesPayload("!!!"); err == nil {
+		t.Error("bad base64 accepted")
+	}
+	if _, err := DecodeNotesPayload("bm90anNvbg=="); err == nil { // "notjson"
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestNotesServiceSync(t *testing.T) {
+	s := NewServer()
+	s.SeedNote("todo", "First item.")
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// Render carries the custom paragraph divs.
+	resp, err := http.Get(srv.URL + "/notes/todo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if !strings.Contains(sb.String(), `class="note-par"`) {
+		t.Errorf("note page: %s", sb.String())
+	}
+
+	// Sync replaces the whole note.
+	payload, err := EncodeNotesPayload(NotesPayload{Paragraphs: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.PostForm(srv.URL+"/notes/todo/sync", url.Values{"payload": {payload}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := s.Note("todo"); len(got) != 2 || got[1] != "b" {
+		t.Errorf("note=%v", got)
+	}
+
+	// Bad payload rejected.
+	resp3, err := http.PostForm(srv.URL+"/notes/todo/sync", url.Values{"payload": {"!!!"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad payload status=%d", resp3.StatusCode)
+	}
+}
+
+func TestNotesEditor(t *testing.T) {
+	s := NewServer()
+	s.SeedNote("todo", "Existing paragraph in the note.")
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	b := browser.New()
+	tab, err := b.OpenTab(srv.URL + "/notes/todo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := AttachNotesEditor(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ed.NoteID() != "todo" {
+		t.Errorf("NoteID=%q", ed.NoteID())
+	}
+	if err := ed.Append("Second paragraph of the note."); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Note("todo"); len(got) != 2 || got[1] != "Second paragraph of the note." {
+		t.Errorf("note=%v", got)
+	}
+	b.SetClipboard("Pasted from somewhere else.")
+	if err := ed.PasteAppend(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Note("todo"); len(got) != 3 {
+		t.Errorf("note=%v", got)
+	}
+}
+
+func TestAttachNotesEditorWrongPage(t *testing.T) {
+	s := NewServer()
+	s.SeedWikiPage("w", "x")
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	b := browser.New()
+	tab, err := b.OpenTab(srv.URL + "/wiki/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AttachNotesEditor(tab); err == nil {
+		t.Error("attached to non-notes page")
+	}
+}
+
+func TestServiceForPathNotes(t *testing.T) {
+	got, ok := ServiceForPath("/notes/todo")
+	if !ok || got != ServiceNotes {
+		t.Errorf("ServiceForPath=/notes/todo -> %q,%v", got, ok)
+	}
+}

@@ -1,0 +1,91 @@
+package webapp
+
+import (
+	"fmt"
+	"net/url"
+
+	"github.com/lsds/browserflow/internal/browser"
+	"github.com/lsds/browserflow/internal/dom"
+)
+
+// NotesEditor emulates the client-side JavaScript of the Notes service:
+// edits mutate the DOM (visible to BrowserFlow's mutation observers) and
+// the whole note is synchronised as a base64-encoded JSON envelope —
+// opaque to network-level inspection.
+type NotesEditor struct {
+	tab    *browser.Tab
+	editor *dom.Node
+	noteID string
+}
+
+// AttachNotesEditor binds to the editor element of a loaded /notes/ page.
+func AttachNotesEditor(tab *browser.Tab) (*NotesEditor, error) {
+	editor := tab.Document().Root().ByID("note")
+	if editor == nil {
+		return nil, fmt.Errorf("webapp: page has no #note element")
+	}
+	noteID := editor.Attr("data-note")
+	if noteID == "" {
+		return nil, fmt.Errorf("webapp: editor missing data-note")
+	}
+	return &NotesEditor{tab: tab, editor: editor, noteID: noteID}, nil
+}
+
+// NoteID returns the backing note's ID.
+func (e *NotesEditor) NoteID() string { return e.noteID }
+
+// Paragraphs returns the note's paragraph elements.
+func (e *NotesEditor) Paragraphs() []*dom.Node {
+	return e.editor.FindAll(func(n *dom.Node) bool {
+		return n.Type == dom.ElementNode && n.Tag == "div" && n.Class() == "note-par"
+	})
+}
+
+// Texts returns the current paragraph texts.
+func (e *NotesEditor) Texts() []string {
+	pars := e.Paragraphs()
+	out := make([]string, len(pars))
+	for i, p := range pars {
+		out[i] = p.InnerText()
+	}
+	return out
+}
+
+// Append adds a paragraph locally and synchronises the whole note.
+func (e *NotesEditor) Append(text string) error {
+	par := dom.NewElement("div", map[string]string{
+		"class": "note-par",
+		"id":    fmt.Sprintf("note-par-%d", len(e.Paragraphs())),
+	})
+	if err := e.tab.Document().AppendChild(e.editor, par); err != nil {
+		return err
+	}
+	if err := e.tab.Document().SetElementText(par, text); err != nil {
+		return err
+	}
+	return e.sync()
+}
+
+// PasteAppend appends the clipboard contents.
+func (e *NotesEditor) PasteAppend() error {
+	return e.Append(e.tab.Browser().Clipboard())
+}
+
+// sync ships the full note in the service's obfuscated wire format.
+func (e *NotesEditor) sync() error {
+	payload, err := EncodeNotesPayload(NotesPayload{Paragraphs: e.Texts()})
+	if err != nil {
+		return err
+	}
+	body := url.Values{"payload": {payload}}.Encode()
+	resp, err := e.tab.XHRWithType("POST", "/notes/"+e.noteID+"/sync",
+		"application/x-www-form-urlencoded", []byte(body))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("webapp: note sync status %d", resp.StatusCode)
+	}
+	return nil
+}

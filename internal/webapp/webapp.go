@@ -1,0 +1,396 @@
+// Package webapp implements the simulated cloud services that BrowserFlow
+// is evaluated against, mirroring the paper's deployment (§2, §5):
+//
+//   - Wiki — an internally hosted, form-based CMS (static HTML pages with a
+//     POST edit form), exercising the §5.1 interception path;
+//   - Interview Tool — a second form-based internal service;
+//   - Docs — an external, AJAX-based collaborative editor in the style of
+//     Google Docs: the page carries user text in custom-formatted DOM
+//     elements and ships each edit to the backend as an asynchronous JSON
+//     request, exercising the §5.2 interception path.
+//
+// All three run on net/http and hold their state in memory.
+package webapp
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Service names used in TDM policies.
+const (
+	ServiceWiki  = "wiki"
+	ServiceITool = "itool"
+	ServiceDocs  = "docs"
+)
+
+// ServiceForPath maps a request path to the owning service name.
+func ServiceForPath(path string) (string, bool) {
+	switch {
+	case strings.HasPrefix(path, "/wiki/"):
+		return ServiceWiki, true
+	case strings.HasPrefix(path, "/itool/"):
+		return ServiceITool, true
+	case strings.HasPrefix(path, "/docs/"):
+		return ServiceDocs, true
+	case strings.HasPrefix(path, "/notes/"):
+		return ServiceNotes, true
+	default:
+		return "", false
+	}
+}
+
+// Server hosts the simulated services under one mux: /wiki/, /itool/,
+// /docs/, /notes/.
+type Server struct {
+	mu sync.RWMutex
+
+	// failEvery, when > 0, makes every nth docs mutation fail with a 500 —
+	// failure injection for client resilience tests.
+	failEvery int
+	mutations int
+
+	wikiPages   map[string][]string // page -> paragraphs
+	evaluations map[string][]string // candidate -> evaluation notes
+	docs        map[string][]string // doc -> paragraphs
+	notes       map[string][]string // note -> paragraphs
+
+	mux *http.ServeMux
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer returns a Server with empty stores.
+func NewServer() *Server {
+	s := &Server{
+		wikiPages:   make(map[string][]string),
+		evaluations: make(map[string][]string),
+		docs:        make(map[string][]string),
+		notes:       make(map[string][]string),
+		mux:         http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/wiki/", s.handleWiki)
+	s.mux.HandleFunc("/itool/", s.handleITool)
+	s.mux.HandleFunc("/docs/", s.handleDocs)
+	s.mux.HandleFunc("/notes/", s.handleNotes)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- Wiki (form-based, §5.1) -------------------------------------------
+
+// SeedWikiPage preloads a wiki page with paragraphs.
+func (s *Server) SeedWikiPage(page string, paragraphs ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wikiPages[page] = append([]string(nil), paragraphs...)
+}
+
+// WikiPage returns the stored paragraphs of a page.
+func (s *Server) WikiPage(page string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.wikiPages[page]...)
+}
+
+func (s *Server) handleWiki(w http.ResponseWriter, r *http.Request) {
+	page := strings.TrimPrefix(r.URL.Path, "/wiki/")
+	if page == "" {
+		s.renderWikiIndex(w)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.renderWikiPage(w, page)
+	case http.MethodPost:
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		content := r.PostFormValue("content")
+		s.mu.Lock()
+		s.wikiPages[page] = append(s.wikiPages[page], content)
+		s.mu.Unlock()
+		http.Redirect(w, r, "/wiki/"+page, http.StatusSeeOther)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) renderWikiIndex(w http.ResponseWriter) {
+	s.mu.RLock()
+	pages := make([]string, 0, len(s.wikiPages))
+	for p := range s.wikiPages {
+		pages = append(pages, p)
+	}
+	s.mu.RUnlock()
+	sort.Strings(pages)
+	var sb strings.Builder
+	sb.WriteString(`<html><body><div id="content" class="content"><h1>Internal Wiki</h1><ul>`)
+	for _, p := range pages {
+		fmt.Fprintf(&sb, `<li><a href="/wiki/%s">%s</a></li>`, html.EscapeString(p), html.EscapeString(p))
+	}
+	sb.WriteString(`</ul></div></body></html>`)
+	writeHTML(w, sb.String())
+}
+
+func (s *Server) renderWikiPage(w http.ResponseWriter, page string) {
+	s.mu.RLock()
+	paragraphs := append([]string(nil), s.wikiPages[page]...)
+	s.mu.RUnlock()
+	var sb strings.Builder
+	sb.WriteString(`<html><body>`)
+	sb.WriteString(`<div class="header"><a href="/wiki/">Wiki Home</a></div>`)
+	fmt.Fprintf(&sb, `<div id="article" class="content"><h1>%s</h1>`, html.EscapeString(page))
+	for i, p := range paragraphs {
+		fmt.Fprintf(&sb, `<p id="par-%d">%s</p>`, i, html.EscapeString(p))
+	}
+	sb.WriteString(`</div>`)
+	fmt.Fprintf(&sb, `<form id="edit" action="/wiki/%s" method="post">`, html.EscapeString(page))
+	sb.WriteString(`<textarea name="content"></textarea>`)
+	sb.WriteString(`<input type="hidden" name="csrf" value="token123"/>`)
+	sb.WriteString(`<input type="submit" value="Add paragraph"/>`)
+	sb.WriteString(`</form>`)
+	sb.WriteString(`<div class="footer"><a href="/about">About</a></div>`)
+	sb.WriteString(`</body></html>`)
+	writeHTML(w, sb.String())
+}
+
+// --- Interview Tool (form-based) ----------------------------------------
+
+// SeedEvaluation preloads an interview evaluation.
+func (s *Server) SeedEvaluation(candidate string, notes ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evaluations[candidate] = append([]string(nil), notes...)
+}
+
+// Evaluations returns the stored notes for a candidate.
+func (s *Server) Evaluations(candidate string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.evaluations[candidate]...)
+}
+
+func (s *Server) handleITool(w http.ResponseWriter, r *http.Request) {
+	candidate := strings.TrimPrefix(r.URL.Path, "/itool/")
+	if candidate == "" {
+		http.Error(w, "candidate required", http.StatusNotFound)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.renderCandidate(w, candidate)
+	case http.MethodPost:
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		note := r.PostFormValue("evaluation")
+		s.mu.Lock()
+		s.evaluations[candidate] = append(s.evaluations[candidate], note)
+		s.mu.Unlock()
+		http.Redirect(w, r, "/itool/"+candidate, http.StatusSeeOther)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) renderCandidate(w http.ResponseWriter, candidate string) {
+	s.mu.RLock()
+	notes := append([]string(nil), s.evaluations[candidate]...)
+	s.mu.RUnlock()
+	var sb strings.Builder
+	sb.WriteString(`<html><body>`)
+	fmt.Fprintf(&sb, `<div id="main" class="content"><h1>Candidate: %s</h1>`, html.EscapeString(candidate))
+	for i, n := range notes {
+		fmt.Fprintf(&sb, `<p id="note-%d">%s</p>`, i, html.EscapeString(n))
+	}
+	sb.WriteString(`</div>`)
+	fmt.Fprintf(&sb, `<form id="addnote" action="/itool/%s" method="post">`, html.EscapeString(candidate))
+	sb.WriteString(`<input type="text" name="evaluation" value=""/>`)
+	sb.WriteString(`<input type="submit" value="Add note"/>`)
+	sb.WriteString(`</form></body></html>`)
+	writeHTML(w, sb.String())
+}
+
+// --- Docs (AJAX-based, §5.2) --------------------------------------------
+
+// MutateRequest is the JSON body the docs editor sends on every edit, in
+// the spirit of Google Docs shipping document mutations per keystroke.
+type MutateRequest struct {
+	// Op is "replace", "insert" or "delete".
+	Op string `json:"op"`
+
+	// Par is the zero-based paragraph index the operation targets.
+	Par int `json:"par"`
+
+	// Text is the paragraph's new full text (replace/insert).
+	Text string `json:"text"`
+}
+
+// SeedDoc preloads a document with paragraphs.
+func (s *Server) SeedDoc(doc string, paragraphs ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docs[doc] = append([]string(nil), paragraphs...)
+}
+
+// Doc returns the stored paragraphs of a document.
+func (s *Server) Doc(doc string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.docs[doc]...)
+}
+
+func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/docs/")
+	if rest == "" {
+		http.Error(w, "document required", http.StatusNotFound)
+		return
+	}
+	if strings.HasSuffix(rest, "/mutate") {
+		s.handleDocMutate(w, r, strings.TrimSuffix(rest, "/mutate"))
+		return
+	}
+	if strings.HasSuffix(rest, "/content") {
+		s.handleDocContent(w, rest[:len(rest)-len("/content")])
+		return
+	}
+	if strings.HasSuffix(rest, "/search") {
+		s.handleDocSearch(w, r, strings.TrimSuffix(rest, "/search"))
+		return
+	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.renderDoc(w, rest)
+}
+
+// SetFailEvery makes every nth docs mutation return a 500 (0 disables).
+func (s *Server) SetFailEvery(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failEvery = n
+	s.mutations = 0
+}
+
+func (s *Server) handleDocMutate(w http.ResponseWriter, r *http.Request, doc string) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	s.mutations++
+	inject := s.failEvery > 0 && s.mutations%s.failEvery == 0
+	s.mu.Unlock()
+	if inject {
+		http.Error(w, "injected backend failure", http.StatusInternalServerError)
+		return
+	}
+	var req MutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pars := s.docs[doc]
+	switch req.Op {
+	case "replace":
+		if req.Par < 0 || req.Par >= len(pars) {
+			http.Error(w, "paragraph out of range", http.StatusBadRequest)
+			return
+		}
+		pars[req.Par] = req.Text
+	case "insert":
+		if req.Par < 0 || req.Par > len(pars) {
+			http.Error(w, "paragraph out of range", http.StatusBadRequest)
+			return
+		}
+		pars = append(pars, "")
+		copy(pars[req.Par+1:], pars[req.Par:])
+		pars[req.Par] = req.Text
+	case "delete":
+		if req.Par < 0 || req.Par >= len(pars) {
+			http.Error(w, "paragraph out of range", http.StatusBadRequest)
+			return
+		}
+		pars = append(pars[:req.Par], pars[req.Par+1:]...)
+	default:
+		http.Error(w, "unknown op", http.StatusBadRequest)
+		return
+	}
+	s.docs[doc] = pars
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, `{"ok":true}`)
+}
+
+// handleDocSearch is the server-side feature that §2.2 says data
+// encryption breaks: "services may need to index, search, and inspect the
+// original data". It returns the indices of paragraphs containing q.
+func (s *Server) handleDocSearch(w http.ResponseWriter, r *http.Request, doc string) {
+	q := strings.ToLower(r.URL.Query().Get("q"))
+	if q == "" {
+		http.Error(w, "q required", http.StatusBadRequest)
+		return
+	}
+	s.mu.RLock()
+	pars := append([]string(nil), s.docs[doc]...)
+	s.mu.RUnlock()
+	hits := []int{}
+	for i, p := range pars {
+		if strings.Contains(strings.ToLower(p), q) {
+			hits = append(hits, i)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(hits); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleDocContent(w http.ResponseWriter, doc string) {
+	s.mu.RLock()
+	pars := append([]string(nil), s.docs[doc]...)
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(pars); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// renderDoc emits the Google-Docs-style editor shell: user text lives in
+// custom-formatted <div class="kix-paragraph"> elements rather than
+// standard <p>/<textarea> elements, so interception must go through
+// mutation observers, not form fields.
+func (s *Server) renderDoc(w http.ResponseWriter, doc string) {
+	s.mu.RLock()
+	pars := append([]string(nil), s.docs[doc]...)
+	s.mu.RUnlock()
+	var sb strings.Builder
+	sb.WriteString(`<html><body>`)
+	fmt.Fprintf(&sb, `<div id="editor" class="kix-editor" data-doc="%s">`, html.EscapeString(doc))
+	for i, p := range pars {
+		fmt.Fprintf(&sb, `<div class="kix-paragraph" id="kix-%d">%s</div>`, i, html.EscapeString(p))
+	}
+	sb.WriteString(`</div>`)
+	sb.WriteString(`<script>/* editor bootstrap */</script>`)
+	sb.WriteString(`</body></html>`)
+	writeHTML(w, sb.String())
+}
+
+func writeHTML(w http.ResponseWriter, body string) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, body)
+}

@@ -1,0 +1,233 @@
+package webapp
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func TestServiceForPath(t *testing.T) {
+	tests := []struct {
+		path   string
+		want   string
+		wantOK bool
+	}{
+		{path: "/wiki/guidelines", want: ServiceWiki, wantOK: true},
+		{path: "/itool/alice", want: ServiceITool, wantOK: true},
+		{path: "/docs/report", want: ServiceDocs, wantOK: true},
+		{path: "/other/x", want: "", wantOK: false},
+	}
+	for _, tt := range tests {
+		got, ok := ServiceForPath(tt.path)
+		if got != tt.want || ok != tt.wantOK {
+			t.Errorf("ServiceForPath(%q)=(%q,%v), want (%q,%v)", tt.path, got, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func TestWikiRenderAndPost(t *testing.T) {
+	s := NewServer()
+	s.SeedWikiPage("guidelines", "First paragraph.", "Second paragraph.")
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/wiki/guidelines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	for _, want := range []string{"First paragraph.", "Second paragraph.", `<form id="edit"`, `name="content"`} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+
+	// POST a new paragraph through the form endpoint.
+	resp2, err := http.PostForm(srv.URL+"/wiki/guidelines", url.Values{"content": {"Third paragraph."}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	got := s.WikiPage("guidelines")
+	if len(got) != 3 || got[2] != "Third paragraph." {
+		t.Errorf("WikiPage=%v", got)
+	}
+}
+
+func TestWikiIndex(t *testing.T) {
+	s := NewServer()
+	s.SeedWikiPage("alpha", "a")
+	s.SeedWikiPage("beta", "b")
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/wiki/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "alpha") || !strings.Contains(buf.String(), "beta") {
+		t.Errorf("index missing pages: %s", buf.String())
+	}
+}
+
+func TestWikiEscapesHTML(t *testing.T) {
+	s := NewServer()
+	s.SeedWikiPage("xss", `<script>alert("boom")</script>`)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/wiki/xss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if strings.Contains(buf.String(), "<script>alert") {
+		t.Error("user content not escaped")
+	}
+}
+
+func TestIToolFlow(t *testing.T) {
+	s := NewServer()
+	s.SeedEvaluation("alice", "Strong systems knowledge.")
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/itool/alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "Strong systems knowledge.") {
+		t.Error("evaluation missing from page")
+	}
+
+	resp2, err := http.PostForm(srv.URL+"/itool/alice", url.Values{"evaluation": {"Great communicator."}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if notes := s.Evaluations("alice"); len(notes) != 2 || notes[1] != "Great communicator." {
+		t.Errorf("Evaluations=%v", notes)
+	}
+}
+
+func TestDocsRenderMutateContent(t *testing.T) {
+	s := NewServer()
+	s.SeedDoc("report", "Intro paragraph.", "Body paragraph.")
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// Shell page carries paragraphs in custom divs, not <p>.
+	resp, err := http.Get(srv.URL + "/docs/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), `class="kix-paragraph"`) || strings.Contains(buf.String(), "<p>") {
+		t.Errorf("docs shell format wrong: %s", buf.String())
+	}
+
+	// Mutations.
+	post := func(m MutateRequest) *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(m)
+		resp, err := http.Post(srv.URL+"/docs/report/mutate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post(MutateRequest{Op: "replace", Par: 0, Text: "Edited intro."}); resp.StatusCode != 200 {
+		t.Fatalf("replace status=%d", resp.StatusCode)
+	}
+	if resp := post(MutateRequest{Op: "insert", Par: 2, Text: "Appendix."}); resp.StatusCode != 200 {
+		t.Fatalf("insert status=%d", resp.StatusCode)
+	}
+	if resp := post(MutateRequest{Op: "delete", Par: 1}); resp.StatusCode != 200 {
+		t.Fatalf("delete status=%d", resp.StatusCode)
+	}
+	if got := s.Doc("report"); len(got) != 2 || got[0] != "Edited intro." || got[1] != "Appendix." {
+		t.Errorf("Doc=%v", got)
+	}
+
+	// Content endpoint.
+	resp3, err := http.Get(srv.URL + "/docs/report/content")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var pars []string
+	if err := json.NewDecoder(resp3.Body).Decode(&pars); err != nil {
+		t.Fatal(err)
+	}
+	if len(pars) != 2 || pars[0] != "Edited intro." {
+		t.Errorf("content=%v", pars)
+	}
+}
+
+func TestDocsMutateErrors(t *testing.T) {
+	s := NewServer()
+	s.SeedDoc("d", "one")
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	tests := []struct {
+		name string
+		body string
+		want int
+	}{
+		{name: "bad json", body: "{", want: 400},
+		{name: "unknown op", body: `{"op":"zap","par":0}`, want: 400},
+		{name: "replace out of range", body: `{"op":"replace","par":9,"text":"x"}`, want: 400},
+		{name: "insert out of range", body: `{"op":"insert","par":-1,"text":"x"}`, want: 400},
+		{name: "delete out of range", body: `{"op":"delete","par":5}`, want: 400},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+"/docs/d/mutate", "application/json", strings.NewReader(tt.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tt.want {
+				t.Errorf("status=%d, want %d", resp.StatusCode, tt.want)
+			}
+		})
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := NewServer()
+	s.SeedDoc("d", "one")
+	s.SeedWikiPage("w", "x")
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	for _, path := range []string{"/wiki/w", "/itool/alice", "/docs/d"} {
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s: status=%d, want 405", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package browserflow
+
+// Concurrency stress: many simulated users observing, checking and
+// declassifying against one Middleware. Run with -race; correctness
+// assertions are coarse (counts, no panics) since interleavings vary.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStressConcurrentUsers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	mw := newMW(t, ModeAdvisory)
+
+	words := []string{"ledger", "invoice", "payroll", "forecast", "audit",
+		"budget", "reserve", "accrual", "margin", "liability", "equity", "asset"}
+	mkText := func(rng *rand.Rand, n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		return sb.String()
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for u := 0; u < workers; u++ {
+		wg.Add(1)
+		go func(user int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(user)))
+			service := []string{"wiki", "itool", "docs"}[user%3]
+			for i := 0; i < 60; i++ {
+				seg := SegmentID(fmt.Sprintf("%s/u%d#p%d", service, user, i%10))
+				text := mkText(rng, 30)
+				if _, err := mw.ObserveParagraph(service, seg, text); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := mw.CheckText(text, "docs"); err != nil {
+					errs <- err
+					return
+				}
+				if i%13 == 0 {
+					if _, err := mw.Sources(text); err != nil {
+						errs <- err
+						return
+					}
+					mw.SetParagraphThreshold(seg, 0.4)
+				}
+				if i%17 == 0 {
+					label := mw.Label(seg)
+					if label == nil {
+						errs <- fmt.Errorf("user %d: segment %s lost its label", user, seg)
+						return
+					}
+				}
+				if i%23 == 0 && service != "docs" {
+					tag := Tag(service[0:1] + string(rune('t'+0)))
+					_ = tag
+					// Suppress the service's own tag on the segment.
+					want := Tag("tw")
+					if service == "itool" {
+						want = "ti"
+					}
+					if err := mw.Suppress(fmt.Sprintf("user%d", user), seg, want, "stress"); err != nil {
+						errs <- fmt.Errorf("suppress: %w", err)
+						return
+					}
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	stats := mw.Stats()
+	if stats.ParagraphSegments != workers*10 {
+		t.Errorf("segments=%d, want %d", stats.ParagraphSegments, workers*10)
+	}
+	if stats.AuditEntries == 0 {
+		t.Error("no audit entries recorded")
+	}
+}
+
+func TestStressConcurrentSaveLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	mw := newMW(t, ModeAdvisory)
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	for u := 0; u < 4; u++ {
+		wg.Add(1)
+		go func(user int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				seg := SegmentID(fmt.Sprintf("wiki/s%d#p%d", user, i))
+				if _, err := mw.ObserveParagraph("wiki", seg, guide+fmt.Sprint(user, i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%5 == 0 {
+					path := fmt.Sprintf("%s/state-%d.bf", dir, user)
+					if err := mw.Save(path, ""); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+}
