@@ -2,9 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments clean
+.PHONY: all build vet test race check cover bench experiments clean
 
-all: build vet test
+all: build check
+
+# check is the gate: static analysis plus the full suite under the race
+# detector. The resilience and failover layers are concurrency-heavy, so
+# -race runs by default, not as an opt-in.
+check: vet
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

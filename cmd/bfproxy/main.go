@@ -8,15 +8,26 @@
 //	bfproxy -upstream http://internal-services:8080 -addr :9090 \
 //	        -sensitive secrets.txt -sensitive plans.txt
 //	bfproxy -upstream http://host:8080 -state s.bf -passphrase pw
+//	bfproxy -upstream http://host:8080 -read-timeout 10s \
+//	        -write-timeout 30s -shutdown-grace 10s -max-body 8388608
+//
+// The gateway carries read/write timeouts, bounds inspected request
+// bodies (413 past -max-body), and drains in-flight requests gracefully
+// on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/url"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"github.com/lsds/browserflow"
 	"github.com/lsds/browserflow/internal/dlpmon"
@@ -44,12 +55,16 @@ func (s *stringList) Set(v string) error {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bfproxy", flag.ContinueOnError)
 	var (
-		upstreamRaw = fs.String("upstream", "", "upstream base URL (required)")
-		addr        = fs.String("addr", ":9090", "listen address")
-		threshold   = fs.Float64("threshold", 0.5, "corpus match threshold")
-		statePath   = fs.String("state", "", "optional BrowserFlow state file for TDM policy checks")
-		passphrase  = fs.String("passphrase", "", "state file passphrase")
-		sensitive   stringList
+		upstreamRaw  = fs.String("upstream", "", "upstream base URL (required)")
+		addr         = fs.String("addr", ":9090", "listen address")
+		threshold    = fs.Float64("threshold", 0.5, "corpus match threshold")
+		statePath    = fs.String("state", "", "optional BrowserFlow state file for TDM policy checks")
+		passphrase   = fs.String("passphrase", "", "state file passphrase")
+		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "per-request read timeout")
+		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "per-request write timeout")
+		grace        = fs.Duration("shutdown-grace", 10*time.Second, "time allowed for in-flight requests to drain on SIGINT/SIGTERM")
+		maxBody      = fs.Int64("max-body", proxy.DefaultMaxBodyBytes, "maximum inspected request body size in bytes (413 past this)")
+		sensitive    stringList
 	)
 	fs.Var(&sensitive, "sensitive", "file whose contents are sensitive (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -77,7 +92,7 @@ func run(args []string) error {
 		}
 	}
 
-	cfg := proxy.Config{Upstream: upstream, Monitor: monitor}
+	cfg := proxy.Config{Upstream: upstream, Monitor: monitor, MaxBodyBytes: *maxBody}
 	if *statePath != "" {
 		mw, err := browserflow.New(browserflow.DefaultConfig())
 		if err != nil {
@@ -96,6 +111,36 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("bfproxy: %s -> %s (%d sensitive documents)\n", *addr, upstream, monitor.CorpusSize())
-	return http.ListenAndServe(*addr, p)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Handler:           p,
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * *readTimeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	fmt.Printf("bfproxy: %s -> %s (%d sensitive documents)\n", ln.Addr(), upstream, monitor.CorpusSize())
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "bfproxy: shutting down...")
+		shCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		return srv.Shutdown(shCtx)
+	}
 }

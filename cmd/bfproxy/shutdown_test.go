@@ -1,0 +1,102 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freeAddr reserves an ephemeral port and releases it for the daemon.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// The gateway bounds inspected bodies, forwards clean traffic, and drains
+// gracefully on SIGTERM.
+func TestGracefulShutdown(t *testing.T) {
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer upstream.Close()
+
+	dir := t.TempDir()
+	sensPath := filepath.Join(dir, "secrets.txt")
+	if err := os.WriteFile(sensPath, []byte("the confidential acquisition negotiation summary for the board"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	addr := freeAddr(t)
+	base := "http://" + addr
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{
+			"-upstream", upstream.URL,
+			"-addr", addr,
+			"-sensitive", sensPath,
+			"-max-body", "256",
+			"-shutdown-grace", "5s",
+		})
+	}()
+
+	// Wait for the gateway to serve.
+	deadline := time.Now().Add(5 * time.Second)
+	var up bool
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/ping")
+		if err == nil {
+			resp.Body.Close()
+			up = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !up {
+		t.Fatal("gateway never came up")
+	}
+
+	// Clean traffic forwards.
+	resp, err := http.Post(base+"/docs/x", "text/plain", strings.NewReader("a clean short note"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("clean post status=%d", resp.StatusCode)
+	}
+
+	// Past -max-body: rejected with 413 before inspection or forwarding.
+	resp, err = http.Post(base+"/docs/x", "text/plain", strings.NewReader(strings.Repeat("x", 4096)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized post status=%d, want 413", resp.StatusCode)
+	}
+
+	// SIGTERM: the gateway drains and exits cleanly.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want clean shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway did not shut down within the grace period")
+	}
+}

@@ -6,17 +6,28 @@
 //
 //	bftagd -policy policy.json -addr :7000
 //	bftagd -policy policy.json -state tags.bf -save-every 100
+//	bftagd -policy policy.json -read-timeout 10s -write-timeout 30s \
+//	       -shutdown-grace 10s -max-body 1048576
 //
 // Devices connect with internal/tagserver.Client; text never leaves the
-// device — only winnowed fingerprint hashes cross the wire.
+// device — only winnowed fingerprint hashes cross the wire. The server
+// exposes /healthz for the client-side failover layer's recovery probes,
+// carries read/write timeouts so slow peers cannot wedge it, bounds
+// request bodies (413 past -max-body), and drains in-flight requests on
+// SIGINT/SIGTERM before stopping the expiry janitor and saving state.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"github.com/lsds/browserflow"
 	"github.com/lsds/browserflow/internal/store"
@@ -33,13 +44,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bftagd", flag.ContinueOnError)
 	var (
-		policyPath = fs.String("policy", "", "policy JSON file (required)")
-		statePath  = fs.String("state", "", "optional state file to load and periodically save")
-		passphrase = fs.String("passphrase", "", "state passphrase")
-		saveEvery  = fs.Int("save-every", 500, "save state every N observe requests (0 disables)")
-		addr       = fs.String("addr", ":7000", "listen address")
-		expire     = fs.Duration("expire-every", 0, "run fingerprint expiry at this interval (0 disables)")
-		retain     = fs.Uint64("retain", 100000, "observations to retain when expiry runs")
+		policyPath   = fs.String("policy", "", "policy JSON file (required)")
+		statePath    = fs.String("state", "", "optional state file to load and periodically save")
+		passphrase   = fs.String("passphrase", "", "state passphrase")
+		saveEvery    = fs.Int("save-every", 500, "save state every N observe requests (0 disables)")
+		addr         = fs.String("addr", ":7000", "listen address")
+		expire       = fs.Duration("expire-every", 0, "run fingerprint expiry at this interval (0 disables)")
+		retain       = fs.Uint64("retain", 100000, "observations to retain when expiry runs")
+		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "per-request read timeout")
+		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "per-request write timeout")
+		grace        = fs.Duration("shutdown-grace", 10*time.Second, "time allowed for in-flight requests to drain on SIGINT/SIGTERM")
+		maxBody      = fs.Int64("max-body", tagserver.DefaultMaxBodyBytes, "maximum request body size in bytes (413 past this)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,12 +74,14 @@ func run(args []string) error {
 		}
 	}
 
-	server, err := tagserver.NewServer(mw.Engine())
+	server, err := tagserver.NewServer(mw.Engine(), tagserver.WithMaxBodyBytes(*maxBody))
 	if err != nil {
 		return err
 	}
 
-	// Periodic removal of old fingerprints (§4.4).
+	// Periodic removal of old fingerprints (§4.4). Deferred shutdown runs
+	// after the HTTP server has drained, so the janitor never races
+	// in-flight requests at exit.
 	if *expire > 0 {
 		janitor := store.NewJanitor(mw.Tracker(), *expire, *retain)
 		defer janitor.Shutdown()
@@ -86,8 +103,43 @@ func run(args []string) error {
 		})
 	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Handler:           handler,
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * *readTimeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
 	stats := mw.Stats()
 	fmt.Printf("bftagd: serving on %s (%d segments, %d hashes)\n",
-		*addr, stats.ParagraphSegments, stats.DistinctHashes)
-	return http.ListenAndServe(*addr, handler)
+		ln.Addr(), stats.ParagraphSegments, stats.DistinctHashes)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop() // restore default signal handling for a second Ctrl-C
+		fmt.Fprintln(os.Stderr, "bftagd: shutting down...")
+		shCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		shutdownErr := srv.Shutdown(shCtx)
+		if *statePath != "" {
+			if err := mw.Save(*statePath, *passphrase); err != nil {
+				fmt.Fprintln(os.Stderr, "bftagd: save state:", err)
+			}
+		}
+		return shutdownErr
+	}
 }

@@ -29,6 +29,15 @@ const (
 
 	// ActionOverride records a user overriding a Block/Warn decision.
 	ActionOverride Action = "override"
+
+	// ActionDegraded records a decision made while the shared tag service
+	// was unreachable (fail-open in advisory mode, fail-closed in
+	// enforcing mode). The justification carries the failure cause.
+	ActionDegraded Action = "degraded"
+
+	// ActionRecovered records the tag service becoming reachable again
+	// and the buffered observations being replayed.
+	ActionRecovered Action = "recovered"
 )
 
 // Entry is one immutable audit record.

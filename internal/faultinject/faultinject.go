@@ -1,0 +1,319 @@
+// Package faultinject provides a deterministic, seedable fault-injecting
+// http.RoundTripper for chaos testing the remote tag-service path. Rules
+// match requests by path prefix and method and inject connection errors,
+// latency, synthetic 5xx statuses, truncated bodies, or malformed JSON —
+// everything a flaky shared service or a middlebox can do to a client.
+//
+// The injector also keeps per-path delivery counters, which lets tests
+// assert the cardinal retry-safety property: a non-idempotent request whose
+// body was delivered upstream is never retried.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind selects a fault behaviour.
+type Kind string
+
+const (
+	// KindConnError fails the request before anything is sent (like a
+	// refused connection). The error implements RequestNotSent, so
+	// retrying it is safe for any method.
+	KindConnError Kind = "conn-error"
+
+	// KindResetAfterSend delivers the request upstream, then fails the
+	// round-trip (like a connection reset while reading the response).
+	// The error does NOT mark the request as unsent: retrying a POST
+	// after it would be a duplicate delivery.
+	KindResetAfterSend Kind = "reset-after-send"
+
+	// KindLatency delays the request by Rule.Latency, then delivers it.
+	KindLatency Kind = "latency"
+
+	// KindStatus consumes the request and answers with Rule.Status
+	// (default 503) without contacting the upstream.
+	KindStatus Kind = "status"
+
+	// KindTruncateBody delivers the request and truncates the response
+	// body to half its length (a cut connection mid-body).
+	KindTruncateBody Kind = "truncate-body"
+
+	// KindMalformedJSON delivers the request and replaces the response
+	// body with syntactically invalid JSON.
+	KindMalformedJSON Kind = "malformed-json"
+)
+
+// Rule matches requests and injects one fault kind.
+type Rule struct {
+	// PathPrefix matches req.URL.Path; empty matches every path.
+	PathPrefix string
+
+	// Method matches the request method; empty matches every method.
+	Method string
+
+	// Kind is the fault to inject.
+	Kind Kind
+
+	// Status is the synthetic response code for KindStatus (default 503).
+	Status int
+
+	// Latency is the injected delay for KindLatency.
+	Latency time.Duration
+
+	// P is the injection probability in (0, 1]; 0 means always. Draws
+	// come from the injector's seeded source, so runs are reproducible.
+	P float64
+
+	// Times bounds how often the rule fires (0 = unlimited).
+	Times int
+
+	applied int
+}
+
+// NotSentError is the connection-level failure injected by KindConnError.
+// It satisfies resilience.NotDelivered via RequestNotSent.
+type NotSentError struct {
+	Method string
+	Path   string
+}
+
+// Error implements error.
+func (e *NotSentError) Error() string {
+	return fmt.Sprintf("faultinject: %s %s: connection refused (request not sent)", e.Method, e.Path)
+}
+
+// RequestNotSent reports that the request body never left the client.
+func (e *NotSentError) RequestNotSent() bool { return true }
+
+// Injector is a fault-injecting RoundTripper. It is safe for concurrent
+// use; rules may be added and cleared between (or during) requests.
+type Injector struct {
+	next  http.RoundTripper
+	sleep func(time.Duration)
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	rules     []*Rule
+	attempts  map[string]int // per path: round-trips attempted through the injector
+	delivered map[string]int // per "METHOD path": bodies delivered upstream
+	injected  map[string]int // per path: faults injected
+}
+
+// New returns an Injector forwarding to next (http.DefaultTransport when
+// nil) with a deterministic random source derived from seed.
+func New(next http.RoundTripper, seed int64) *Injector {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &Injector{
+		next:      next,
+		sleep:     time.Sleep,
+		rng:       rand.New(rand.NewSource(seed)),
+		attempts:  make(map[string]int),
+		delivered: make(map[string]int),
+		injected:  make(map[string]int),
+	}
+}
+
+// SetSleep replaces the latency-injection sleeper (tests use a recorder).
+func (i *Injector) SetSleep(fn func(time.Duration)) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if fn != nil {
+		i.sleep = fn
+	}
+}
+
+// AddRule appends a rule. Later rules are consulted only when earlier ones
+// do not match.
+func (i *Injector) AddRule(r Rule) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	rule := r
+	i.rules = append(i.rules, &rule)
+}
+
+// ClearRules removes every rule (the injector becomes a transparent
+// pass-through).
+func (i *Injector) ClearRules() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules = nil
+}
+
+// Attempts returns how many round-trips were attempted for path.
+func (i *Injector) Attempts(path string) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.attempts[path]
+}
+
+// Delivered returns how many request bodies for method+path were delivered
+// upstream (including synthetic-status responses, where the server is
+// assumed to have consumed the request).
+func (i *Injector) Delivered(method, path string) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.delivered[method+" "+path]
+}
+
+// Injected returns how many faults were injected for path.
+func (i *Injector) Injected(path string) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.injected[path]
+}
+
+// Reset zeroes every counter (rules are kept).
+func (i *Injector) Reset() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.attempts = make(map[string]int)
+	i.delivered = make(map[string]int)
+	i.injected = make(map[string]int)
+}
+
+// match returns the first applicable rule, consuming its probability draw
+// and Times budget. Caller holds i.mu.
+func (i *Injector) matchLocked(req *http.Request) *Rule {
+	for _, r := range i.rules {
+		if r.PathPrefix != "" && !strings.HasPrefix(req.URL.Path, r.PathPrefix) {
+			continue
+		}
+		if r.Method != "" && r.Method != req.Method {
+			continue
+		}
+		if r.Times > 0 && r.applied >= r.Times {
+			continue
+		}
+		if r.P > 0 && r.P < 1 && i.rng.Float64() >= r.P {
+			continue
+		}
+		r.applied++
+		return r
+	}
+	return nil
+}
+
+// RoundTrip implements http.RoundTripper.
+func (i *Injector) RoundTrip(req *http.Request) (*http.Response, error) {
+	path := req.URL.Path
+	i.mu.Lock()
+	i.attempts[path]++
+	rule := i.matchLocked(req)
+	var ruleCopy Rule
+	if rule != nil {
+		i.injected[path]++
+		ruleCopy = *rule
+	}
+	sleep := i.sleep
+	i.mu.Unlock()
+
+	if rule == nil {
+		return i.deliver(req)
+	}
+
+	switch ruleCopy.Kind {
+	case KindConnError:
+		// Nothing reached the wire.
+		return nil, &NotSentError{Method: req.Method, Path: path}
+
+	case KindLatency:
+		sleep(ruleCopy.Latency)
+		return i.deliver(req)
+
+	case KindStatus:
+		// The server consumed the request, then answered with an error
+		// status: the body counts as delivered.
+		i.consume(req)
+		i.countDelivered(req)
+		status := ruleCopy.Status
+		if status == 0 {
+			status = http.StatusServiceUnavailable
+		}
+		return syntheticResponse(req, status, "faultinject: injected status"), nil
+
+	case KindResetAfterSend:
+		resp, err := i.deliver(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+		}
+		return nil, fmt.Errorf("faultinject: %s %s: connection reset after delivery", req.Method, path)
+
+	case KindTruncateBody:
+		resp, err := i.deliver(req)
+		if err != nil {
+			return nil, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		cut := body[:len(body)/2]
+		resp.Body = io.NopCloser(bytes.NewReader(cut))
+		resp.ContentLength = int64(len(cut))
+		return resp, nil
+
+	case KindMalformedJSON:
+		resp, err := i.deliver(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		garbled := []byte(`{"decision": <<not json>>`)
+		resp.Body = io.NopCloser(bytes.NewReader(garbled))
+		resp.ContentLength = int64(len(garbled))
+		resp.Header.Set("Content-Type", "application/json")
+		return resp, nil
+
+	default:
+		return nil, fmt.Errorf("faultinject: unknown kind %q", ruleCopy.Kind)
+	}
+}
+
+// deliver forwards the request upstream and counts the delivery.
+func (i *Injector) deliver(req *http.Request) (*http.Response, error) {
+	i.countDelivered(req)
+	return i.next.RoundTrip(req)
+}
+
+func (i *Injector) countDelivered(req *http.Request) {
+	i.mu.Lock()
+	i.delivered[req.Method+" "+req.URL.Path]++
+	i.mu.Unlock()
+}
+
+// consume reads and closes the request body (what a server would do before
+// answering with an error status).
+func (i *Injector) consume(req *http.Request) {
+	if req.Body == nil {
+		return
+	}
+	io.Copy(io.Discard, req.Body) //nolint:errcheck
+	req.Body.Close()
+}
+
+func syntheticResponse(req *http.Request, status int, body string) *http.Response {
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"text/plain"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

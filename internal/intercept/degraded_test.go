@@ -1,0 +1,99 @@
+package intercept
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lsds/browserflow/internal/policy"
+	"github.com/lsds/browserflow/internal/segment"
+	"github.com/lsds/browserflow/internal/tagserver"
+)
+
+// The failover engine must be pluggable wherever a local engine is; the
+// check lives here (not in tagserver) to avoid an import cycle.
+var _ Engine = (*tagserver.FailoverEngine)(nil)
+
+// degradedEngine simulates a FailoverEngine riding out an outage: every
+// decision is the mode default, flagged Degraded.
+type degradedEngine struct{ mode policy.Mode }
+
+func (d *degradedEngine) verdict(seg segment.ID, service string) (policy.Verdict, error) {
+	return policy.Verdict{
+		Decision: policy.DecisionAllow,
+		Seg:      seg,
+		Service:  service,
+		Degraded: true,
+	}, nil
+}
+
+func (d *degradedEngine) ObserveEdit(seg segment.ID, service, text string) (policy.Verdict, error) {
+	return d.verdict(seg, service)
+}
+
+func (d *degradedEngine) ObserveDocumentEdit(doc segment.ID, service, text string) (policy.Verdict, error) {
+	return d.verdict(doc, service)
+}
+
+func (d *degradedEngine) CheckText(text, destService string) (policy.Verdict, error) {
+	return d.verdict("", destService)
+}
+
+func (d *degradedEngine) Mode() policy.Mode { return d.mode }
+
+// Degraded verdicts are counted, logged at Warn, and surfaced to OnEvent so
+// a UI can tell users the tag service is unreachable.
+func TestDegradedVerdictsSurfaced(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		events []Event
+		logBuf bytes.Buffer
+	)
+	plugin, err := New(Config{
+		Engine: &degradedEngine{mode: policy.ModeAdvisory},
+		User:   "alice",
+		Logger: slog.New(slog.NewTextHandler(&logBuf, nil)),
+		OnEvent: func(e Event) {
+			mu.Lock()
+			events = append(events, e)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plugin.Shutdown()
+
+	plugin.decide(editTask{
+		seg: "docs/offline#p0", service: "docs",
+		text: "typed while the service was down", enqueued: time.Now(),
+	})
+	plugin.decide(editTask{
+		seg: "docs/offline!doc", service: "docs",
+		text: "typed while the service was down", enqueued: time.Now(),
+	})
+
+	if got := plugin.DegradedCount(); got != 2 {
+		t.Errorf("DegradedCount=%d, want 2", got)
+	}
+	if got := plugin.WarnCount(); got != 0 {
+		t.Errorf("WarnCount=%d: degraded allows are not violations", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 2 {
+		t.Fatalf("events=%d, want 2", len(events))
+	}
+	for _, e := range events {
+		if !e.Verdict.Degraded {
+			t.Errorf("event %v lost the Degraded flag", e.Kind)
+		}
+	}
+	if out := logBuf.String(); !strings.Contains(out, "degraded decision") ||
+		!strings.Contains(out, "WARN") {
+		t.Errorf("log missing degraded warning:\n%s", out)
+	}
+}

@@ -182,9 +182,10 @@ type Plugin struct {
 	stopOnce sync.Once
 	pending  sync.WaitGroup
 
-	mu        sync.Mutex
-	warnCount int
-	recolours map[*dom.Node]recolourOp
+	mu            sync.Mutex
+	warnCount     int
+	degradedCount int
+	recolours     map[*dom.Node]recolourOp
 }
 
 // recolourOp is a pending paragraph style update. The decision worker never
@@ -278,6 +279,15 @@ func (p *Plugin) WarnCount() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.warnCount
+}
+
+// DegradedCount returns how many decisions were made while the remote tag
+// service was unreachable (a tagserver.FailoverEngine substituted its
+// mode's fail-open/fail-closed default; see policy.Verdict.Degraded).
+func (p *Plugin) DegradedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.degradedCount
 }
 
 // --- page observation (§5.2 mutation observers) --------------------------
@@ -437,6 +447,16 @@ func (p *Plugin) recolour(task editTask, verdict policy.Verdict) {
 }
 
 func (p *Plugin) emit(e Event) {
+	if e.Verdict.Degraded {
+		p.mu.Lock()
+		p.degradedCount++
+		p.mu.Unlock()
+		if p.cfg.Logger != nil {
+			p.cfg.Logger.Warn("degraded decision (tag service unreachable)",
+				"kind", string(e.Kind), "seg", string(e.Seg),
+				"service", e.Service, "decision", e.Verdict.Decision.String())
+		}
+	}
 	if e.Verdict.Violation() {
 		p.mu.Lock()
 		p.warnCount++

@@ -124,6 +124,12 @@ type Verdict struct {
 	// CacheHit reports whether the disclosure result came from the
 	// decision cache.
 	CacheHit bool
+
+	// Degraded reports that the verdict was NOT computed by an engine:
+	// the shared tag service was unreachable and a failover layer
+	// substituted its mode's fail-open (allow) or fail-closed (block)
+	// default. Degraded verdicts carry no disclosure evidence.
+	Degraded bool
 }
 
 // Violation reports whether the evaluation found a policy violation

@@ -12,6 +12,7 @@ package proxy
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -21,6 +22,11 @@ import (
 	"github.com/lsds/browserflow/internal/dlpmon"
 	"github.com/lsds/browserflow/internal/policy"
 )
+
+// DefaultMaxBodyBytes bounds inspected request bodies (overridable with
+// Config.MaxBodyBytes). The proxy buffers each body to inspect it, so an
+// unbounded body is an easy memory-exhaustion vector.
+const DefaultMaxBodyBytes = 8 << 20
 
 // Config configures a Proxy.
 type Config struct {
@@ -41,6 +47,11 @@ type Config struct {
 	// Transport performs the upstream requests (default
 	// http.DefaultTransport).
 	Transport http.RoundTripper
+
+	// MaxBodyBytes bounds the request bodies the proxy buffers for
+	// inspection (default DefaultMaxBodyBytes). Larger requests are
+	// rejected with 413 before any inspection or forwarding.
+	MaxBodyBytes int64
 }
 
 // Stats counts proxy outcomes.
@@ -67,6 +78,9 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.Transport == nil {
 		cfg.Transport = http.DefaultTransport
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
 	if cfg.Engine != nil && cfg.ServiceOf == nil {
 		return nil, fmt.Errorf("proxy: Engine requires ServiceOf")
 	}
@@ -80,8 +94,14 @@ func (p *Proxy) Stats() Stats {
 
 // ServeHTTP inspects and forwards one request.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(r)
+	body, err := p.readBody(w, r)
 	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			p.blocked.Add(1)
+			http.Error(w, fmt.Sprintf("proxy: request body exceeds %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "proxy: read body: "+err.Error(), http.StatusBadGateway)
 		return
 	}
@@ -147,12 +167,15 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func readBody(r *http.Request) ([]byte, error) {
+// readBody buffers the request body for inspection, bounded by
+// MaxBodyBytes: an oversized body surfaces as *http.MaxBytesError.
+func (p *Proxy) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 	if r.Body == nil {
 		return nil, nil
 	}
-	defer r.Body.Close()
-	return io.ReadAll(r.Body)
+	bounded := http.MaxBytesReader(w, r.Body, p.cfg.MaxBodyBytes)
+	defer bounded.Close()
+	return io.ReadAll(bounded)
 }
 
 // decodeText extracts scannable text using the same decoders as the DLP

@@ -1,0 +1,118 @@
+package proxy
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/lsds/browserflow/internal/faultinject"
+	"github.com/lsds/browserflow/internal/resilience"
+)
+
+// An oversized body is rejected with 413 before any inspection or
+// forwarding: the upstream never sees a byte of it.
+func TestBodyLimitRejectsOversized(t *testing.T) {
+	up := newUpstream(t)
+	p, err := New(Config{
+		Upstream:     mustURL(t, up.srv.URL),
+		Monitor:      newMonitor(t),
+		MaxBodyBytes: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	big := strings.Repeat("x", 4096)
+	resp, err := http.Post(front.URL+"/docs/x", "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status=%d, want 413", resp.StatusCode)
+	}
+	if len(up.got) != 0 {
+		t.Errorf("oversized body reached upstream: %q", up.got)
+	}
+	if s := p.Stats(); s.Blocked != 1 || s.Forwarded != 0 {
+		t.Errorf("stats=%+v", s)
+	}
+
+	// A body inside the limit still flows.
+	resp, err = http.Post(front.URL+"/docs/x", "text/plain", strings.NewReader("small and clean"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("small body status=%d", resp.StatusCode)
+	}
+	if s := p.Stats(); s.Forwarded != 1 {
+		t.Errorf("stats=%+v", s)
+	}
+}
+
+// An upstream connection failure surfaces as 502, deterministically
+// injected rather than relying on a dead port.
+func TestInjectedUpstreamFault(t *testing.T) {
+	up := newUpstream(t)
+	inj := faultinject.New(up.srv.Client().Transport, 1)
+	inj.AddRule(faultinject.Rule{Kind: faultinject.KindConnError})
+	p, err := New(Config{Upstream: mustURL(t, up.srv.URL), Transport: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/wiki/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("status=%d, want 502", resp.StatusCode)
+	}
+	if len(up.got) != 0 && up.path != "" {
+		t.Errorf("faulted request reached upstream: path=%q", up.path)
+	}
+}
+
+// The proxy's transport composes with resilience middleware: a transient
+// connection failure on an idempotent request is retried transparently.
+func TestRetryMiddlewareComposition(t *testing.T) {
+	up := newUpstream(t)
+	inj := faultinject.New(up.srv.Client().Transport, 1)
+	inj.AddRule(faultinject.Rule{Kind: faultinject.KindConnError, Times: 1})
+	rt := resilience.NewRetryTransport(inj, resilience.RetryPolicy{
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) {},
+	})
+	p, err := New(Config{Upstream: mustURL(t, up.srv.URL), Transport: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/wiki/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "upstream ok" {
+		t.Errorf("status=%d body=%q after transparent retry", resp.StatusCode, body)
+	}
+	if got := inj.Attempts("/wiki/page"); got != 2 {
+		t.Errorf("attempts=%d, want 2 (one fault, one retry)", got)
+	}
+	if s := rt.Stats(); s.Retries != 1 || s.GiveUps != 0 {
+		t.Errorf("retry stats=%+v", s)
+	}
+}

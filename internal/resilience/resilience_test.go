@@ -1,0 +1,328 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptRT replays a scripted sequence of outcomes.
+type scriptRT struct {
+	mu    sync.Mutex
+	steps []func(*http.Request) (*http.Response, error)
+	calls int
+}
+
+func (s *scriptRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	s.mu.Lock()
+	idx := s.calls
+	s.calls++
+	s.mu.Unlock()
+	if idx >= len(s.steps) {
+		return nil, fmt.Errorf("script exhausted at call %d", idx)
+	}
+	return s.steps[idx](req)
+}
+
+func (s *scriptRT) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+type notSentErr struct{}
+
+func (notSentErr) Error() string        { return "conn refused (not sent)" }
+func (notSentErr) RequestNotSent() bool { return true }
+
+func ok200() func(*http.Request) (*http.Response, error) {
+	return status(200)
+}
+
+func status(code int) func(*http.Request) (*http.Response, error) {
+	return func(req *http.Request) (*http.Response, error) {
+		return &http.Response{
+			StatusCode: code,
+			Body:       io.NopCloser(strings.NewReader("body")),
+			Header:     http.Header{},
+			Request:    req,
+		}, nil
+	}
+}
+
+func fail(err error) func(*http.Request) (*http.Response, error) {
+	return func(*http.Request) (*http.Response, error) { return nil, err }
+}
+
+func fastPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+		Rand:        rand.New(rand.NewSource(42)),
+		Sleep:       func(time.Duration) {},
+	}
+}
+
+func get(t *testing.T, rt http.RoundTripper) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, "http://svc/v1/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.RoundTrip(req)
+}
+
+func post(t *testing.T, rt http.RoundTripper) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, "http://svc/v1/observe", strings.NewReader(`{"x":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.RoundTrip(req)
+}
+
+func TestRetryIdempotentEventualSuccess(t *testing.T) {
+	script := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		fail(notSentErr{}), status(503), ok200(),
+	}}
+	rt := NewRetryTransport(script, fastPolicy())
+	resp, err := get(t, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || script.Calls() != 3 {
+		t.Errorf("status=%d calls=%d", resp.StatusCode, script.Calls())
+	}
+	stats := rt.Stats()
+	if stats.Attempts != 3 || stats.Retries != 2 || stats.GiveUps != 0 {
+		t.Errorf("stats=%+v", stats)
+	}
+}
+
+func TestRetryHookObservesEveryRetry(t *testing.T) {
+	var reasons []string
+	policy := fastPolicy()
+	policy.OnRetry = func(_ *http.Request, attempt int, _ time.Duration, reason string) {
+		reasons = append(reasons, fmt.Sprintf("%d:%s", attempt, reason))
+	}
+	script := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		status(502), ok200(),
+	}}
+	resp, err := get(t, NewRetryTransport(script, policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(reasons) != 1 || !strings.Contains(reasons[0], "status 502") {
+		t.Errorf("reasons=%v", reasons)
+	}
+}
+
+// The cardinal safety property: a non-idempotent request whose body may
+// have reached the server is never replayed.
+func TestNoRetryForDeliveredPost(t *testing.T) {
+	script := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		fail(errors.New("connection reset mid-response")), // delivered-unknown
+	}}
+	rt := NewRetryTransport(script, fastPolicy())
+	if _, err := post(t, rt); err == nil {
+		t.Fatal("expected error")
+	}
+	if script.Calls() != 1 {
+		t.Errorf("delivered POST was retried: calls=%d", script.Calls())
+	}
+	if rt.Stats().GiveUps != 1 {
+		t.Errorf("stats=%+v", rt.Stats())
+	}
+}
+
+// A delivered POST answered with a retryable 5xx status is surfaced, not
+// retried: the server already consumed the body.
+func TestNoRetryForPostWith503(t *testing.T) {
+	script := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		status(503), ok200(),
+	}}
+	resp, err := post(t, NewRetryTransport(script, fastPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 || script.Calls() != 1 {
+		t.Errorf("status=%d calls=%d", resp.StatusCode, script.Calls())
+	}
+}
+
+// A POST that provably never left the client is safe to retry.
+func TestRetryPostWhenNotSent(t *testing.T) {
+	script := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		fail(notSentErr{}), ok200(),
+	}}
+	resp, err := post(t, NewRetryTransport(script, fastPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || script.Calls() != 2 {
+		t.Errorf("status=%d calls=%d", resp.StatusCode, script.Calls())
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	script := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		fail(notSentErr{}), fail(notSentErr{}), fail(notSentErr{}),
+	}}
+	rt := NewRetryTransport(script, fastPolicy())
+	if _, err := get(t, rt); err == nil {
+		t.Fatal("expected error after exhausting attempts")
+	}
+	if script.Calls() != 3 || rt.Stats().GiveUps != 1 {
+		t.Errorf("calls=%d stats=%+v", script.Calls(), rt.Stats())
+	}
+}
+
+func TestRetryStopsWhenBodyNotReplayable(t *testing.T) {
+	script := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		fail(notSentErr{}), ok200(),
+	}}
+	rt := NewRetryTransport(script, fastPolicy())
+	req, err := http.NewRequest(http.MethodPost, "http://svc/v1/observe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Body = io.NopCloser(strings.NewReader("opaque"))
+	req.GetBody = nil // body cannot be rewound
+	if _, err := rt.RoundTrip(req); err == nil {
+		t.Fatal("expected error when body cannot be replayed")
+	}
+	if script.Calls() != 1 {
+		t.Errorf("calls=%d", script.Calls())
+	}
+}
+
+func TestPerAttemptDeadline(t *testing.T) {
+	hang := func(req *http.Request) (*http.Response, error) {
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	}
+	script := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		hang, ok200(),
+	}}
+	policy := fastPolicy()
+	policy.PerAttemptTimeout = 5 * time.Millisecond
+	resp, err := get(t, NewRetryTransport(script, policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || script.Calls() != 2 {
+		t.Errorf("status=%d calls=%d", resp.StatusCode, script.Calls())
+	}
+}
+
+func TestCallerContextCancelAborts(t *testing.T) {
+	script := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		fail(notSentErr{}), ok200(),
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	policy := fastPolicy()
+	policy.Sleep = func(time.Duration) { cancel() } // cancelled mid-backoff
+	rt := NewRetryTransport(script, policy)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://svc/v1/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.RoundTrip(req); !errors.Is(err, context.Canceled) {
+		t.Errorf("err=%v, want context.Canceled", err)
+	}
+	if script.Calls() != 1 {
+		t.Errorf("calls=%d", script.Calls())
+	}
+}
+
+func TestBackoffFullJitterBounds(t *testing.T) {
+	policy := fastPolicy()
+	policy.BaseDelay = 10 * time.Millisecond
+	policy.MaxDelay = 40 * time.Millisecond
+	rt := NewRetryTransport(&scriptRT{}, policy)
+	for attempt := 0; attempt < 8; attempt++ {
+		ceil := policy.BaseDelay << uint(attempt)
+		if ceil > policy.MaxDelay || ceil <= 0 {
+			ceil = policy.MaxDelay
+		}
+		for i := 0; i < 50; i++ {
+			d := rt.backoff(attempt)
+			if d < 0 || d > ceil {
+				t.Fatalf("attempt %d: backoff %v outside [0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+func TestBackoffDeterministicWithSeed(t *testing.T) {
+	mk := func() []time.Duration {
+		policy := fastPolicy()
+		policy.Rand = rand.New(rand.NewSource(7))
+		rt := NewRetryTransport(&scriptRT{}, policy)
+		var out []time.Duration
+		for i := 0; i < 10; i++ {
+			out = append(out, rt.backoff(i%3))
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded backoff diverged at %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNotDelivered(t *testing.T) {
+	if !NotDelivered(notSentErr{}) {
+		t.Error("marker error not recognised")
+	}
+	if !NotDelivered(fmt.Errorf("wrap: %w", notSentErr{})) {
+		t.Error("wrapped marker error not recognised")
+	}
+	if NotDelivered(errors.New("connection reset by peer")) {
+		t.Error("generic error treated as not delivered")
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	mw := func(name string) Middleware {
+		return func(next http.RoundTripper) http.RoundTripper {
+			return roundTripFunc(func(req *http.Request) (*http.Response, error) {
+				order = append(order, name)
+				return next.RoundTrip(req)
+			})
+		}
+	}
+	base := roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		order = append(order, "base")
+		return ok200()(req)
+	})
+	rt := Chain(base, mw("outer"), mw("inner"))
+	resp, err := get(t, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if strings.Join(order, ",") != "outer,inner,base" {
+		t.Errorf("order=%v", order)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }

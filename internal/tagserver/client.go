@@ -2,16 +2,25 @@ package tagserver
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"time"
 
 	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/resilience"
 	"github.com/lsds/browserflow/internal/segment"
 	"github.com/lsds/browserflow/internal/tdm"
 )
+
+// DefaultClientTimeout bounds every request a Client makes unless
+// overridden with WithTimeout or WithHTTPClient. A shared tag service on
+// the decision path must never hang a device indefinitely.
+const DefaultClientTimeout = 5 * time.Second
 
 // Client is one device's connection to the shared tag service. It
 // fingerprints text locally (the text never leaves the device) and ships
@@ -23,16 +32,102 @@ type Client struct {
 	http   *http.Client
 }
 
+// ClientOption customises a Client.
+type ClientOption func(*Client)
+
+// WithTimeout overrides the client's overall per-call timeout (0 disables
+// it — not recommended on the decision path).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.http.Timeout = d }
+}
+
+// WithHTTPClient replaces the underlying *http.Client wholesale.
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) {
+		if h != nil {
+			c.http = h
+		}
+	}
+}
+
+// WithTransport sets the underlying transport; compose resilience
+// middleware here (see resilience.Chain).
+func WithTransport(rt http.RoundTripper) ClientOption {
+	return func(c *Client) { c.http.Transport = rt }
+}
+
+// WithRetry wraps the client's transport with retry middleware. Only
+// idempotent requests and requests that never reached the server are
+// retried; a delivered POST is never replayed.
+func WithRetry(policy resilience.RetryPolicy) ClientOption {
+	return func(c *Client) {
+		c.http.Transport = resilience.NewRetryTransport(c.http.Transport, policy)
+	}
+}
+
+// WithBreaker wraps the client's transport with circuit-breaker
+// middleware.
+func WithBreaker(b *resilience.Breaker) ClientOption {
+	return func(c *Client) {
+		c.http.Transport = resilience.NewBreakerTransport(c.http.Transport, b)
+	}
+}
+
 // NewClient returns a Client for the service at base (e.g.
-// "http://tags.corp:7000"), identifying itself as device.
-func NewClient(base, device string, cfg fingerprint.Config) (*Client, error) {
+// "http://tags.corp:7000"), identifying itself as device. By default calls
+// time out after DefaultClientTimeout; resilience middleware is opt-in via
+// WithRetry/WithBreaker/WithTransport.
+func NewClient(base, device string, cfg fingerprint.Config, opts ...ClientOption) (*Client, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if base == "" || device == "" {
 		return nil, fmt.Errorf("tagserver: base URL and device are required")
 	}
-	return &Client{base: base, device: device, cfg: cfg, http: &http.Client{}}, nil
+	c := &Client{
+		base:   base,
+		device: device,
+		cfg:    cfg,
+		http:   &http.Client{Timeout: DefaultClientTimeout},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Device returns the device identity the client reports to the service.
+func (c *Client) Device() string { return c.device }
+
+// FingerprintConfig returns the client's fingerprint configuration.
+func (c *Client) FingerprintConfig() fingerprint.Config { return c.cfg }
+
+// UnavailableError marks a failure of the tag service itself — a transport
+// error, a 5xx response, or an unreadable/malformed response body — as
+// opposed to an application-level rejection (4xx). Failover layers treat
+// it as "the service is down", not "the request was wrong".
+type UnavailableError struct {
+	Op  string
+	Err error
+}
+
+// Error implements error.
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("tagserver: %s: service unavailable: %v", e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *UnavailableError) Unwrap() error { return e.Err }
+
+// IsUnavailable reports whether err means the tag service could not
+// answer (network failure, 5xx, malformed response, or an open circuit
+// breaker).
+func IsUnavailable(err error) bool {
+	var u *UnavailableError
+	if errors.As(err, &u) {
+		return true
+	}
+	return errors.Is(err, resilience.ErrCircuitOpen)
 }
 
 // Verdict is the client-side decision result.
@@ -47,25 +142,43 @@ func (v Verdict) Violation() bool { return len(v.Violating) > 0 }
 
 // Observe records the current text of a paragraph with the shared service.
 func (c *Client) Observe(service string, seg segment.ID, text string) (Verdict, error) {
+	return c.ObserveCtx(context.Background(), service, seg, text)
+}
+
+// ObserveCtx is Observe with a caller-controlled context.
+func (c *Client) ObserveCtx(ctx context.Context, service string, seg segment.ID, text string) (Verdict, error) {
 	fp, err := fingerprint.Compute(text, c.cfg)
 	if err != nil {
 		return Verdict{}, err
 	}
-	return c.postVerdict("/v1/observe", ObserveRequest{
-		Device:  c.device,
-		Service: service,
-		Seg:     seg,
-		Hashes:  fp.Hashes(),
+	return c.ObserveHashes(ctx, service, seg, fp.Hashes(), "")
+}
+
+// ObserveHashes records a pre-computed fingerprint with the shared
+// service. granularity is "" / "paragraph" or "document". It is the
+// primitive the failover replay queue drains through.
+func (c *Client) ObserveHashes(ctx context.Context, service string, seg segment.ID, hashes []uint32, granularity string) (Verdict, error) {
+	return c.postVerdict(ctx, "/v1/observe", ObserveRequest{
+		Device:      c.device,
+		Service:     service,
+		Seg:         seg,
+		Hashes:      hashes,
+		Granularity: granularity,
 	})
 }
 
 // Check evaluates ad-hoc text against a destination service.
 func (c *Client) Check(text, dest string) (Verdict, error) {
+	return c.CheckCtx(context.Background(), text, dest)
+}
+
+// CheckCtx is Check with a caller-controlled context.
+func (c *Client) CheckCtx(ctx context.Context, text, dest string) (Verdict, error) {
 	fp, err := fingerprint.Compute(text, c.cfg)
 	if err != nil {
 		return Verdict{}, err
 	}
-	return c.postVerdict("/v1/check", CheckRequest{
+	return c.postVerdict(ctx, "/v1/check", CheckRequest{
 		Device: c.device,
 		Dest:   dest,
 		Hashes: fp.Hashes(),
@@ -74,7 +187,12 @@ func (c *Client) Check(text, dest string) (Verdict, error) {
 
 // CheckUpload evaluates releasing a tracked segment to a destination.
 func (c *Client) CheckUpload(seg segment.ID, dest string) (Verdict, error) {
-	return c.postVerdict("/v1/upload", UploadRequest{
+	return c.CheckUploadCtx(context.Background(), seg, dest)
+}
+
+// CheckUploadCtx is CheckUpload with a caller-controlled context.
+func (c *Client) CheckUploadCtx(ctx context.Context, seg segment.ID, dest string) (Verdict, error) {
+	return c.postVerdict(ctx, "/v1/upload", UploadRequest{
 		Device: c.device,
 		Seg:    seg,
 		Dest:   dest,
@@ -83,75 +201,125 @@ func (c *Client) CheckUpload(seg segment.ID, dest string) (Verdict, error) {
 
 // Suppress declassifies a tag on a segment, audited under user.
 func (c *Client) Suppress(user string, seg segment.ID, tag tdm.Tag, justification string) error {
-	resp, err := c.post("/v1/suppress", SuppressRequest{
+	return c.SuppressCtx(context.Background(), user, seg, tag, justification)
+}
+
+// SuppressCtx is Suppress with a caller-controlled context.
+func (c *Client) SuppressCtx(ctx context.Context, user string, seg segment.ID, tag tdm.Tag, justification string) error {
+	resp, err := c.post(ctx, "/v1/suppress", SuppressRequest{
 		User: user, Seg: seg, Tag: tag, Justification: justification,
 	})
 	if err != nil {
 		return err
 	}
-	resp.Body.Close()
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("tagserver: suppress status %d", resp.StatusCode)
+		return statusError("/v1/suppress", resp)
 	}
 	return nil
 }
 
 // Label fetches a segment's label.
 func (c *Client) Label(seg segment.ID) (LabelResponse, error) {
-	resp, err := c.http.Get(c.base + "/v1/label?seg=" + url.QueryEscape(string(seg)))
-	if err != nil {
-		return LabelResponse{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return LabelResponse{}, fmt.Errorf("tagserver: label status %d", resp.StatusCode)
-	}
+	return c.LabelCtx(context.Background(), seg)
+}
+
+// LabelCtx is Label with a caller-controlled context.
+func (c *Client) LabelCtx(ctx context.Context, seg segment.ID) (LabelResponse, error) {
 	var out LabelResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return LabelResponse{}, err
-	}
-	return out, nil
+	err := c.getJSON(ctx, "/v1/label?seg="+url.QueryEscape(string(seg)), &out)
+	return out, err
 }
 
 // Stats fetches the service's database sizes.
 func (c *Client) Stats() (StatsResponse, error) {
-	resp, err := c.http.Get(c.base + "/v1/stats")
-	if err != nil {
-		return StatsResponse{}, err
-	}
-	defer resp.Body.Close()
-	var out StatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return StatsResponse{}, err
-	}
-	return out, nil
+	return c.StatsCtx(context.Background())
 }
 
-func (c *Client) postVerdict(path string, req interface{}) (Verdict, error) {
-	resp, err := c.post(path, req)
+// StatsCtx is Stats with a caller-controlled context.
+func (c *Client) StatsCtx(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.getJSON(ctx, "/v1/stats", &out)
+	return out, err
+}
+
+// Health probes the service's /healthz endpoint. A nil return means the
+// service answered and is serving; anything else is an UnavailableError
+// (or a context error).
+func (c *Client) Health(ctx context.Context) error {
+	var out HealthResponse
+	if err := c.getJSON(ctx, "/healthz", &out); err != nil {
+		return err
+	}
+	if out.Status != "ok" {
+		return &UnavailableError{Op: "/healthz", Err: fmt.Errorf("status %q", out.Status)}
+	}
+	return nil
+}
+
+// getJSON performs a GET and decodes the JSON response, classifying
+// transport errors, 5xx statuses, and malformed bodies as unavailability.
+func (c *Client) getJSON(ctx context.Context, pathAndQuery string, into interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+pathAndQuery, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return &UnavailableError{Op: pathAndQuery, Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(pathAndQuery, resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		return &UnavailableError{Op: pathAndQuery, Err: fmt.Errorf("decode response: %w", err)}
+	}
+	return nil
+}
+
+func (c *Client) postVerdict(ctx context.Context, path string, req interface{}) (Verdict, error) {
+	resp, err := c.post(ctx, path, req)
 	if err != nil {
 		return Verdict{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		return Verdict{}, fmt.Errorf("tagserver: %s status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
+		return Verdict{}, statusError(path, resp)
 	}
 	var wire VerdictResponse
 	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
-		return Verdict{}, err
+		return Verdict{}, &UnavailableError{Op: path, Err: fmt.Errorf("decode response: %w", err)}
 	}
 	return Verdict{Decision: wire.Decision, Violating: wire.Violating, Sources: wire.Sources}, nil
 }
 
-func (c *Client) post(path string, req interface{}) (*http.Response, error) {
+func (c *Client) post(ctx context.Context, path string, req interface{}) (*http.Response, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	// http.NewRequest over a *bytes.Reader sets GetBody, so resilience
+	// middleware can replay the body when a retry is safe.
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("tagserver: %s: %w", path, err)
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, &UnavailableError{Op: path, Err: err}
 	}
 	return resp, nil
+}
+
+// statusError converts a non-200 response into an error, classifying 5xx
+// as unavailability. The caller closes the body.
+func statusError(path string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+	err := fmt.Errorf("tagserver: %s status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
+	if resp.StatusCode >= http.StatusInternalServerError {
+		return &UnavailableError{Op: path, Err: err}
+	}
+	return err
 }

@@ -1,6 +1,8 @@
 package tagserver
 
 import (
+	"context"
+
 	"github.com/lsds/browserflow/internal/disclosure"
 	"github.com/lsds/browserflow/internal/fingerprint"
 	"github.com/lsds/browserflow/internal/policy"
@@ -33,12 +35,7 @@ func (r *RemoteEngine) ObserveEdit(seg segment.ID, service, text string) (policy
 	if err != nil {
 		return policy.Verdict{}, err
 	}
-	v, err := r.client.postVerdict("/v1/observe", ObserveRequest{
-		Device:  r.client.device,
-		Service: service,
-		Seg:     seg,
-		Hashes:  fp.Hashes(),
-	})
+	v, err := r.client.ObserveHashes(context.Background(), service, seg, fp.Hashes(), "")
 	if err != nil {
 		return policy.Verdict{}, err
 	}
@@ -52,13 +49,7 @@ func (r *RemoteEngine) ObserveDocumentEdit(doc segment.ID, service, text string)
 	if err != nil {
 		return policy.Verdict{}, err
 	}
-	v, err := r.client.postVerdict("/v1/observe", ObserveRequest{
-		Device:      r.client.device,
-		Service:     service,
-		Seg:         doc,
-		Hashes:      fp.Hashes(),
-		Granularity: "document",
-	})
+	v, err := r.client.ObserveHashes(context.Background(), service, doc, fp.Hashes(), "document")
 	if err != nil {
 		return policy.Verdict{}, err
 	}

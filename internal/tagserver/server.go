@@ -13,13 +13,16 @@
 //	POST /v1/suppress  {user, seg, tag, justification}     -> ok
 //	GET  /v1/label?seg=...                                 -> label
 //	GET  /v1/stats                                         -> sizes
+//	GET  /healthz                                          -> liveness
 package tagserver
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"github.com/lsds/browserflow/internal/fingerprint"
 	"github.com/lsds/browserflow/internal/policy"
@@ -87,10 +90,39 @@ type StatsResponse struct {
 	AuditEntries   int `json:"auditEntries"`
 }
 
+// HealthResponse is the wire form of the /healthz liveness probe. Clients
+// (and the failover layer's half-open trials) use it to decide whether the
+// service has recovered.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Uptime   string `json:"uptime"`
+	Segments int    `json:"segments"`
+}
+
+// DefaultMaxBodyBytes bounds request bodies accepted by the service
+// (overridable with WithMaxBodyBytes). Fingerprint hash lists are small;
+// anything past this is hostile or broken.
+const DefaultMaxBodyBytes = 1 << 20
+
+// ServerOption customises a Server.
+type ServerOption func(*Server)
+
+// WithMaxBodyBytes overrides the request-body size limit. Requests larger
+// than n bytes are rejected with 413.
+func WithMaxBodyBytes(n int64) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
 // Server is the shared tag service. It is safe for concurrent use.
 type Server struct {
-	engine *policy.Engine
-	mux    *http.ServeMux
+	engine  *policy.Engine
+	mux     *http.ServeMux
+	maxBody int64
+	started time.Time
 
 	// Operational counters, exported in Prometheus text format at
 	// /metrics.
@@ -104,11 +136,19 @@ type Server struct {
 var _ http.Handler = (*Server)(nil)
 
 // NewServer returns a Server over the given engine.
-func NewServer(engine *policy.Engine) (*Server, error) {
+func NewServer(engine *policy.Engine, opts ...ServerOption) (*Server, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("tagserver: engine is required")
 	}
-	s := &Server{engine: engine, mux: http.NewServeMux()}
+	s := &Server{
+		engine:  engine,
+		mux:     http.NewServeMux(),
+		maxBody: DefaultMaxBodyBytes,
+		started: time.Now(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("/v1/observe", s.handleObserve)
 	s.mux.HandleFunc("/v1/check", s.handleCheck)
 	s.mux.HandleFunc("/v1/upload", s.handleUpload)
@@ -116,6 +156,7 @@ func NewServer(engine *policy.Engine) (*Server, error) {
 	s.mux.HandleFunc("/v1/label", s.handleLabel)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s, nil
 }
 
@@ -126,7 +167,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	var req ObserveRequest
-	if !decodePost(w, r, &req) {
+	if !s.decodePost(w, r, &req) {
 		return
 	}
 	if req.Seg == "" || req.Service == "" {
@@ -157,7 +198,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	var req CheckRequest
-	if !decodePost(w, r, &req) {
+	if !s.decodePost(w, r, &req) {
 		return
 	}
 	if req.Dest == "" {
@@ -176,7 +217,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	var req UploadRequest
-	if !decodePost(w, r, &req) {
+	if !s.decodePost(w, r, &req) {
 		return
 	}
 	if req.Seg == "" || req.Dest == "" {
@@ -195,7 +236,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSuppress(w http.ResponseWriter, r *http.Request) {
 	var req SuppressRequest
-	if !decodePost(w, r, &req) {
+	if !s.decodePost(w, r, &req) {
 		return
 	}
 	if err := s.engine.Registry().SuppressTag(req.User, req.Seg, req.Tag, req.Justification); err != nil {
@@ -254,12 +295,33 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func decodePost(w http.ResponseWriter, r *http.Request, into interface{}) bool {
+// handleHealthz is the liveness probe driving client-side half-open
+// breaker trials: a 200 with {"status":"ok"} means the service can answer
+// decision traffic again.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	stats := s.engine.Tracker().Paragraphs().Stats()
+	writeJSON(w, HealthResponse{
+		Status:   "ok",
+		Uptime:   time.Since(s.started).Round(time.Second).String(),
+		Segments: stats.Segments,
+	})
+}
+
+// decodePost decodes a JSON POST body, bounding it with MaxBytesReader:
+// oversized bodies get 413, malformed ones 400.
+func (s *Server) decodePost(w http.ResponseWriter, r *http.Request, into interface{}) bool {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return false
 	}
-	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	defer body.Close()
+	if err := json.NewDecoder(body).Decode(into); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
+			return false
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return false
 	}
