@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check cover bench experiments clean
+.PHONY: all build vet test race check cover bench benchall experiments clean
 
 all: build check
 
@@ -27,7 +27,15 @@ race:
 cover:
 	$(GO) test -cover ./...
 
+# bench runs the Algorithm 1 hot-path benchmarks (single-threaded allocs,
+# goroutine-scaling series vs the single-lock ablation and the seed
+# reference, batched flush) and records the comparison as BENCH_2.json.
 bench:
+	$(GO) test -run 'XXX' -bench 'Observe' -benchmem ./internal/disclosure
+	$(GO) run ./cmd/bfbench -experiment hotpath -benchjson BENCH_2.json
+
+# benchall runs every benchmark in the repository.
+benchall:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table and figure of the paper's evaluation.

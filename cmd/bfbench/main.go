@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +44,7 @@ func run(args []string) error {
 		steps      = fs.Int("steps", 5, "database size steps (fig13)")
 		probes     = fs.Int("probes", 20, "paste probes per step (fig13)")
 		outDir     = fs.String("out", "", "also write each experiment's output to <out>/<name>.txt")
+		benchJSON  = fs.String("benchjson", "", "write the hotpath experiment's result as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,10 +140,27 @@ func run(args []string) error {
 			r, err := expt.RunUsabilityComparison(scale, params)
 			return r.Format(), err
 		},
+		"hotpath": func() (string, error) {
+			r, err := expt.RunHotPath(scale, params)
+			if err != nil {
+				return "", err
+			}
+			if *benchJSON != "" {
+				data, err := json.MarshalIndent(r, "", "  ")
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+					return "", fmt.Errorf("write %s: %w", *benchJSON, err)
+				}
+			}
+			return r.Format(), nil
+		},
 	}
 	order := []string{"table1", "fig8", "fig9a", "fig9b", "fig9adoc",
 		"fig9bdoc", "fig10", "fig11", "fig12", "fig13", "ablation-cache",
-		"ablation-auth", "ablation-winnow", "baseline", "orgsim", "usability"}
+		"ablation-auth", "ablation-winnow", "baseline", "orgsim", "usability",
+		"hotpath"}
 
 	selected := order
 	if *experiment != "all" {

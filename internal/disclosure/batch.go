@@ -1,0 +1,78 @@
+package disclosure
+
+import (
+	"fmt"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+// BatchObservation is one item of a batched observe flush. A real browser
+// extension does not ship one HTTP request per keystroke: it coalesces DOM
+// mutations and flushes a batch of paragraph edits. Batching amortises
+// cache-stripe acquisition, Algorithm 1 scratch allocations and (for the
+// tag-server endpoint) request decoding across the whole flush.
+type BatchObservation struct {
+	// Seg is the observed segment.
+	Seg segment.ID
+
+	// Text is the segment's current text. It is fingerprinted with the
+	// tracker's parameters unless FP is set.
+	Text string
+
+	// FP is an optional caller-computed fingerprint (remote clients keep
+	// text on-device and ship hashes only). When set, Text is ignored.
+	FP *fingerprint.Fingerprint
+
+	// Granularity selects the database; the zero value means paragraph.
+	Granularity segment.Granularity
+}
+
+// ObserveBatch records every observation in items, in order, and returns
+// one Report per item (reports[i] corresponds to items[i]). Each item is
+// evaluated exactly as the singular Observe* entry points would evaluate
+// it — same reports, same database state afterwards — but the per-item
+// working set of Algorithm 1 is allocated once and reused across the
+// flush.
+//
+// Items are applied sequentially: a later item observes the database state
+// produced by earlier items, matching a client that replays its edit queue
+// in order.
+func (t *Tracker) ObserveBatch(items []BatchObservation) ([]Report, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	reports := make([]Report, len(items))
+	sc := t.scratchPool.Get().(*observeScratch)
+	defer t.scratchPool.Put(sc)
+	for i, item := range items {
+		if item.Seg == "" {
+			return nil, fmt.Errorf("disclosure: batch item %d: empty segment ID", i)
+		}
+		db := t.pars
+		g := item.Granularity
+		switch g {
+		case 0:
+			g = segment.GranularityParagraph
+		case segment.GranularityParagraph:
+		case segment.GranularityDocument:
+			db = t.docs
+		default:
+			return nil, fmt.Errorf("disclosure: batch item %d: unknown granularity %v", i, item.Granularity)
+		}
+		fp := item.FP
+		if fp == nil {
+			var err error
+			fp, err = fingerprint.Compute(item.Text, t.params.Fingerprint)
+			if err != nil {
+				return nil, fmt.Errorf("disclosure: batch item %d: %w", i, err)
+			}
+		}
+		report, err := t.observeFPScratch(item.Seg, fp, g, db, sc)
+		if err != nil {
+			return nil, fmt.Errorf("disclosure: batch item %d: %w", i, err)
+		}
+		reports[i] = report
+	}
+	return reports, nil
+}

@@ -37,6 +37,16 @@ type Params struct {
 	// used by the ablation experiments.
 	DisableCache bool
 
+	// DisableSharding replaces the lock-striped fingerprint index and
+	// decision cache with single-lock equivalents (one index shard, one
+	// cache stripe). Only used by the ablation benchmarks as the
+	// single-lock baseline; leave false in production.
+	DisableSharding bool
+
+	// IndexShards overrides the index lock-stripe count (0 uses
+	// index.DefaultShards). Ignored when DisableSharding is set.
+	IndexShards int
+
 	// Incremental enables the §4.3 incremental evaluation of Algorithm 1:
 	// re-observations only inspect hashes added since the previous
 	// observation plus the previous sources. Per-edit cost becomes
@@ -104,12 +114,28 @@ func (r Report) SourceSegs() []segment.ID {
 
 // Tracker maintains the paragraph- and document-granularity fingerprint
 // databases and serves disclosure queries. It is safe for concurrent use.
+//
+// The decision/prev caches are lock-striped by segment ID so concurrent
+// observers of different segments never contend on a cache mutex; the
+// fingerprint databases are lock-striped internally (see package index).
 type Tracker struct {
 	params Params
 
 	pars *index.DB
 	docs *index.DB
 
+	stripes    []cacheStripe
+	stripeMask uint32
+
+	// scratchPool recycles the per-observation working set (candidate
+	// buffer, dedup map, sources buffer) across singular observes, so the
+	// steady-state hot path performs no per-call scratch allocations.
+	scratchPool sync.Pool
+}
+
+// cacheStripe is one lock stripe of the decision cache and the
+// incremental-evaluation previous-state map.
+type cacheStripe struct {
 	mu    sync.Mutex
 	cache map[segment.ID]cacheEntry
 	prev  map[segment.ID]prevState
@@ -131,13 +157,73 @@ func NewTracker(params Params) (*Tracker, error) {
 	if params.Tdoc < 0 || params.Tdoc > 1 {
 		return nil, fmt.Errorf("disclosure: Tdoc %v out of [0,1]", params.Tdoc)
 	}
-	return &Tracker{
+	shards := params.IndexShards
+	if shards <= 0 {
+		shards = index.DefaultShards
+	}
+	if params.DisableSharding {
+		shards = 1
+	}
+	t := &Tracker{
 		params: params,
-		pars:   index.New(params.Tpar),
-		docs:   index.New(params.Tdoc),
-		cache:  make(map[segment.ID]cacheEntry),
-		prev:   make(map[segment.ID]prevState),
-	}, nil
+		pars:   index.NewWithShards(params.Tpar, shards),
+		docs:   index.NewWithShards(params.Tdoc, shards),
+	}
+	t.scratchPool.New = func() any { return newObserveScratch() }
+	// Stripe count mirrors the index shard count (power of two).
+	n := t.pars.NumShards()
+	t.stripes = make([]cacheStripe, n)
+	t.stripeMask = uint32(n - 1)
+	for i := range t.stripes {
+		t.stripes[i].cache = make(map[segment.ID]cacheEntry)
+		t.stripes[i].prev = make(map[segment.ID]prevState)
+	}
+	// Keep the decision cache coherent with the databases: segments
+	// dropped by ExpireBefore/RemoveSegment (including direct calls on
+	// Paragraphs()/Documents()) must not keep serving stale cached
+	// reports.
+	t.pars.SetEvictHook(t.evictCached)
+	t.docs.SetEvictHook(t.evictCached)
+	return t, nil
+}
+
+// stripeFor returns the cache stripe of seg (FNV-1a over the ID bytes).
+func (t *Tracker) stripeFor(seg segment.ID) *cacheStripe {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(seg); i++ {
+		h ^= uint32(seg[i])
+		h *= prime32
+	}
+	return &t.stripes[h&t.stripeMask]
+}
+
+// evictCached is the index eviction hook: it drops decision-cache and
+// incremental-state entries for segments removed from a database.
+func (t *Tracker) evictCached(segs []segment.ID) {
+	for _, seg := range segs {
+		st := t.stripeFor(seg)
+		st.mu.Lock()
+		delete(st.cache, seg)
+		delete(st.prev, seg)
+		st.mu.Unlock()
+	}
+}
+
+// cloneSources returns an owned copy of sources, preserving nil-ness so
+// serialised reports stay byte-identical. Cached reports and the reports
+// handed to callers must not share a Sources slice: a caller mutating its
+// result would otherwise corrupt every future cache hit.
+func cloneSources(sources []Source) []Source {
+	if sources == nil {
+		return nil
+	}
+	out := make([]Source, len(sources))
+	copy(out, sources)
+	return out
 }
 
 // Params returns the tracker's configuration.
@@ -198,47 +284,85 @@ func (t *Tracker) observe(seg segment.ID, text string, g segment.Granularity, db
 }
 
 func (t *Tracker) observeFP(seg segment.ID, fp *fingerprint.Fingerprint, g segment.Granularity, db *index.DB) (Report, error) {
+	sc := t.scratchPool.Get().(*observeScratch)
+	report, err := t.observeFPScratch(seg, fp, g, db, sc)
+	t.scratchPool.Put(sc)
+	return report, err
+}
+
+// observeFPScratch is observeFP with an optional reusable scratch space
+// (see ObserveBatch): a batch flush amortises the per-observation map and
+// candidate-buffer allocations across all its items.
+func (t *Tracker) observeFPScratch(seg segment.ID, fp *fingerprint.Fingerprint, g segment.Granularity, db *index.DB, sc *observeScratch) (Report, error) {
 	digest := fp.Digest()
+	st := t.stripeFor(seg)
 	if !t.params.DisableCache {
-		t.mu.Lock()
-		if entry, ok := t.cache[seg]; ok && entry.digest == digest {
+		st.mu.Lock()
+		if entry, ok := st.cache[seg]; ok && entry.digest == digest {
 			report := entry.report
+			// The cached Sources slice stays private to the cache; hand
+			// the caller an owned copy (see cloneSources).
+			report.Sources = cloneSources(entry.report.Sources)
 			report.CacheHit = true
-			t.mu.Unlock()
+			st.mu.Unlock()
 			return report, nil
 		}
-		t.mu.Unlock()
+		st.mu.Unlock()
 	}
 
-	var sources []Source
+	// raw is backed by the (possibly pooled) scratch buffer — it must be
+	// copied out before this call returns.
+	var raw []Source
 	if t.params.Incremental {
-		t.mu.Lock()
-		prev, hasPrev := t.prev[seg]
-		t.mu.Unlock()
+		st.mu.Lock()
+		prev, hasPrev := st.prev[seg]
+		st.mu.Unlock()
 		if hasPrev {
-			sources = t.incrementalSources(fp, seg, db, prev)
+			raw = t.incrementalSources(fp, seg, db, prev)
 		} else {
-			sources = t.sources(fp, seg, db)
+			raw = t.sourcesScratch(fp, seg, db, sc)
 		}
 	} else {
-		sources = t.sources(fp, seg, db)
+		raw = t.sourcesScratch(fp, seg, db, sc)
 	}
 	db.Update(seg, fp)
 
+	// The caller's report and the cache entry need independent Sources
+	// slices (a caller mutating its result must not corrupt future cache
+	// hits); both copies come out of one allocation, with full-slice-
+	// expression caps so neither can append into the other. nil-ness is
+	// preserved so serialised reports stay byte-identical.
+	var sources, cached []Source
+	if n := len(raw); n > 0 {
+		if t.params.DisableCache {
+			sources = cloneSources(raw)
+		} else {
+			buf := make([]Source, 2*n)
+			copy(buf, raw)
+			copy(buf[n:], raw)
+			sources = buf[:n:n]
+			cached = buf[n:]
+		}
+	}
 	report := Report{
 		Seg:            seg,
 		Granularity:    g,
 		FingerprintLen: fp.Len(),
 		Sources:        sources,
 	}
-	t.mu.Lock()
+	st.mu.Lock()
 	if !t.params.DisableCache {
-		t.cache[seg] = cacheEntry{digest: digest, report: report}
+		st.cache[seg] = cacheEntry{digest: digest, report: Report{
+			Seg:            report.Seg,
+			Granularity:    report.Granularity,
+			FingerprintLen: report.FingerprintLen,
+			Sources:        cached,
+		}}
 	}
 	if t.params.Incremental {
-		t.prev[seg] = prevState{fp: fp, sources: sources}
+		st.prev[seg] = prevState{fp: fp, sources: cloneSources(raw)}
 	}
-	t.mu.Unlock()
+	st.mu.Unlock()
 	return report, nil
 }
 
@@ -261,44 +385,97 @@ func (t *Tracker) QueryDocument(text string, exclude segment.ID) ([]Source, erro
 	return t.sources(fp, exclude, t.docs), nil
 }
 
+// observeScratch holds the per-observation working set of Algorithm 1 so
+// singular observes (via the Tracker's scratch pool) and batch flushes can
+// reuse it across calls instead of reallocating.
+type observeScratch struct {
+	checked map[segment.ID]bool
+	cands   []segment.ID
+	out     []Source
+}
+
+func newObserveScratch() *observeScratch {
+	return &observeScratch{checked: make(map[segment.ID]bool)}
+}
+
+// reset clears the scratch for the next observation.
+func (sc *observeScratch) reset() {
+	clear(sc.checked)
+	sc.cands = sc.cands[:0]
+	sc.out = sc.out[:0]
+}
+
+// evaluateInto evaluates candidate p (once) and appends it to the scratch
+// sources buffer when it meets its disclosure threshold. A method rather
+// than a closure: the singular observe path must not allocate a closure
+// environment per call.
+func (t *Tracker) evaluateInto(fp *fingerprint.Fingerprint, p, self segment.ID, db *index.DB, sc *observeScratch) {
+	if p == self || sc.checked[p] {
+		return
+	}
+	sc.checked[p] = true
+	if src, ok := t.evaluateCandidate(fp, p, db); ok {
+		sc.out = append(sc.out, src)
+	}
+}
+
 // sources implements Algorithm 1 of the paper: it returns the origin
 // segments whose (authoritative) disclosure towards fp meets their
 // threshold. Candidates are discovered through the oldest holder of each of
 // fp's hashes, so the complexity is linear in the number of segments that
 // share at least one hash with fp.
 func (t *Tracker) sources(fp *fingerprint.Fingerprint, self segment.ID, db *index.DB) []Source {
-	if fp.Empty() {
-		return nil
-	}
-	checked := make(map[segment.ID]bool)
-	var out []Source
-	for _, h := range fp.Hashes() {
-		for _, p := range t.candidatesFor(h, db) {
-			if p == self || checked[p] {
-				continue
-			}
-			checked[p] = true
-			if src, ok := t.evaluateCandidate(fp, p, db); ok {
-				out = append(out, src)
-			}
-		}
-	}
-	sortSources(out)
+	sc := t.scratchPool.Get().(*observeScratch)
+	// The scratch-backed result must be copied out before the scratch is
+	// recycled.
+	out := cloneSources(t.sourcesScratch(fp, self, db, sc))
+	t.scratchPool.Put(sc)
 	return out
 }
 
-// candidatesFor returns the candidate origin segments for hash h. With the
-// authoritative adjustment enabled this is just the oldest holder (younger
-// holders cannot contribute authoritative hashes); with it disabled, every
-// holder is a candidate.
-func (t *Tracker) candidatesFor(h uint32, db *index.DB) []segment.ID {
+// sourcesScratch is sources with an optional reusable scratch space. The
+// returned slice is backed by the scratch's sources buffer (nil when no
+// source meets its threshold): callers must copy it out before the scratch
+// is reset, recycled, or used for another observation.
+// Candidate discovery batches the oldest-holder lookups (one index shard
+// acquisition per contiguous hash run) and candidate evaluation happens
+// after the lookups, outside any index lock.
+func (t *Tracker) sourcesScratch(fp *fingerprint.Fingerprint, self segment.ID, db *index.DB, sc *observeScratch) []Source {
+	if fp.Empty() {
+		return nil
+	}
+	if sc == nil {
+		sc = newObserveScratch()
+	} else {
+		sc.reset()
+	}
 	if t.params.DisableAuthoritative {
-		return db.Holders(h)
+		// Ablation path: every holder of every hash is a candidate.
+		for _, h := range fp.Hashes() {
+			for _, p := range db.Holders(h) {
+				t.evaluateInto(fp, p, self, db, sc)
+			}
+		}
+	} else {
+		sc.cands = db.AppendOldestHolders(fp.Hashes(), sc.cands)
+		// One segment is typically the oldest holder of a run of
+		// consecutive hashes, so the candidate list is mostly adjacent
+		// duplicates; skipping them here avoids a string-keyed map probe
+		// per hash before the checked-set dedup.
+		var last segment.ID
+		for _, p := range sc.cands {
+			if p == last {
+				continue
+			}
+			last = p
+			t.evaluateInto(fp, p, self, db, sc)
+		}
 	}
-	if holder, ok := db.OldestHolder(h); ok {
-		return []segment.ID{holder}
+	sortSources(sc.out)
+	if len(sc.out) == 0 {
+		return nil
 	}
-	return nil
+	return sc.out
 }
 
 // Pairwise returns the unadjusted pairwise disclosure D(a, b) = |F(a) ∩
@@ -323,16 +500,21 @@ func (t *Tracker) Forget(seg segment.ID, g segment.Granularity) {
 	if g == segment.GranularityDocument {
 		db = t.docs
 	}
+	// RemoveSegment fires the eviction hook, which purges the decision
+	// cache and incremental state; the explicit purge below also covers
+	// segments the database never saw.
 	db.RemoveSegment(seg)
-	t.mu.Lock()
-	delete(t.cache, seg)
-	delete(t.prev, seg)
-	t.mu.Unlock()
+	t.evictCached([]segment.ID{seg})
 }
 
 // CacheLen returns the number of cached decisions (for tests and metrics).
 func (t *Tracker) CacheLen() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.cache)
+	n := 0
+	for i := range t.stripes {
+		st := &t.stripes[i]
+		st.mu.Lock()
+		n += len(st.cache)
+		st.mu.Unlock()
+	}
+	return n
 }

@@ -1,0 +1,199 @@
+package disclosure_test
+
+// Hot-path benchmarks (`go test -bench=Observe -benchmem ./internal/disclosure`):
+//
+//   - BenchmarkObserveSingleThread: single-threaded text path, sharded
+//     engine vs the seed reference — allocs/op must strictly decrease vs
+//     seed;
+//   - BenchmarkObserveConcurrent: goroutine-scaling series (1/2/4/8) over
+//     the pre-fingerprinted path for the sharded engine, the DisableSharding
+//     single-lock ablation, and the seed engine; ops/sec is reported via
+//     b.ReportMetric;
+//   - BenchmarkObserveBatch: a 64-item flush through ObserveBatch vs the
+//     equivalent singular call sequence, reporting ns/item.
+//
+// cmd/bfbench runs the same comparison via expt.RunHotPath and records it
+// as BENCH_2.json (`make bench`).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/expt"
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+func hotPathStreams(b *testing.B, workers int) [][]expt.HotPathObs {
+	b.Helper()
+	streams, err := expt.HotPathWorkload(
+		expt.Scale{Seed: 1, ArticleParagraphs: 8},
+		workers, 16, 4, disclosure.DefaultParams().Fingerprint)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return streams
+}
+
+// newBenchObserver builds a fresh engine and returns its pre-fingerprinted
+// observe function. name is "sharded", "single-lock" or "seed".
+func newBenchObserver(b *testing.B, name string) func(o expt.HotPathObs) {
+	b.Helper()
+	params := disclosure.DefaultParams()
+	switch name {
+	case "sharded":
+	case "single-lock":
+		params.DisableSharding = true
+	case "seed":
+		tr := expt.NewSeedTracker(params)
+		return func(o expt.HotPathObs) {
+			tr.ObserveFP(o.Seg, o.FP, segment.GranularityParagraph)
+		}
+	default:
+		b.Fatalf("unknown engine %q", name)
+	}
+	tr, err := disclosure.NewTracker(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return func(o expt.HotPathObs) {
+		if _, err := tr.ObserveParagraphFP(o.Seg, o.FP); err != nil {
+			b.Error(err)
+		}
+	}
+}
+
+// BenchmarkObserveSingleThread measures the single-threaded text path
+// (fingerprinting included). Run with -benchmem: the sharded sub-benchmark's
+// allocs/op must be strictly below seed's.
+func BenchmarkObserveSingleThread(b *testing.B) {
+	streams := hotPathStreams(b, 1)
+	stream := streams[0]
+	for _, engine := range []string{"sharded", "seed"} {
+		b.Run(engine, func(b *testing.B) {
+			params := disclosure.DefaultParams()
+			var observe func(seg segment.ID, text string) error
+			if engine == "seed" {
+				tr := expt.NewSeedTracker(params)
+				observe = func(seg segment.ID, text string) error {
+					_, err := tr.Observe(seg, text, segment.GranularityParagraph)
+					return err
+				}
+			} else {
+				tr, err := disclosure.NewTracker(params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				observe = func(seg segment.ID, text string) error {
+					_, err := tr.ObserveParagraph(seg, text)
+					return err
+				}
+			}
+			for _, o := range stream[:len(stream)/2] {
+				if err := observe(o.Seg, o.Text); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o := stream[i%len(stream)]
+				if err := observe(o.Seg, o.Text); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkObserveConcurrent measures pre-fingerprinted observe throughput
+// with G goroutines over disjoint segment sets and overlapping content.
+func BenchmarkObserveConcurrent(b *testing.B) {
+	streams := hotPathStreams(b, 8)
+	for _, engine := range []string{"sharded", "single-lock", "seed"} {
+		for _, g := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/g=%d", engine, g), func(b *testing.B) {
+				observe := newBenchObserver(b, engine)
+				for _, stream := range streams {
+					for _, o := range stream[:len(stream)/2] {
+						observe(o)
+					}
+				}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < g; w++ {
+					n := b.N / g
+					if w < b.N%g {
+						n++
+					}
+					wg.Add(1)
+					go func(w, n int) {
+						defer wg.Done()
+						stream := streams[w%len(streams)]
+						for i := 0; i < n; i++ {
+							observe(stream[i%len(stream)])
+						}
+					}(w, n)
+				}
+				wg.Wait()
+				b.StopTimer()
+				if d := b.Elapsed(); d > 0 {
+					b.ReportMetric(float64(b.N)/d.Seconds(), "ops/sec")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkObserveBatch compares a 64-item flush through ObserveBatch with
+// the equivalent singular sequence on identical pre-fingerprinted items.
+func BenchmarkObserveBatch(b *testing.B) {
+	const flushSize = 64
+	const variants = 4
+	streams := hotPathStreams(b, 8)
+	flushes := make([][]disclosure.BatchObservation, variants)
+	for v := 0; v < variants; v++ {
+		items := make([]disclosure.BatchObservation, 0, flushSize)
+		for k := 0; k < flushSize; k++ {
+			stream := streams[k%len(streams)]
+			o := stream[(v*16+k/len(streams))%len(stream)]
+			items = append(items, disclosure.BatchObservation{Seg: o.Seg, FP: o.FP})
+		}
+		flushes[v] = items
+	}
+	for _, mode := range []string{"batch", "singular"} {
+		b.Run(mode, func(b *testing.B) {
+			tr, err := disclosure.NewTracker(disclosure.DefaultParams())
+			if err != nil {
+				b.Fatal(err)
+			}
+			run := func(items []disclosure.BatchObservation) error {
+				if mode == "batch" {
+					_, err := tr.ObserveBatch(items)
+					return err
+				}
+				for _, it := range items {
+					if _, err := tr.ObserveParagraphFP(it.Seg, it.FP); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := run(flushes[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run(flushes[i%variants]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if d := b.Elapsed(); d > 0 {
+				b.ReportMetric(float64(d.Nanoseconds())/float64(b.N)/flushSize, "ns/item")
+			}
+		})
+	}
+}

@@ -1,8 +1,6 @@
 package disclosure
 
 import (
-	"sort"
-
 	"github.com/lsds/browserflow/internal/fingerprint"
 	"github.com/lsds/browserflow/internal/index"
 	"github.com/lsds/browserflow/internal/segment"
@@ -72,10 +70,11 @@ func (t *Tracker) incrementalSources(fp *fingerprint.Fingerprint, seg segment.ID
 }
 
 // evaluateCandidate runs the per-candidate body of Algorithm 1: threshold
-// lookup, early discard, authoritative overlap, decision.
+// lookup, early discard, authoritative overlap, decision. Origin fetches
+// the candidate's fingerprint and threshold in one stripe acquisition
+// (the seed paid two locked calls here).
 func (t *Tracker) evaluateCandidate(fp *fingerprint.Fingerprint, p segment.ID, db *index.DB) (Source, bool) {
-	threshold := db.Threshold(p)
-	origin, ok := db.Fingerprint(p)
+	origin, threshold, ok := db.Origin(p)
 	if !ok || origin.Empty() {
 		return Source{}, false
 	}
@@ -99,11 +98,28 @@ func (t *Tracker) evaluateCandidate(fp *fingerprint.Fingerprint, p segment.ID, d
 	return Source{Seg: p, Disclosure: d, Threshold: threshold}, true
 }
 
+// sortSources orders sources by descending disclosure, breaking ties by
+// ascending segment ID. Hand-rolled insertion sort: candidate sets are
+// small, and sort.Slice's reflection-based swapper allocates on every call
+// — this keeps the observe hot path allocation-free. The (Disclosure, Seg)
+// key is a strict total order over distinct segments, so the result is
+// identical to any comparison sort.
 func sortSources(out []Source) {
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Disclosure != out[j].Disclosure {
-			return out[i].Disclosure > out[j].Disclosure
+	for i := 1; i < len(out); i++ {
+		s := out[i]
+		j := i - 1
+		for j >= 0 && sourceLess(s, out[j]) {
+			out[j+1] = out[j]
+			j--
 		}
-		return out[i].Seg < out[j].Seg
-	})
+		out[j+1] = s
+	}
+}
+
+// sourceLess is the sortSources ordering predicate.
+func sourceLess(a, b Source) bool {
+	if a.Disclosure != b.Disclosure {
+		return a.Disclosure > b.Disclosure
+	}
+	return a.Seg < b.Seg
 }

@@ -1,0 +1,135 @@
+package disclosure
+
+// Tracker-level concurrency stress, run under -race by `make check`: many
+// goroutines observe overlapping and disjoint segments (singular and
+// batched) while expiry and Forget run concurrently. At quiescence:
+//
+//   - every hash still indexed has an oldest holder that is a live
+//     segment whose first observation is no younger than any other
+//     holder's (checked through the exported posting order);
+//   - the decision cache contains no entry for a segment the databases no
+//     longer track;
+//   - a final observation round produces reports whose sources are all
+//     live segments.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+func stressText(worker, variant int) string {
+	base := fmt.Sprintf("Worker %d shares the quarterly disclosure corpus sentence pool number %d. ", worker%3, variant%4)
+	private := fmt.Sprintf("Private clause %d-%d keeps some hashes unique to this worker alone. ", worker, variant)
+	return strings.Repeat(base, 3) + strings.Repeat(private, 2)
+}
+
+func TestTrackerConcurrentObserveExpireForget(t *testing.T) {
+	tracker, err := NewTracker(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		rounds  = 80
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				seg := segment.ID(fmt.Sprintf("w%d/doc#p%d", w, r%4))
+				if r%3 == 0 {
+					items := []BatchObservation{
+						{Seg: seg, Text: stressText(w, r)},
+						{Seg: segment.ID(fmt.Sprintf("w%d/doc#p%d", w, (r+1)%4)), Text: stressText(w, r+1)},
+					}
+					if _, err := tracker.ObserveBatch(items); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					if _, err := tracker.ObserveParagraph(seg, stressText(w, r)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if r%11 == 5 {
+					tracker.Forget(segment.ID(fmt.Sprintf("w%d/doc#p%d", w, r%4)), segment.GranularityParagraph)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			db := tracker.Paragraphs()
+			if now := db.Now(); now > 120 {
+				db.ExpireBefore(now - 120)
+			}
+		}
+	}()
+	wg.Wait()
+
+	db := tracker.Paragraphs()
+	data := db.Export()
+
+	// Live segment set.
+	live := make(map[segment.ID]bool)
+	for _, rec := range data.Segments {
+		live[rec.Seg] = true
+	}
+
+	// Authoritative holder is always the oldest live poster: group the
+	// exported postings by hash and compare the DB's OldestHolder answer
+	// with the minimum-Seq posting.
+	oldestByHash := make(map[uint32]struct {
+		seg segment.ID
+		seq uint64
+	})
+	for _, p := range data.Postings {
+		cur, ok := oldestByHash[p.Hash]
+		if !ok || p.Seq < cur.seq {
+			oldestByHash[p.Hash] = struct {
+				seg segment.ID
+				seq uint64
+			}{p.Seg, p.Seq}
+		}
+	}
+	for h, want := range oldestByHash {
+		got, ok := db.OldestHolder(h)
+		if !ok {
+			t.Fatalf("hash %#x: exported postings but no oldest holder", h)
+		}
+		if got != want.seg {
+			t.Fatalf("hash %#x: OldestHolder = %q, want oldest poster %q (seq %d)", h, got, want.seg, want.seq)
+		}
+	}
+
+	// Stats counters survived the churn.
+	s := db.Stats()
+	if s.Postings != len(data.Postings) || s.Segments != len(data.Segments) {
+		t.Fatalf("counters drifted: Stats %+v vs export postings=%d segments=%d", s, len(data.Postings), len(data.Segments))
+	}
+
+	// No cache entry for a dead segment: purge everything dead and verify
+	// via a fresh observation round that reported sources are live.
+	for w := 0; w < workers; w++ {
+		for r := 0; r < 4; r++ {
+			report, err := tracker.ObserveParagraph(segment.ID(fmt.Sprintf("probe/w%d#p%d", w, r)), stressText(w, r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, src := range report.Sources {
+				if _, ok := db.Fingerprint(src.Seg); !ok {
+					t.Fatalf("report names dead source %q", src.Seg)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package expt
+
+// Hot-path microbenchmarks backing BENCH_2.json: single-threaded observe
+// cost (ns/op, allocs/op), a goroutine-scaling series for the sharded
+// engine against the single-lock ablation (DisableSharding) and the seed
+// reference implementation, and the batched-vs-singular flush comparison.
+// cmd/bfbench runs RunHotPath and serialises the result; `make bench`
+// records it as BENCH_2.json so future PRs have a perf trajectory.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/dataset"
+	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+// HotPathObs is one pre-fingerprinted observation in a worker's stream.
+type HotPathObs struct {
+	Seg  segment.ID
+	Text string
+	FP   *fingerprint.Fingerprint
+}
+
+// HotPathWorkload builds per-worker observation streams over the synthetic
+// revision corpus. Worker w rotates through segsPerWorker segments, each
+// cycling over variants distinct texts, so consecutive re-observations of a
+// segment change its fingerprint (decision-cache misses — the full
+// Algorithm 1 path). Texts are drawn from a shared pool, so workers overlap
+// on content (contended hash buckets, cross-worker disclosure sources)
+// while owning disjoint segments.
+func HotPathWorkload(scale Scale, workers, segsPerWorker, variants int, cfg fingerprint.Config) ([][]HotPathObs, error) {
+	articles := dataset.GenerateRevisionCorpus(dataset.RevisionCorpusConfig{
+		Seed:               scale.Seed,
+		Revisions:          4,
+		Paragraphs:         max(scale.ArticleParagraphs, 8),
+		StableVolatility:   0.05,
+		VolatileVolatility: 0.3,
+	})
+	var pool []string
+	for _, a := range articles {
+		for _, rev := range a.Revisions {
+			pool = append(pool, rev...)
+		}
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("hotpath: empty corpus")
+	}
+	fps := make(map[string]*fingerprint.Fingerprint, len(pool))
+	streams := make([][]HotPathObs, workers)
+	for w := 0; w < workers; w++ {
+		stream := make([]HotPathObs, 0, segsPerWorker*variants)
+		for v := 0; v < variants; v++ {
+			for k := 0; k < segsPerWorker; k++ {
+				text := pool[(w*31+k*variants+v*7)%len(pool)]
+				fp, ok := fps[text]
+				if !ok {
+					var err error
+					fp, err = fingerprint.Compute(text, cfg)
+					if err != nil {
+						return nil, err
+					}
+					fps[text] = fp
+				}
+				stream = append(stream, HotPathObs{
+					Seg:  segment.ID(fmt.Sprintf("w%d/doc#p%d", w, k)),
+					Text: text,
+					FP:   fp,
+				})
+			}
+		}
+		streams[w] = stream
+	}
+	return streams, nil
+}
+
+// HotPathPoint is one goroutine-count sample of an engine's throughput.
+type HotPathPoint struct {
+	Goroutines int     `json:"goroutines"`
+	NsPerOp    float64 `json:"nsPerOp"`
+	OpsPerSec  float64 `json:"opsPerSec"`
+}
+
+// HotPathSeries is an engine's goroutine-scaling series.
+type HotPathSeries struct {
+	Engine string         `json:"engine"`
+	Points []HotPathPoint `json:"points"`
+}
+
+// HotPathSingle is an engine's single-threaded text-observe cost.
+type HotPathSingle struct {
+	Engine      string  `json:"engine"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// HotPathBatch compares the batched flush against the equivalent singular
+// call sequence, per item.
+type HotPathBatch struct {
+	Mode      string  `json:"mode"`
+	NsPerItem float64 `json:"nsPerItem"`
+}
+
+// HotPathResult is the full BENCH_2.json payload.
+type HotPathResult struct {
+	GOMAXPROCS   int             `json:"gomaxprocs"`
+	SingleThread []HotPathSingle `json:"singleThread"`
+	Concurrent   []HotPathSeries `json:"concurrent"`
+
+	// SpeedupAt8VsSingleLock and SpeedupAt8VsSeed are the sharded engine's
+	// throughput at 8 goroutines over the DisableSharding ablation and the
+	// seed reference respectively.
+	SpeedupAt8VsSingleLock float64 `json:"speedupAt8VsSingleLock"`
+	SpeedupAt8VsSeed       float64 `json:"speedupAt8VsSeed"`
+
+	Batch        []HotPathBatch `json:"batch"`
+	BatchSpeedup float64        `json:"batchSpeedup"`
+}
+
+// hotPathGoroutines is the goroutine-scaling series recorded in
+// BENCH_2.json.
+var hotPathGoroutines = []int{1, 2, 4, 8}
+
+// observeFn records one pre-fingerprinted paragraph observation; it must
+// be safe for concurrent use.
+type observeFn func(o HotPathObs) error
+
+// hotPathEngines returns the engines under comparison: the sharded engine,
+// the single-lock ablation, and the seed reference.
+func hotPathEngines(params disclosure.Params) []struct {
+	name string
+	mk   func() (observeFn, error)
+} {
+	singleLock := params
+	singleLock.DisableSharding = true
+	mkTracker := func(p disclosure.Params) func() (observeFn, error) {
+		return func() (observeFn, error) {
+			tr, err := disclosure.NewTracker(p)
+			if err != nil {
+				return nil, err
+			}
+			return func(o HotPathObs) error {
+				_, err := tr.ObserveParagraphFP(o.Seg, o.FP)
+				return err
+			}, nil
+		}
+	}
+	return []struct {
+		name string
+		mk   func() (observeFn, error)
+	}{
+		{"sharded", mkTracker(params)},
+		{"single-lock", mkTracker(singleLock)},
+		{"seed", func() (observeFn, error) {
+			tr := NewSeedTracker(params)
+			return func(o HotPathObs) error {
+				tr.ObserveFP(o.Seg, o.FP, segment.GranularityParagraph)
+				return nil
+			}, nil
+		}},
+	}
+}
+
+// benchConcurrent measures one engine at g goroutines: b.N observations
+// split across the goroutines, each replaying its own pre-fingerprinted
+// stream after an untimed prepopulation round.
+func benchConcurrent(mk func() (observeFn, error), streams [][]HotPathObs, g int) (testing.BenchmarkResult, error) {
+	var setupErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		observe, err := mk()
+		if err != nil {
+			setupErr = err
+			b.FailNow()
+		}
+		for _, stream := range streams {
+			for _, o := range stream[:len(stream)/2] {
+				if err := observe(o); err != nil {
+					setupErr = err
+					b.FailNow()
+				}
+			}
+		}
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		var firstErr error
+		var errMu sync.Mutex
+		for w := 0; w < g; w++ {
+			n := b.N / g
+			if w < b.N%g {
+				n++
+			}
+			wg.Add(1)
+			go func(w, n int) {
+				defer wg.Done()
+				stream := streams[w%len(streams)]
+				for i := 0; i < n; i++ {
+					if err := observe(stream[i%len(stream)]); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}(w, n)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			setupErr = firstErr
+			b.FailNow()
+		}
+	})
+	return res, setupErr
+}
+
+// RunHotPath produces the BENCH_2.json payload.
+func RunHotPath(scale Scale, params disclosure.Params) (HotPathResult, error) {
+	const (
+		workers       = 8
+		segsPerWorker = 16
+		variants      = 4
+		flushSize     = 64
+	)
+	streams, err := HotPathWorkload(scale, workers, segsPerWorker, variants, params.Fingerprint)
+	if err != nil {
+		return HotPathResult{}, err
+	}
+	result := HotPathResult{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	// Single-threaded text path (includes fingerprinting): ns/op and
+	// allocs/op per engine.
+	singleEngines := []struct {
+		name string
+		mk   func() (func(seg segment.ID, text string) error, error)
+	}{
+		{"sharded", func() (func(segment.ID, string) error, error) {
+			tr, err := disclosure.NewTracker(params)
+			if err != nil {
+				return nil, err
+			}
+			return func(seg segment.ID, text string) error {
+				_, err := tr.ObserveParagraph(seg, text)
+				return err
+			}, nil
+		}},
+		{"seed", func() (func(segment.ID, string) error, error) {
+			tr := NewSeedTracker(params)
+			return func(seg segment.ID, text string) error {
+				_, err := tr.Observe(seg, text, segment.GranularityParagraph)
+				return err
+			}, nil
+		}},
+	}
+	for _, eng := range singleEngines {
+		var setupErr error
+		mk := eng.mk
+		res := testing.Benchmark(func(b *testing.B) {
+			observe, err := mk()
+			if err != nil {
+				setupErr = err
+				b.FailNow()
+			}
+			stream := streams[0]
+			for _, o := range stream[:len(stream)/2] {
+				if err := observe(o.Seg, o.Text); err != nil {
+					setupErr = err
+					b.FailNow()
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := observe(stream[i%len(stream)].Seg, stream[i%len(stream)].Text); err != nil {
+					setupErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if setupErr != nil {
+			return HotPathResult{}, fmt.Errorf("hotpath single %s: %w", eng.name, setupErr)
+		}
+		result.SingleThread = append(result.SingleThread, HotPathSingle{
+			Engine:      eng.name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+	}
+
+	// Goroutine-scaling series on the pre-fingerprinted path, so lock and
+	// index behaviour — not winnowing — dominates.
+	throughput := make(map[string]map[int]float64)
+	for _, eng := range hotPathEngines(params) {
+		series := HotPathSeries{Engine: eng.name}
+		throughput[eng.name] = make(map[int]float64)
+		for _, g := range hotPathGoroutines {
+			res, err := benchConcurrent(eng.mk, streams, g)
+			if err != nil {
+				return HotPathResult{}, fmt.Errorf("hotpath %s g=%d: %w", eng.name, g, err)
+			}
+			ns := float64(res.NsPerOp())
+			ops := 0.0
+			if ns > 0 {
+				ops = 1e9 / ns
+			}
+			series.Points = append(series.Points, HotPathPoint{Goroutines: g, NsPerOp: ns, OpsPerSec: ops})
+			throughput[eng.name][g] = ops
+		}
+		result.Concurrent = append(result.Concurrent, series)
+	}
+	if base := throughput["single-lock"][8]; base > 0 {
+		result.SpeedupAt8VsSingleLock = throughput["sharded"][8] / base
+	}
+	if base := throughput["seed"][8]; base > 0 {
+		result.SpeedupAt8VsSeed = throughput["sharded"][8] / base
+	}
+
+	// Batched flush vs the equivalent singular sequence, per item, on the
+	// sharded engine. Flushes rotate through the variant pool so every
+	// iteration re-observes changed fingerprints.
+	flushes := make([][]disclosure.BatchObservation, variants)
+	for v := 0; v < variants; v++ {
+		items := make([]disclosure.BatchObservation, 0, flushSize)
+		for k := 0; k < flushSize; k++ {
+			o := streams[k%workers][(v*segsPerWorker+k/workers)%len(streams[k%workers])]
+			items = append(items, disclosure.BatchObservation{Seg: o.Seg, FP: o.FP})
+		}
+		flushes[v] = items
+	}
+	batchModes := []struct {
+		name string
+		run  func(tr *disclosure.Tracker, items []disclosure.BatchObservation) error
+	}{
+		{"batch", func(tr *disclosure.Tracker, items []disclosure.BatchObservation) error {
+			_, err := tr.ObserveBatch(items)
+			return err
+		}},
+		{"singular", func(tr *disclosure.Tracker, items []disclosure.BatchObservation) error {
+			for _, it := range items {
+				if _, err := tr.ObserveParagraphFP(it.Seg, it.FP); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+	perItem := make(map[string]float64)
+	for _, mode := range batchModes {
+		var setupErr error
+		run := mode.run
+		res := testing.Benchmark(func(b *testing.B) {
+			tr, err := disclosure.NewTracker(params)
+			if err != nil {
+				setupErr = err
+				b.FailNow()
+			}
+			if err := run(tr, flushes[0]); err != nil {
+				setupErr = err
+				b.FailNow()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run(tr, flushes[i%variants]); err != nil {
+					setupErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if setupErr != nil {
+			return HotPathResult{}, fmt.Errorf("hotpath batch %s: %w", mode.name, setupErr)
+		}
+		per := float64(res.NsPerOp()) / flushSize
+		perItem[mode.name] = per
+		result.Batch = append(result.Batch, HotPathBatch{Mode: mode.name, NsPerItem: per})
+	}
+	if perItem["batch"] > 0 {
+		result.BatchSpeedup = perItem["singular"] / perItem["batch"]
+	}
+	return result, nil
+}
+
+// Format renders the result as the table bfbench prints.
+func (r HotPathResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hot path (GOMAXPROCS=%d)\n", r.GOMAXPROCS)
+	b.WriteString("\nSingle-threaded ObserveParagraph (text path):\n")
+	fmt.Fprintf(&b, "  %-12s %12s %12s %12s\n", "engine", "ns/op", "allocs/op", "B/op")
+	for _, s := range r.SingleThread {
+		fmt.Fprintf(&b, "  %-12s %12.0f %12d %12d\n", s.Engine, s.NsPerOp, s.AllocsPerOp, s.BytesPerOp)
+	}
+	b.WriteString("\nConcurrent ObserveParagraphFP (pre-fingerprinted, ops/sec):\n")
+	fmt.Fprintf(&b, "  %-12s", "engine")
+	for _, g := range hotPathGoroutines {
+		fmt.Fprintf(&b, " %10s", fmt.Sprintf("g=%d", g))
+	}
+	b.WriteString("\n")
+	for _, s := range r.Concurrent {
+		fmt.Fprintf(&b, "  %-12s", s.Engine)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, " %10.0f", p.OpsPerSec)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "\nSpeedup at 8 goroutines: %.2fx vs single-lock, %.2fx vs seed\n",
+		r.SpeedupAt8VsSingleLock, r.SpeedupAt8VsSeed)
+	b.WriteString("\nBatched flush (64 items, ns/item):\n")
+	for _, m := range r.Batch {
+		fmt.Fprintf(&b, "  %-12s %12.0f\n", m.Mode, m.NsPerItem)
+	}
+	fmt.Fprintf(&b, "  batch speedup: %.2fx\n", r.BatchSpeedup)
+	return b.String()
+}

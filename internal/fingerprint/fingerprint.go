@@ -16,7 +16,7 @@ package fingerprint
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/lsds/browserflow/internal/normalize"
 	"github.com/lsds/browserflow/internal/rollhash"
@@ -70,8 +70,16 @@ type Position struct {
 
 // Fingerprint is the set of winnowed hashes of one text segment, with the
 // source position of each selection retained for attribution.
+//
+// The hash set is stored as an immutable ascending []uint32 computed once
+// at construction. This makes the §4.3 hot path allocation-lean: Contains
+// is a binary search, set operations (IntersectCount, Containment, Equal)
+// are linear merges over the two sorted slices, and Hashes returns the
+// internal slice without sorting or copying.
 type Fingerprint struct {
-	hashes    map[uint32]struct{}
+	// sorted holds the distinct hashes in ascending order. It is never
+	// mutated after the constructor returns.
+	sorted    []uint32
 	positions []Position
 }
 
@@ -87,22 +95,41 @@ func Compute(text string, cfg Config) (*Fingerprint, error) {
 	if err != nil {
 		return nil, err
 	}
-	fp := &Fingerprint{hashes: make(map[uint32]struct{})}
+	fp := &Fingerprint{}
 	if len(hashes) == 0 {
 		return fp, nil
 	}
 
-	record := func(hashIdx int) {
+	selected := winnow(hashes, cfg.Window)
+	fp.positions = make([]Position, 0, len(selected))
+	raw := make([]uint32, 0, len(selected))
+	for _, hashIdx := range selected {
 		h := hashes[hashIdx]
 		start, end := norm.OrigRange(hashIdx, hashIdx+cfg.NGram)
 		fp.positions = append(fp.positions, Position{Hash: h, Start: start, End: end})
-		fp.hashes[h] = struct{}{}
+		raw = append(raw, h)
 	}
-
-	for _, idx := range winnow(hashes, cfg.Window) {
-		record(idx)
-	}
+	fp.sorted = sortedDistinct(raw)
 	return fp, nil
+}
+
+// sortedDistinct sorts raw ascending and removes duplicates in place,
+// returning the deduplicated prefix. The one sort at construction time
+// replaces the per-call sort the old map representation paid in Hashes().
+// slices.Sort specialises for the element type, so unlike sort.Slice it
+// performs no reflection-based swapper or closure allocations.
+func sortedDistinct(raw []uint32) []uint32 {
+	if len(raw) == 0 {
+		return nil
+	}
+	slices.Sort(raw)
+	out := raw[:1]
+	for _, h := range raw[1:] {
+		if h != out[len(out)-1] {
+			out = append(out, h)
+		}
+	}
+	return out
 }
 
 // winnow implements steps S3–S4: slide a window of `window` consecutive
@@ -164,28 +191,37 @@ func minIndex(hashes []uint32, lo, hi int) int {
 }
 
 // Len returns the number of distinct hashes in the fingerprint.
-func (f *Fingerprint) Len() int { return len(f.hashes) }
+func (f *Fingerprint) Len() int { return len(f.sorted) }
 
 // Empty reports whether the fingerprint selected no hashes (text shorter
 // than one n-gram).
-func (f *Fingerprint) Empty() bool { return len(f.hashes) == 0 }
+func (f *Fingerprint) Empty() bool { return len(f.sorted) == 0 }
 
-// Contains reports whether h is one of the fingerprint's hashes.
+// Contains reports whether h is one of the fingerprint's hashes. It is a
+// branchless-friendly binary search over the sorted hash slice; a plain
+// loop (rather than sort.Search) keeps the hot path free of closure
+// allocations.
 func (f *Fingerprint) Contains(h uint32) bool {
-	_, ok := f.hashes[h]
-	return ok
+	lo, hi := 0, len(f.sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.sorted[mid] < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(f.sorted) && f.sorted[lo] == h
 }
 
-// Hashes returns the distinct hashes in ascending order. The slice is a
-// fresh copy.
-func (f *Fingerprint) Hashes() []uint32 {
-	out := make([]uint32, 0, len(f.hashes))
-	for h := range f.hashes {
-		out = append(out, h)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+// Hashes returns the distinct hashes in ascending order.
+//
+// The returned slice is the fingerprint's internal storage — it is shared,
+// already sorted, and MUST NOT be modified. Returning it without a copy is
+// what keeps the Algorithm 1 hot path (index updates, merge intersections,
+// wire encoding) allocation-free; callers that need an owned copy should
+// append to their own buffer.
+func (f *Fingerprint) Hashes() []uint32 { return f.sorted }
 
 // Positions returns the selected hashes in text order with their source
 // ranges. The slice is a fresh copy.
@@ -207,16 +243,21 @@ func (f *Fingerprint) PositionsOf(h uint32) []Position {
 	return out
 }
 
-// IntersectCount returns |f ∩ g| over distinct hashes.
+// IntersectCount returns |f ∩ g| over distinct hashes. Both hash sets are
+// sorted, so this is a single linear merge with no lookups or allocation.
 func (f *Fingerprint) IntersectCount(g *Fingerprint) int {
-	small, large := f, g
-	if small.Len() > large.Len() {
-		small, large = large, small
-	}
-	n := 0
-	for h := range small.hashes {
-		if large.Contains(h) {
+	a, b := f.sorted, g.sorted
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
 			n++
+			i++
+			j++
 		}
 	}
 	return n
@@ -224,10 +265,15 @@ func (f *Fingerprint) IntersectCount(g *Fingerprint) int {
 
 // Equal reports whether two fingerprints select exactly the same hash set.
 func (f *Fingerprint) Equal(g *Fingerprint) bool {
-	if f.Len() != g.Len() {
+	if len(f.sorted) != len(g.sorted) {
 		return false
 	}
-	return f.IntersectCount(g) == f.Len()
+	for i, h := range f.sorted {
+		if g.sorted[i] != h {
+			return false
+		}
+	}
+	return true
 }
 
 // Containment returns |f ∩ g| / |f|, the fraction of f's hashes found in g
@@ -244,20 +290,20 @@ func (f *Fingerprint) Containment(g *Fingerprint) float64 {
 // hash sets produce equal digests.
 func (f *Fingerprint) Digest() uint64 {
 	var sum, xor uint64
-	for h := range f.hashes {
+	for _, h := range f.sorted {
 		v := uint64(h) * 0x9e3779b97f4a7c15
 		sum += v
 		xor ^= v
 	}
-	return sum ^ (xor << 1) ^ uint64(len(f.hashes))
+	return sum ^ (xor << 1) ^ uint64(len(f.sorted))
 }
 
 // FromHashes builds a Fingerprint from a raw hash set, without positions.
-// It is used when restoring persisted state.
+// It is used when restoring persisted state and when deserialising wire
+// requests. The input is copied, deduplicated and sorted; the caller keeps
+// ownership of the argument slice.
 func FromHashes(hashes []uint32) *Fingerprint {
-	fp := &Fingerprint{hashes: make(map[uint32]struct{}, len(hashes))}
-	for _, h := range hashes {
-		fp.hashes[h] = struct{}{}
-	}
-	return fp
+	raw := make([]uint32, len(hashes))
+	copy(raw, hashes)
+	return &Fingerprint{sorted: sortedDistinct(raw)}
 }

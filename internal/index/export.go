@@ -33,30 +33,42 @@ type ExportData struct {
 }
 
 // Export snapshots the DB. Segments are sorted by ID and postings by
-// (seq, hash) so exports are deterministic.
+// (seq, hash) so exports are deterministic. The snapshot is taken stripe
+// by stripe; concurrent mutations land either before or after the shard
+// they touch is visited.
 func (db *DB) Export() ExportData {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	data := ExportData{
 		DefaultThreshold: db.defaultThreshold,
-		Clock:            db.clock,
+		Clock:            db.clock.Load(),
 	}
-	for seg, entry := range db.par {
-		rec := SegmentRecord{
-			Seg:       seg,
-			Threshold: entry.threshold,
-			Updated:   entry.updated,
+	for si := range db.segShards {
+		ss := &db.segShards[si]
+		ss.mu.RLock()
+		for seg, entry := range ss.par {
+			rec := SegmentRecord{
+				Seg:       seg,
+				Threshold: entry.threshold,
+				Updated:   entry.updated,
+			}
+			if entry.fp != nil {
+				// Copy: Hashes() exposes the fingerprint's internal
+				// storage and ExportData is handed to callers.
+				rec.Hashes = append([]uint32(nil), entry.fp.Hashes()...)
+			}
+			data.Segments = append(data.Segments, rec)
 		}
-		if entry.fp != nil {
-			rec.Hashes = entry.fp.Hashes()
-		}
-		data.Segments = append(data.Segments, rec)
+		ss.mu.RUnlock()
 	}
 	sort.Slice(data.Segments, func(i, j int) bool { return data.Segments[i].Seg < data.Segments[j].Seg })
-	for h, postings := range db.hash {
-		for _, p := range postings {
-			data.Postings = append(data.Postings, PostingRecord{Hash: h, Seg: p.Seg, Seq: p.Seq})
+	for si := range db.hashShards {
+		sh := &db.hashShards[si]
+		sh.mu.RLock()
+		for h, b := range sh.buckets {
+			for _, p := range b.postings {
+				data.Postings = append(data.Postings, PostingRecord{Hash: h, Seg: p.Seg, Seq: p.Seq})
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(data.Postings, func(i, j int) bool {
 		if data.Postings[i].Seq != data.Postings[j].Seq {
@@ -68,36 +80,71 @@ func (db *DB) Export() ExportData {
 }
 
 // Import replaces the DB's contents with a previously exported snapshot.
+// It must not run concurrently with other operations on the same DB.
 func (db *DB) Import(data ExportData) error {
-	hash := make(map[uint32][]Posting, len(data.Postings))
+	// Validate before mutating anything.
+	for _, p := range data.Postings {
+		if p.Seq > data.Clock {
+			return fmt.Errorf("index: posting seq %d exceeds clock %d", p.Seq, data.Clock)
+		}
+	}
+	for _, rec := range data.Segments {
+		if rec.Updated > data.Clock {
+			return fmt.Errorf("index: segment %s updated %d exceeds clock %d", rec.Seg, rec.Updated, data.Clock)
+		}
+	}
+
+	// Reset all stripes and counters.
+	for si := range db.hashShards {
+		sh := &db.hashShards[si]
+		sh.mu.Lock()
+		sh.buckets = make(map[uint32]*bucket)
+		sh.mu.Unlock()
+	}
+	for si := range db.segShards {
+		ss := &db.segShards[si]
+		ss.mu.Lock()
+		ss.par = make(map[segment.ID]*parEntry)
+		ss.mu.Unlock()
+	}
+	db.segments.Store(0)
+	db.distinct.Store(0)
+	db.postings.Store(0)
+
+	db.defaultThreshold = data.DefaultThreshold
+	db.clock.Store(data.Clock)
+
 	// Postings must be replayed in seq order to restore first-seen
 	// semantics; Export writes them sorted, but do not trust external data.
 	postings := make([]PostingRecord, len(data.Postings))
 	copy(postings, data.Postings)
 	sort.Slice(postings, func(i, j int) bool { return postings[i].Seq < postings[j].Seq })
 	for _, p := range postings {
-		if p.Seq > data.Clock {
-			return fmt.Errorf("index: posting seq %d exceeds clock %d", p.Seq, data.Clock)
+		sh := &db.hashShards[db.hashShardIdx(p.Hash)]
+		sh.mu.Lock()
+		b := sh.buckets[p.Hash]
+		if b == nil {
+			b = &bucket{}
+			sh.buckets[p.Hash] = b
+			db.distinct.Add(1)
 		}
-		hash[p.Hash] = append(hash[p.Hash], Posting{Seg: p.Seg, Seq: p.Seq})
+		if b.insert(p.Seg, p.Seq) {
+			db.postings.Add(1)
+		}
+		sh.mu.Unlock()
 	}
-	par := make(map[segment.ID]*parEntry, len(data.Segments))
 	for _, rec := range data.Segments {
-		if rec.Updated > data.Clock {
-			return fmt.Errorf("index: segment %s updated %d exceeds clock %d", rec.Seg, rec.Updated, data.Clock)
+		ss := db.segShardFor(rec.Seg)
+		ss.mu.Lock()
+		if _, ok := ss.par[rec.Seg]; !ok {
+			db.segments.Add(1)
 		}
-		par[rec.Seg] = &parEntry{
+		ss.par[rec.Seg] = &parEntry{
 			fp:        fingerprint.FromHashes(rec.Hashes),
 			threshold: rec.Threshold,
 			updated:   rec.Updated,
 		}
+		ss.mu.Unlock()
 	}
-
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.defaultThreshold = data.DefaultThreshold
-	db.clock = data.Clock
-	db.hash = hash
-	db.par = par
 	return nil
 }

@@ -11,11 +11,34 @@
 // identical to the paper's wall-clock timestamps. The oldest holder of a
 // hash is the *authoritative* source for it, which is how the paper avoids
 // misreporting disclosure when documents overlap (Figure 7).
+//
+// # Concurrency layout
+//
+// To serve per-keystroke observations from many concurrent devices, the DB
+// is lock-striped instead of guarded by one RWMutex:
+//
+//   - DBhash is split into N hash shards keyed by the *top* bits of the
+//     hash. Fingerprint hash slices are sorted, so a whole fingerprint's
+//     hashes fall into consecutive runs per shard and each update/query
+//     acquires every shard lock at most once.
+//   - DBpar is split into N segment stripes keyed by an FNV-1a hash of the
+//     segment ID, so observations of different segments never contend.
+//   - The logical clock and the Stats counters (segments, distinct hashes,
+//     postings) are atomics maintained incrementally by every mutation, so
+//     Stats() is O(1) instead of a full DBhash scan.
+//
+// Lock ordering: a segment-stripe lock may be held while hash-shard locks
+// are acquired (one at a time), never the reverse, and never two locks of
+// the same kind at once. Per-segment mutations (Update, RemoveSegment) hold
+// the segment stripe for their whole critical section so that a segment's
+// DBpar entry and its DBhash postings cannot interleave with a concurrent
+// removal of the same segment.
 package index
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/lsds/browserflow/internal/fingerprint"
 	"github.com/lsds/browserflow/internal/segment"
@@ -29,7 +52,8 @@ type Posting struct {
 }
 
 // Stats summarises the size of a DB, used by the scalability experiments
-// (Figure 13).
+// (Figure 13). All fields are maintained incrementally, so reading them is
+// O(1) in the database size.
 type Stats struct {
 	// Segments is the number of tracked segments.
 	Segments int
@@ -46,38 +70,238 @@ type Stats struct {
 	ApproxBytes int64
 }
 
-// DB is one fingerprint database (the paper instantiates one per tracking
-// granularity). It is safe for concurrent use.
-type DB struct {
-	mu sync.RWMutex
+// DefaultShards is the lock-stripe count used by New. 64 stripes keep
+// shard collision probability low for typical device concurrency while the
+// fixed overhead (a mutex and a map header per stripe) stays negligible.
+const DefaultShards = 64
 
-	defaultThreshold float64
+// maxShards bounds the configurable stripe count.
+const maxShards = 256
 
-	// hash is DBhash: postings per hash ordered by ascending Seq, at most
-	// one posting per (hash, segment) recording the first observation.
-	hash map[uint32][]Posting
+// memberMapThreshold is the posting count past which a bucket switches
+// from a linear membership scan to a map. Most hashes have a handful of
+// holders, where a scan over a small slice beats a map allocation; hot
+// hashes shared by many segments get the O(1) set the moment the scan
+// would start to hurt.
+const memberMapThreshold = 8
 
-	// par is DBpar: the latest fingerprint and threshold per segment.
+// bucket is the DBhash state of one hash: its postings ordered by
+// ascending Seq (so postings[0] is always the oldest, i.e. authoritative,
+// holder — an O(1) read maintained on insert and remove instead of
+// scanned), plus an optional membership set for large buckets.
+type bucket struct {
+	postings []Posting
+	members  map[segment.ID]struct{} // nil until memberMapThreshold exceeded
+}
+
+// has reports whether seg already holds this hash.
+func (b *bucket) has(seg segment.ID) bool {
+	if b.members != nil {
+		_, ok := b.members[seg]
+		return ok
+	}
+	for _, p := range b.postings {
+		if p.Seg == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// insert records (seg, seq) unless seg is already present. It keeps
+// postings sorted by Seq: seqs are assigned before stripe locks are
+// acquired, so a slightly older observation can arrive after a newer one;
+// insertion from the back restores first-seen order (almost always a pure
+// append). It reports whether a posting was added.
+func (b *bucket) insert(seg segment.ID, seq uint64) bool {
+	if b.has(seg) {
+		return false
+	}
+	i := len(b.postings)
+	b.postings = append(b.postings, Posting{})
+	for i > 0 && b.postings[i-1].Seq > seq {
+		b.postings[i] = b.postings[i-1]
+		i--
+	}
+	b.postings[i] = Posting{Seg: seg, Seq: seq}
+	if b.members != nil {
+		b.members[seg] = struct{}{}
+	} else if len(b.postings) > memberMapThreshold {
+		b.members = make(map[segment.ID]struct{}, len(b.postings))
+		for _, p := range b.postings {
+			b.members[p.Seg] = struct{}{}
+		}
+	}
+	return true
+}
+
+// remove deletes seg's posting, preserving Seq order, and reports whether
+// one was removed.
+func (b *bucket) remove(seg segment.ID) bool {
+	for i, p := range b.postings {
+		if p.Seg == seg {
+			b.postings = append(b.postings[:i], b.postings[i+1:]...)
+			if b.members != nil {
+				delete(b.members, seg)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// oldest returns the authoritative holder in O(1).
+func (b *bucket) oldest() (segment.ID, bool) {
+	if len(b.postings) == 0 {
+		return "", false
+	}
+	return b.postings[0].Seg, true
+}
+
+// hashShard is one DBhash stripe.
+type hashShard struct {
+	mu      sync.RWMutex
+	buckets map[uint32]*bucket
+}
+
+// segShard is one DBpar stripe.
+type segShard struct {
+	mu  sync.RWMutex
 	par map[segment.ID]*parEntry
-
-	// clock is the logical time source; increments on every observation.
-	clock uint64
 }
 
 type parEntry struct {
 	fp        *fingerprint.Fingerprint
 	threshold float64
 	updated   uint64
+
+	// posted is the ascending union of every hash this segment has posted
+	// to DBhash, maintained under the segment stripe lock. Invariant:
+	// h ∈ posted ⟹ the (h, seg) posting exists. Update diffs the new
+	// fingerprint against it, so re-observations pay bucket probes only
+	// for hashes the segment has never posted — zero for edits that
+	// oscillate within previously seen content. nil means unknown (fresh
+	// entry, restored snapshot, or reset by ExpireBefore), which makes
+	// the next Update take the full insert path and rebuild it.
+	posted []uint32
+}
+
+// EvictFunc observes segments dropped by RemoveSegment or ExpireBefore. It
+// is invoked synchronously after all DB locks are released, so the callback
+// may call back into the DB (e.g. to purge dependent caches).
+type EvictFunc func(segs []segment.ID)
+
+// DB is one fingerprint database (the paper instantiates one per tracking
+// granularity). It is safe for concurrent use.
+type DB struct {
+	defaultThreshold float64
+
+	// hashShift maps a hash to its shard: h >> hashShift. Using the top
+	// bits means a sorted fingerprint addresses shards in contiguous runs.
+	hashShift uint
+	segMask   uint32
+
+	hashShards []hashShard
+	segShards  []segShard
+
+	// clock is the logical time source; increments on every observation.
+	clock atomic.Uint64
+
+	// Incremental Stats counters.
+	segments atomic.Int64
+	distinct atomic.Int64
+	postings atomic.Int64
+
+	hookMu  sync.RWMutex
+	onEvict EvictFunc
 }
 
 // New returns an empty DB whose segments default to the given disclosure
-// threshold (the paper's default is Tpar = 0.5, §6.1).
+// threshold (the paper's default is Tpar = 0.5, §6.1), striped across
+// DefaultShards locks.
 func New(defaultThreshold float64) *DB {
-	return &DB{
+	return NewWithShards(defaultThreshold, DefaultShards)
+}
+
+// NewWithShards is New with an explicit stripe count. n is clamped to
+// [1, 256] and rounded up to a power of two; n = 1 yields the single-lock
+// layout of the original implementation (the DisableSharding ablation
+// baseline).
+func NewWithShards(defaultThreshold float64, n int) *DB {
+	n = normalizeShards(n)
+	db := &DB{
 		defaultThreshold: defaultThreshold,
-		hash:             make(map[uint32][]Posting),
-		par:              make(map[segment.ID]*parEntry),
+		hashShards:       make([]hashShard, n),
+		segShards:        make([]segShard, n),
+		segMask:          uint32(n - 1),
 	}
+	bits := uint(0)
+	for 1<<bits < n {
+		bits++
+	}
+	db.hashShift = 32 - bits
+	for i := range db.hashShards {
+		db.hashShards[i].buckets = make(map[uint32]*bucket)
+	}
+	for i := range db.segShards {
+		db.segShards[i].par = make(map[segment.ID]*parEntry)
+	}
+	return db
+}
+
+func normalizeShards(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NumShards returns the lock-stripe count.
+func (db *DB) NumShards() int { return len(db.hashShards) }
+
+// SetEvictHook installs fn to be notified of segments dropped by
+// RemoveSegment and ExpireBefore. Passing nil clears the hook.
+func (db *DB) SetEvictHook(fn EvictFunc) {
+	db.hookMu.Lock()
+	db.onEvict = fn
+	db.hookMu.Unlock()
+}
+
+func (db *DB) notifyEvict(segs []segment.ID) {
+	if len(segs) == 0 {
+		return
+	}
+	db.hookMu.RLock()
+	fn := db.onEvict
+	db.hookMu.RUnlock()
+	if fn != nil {
+		fn(segs)
+	}
+}
+
+func (db *DB) hashShardIdx(h uint32) int {
+	return int(h >> db.hashShift) // shift of 32 (one shard) yields 0
+}
+
+func (db *DB) segShardFor(seg segment.ID) *segShard {
+	// FNV-1a over the segment ID bytes.
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(seg); i++ {
+		h ^= uint32(seg[i])
+		h *= prime32
+	}
+	return &db.segShards[h&db.segMask]
 }
 
 // DefaultThreshold returns the threshold assigned to segments that have not
@@ -87,60 +311,180 @@ func (db *DB) DefaultThreshold() float64 { return db.defaultThreshold }
 // Update stores fp as the latest fingerprint for seg and records first-seen
 // postings for any hash not previously associated with seg. It returns the
 // logical time of the update.
+//
+// Re-observations are diffed against the segment's posted-hash union
+// (parEntry.posted): a hash the segment has posted before already has a
+// first-seen posting that is never refreshed, so only hashes the segment
+// has *never* posted pay a bucket probe and a shard lock. Per-edit index
+// cost is therefore proportional to the novel content of the edit — an
+// edit that oscillates within previously seen text touches no hash shard
+// at all — mirroring the incremental evaluation of Algorithm 1.
 func (db *DB) Update(seg segment.ID, fp *fingerprint.Fingerprint) uint64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	now := db.clock.Add(1)
 
-	db.clock++
-	now := db.clock
-
-	entry, ok := db.par[seg]
+	ss := db.segShardFor(seg)
+	ss.mu.Lock()
+	entry, ok := ss.par[seg]
 	if !ok {
 		entry = &parEntry{threshold: db.defaultThreshold}
-		db.par[seg] = entry
+		ss.par[seg] = entry
+		db.segments.Add(1)
 	}
 	entry.fp = fp
 	entry.updated = now
-
-	for _, h := range fp.Hashes() {
-		if !db.hasPostingLocked(h, seg) {
-			db.hash[h] = append(db.hash[h], Posting{Seg: seg, Seq: now})
-		}
+	hs := fp.Hashes()
+	// Insert postings while still holding the segment stripe so that a
+	// concurrent RemoveSegment(seg) cannot interleave between the DBpar
+	// write and the DBhash writes (which would leak postings).
+	switch {
+	case entry.posted == nil:
+		db.insertPostings(seg, hs, now)
+		entry.posted = append([]uint32(nil), hs...)
+	case countMissing(hs, entry.posted) > 0:
+		entry.posted = db.insertNewPostings(seg, hs, entry.posted, now)
 	}
+	ss.mu.Unlock()
 	return now
 }
 
-// hasPostingLocked reports whether (h, seg) is already recorded. Caller
-// holds at least a read lock.
-func (db *DB) hasPostingLocked(h uint32, seg segment.ID) bool {
-	for _, p := range db.hash[h] {
-		if p.Seg == seg {
-			return true
+// countMissing returns |hs \ posted| for two ascending slices — a pure
+// merge walk with no locks, the O(n) fast path that lets an Update whose
+// hashes were all posted before skip DBhash entirely.
+func countMissing(hs, posted []uint32) int {
+	k, j := 0, 0
+	for _, h := range hs {
+		for j < len(posted) && posted[j] < h {
+			j++
+		}
+		if j >= len(posted) || posted[j] != h {
+			k++
 		}
 	}
-	return false
+	return k
+}
+
+// insertPostings records first-seen postings for hs (ascending) at time
+// now, locking each hash shard exactly once per contiguous run.
+func (db *DB) insertPostings(seg segment.ID, hs []uint32, now uint64) {
+	for i := 0; i < len(hs); {
+		si := db.hashShardIdx(hs[i])
+		sh := &db.hashShards[si]
+		j := i
+		sh.mu.Lock()
+		for ; j < len(hs) && db.hashShardIdx(hs[j]) == si; j++ {
+			b := sh.buckets[hs[j]]
+			if b == nil {
+				b = &bucket{}
+				sh.buckets[hs[j]] = b
+				db.distinct.Add(1)
+			}
+			if b.insert(seg, now) {
+				db.postings.Add(1)
+			}
+		}
+		sh.mu.Unlock()
+		i = j
+	}
+}
+
+// insertNewPostings records postings for the hashes of hs (ascending) that
+// are absent from posted (ascending) and returns the merged union. Hashes
+// present in posted already have first-seen postings, which insertPostings
+// never refreshes, so skipping them is behaviour-identical while avoiding
+// their bucket probes and shard locks. New hashes arrive in ascending
+// order, so each hash shard is still locked at most once per contiguous
+// run.
+func (db *DB) insertNewPostings(seg segment.ID, hs, posted []uint32, now uint64) []uint32 {
+	union := make([]uint32, 0, len(posted)+len(hs))
+	var (
+		sh  *hashShard
+		cur = -1
+		j   = 0
+	)
+	for _, h := range hs {
+		for j < len(posted) && posted[j] < h {
+			union = append(union, posted[j])
+			j++
+		}
+		if j < len(posted) && posted[j] == h {
+			union = append(union, h)
+			j++
+			continue // already posted by an earlier update
+		}
+		union = append(union, h)
+		if si := db.hashShardIdx(h); si != cur {
+			if sh != nil {
+				sh.mu.Unlock()
+			}
+			sh = &db.hashShards[si]
+			sh.mu.Lock()
+			cur = si
+		}
+		b := sh.buckets[h]
+		if b == nil {
+			b = &bucket{}
+			sh.buckets[h] = b
+			db.distinct.Add(1)
+		}
+		if b.insert(seg, now) {
+			db.postings.Add(1)
+		}
+	}
+	if sh != nil {
+		sh.mu.Unlock()
+	}
+	return append(union, posted[j:]...)
+}
+
+// removePostings drops seg's postings for hs (ascending), deleting emptied
+// buckets.
+func (db *DB) removePostings(seg segment.ID, hs []uint32) {
+	for i := 0; i < len(hs); {
+		si := db.hashShardIdx(hs[i])
+		sh := &db.hashShards[si]
+		j := i
+		sh.mu.Lock()
+		for ; j < len(hs) && db.hashShardIdx(hs[j]) == si; j++ {
+			b := sh.buckets[hs[j]]
+			if b == nil {
+				continue
+			}
+			if b.remove(seg) {
+				db.postings.Add(-1)
+			}
+			if len(b.postings) == 0 {
+				delete(sh.buckets, hs[j])
+				db.distinct.Add(-1)
+			}
+		}
+		sh.mu.Unlock()
+		i = j
+	}
 }
 
 // SetThreshold overrides the disclosure threshold of seg (creating the
 // entry if needed), modelling per-paragraph thresholds set by authors
 // (§4.2).
 func (db *DB) SetThreshold(seg segment.ID, t float64) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	entry, ok := db.par[seg]
+	ss := db.segShardFor(seg)
+	ss.mu.Lock()
+	entry, ok := ss.par[seg]
 	if !ok {
 		entry = &parEntry{fp: fingerprint.FromHashes(nil)}
-		db.par[seg] = entry
+		ss.par[seg] = entry
+		db.segments.Add(1)
 	}
 	entry.threshold = t
+	ss.mu.Unlock()
 }
 
 // Threshold returns seg's disclosure threshold, or the default if seg is
 // unknown.
 func (db *DB) Threshold(seg segment.ID) float64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if entry, ok := db.par[seg]; ok {
+	ss := db.segShardFor(seg)
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	if entry, ok := ss.par[seg]; ok {
 		return entry.threshold
 	}
 	return db.defaultThreshold
@@ -148,39 +492,76 @@ func (db *DB) Threshold(seg segment.ID) float64 {
 
 // Fingerprint returns the latest fingerprint stored for seg.
 func (db *DB) Fingerprint(seg segment.ID) (*fingerprint.Fingerprint, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	entry, ok := db.par[seg]
+	ss := db.segShardFor(seg)
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	entry, ok := ss.par[seg]
 	if !ok || entry.fp == nil {
 		return nil, false
 	}
 	return entry.fp, true
 }
 
+// Origin returns seg's latest fingerprint and threshold in one stripe
+// acquisition — the candidate-evaluation read path of Algorithm 1.
+func (db *DB) Origin(seg segment.ID) (fp *fingerprint.Fingerprint, threshold float64, ok bool) {
+	ss := db.segShardFor(seg)
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	entry, ok := ss.par[seg]
+	if !ok {
+		return nil, db.defaultThreshold, false
+	}
+	return entry.fp, entry.threshold, entry.fp != nil
+}
+
 // OldestHolder returns the segment first observed with hash h — the
 // authoritative source for h.
 func (db *DB) OldestHolder(h uint32) (segment.ID, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.oldestHolderLocked(h)
+	sh := &db.hashShards[db.hashShardIdx(h)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if b := sh.buckets[h]; b != nil {
+		return b.oldest()
+	}
+	return "", false
 }
 
-func (db *DB) oldestHolderLocked(h uint32) (segment.ID, bool) {
-	postings := db.hash[h]
-	if len(postings) == 0 {
-		return "", false
+// AppendOldestHolders appends the oldest holder of every hash in hs
+// (ascending, as returned by Fingerprint.Hashes) to out and returns the
+// extended slice. Hashes with no holder contribute nothing; duplicates are
+// not removed. Each hash shard is locked at most once, which is what makes
+// the candidate-discovery loop of Algorithm 1 cheap under sharding.
+func (db *DB) AppendOldestHolders(hs []uint32, out []segment.ID) []segment.ID {
+	for i := 0; i < len(hs); {
+		si := db.hashShardIdx(hs[i])
+		sh := &db.hashShards[si]
+		j := i
+		sh.mu.RLock()
+		for ; j < len(hs) && db.hashShardIdx(hs[j]) == si; j++ {
+			if b := sh.buckets[hs[j]]; b != nil {
+				if seg, ok := b.oldest(); ok {
+					out = append(out, seg)
+				}
+			}
+		}
+		sh.mu.RUnlock()
+		i = j
 	}
-	// Postings are appended in clock order, so the first is the oldest.
-	return postings[0].Seg, true
+	return out
 }
 
 // Holders returns every segment associated with h, oldest first.
 func (db *DB) Holders(h uint32) []segment.ID {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	postings := db.hash[h]
-	out := make([]segment.ID, len(postings))
-	for i, p := range postings {
+	sh := &db.hashShards[db.hashShardIdx(h)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	b := sh.buckets[h]
+	if b == nil {
+		return nil
+	}
+	out := make([]segment.ID, len(b.postings))
+	for i, p := range b.postings {
 		out[i] = p.Seg
 	}
 	return out
@@ -189,17 +570,26 @@ func (db *DB) Holders(h uint32) []segment.ID {
 // AuthoritativeCount returns |Fauthoritative(seg)|: how many of seg's
 // fingerprint hashes have seg as their oldest holder.
 func (db *DB) AuthoritativeCount(seg segment.ID) int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	entry, ok := db.par[seg]
-	if !ok || entry.fp == nil {
+	fp, _, ok := db.Origin(seg)
+	if !ok || fp.Empty() {
 		return 0
 	}
+	hs := fp.Hashes()
 	n := 0
-	for _, h := range entry.fp.Hashes() {
-		if holder, ok := db.oldestHolderLocked(h); ok && holder == seg {
-			n++
+	for i := 0; i < len(hs); {
+		si := db.hashShardIdx(hs[i])
+		sh := &db.hashShards[si]
+		j := i
+		sh.mu.RLock()
+		for ; j < len(hs) && db.hashShardIdx(hs[j]) == si; j++ {
+			if b := sh.buckets[hs[j]]; b != nil {
+				if holder, ok := b.oldest(); ok && holder == seg {
+					n++
+				}
+			}
 		}
+		sh.mu.RUnlock()
+		i = j
 	}
 	return n
 }
@@ -207,22 +597,49 @@ func (db *DB) AuthoritativeCount(seg segment.ID) int {
 // AuthoritativeOverlap returns |Fauthoritative(src) ∩ target| — the core
 // quantity of the adjusted disclosure metrics of §4.3 — together with
 // |F(src)|. It returns (0, 0) if src has no stored fingerprint.
+//
+// Both hash sets are sorted, so the intersection is a single linear merge;
+// oldest-holder checks for the common hashes acquire each hash shard at
+// most once and the whole call allocates nothing.
 func (db *DB) AuthoritativeOverlap(src segment.ID, target *fingerprint.Fingerprint) (overlap, srcLen int) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	entry, ok := db.par[src]
-	if !ok || entry.fp == nil {
+	fp, _, ok := db.Origin(src)
+	if !ok {
 		return 0, 0
 	}
-	srcLen = entry.fp.Len()
-	for _, h := range entry.fp.Hashes() {
-		holder, ok := db.oldestHolderLocked(h)
-		if !ok || holder != src {
-			continue
+	srcLen = fp.Len()
+	a, b := fp.Hashes(), target.Hashes()
+	var (
+		sh       *hashShard
+		curShard = -1
+	)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			h := a[i]
+			if si := db.hashShardIdx(h); si != curShard {
+				if sh != nil {
+					sh.mu.RUnlock()
+				}
+				sh = &db.hashShards[si]
+				sh.mu.RLock()
+				curShard = si
+			}
+			if bk := sh.buckets[h]; bk != nil {
+				if holder, ok := bk.oldest(); ok && holder == src {
+					overlap++
+				}
+			}
+			i++
+			j++
 		}
-		if target.Contains(h) {
-			overlap++
-		}
+	}
+	if sh != nil {
+		sh.mu.RUnlock()
 	}
 	return overlap, srcLen
 }
@@ -230,22 +647,20 @@ func (db *DB) AuthoritativeOverlap(src segment.ID, target *fingerprint.Fingerpri
 // RemoveSegment deletes seg's fingerprint and all its postings. Subsequent
 // oldest-holder queries may promote younger segments to authoritative.
 func (db *DB) RemoveSegment(seg segment.ID) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	entry, ok := db.par[seg]
+	ss := db.segShardFor(seg)
+	ss.mu.Lock()
+	entry, ok := ss.par[seg]
 	if !ok {
+		ss.mu.Unlock()
 		return
 	}
-	delete(db.par, seg)
-	if entry.fp == nil {
-		return
+	delete(ss.par, seg)
+	db.segments.Add(-1)
+	if entry.fp != nil {
+		db.removePostings(seg, entry.fp.Hashes())
 	}
-	for _, h := range entry.fp.Hashes() {
-		db.hash[h] = removePosting(db.hash[h], seg)
-		if len(db.hash[h]) == 0 {
-			delete(db.hash, h)
-		}
-	}
+	ss.mu.Unlock()
+	db.notifyEvict([]segment.ID{seg})
 }
 
 // ExpireBefore removes postings whose first observation is older than the
@@ -253,58 +668,83 @@ func (db *DB) RemoveSegment(seg segment.ID) {
 // implements the periodic removal of old fingerprints recommended in §4.4.
 // It returns the number of postings removed.
 func (db *DB) ExpireBefore(seq uint64) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	removed := 0
-	for h, postings := range db.hash {
-		kept := postings[:0]
-		for _, p := range postings {
-			if p.Seq >= seq {
-				kept = append(kept, p)
+	for si := range db.hashShards {
+		sh := &db.hashShards[si]
+		sh.mu.Lock()
+		for h, b := range sh.buckets {
+			kept := b.postings[:0]
+			for _, p := range b.postings {
+				if p.Seq >= seq {
+					kept = append(kept, p)
+				} else {
+					removed++
+					if b.members != nil {
+						delete(b.members, p.Seg)
+					}
+				}
+			}
+			if len(kept) == 0 {
+				delete(sh.buckets, h)
+				db.distinct.Add(-1)
 			} else {
-				removed++
+				b.postings = kept
 			}
 		}
-		if len(kept) == 0 {
-			delete(db.hash, h)
-		} else {
-			db.hash[h] = kept
-		}
+		sh.mu.Unlock()
 	}
-	for seg, entry := range db.par {
-		if entry.updated < seq {
-			delete(db.par, seg)
+	db.postings.Add(int64(-removed))
+
+	var evicted []segment.ID
+	for si := range db.segShards {
+		ss := &db.segShards[si]
+		ss.mu.Lock()
+		for seg, entry := range ss.par {
+			if entry.updated < seq {
+				delete(ss.par, seg)
+				evicted = append(evicted, seg)
+			} else if removed > 0 {
+				// Expired postings may belong to surviving segments, so
+				// their posted-hash unions can no longer be trusted; reset
+				// them and let the next Update rebuild via the full insert
+				// path (which re-creates any purged posting, exactly as
+				// the probe-per-hash path would).
+				entry.posted = nil
+			}
 		}
+		ss.mu.Unlock()
 	}
+	db.segments.Add(int64(-len(evicted)))
+	db.notifyEvict(evicted)
 	return removed
 }
 
 // Now returns the current logical time.
-func (db *DB) Now() uint64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.clock
-}
+func (db *DB) Now() uint64 { return db.clock.Load() }
 
 // Segments returns the IDs of all tracked segments, sorted.
 func (db *DB) Segments() []segment.ID {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]segment.ID, 0, len(db.par))
-	for seg := range db.par {
-		out = append(out, seg)
+	out := make([]segment.ID, 0, db.segments.Load())
+	for si := range db.segShards {
+		ss := &db.segShards[si]
+		ss.mu.RLock()
+		for seg := range ss.par {
+			out = append(out, seg)
+		}
+		ss.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// Stats returns current size statistics.
+// Stats returns current size statistics in O(1): every counter is
+// maintained incrementally by Update, RemoveSegment and ExpireBefore
+// instead of recomputed by iterating DBhash.
 func (db *DB) Stats() Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	s := Stats{Segments: len(db.par), DistinctHashes: len(db.hash)}
-	for _, postings := range db.hash {
-		s.Postings += len(postings)
+	s := Stats{
+		Segments:       int(db.segments.Load()),
+		DistinctHashes: int(db.distinct.Load()),
+		Postings:       int(db.postings.Load()),
 	}
 	// Rough per-item costs: a DBhash map entry (bucket share + slice
 	// header) ≈ 56 B, a posting (segment.ID string header + seq) ≈ 40 B
@@ -312,13 +752,4 @@ func (db *DB) Stats() Stats {
 	// DBpar set ≈ 48 B, a segment entry ≈ 160 B.
 	s.ApproxBytes = int64(s.DistinctHashes)*56 + int64(s.Postings)*(40+48) + int64(s.Segments)*160
 	return s
-}
-
-func removePosting(postings []Posting, seg segment.ID) []Posting {
-	for i, p := range postings {
-		if p.Seg == seg {
-			return append(postings[:i], postings[i+1:]...)
-		}
-	}
-	return postings
 }

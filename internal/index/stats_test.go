@@ -1,0 +1,107 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+// recount recomputes the Stats counters the slow way, straight from the
+// shard contents, to pin the incrementally maintained values.
+func recount(db *DB) (segments, distinct, postings int) {
+	for si := range db.segShards {
+		ss := &db.segShards[si]
+		ss.mu.RLock()
+		segments += len(ss.par)
+		ss.mu.RUnlock()
+	}
+	for si := range db.hashShards {
+		sh := &db.hashShards[si]
+		sh.mu.RLock()
+		distinct += len(sh.buckets)
+		for _, b := range sh.buckets {
+			postings += len(b.postings)
+		}
+		sh.mu.RUnlock()
+	}
+	return
+}
+
+func checkCounters(t *testing.T, db *DB, when string) {
+	t.Helper()
+	segs, distinct, postings := recount(db)
+	s := db.Stats()
+	if s.Segments != segs || s.DistinctHashes != distinct || s.Postings != postings {
+		t.Fatalf("%s: Stats{Segments:%d DistinctHashes:%d Postings:%d} != recount{%d %d %d}",
+			when, s.Segments, s.DistinctHashes, s.Postings, segs, distinct, postings)
+	}
+}
+
+// TestStatsCountersMaintained drives Update, overlapping re-Update,
+// RemoveSegment and ExpireBefore, and checks after every step that the
+// O(1) counters match a full recount.
+func TestStatsCountersMaintained(t *testing.T) {
+	for _, shards := range []int{1, 4, DefaultShards} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			db := NewWithShards(0.5, shards)
+			var mids []uint64
+			for i := 0; i < 20; i++ {
+				// Overlapping hash sets: consecutive segments share half
+				// their hashes, so postings ≠ segments × hashes.
+				hs := make([]uint32, 0, 16)
+				for j := 0; j < 16; j++ {
+					hs = append(hs, uint32(i*8+j)*0x9e3779b1)
+				}
+				seq := db.Update(segment.ID(fmt.Sprintf("doc#p%d", i)), fingerprint.FromHashes(hs))
+				mids = append(mids, seq)
+				checkCounters(t, db, fmt.Sprintf("after update %d", i))
+			}
+			// Re-update an existing segment with a changed fingerprint: only
+			// the new hashes add postings.
+			db.Update("doc#p3", fingerprint.FromHashes([]uint32{1, 2, 3}))
+			checkCounters(t, db, "after re-update")
+
+			db.SetThreshold("thresholds-only", 0.9)
+			checkCounters(t, db, "after SetThreshold")
+
+			db.RemoveSegment("doc#p5")
+			db.RemoveSegment("doc#p5") // idempotent
+			db.RemoveSegment("never-existed")
+			checkCounters(t, db, "after RemoveSegment")
+
+			db.ExpireBefore(mids[10])
+			checkCounters(t, db, "after ExpireBefore")
+
+			db.ExpireBefore(db.Now() + 1) // drop everything
+			checkCounters(t, db, "after full expiry")
+			if s := db.Stats(); s.Postings != 0 || s.DistinctHashes != 0 {
+				t.Fatalf("full expiry left Stats %+v", s)
+			}
+		})
+	}
+}
+
+// TestStatsLargeExact pins the counters on an overlapping corpus where the
+// closed-form values are known: each segment shares half its hashes with
+// its predecessor, so postings record every (hash, segment) pair once
+// while distinct hashes grow by only half a fingerprint per segment.
+func TestStatsLargeExact(t *testing.T) {
+	db := New(0.5)
+	perSeg := 64
+	segs := 200
+	for i := 0; i < segs; i++ {
+		hs := make([]uint32, perSeg)
+		for j := range hs {
+			hs[j] = uint32(i*perSeg/2 + j) // 50% overlap with the previous segment
+		}
+		db.Update(segment.ID(fmt.Sprintf("s#%d", i)), fingerprint.FromHashes(hs))
+	}
+	s := db.Stats()
+	wantPostings := segs * perSeg
+	wantDistinct := perSeg + (segs-1)*perSeg/2
+	if s.Segments != segs || s.Postings != wantPostings || s.DistinctHashes != wantDistinct {
+		t.Fatalf("Stats = %+v, want Segments=%d Postings=%d DistinctHashes=%d", s, segs, wantPostings, wantDistinct)
+	}
+}

@@ -1,0 +1,185 @@
+package index
+
+// Concurrency stress for the lock-striped DB, designed to run under `go
+// test -race` (the Makefile's check target). Many goroutines update
+// overlapping and disjoint segments while expiry and removal run; at
+// quiescence the structural invariants must hold:
+//
+//   - per bucket, postings are in strictly ascending Seq order with at
+//     most one posting per segment — so the authoritative holder
+//     (postings[0]) is always the oldest live poster;
+//   - the O(1) Stats counters equal a full recount;
+//   - every surviving DBpar entry's latest fingerprint has a posting (or
+//     an older holder) for each of its hashes.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+// stressFP builds a deterministic fingerprint whose hash set overlaps with
+// neighbouring generations: generation g of worker w shares hashes with
+// other workers (shared pool) and keeps worker-private hashes too.
+func stressFP(worker, generation int) *fingerprint.Fingerprint {
+	hs := make([]uint32, 0, 24)
+	for j := 0; j < 12; j++ {
+		// Shared pool: same values across workers → contended buckets.
+		hs = append(hs, uint32((generation%5)*16+j)*0x9e3779b1)
+	}
+	for j := 0; j < 12; j++ {
+		// Private: unique per worker → disjoint buckets.
+		hs = append(hs, uint32(worker*100000+generation*16+j)*0x85ebca6b+1)
+	}
+	return fingerprint.FromHashes(hs)
+}
+
+func TestConcurrentUpdateExpireInvariants(t *testing.T) {
+	const (
+		workers     = 8
+		generations = 150
+	)
+	db := New(0.5)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for g := 0; g < generations; g++ {
+				// Two segments per worker: one long-lived (overlapping
+				// hash pool) and one churning (removed every few rounds).
+				stable := segment.ID(fmt.Sprintf("w%d/stable#p0", w))
+				churn := segment.ID(fmt.Sprintf("w%d/churn#p%d", w, g%3))
+				db.Update(stable, stressFP(w, g))
+				db.Update(churn, stressFP(w+workers, g))
+				if g%7 == 3 {
+					db.RemoveSegment(churn)
+				}
+				// Queries race with the writers.
+				db.OldestHolder(uint32((g % 5) * 16 * 0x9e3779b1))
+				db.AuthoritativeOverlap(stable, stressFP(w, g))
+				db.Stats()
+			}
+		}(w)
+	}
+	// Expiry runs concurrently with everything else.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			now := db.Now()
+			if now > 200 {
+				db.ExpireBefore(now - 200)
+			}
+		}
+	}()
+	wg.Wait()
+
+	checkInvariants(t, db)
+
+	// Final expiry of everything must leave a coherent empty DBhash.
+	db.ExpireBefore(db.Now() + 1)
+	checkInvariants(t, db)
+	if s := db.Stats(); s.Postings != 0 || s.DistinctHashes != 0 || s.Segments != 0 {
+		t.Fatalf("full expiry left non-empty stats: %+v", s)
+	}
+}
+
+// checkInvariants asserts the quiescent structural invariants listed in
+// the file comment.
+func checkInvariants(t *testing.T, db *DB) {
+	t.Helper()
+	var distinct, postings int
+	for si := range db.hashShards {
+		sh := &db.hashShards[si]
+		sh.mu.RLock()
+		for h, b := range sh.buckets {
+			if len(b.postings) == 0 {
+				t.Errorf("hash %#x: empty bucket not deleted", h)
+			}
+			distinct++
+			postings += len(b.postings)
+			seen := make(map[segment.ID]bool, len(b.postings))
+			minSeq := b.postings[0].Seq
+			for i, p := range b.postings {
+				if seen[p.Seg] {
+					t.Errorf("hash %#x: duplicate posting for %s", h, p.Seg)
+				}
+				seen[p.Seg] = true
+				if p.Seq < minSeq {
+					t.Errorf("hash %#x: posting %d (seq %d) older than head (seq %d): authoritative holder is not the oldest poster",
+						h, i, p.Seq, minSeq)
+				}
+				if i > 0 && b.postings[i-1].Seq > p.Seq {
+					t.Errorf("hash %#x: postings out of Seq order at %d", h, i)
+				}
+			}
+			if b.members != nil {
+				if len(b.members) != len(b.postings) {
+					t.Errorf("hash %#x: member set size %d != postings %d", h, len(b.members), len(b.postings))
+				}
+				for _, p := range b.postings {
+					if _, ok := b.members[p.Seg]; !ok {
+						t.Errorf("hash %#x: posting %s missing from member set", h, p.Seg)
+					}
+				}
+			}
+			oldest, ok := b.oldest()
+			if !ok || oldest != b.postings[0].Seg {
+				t.Errorf("hash %#x: oldest() = %q, want %q", h, oldest, b.postings[0].Seg)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	var segs int
+	for si := range db.segShards {
+		ss := &db.segShards[si]
+		ss.mu.RLock()
+		segs += len(ss.par)
+		ss.mu.RUnlock()
+	}
+	s := db.Stats()
+	if s.DistinctHashes != distinct || s.Postings != postings || s.Segments != segs {
+		t.Errorf("counters drifted: Stats %+v, recount distinct=%d postings=%d segments=%d",
+			s, distinct, postings, segs)
+	}
+}
+
+// TestConcurrentExportImport races Export against writers and then
+// verifies the exported snapshot is internally consistent and importable.
+func TestConcurrentExportImport(t *testing.T) {
+	db := New(0.5)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for g := 0; g < 60; g++ {
+				db.Update(segment.ID(fmt.Sprintf("w%d#p%d", w, g%4)), stressFP(w, g))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			db.Export()
+		}
+	}()
+	wg.Wait()
+
+	data := db.Export()
+	restored := New(0.5)
+	if err := restored.Import(data); err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, restored)
+	got, want := restored.Stats(), db.Stats()
+	if got.Postings != want.Postings || got.DistinctHashes != want.DistinctHashes || got.Segments != want.Segments {
+		t.Fatalf("import drifted: got %+v want %+v", got, want)
+	}
+}

@@ -225,6 +225,36 @@ func (e *Engine) ObserveDocumentEditFP(doc segment.ID, service string, fp *finge
 	return e.verdictFor(doc, service, report.Sources, report.CacheHit)
 }
 
+// ObserveBatchFP is ObserveEditFP for a flush of coalesced edits: one
+// registry/tracker pass per item with the tracker's batch fast path, one
+// verdict per item (verdicts[i] corresponds to items[i]). Items are
+// applied in order, exactly as the equivalent sequence of singular
+// Observe*EditFP calls would be.
+func (e *Engine) ObserveBatchFP(service string, items []disclosure.BatchObservation) ([]Verdict, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	for _, item := range items {
+		if _, err := e.registry.ObserveSegment(item.Seg, service); err != nil {
+			return nil, err
+		}
+	}
+	reports, err := e.tracker.ObserveBatch(items)
+	if err != nil {
+		return nil, err
+	}
+	verdicts := make([]Verdict, len(reports))
+	for i, report := range reports {
+		e.registry.RefreshImplicit(report.Seg, report.SourceSegs())
+		v, err := e.verdictFor(report.Seg, service, report.Sources, report.CacheHit)
+		if err != nil {
+			return nil, err
+		}
+		verdicts[i] = v
+	}
+	return verdicts, nil
+}
+
 // CheckFP is CheckText for a caller-computed fingerprint.
 func (e *Engine) CheckFP(fp *fingerprint.Fingerprint, destService string) (Verdict, error) {
 	sources := e.tracker.QueryParagraphFP(fp, "")

@@ -167,6 +167,69 @@ func (c *Client) ObserveHashes(ctx context.Context, service string, seg segment.
 	})
 }
 
+// BatchItem is one paragraph edit inside a client-side flush: the segment
+// and its current text. The text is fingerprinted locally; only hashes go
+// on the wire.
+type BatchItem struct {
+	Seg  segment.ID
+	Text string
+
+	// Granularity is "" / "paragraph" or "document".
+	Granularity string
+}
+
+// ObserveBatch flushes a queue of coalesced edits to the shared service in
+// one request — the shape in which a browser extension ships buffered DOM
+// mutations. It returns one verdict per item, in order.
+func (c *Client) ObserveBatch(service string, items []BatchItem) ([]Verdict, error) {
+	return c.ObserveBatchCtx(context.Background(), service, items)
+}
+
+// ObserveBatchCtx is ObserveBatch with a caller-controlled context.
+func (c *Client) ObserveBatchCtx(ctx context.Context, service string, items []BatchItem) ([]Verdict, error) {
+	wire := make([]BatchObserveItem, len(items))
+	for i, item := range items {
+		fp, err := fingerprint.Compute(item.Text, c.cfg)
+		if err != nil {
+			return nil, err
+		}
+		wire[i] = BatchObserveItem{
+			Seg:         item.Seg,
+			Hashes:      fp.Hashes(),
+			Granularity: item.Granularity,
+		}
+	}
+	return c.ObserveHashesBatch(ctx, service, wire)
+}
+
+// ObserveHashesBatch flushes pre-fingerprinted observations to the shared
+// service's /v1/observe/batch endpoint, amortising transport and decode
+// cost across the whole flush.
+func (c *Client) ObserveHashesBatch(ctx context.Context, service string, items []BatchObserveItem) ([]Verdict, error) {
+	const path = "/v1/observe/batch"
+	resp, err := c.post(ctx, path, BatchObserveRequest{
+		Device:  c.device,
+		Service: service,
+		Items:   items,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(path, resp)
+	}
+	var wire BatchObserveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		return nil, &UnavailableError{Op: path, Err: fmt.Errorf("decode response: %w", err)}
+	}
+	out := make([]Verdict, len(wire.Verdicts))
+	for i, v := range wire.Verdicts {
+		out[i] = Verdict{Decision: v.Decision, Violating: v.Violating, Sources: v.Sources}
+	}
+	return out, nil
+}
+
 // Check evaluates ad-hoc text against a destination service.
 func (c *Client) Check(text, dest string) (Verdict, error) {
 	return c.CheckCtx(context.Background(), text, dest)

@@ -7,7 +7,8 @@
 // privacy posture the paper recommends for fingerprint data at rest
 // (§4.4). The protocol mirrors the plug-in's decision points:
 //
-//	POST /v1/observe   {device, service, seg, hashes}      -> verdict
+//	POST /v1/observe        {device, service, seg, hashes}     -> verdict
+//	POST /v1/observe/batch  {device, service, items:[...]}     -> verdicts
 //	POST /v1/check     {device, dest, hashes}              -> verdict
 //	POST /v1/upload    {device, seg, dest}                 -> verdict
 //	POST /v1/suppress  {user, seg, tag, justification}     -> ok
@@ -24,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/lsds/browserflow/internal/disclosure"
 	"github.com/lsds/browserflow/internal/fingerprint"
 	"github.com/lsds/browserflow/internal/policy"
 	"github.com/lsds/browserflow/internal/segment"
@@ -39,6 +41,29 @@ type ObserveRequest struct {
 
 	// Granularity is "paragraph" (default) or "document".
 	Granularity string `json:"granularity,omitempty"`
+}
+
+// BatchObserveItem is one observation inside a batched flush.
+type BatchObserveItem struct {
+	Seg    segment.ID `json:"seg"`
+	Hashes []uint32   `json:"hashes"`
+
+	// Granularity is "paragraph" (default) or "document".
+	Granularity string `json:"granularity,omitempty"`
+}
+
+// BatchObserveRequest records a flush of coalesced observations from a
+// device — how a real browser extension ships DOM mutations: buffered and
+// flushed together rather than one request per keystroke.
+type BatchObserveRequest struct {
+	Device  string             `json:"device"`
+	Service string             `json:"service"`
+	Items   []BatchObserveItem `json:"items"`
+}
+
+// BatchObserveResponse carries one verdict per request item, in order.
+type BatchObserveResponse struct {
+	Verdicts []VerdictResponse `json:"verdicts"`
 }
 
 // CheckRequest asks whether content may be released to a destination.
@@ -150,6 +175,7 @@ func NewServer(engine *policy.Engine, opts ...ServerOption) (*Server, error) {
 		opt(s)
 	}
 	s.mux.HandleFunc("/v1/observe", s.handleObserve)
+	s.mux.HandleFunc("/v1/observe/batch", s.handleObserveBatch)
 	s.mux.HandleFunc("/v1/check", s.handleCheck)
 	s.mux.HandleFunc("/v1/upload", s.handleUpload)
 	s.mux.HandleFunc("/v1/suppress", s.handleSuppress)
@@ -194,6 +220,56 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	s.observes.Add(1)
 	s.countViolation(verdict)
 	writeVerdict(w, verdict)
+}
+
+// handleObserveBatch serves a flush of coalesced observations in one
+// request: one JSON decode, one engine batch call, one verdict per item.
+func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchObserveRequest
+	if !s.decodePost(w, r, &req) {
+		return
+	}
+	if req.Service == "" {
+		http.Error(w, "service required", http.StatusBadRequest)
+		return
+	}
+	if len(req.Items) == 0 {
+		http.Error(w, "items required", http.StatusBadRequest)
+		return
+	}
+	items := make([]disclosure.BatchObservation, len(req.Items))
+	for i, item := range req.Items {
+		if item.Seg == "" {
+			http.Error(w, fmt.Sprintf("item %d: seg required", i), http.StatusBadRequest)
+			return
+		}
+		g := segment.GranularityParagraph
+		switch item.Granularity {
+		case "", "paragraph":
+		case "document":
+			g = segment.GranularityDocument
+		default:
+			http.Error(w, fmt.Sprintf("item %d: unknown granularity", i), http.StatusBadRequest)
+			return
+		}
+		items[i] = disclosure.BatchObservation{
+			Seg:         item.Seg,
+			FP:          fingerprint.FromHashes(item.Hashes),
+			Granularity: g,
+		}
+	}
+	verdicts, err := s.engine.ObserveBatchFP(req.Service, items)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.observes.Add(int64(len(verdicts)))
+	resp := BatchObserveResponse{Verdicts: make([]VerdictResponse, len(verdicts))}
+	for i, v := range verdicts {
+		s.countViolation(v)
+		resp.Verdicts[i] = verdictResponse(v)
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
@@ -329,11 +405,16 @@ func (s *Server) decodePost(w http.ResponseWriter, r *http.Request, into interfa
 }
 
 func writeVerdict(w http.ResponseWriter, v policy.Verdict) {
+	writeJSON(w, verdictResponse(v))
+}
+
+// verdictResponse converts a policy verdict to its wire form.
+func verdictResponse(v policy.Verdict) VerdictResponse {
 	resp := VerdictResponse{Decision: v.Decision.String(), Violating: v.Violating}
 	for _, src := range v.Sources {
 		resp.Sources = append(resp.Sources, SourceDT{Seg: src.Seg, Disclosure: src.Disclosure})
 	}
-	writeJSON(w, resp)
+	return resp
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
