@@ -2,15 +2,29 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check cover bench benchall experiments clean
+.PHONY: all build vet test race check crash fuzz cover bench benchall experiments clean
 
 all: build check
 
-# check is the gate: static analysis plus the full suite under the race
-# detector. The resilience and failover layers are concurrency-heavy, so
-# -race runs by default, not as an opt-in.
+# check is the gate: static analysis, the full suite under the race
+# detector (which includes the crash/corruption-injection recovery
+# property suite in internal/store), and a short fuzz smoke over the two
+# recovery parsers that read attacker-controlled bytes after a crash.
 check: vet
 	$(GO) test -race ./...
+	$(MAKE) crash
+	$(MAKE) fuzz
+
+# crash runs only the durability crash-injection suites, race-enabled.
+crash:
+	$(GO) test -race -run 'Crash|Recovery|Torn|Corrupt' ./internal/store ./internal/wal ./cmd/bftagd
+
+# fuzz smoke: ten seconds per recovery parser (Go runs one fuzz target
+# per invocation, hence two commands).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz 'FuzzOpenSegment' -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -fuzz 'FuzzLoadSnapshot' -fuzztime $(FUZZTIME) ./internal/store
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as a re-exec shim: when BFTAGD_TEST_ARGS is set, the
+// test binary becomes the daemon itself. The kill -9 test uses this to run
+// a real bftagd process it can destroy without ceremony.
+func TestMain(m *testing.M) {
+	if args := os.Getenv("BFTAGD_TEST_ARGS"); args != "" {
+		if err := run(strings.Split(args, "\n")); err != nil {
+			fmt.Fprintln(os.Stderr, "bftagd:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func writeTestPolicy(t *testing.T, dir string) string {
+	t.Helper()
+	policyPath := filepath.Join(dir, "policy.json")
+	policyJSON := `{"services":[
+		{"name":"wiki","privilege":["tw"],"confidentiality":["tw"]},
+		{"name":"pad","privilege":[],"confidentiality":[]}
+	]}`
+	if err := os.WriteFile(policyPath, []byte(policyJSON), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return policyPath
+}
+
+func postJSON(t *testing.T, url string, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func getHealth(t *testing.T, base string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+const checkBody = `{"device":"d","dest":"pad","hashes":[1,2,3,4,5,6,7,8,9,10]}`
+
+// seedObservations drives a few mutations through the wire API: two
+// singular observes, a batched flush, and a suppression — every journalled
+// record family the daemon produces in normal operation.
+func seedObservations(t *testing.T, base string) {
+	t.Helper()
+	for _, req := range []struct{ path, body string }{
+		{"/v1/observe", `{"device":"d","service":"wiki","seg":"wiki/s#p0","hashes":[1,2,3,4,5,6,7,8,9,10]}`},
+		{"/v1/observe", `{"device":"d","service":"wiki","seg":"wiki/s#p1","hashes":[11,12,13,14,15],"granularity":"document"}`},
+		{"/v1/observe/batch", `{"device":"d","service":"pad","items":[` +
+			`{"seg":"pad/n#p0","hashes":[1,2,3,4,5,6,7,8,9,10]},` +
+			`{"seg":"pad/n#p1","hashes":[21,22,23]}]}`},
+	} {
+		status, body := postJSON(t, base+req.path, req.body)
+		if status != http.StatusOK {
+			t.Fatalf("%s status=%d body=%s", req.path, status, body)
+		}
+	}
+}
+
+// A clean SIGTERM with -wal-dir flushes a final checkpoint; the next start
+// recovers it with nothing left to replay, and the recovered process
+// returns the same /v1/check verdicts as the one that shut down.
+func TestDurableShutdownAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	policyPath := writeTestPolicy(t, dir)
+	walDir := filepath.Join(dir, "wal")
+
+	start := func() (string, chan error) {
+		addr := freeAddr(t)
+		errCh := make(chan error, 1)
+		go func() {
+			errCh <- run([]string{
+				"-policy", policyPath,
+				"-addr", addr,
+				"-wal-dir", walDir,
+				"-fsync", "always",
+				"-checkpoint-every", "0",
+				"-shutdown-grace", "5s",
+			})
+		}()
+		base := "http://" + addr
+		waitHealthy(t, base)
+		return base, errCh
+	}
+	stop := func(errCh chan error) {
+		t.Helper()
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("run returned %v after SIGTERM, want clean shutdown", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not shut down within the grace period")
+		}
+	}
+
+	base, errCh := start()
+	seedObservations(t, base)
+	_, wantVerdict := postJSON(t, base+"/v1/check", checkBody)
+	stop(errCh)
+
+	// Second life: recovery must come from the shutdown checkpoint alone.
+	base, errCh = start()
+	defer stop(errCh)
+
+	if _, got := postJSON(t, base+"/v1/check", checkBody); !bytes.Equal(got, wantVerdict) {
+		t.Errorf("verdict after restart = %s, want %s", got, wantVerdict)
+	}
+	h := getHealth(t, base)
+	dur, ok := h["durability"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz has no durability block: %v", h)
+	}
+	if ckpt, _ := dur["checkpointLoaded"].(string); ckpt == "" {
+		t.Errorf("clean shutdown left no checkpoint to load: %v", dur)
+	}
+	if replayed, _ := dur["recordsReplayed"].(float64); replayed != 0 {
+		t.Errorf("clean shutdown still replayed %v records", replayed)
+	}
+}
+
+// Kill -9 is the whole point of the WAL: a real bftagd subprocess is
+// destroyed without any shutdown path running, then a second instance on
+// the same -wal-dir must replay the log and give identical /v1/check
+// verdicts, reporting the recovery in its durability metrics.
+func TestKillNineRecovery(t *testing.T) {
+	dir := t.TempDir()
+	policyPath := writeTestPolicy(t, dir)
+	walDir := filepath.Join(dir, "wal")
+	addr := freeAddr(t)
+	base := "http://" + addr
+
+	args := []string{
+		"-policy", policyPath,
+		"-addr", addr,
+		"-wal-dir", walDir,
+		"-fsync", "always",
+		"-checkpoint-every", "0", // no background checkpoints: recovery is pure replay
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "BFTAGD_TEST_ARGS="+strings.Join(args, "\n"))
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	waitHealthy(t, base)
+
+	seedObservations(t, base)
+	_, wantVerdict := postJSON(t, base+"/v1/check", checkBody)
+
+	// No SIGTERM, no drain, no final checkpoint: SIGKILL.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Second instance, in-process, same WAL directory.
+	addr2 := freeAddr(t)
+	base2 := "http://" + addr2
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(append(append([]string(nil), args...), "-addr", addr2))
+	}()
+	waitHealthy(t, base2)
+	defer func() {
+		syscall.Kill(os.Getpid(), syscall.SIGTERM)
+		select {
+		case <-errCh:
+		case <-time.After(10 * time.Second):
+			t.Fatal("recovered daemon did not shut down")
+		}
+	}()
+
+	if _, got := postJSON(t, base2+"/v1/check", checkBody); !bytes.Equal(got, wantVerdict) {
+		t.Errorf("verdict after kill -9 recovery = %s, want %s", got, wantVerdict)
+	}
+
+	h := getHealth(t, base2)
+	dur, ok := h["durability"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz has no durability block: %v", h)
+	}
+	if replayed, _ := dur["recordsReplayed"].(float64); replayed < 3 {
+		t.Errorf("recovery replayed %v records, want >= 3 (the seeded mutations)", replayed)
+	}
+
+	// The durability gauges are visible on the metrics endpoint.
+	resp, err := http.Get(base2 + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"browserflow_wal_records_total",
+		"browserflow_recovery_records_replayed",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	bftagd -policy policy.json -addr :7000
+//	bftagd -policy policy.json -wal-dir /var/lib/bftagd \
+//	       -fsync interval -fsync-interval 50ms -checkpoint-every 1m
 //	bftagd -policy policy.json -state tags.bf -save-every 100
 //	bftagd -policy policy.json -read-timeout 10s -write-timeout 30s \
 //	       -shutdown-grace 10s -max-body 1048576
@@ -14,11 +16,18 @@
 // exposes /healthz for the client-side failover layer's recovery probes,
 // carries read/write timeouts so slow peers cannot wedge it, bounds
 // request bodies (413 past -max-body), and drains in-flight requests on
-// SIGINT/SIGTERM before stopping the expiry janitor and saving state.
+// SIGINT/SIGTERM before stopping the expiry janitor and flushing state.
+//
+// With -wal-dir, every state mutation is journalled to a write-ahead log
+// and checkpointed in the background; after a crash the service recovers
+// the newest checkpoint plus the surviving WAL suffix. The legacy
+// -state/-save-every snapshot loop remains as a fallback when the WAL is
+// disabled.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -32,6 +41,8 @@ import (
 	"github.com/lsds/browserflow"
 	"github.com/lsds/browserflow/internal/store"
 	"github.com/lsds/browserflow/internal/tagserver"
+	"github.com/lsds/browserflow/internal/tdm"
+	"github.com/lsds/browserflow/internal/wal"
 )
 
 func main() {
@@ -45,9 +56,13 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("bftagd", flag.ContinueOnError)
 	var (
 		policyPath   = fs.String("policy", "", "policy JSON file (required)")
-		statePath    = fs.String("state", "", "optional state file to load and periodically save")
-		passphrase   = fs.String("passphrase", "", "state passphrase")
-		saveEvery    = fs.Int("save-every", 500, "save state every N observe requests (0 disables)")
+		statePath    = fs.String("state", "", "optional state file to load and periodically save (fallback when -wal-dir is unset)")
+		passphrase   = fs.String("passphrase", "", "state passphrase (encrypts snapshots and checkpoints at rest)")
+		saveEvery    = fs.Int("save-every", 500, "save state every N observations (batch items count individually; 0 disables)")
+		walDir       = fs.String("wal-dir", "", "directory for the write-ahead log and checkpoints (enables crash-safe durability)")
+		fsyncMode    = fs.String("fsync", "always", "WAL fsync policy: always | interval | none")
+		fsyncEvery   = fs.Duration("fsync-interval", wal.DefaultSyncInterval, "group-commit cadence for -fsync interval")
+		ckptEvery    = fs.Duration("checkpoint-every", time.Minute, "background checkpoint cadence (0 = checkpoint only at shutdown)")
 		addr         = fs.String("addr", ":7000", "listen address")
 		expire       = fs.Duration("expire-every", 0, "run fingerprint expiry at this interval (0 disables)")
 		retain       = fs.Uint64("retain", 100000, "observations to retain when expiry runs")
@@ -66,7 +81,61 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *statePath != "" {
+
+	var key []byte
+	if *passphrase != "" {
+		key = store.DeriveKey(*passphrase)
+	}
+
+	// Durable mode: recover checkpoint + WAL, then journal every mutation.
+	var durable *store.Durable
+	serverOpts := []tagserver.ServerOption{tagserver.WithMaxBodyBytes(*maxBody)}
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		// The policy file is the source of truth for service definitions;
+		// remember them so services added to the file since the last
+		// checkpoint survive the restore below.
+		policyServices := mw.Registry().Services()
+
+		durable, err = store.OpenDurable(store.DurableOptions{
+			Dir:             *walDir,
+			Key:             key,
+			Fsync:           policy,
+			FsyncInterval:   *fsyncEvery,
+			CheckpointEvery: *ckptEvery,
+			Logf: func(format string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, "bftagd: "+format+"\n", args...)
+			},
+		}, mw.Tracker(), mw.Registry())
+		if err != nil {
+			return fmt.Errorf("open wal dir: %w", err)
+		}
+		defer durable.Close()
+
+		// Re-register policy-file services the checkpoint restore dropped.
+		for _, svc := range policyServices {
+			err := mw.Registry().RegisterService(svc.Name, svc.Privilege, svc.Confidentiality)
+			if err != nil && !errors.Is(err, tdm.ErrServiceExists) {
+				return fmt.Errorf("re-register service %s: %w", svc.Name, err)
+			}
+		}
+
+		mw.Engine().SetJournal(durable)
+		serverOpts = append(serverOpts, tagserver.WithDurabilityStats(durable.Stats))
+
+		rec := durable.Stats().Recovery
+		fmt.Printf("bftagd: durability on (%s, fsync=%s): recovered %d WAL records", *walDir, policy, rec.RecordsReplayed)
+		if rec.CheckpointLoaded != "" {
+			fmt.Printf(" on top of %s", rec.CheckpointLoaded)
+		}
+		if rec.TornBytesTruncated > 0 {
+			fmt.Printf(", truncated %d torn bytes", rec.TornBytesTruncated)
+		}
+		fmt.Printf(" in %v\n", rec.Duration.Round(time.Millisecond))
+	} else if *statePath != "" {
 		if _, err := os.Stat(*statePath); err == nil {
 			if err := mw.Load(*statePath, *passphrase); err != nil {
 				return fmt.Errorf("load state: %w", err)
@@ -74,7 +143,7 @@ func run(args []string) error {
 		}
 	}
 
-	server, err := tagserver.NewServer(mw.Engine(), tagserver.WithMaxBodyBytes(*maxBody))
+	server, err := tagserver.NewServer(mw.Engine(), serverOpts...)
 	if err != nil {
 		return err
 	}
@@ -87,14 +156,20 @@ func run(args []string) error {
 		defer janitor.Shutdown()
 	}
 
-	// Periodic persistence keyed on observe traffic.
-	var observeCount atomic.Int64
+	// Legacy periodic persistence keyed on observation traffic; superseded
+	// by the WAL when -wal-dir is set. Saves are triggered on bucket
+	// transitions of the server's observation counter, which weighs
+	// batched flushes by their item count instead of counting a whole
+	// /v1/observe/batch request as one observation.
 	handler := http.Handler(server)
-	if *statePath != "" && *saveEvery > 0 {
+	if durable == nil && *statePath != "" && *saveEvery > 0 {
+		var savedBucket atomic.Int64
 		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			server.ServeHTTP(w, r)
-			if r.URL.Path == "/v1/observe" {
-				if n := observeCount.Add(1); n%int64(*saveEvery) == 0 {
+			switch r.URL.Path {
+			case "/v1/observe", "/v1/observe/batch":
+				bucket := server.Observes() / int64(*saveEvery)
+				if prev := savedBucket.Load(); bucket > prev && savedBucket.CompareAndSwap(prev, bucket) {
 					if err := mw.Save(*statePath, *passphrase); err != nil {
 						fmt.Fprintln(os.Stderr, "bftagd: save state:", err)
 					}
@@ -135,7 +210,13 @@ func run(args []string) error {
 		shCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		shutdownErr := srv.Shutdown(shCtx)
-		if *statePath != "" {
+		if durable != nil {
+			// Final checkpoint + WAL sync so a clean SIGTERM leaves a fresh
+			// checkpoint and an empty replay set.
+			if err := durable.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "bftagd: flush durability:", err)
+			}
+		} else if *statePath != "" {
 			if err := mw.Save(*statePath, *passphrase); err != nil {
 				fmt.Fprintln(os.Stderr, "bftagd: save state:", err)
 			}

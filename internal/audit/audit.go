@@ -97,6 +97,39 @@ func (l *Log) Entries() []Entry {
 	return out
 }
 
+// Since returns a copy of the entries appended after the first n (i.e.
+// entries[n:]). The durability journal uses it to capture exactly the
+// audit records one registry operation produced.
+func (l *Log) Since(n int) []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(l.entries) {
+		return nil
+	}
+	out := make([]Entry, len(l.entries)-n)
+	copy(out, l.entries[n:])
+	return out
+}
+
+// Amend overwrites the entry whose Seq matches e.Seq with e, preserving
+// append order. It reports whether a matching entry was found. Recovery
+// uses it to restore the original timestamps of audit records regenerated
+// during WAL replay.
+func (l *Log) Amend(e Entry) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.entries {
+		if l.entries[i].Seq == e.Seq {
+			l.entries[i] = e
+			return true
+		}
+	}
+	return false
+}
+
 // Filter returns the entries for which keep returns true, in append order.
 func (l *Log) Filter(keep func(Entry) bool) []Entry {
 	l.mu.RLock()

@@ -319,12 +319,24 @@ func (db *DB) DefaultThreshold() float64 { return db.defaultThreshold }
 // cost is therefore proportional to the novel content of the edit — an
 // edit that oscillates within previously seen text touches no hash shard
 // at all — mirroring the incremental evaluation of Algorithm 1.
+//
+// An Update whose hash set is identical to the segment's current
+// fingerprint is a no-op: it neither ticks the logical clock nor
+// refreshes the recency stamp. This matches the decision-cache fast path
+// (a cache hit never reaches Update at all), so the index's evolution is
+// a deterministic function of the observation stream — WAL replay after
+// a crash reconstructs it byte-for-byte even though the in-memory cache
+// restarts cold.
 func (db *DB) Update(seg segment.ID, fp *fingerprint.Fingerprint) uint64 {
-	now := db.clock.Add(1)
-
 	ss := db.segShardFor(seg)
 	ss.mu.Lock()
 	entry, ok := ss.par[seg]
+	if ok && entry.fp != nil && entry.fp.Equal(fp) {
+		now := entry.updated
+		ss.mu.Unlock()
+		return now
+	}
+	now := db.clock.Add(1)
 	if !ok {
 		entry = &parEntry{threshold: db.defaultThreshold}
 		ss.par[seg] = entry

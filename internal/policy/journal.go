@@ -1,0 +1,179 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/lsds/browserflow/internal/audit"
+	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/segment"
+	"github.com/lsds/browserflow/internal/tdm"
+)
+
+// ErrJournal wraps failures to journal a state mutation to the write-ahead
+// log. The in-memory mutation has already been applied when this is
+// returned; callers running with a strict fsync policy should surface the
+// error (503) rather than acknowledge a request whose durability is not
+// guaranteed.
+var ErrJournal = errors.New("policy: journal append failed")
+
+// Journal records every state mutation the engine applies, so that a
+// durability layer (internal/store's write-ahead log) can replay them
+// after a crash. The engine stays storage-agnostic: it calls these typed
+// hooks and never sees frames, segments or fsync policies.
+//
+// Ordering contract: the engine invokes the journal *after* the in-memory
+// mutation succeeds and inside the bracket returned by Begin, so a
+// checkpoint barrier taken by the implementation observes either
+// (mutation + journal record) or neither.
+type Journal interface {
+	// Begin brackets one mutation + its journal appends; the engine calls
+	// the returned function when the bracket ends. Implementations use it
+	// as the read side of a checkpoint barrier. It must never be nil.
+	Begin() (end func())
+
+	// Observe records a singular fingerprint observation.
+	Observe(seg segment.ID, service string, g segment.Granularity, hashes []uint32) error
+
+	// ObserveBatch records a batched flush. Every item carries a
+	// caller-computed fingerprint (the engine normalises text items).
+	ObserveBatch(service string, items []disclosure.BatchObservation) error
+
+	// Suppress records an accepted tag suppression.
+	Suppress(user string, seg segment.ID, tag tdm.Tag, justification string) error
+
+	// AllocateTag records a custom tag allocation.
+	AllocateTag(user string, tag tdm.Tag) error
+
+	// AddSegmentTag records a custom tag being attached to a segment.
+	AddSegmentTag(user string, seg segment.ID, tag tdm.Tag) error
+
+	// GrantTag and RevokeTag record privilege-label changes.
+	GrantTag(user, service string, tag tdm.Tag) error
+	RevokeTag(user, service string, tag tdm.Tag) error
+
+	// AuditAppend records audit entries exactly as stored (with their
+	// original Seq and Time), so recovery can restore timestamps that
+	// replaying the operation would otherwise regenerate.
+	AuditAppend(entries []audit.Entry) error
+}
+
+// SetJournal installs the durability journal. It must be called before the
+// engine starts serving traffic; it is not safe to swap concurrently with
+// decision calls. A nil journal disables journalling.
+func (e *Engine) SetJournal(j Journal) { e.journal = j }
+
+// Journal returns the installed journal (nil when disabled).
+func (e *Engine) Journal() Journal { return e.journal }
+
+// begin opens the journal bracket; it returns nil when journalling is
+// disabled.
+func (e *Engine) begin() func() {
+	if e.journal == nil {
+		return nil
+	}
+	return e.journal.Begin()
+}
+
+// journalObserve records a singular observation.
+func (e *Engine) journalObserve(seg segment.ID, service string, g segment.Granularity, hashes []uint32) error {
+	if e.journal == nil {
+		return nil
+	}
+	if err := e.journal.Observe(seg, service, g, hashes); err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	return nil
+}
+
+// journalOp records a control operation plus whatever audit entries it
+// appended (everything past auditFrom).
+func (e *Engine) journalOp(auditFrom int, fn func(Journal) error) error {
+	if e.journal == nil {
+		return nil
+	}
+	if err := fn(e.journal); err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	if entries := e.registry.Audit().Since(auditFrom); len(entries) > 0 {
+		if err := e.journal.AuditAppend(entries); err != nil {
+			return fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
+	return nil
+}
+
+// Suppress declassifies a tag on a segment on the user's behalf (§3.1),
+// journalling the suppression and its audit record. Handlers should route
+// suppressions through this method rather than Registry().SuppressTag so
+// that accepted declassifications survive a crash.
+func (e *Engine) Suppress(user string, seg segment.ID, tag tdm.Tag, justification string) error {
+	if end := e.begin(); end != nil {
+		defer end()
+	}
+	before := e.registry.Audit().Len()
+	if err := e.registry.SuppressTag(user, seg, tag, justification); err != nil {
+		return err
+	}
+	return e.journalOp(before, func(j Journal) error {
+		return j.Suppress(user, seg, tag, justification)
+	})
+}
+
+// AllocateTag reserves a custom tag owned by user, journalled.
+func (e *Engine) AllocateTag(user string, tag tdm.Tag) error {
+	if end := e.begin(); end != nil {
+		defer end()
+	}
+	before := e.registry.Audit().Len()
+	if err := e.registry.AllocateTag(user, tag); err != nil {
+		return err
+	}
+	return e.journalOp(before, func(j Journal) error {
+		return j.AllocateTag(user, tag)
+	})
+}
+
+// AddTagToSegment attaches an allocated custom tag to a segment,
+// journalled.
+func (e *Engine) AddTagToSegment(user string, seg segment.ID, tag tdm.Tag) error {
+	if end := e.begin(); end != nil {
+		defer end()
+	}
+	before := e.registry.Audit().Len()
+	if err := e.registry.AddTagToSegment(user, seg, tag); err != nil {
+		return err
+	}
+	return e.journalOp(before, func(j Journal) error {
+		return j.AddSegmentTag(user, seg, tag)
+	})
+}
+
+// GrantTag adds a custom tag to a service's privilege label, journalled.
+func (e *Engine) GrantTag(user, service string, tag tdm.Tag) error {
+	if end := e.begin(); end != nil {
+		defer end()
+	}
+	before := e.registry.Audit().Len()
+	if err := e.registry.GrantTag(user, service, tag); err != nil {
+		return err
+	}
+	return e.journalOp(before, func(j Journal) error {
+		return j.GrantTag(user, service, tag)
+	})
+}
+
+// RevokeTag removes a custom tag from a service's privilege label,
+// journalled.
+func (e *Engine) RevokeTag(user, service string, tag tdm.Tag) error {
+	if end := e.begin(); end != nil {
+		defer end()
+	}
+	before := e.registry.Audit().Len()
+	if err := e.registry.RevokeTag(user, service, tag); err != nil {
+		return err
+	}
+	return e.journalOp(before, func(j Journal) error {
+		return j.RevokeTag(user, service, tag)
+	})
+}

@@ -142,6 +142,10 @@ type Engine struct {
 	tracker  *disclosure.Tracker
 	registry *tdm.Registry
 	mode     Mode
+
+	// journal, when non-nil, receives every state mutation for crash-safe
+	// durability (see Journal and SetJournal in journal.go).
+	journal Journal
 }
 
 // NewEngine returns an Engine in the given mode.
@@ -172,34 +176,29 @@ func (e *Engine) Mode() Mode { return e.mode }
 // verdict of uploading the text back to its *own* service — which flags the
 // "red background" state while the user is still editing.
 func (e *Engine) ObserveEdit(seg segment.ID, service, text string) (Verdict, error) {
-	if _, err := e.registry.ObserveSegment(seg, service); err != nil {
-		return Verdict{}, err
-	}
-	report, err := e.tracker.ObserveParagraph(seg, text)
+	fp, err := e.tracker.Fingerprint(text)
 	if err != nil {
 		return Verdict{}, err
 	}
-	e.registry.RefreshImplicit(seg, report.SourceSegs())
-	return e.verdictFor(seg, service, report.Sources, report.CacheHit)
+	return e.ObserveEditFP(seg, service, fp)
 }
 
 // ObserveDocumentEdit records a whole-document observation (the second
 // tracking granularity of §4.1).
 func (e *Engine) ObserveDocumentEdit(doc segment.ID, service, text string) (Verdict, error) {
-	if _, err := e.registry.ObserveSegment(doc, service); err != nil {
-		return Verdict{}, err
-	}
-	report, err := e.tracker.ObserveDocument(doc, text)
+	fp, err := e.tracker.Fingerprint(text)
 	if err != nil {
 		return Verdict{}, err
 	}
-	e.registry.RefreshImplicit(doc, report.SourceSegs())
-	return e.verdictFor(doc, service, report.Sources, report.CacheHit)
+	return e.ObserveDocumentEditFP(doc, service, fp)
 }
 
 // ObserveEditFP is ObserveEdit for a fingerprint computed by the caller —
 // remote (tag-server) clients keep text on-device and ship hashes only.
 func (e *Engine) ObserveEditFP(seg segment.ID, service string, fp *fingerprint.Fingerprint) (Verdict, error) {
+	if end := e.begin(); end != nil {
+		defer end()
+	}
 	if _, err := e.registry.ObserveSegment(seg, service); err != nil {
 		return Verdict{}, err
 	}
@@ -208,12 +207,18 @@ func (e *Engine) ObserveEditFP(seg segment.ID, service string, fp *fingerprint.F
 		return Verdict{}, err
 	}
 	e.registry.RefreshImplicit(seg, report.SourceSegs())
+	if err := e.journalObserve(seg, service, segment.GranularityParagraph, fp.Hashes()); err != nil {
+		return Verdict{}, err
+	}
 	return e.verdictFor(seg, service, report.Sources, report.CacheHit)
 }
 
 // ObserveDocumentEditFP is ObserveDocumentEdit for a caller-computed
 // fingerprint.
 func (e *Engine) ObserveDocumentEditFP(doc segment.ID, service string, fp *fingerprint.Fingerprint) (Verdict, error) {
+	if end := e.begin(); end != nil {
+		defer end()
+	}
 	if _, err := e.registry.ObserveSegment(doc, service); err != nil {
 		return Verdict{}, err
 	}
@@ -222,6 +227,9 @@ func (e *Engine) ObserveDocumentEditFP(doc segment.ID, service string, fp *finge
 		return Verdict{}, err
 	}
 	e.registry.RefreshImplicit(doc, report.SourceSegs())
+	if err := e.journalObserve(doc, service, segment.GranularityDocument, fp.Hashes()); err != nil {
+		return Verdict{}, err
+	}
 	return e.verdictFor(doc, service, report.Sources, report.CacheHit)
 }
 
@@ -234,6 +242,24 @@ func (e *Engine) ObserveBatchFP(service string, items []disclosure.BatchObservat
 	if len(items) == 0 {
 		return nil, nil
 	}
+	if end := e.begin(); end != nil {
+		defer end()
+	}
+	if e.journal != nil {
+		// Normalise text items to caller-computed fingerprints so the
+		// journal records hashes (never text — the same privacy posture
+		// as the wire protocol, §4.4).
+		for i := range items {
+			if items[i].FP == nil {
+				fp, err := e.tracker.Fingerprint(items[i].Text)
+				if err != nil {
+					return nil, err
+				}
+				items[i].FP = fp
+				items[i].Text = ""
+			}
+		}
+	}
 	for _, item := range items {
 		if _, err := e.registry.ObserveSegment(item.Seg, service); err != nil {
 			return nil, err
@@ -242,6 +268,11 @@ func (e *Engine) ObserveBatchFP(service string, items []disclosure.BatchObservat
 	reports, err := e.tracker.ObserveBatch(items)
 	if err != nil {
 		return nil, err
+	}
+	if e.journal != nil {
+		if err := e.journal.ObserveBatch(service, items); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
 	}
 	verdicts := make([]Verdict, len(reports))
 	for i, report := range reports {
@@ -308,13 +339,22 @@ func (e *Engine) CheckText(text, destService string) (Verdict, error) {
 // (accountable declassification at the decision point). It returns the
 // allow verdict.
 func (e *Engine) Override(user string, seg segment.ID, destService, justification string) Verdict {
-	e.registry.Audit().Append(audit.Entry{
+	if end := e.begin(); end != nil {
+		defer end()
+	}
+	entry := e.registry.Audit().Append(audit.Entry{
 		User:          user,
 		Action:        audit.ActionOverride,
 		Segment:       string(seg),
 		Service:       destService,
 		Justification: justification,
 	})
+	if e.journal != nil {
+		// Best effort: Override's signature carries no error. A failed
+		// append leaves the entry in memory, and the next checkpoint
+		// (which captures the audit log wholesale) persists it.
+		_ = e.journal.AuditAppend([]audit.Entry{entry})
+	}
 	return Verdict{Decision: DecisionAllow, Seg: seg, Service: destService}
 }
 

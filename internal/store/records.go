@@ -1,0 +1,301 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"github.com/lsds/browserflow/internal/audit"
+	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/segment"
+	"github.com/lsds/browserflow/internal/tdm"
+	"github.com/lsds/browserflow/internal/wal"
+)
+
+// WAL record types. Observe records are the hot path and use a compact
+// binary encoding; control-plane records (suppressions, tag operations,
+// audit entries) are rare and use JSON for inspectability.
+const (
+	recObserve      byte = 1
+	recObserveBatch byte = 2
+	recSuppress     byte = 3
+	recAllocateTag  byte = 4
+	recAddSegTag    byte = 5
+	recGrantTag     byte = 6
+	recRevokeTag    byte = 7
+	recAudit        byte = 8
+)
+
+// Binary granularity codes for observe records.
+const (
+	granParagraph byte = 1
+	granDocument  byte = 2
+)
+
+func granCode(g segment.Granularity) (byte, error) {
+	switch g {
+	case segment.GranularityParagraph:
+		return granParagraph, nil
+	case segment.GranularityDocument:
+		return granDocument, nil
+	default:
+		return 0, fmt.Errorf("store: unknown granularity %v", g)
+	}
+}
+
+func granFromCode(c byte) (segment.Granularity, error) {
+	switch c {
+	case granParagraph:
+		return segment.GranularityParagraph, nil
+	case granDocument:
+		return segment.GranularityDocument, nil
+	default:
+		return 0, fmt.Errorf("store: unknown granularity code %d", c)
+	}
+}
+
+// appendString appends uvarint(len) | bytes.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// appendHashes appends uvarint(n) | n big-endian uint32s.
+func appendHashes(buf []byte, hs []uint32) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(hs)))
+	for _, h := range hs {
+		buf = binary.BigEndian.AppendUint32(buf, h)
+	}
+	return buf
+}
+
+// reader consumes the binary observe encodings with bounds checking.
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) err(what string) error {
+	return fmt.Errorf("store: truncated WAL record (%s at byte %d)", what, r.off)
+}
+
+func (r *reader) byte(what string) (byte, error) {
+	if r.off >= len(r.data) {
+		return 0, r.err(what)
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, r.err(what)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) string(what string) (string, error) {
+	n, err := r.uvarint(what)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.data)-r.off) {
+		return "", r.err(what)
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *reader) hashes(what string) ([]uint32, error) {
+	n, err := r.uvarint(what)
+	if err != nil {
+		return nil, err
+	}
+	if n*4 > uint64(len(r.data)-r.off) {
+		return nil, r.err(what)
+	}
+	hs := make([]uint32, n)
+	for i := range hs {
+		hs[i] = binary.BigEndian.Uint32(r.data[r.off:])
+		r.off += 4
+	}
+	return hs, nil
+}
+
+func (r *reader) done() error {
+	if r.off != len(r.data) {
+		return fmt.Errorf("store: %d trailing bytes in WAL record", len(r.data)-r.off)
+	}
+	return nil
+}
+
+// observeOp is one decoded singular observation.
+type observeOp struct {
+	Seg     segment.ID
+	Service string
+	G       segment.Granularity
+	Hashes  []uint32
+}
+
+// encodeObserve frames a singular observation:
+//
+//	gran(1) | seg | service | hashes
+//
+// with strings as uvarint-length-prefixed bytes and hashes as
+// uvarint-count-prefixed big-endian uint32s.
+func encodeObserve(seg segment.ID, service string, g segment.Granularity, hashes []uint32) (wal.Record, error) {
+	gc, err := granCode(g)
+	if err != nil {
+		return wal.Record{}, err
+	}
+	buf := make([]byte, 0, 1+10+len(seg)+len(service)+4*len(hashes)+10)
+	buf = append(buf, gc)
+	buf = appendString(buf, string(seg))
+	buf = appendString(buf, service)
+	buf = appendHashes(buf, hashes)
+	return wal.Record{Type: recObserve, Data: buf}, nil
+}
+
+func decodeObserve(data []byte) (observeOp, error) {
+	r := &reader{data: data}
+	gc, err := r.byte("granularity")
+	if err != nil {
+		return observeOp{}, err
+	}
+	g, err := granFromCode(gc)
+	if err != nil {
+		return observeOp{}, err
+	}
+	seg, err := r.string("segment")
+	if err != nil {
+		return observeOp{}, err
+	}
+	svc, err := r.string("service")
+	if err != nil {
+		return observeOp{}, err
+	}
+	hs, err := r.hashes("hashes")
+	if err != nil {
+		return observeOp{}, err
+	}
+	if err := r.done(); err != nil {
+		return observeOp{}, err
+	}
+	return observeOp{Seg: segment.ID(seg), Service: svc, G: g, Hashes: hs}, nil
+}
+
+// encodeObserveBatch frames a batched flush:
+//
+//	service | uvarint(nItems) | nItems × (gran(1) | seg | hashes)
+func encodeObserveBatch(service string, items []disclosure.BatchObservation) (wal.Record, error) {
+	buf := make([]byte, 0, 16+len(service)+len(items)*64)
+	buf = appendString(buf, service)
+	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	for i, item := range items {
+		if item.FP == nil {
+			return wal.Record{}, fmt.Errorf("store: batch item %d has no fingerprint", i)
+		}
+		g := item.Granularity
+		if g == 0 {
+			g = segment.GranularityParagraph
+		}
+		gc, err := granCode(g)
+		if err != nil {
+			return wal.Record{}, err
+		}
+		buf = append(buf, gc)
+		buf = appendString(buf, string(item.Seg))
+		buf = appendHashes(buf, item.FP.Hashes())
+	}
+	return wal.Record{Type: recObserveBatch, Data: buf}, nil
+}
+
+func decodeObserveBatch(data []byte) (string, []disclosure.BatchObservation, error) {
+	r := &reader{data: data}
+	svc, err := r.string("service")
+	if err != nil {
+		return "", nil, err
+	}
+	n, err := r.uvarint("item count")
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(data)) { // each item takes at least one byte
+		return "", nil, fmt.Errorf("store: WAL batch record claims %d items in %d bytes", n, len(data))
+	}
+	items := make([]disclosure.BatchObservation, 0, n)
+	for i := uint64(0); i < n; i++ {
+		gc, err := r.byte("granularity")
+		if err != nil {
+			return "", nil, err
+		}
+		g, err := granFromCode(gc)
+		if err != nil {
+			return "", nil, err
+		}
+		seg, err := r.string("segment")
+		if err != nil {
+			return "", nil, err
+		}
+		hs, err := r.hashes("hashes")
+		if err != nil {
+			return "", nil, err
+		}
+		items = append(items, disclosure.BatchObservation{
+			Seg:         segment.ID(seg),
+			FP:          fingerprint.FromHashes(hs),
+			Granularity: g,
+		})
+	}
+	if err := r.done(); err != nil {
+		return "", nil, err
+	}
+	return svc, items, nil
+}
+
+// controlOp is the JSON form of the rare control-plane mutations.
+type controlOp struct {
+	User          string     `json:"user,omitempty"`
+	Seg           segment.ID `json:"seg,omitempty"`
+	Tag           tdm.Tag    `json:"tag,omitempty"`
+	Service       string     `json:"service,omitempty"`
+	Justification string     `json:"justification,omitempty"`
+}
+
+func encodeControl(typ byte, op controlOp) (wal.Record, error) {
+	data, err := json.Marshal(op)
+	if err != nil {
+		return wal.Record{}, fmt.Errorf("store: encode control record: %w", err)
+	}
+	return wal.Record{Type: typ, Data: data}, nil
+}
+
+func decodeControl(data []byte) (controlOp, error) {
+	var op controlOp
+	if err := json.Unmarshal(data, &op); err != nil {
+		return controlOp{}, fmt.Errorf("store: decode control record: %w", err)
+	}
+	return op, nil
+}
+
+// encodeAudit frames audit entries verbatim (original Seq and Time).
+func encodeAudit(entries []audit.Entry) (wal.Record, error) {
+	data, err := json.Marshal(entries)
+	if err != nil {
+		return wal.Record{}, fmt.Errorf("store: encode audit record: %w", err)
+	}
+	return wal.Record{Type: recAudit, Data: data}, nil
+}
+
+func decodeAudit(data []byte) ([]audit.Entry, error) {
+	var entries []audit.Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("store: decode audit record: %w", err)
+	}
+	return entries, nil
+}

@@ -9,9 +9,11 @@ import (
 	"crypto/cipher"
 	"crypto/rand"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"github.com/lsds/browserflow/internal/disclosure"
 	"github.com/lsds/browserflow/internal/index"
 	"github.com/lsds/browserflow/internal/tdm"
+	"github.com/lsds/browserflow/internal/wal"
 )
 
 // SnapshotVersion is the current on-disk format version.
@@ -29,8 +32,36 @@ const SnapshotVersion = 1
 // keys vs plaintext files.
 var magic = []byte("BFLOWENC")
 
+// plainMagic prefixes integrity-framed plaintext snapshots. Encrypted
+// files get integrity from the GCM tag; plaintext files carry an explicit
+// header so torn or bit-flipped snapshots are detected instead of being
+// half-parsed:
+//
+//	BFLOWSNP(8) | version(1) | payloadLen(8 BE) | crc32c(4) | JSON payload
+//
+// Files with neither magic are treated as legacy bare-JSON snapshots.
+var plainMagic = []byte("BFLOWSNP")
+
+// plainHeaderSize is the fixed-size prefix before the JSON payload.
+const plainHeaderSize = 8 + 1 + 8 + 4
+
+// crcTable is the Castagnoli table shared with the WAL framing.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
 // ErrBadKey reports that decryption failed (wrong key or corrupted file).
 var ErrBadKey = errors.New("store: cannot decrypt snapshot (wrong key or corrupt file)")
+
+// CorruptSnapshotError reports an integrity failure in a plaintext
+// snapshot, pointing at the first offending byte.
+type CorruptSnapshotError struct {
+	Path   string
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptSnapshotError) Error() string {
+	return fmt.Sprintf("store: snapshot %s corrupt/truncated at byte %d: %s", e.Path, e.Offset, e.Reason)
+}
 
 // Snapshot is the complete serialisable state of a BrowserFlow deployment.
 type Snapshot struct {
@@ -40,6 +71,12 @@ type Snapshot struct {
 	Documents  index.ExportData `json:"documents"`
 	Registry   tdm.ExportData   `json:"registry"`
 	Audit      []audit.Entry    `json:"audit"`
+
+	// WALSeg is the write-ahead-log epoch barrier this snapshot covers:
+	// every mutation journalled in WAL segments < WALSeg is included,
+	// everything >= WALSeg must be replayed on top. Zero for snapshots
+	// written outside the durability subsystem.
+	WALSeg uint64 `json:"walSeg,omitempty"`
 }
 
 // Capture snapshots a tracker and registry.
@@ -79,55 +116,154 @@ func DeriveKey(passphrase string) []byte {
 	return sum[:]
 }
 
-// Save writes the snapshot to path atomically (write-to-temp + rename). A
-// nil key writes plaintext JSON; otherwise the payload is sealed with
+// Save writes the snapshot to path atomically and durably: the temp file
+// is fsynced before the rename, and the parent directory afterwards, so a
+// crash leaves either the old snapshot or the complete new one — never a
+// renamed-but-unwritten file. A nil key writes plaintext JSON behind a
+// BFLOWSNP integrity header; otherwise the payload is sealed with
 // AES-256-GCM.
 func Save(path string, s Snapshot, key []byte) error {
-	plain, err := json.Marshal(s)
+	return SaveFS(wal.OSFS{}, path, s, key)
+}
+
+// SaveFS is Save over an explicit filesystem (for crash-injection tests).
+func SaveFS(fs wal.FS, path string, s Snapshot, key []byte) error {
+	data, err := encodeSnapshot(s, key)
 	if err != nil {
-		return fmt.Errorf("marshal snapshot: %w", err)
+		return err
 	}
-	data := plain
-	if key != nil {
-		if data, err = seal(plain, key); err != nil {
-			return err
-		}
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".bfstore-*")
+	tmpName, err := writeTemp(fs, path, data)
 	if err != nil {
-		return fmt.Errorf("create temp: %w", err)
+		return err
 	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("write snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("close snapshot: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fs.Rename(tmpName, path); err != nil {
+		fs.Remove(tmpName)
 		return fmt.Errorf("rename snapshot: %w", err)
+	}
+	if err := fs.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("sync snapshot dir: %w", err)
 	}
 	return nil
 }
 
+// encodeSnapshot marshals and frames (or seals) a snapshot.
+func encodeSnapshot(s Snapshot, key []byte) ([]byte, error) {
+	plain, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("marshal snapshot: %w", err)
+	}
+	if key != nil {
+		return seal(plain, key)
+	}
+	return framePlain(plain), nil
+}
+
+// framePlain wraps a JSON payload in the BFLOWSNP integrity header.
+func framePlain(payload []byte) []byte {
+	out := make([]byte, 0, plainHeaderSize+len(payload))
+	out = append(out, plainMagic...)
+	out = append(out, SnapshotVersion)
+	out = binary.BigEndian.AppendUint64(out, uint64(len(payload)))
+	out = binary.BigEndian.AppendUint32(out, crc32.Checksum(payload, crcTable))
+	return append(out, payload...)
+}
+
+// unframePlain validates a BFLOWSNP header and returns the JSON payload.
+func unframePlain(path string, data []byte) ([]byte, error) {
+	if len(data) < plainHeaderSize {
+		return nil, &CorruptSnapshotError{Path: path, Offset: int64(len(data)), Reason: "truncated header"}
+	}
+	if v := data[8]; v != SnapshotVersion {
+		return nil, &CorruptSnapshotError{Path: path, Offset: 8, Reason: fmt.Sprintf("unsupported snapshot format version %d", v)}
+	}
+	plen := binary.BigEndian.Uint64(data[9:17])
+	want := binary.BigEndian.Uint32(data[17:21])
+	body := data[plainHeaderSize:]
+	if plen != uint64(len(body)) {
+		off := int64(plainHeaderSize) + int64(len(body))
+		reason := fmt.Sprintf("payload length %d, header claims %d", len(body), plen)
+		if plen > uint64(len(body)) {
+			reason = fmt.Sprintf("truncated payload: %d of %d bytes", len(body), plen)
+		}
+		return nil, &CorruptSnapshotError{Path: path, Offset: off, Reason: reason}
+	}
+	if got := crc32.Checksum(body, crcTable); got != want {
+		// Point at the first differing region we can name: the checksum
+		// covers the whole payload, so report its start.
+		return nil, &CorruptSnapshotError{Path: path, Offset: plainHeaderSize,
+			Reason: fmt.Sprintf("payload checksum mismatch (got %08x, want %08x)", got, want)}
+	}
+	return body, nil
+}
+
+// writeTemp writes data to a unique temp file next to path, fsyncing it
+// before returning its name.
+func writeTemp(fs wal.FS, path string, data []byte) (string, error) {
+	dir := filepath.Dir(path)
+	for attempt := 0; ; attempt++ {
+		var suffix [6]byte
+		if _, err := rand.Read(suffix[:]); err != nil {
+			return "", fmt.Errorf("temp name: %w", err)
+		}
+		tmpName := filepath.Join(dir, fmt.Sprintf(".bfstore-%x.tmp", suffix))
+		f, err := fs.OpenFile(tmpName, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
+		if err != nil {
+			if os.IsExist(err) && attempt < 5 {
+				continue
+			}
+			return "", fmt.Errorf("create temp: %w", err)
+		}
+		if _, err := f.Write(data); err != nil {
+			f.Close()
+			fs.Remove(tmpName)
+			return "", fmt.Errorf("write snapshot: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			fs.Remove(tmpName)
+			return "", fmt.Errorf("fsync snapshot: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			fs.Remove(tmpName)
+			return "", fmt.Errorf("close snapshot: %w", err)
+		}
+		return tmpName, nil
+	}
+}
+
 // Load reads a snapshot from path. The key must match the one used by Save
-// (nil for plaintext files).
+// (nil for plaintext files). Plaintext files without the BFLOWSNP header
+// are accepted as legacy bare-JSON snapshots.
 func Load(path string, key []byte) (Snapshot, error) {
-	data, err := os.ReadFile(path)
+	return LoadFS(wal.OSFS{}, path, key)
+}
+
+// LoadFS is Load over an explicit filesystem.
+func LoadFS(fs wal.FS, path string, key []byte) (Snapshot, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return Snapshot{}, fmt.Errorf("read snapshot: %w", err)
 	}
-	if len(data) >= len(magic) && string(data[:len(magic)]) == string(magic) {
+	return decodeSnapshot(path, data, key)
+}
+
+// decodeSnapshot reverses encodeSnapshot (with legacy bare-JSON fallback).
+func decodeSnapshot(path string, data []byte, key []byte) (Snapshot, error) {
+	var err error
+	switch {
+	case len(data) >= len(magic) && string(data[:len(magic)]) == string(magic):
 		if key == nil {
 			return Snapshot{}, ErrBadKey
 		}
 		if data, err = open(data, key); err != nil {
 			return Snapshot{}, err
 		}
+	case len(data) >= len(plainMagic) && string(data[:len(plainMagic)]) == string(plainMagic):
+		if data, err = unframePlain(path, data); err != nil {
+			return Snapshot{}, err
+		}
+	default:
+		// Legacy plaintext snapshot: bare JSON, no integrity header.
 	}
 	var s Snapshot
 	if err := json.Unmarshal(data, &s); err != nil {

@@ -29,6 +29,7 @@ import (
 	"github.com/lsds/browserflow/internal/fingerprint"
 	"github.com/lsds/browserflow/internal/policy"
 	"github.com/lsds/browserflow/internal/segment"
+	"github.com/lsds/browserflow/internal/store"
 	"github.com/lsds/browserflow/internal/tdm"
 )
 
@@ -122,6 +123,22 @@ type HealthResponse struct {
 	Status   string `json:"status"`
 	Uptime   string `json:"uptime"`
 	Segments int    `json:"segments"`
+
+	// Durability summarises the WAL + checkpoint subsystem; nil when the
+	// server runs without a durability layer.
+	Durability *HealthDurability `json:"durability,omitempty"`
+}
+
+// HealthDurability is the /healthz view of the durability subsystem.
+type HealthDurability struct {
+	WALRecords        int64  `json:"walRecords"`
+	WALSegments       int    `json:"walSegments"`
+	Fsyncs            int64  `json:"fsyncs"`
+	Checkpoints       int64  `json:"checkpoints"`
+	CheckpointErrors  int64  `json:"checkpointErrors"`
+	LastCheckpointAge string `json:"lastCheckpointAge,omitempty"`
+	RecordsReplayed   int64  `json:"recordsReplayed"`
+	CheckpointLoaded  string `json:"checkpointLoaded,omitempty"`
 }
 
 // DefaultMaxBodyBytes bounds request bodies accepted by the service
@@ -142,12 +159,20 @@ func WithMaxBodyBytes(n int64) ServerOption {
 	}
 }
 
+// WithDurabilityStats exposes the durability subsystem's statistics on
+// /metrics (Prometheus gauges/counters) and /healthz. Pass
+// (*store.Durable).Stats.
+func WithDurabilityStats(fn func() store.DurabilityStats) ServerOption {
+	return func(s *Server) { s.durability = fn }
+}
+
 // Server is the shared tag service. It is safe for concurrent use.
 type Server struct {
-	engine  *policy.Engine
-	mux     *http.ServeMux
-	maxBody int64
-	started time.Time
+	engine     *policy.Engine
+	mux        *http.ServeMux
+	maxBody    int64
+	started    time.Time
+	durability func() store.DurabilityStats
 
 	// Operational counters, exported in Prometheus text format at
 	// /metrics.
@@ -182,9 +207,15 @@ func NewServer(engine *policy.Engine, opts ...ServerOption) (*Server, error) {
 	s.mux.HandleFunc("/v1/label", s.handleLabel)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s, nil
 }
+
+// Observes returns the number of observations served (batch items count
+// individually). The bftagd save trigger uses it so batched flushes weigh
+// by their size instead of counting as one request.
+func (s *Server) Observes() int64 { return s.observes.Load() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -214,7 +245,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
 	s.observes.Add(1)
@@ -260,7 +291,7 @@ func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	verdicts, err := s.engine.ObserveBatchFP(req.Service, items)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
 	s.observes.Add(int64(len(verdicts)))
@@ -315,12 +346,26 @@ func (s *Server) handleSuppress(w http.ResponseWriter, r *http.Request) {
 	if !s.decodePost(w, r, &req) {
 		return
 	}
-	if err := s.engine.Registry().SuppressTag(req.User, req.Seg, req.Tag, req.Justification); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	// Route through the engine (not Registry().SuppressTag directly) so the
+	// declassification and its audit record hit the durability journal and
+	// survive a crash.
+	if err := s.engine.Suppress(req.User, req.Seg, req.Tag, req.Justification); err != nil {
+		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
 	s.suppressions.Add(1)
 	writeJSON(w, map[string]bool{"ok": true})
+}
+
+// statusFor maps engine errors to HTTP statuses: journal append failures
+// mean the mutation's durability is not guaranteed, so the request must
+// not be acknowledged (503 invites a retry); everything else is a caller
+// error.
+func statusFor(err error) int {
+	if errors.Is(err, policy.ErrJournal) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
 }
 
 func (s *Server) countViolation(v policy.Verdict) {
@@ -342,6 +387,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE browserflow_segments gauge\nbrowserflow_segments %d\n", stats.Segments)
 	fmt.Fprintf(w, "# TYPE browserflow_distinct_hashes gauge\nbrowserflow_distinct_hashes %d\n", stats.DistinctHashes)
 	fmt.Fprintf(w, "# TYPE browserflow_audit_entries gauge\nbrowserflow_audit_entries %d\n", s.engine.Registry().Audit().Len())
+	if s.durability != nil {
+		d := s.durability()
+		fmt.Fprintf(w, "# TYPE browserflow_wal_records_total counter\nbrowserflow_wal_records_total %d\n", d.WAL.RecordsAppended)
+		fmt.Fprintf(w, "# TYPE browserflow_wal_bytes_total counter\nbrowserflow_wal_bytes_total %d\n", d.WAL.BytesAppended)
+		fmt.Fprintf(w, "# TYPE browserflow_wal_fsyncs_total counter\nbrowserflow_wal_fsyncs_total %d\n", d.WAL.Fsyncs)
+		fmt.Fprintf(w, "# TYPE browserflow_wal_fsync_latency_seconds summary\n")
+		fmt.Fprintf(w, "browserflow_wal_fsync_latency_seconds{quantile=\"0.5\"} %g\n", d.WAL.FsyncLatency.P50.Seconds())
+		fmt.Fprintf(w, "browserflow_wal_fsync_latency_seconds{quantile=\"0.95\"} %g\n", d.WAL.FsyncLatency.P95.Seconds())
+		fmt.Fprintf(w, "browserflow_wal_fsync_latency_seconds{quantile=\"0.99\"} %g\n", d.WAL.FsyncLatency.P99.Seconds())
+		fmt.Fprintf(w, "# TYPE browserflow_wal_segments gauge\nbrowserflow_wal_segments %d\n", d.WAL.Segments)
+		fmt.Fprintf(w, "# TYPE browserflow_wal_torn_bytes_truncated gauge\nbrowserflow_wal_torn_bytes_truncated %d\n", d.WAL.TornBytesTruncated)
+		fmt.Fprintf(w, "# TYPE browserflow_checkpoints_total counter\nbrowserflow_checkpoints_total %d\n", d.Checkpoints)
+		fmt.Fprintf(w, "# TYPE browserflow_checkpoint_errors_total counter\nbrowserflow_checkpoint_errors_total %d\n", d.CheckpointErrors)
+		if !d.LastCheckpointAt.IsZero() {
+			fmt.Fprintf(w, "# TYPE browserflow_last_checkpoint_age_seconds gauge\nbrowserflow_last_checkpoint_age_seconds %g\n",
+				time.Since(d.LastCheckpointAt).Seconds())
+		}
+		fmt.Fprintf(w, "# TYPE browserflow_recovery_records_replayed gauge\nbrowserflow_recovery_records_replayed %d\n", d.Recovery.RecordsReplayed)
+		fmt.Fprintf(w, "# TYPE browserflow_recovery_corrupt_checkpoints gauge\nbrowserflow_recovery_corrupt_checkpoints %d\n", d.Recovery.CorruptCheckpoints)
+	}
 }
 
 func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
@@ -376,11 +441,28 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // decision traffic again.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	stats := s.engine.Tracker().Paragraphs().Stats()
-	writeJSON(w, HealthResponse{
+	resp := HealthResponse{
 		Status:   "ok",
 		Uptime:   time.Since(s.started).Round(time.Second).String(),
 		Segments: stats.Segments,
-	})
+	}
+	if s.durability != nil {
+		d := s.durability()
+		hd := &HealthDurability{
+			WALRecords:       d.WAL.RecordsAppended,
+			WALSegments:      d.WAL.Segments,
+			Fsyncs:           d.WAL.Fsyncs,
+			Checkpoints:      d.Checkpoints,
+			CheckpointErrors: d.CheckpointErrors,
+			RecordsReplayed:  d.Recovery.RecordsReplayed,
+			CheckpointLoaded: d.Recovery.CheckpointLoaded,
+		}
+		if !d.LastCheckpointAt.IsZero() {
+			hd.LastCheckpointAge = time.Since(d.LastCheckpointAt).Round(time.Second).String()
+		}
+		resp.Durability = hd
+	}
+	writeJSON(w, resp)
 }
 
 // decodePost decodes a JSON POST body, bounding it with MaxBytesReader:

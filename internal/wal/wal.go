@@ -1,0 +1,695 @@
+// Package wal implements the append-only write-ahead log behind
+// BrowserFlow's crash-safe durability: every state mutation accepted by the
+// shared tag service is journalled here before (or, for relaxed fsync
+// policies, shortly after) the client is acknowledged, so that a crash
+// loses at most the un-synced suffix of the log — never a previously
+// synced observation, suppression or audit record.
+//
+// # On-disk format
+//
+// The log is a directory of segment files named wal-%016x.log. Each
+// segment starts with a 17-byte header:
+//
+//	offset  size  field
+//	0       8     magic "BFWALSEG"
+//	8       1     format version (1)
+//	9       8     segment index, big-endian
+//
+// followed by length-prefixed, CRC-framed records:
+//
+//	offset  size  field
+//	0       4     CRC32C (Castagnoli) over bytes 4..end of frame
+//	4       4     payload length, big-endian
+//	8       1     record type (application-defined)
+//	9       n     payload
+//
+// # Recovery semantics
+//
+// Open scans every segment. A bad frame in the *newest* segment is a torn
+// tail — the expected signature of a crash mid-write — and the segment is
+// truncated at the first bad byte. A bad frame (or bad header) in any
+// older segment is mid-log corruption: Open fails with *CorruptError
+// rather than silently dropping interior records, because replaying around
+// a hole would resurrect a state the log never contained. Appends always
+// go to a fresh segment, so a recovered (truncated) tail is never written
+// to again.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/lsds/browserflow/internal/metrics"
+)
+
+// Segment header constants.
+const (
+	segMagic      = "BFWALSEG"
+	formatVersion = 1
+	headerSize    = 8 + 1 + 8
+	frameOverhead = 4 + 4 + 1
+)
+
+// DefaultSegmentBytes is the rotation threshold used when Options leaves
+// SegmentBytes zero.
+const DefaultSegmentBytes = 4 << 20
+
+// DefaultMaxRecordBytes bounds a single record payload; longer lengths in
+// a frame header are treated as corruption.
+const DefaultMaxRecordBytes = 16 << 20
+
+// DefaultSyncInterval is the group-commit cadence of SyncInterval when
+// Options leaves Interval zero.
+const DefaultSyncInterval = 50 * time.Millisecond
+
+// castagnoli is the CRC32C table (the polynomial used by ext4, iSCSI and
+// most storage formats; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs on every Append before it returns: an
+	// acknowledged record survives kill -9 and power loss.
+	SyncAlways SyncPolicy = iota + 1
+
+	// SyncInterval batches fsyncs on a timer (group commit): Append
+	// returns after the OS write; a crash loses at most one interval of
+	// acknowledged records.
+	SyncInterval
+
+	// SyncNone never fsyncs (the OS flushes at its leisure): fastest, and
+	// a crash may lose everything since the last OS writeback.
+	SyncNone
+)
+
+// String implements fmt.Stringer.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("syncpolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy converts a -fsync flag value to a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or none)", s)
+	}
+}
+
+// Record is one journalled entry: an application-defined type byte and an
+// opaque payload.
+type Record struct {
+	Type byte
+	Data []byte
+}
+
+// CorruptError reports mid-log corruption that recovery must not paper
+// over.
+type CorruptError struct {
+	Path   string
+	Offset int64
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: %s corrupt at byte %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the log directory (created if missing).
+	Dir string
+
+	// FS is the filesystem to write through; nil means OSFS.
+	FS FS
+
+	// Policy selects the fsync policy; zero means SyncAlways.
+	Policy SyncPolicy
+
+	// Interval is the group-commit cadence for SyncInterval (default
+	// DefaultSyncInterval).
+	Interval time.Duration
+
+	// SegmentBytes rotates to a new segment past this size (default
+	// DefaultSegmentBytes).
+	SegmentBytes int64
+
+	// MinSegment is the lowest index the fresh append segment may take.
+	// Recovery passes checkpointBarrier+1 so that new appends can never
+	// land below an installed checkpoint's epoch — even when every
+	// segment file was lost in a crash (possible under SyncNone, whose
+	// directory entries are never fsynced).
+	MinSegment uint64
+
+	// MaxRecordBytes bounds one record payload (default
+	// DefaultMaxRecordBytes).
+	MaxRecordBytes int
+
+	// Logf, when set, receives recovery notes (torn tails truncated,
+	// segments removed).
+	Logf func(format string, args ...interface{})
+}
+
+func (o *Options) withDefaults() Options {
+	opts := *o
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	if opts.Policy == 0 {
+		opts.Policy = SyncAlways
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultSyncInterval
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.MaxRecordBytes <= 0 {
+		opts.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...interface{}) {}
+	}
+	return opts
+}
+
+// Stats is a point-in-time summary of the log, exported as durability
+// metrics.
+type Stats struct {
+	// RecordsAppended and BytesAppended count Appends by this process.
+	RecordsAppended int64
+	BytesAppended   int64
+
+	// Fsyncs counts file syncs; FsyncLatency summarises their duration.
+	Fsyncs       int64
+	FsyncLatency metrics.Summary
+
+	// Segments is the number of live segment files; CurrentSegment is the
+	// index appends go to.
+	Segments       int
+	CurrentSegment uint64
+
+	// RecoveredRecords is the number of valid records found on disk at
+	// Open; TornBytesTruncated is how many trailing bytes the torn-tail
+	// scan discarded.
+	RecoveredRecords   int64
+	TornBytesTruncated int64
+}
+
+// Log is an append-only, CRC-framed, segmented write-ahead log. It is safe
+// for concurrent use.
+type Log struct {
+	opts Options
+	fs   FS
+
+	mu      sync.Mutex
+	cur     File
+	curSeg  uint64
+	curSize int64
+	segs    []uint64 // live segment indexes, ascending (includes curSeg)
+	dirty   bool     // bytes written since the last sync
+	closed  bool
+
+	records   int64
+	bytes     int64
+	fsyncs    int64
+	recovered int64
+	tornBytes int64
+	fsyncLat  *metrics.Recorder
+
+	stopFlush chan struct{}
+	flushDone chan struct{}
+}
+
+// SegmentName returns the file name of segment idx.
+func SegmentName(idx uint64) string {
+	return fmt.Sprintf("wal-%016x.log", idx)
+}
+
+// parseSegmentName inverts SegmentName.
+func parseSegmentName(name string) (uint64, bool) {
+	var idx uint64
+	if _, err := fmt.Sscanf(name, "wal-%016x.log", &idx); err != nil {
+		return 0, false
+	}
+	if name != SegmentName(idx) {
+		return 0, false
+	}
+	return idx, true
+}
+
+// Open validates the log directory (truncating a torn tail, failing on
+// mid-log corruption), then creates a fresh segment for appends.
+func Open(o Options) (*Log, error) {
+	opts := o.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("wal: Dir is required")
+	}
+	if err := opts.FS.MkdirAll(opts.Dir, 0o700); err != nil {
+		return nil, fmt.Errorf("wal: mkdir: %w", err)
+	}
+	l := &Log{
+		opts:     opts,
+		fs:       opts.FS,
+		fsyncLat: metrics.NewRecorder(),
+	}
+
+	segs, err := ListSegments(opts.FS, opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	// Validate every segment up front: strict for all but the newest,
+	// torn-tail truncation for the newest.
+	for i, idx := range segs {
+		path := filepath.Join(opts.Dir, SegmentName(idx))
+		data, err := opts.FS.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: read %s: %w", path, err)
+		}
+		recs, validLen, scanErr := scanSegment(data, idx, opts.MaxRecordBytes)
+		last := i == len(segs)-1
+		if scanErr != nil && !last {
+			return nil, &CorruptError{Path: path, Offset: int64(validLen), Reason: scanErr.Error()}
+		}
+		if scanErr != nil {
+			// Torn tail on the newest segment: truncate at the first bad
+			// byte. A segment whose header never made it to disk intact
+			// carries no records at all and is removed outright.
+			if validLen < headerSize {
+				opts.Logf("wal: removing torn segment %s (%s)", path, scanErr)
+				l.tornBytes += int64(len(data))
+				if err := opts.FS.Remove(path); err != nil {
+					return nil, fmt.Errorf("wal: remove torn segment: %w", err)
+				}
+				segs[i] = 0 // mark removed
+				continue
+			}
+			opts.Logf("wal: truncating torn tail of %s at byte %d (%s)", path, validLen, scanErr)
+			l.tornBytes += int64(len(data) - validLen)
+			if err := opts.FS.Truncate(path, int64(validLen)); err != nil {
+				return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+		}
+		l.recovered += int64(len(recs))
+	}
+	live := segs[:0]
+	for _, idx := range segs {
+		if idx != 0 {
+			live = append(live, idx)
+		}
+	}
+	l.segs = append([]uint64(nil), live...)
+
+	next := uint64(1)
+	if n := len(l.segs); n > 0 {
+		next = l.segs[n-1] + 1
+	}
+	if next < opts.MinSegment {
+		next = opts.MinSegment
+	}
+	if err := l.createSegmentLocked(next); err != nil {
+		return nil, err
+	}
+	if opts.Policy == SyncInterval {
+		l.stopFlush = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+// ListSegments returns the segment indexes present in dir, ascending.
+func ListSegments(fs FS, dir string) ([]uint64, error) {
+	names, err := fs.ReadDirNames(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+	var segs []uint64
+	for _, name := range names {
+		if idx, ok := parseSegmentName(name); ok {
+			segs = append(segs, idx)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// RemoveSegmentsBelow deletes every segment file in dir with an index
+// strictly below seg. Recovery uses it to clear segments already covered
+// by a checkpoint before Open's strict mid-log validation runs.
+func RemoveSegmentsBelow(fs FS, dir string, seg uint64) (removed int, err error) {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	segs, err := ListSegments(fs, dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, idx := range segs {
+		if idx >= seg {
+			break
+		}
+		if err := fs.Remove(filepath.Join(dir, SegmentName(idx))); err != nil {
+			return removed, fmt.Errorf("wal: remove obsolete segment: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := fs.SyncDir(dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// scanSegment parses one segment image. It returns the records up to the
+// first invalid byte, the number of valid bytes, and a non-nil error
+// describing the first problem (nil when the whole image is valid).
+func scanSegment(data []byte, wantIdx uint64, maxRecord int) ([]Record, int, error) {
+	if len(data) < headerSize {
+		return nil, 0, fmt.Errorf("short header: %d bytes", len(data))
+	}
+	if string(data[:8]) != segMagic {
+		return nil, 0, fmt.Errorf("bad magic %q", data[:8])
+	}
+	if data[8] != formatVersion {
+		return nil, 0, fmt.Errorf("unsupported format version %d", data[8])
+	}
+	if idx := binary.BigEndian.Uint64(data[9:17]); idx != wantIdx {
+		return nil, 0, fmt.Errorf("segment index %d does not match file name (%d)", idx, wantIdx)
+	}
+	var recs []Record
+	off := headerSize
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameOverhead {
+			return recs, off, fmt.Errorf("truncated frame header (%d bytes)", len(rest))
+		}
+		wantCRC := binary.BigEndian.Uint32(rest[0:4])
+		length := binary.BigEndian.Uint32(rest[4:8])
+		if int64(length) > int64(maxRecord) {
+			return recs, off, fmt.Errorf("frame length %d exceeds limit %d", length, maxRecord)
+		}
+		total := frameOverhead + int(length)
+		if len(rest) < total {
+			return recs, off, fmt.Errorf("truncated frame: have %d of %d bytes", len(rest), total)
+		}
+		if crc := crc32.Checksum(rest[4:total], castagnoli); crc != wantCRC {
+			return recs, off, fmt.Errorf("frame CRC mismatch (want %08x, have %08x)", wantCRC, crc)
+		}
+		recs = append(recs, Record{
+			Type: rest[8],
+			Data: append([]byte(nil), rest[frameOverhead:total]...),
+		})
+		off += total
+	}
+	return recs, off, nil
+}
+
+// EncodeFrame frames one record (exported for tests and tools).
+func EncodeFrame(rec Record) []byte {
+	buf := make([]byte, frameOverhead+len(rec.Data))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(rec.Data)))
+	buf[8] = rec.Type
+	copy(buf[frameOverhead:], rec.Data)
+	binary.BigEndian.PutUint32(buf[0:4], crc32.Checksum(buf[4:], castagnoli))
+	return buf
+}
+
+// createSegmentLocked opens segment idx for appending: header written,
+// file synced, directory entry synced. Callers hold l.mu (or are Open).
+func (l *Log) createSegmentLocked(idx uint64) error {
+	path := filepath.Join(l.opts.Dir, SegmentName(idx))
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	hdr := make([]byte, headerSize)
+	copy(hdr, segMagic)
+	hdr[8] = formatVersion
+	binary.BigEndian.PutUint64(hdr[9:17], idx)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write segment header: %w", err)
+	}
+	if l.opts.Policy != SyncNone {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: sync segment header: %w", err)
+		}
+		if err := l.fs.SyncDir(l.opts.Dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if l.cur != nil {
+		l.cur.Close()
+	}
+	l.cur = f
+	l.curSeg = idx
+	l.curSize = headerSize
+	l.segs = append(l.segs, idx)
+	return nil
+}
+
+// Append journals one record. Under SyncAlways the record is durable when
+// Append returns; under SyncInterval it becomes durable within one
+// group-commit interval; under SyncNone whenever the OS flushes.
+func (l *Log) Append(rec Record) error {
+	if len(rec.Data) > l.opts.MaxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(rec.Data), l.opts.MaxRecordBytes)
+	}
+	frame := EncodeFrame(rec)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.curSize > headerSize && l.curSize+int64(len(frame)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.cur.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.curSize += int64(len(frame))
+	l.records++
+	l.bytes += int64(len(frame))
+	l.dirty = true
+	if l.opts.Policy == SyncAlways {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// syncLocked fsyncs the current segment. Callers hold l.mu.
+func (l *Log) syncLocked() error {
+	start := time.Now()
+	if err := l.cur.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.fsyncLat.Add(time.Since(start))
+	l.fsyncs++
+	l.dirty = false
+	return nil
+}
+
+// Sync forces an fsync regardless of policy (shutdown flush).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+// rotateLocked syncs and closes the current segment and opens the next.
+func (l *Log) rotateLocked() error {
+	if l.opts.Policy != SyncNone || l.dirty {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	return l.createSegmentLocked(l.curSeg + 1)
+}
+
+// Rotate forces a rotation to a fresh segment and returns its index: every
+// record appended before Rotate lives in a segment with a strictly smaller
+// index. The checkpointer uses this as its epoch barrier.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if err := l.rotateLocked(); err != nil {
+		return 0, err
+	}
+	return l.curSeg, nil
+}
+
+// TruncateBefore removes every segment with an index strictly below seg
+// (the current segment is never removed). The checkpointer calls it after
+// a checkpoint covering those segments is durably installed.
+func (l *Log) TruncateBefore(seg uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	var (
+		kept     []uint64
+		removed  int
+		firstErr error
+	)
+	for _, idx := range l.segs {
+		if idx < seg && idx != l.curSeg && firstErr == nil {
+			if err := l.fs.Remove(filepath.Join(l.opts.Dir, SegmentName(idx))); err != nil {
+				firstErr = fmt.Errorf("wal: truncate: %w", err)
+				kept = append(kept, idx)
+				continue
+			}
+			removed++
+			continue
+		}
+		kept = append(kept, idx)
+	}
+	l.segs = kept
+	if removed > 0 {
+		if err := l.fs.SyncDir(l.opts.Dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Replay streams every record in segments with index >= fromSeg, oldest
+// first, to fn. It reads from disk, so it reflects exactly what a restart
+// would see; records appended after Replay begins may or may not be
+// included.
+func (l *Log) Replay(fromSeg uint64, fn func(seg uint64, rec Record) error) error {
+	l.mu.Lock()
+	segs := append([]uint64(nil), l.segs...)
+	l.mu.Unlock()
+	for _, idx := range segs {
+		if idx < fromSeg {
+			continue
+		}
+		path := filepath.Join(l.opts.Dir, SegmentName(idx))
+		data, err := l.fs.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("wal: replay read %s: %w", path, err)
+		}
+		recs, validLen, scanErr := scanSegment(data, idx, l.opts.MaxRecordBytes)
+		if scanErr != nil && idx != l.curSeg {
+			return &CorruptError{Path: path, Offset: int64(validLen), Reason: scanErr.Error()}
+		}
+		for _, rec := range recs {
+			if err := fn(idx, rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CurrentSegment returns the index appends currently go to.
+func (l *Log) CurrentSegment() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.curSeg
+}
+
+// Stats returns a point-in-time summary.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		RecordsAppended:    l.records,
+		BytesAppended:      l.bytes,
+		Fsyncs:             l.fsyncs,
+		FsyncLatency:       l.fsyncLat.Summarize(),
+		Segments:           len(l.segs),
+		CurrentSegment:     l.curSeg,
+		RecoveredRecords:   l.recovered,
+		TornBytesTruncated: l.tornBytes,
+	}
+}
+
+// flushLoop is the SyncInterval group-commit goroutine.
+func (l *Log) flushLoop() {
+	defer close(l.flushDone)
+	ticker := time.NewTicker(l.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stopFlush:
+			return
+		case <-ticker.C:
+			l.mu.Lock()
+			if !l.closed && l.dirty {
+				if err := l.syncLocked(); err != nil {
+					l.opts.Logf("wal: group commit: %v", err)
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes and closes the log. Further operations return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.stopFlush != nil {
+		close(l.stopFlush)
+	}
+	var err error
+	if l.dirty {
+		err = l.syncLocked()
+	}
+	if cerr := l.cur.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close: %w", cerr)
+	}
+	l.closed = true
+	l.mu.Unlock()
+	if l.flushDone != nil {
+		<-l.flushDone
+	}
+	return err
+}

@@ -1,0 +1,396 @@
+package wal_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/lsds/browserflow/internal/faultinject"
+	"github.com/lsds/browserflow/internal/wal"
+)
+
+// collect replays the whole log into memory.
+func collect(t *testing.T, l *wal.Log, fromSeg uint64) []wal.Record {
+	t.Helper()
+	var out []wal.Record
+	if err := l.Replay(fromSeg, func(_ uint64, rec wal.Record) error {
+		out = append(out, rec)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func rec(typ byte, payload string) wal.Record {
+	return wal.Record{Type: typ, Data: []byte(payload)}
+}
+
+func TestAppendCloseReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []wal.Record{rec(1, "alpha"), rec(2, "bravo"), rec(3, ""), rec(9, "charlie")}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	l2, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	got := collect(t, l2, 0)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Errorf("record %d = {%d %q}, want {%d %q}", i, got[i].Type, got[i].Data, want[i].Type, want[i].Data)
+		}
+	}
+	if s := l2.Stats(); s.RecoveredRecords != int64(len(want)) {
+		t.Errorf("RecoveredRecords = %d, want %d", s.RecoveredRecords, len(want))
+	}
+}
+
+func TestRotationPreservesOrder(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so every few appends rotate.
+	l, err := wal.Open(wal.Options{Dir: dir, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := l.Append(rec(1, fmt.Sprintf("record-%03d", i))); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if s := l.Stats(); s.Segments < 3 {
+		t.Fatalf("expected rotation to create several segments, have %d", s.Segments)
+	}
+	got := collect(t, l, 0)
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i, r := range got {
+		if want := fmt.Sprintf("record-%03d", i); string(r.Data) != want {
+			t.Fatalf("record %d = %q, want %q (order broken)", i, r.Data, want)
+		}
+	}
+	l.Close()
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	fs := faultinject.NewMemFS(1)
+	dir := "/wal"
+	l, err := wal.Open(wal.Options{Dir: dir, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(rec(1, fmt.Sprintf("ok-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg := l.CurrentSegment()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn final write: half a frame appended to the segment.
+	frame := wal.EncodeFrame(rec(1, "torn-record"))
+	path := filepath.Join(dir, wal.SegmentName(seg))
+	f, err := fs.OpenFile(path, os.O_WRONLY, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := wal.Open(wal.Options{Dir: dir, FS: fs})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer l2.Close()
+	got := collect(t, l2, 0)
+	if len(got) != 3 {
+		t.Fatalf("recovered %d records, want 3 (torn record dropped)", len(got))
+	}
+	if s := l2.Stats(); s.TornBytesTruncated != int64(len(frame)/2) {
+		t.Errorf("TornBytesTruncated = %d, want %d", s.TornBytesTruncated, len(frame)/2)
+	}
+	// The truncated tail must never break a subsequent reopen.
+	l2.Close()
+	l3, err := wal.Open(wal.Options{Dir: dir, FS: fs})
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	l3.Close()
+}
+
+func TestMidLogCorruptionIsFatal(t *testing.T) {
+	fs := faultinject.NewMemFS(2)
+	dir := "/wal"
+	l, err := wal.Open(wal.Options{Dir: dir, FS: fs, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := l.Append(rec(1, fmt.Sprintf("record-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := wal.ListSegments(fs, dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want >=3 segments (err=%v, got %d)", err, len(segs))
+	}
+	l.Close()
+
+	// Flip a payload byte in the FIRST segment: interior corruption.
+	first := filepath.Join(dir, wal.SegmentName(segs[0]))
+	if err := fs.FlipByte(first, 30, 0x40); err != nil {
+		t.Fatal(err)
+	}
+	_, err = wal.Open(wal.Options{Dir: dir, FS: fs})
+	var corrupt *wal.CorruptError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("open over mid-log corruption = %v, want *CorruptError", err)
+	}
+	if corrupt.Path != first {
+		t.Errorf("corrupt path = %s, want %s", corrupt.Path, first)
+	}
+}
+
+func TestRotateIsAnEpochBarrier(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if err := l.Append(rec(1, "before")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	barrier, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := l.Append(rec(2, "after")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everything before the barrier lives strictly below it; Replay from
+	// the barrier sees exactly the records after it.
+	if err := l.Replay(0, func(seg uint64, r wal.Record) error {
+		if string(r.Data) == "before" && seg >= barrier {
+			return fmt.Errorf("pre-barrier record in segment %d >= %d", seg, barrier)
+		}
+		if string(r.Data) == "after" && seg < barrier {
+			return fmt.Errorf("post-barrier record in segment %d < %d", seg, barrier)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := collect(t, l, barrier)
+	if len(after) != 4 {
+		t.Fatalf("replay from barrier saw %d records, want 4", len(after))
+	}
+}
+
+func TestTruncateBefore(t *testing.T) {
+	fs := faultinject.NewMemFS(3)
+	dir := "/wal"
+	l, err := wal.Open(wal.Options{Dir: dir, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.Append(rec(1, "old"))
+	barrier, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(rec(1, "new"))
+	if err := l.TruncateBefore(barrier); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := wal.ListSegments(fs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if s < barrier {
+			t.Errorf("segment %d survived TruncateBefore(%d)", s, barrier)
+		}
+	}
+	got := collect(t, l, 0)
+	if len(got) != 1 || string(got[0].Data) != "new" {
+		t.Fatalf("after truncation replay = %v, want just %q", got, "new")
+	}
+}
+
+// With SyncAlways every acked record survives a simulated power loss.
+func TestSyncAlwaysSurvivesCrash(t *testing.T) {
+	fs := faultinject.NewMemFS(4)
+	dir := "/wal"
+	l, err := wal.Open(wal.Options{Dir: dir, FS: fs, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 7
+	for i := 0; i < n; i++ {
+		if err := l.Append(rec(1, fmt.Sprintf("acked-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Power loss: no Close, no final sync.
+	fs.Crash()
+	l2, err := wal.Open(wal.Options{Dir: dir, FS: fs})
+	if err != nil {
+		t.Fatalf("open after crash: %v", err)
+	}
+	defer l2.Close()
+	got := collect(t, l2, 0)
+	if len(got) != n {
+		t.Fatalf("recovered %d records after crash, want %d", len(got), n)
+	}
+}
+
+// With SyncNone a crash may lose records, but recovery still yields a
+// clean prefix and never fails.
+func TestSyncNoneCrashLeavesValidPrefix(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		fs := faultinject.NewMemFS(seed)
+		dir := "/wal"
+		l, err := wal.Open(wal.Options{Dir: dir, FS: fs, Policy: wal.SyncNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 9
+		for i := 0; i < n; i++ {
+			if err := l.Append(rec(1, fmt.Sprintf("record-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fs.Crash()
+		l2, err := wal.Open(wal.Options{Dir: dir, FS: fs})
+		if err != nil {
+			t.Fatalf("seed %d: open after crash: %v", seed, err)
+		}
+		got := collect(t, l2, 0)
+		if len(got) > n {
+			t.Fatalf("seed %d: recovered %d records, only %d written", seed, len(got), n)
+		}
+		for i, r := range got {
+			if want := fmt.Sprintf("record-%d", i); string(r.Data) != want {
+				t.Fatalf("seed %d: record %d = %q, want %q (not a prefix)", seed, i, r.Data, want)
+			}
+		}
+		l2.Close()
+	}
+}
+
+func TestSyncIntervalGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{
+		Dir:      dir,
+		Policy:   wal.SyncInterval,
+		Interval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := l.Stats().Fsyncs
+	if err := l.Append(rec(1, "grouped")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Fsyncs == before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if l.Stats().Fsyncs == before {
+		t.Error("group commit never fsynced the appended record")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want wal.SyncPolicy
+		ok   bool
+	}{
+		{"always", wal.SyncAlways, true},
+		{"interval", wal.SyncInterval, true},
+		{"none", wal.SyncNone, true},
+		{"sometimes", 0, false},
+		{"", 0, false},
+	} {
+		got, err := wal.ParseSyncPolicy(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseSyncPolicy(%q) = (%v, %v), want (%v, ok=%v)", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	for _, p := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncNone} {
+		back, err := wal.ParseSyncPolicy(p.String())
+		if err != nil || back != p {
+			t.Errorf("round trip %v -> %q -> (%v, %v)", p, p.String(), back, err)
+		}
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir, MaxRecordBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(rec(1, "this payload is longer than sixteen bytes")); err == nil {
+		t.Error("oversized record accepted")
+	}
+	if err := l.Append(rec(1, "short")); err != nil {
+		t.Errorf("normal record rejected: %v", err)
+	}
+}
+
+func TestClosedLogRejectsOperations(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(1, "x")); !errors.Is(err, wal.ErrClosed) {
+		t.Errorf("Append after Close = %v, want ErrClosed", err)
+	}
+	if _, err := l.Rotate(); !errors.Is(err, wal.ErrClosed) {
+		t.Errorf("Rotate after Close = %v, want ErrClosed", err)
+	}
+	if err := l.Sync(); !errors.Is(err, wal.ErrClosed) {
+		t.Errorf("Sync after Close = %v, want ErrClosed", err)
+	}
+}
