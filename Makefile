@@ -2,22 +2,30 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check crash fuzz cover bench benchall experiments clean
+.PHONY: all build vet test race check crash repl fuzz cover bench repl-bench benchall experiments clean
 
 all: build check
 
 # check is the gate: static analysis, the full suite under the race
 # detector (which includes the crash/corruption-injection recovery
-# property suite in internal/store), and a short fuzz smoke over the two
-# recovery parsers that read attacker-controlled bytes after a crash.
+# property suite in internal/store), the replication partition/promotion
+# suite, and a short fuzz smoke over the two recovery parsers that read
+# attacker-controlled bytes after a crash.
 check: vet
 	$(GO) test -race ./...
 	$(MAKE) crash
+	$(MAKE) repl
 	$(MAKE) fuzz
 
 # crash runs only the durability crash-injection suites, race-enabled.
 crash:
 	$(GO) test -race -run 'Crash|Recovery|Torn|Corrupt' ./internal/store ./internal/wal ./cmd/bftagd
+
+# repl runs the replication suites race-enabled: partitions, chaos
+# streams, re-bootstrap, fenced promotion, the end-to-end
+# primary + 2 replica subprocess run, and the operator CLI flow.
+repl:
+	$(GO) test -race -run 'Replica|Partition|Chaos|Promot|Stream|Replication|Idempotent|Cluster|NotPrimary' ./internal/replication ./internal/tagserver ./cmd/bftagd ./cmd/bfctl
 
 # fuzz smoke: ten seconds per recovery parser (Go runs one fuzz target
 # per invocation, hence two commands).
@@ -47,6 +55,12 @@ cover:
 bench:
 	$(GO) test -run 'XXX' -bench 'Observe' -benchmem ./internal/disclosure
 	$(GO) run ./cmd/bfbench -experiment hotpath -benchjson BENCH_2.json
+
+# repl-bench runs the replication read-scaling benchmark (1 primary +
+# 2 streaming replicas, write burst + check-QPS vs read-pool size) and
+# records it as BENCH_4.json.
+repl-bench:
+	$(GO) run ./cmd/bfbench -experiment replication -benchjson BENCH_4.json
 
 # benchall runs every benchmark in the repository.
 benchall:

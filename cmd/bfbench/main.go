@@ -140,6 +140,30 @@ func run(args []string) error {
 			r, err := expt.RunUsabilityComparison(scale, params)
 			return r.Format(), err
 		},
+		"replication": func() (string, error) {
+			dir, err := os.MkdirTemp("", "bfrepl")
+			if err != nil {
+				return "", err
+			}
+			defer os.RemoveAll(dir)
+			r, err := expt.RunReplication(params, expt.DefaultReplBenchConfig(dir))
+			if err != nil {
+				return "", err
+			}
+			// -benchjson records the read-scaling series (BENCH_4.json);
+			// only when replication is the selected experiment, so an
+			// `-experiment all -benchjson` run keeps the hotpath result.
+			if *benchJSON != "" && *experiment == "replication" {
+				data, err := json.MarshalIndent(r, "", "  ")
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+					return "", fmt.Errorf("write %s: %w", *benchJSON, err)
+				}
+			}
+			return r.Format(), nil
+		},
 		"hotpath": func() (string, error) {
 			r, err := expt.RunHotPath(scale, params)
 			if err != nil {
@@ -160,7 +184,7 @@ func run(args []string) error {
 	order := []string{"table1", "fig8", "fig9a", "fig9b", "fig9adoc",
 		"fig9bdoc", "fig10", "fig11", "fig12", "fig13", "ablation-cache",
 		"ablation-auth", "ablation-winnow", "baseline", "orgsim", "usability",
-		"hotpath"}
+		"hotpath", "replication"}
 
 	selected := order
 	if *experiment != "all" {

@@ -12,6 +12,15 @@
 //	bfctl -state s.bf stats
 //	bfctl -state s.bf audit
 //
+// Against a replicated tag service, bfctl is also the failover operator:
+//
+//	bfctl -server http://replica:7001 repl-status
+//	bfctl -server http://replica:7001 -old-primary http://primary:7000 promote
+//
+// promote refuses while the replica still lags its primary (override
+// with -force) and, with -old-primary, fences the deposed primary so it
+// rejects writes immediately.
+//
 // Pass -passphrase to keep the state encrypted at rest.
 package main
 
@@ -44,6 +53,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		policyPath = fs.String("policy", "", "policy JSON file (init): registers its services")
 		serverURL  = fs.String("server", "", "shared tag service URL; observe/check/suppress/label/stats run remotely")
 		device     = fs.String("device", "bfctl", "device name reported to the tag service")
+		oldPrimary = fs.String("old-primary", "", "deposed primary to fence after promote")
+		force      = fs.Bool("force", false, "promote even when the replica lags its primary")
 
 		name = fs.String("name", "", "service name (add-service)")
 		lp   = fs.String("lp", "", "comma-separated privilege tags (add-service)")
@@ -61,9 +72,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return errors.New("command required: init, add-service, observe, check, sources, attribute, suppress, allocate, grant, label, stats, audit")
+		return errors.New("command required: init, add-service, observe, check, sources, attribute, suppress, allocate, grant, label, stats, audit, promote, repl-status")
 	}
 	cmd := fs.Arg(0)
+
+	// Replication operator commands talk to /v1/repl/* directly.
+	if handled, err := dispatchRepl(cmd, *serverURL, *oldPrimary, *force, stdout); handled {
+		return err
+	}
 
 	policyMode, err := parseMode(*mode)
 	if err != nil {

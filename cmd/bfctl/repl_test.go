@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeReplNode serves just enough of the /v1/repl/* API for CLI tests.
+type fakeReplNode struct {
+	status   replStatus
+	promoted atomic.Bool
+	fences   atomic.Int64
+	lastTerm atomic.Uint64
+	srv      *httptest.Server
+}
+
+func newFakeReplNode(t *testing.T, status replStatus) *fakeReplNode {
+	t.Helper()
+	n := &fakeReplNode{status: status}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/repl/status", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(n.status) //nolint:errcheck
+	})
+	mux.HandleFunc("/v1/repl/promote", func(w http.ResponseWriter, r *http.Request) {
+		n.promoted.Store(true)
+		json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+			"promoted": true, "role": "primary",
+			"term": n.status.Term + 1, "primary": n.srv.URL,
+		})
+	})
+	mux.HandleFunc("/v1/repl/fence", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Term    uint64 `json:"term"`
+			Primary string `json:"primary"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n.fences.Add(1)
+		n.lastTerm.Store(body.Term)
+		json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+			"role": "fenced", "term": body.Term, "primary": body.Primary, "fenced": true,
+		})
+	})
+	n.srv = httptest.NewServer(mux)
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+func replCtl(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, strings.NewReader(""), &out)
+	return out.String(), err
+}
+
+func TestReplStatusCommand(t *testing.T) {
+	node := newFakeReplNode(t, replStatus{
+		Role: "replica", Term: 2, Primary: "http://primary:7000",
+		Position: "4,1234", LagRecords: 7, AppliedRecords: 900, Connected: true,
+	})
+	out, err := replCtl(t, "-server", node.srv.URL, "repl-status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"role:     replica", "term:     2", "lag:      7 records", "position: 4,1234"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("repl-status output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// promote refuses to abandon acked writes: a replica that still lags its
+// primary is not promoted unless the operator forces it.
+func TestPromoteRefusesLaggingReplica(t *testing.T) {
+	node := newFakeReplNode(t, replStatus{Role: "replica", Term: 0, LagRecords: 5, Connected: true})
+	_, err := replCtl(t, "-server", node.srv.URL, "promote")
+	if err == nil || !strings.Contains(err.Error(), "lags") {
+		t.Fatalf("promote on lagging replica: err = %v, want lag refusal", err)
+	}
+	if node.promoted.Load() {
+		t.Error("lagging replica was promoted anyway")
+	}
+
+	if _, err := replCtl(t, "-server", node.srv.URL, "-force", "promote"); err != nil {
+		t.Fatalf("forced promote: %v", err)
+	}
+	if !node.promoted.Load() {
+		t.Error("-force did not promote")
+	}
+}
+
+// The full operator flow: promote the caught-up replica, then fence the
+// deposed primary under the new term.
+func TestPromoteAndFenceOldPrimary(t *testing.T) {
+	replica := newFakeReplNode(t, replStatus{Role: "replica", Term: 4, LagRecords: 0, Connected: true})
+	old := newFakeReplNode(t, replStatus{Role: "primary", Term: 4})
+
+	out, err := replCtl(t, "-server", replica.srv.URL, "-old-primary", old.srv.URL, "promote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "now primary at term 5") {
+		t.Errorf("promote output: %q", out)
+	}
+	if got := old.fences.Load(); got != 1 {
+		t.Fatalf("old primary saw %d fence calls, want 1", got)
+	}
+	if got := old.lastTerm.Load(); got != 5 {
+		t.Errorf("old primary fenced at term %d, want 5", got)
+	}
+	if !strings.Contains(out, "now fenced at term 5") {
+		t.Errorf("fence output: %q", out)
+	}
+}
+
+// An unreachable old primary is the expected failover case (it crashed);
+// promote succeeds and reports that fencing happens on first contact.
+func TestPromoteWithDeadOldPrimary(t *testing.T) {
+	replica := newFakeReplNode(t, replStatus{Role: "replica", Term: 0, Connected: false, LastError: "connection refused"})
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	out, err := replCtl(t, "-server", replica.srv.URL, "-old-primary", deadURL, "-force", "promote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "unreachable") {
+		t.Errorf("promote output should note the unreachable old primary: %q", out)
+	}
+}
+
+// Promoting a node that is already primary is a no-op, not an error.
+func TestPromoteIdempotentOnPrimary(t *testing.T) {
+	node := newFakeReplNode(t, replStatus{Role: "primary", Term: 3})
+	out, err := replCtl(t, "-server", node.srv.URL, "promote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "already primary") {
+		t.Errorf("promote output: %q", out)
+	}
+	if node.promoted.Load() {
+		t.Error("already-primary node got a promote call")
+	}
+}

@@ -23,6 +23,21 @@
 // the newest checkpoint plus the surviving WAL suffix. The legacy
 // -state/-save-every snapshot loop remains as a fallback when the WAL is
 // disabled.
+//
+// A durable bftagd is also a replication primary: it serves
+// /v1/repl/snapshot and /v1/repl/stream so replicas can bootstrap from a
+// checkpoint and tail the WAL. Start a read replica with
+//
+//	bftagd -policy policy.json -wal-dir /var/lib/bftagd-replica \
+//	       -replica-of http://primary:7000 -addr :7001
+//
+// The replica byte-mirrors the primary's log into its own -wal-dir,
+// serves read-only traffic, and answers writes with 421 + the primary's
+// address. `bfctl promote` turns a caught-up replica into the new
+// primary under a higher fencing term; the deposed primary refuses
+// writes once it observes that term. -term-file overrides where the term
+// is persisted, -repl-listen moves the replication API onto its own
+// listener, and -advertise sets the URL peers are redirected to.
 package main
 
 import (
@@ -34,11 +49,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/lsds/browserflow"
+	"github.com/lsds/browserflow/internal/replication"
 	"github.com/lsds/browserflow/internal/store"
 	"github.com/lsds/browserflow/internal/tagserver"
 	"github.com/lsds/browserflow/internal/tdm"
@@ -70,12 +87,19 @@ func run(args []string) error {
 		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "per-request write timeout")
 		grace        = fs.Duration("shutdown-grace", 10*time.Second, "time allowed for in-flight requests to drain on SIGINT/SIGTERM")
 		maxBody      = fs.Int64("max-body", tagserver.DefaultMaxBodyBytes, "maximum request body size in bytes (413 past this)")
+		replicaOf    = fs.String("replica-of", "", "run as a read replica of this primary URL (requires -wal-dir for the mirrored log)")
+		replListen   = fs.String("repl-listen", "", "serve the /v1/repl/* API on this separate address (default: the main -addr)")
+		termFile     = fs.String("term-file", "", "file persisting the replication fencing term (default: <wal-dir>/TERM)")
+		advertise    = fs.String("advertise", "", "base URL peers are told to dial for this node (default: http://<listen addr>)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *policyPath == "" {
 		return fmt.Errorf("-policy is required")
+	}
+	if *replicaOf != "" && *walDir == "" {
+		return fmt.Errorf("-replica-of requires -wal-dir for the mirrored log")
 	}
 	mw, err := browserflow.NewFromPolicyFile(*policyPath)
 	if err != nil {
@@ -86,11 +110,111 @@ func run(args []string) error {
 	if *passphrase != "" {
 		key = store.DeriveKey(*passphrase)
 	}
+	logf := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "bftagd: "+format+"\n", args...)
+	}
 
-	// Durable mode: recover checkpoint + WAL, then journal every mutation.
+	// Listen before building the replication node so the default
+	// advertised address can include the kernel-assigned port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *advertise == "" {
+		*advertise = "http://" + ln.Addr().String()
+	}
+
+	// durableBox is the journal behind /healthz durability stats; on a
+	// replica it is nil until promotion installs one.
+	var durableBox atomic.Pointer[store.Durable]
+	defer func() {
+		if d := durableBox.Swap(nil); d != nil {
+			d.Close()
+		}
+	}()
+
+	// Replication state: every durable node gets a fencing term and the
+	// /v1/repl/* API; plain snapshot-mode nodes are standalone.
+	var node *replication.Node
+	var replService *replication.Service
+	if *walDir != "" {
+		if *termFile == "" {
+			*termFile = filepath.Join(*walDir, "TERM")
+		}
+		role := replication.RolePrimary
+		if *replicaOf != "" {
+			role = replication.RoleReplica
+		}
+		node, err = replication.NewNode(replication.NodeOptions{
+			Role:     role,
+			Self:     *advertise,
+			Primary:  *replicaOf,
+			TermFile: *termFile,
+			Logf:     logf,
+		})
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		replService = replication.NewService(node, replication.PrimaryOptions{Logf: logf}, logf)
+		replService.OnPromote(func(d *store.Durable) {
+			durableBox.Store(d)
+		})
+	}
+
+	// Durable primary mode: recover checkpoint + WAL, then journal every
+	// mutation and serve the replication log.
 	var durable *store.Durable
 	serverOpts := []tagserver.ServerOption{tagserver.WithMaxBodyBytes(*maxBody)}
-	if *walDir != "" {
+	serverOpts = append(serverOpts, tagserver.WithDurabilitySource(func() (store.DurabilityStats, bool) {
+		if d := durableBox.Load(); d != nil {
+			return d.Stats(), true
+		}
+		return store.DurabilityStats{}, false
+	}))
+	if replService != nil {
+		serverOpts = append(serverOpts, tagserver.WithReplicationStatus(func() tagserver.HealthReplication {
+			st := replService.Status()
+			return tagserver.HealthReplication{
+				Role:           st.Role,
+				Term:           st.Term,
+				Primary:        st.Primary,
+				Position:       st.Position,
+				LagRecords:     st.LagRecords,
+				AppliedRecords: st.AppliedRecords,
+				Bootstraps:     st.Bootstraps,
+				Connected:      st.Connected,
+				LastError:      st.LastError,
+			}
+		}))
+	}
+	if *replicaOf != "" {
+		// Replica mode: no local durable store; the engine is fed by the
+		// mirrored stream and promotion opens the durable store in place.
+		policy, err := wal.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		replica, err := replication.OpenReplica(node, mw.Engine(), replication.ReplicaOptions{
+			Dir:                    *walDir,
+			Key:                    key,
+			NoSync:                 policy == wal.SyncNone,
+			PromoteFsync:           policy,
+			PromoteFsyncInterval:   *fsyncEvery,
+			PromoteCheckpointEvery: *ckptEvery,
+			Logf:                   logf,
+		})
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("open replica dir: %w", err)
+		}
+		replService.SetReplica(replica)
+		replica.Start()
+		defer replica.Stop()
+		st := replica.Status()
+		fmt.Printf("bftagd: replica of %s (term %d, resuming at %s)\n", *replicaOf, st.Term, st.Position)
+	} else if *walDir != "" {
 		policy, err := wal.ParseSyncPolicy(*fsyncMode)
 		if err != nil {
 			return err
@@ -113,7 +237,7 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("open wal dir: %w", err)
 		}
-		defer durable.Close()
+		durableBox.Store(durable)
 
 		// Re-register policy-file services the checkpoint restore dropped.
 		for _, svc := range policyServices {
@@ -124,7 +248,7 @@ func run(args []string) error {
 		}
 
 		mw.Engine().SetJournal(durable)
-		serverOpts = append(serverOpts, tagserver.WithDurabilityStats(durable.Stats))
+		replService.SetPrimary(replication.NewPrimary(node, durable, replication.PrimaryOptions{Logf: logf}))
 
 		rec := durable.Stats().Recovery
 		fmt.Printf("bftagd: durability on (%s, fsync=%s): recovered %d WAL records", *walDir, policy, rec.RecordsReplayed)
@@ -178,9 +302,29 @@ func run(args []string) error {
 		})
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
+	// Replication wiring: the write guard fences mutations on non-primary
+	// nodes, and the /v1/repl/* API is mounted either on the main address
+	// or (with -repl-listen) on its own listener.
+	var replSrv *http.Server
+	var replLn net.Listener
+	if replService != nil {
+		mux := http.NewServeMux()
+		if *replListen == "" {
+			mux.Handle("/v1/repl/", replService.Handler())
+		} else {
+			replLn, err = net.Listen("tcp", *replListen)
+			if err != nil {
+				ln.Close()
+				return fmt.Errorf("repl listen: %w", err)
+			}
+			replSrv = &http.Server{
+				Handler:           replService.Handler(),
+				ReadHeaderTimeout: *readTimeout,
+				IdleTimeout:       2 * *readTimeout,
+			}
+		}
+		mux.Handle("/", replication.Guard(node, handler, logf))
+		handler = mux
 	}
 
 	srv := &http.Server{
@@ -196,6 +340,10 @@ func run(args []string) error {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
+	if replSrv != nil {
+		go func() { errCh <- replSrv.Serve(replLn) }()
+		fmt.Printf("bftagd: replication API on %s\n", replLn.Addr())
+	}
 
 	stats := mw.Stats()
 	fmt.Printf("bftagd: serving on %s (%d segments, %d hashes)\n",
@@ -210,10 +358,15 @@ func run(args []string) error {
 		shCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		shutdownErr := srv.Shutdown(shCtx)
-		if durable != nil {
+		if replSrv != nil {
+			if err := replSrv.Shutdown(shCtx); err != nil && shutdownErr == nil {
+				shutdownErr = err
+			}
+		}
+		if d := durableBox.Swap(nil); d != nil {
 			// Final checkpoint + WAL sync so a clean SIGTERM leaves a fresh
 			// checkpoint and an empty replay set.
-			if err := durable.Close(); err != nil {
+			if err := d.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "bftagd: flush durability:", err)
 			}
 		} else if *statePath != "" {

@@ -1,0 +1,385 @@
+package expt
+
+// Read-scaling benchmark for the replicated tag service (BENCH_4.json).
+// One in-process primary ships its WAL to N streaming replicas; the
+// benchmark measures write throughput on the primary, how long the
+// replicas take to fully catch up after the write burst, and how
+// /v1/check read throughput scales as the ClusterClient spreads the read
+// pool over 0, 1, ... N replicas. cmd/bfbench runs RunReplication and
+// `make repl-bench` records the result as BENCH_4.json.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/lsds/browserflow/internal/audit"
+	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/policy"
+	"github.com/lsds/browserflow/internal/replication"
+	"github.com/lsds/browserflow/internal/segment"
+	"github.com/lsds/browserflow/internal/store"
+	"github.com/lsds/browserflow/internal/tagserver"
+	"github.com/lsds/browserflow/internal/tdm"
+	"github.com/lsds/browserflow/internal/wal"
+)
+
+// ReplBenchConfig sizes the replication benchmark.
+type ReplBenchConfig struct {
+	// Writes is the number of paragraph observations pushed through the
+	// primary (batched).
+	Writes int
+
+	// BatchSize groups writes into ObserveBatch flushes.
+	BatchSize int
+
+	// Checks is the number of /v1/check probes issued per read-scaling
+	// point.
+	Checks int
+
+	// Readers is the number of concurrent read workers.
+	Readers int
+
+	// MaxReplicas is the largest replica count measured.
+	MaxReplicas int
+
+	// Dir is scratch space for WAL directories (one subdir per node).
+	Dir string
+}
+
+// DefaultReplBenchConfig returns the sizing used by `make repl-bench`.
+func DefaultReplBenchConfig(dir string) ReplBenchConfig {
+	return ReplBenchConfig{
+		Writes:      1500,
+		BatchSize:   25,
+		Checks:      1200,
+		Readers:     8,
+		MaxReplicas: 2,
+		Dir:         dir,
+	}
+}
+
+// ReplBenchPoint is one read-scaling measurement.
+type ReplBenchPoint struct {
+	Replicas int     `json:"replicas"`
+	Checks   int     `json:"checks"`
+	ReadQPS  float64 `json:"readQPS"`
+}
+
+// ReplBenchResult is the serialisable outcome of the replication
+// benchmark.
+type ReplBenchResult struct {
+	Writes          int              `json:"writes"`
+	WriteQPS        float64          `json:"writeQPS"`
+	WALBytes        int64            `json:"walBytes"`
+	Replicas        int              `json:"replicas"`
+	CatchupMillis   float64          `json:"catchupMillis"`
+	ReplicaPosition string           `json:"replicaPosition"`
+	Points          []ReplBenchPoint `json:"points"`
+}
+
+// Format renders the result as a text table.
+func (r ReplBenchResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Replication read-scaling benchmark (1 primary + %d replicas)\n", r.Replicas)
+	fmt.Fprintf(&b, "  writes: %d acked at %.0f writes/s (%d WAL bytes shipped per replica)\n",
+		r.Writes, r.WriteQPS, r.WALBytes)
+	fmt.Fprintf(&b, "  catch-up after burst: %.1f ms to position %s on every replica\n",
+		r.CatchupMillis, r.ReplicaPosition)
+	fmt.Fprintf(&b, "  %-10s %-10s %s\n", "replicas", "checks", "read QPS")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %-10d %-10d %.0f\n", p.Replicas, p.Checks, p.ReadQPS)
+	}
+	return b.String()
+}
+
+// replBenchNode is one in-process cluster member: an engine stack, its
+// replication components and a full HTTP frontend (tag API guarded by
+// role, /v1/repl/* mounted beside it) — the same wiring cmd/bftagd does.
+type replBenchNode struct {
+	tracker  *disclosure.Tracker
+	registry *tdm.Registry
+	engine   *policy.Engine
+	node     *replication.Node
+	svc      *replication.Service
+	server   *httptest.Server
+	replica  *replication.Replica
+	durable  *store.Durable
+}
+
+func (n *replBenchNode) close() {
+	if n.replica != nil {
+		n.replica.Stop()
+	}
+	if n.server != nil {
+		n.server.Close()
+	}
+	if n.durable != nil {
+		n.durable.Close() //nolint:errcheck
+	}
+}
+
+// newReplBenchEngine builds a fresh engine stack with the benchmark's
+// service topology.
+func newReplBenchEngine(params disclosure.Params) (*disclosure.Tracker, *tdm.Registry, *policy.Engine, error) {
+	tracker, err := disclosure.NewTracker(params)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	registry := tdm.NewRegistry(audit.NewLog())
+	if err := registry.RegisterService("wiki", tdm.NewTagSet("tw"), tdm.NewTagSet("tw")); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := registry.RegisterService("pad", tdm.NewTagSet(), tdm.NewTagSet()); err != nil {
+		return nil, nil, nil, err
+	}
+	engine, err := policy.NewEngine(tracker, registry, policy.ModeAdvisory)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return tracker, registry, engine, nil
+}
+
+// mountNode wires a node's HTTP frontend exactly like cmd/bftagd: the
+// tag API behind the replication write guard, /v1/repl/* beside it.
+func mountNode(n *replBenchNode) error {
+	server, err := tagserver.NewServer(n.engine)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/repl/", n.svc.Handler())
+	mux.Handle("/", replication.Guard(n.node, server, nil))
+	n.server = httptest.NewServer(mux)
+	return nil
+}
+
+// newReplBenchPrimary starts the primary over dir.
+func newReplBenchPrimary(params disclosure.Params, dir string) (*replBenchNode, error) {
+	tracker, registry, engine, err := newReplBenchEngine(params)
+	if err != nil {
+		return nil, err
+	}
+	durable, err := store.OpenDurable(store.DurableOptions{Dir: dir, Fsync: wal.SyncNone}, tracker, registry)
+	if err != nil {
+		return nil, err
+	}
+	engine.SetJournal(durable)
+	node, err := replication.NewNode(replication.NodeOptions{Role: replication.RolePrimary})
+	if err != nil {
+		durable.Close() //nolint:errcheck
+		return nil, err
+	}
+	popts := replication.PrimaryOptions{MaxWait: 2 * time.Second}
+	svc := replication.NewService(node, popts, nil)
+	svc.SetPrimary(replication.NewPrimary(node, durable, popts))
+	n := &replBenchNode{tracker: tracker, registry: registry, engine: engine,
+		node: node, svc: svc, durable: durable}
+	if err := mountNode(n); err != nil {
+		n.close()
+		return nil, err
+	}
+	return n, nil
+}
+
+// newReplBenchReplica starts a streaming replica of primaryURL over dir.
+func newReplBenchReplica(params disclosure.Params, primaryURL, dir string) (*replBenchNode, error) {
+	tracker, registry, engine, err := newReplBenchEngine(params)
+	if err != nil {
+		return nil, err
+	}
+	node, err := replication.NewNode(replication.NodeOptions{
+		Role:    replication.RoleReplica,
+		Primary: primaryURL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := replication.OpenReplica(node, engine, replication.ReplicaOptions{
+		Dir:          dir,
+		NoSync:       true,
+		PollWait:     500 * time.Millisecond,
+		RetryBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	svc := replication.NewService(node, replication.PrimaryOptions{MaxWait: 2 * time.Second}, nil)
+	svc.SetReplica(rep)
+	n := &replBenchNode{tracker: tracker, registry: registry, engine: engine,
+		node: node, svc: svc, replica: rep}
+	if err := mountNode(n); err != nil {
+		n.close()
+		return nil, err
+	}
+	rep.Start()
+	return n, nil
+}
+
+// RunReplication measures the replicated deployment: primary write
+// throughput, replica catch-up latency after the burst, and check-QPS as
+// reads spread across 0..MaxReplicas replicas.
+func RunReplication(params disclosure.Params, cfg ReplBenchConfig) (ReplBenchResult, error) {
+	var res ReplBenchResult
+	if cfg.Dir == "" {
+		return res, fmt.Errorf("replbench: scratch Dir is required")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 25
+	}
+
+	primary, err := newReplBenchPrimary(params, cfg.Dir+"/primary")
+	if err != nil {
+		return res, err
+	}
+	defer primary.close()
+
+	replicas := make([]*replBenchNode, 0, cfg.MaxReplicas)
+	defer func() {
+		for _, r := range replicas {
+			r.close()
+		}
+	}()
+	for i := 0; i < cfg.MaxReplicas; i++ {
+		r, err := newReplBenchReplica(params, primary.server.URL, fmt.Sprintf("%s/replica%d", cfg.Dir, i))
+		if err != nil {
+			return res, err
+		}
+		replicas = append(replicas, r)
+	}
+	// Let every replica finish its snapshot bootstrap before the write
+	// burst, so the burst measures streaming, not bootstrapping.
+	if err := waitReplicas(replicas, 10*time.Second, func(st replication.ReplicaStatus) bool {
+		return st.Bootstraps >= 1 && st.Connected
+	}); err != nil {
+		return res, err
+	}
+
+	// Write burst through the real wire API.
+	client, err := tagserver.NewClient(primary.server.URL, "bench", fingerprint.DefaultConfig())
+	if err != nil {
+		return res, err
+	}
+	texts := make([]string, 97)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("replicated paragraph %d covering the capacity forecast and rollout schedule for cohort %d", i, i%11)
+	}
+	start := time.Now()
+	written := 0
+	for written < cfg.Writes {
+		n := cfg.BatchSize
+		if rem := cfg.Writes - written; rem < n {
+			n = rem
+		}
+		items := make([]tagserver.BatchItem, n)
+		for i := range items {
+			k := written + i
+			items[i] = tagserver.BatchItem{
+				Seg:  segment.ID(fmt.Sprintf("pad/doc%d#p%d", k%31, k)),
+				Text: texts[k%len(texts)],
+			}
+		}
+		if _, err := client.ObserveBatch("pad", items); err != nil {
+			return res, fmt.Errorf("replbench: write burst: %w", err)
+		}
+		written += n
+	}
+	writeElapsed := time.Since(start)
+	res.Writes = written
+	res.WriteQPS = float64(written) / writeElapsed.Seconds()
+	res.Replicas = len(replicas)
+
+	// Catch-up: every replica reaches the primary's exact end position.
+	end := primary.durable.WAL().End()
+	res.WALBytes = primary.durable.WAL().Stats().BytesAppended
+	catchStart := time.Now()
+	if err := waitReplicas(replicas, 30*time.Second, func(st replication.ReplicaStatus) bool {
+		return st.LagRecords == 0 && st.Position == end.String()
+	}); err != nil {
+		return res, err
+	}
+	res.CatchupMillis = float64(time.Since(catchStart).Microseconds()) / 1000
+	res.ReplicaPosition = end.String()
+
+	// Read scaling: the same probe workload against read pools of
+	// growing size. Replica counts beyond those started are skipped.
+	probeText := texts[0]
+	for n := 0; n <= len(replicas); n++ {
+		pool := make([]string, 0, n)
+		for _, r := range replicas[:n] {
+			pool = append(pool, r.server.URL)
+		}
+		cc, err := tagserver.NewClusterClient(primary.server.URL, pool, "bench", fingerprint.DefaultConfig())
+		if err != nil {
+			return res, err
+		}
+		qps, err := measureReadQPS(cc, probeText, cfg.Checks, cfg.Readers)
+		if err != nil {
+			return res, fmt.Errorf("replbench: read pool of %d replicas: %w", n, err)
+		}
+		res.Points = append(res.Points, ReplBenchPoint{Replicas: n, Checks: cfg.Checks, ReadQPS: qps})
+	}
+	return res, nil
+}
+
+// waitReplicas polls every replica's status until cond holds for all.
+func waitReplicas(replicas []*replBenchNode, timeout time.Duration, cond func(replication.ReplicaStatus) bool) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, r := range replicas {
+			if !cond(r.replica.Status()) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, r := range replicas {
+		st := r.replica.Status()
+		if !cond(st) {
+			return fmt.Errorf("replbench: replica stuck at %s (lag %d, err %q)", st.Position, st.LagRecords, st.LastError)
+		}
+	}
+	return nil
+}
+
+// measureReadQPS issues checks /v1/check probes from readers workers
+// through the cluster client and returns the aggregate rate.
+func measureReadQPS(cc *tagserver.ClusterClient, text string, checks, readers int) (float64, error) {
+	if readers <= 0 {
+		readers = 4
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers)
+	per := checks / readers
+	start := time.Now()
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := cc.Check(context.Background(), text, "pad"); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return float64(per*readers) / elapsed.Seconds(), nil
+}

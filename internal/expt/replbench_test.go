@@ -1,0 +1,52 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/disclosure"
+)
+
+// A miniature replication benchmark run completes, reports every
+// read-pool point, and sees the replicas converge to the primary's WAL
+// position.
+func TestRunReplicationSmoke(t *testing.T) {
+	cfg := ReplBenchConfig{
+		Writes:      120,
+		BatchSize:   20,
+		Checks:      60,
+		Readers:     3,
+		MaxReplicas: 1,
+		Dir:         t.TempDir(),
+	}
+	res, err := RunReplication(disclosure.DefaultParams(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes != cfg.Writes {
+		t.Errorf("writes = %d, want %d", res.Writes, cfg.Writes)
+	}
+	if res.WriteQPS <= 0 {
+		t.Errorf("writeQPS = %v, want > 0", res.WriteQPS)
+	}
+	if res.WALBytes <= 0 {
+		t.Errorf("walBytes = %d, want > 0", res.WALBytes)
+	}
+	if res.ReplicaPosition == "" {
+		t.Error("replicas never reported a position")
+	}
+	if len(res.Points) != cfg.MaxReplicas+1 {
+		t.Fatalf("got %d read-scaling points, want %d", len(res.Points), cfg.MaxReplicas+1)
+	}
+	for _, p := range res.Points {
+		if p.ReadQPS <= 0 {
+			t.Errorf("pool of %d replicas: readQPS = %v, want > 0", p.Replicas, p.ReadQPS)
+		}
+	}
+	out := res.Format()
+	for _, want := range []string{"read QPS", "catch-up"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -75,7 +75,8 @@ type Rule struct {
 	// Times bounds how often the rule fires (0 = unlimited).
 	Times int
 
-	applied int
+	applied   int
+	partition bool // installed by Partition, removed by Heal
 }
 
 // NotSentError is the connection-level failure injected by KindConnError.
@@ -147,6 +148,32 @@ func (i *Injector) ClearRules() {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	i.rules = nil
+}
+
+// Partition simulates a network partition: every request fails before
+// anything reaches the wire, until Heal is called. Partition rules stack
+// in front of existing rules and survive ClearRules-free operation;
+// replication tests use Partition/Heal pairs to cut a replica off from
+// its primary and watch it catch up afterwards.
+func (i *Injector) Partition() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	rule := Rule{Kind: KindConnError, partition: true}
+	i.rules = append([]*Rule{&rule}, i.rules...)
+}
+
+// Heal removes every rule installed by Partition, reconnecting the
+// injector's upstream. Other rules are untouched.
+func (i *Injector) Heal() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	kept := i.rules[:0]
+	for _, r := range i.rules {
+		if !r.partition {
+			kept = append(kept, r)
+		}
+	}
+	i.rules = kept
 }
 
 // Attempts returns how many round-trips were attempted for path.

@@ -58,29 +58,41 @@ type Journal interface {
 	AuditAppend(entries []audit.Entry) error
 }
 
-// SetJournal installs the durability journal. It must be called before the
-// engine starts serving traffic; it is not safe to swap concurrently with
-// decision calls. A nil journal disables journalling.
-func (e *Engine) SetJournal(j Journal) { e.journal = j }
+// SetJournal installs (or, with nil, disables) the durability journal.
+// The swap itself is atomic, so replica promotion may install a journal
+// on an engine already serving reads; callers that swap while *mutations*
+// are in flight must externally quiesce writes first (the replication
+// guard rejects them on non-primary roles), because a mutation reads the
+// journal reference once per journalling step.
+func (e *Engine) SetJournal(j Journal) { e.journal.Store(&journalBox{j: j}) }
 
 // Journal returns the installed journal (nil when disabled).
-func (e *Engine) Journal() Journal { return e.journal }
+func (e *Engine) Journal() Journal { return e.journalRef() }
+
+// journalRef loads the current journal reference (nil when disabled).
+func (e *Engine) journalRef() Journal {
+	if b := e.journal.Load(); b != nil {
+		return b.j
+	}
+	return nil
+}
 
 // begin opens the journal bracket; it returns nil when journalling is
 // disabled.
 func (e *Engine) begin() func() {
-	if e.journal == nil {
-		return nil
+	if j := e.journalRef(); j != nil {
+		return j.Begin()
 	}
-	return e.journal.Begin()
+	return nil
 }
 
 // journalObserve records a singular observation.
 func (e *Engine) journalObserve(seg segment.ID, service string, g segment.Granularity, hashes []uint32) error {
-	if e.journal == nil {
+	j := e.journalRef()
+	if j == nil {
 		return nil
 	}
-	if err := e.journal.Observe(seg, service, g, hashes); err != nil {
+	if err := j.Observe(seg, service, g, hashes); err != nil {
 		return fmt.Errorf("%w: %v", ErrJournal, err)
 	}
 	return nil
@@ -89,14 +101,15 @@ func (e *Engine) journalObserve(seg segment.ID, service string, g segment.Granul
 // journalOp records a control operation plus whatever audit entries it
 // appended (everything past auditFrom).
 func (e *Engine) journalOp(auditFrom int, fn func(Journal) error) error {
-	if e.journal == nil {
+	j := e.journalRef()
+	if j == nil {
 		return nil
 	}
-	if err := fn(e.journal); err != nil {
+	if err := fn(j); err != nil {
 		return fmt.Errorf("%w: %v", ErrJournal, err)
 	}
 	if entries := e.registry.Audit().Since(auditFrom); len(entries) > 0 {
-		if err := e.journal.AuditAppend(entries); err != nil {
+		if err := j.AuditAppend(entries); err != nil {
 			return fmt.Errorf("%w: %v", ErrJournal, err)
 		}
 	}

@@ -15,6 +15,7 @@ package policy
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/lsds/browserflow/internal/audit"
 	"github.com/lsds/browserflow/internal/disclosure"
@@ -143,10 +144,16 @@ type Engine struct {
 	registry *tdm.Registry
 	mode     Mode
 
-	// journal, when non-nil, receives every state mutation for crash-safe
-	// durability (see Journal and SetJournal in journal.go).
-	journal Journal
+	// journal, when set, receives every state mutation for crash-safe
+	// durability (see Journal and SetJournal in journal.go). It lives in
+	// an atomic box so replica promotion can install a journal on an
+	// engine that is already serving reads without a data race.
+	journal atomic.Pointer[journalBox]
 }
+
+// journalBox wraps the interface so a nil journal is representable
+// inside atomic.Pointer.
+type journalBox struct{ j Journal }
 
 // NewEngine returns an Engine in the given mode.
 func NewEngine(tracker *disclosure.Tracker, registry *tdm.Registry, mode Mode) (*Engine, error) {
@@ -245,7 +252,8 @@ func (e *Engine) ObserveBatchFP(service string, items []disclosure.BatchObservat
 	if end := e.begin(); end != nil {
 		defer end()
 	}
-	if e.journal != nil {
+	journal := e.journalRef()
+	if journal != nil {
 		// Normalise text items to caller-computed fingerprints so the
 		// journal records hashes (never text — the same privacy posture
 		// as the wire protocol, §4.4).
@@ -269,8 +277,8 @@ func (e *Engine) ObserveBatchFP(service string, items []disclosure.BatchObservat
 	if err != nil {
 		return nil, err
 	}
-	if e.journal != nil {
-		if err := e.journal.ObserveBatch(service, items); err != nil {
+	if journal != nil {
+		if err := journal.ObserveBatch(service, items); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
 		}
 	}
@@ -349,11 +357,11 @@ func (e *Engine) Override(user string, seg segment.ID, destService, justificatio
 		Service:       destService,
 		Justification: justification,
 	})
-	if e.journal != nil {
+	if j := e.journalRef(); j != nil {
 		// Best effort: Override's signature carries no error. A failed
 		// append leaves the entry in memory, and the next checkpoint
 		// (which captures the audit log wholesale) persists it.
-		_ = e.journal.AuditAppend([]audit.Entry{entry})
+		_ = j.AuditAppend([]audit.Entry{entry})
 	}
 	return Verdict{Decision: DecisionAllow, Seg: seg, Service: destService}
 }

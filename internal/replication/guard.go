@@ -1,0 +1,50 @@
+package replication
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// mutatingPaths are the tag-service endpoints that change state. Reads
+// (/v1/check, /v1/upload, /v1/label, /v1/stats, metrics, health) are
+// served by every role; mutations linearise through the primary.
+var mutatingPaths = map[string]bool{
+	"/v1/observe":       true,
+	"/v1/observe/batch": true,
+	"/v1/suppress":      true,
+}
+
+// Guard fences the tag-service API by role: a replica (or fenced
+// ex-primary) answers every mutating request with 421 Misdirected
+// Request plus the primary's advertised address, and any request
+// carrying a higher X-BF-Term fences a stale primary before it can
+// accept the write. Wrap the tag server's handler with it.
+func Guard(node *Node, next http.Handler, logf func(string, ...interface{})) http.Handler {
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !mutatingPaths[r.URL.Path] {
+			next.ServeHTTP(w, r)
+			return
+		}
+		// A client that has learned a newer term fences us on contact:
+		// we can no longer prove our writes are on the authoritative
+		// timeline.
+		if v := r.Header.Get(HeaderTerm); v != "" {
+			if term, err := strconv.ParseUint(v, 10, 64); err == nil {
+				if fenced, ferr := node.ObserveTerm(term, ""); ferr != nil {
+					logf("replication: persisting observed term: %v", ferr)
+				} else if fenced {
+					logf("replication: write fenced this primary at term %d", term)
+				}
+			}
+		}
+		if node.Role() != RolePrimary {
+			writeError(w, node, http.StatusMisdirectedRequest,
+				"node is "+node.Role().String()+": writes must go to the primary")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,183 @@
+package replication
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/lsds/browserflow/internal/store"
+	"github.com/lsds/browserflow/internal/wal"
+)
+
+// mirror byte-mirrors the primary's WAL into a local directory. Segment
+// file names, headers and frame bytes are identical to the primary's, so
+// a replica's on-disk log is a literal byte prefix of the primary's and
+// a restart can resume streaming from the local end position.
+type mirror struct {
+	fs   wal.FS
+	dir  string
+	sync bool // fsync after every appended batch
+
+	seg  uint64 // segment currently open for append (0 = none)
+	off  int64  // next write offset within seg
+	file wal.File
+}
+
+// errDiverged reports a mirror/stream position mismatch. It is not
+// recoverable in place: the replica must discard its mirror and
+// re-bootstrap from a snapshot.
+type errDiverged struct {
+	seg        uint64
+	want, have int64
+}
+
+func (e *errDiverged) Error() string {
+	return fmt.Sprintf("replication: mirror diverged on segment %d: stream offset %d, local size %d",
+		e.seg, e.want, e.have)
+}
+
+// newMirror returns a mirror writing segments under dir. When syncEach is
+// true every appended batch is fsynced before apply, matching the
+// acked-write durability of a primary running fsync=always.
+func newMirror(fs wal.FS, dir string, syncEach bool) *mirror {
+	return &mirror{fs: fs, dir: dir, sync: syncEach}
+}
+
+// segPath returns the path of segment idx.
+func (m *mirror) segPath(idx uint64) string {
+	return filepath.Join(m.dir, wal.SegmentName(idx))
+}
+
+// closeFile closes any open segment handle.
+func (m *mirror) closeFile() error {
+	if m.file == nil {
+		return nil
+	}
+	err := m.file.Close()
+	m.file = nil
+	m.seg = 0
+	m.off = 0
+	return err
+}
+
+// openFor positions the mirror for an append at start. It opens (or
+// creates) the segment file and verifies the local size matches the
+// stream offset exactly — any mismatch means the mirror has diverged
+// from the primary's log and the caller must re-bootstrap.
+func (m *mirror) openFor(start wal.Pos) error {
+	if m.file != nil && m.seg == start.Segment {
+		if m.off != start.Offset {
+			// The stream skipped or repeated bytes relative to what we
+			// hold open; re-verify against the file below.
+			if err := m.closeFile(); err != nil {
+				return err
+			}
+		} else {
+			return nil
+		}
+	}
+	if m.file != nil {
+		if err := m.closeFile(); err != nil {
+			return err
+		}
+	}
+
+	path := m.segPath(start.Segment)
+	data, err := m.fs.ReadFile(path)
+	switch {
+	case err == nil:
+		if int64(len(data)) != start.Offset {
+			return &errDiverged{seg: start.Segment, want: start.Offset, have: int64(len(data))}
+		}
+		// Reopen for append. O_APPEND matters for the real filesystem;
+		// MemFS appends from the end regardless.
+		f, err := m.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+		if err != nil {
+			return fmt.Errorf("replication: open mirror segment: %w", err)
+		}
+		m.file, m.seg, m.off = f, start.Segment, start.Offset
+		return nil
+
+	case os.IsNotExist(err):
+		// A fresh segment must begin at its header boundary.
+		if start.Offset != wal.HeaderSize {
+			return &errDiverged{seg: start.Segment, want: start.Offset, have: 0}
+		}
+		if err := m.fs.MkdirAll(m.dir, 0o700); err != nil {
+			return fmt.Errorf("replication: mkdir mirror dir: %w", err)
+		}
+		f, err := m.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
+		if err != nil {
+			return fmt.Errorf("replication: create mirror segment: %w", err)
+		}
+		if _, err := f.Write(wal.SegmentHeader(start.Segment)); err != nil {
+			f.Close()
+			return fmt.Errorf("replication: write mirror segment header: %w", err)
+		}
+		if m.sync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return fmt.Errorf("replication: sync mirror segment header: %w", err)
+			}
+			if err := m.fs.SyncDir(m.dir); err != nil {
+				f.Close()
+				return fmt.Errorf("replication: sync mirror dir: %w", err)
+			}
+		}
+		m.file, m.seg, m.off = f, start.Segment, wal.HeaderSize
+		return nil
+
+	default:
+		return fmt.Errorf("replication: stat mirror segment: %w", err)
+	}
+}
+
+// appendAt writes frames at position start, verifying the local segment
+// ends exactly there first. Returns the position just past the written
+// bytes.
+func (m *mirror) appendAt(start wal.Pos, frames []byte) (wal.Pos, error) {
+	if len(frames) == 0 {
+		return start, nil
+	}
+	if err := m.openFor(start); err != nil {
+		return wal.Pos{}, err
+	}
+	if _, err := m.file.Write(frames); err != nil {
+		m.closeFile() //nolint:errcheck
+		return wal.Pos{}, fmt.Errorf("replication: append mirror segment: %w", err)
+	}
+	if m.sync {
+		if err := m.file.Sync(); err != nil {
+			m.closeFile() //nolint:errcheck
+			return wal.Pos{}, fmt.Errorf("replication: sync mirror segment: %w", err)
+		}
+	}
+	m.off += int64(len(frames))
+	return wal.Pos{Segment: m.seg, Offset: m.off}, nil
+}
+
+// wipe closes the open segment and removes every WAL segment and
+// checkpoint file under dir, preparing a clean re-bootstrap.
+func (m *mirror) wipe() error {
+	if err := m.closeFile(); err != nil {
+		return err
+	}
+	names, err := m.fs.ReadDirNames(m.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("replication: list mirror dir: %w", err)
+	}
+	for _, name := range names {
+		_, isSeg := wal.ParseSegmentName(name)
+		_, isCkpt := store.ParseCheckpointName(name)
+		if !isSeg && !isCkpt {
+			continue
+		}
+		if err := m.fs.Remove(filepath.Join(m.dir, name)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("replication: wipe %s: %w", name, err)
+		}
+	}
+	return m.fs.SyncDir(m.dir)
+}

@@ -1,0 +1,301 @@
+package replication
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/lsds/browserflow/internal/store"
+	"github.com/lsds/browserflow/internal/wal"
+)
+
+// Wire protocol headers. Every replication response carries the serving
+// node's term so clients and replicas learn about promotions passively.
+const (
+	// HeaderTerm is the fencing term of whoever sent the message. Clients
+	// and replicas send the highest term they have observed; nodes reply
+	// with their own.
+	HeaderTerm = "X-BF-Term"
+
+	// HeaderPrimary is the advertised address of the primary the sender
+	// believes in (present on 421 responses and fence notifications).
+	HeaderPrimary = "X-BF-Primary"
+
+	// HeaderPos is the normalised start position of a stream batch.
+	HeaderPos = "X-BF-Pos"
+
+	// HeaderNextPos is the position just past a stream batch — the `from`
+	// of the next stream call.
+	HeaderNextPos = "X-BF-Next-Pos"
+
+	// HeaderBatchBytes is the exact byte length of a stream batch body.
+	// Replicas verify it before applying anything: a chaos transport that
+	// truncates the body mid-frame must not advance the cursor past the
+	// valid prefix.
+	HeaderBatchBytes = "X-BF-Batch-Bytes"
+
+	// HeaderLag is the number of records remaining after the batch (the
+	// replica's lag once it applies the batch).
+	HeaderLag = "X-BF-Lag"
+)
+
+const (
+	// DefaultMaxBatchBytes bounds one stream batch body.
+	DefaultMaxBatchBytes = 1 << 20
+
+	// DefaultMaxWait bounds a stream long-poll.
+	DefaultMaxWait = 25 * time.Second
+)
+
+// errorBody is the JSON error payload for replication endpoints.
+type errorBody struct {
+	Error   string `json:"error"`
+	Primary string `json:"primary,omitempty"`
+	Term    uint64 `json:"term,omitempty"`
+}
+
+// Primary serves the replication API over a node's durable store:
+// /v1/repl/snapshot hands a bootstrapping replica a consistent
+// checkpoint, /v1/repl/stream long-polls raw WAL frames, and
+// /v1/repl/fence delivers term bumps.
+type Primary struct {
+	node     *Node
+	durable  *store.Durable
+	maxBatch int
+	maxWait  time.Duration
+	logf     func(string, ...interface{})
+}
+
+// PrimaryOptions configures NewPrimary.
+type PrimaryOptions struct {
+	// MaxBatchBytes bounds one stream batch (default DefaultMaxBatchBytes).
+	MaxBatchBytes int
+
+	// MaxWait caps a stream long-poll (default DefaultMaxWait).
+	MaxWait time.Duration
+
+	// Logf receives serving notes; nil discards.
+	Logf func(format string, args ...interface{})
+}
+
+// NewPrimary builds the replication serving side over node and its
+// durable store.
+func NewPrimary(node *Node, durable *store.Durable, opts PrimaryOptions) *Primary {
+	if opts.MaxBatchBytes <= 0 {
+		opts.MaxBatchBytes = DefaultMaxBatchBytes
+	}
+	if opts.MaxWait <= 0 {
+		opts.MaxWait = DefaultMaxWait
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...interface{}) {}
+	}
+	return &Primary{
+		node:     node,
+		durable:  durable,
+		maxBatch: opts.MaxBatchBytes,
+		maxWait:  opts.MaxWait,
+		logf:     opts.Logf,
+	}
+}
+
+// setTermHeaders stamps the node's current term (and primary, when known)
+// on a response.
+func setTermHeaders(w http.ResponseWriter, n *Node) {
+	role, term, primary := n.Snapshot()
+	w.Header().Set(HeaderTerm, strconv.FormatUint(term, 10))
+	if primary != "" && role != RolePrimary {
+		w.Header().Set(HeaderPrimary, primary)
+	}
+}
+
+// writeError emits a JSON error with the node's term headers.
+func writeError(w http.ResponseWriter, n *Node, status int, msg string) {
+	setTermHeaders(w, n)
+	_, term, primary := n.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: msg, Primary: primary, Term: term}) //nolint:errcheck
+}
+
+// observeRequestTerm feeds a request's X-BF-Term header into the node's
+// fencing logic. It reports whether the node is (still) the primary.
+func (p *Primary) observeRequestTerm(r *http.Request) bool {
+	if v := r.Header.Get(HeaderTerm); v != "" {
+		if term, err := strconv.ParseUint(v, 10, 64); err == nil {
+			if fenced, err := p.node.ObserveTerm(term, ""); err != nil {
+				p.logf("replication: persisting observed term: %v", err)
+			} else if fenced {
+				p.logf("replication: fenced by request term %d", term)
+			}
+		}
+	}
+	return p.node.Role() == RolePrimary
+}
+
+// handleSnapshot serves a consistent checkpoint for replica bootstrap.
+// The snapshot is captured behind the WAL epoch barrier, so its WALSeg
+// field is the exact stream position that follows it.
+func (p *Primary) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, p.node, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if !p.observeRequestTerm(r) {
+		p.writeNotPrimary(w)
+		return
+	}
+	snap, err := p.durable.CaptureCheckpoint()
+	if err != nil {
+		writeError(w, p.node, http.StatusInternalServerError, "capture checkpoint: "+err.Error())
+		return
+	}
+	setTermHeaders(w, p.node)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if err := json.NewEncoder(w).Encode(snap); err != nil {
+		p.logf("replication: stream snapshot: %v", err)
+	}
+}
+
+// handleStream serves raw CRC-framed WAL record bytes from ?from=seg,off.
+// Responses:
+//
+//	200 — body is a batch of frame bytes; headers carry the normalised
+//	      start, the next position, the exact body length and the lag.
+//	204 — caught up (after waiting up to ?wait=); Next-Pos repeats from.
+//	410 — the position is gone (truncated below the checkpoint floor, or
+//	      ahead of the primary's log after a failover); re-bootstrap.
+//	421 — this node is not the primary; follow X-BF-Primary.
+func (p *Primary) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, p.node, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if !p.observeRequestTerm(r) {
+		p.writeNotPrimary(w)
+		return
+	}
+	q := r.URL.Query()
+	from := wal.Pos{}
+	if v := q.Get("from"); v != "" {
+		parsed, err := wal.ParsePos(v)
+		if err != nil {
+			writeError(w, p.node, http.StatusBadRequest, "bad from: "+err.Error())
+			return
+		}
+		from = parsed
+	}
+	wait := time.Duration(0)
+	if v := q.Get("wait"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			writeError(w, p.node, http.StatusBadRequest, "bad wait")
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > p.maxWait {
+			wait = p.maxWait
+		}
+	}
+
+	log := p.durable.WAL()
+	frames, n, start, next, err := log.ReadFrom(from, p.maxBatch)
+	if err == nil && n == 0 && wait > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		werr := log.WaitFrom(ctx, from)
+		cancel()
+		if werr == nil {
+			frames, n, start, next, err = log.ReadFrom(from, p.maxBatch)
+		} else if !errors.Is(werr, context.DeadlineExceeded) && !errors.Is(werr, context.Canceled) {
+			err = werr
+		}
+	}
+	if err != nil {
+		p.writeStreamError(w, err)
+		return
+	}
+	// Re-check the role: a fence may have landed while we long-polled.
+	if p.node.Role() != RolePrimary {
+		p.writeNotPrimary(w)
+		return
+	}
+
+	lag, lagErr := log.CountFrom(next)
+	if lagErr != nil {
+		lag = 0
+	}
+	setTermHeaders(w, p.node)
+	w.Header().Set(HeaderPos, start.String())
+	w.Header().Set(HeaderNextPos, next.String())
+	w.Header().Set(HeaderBatchBytes, strconv.Itoa(len(frames)))
+	w.Header().Set(HeaderLag, strconv.FormatInt(lag, 10))
+	if n == 0 {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(frames)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(frames) //nolint:errcheck
+}
+
+// writeStreamError maps ReadFrom errors onto the wire.
+func (p *Primary) writeStreamError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, wal.ErrPositionGone):
+		writeError(w, p.node, http.StatusGone, err.Error())
+	case errors.Is(err, wal.ErrClosed):
+		writeError(w, p.node, http.StatusServiceUnavailable, "log closed")
+	default:
+		writeError(w, p.node, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// writeNotPrimary answers 421 with the primary's address, steering the
+// caller at whoever owns the highest term this node has seen.
+func (p *Primary) writeNotPrimary(w http.ResponseWriter) {
+	role, term, _ := p.node.Snapshot()
+	msg := fmt.Sprintf("node is %s at term %d, not primary", role, term)
+	writeError(w, p.node, http.StatusMisdirectedRequest, msg)
+}
+
+// handleFence applies an explicit term bump: POST {"term": T, "primary":
+// addr}. A deposed primary fenced this way refuses writes immediately.
+func handleFence(node *Node, logf func(string, ...interface{})) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, node, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var body struct {
+			Term    uint64 `json:"term"`
+			Primary string `json:"primary"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<10)).Decode(&body); err != nil {
+			writeError(w, node, http.StatusBadRequest, "bad fence body: "+err.Error())
+			return
+		}
+		fenced, err := node.ObserveTerm(body.Term, body.Primary)
+		if err != nil {
+			writeError(w, node, http.StatusInternalServerError, "persist term: "+err.Error())
+			return
+		}
+		if fenced {
+			logf("replication: fenced to term %d by %s", body.Term, body.Primary)
+		}
+		role, term, primary := node.Snapshot()
+		setTermHeaders(w, node)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]interface{}{ //nolint:errcheck
+			"role":    role.String(),
+			"term":    term,
+			"primary": primary,
+			"fenced":  fenced,
+		})
+	}
+}

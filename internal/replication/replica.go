@@ -1,0 +1,661 @@
+package replication
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/policy"
+	"github.com/lsds/browserflow/internal/store"
+	"github.com/lsds/browserflow/internal/tdm"
+	"github.com/lsds/browserflow/internal/wal"
+)
+
+// ReplicaOptions configures OpenReplica.
+type ReplicaOptions struct {
+	// Dir holds the mirrored WAL segments and local checkpoints.
+	Dir string
+
+	// FS is the filesystem; nil means the real one.
+	FS wal.FS
+
+	// Key encrypts local checkpoints at rest (mirrors the primary's -key).
+	Key []byte
+
+	// MaxRecordBytes bounds one WAL record (default
+	// wal.DefaultMaxRecordBytes).
+	MaxRecordBytes int
+
+	// HTTPClient dials the primary; nil uses a default client. Its
+	// transport may be wrapped (resilience middleware, fault injection).
+	// Long-poll requests get per-request contexts, so Timeout should be 0.
+	HTTPClient *http.Client
+
+	// PollWait is the server-side long-poll budget per stream call
+	// (default 10s).
+	PollWait time.Duration
+
+	// RetryBackoff is the pause after a failed round to the primary
+	// (default 200ms).
+	RetryBackoff time.Duration
+
+	// SyncEach fsyncs the mirror after every applied batch; it is the
+	// replica-side equivalent of fsync=always (default true; set
+	// NoSync to disable for benchmarks).
+	NoSync bool
+
+	// PromoteFsync is the WAL fsync policy the node adopts when promoted
+	// (zero = wal.SyncAlways).
+	PromoteFsync wal.SyncPolicy
+
+	// PromoteFsyncInterval is the group-commit cadence for
+	// wal.SyncInterval after promotion.
+	PromoteFsyncInterval time.Duration
+
+	// PromoteSegmentBytes is the WAL rotation threshold after promotion.
+	PromoteSegmentBytes int64
+
+	// PromoteCheckpointEvery is the background checkpoint cadence after
+	// promotion (0 disables).
+	PromoteCheckpointEvery time.Duration
+
+	// KeepCheckpoints bounds local checkpoint files (default
+	// store.DefaultKeepCheckpoints).
+	KeepCheckpoints int
+
+	// Logf receives replication notes; nil discards.
+	Logf func(format string, args ...interface{})
+}
+
+func (o ReplicaOptions) withDefaults() ReplicaOptions {
+	if o.FS == nil {
+		o.FS = wal.OSFS{}
+	}
+	if o.MaxRecordBytes <= 0 {
+		o.MaxRecordBytes = wal.DefaultMaxRecordBytes
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{}
+	}
+	if o.PollWait <= 0 {
+		o.PollWait = 10 * time.Second
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 200 * time.Millisecond
+	}
+	if o.KeepCheckpoints <= 0 {
+		o.KeepCheckpoints = store.DefaultKeepCheckpoints
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...interface{}) {}
+	}
+	return o
+}
+
+// ReplicaStatus is a point-in-time replica summary (exported on /healthz
+// and /v1/repl/status).
+type ReplicaStatus struct {
+	Role           string `json:"role"`
+	Term           uint64 `json:"term"`
+	Primary        string `json:"primary,omitempty"`
+	Position       string `json:"position"`
+	LagRecords     int64  `json:"lag_records"`
+	AppliedRecords int64  `json:"appliedRecords"`
+	Bootstraps     int64  `json:"bootstraps"`
+	Connected      bool   `json:"connected"`
+	LastError      string `json:"lastError,omitempty"`
+}
+
+// Replica byte-mirrors a primary's WAL and applies every streamed record
+// through the same idempotent machinery crash recovery uses. Reads are
+// served from the live engine; writes are fenced off by the Guard.
+type Replica struct {
+	node     *Node
+	engine   *policy.Engine
+	tracker  *disclosure.Tracker
+	registry *tdm.Registry
+	opts     ReplicaOptions
+	mirror   *mirror
+
+	mu          sync.Mutex
+	applier     *store.Applier
+	pos         wal.Pos
+	lag         int64
+	applied     int64
+	bootstraps  int64
+	connected   bool
+	lastErr     string
+	lastCkptSeg uint64
+
+	runMu   sync.Mutex
+	cancel  context.CancelFunc
+	done    chan struct{}
+	stopped bool
+}
+
+// OpenReplica recovers local replica state (newest checkpoint + mirrored
+// WAL replay, the store.Durable recovery discipline) into the engine's
+// tracker and registry, and returns a Replica positioned at the end of
+// its local mirror. Call Start to begin streaming.
+func OpenReplica(node *Node, engine *policy.Engine, opts ReplicaOptions) (*Replica, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("replication: replica Dir is required")
+	}
+	if err := opts.FS.MkdirAll(opts.Dir, 0o700); err != nil {
+		return nil, fmt.Errorf("replication: mkdir replica dir: %w", err)
+	}
+	r := &Replica{
+		node:     node,
+		engine:   engine,
+		tracker:  engine.Tracker(),
+		registry: engine.Registry(),
+		opts:     opts,
+		mirror:   newMirror(opts.FS, opts.Dir, !opts.NoSync),
+	}
+	if err := r.recoverLocal(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// recoverLocal validates the mirror (truncating a torn tail), restores
+// the newest local checkpoint and replays the mirrored records on top.
+// On any inconsistency it resets to the bootstrap state (zero position).
+func (r *Replica) recoverLocal() error {
+	info, err := wal.OpenTail(r.opts.FS, r.opts.Dir, r.opts.MaxRecordBytes, r.opts.Logf)
+	if err != nil {
+		r.opts.Logf("replication: local mirror invalid (%v); will re-bootstrap", err)
+		if werr := r.mirror.wipe(); werr != nil {
+			return werr
+		}
+		return nil
+	}
+
+	restore := func(s *store.Snapshot) error { return s.Restore(r.tracker, r.registry) }
+	snap, name, corrupt, err := store.LoadNewestCheckpoint(r.opts.FS, r.opts.Dir, r.opts.Key, restore, r.opts.Logf)
+	if err != nil {
+		return fmt.Errorf("replication: load local checkpoint: %w", err)
+	}
+	if corrupt > 0 {
+		r.opts.Logf("replication: skipped %d corrupt local checkpoints", corrupt)
+	}
+	if snap == nil {
+		// Without a checkpoint the mirrored segments are not provably a
+		// full history; start over from a fresh snapshot.
+		if len(info.Segments) > 0 {
+			r.opts.Logf("replication: mirror has segments but no checkpoint; re-bootstrapping")
+			if err := r.mirror.wipe(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	applier, err := store.NewApplier(r.tracker, r.registry)
+	if err != nil {
+		return fmt.Errorf("replication: build applier: %w", err)
+	}
+	reader, err := wal.NewReader(r.opts.FS, r.opts.Dir, wal.Pos{Segment: snap.WALSeg, Offset: wal.HeaderSize}, r.opts.MaxRecordBytes)
+	if err != nil {
+		return fmt.Errorf("replication: open mirror reader: %w", err)
+	}
+	replayed := int64(0)
+	for {
+		rec, err := reader.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			r.opts.Logf("replication: mirror replay failed (%v); re-bootstrapping", err)
+			if werr := r.mirror.wipe(); werr != nil {
+				return werr
+			}
+			return nil
+		}
+		if aerr := applier.Apply(rec); aerr != nil {
+			return fmt.Errorf("replication: replay mirrored record: %w", aerr)
+		}
+		replayed++
+	}
+	applier.RestoreAuditTimestamps()
+
+	// Resume at the mirror's end, floored at the checkpoint barrier (a
+	// checkpoint with no mirrored segments yet resumes at the barrier).
+	pos := info.End
+	if barrier := (wal.Pos{Segment: snap.WALSeg, Offset: wal.HeaderSize}); pos.Less(barrier) {
+		pos = barrier
+	}
+
+	r.applier = applier
+	r.pos = pos
+	r.applied = replayed
+	r.lastCkptSeg = snap.WALSeg
+	r.opts.Logf("replication: recovered from %s + %d mirrored records; resuming at %s",
+		name, replayed, pos)
+	return nil
+}
+
+// Start launches the streaming loop. It is a no-op when already running.
+func (r *Replica) Start() {
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	if r.cancel != nil || r.stopped {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	r.done = make(chan struct{})
+	go r.run(ctx)
+}
+
+// Stop halts the streaming loop (idempotent).
+func (r *Replica) Stop() {
+	r.runMu.Lock()
+	cancel, done := r.cancel, r.done
+	r.cancel = nil
+	r.stopped = true
+	r.runMu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+}
+
+// run is the replication loop: bootstrap when the position is zero,
+// otherwise stream, mirror and apply until cancelled.
+func (r *Replica) run(ctx context.Context) {
+	defer close(r.done)
+	for ctx.Err() == nil {
+		r.mu.Lock()
+		pos := r.pos
+		r.mu.Unlock()
+
+		var err error
+		if pos.IsZero() {
+			err = r.bootstrap(ctx)
+		} else {
+			err = r.streamOnce(ctx, pos)
+		}
+		if err == nil || ctx.Err() != nil {
+			continue
+		}
+
+		r.mu.Lock()
+		r.connected = false
+		r.lastErr = err.Error()
+		r.mu.Unlock()
+		if _, ok := err.(*errDiverged); ok {
+			r.opts.Logf("replication: %v; re-bootstrapping", err)
+			r.resetForBootstrap()
+			continue
+		}
+		r.opts.Logf("replication: %v (retrying in %s)", err, r.opts.RetryBackoff)
+		select {
+		case <-ctx.Done():
+		case <-time.After(r.opts.RetryBackoff):
+		}
+	}
+}
+
+// resetForBootstrap wipes the local mirror and zeroes the position so the
+// next loop iteration bootstraps from a fresh snapshot.
+func (r *Replica) resetForBootstrap() {
+	if err := r.mirror.wipe(); err != nil {
+		r.opts.Logf("replication: wiping mirror: %v", err)
+	}
+	r.mu.Lock()
+	r.pos = wal.Pos{}
+	r.applier = nil
+	r.lastCkptSeg = 0
+	r.mu.Unlock()
+}
+
+// newRequest builds a replication request against the current primary,
+// stamped with the highest term this node has observed.
+func (r *Replica) newRequest(ctx context.Context, method, path, query string) (*http.Request, error) {
+	primary := r.node.Primary()
+	if primary == "" {
+		return nil, fmt.Errorf("replication: no known primary")
+	}
+	url := primary + path
+	if query != "" {
+		url += "?" + query
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(HeaderTerm, strconv.FormatUint(r.node.Term(), 10))
+	return req, nil
+}
+
+// observeResponseTerm folds a response's term and primary headers into
+// the node's fencing state.
+func (r *Replica) observeResponseTerm(resp *http.Response) {
+	termHdr := resp.Header.Get(HeaderTerm)
+	if termHdr == "" {
+		return
+	}
+	term, err := strconv.ParseUint(termHdr, 10, 64)
+	if err != nil {
+		return
+	}
+	primary := resp.Header.Get(HeaderPrimary)
+	if _, err := r.node.ObserveTerm(term, primary); err != nil {
+		r.opts.Logf("replication: persisting observed term: %v", err)
+	}
+	if primary != "" {
+		r.node.SetPrimary(primary)
+	}
+}
+
+// bootstrap wipes the local mirror and rebuilds it from the primary's
+// snapshot endpoint: restore state wholesale, persist the snapshot as a
+// local checkpoint, and position the cursor at the snapshot's WAL epoch
+// barrier.
+func (r *Replica) bootstrap(ctx context.Context) error {
+	rctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	req, err := r.newRequest(rctx, http.MethodGet, "/v1/repl/snapshot", "")
+	if err != nil {
+		return err
+	}
+	resp, err := r.opts.HTTPClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("replication: fetch snapshot: %w", err)
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck
+		resp.Body.Close()
+	}()
+	r.observeResponseTerm(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replication: snapshot endpoint: status %d", resp.StatusCode)
+	}
+	var snap store.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("replication: decode snapshot: %w", err)
+	}
+	if snap.WALSeg == 0 {
+		return fmt.Errorf("replication: snapshot carries no WAL barrier")
+	}
+
+	if err := r.mirror.wipe(); err != nil {
+		return err
+	}
+	if err := snap.Restore(r.tracker, r.registry); err != nil {
+		return fmt.Errorf("replication: restore snapshot: %w", err)
+	}
+	applier, err := store.NewApplier(r.tracker, r.registry)
+	if err != nil {
+		return err
+	}
+	ckpt := filepath.Join(r.opts.Dir, store.CheckpointName(snap.WALSeg))
+	if err := store.SaveFS(r.opts.FS, ckpt, snap, r.opts.Key); err != nil {
+		return fmt.Errorf("replication: save local checkpoint: %w", err)
+	}
+
+	r.mu.Lock()
+	r.applier = applier
+	r.pos = wal.Pos{Segment: snap.WALSeg, Offset: wal.HeaderSize}
+	r.applied = 0
+	r.bootstraps++
+	r.lastCkptSeg = snap.WALSeg
+	r.connected = true
+	r.lastErr = ""
+	r.mu.Unlock()
+	r.opts.Logf("replication: bootstrapped from snapshot at barrier %d", snap.WALSeg)
+	return nil
+}
+
+// streamOnce performs one stream round: long-poll the primary from pos,
+// verify and mirror the returned frame bytes, then apply them.
+func (r *Replica) streamOnce(ctx context.Context, pos wal.Pos) error {
+	waitMS := strconv.FormatInt(r.opts.PollWait.Milliseconds(), 10)
+	rctx, cancel := context.WithTimeout(ctx, r.opts.PollWait+30*time.Second)
+	defer cancel()
+	req, err := r.newRequest(rctx, http.MethodGet, "/v1/repl/stream", "from="+pos.String()+"&wait="+waitMS)
+	if err != nil {
+		return err
+	}
+	resp, err := r.opts.HTTPClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("replication: stream: %w", err)
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10)) //nolint:errcheck
+		resp.Body.Close()
+	}()
+	r.observeResponseTerm(resp)
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return r.applyBatch(pos, resp)
+
+	case http.StatusNoContent:
+		// Caught up. The server may have normalised our position (e.g.
+		// rolled it over a sealed segment boundary).
+		r.mu.Lock()
+		r.connected = true
+		r.lastErr = ""
+		r.lag = 0
+		if next := resp.Header.Get(HeaderNextPos); next != "" {
+			if p, perr := wal.ParsePos(next); perr == nil && !p.IsZero() {
+				r.pos = p
+			}
+		}
+		r.mu.Unlock()
+		return nil
+
+	case http.StatusGone:
+		// Our position fell off the primary's log (checkpoint-truncated
+		// below, or we are ahead of a newly recovered primary).
+		r.opts.Logf("replication: position %s gone on primary; re-bootstrapping", pos)
+		r.resetForBootstrap()
+		return nil
+
+	case http.StatusMisdirectedRequest:
+		// Talking to a non-primary; headers already repointed us.
+		return fmt.Errorf("replication: peer is not primary (term %s)", resp.Header.Get(HeaderTerm))
+
+	default:
+		return fmt.Errorf("replication: stream: status %d", resp.StatusCode)
+	}
+}
+
+// applyBatch mirrors and applies one 200 stream response. The byte-count
+// header guards against truncated bodies: only the valid frame prefix is
+// mirrored and applied, and the cursor advances exactly past it.
+func (r *Replica) applyBatch(pos wal.Pos, resp *http.Response) error {
+	startHdr := resp.Header.Get(HeaderPos)
+	start := pos
+	if startHdr != "" {
+		p, err := wal.ParsePos(startHdr)
+		if err != nil {
+			return fmt.Errorf("replication: bad %s header: %v", HeaderPos, err)
+		}
+		start = p
+	}
+	want := -1
+	if v := resp.Header.Get(HeaderBatchBytes); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return fmt.Errorf("replication: bad %s header", HeaderBatchBytes)
+		}
+		want = n
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, int64(r.opts.MaxRecordBytes)+int64(DefaultMaxBatchBytes)))
+	if err != nil {
+		// Partial read: fall through with what we have; DecodeFrames
+		// keeps only the valid prefix.
+		r.opts.Logf("replication: stream body: %v (keeping valid prefix)", err)
+	}
+	if want >= 0 && len(body) > want {
+		body = body[:want]
+	}
+
+	// Decode the valid frame prefix. A truncated or garbled tail (chaos
+	// transport) is simply not applied; the next round re-fetches it.
+	recs, used := wal.DecodeFrames(body, r.opts.MaxRecordBytes)
+	if used == 0 {
+		if want > 0 {
+			return fmt.Errorf("replication: stream batch carried no valid frames (%d/%d bytes)", len(body), want)
+		}
+		return nil
+	}
+
+	// Mirror bytes BEFORE applying: on a crash between the two, recovery
+	// replays the mirrored record through the same idempotent path.
+	next, err := r.mirror.appendAt(start, body[:used])
+	if err != nil {
+		return err
+	}
+
+	r.mu.Lock()
+	applier := r.applier
+	r.mu.Unlock()
+	if applier == nil {
+		return fmt.Errorf("replication: no applier (not bootstrapped)")
+	}
+	for _, rec := range recs {
+		if err := applier.Apply(rec); err != nil {
+			return fmt.Errorf("replication: apply streamed record: %w", err)
+		}
+	}
+	applier.RestoreAuditTimestamps()
+
+	lag := int64(0)
+	if v := resp.Header.Get(HeaderLag); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			lag = n
+		}
+	}
+	if used < len(body) || (want >= 0 && used < want) {
+		// We dropped a torn tail; the primary still has those records.
+		lag++
+	}
+
+	r.mu.Lock()
+	r.pos = next
+	r.applied += int64(len(recs))
+	r.lag = lag
+	r.connected = true
+	r.lastErr = ""
+	ckptDue := next.Segment > r.lastCkptSeg
+	r.mu.Unlock()
+
+	if ckptDue {
+		if err := r.checkpointLocal(next.Segment); err != nil {
+			r.opts.Logf("replication: local checkpoint: %v", err)
+		}
+	}
+	return nil
+}
+
+// checkpointLocal captures the replica's state as a local checkpoint at
+// barrier seg (every mirrored segment below seg is fully applied), then
+// prunes old checkpoints. Mirrored segments are never pruned: the mirror
+// stays a literal byte prefix of the primary's log.
+func (r *Replica) checkpointLocal(seg uint64) error {
+	snap := store.Capture(r.tracker, r.registry)
+	snap.WALSeg = seg
+	path := filepath.Join(r.opts.Dir, store.CheckpointName(seg))
+	if err := store.SaveFS(r.opts.FS, path, snap, r.opts.Key); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.lastCkptSeg = seg
+	r.mu.Unlock()
+	r.pruneCheckpoints(seg)
+	return nil
+}
+
+// pruneCheckpoints removes local checkpoints older than the keep budget.
+func (r *Replica) pruneCheckpoints(newest uint64) {
+	names, err := r.opts.FS.ReadDirNames(r.opts.Dir)
+	if err != nil {
+		return
+	}
+	var segs []uint64
+	for _, name := range names {
+		if seg, ok := store.ParseCheckpointName(name); ok {
+			segs = append(segs, seg)
+		}
+	}
+	if len(segs) <= r.opts.KeepCheckpoints {
+		return
+	}
+	// Sort ascending (small n; insertion sort avoids an import).
+	for i := 1; i < len(segs); i++ {
+		for j := i; j > 0 && segs[j] < segs[j-1]; j-- {
+			segs[j], segs[j-1] = segs[j-1], segs[j]
+		}
+	}
+	for _, seg := range segs[:len(segs)-r.opts.KeepCheckpoints] {
+		if seg >= newest {
+			continue
+		}
+		r.opts.FS.Remove(filepath.Join(r.opts.Dir, store.CheckpointName(seg))) //nolint:errcheck
+	}
+}
+
+// Status snapshots the replica's replication state.
+func (r *Replica) Status() ReplicaStatus {
+	role, term, primary := r.node.Snapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReplicaStatus{
+		Role:           role.String(),
+		Term:           term,
+		Primary:        primary,
+		Position:       r.pos.String(),
+		LagRecords:     r.lag,
+		AppliedRecords: r.applied,
+		Bootstraps:     r.bootstraps,
+		Connected:      r.connected,
+		LastError:      r.lastErr,
+	}
+}
+
+// Promote stops streaming, bumps the node's term to take the primary
+// role, and opens the durability subsystem over the local mirror. The
+// recovery pass rebuilds state from the newest local checkpoint plus the
+// mirrored WAL — exactly what this replica had applied — and new writes
+// land in a fresh segment above the mirrored prefix, so the old
+// primary's log remains a byte prefix of the new primary's. The returned
+// Durable is installed as the engine's journal before Promote returns.
+func (r *Replica) Promote() (*store.Durable, uint64, error) {
+	r.Stop()
+	term, err := r.node.Promote()
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := r.mirror.closeFile(); err != nil {
+		return nil, 0, fmt.Errorf("replication: close mirror: %w", err)
+	}
+	durable, err := store.OpenDurable(store.DurableOptions{
+		Dir:             r.opts.Dir,
+		FS:              r.opts.FS,
+		Key:             r.opts.Key,
+		Fsync:           r.opts.PromoteFsync,
+		FsyncInterval:   r.opts.PromoteFsyncInterval,
+		SegmentBytes:    r.opts.PromoteSegmentBytes,
+		CheckpointEvery: r.opts.PromoteCheckpointEvery,
+		KeepCheckpoints: r.opts.KeepCheckpoints,
+		Logf:            r.opts.Logf,
+	}, r.tracker, r.registry)
+	if err != nil {
+		return nil, 0, fmt.Errorf("replication: open durable store after promotion: %w", err)
+	}
+	r.engine.SetJournal(durable)
+	r.opts.Logf("replication: promoted at term %d; durable store open over mirror", term)
+	return durable, term, nil
+}

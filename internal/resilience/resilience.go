@@ -4,9 +4,10 @@
 // provides composable http.RoundTripper middleware:
 //
 //   - RetryTransport: per-attempt deadlines and capped exponential backoff
-//     with full jitter. Only idempotent requests (GET/HEAD/OPTIONS/TRACE)
-//     and requests that provably never reached the server are retried — a
-//     delivered non-idempotent POST is never replayed.
+//     with full jitter. Only idempotent requests (GET/HEAD/OPTIONS/TRACE,
+//     or mutations explicitly marked replay-safe with an Idempotency-Key
+//     header) and requests that provably never reached the server are
+//     retried — a delivered non-idempotent POST is never replayed.
 //   - Breaker / BreakerTransport: a three-state circuit breaker
 //     (closed → open → half-open) that sheds load while the service is
 //     down and probes it with bounded trial requests on recovery.
@@ -63,14 +64,23 @@ func NotDelivered(err error) bool {
 	return errors.Is(err, syscall.ECONNREFUSED)
 }
 
-// Idempotent reports whether the request method may be retried
-// unconditionally.
+// IdempotencyKeyHeader marks a mutating request as safe to replay: the
+// sender guarantees that applying the request twice converges to the
+// same state (BrowserFlow's tag-service mutations have this property
+// because every one becomes an idempotent WAL record — see
+// internal/store's replay semantics). RetryTransport treats requests
+// carrying the header like idempotent methods.
+const IdempotencyKeyHeader = "Idempotency-Key"
+
+// Idempotent reports whether the request may be retried unconditionally:
+// either its method is idempotent by definition, or the sender opted in
+// by attaching an Idempotency-Key header.
 func Idempotent(req *http.Request) bool {
 	switch req.Method {
 	case http.MethodGet, http.MethodHead, http.MethodOptions, http.MethodTrace:
 		return true
 	}
-	return false
+	return req.Header.Get(IdempotencyKeyHeader) != ""
 }
 
 // RetryPolicy configures a RetryTransport.

@@ -25,7 +25,6 @@
 package store
 
 import (
-	"errors"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -34,7 +33,6 @@ import (
 
 	"github.com/lsds/browserflow/internal/audit"
 	"github.com/lsds/browserflow/internal/disclosure"
-	"github.com/lsds/browserflow/internal/fingerprint"
 	"github.com/lsds/browserflow/internal/policy"
 	"github.com/lsds/browserflow/internal/segment"
 	"github.com/lsds/browserflow/internal/tdm"
@@ -153,22 +151,11 @@ type Durable struct {
 
 var _ policy.Journal = (*Durable)(nil)
 
-// checkpointPrefix and checkpointName define the checkpoint file naming:
-// the hex field is the WAL epoch barrier segment.
-func checkpointName(seg uint64) string {
-	return fmt.Sprintf("checkpoint-%016x.bf", seg)
-}
-
-func parseCheckpointName(name string) (uint64, bool) {
-	var seg uint64
-	if _, err := fmt.Sscanf(name, "checkpoint-%016x.bf", &seg); err != nil {
-		return 0, false
-	}
-	if name != checkpointName(seg) {
-		return 0, false
-	}
-	return seg, true
-}
+// checkpointName and parseCheckpointName are internal aliases of the
+// exported helpers in applier.go (the hex field is the WAL epoch barrier
+// segment).
+func checkpointName(seg uint64) string            { return CheckpointName(seg) }
+func parseCheckpointName(name string) (uint64, bool) { return ParseCheckpointName(name) }
 
 // OpenDurable recovers the state in opts.Dir into tracker and registry
 // (newest valid checkpoint + WAL replay), then opens the WAL for
@@ -213,35 +200,16 @@ func (d *Durable) recover() error {
 	}
 
 	// 1. Newest checkpoint that loads and restores cleanly wins.
-	names, err := d.fs.ReadDirNames(d.opts.Dir)
+	restore := func(s *Snapshot) error { return s.Restore(d.tracker, d.registry) }
+	snap, name, corrupt, err := LoadNewestCheckpoint(d.fs, d.opts.Dir, d.opts.Key, restore, d.opts.Logf)
 	if err != nil {
-		return fmt.Errorf("store: read durable dir: %w", err)
+		return err
 	}
-	var ckpts []uint64
-	for _, name := range names {
-		if seg, ok := parseCheckpointName(name); ok {
-			ckpts = append(ckpts, seg)
-		}
-	}
-	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] > ckpts[j] }) // newest first
+	d.recovery.CorruptCheckpoints = corrupt
 	var barrier uint64
-	for _, seg := range ckpts {
-		name := checkpointName(seg)
-		snap, err := LoadFS(d.fs, filepath.Join(d.opts.Dir, name), d.opts.Key)
-		if err == nil {
-			err = snap.Restore(d.tracker, d.registry)
-		}
-		if err != nil {
-			d.recovery.CorruptCheckpoints++
-			d.opts.Logf("store: skipping checkpoint %s: %v", name, err)
-			continue
-		}
+	if snap != nil {
 		d.recovery.CheckpointLoaded = name
-		barrier = seg
-		if snap.WALSeg != 0 {
-			barrier = snap.WALSeg
-		}
-		break
+		barrier = snap.WALSeg
 	}
 	d.recovery.CheckpointSeg = barrier
 
@@ -300,15 +268,15 @@ func orEmpty(s, alt string) string {
 	return s
 }
 
-// replay applies every WAL record in segments >= barrier.
+// replay applies every WAL record in segments >= barrier through the
+// shared Applier (the same idempotent path streaming replicas use).
 func (d *Durable) replay(barrier uint64) error {
-	engine, err := policy.NewEngine(d.tracker, d.registry, policy.ModeAdvisory)
+	applier, err := NewApplier(d.tracker, d.registry)
 	if err != nil {
 		return err
 	}
-	amend := make(map[uint64]audit.Entry)
 	replayErr := d.log.Replay(barrier, func(seg uint64, rec wal.Record) error {
-		if err := d.apply(engine, rec, amend); err != nil {
+		if err := applier.Apply(rec); err != nil {
 			return fmt.Errorf("store: replay segment %d: %w", seg, err)
 		}
 		d.recovery.RecordsReplayed++
@@ -318,116 +286,8 @@ func (d *Durable) replay(barrier uint64) error {
 		return replayErr
 	}
 	// Restore original timestamps on regenerated audit entries.
-	auditLog := d.registry.Audit()
-	for _, e := range amend {
-		if auditLog.Amend(e) {
-			d.recovery.AuditRestored++
-		}
-	}
+	d.recovery.AuditRestored = applier.RestoreAuditTimestamps()
 	return nil
-}
-
-// apply replays one record through the engine.
-func (d *Durable) apply(engine *policy.Engine, rec wal.Record, amend map[uint64]audit.Entry) error {
-	switch rec.Type {
-	case recObserve:
-		op, err := decodeObserve(rec.Data)
-		if err != nil {
-			return err
-		}
-		fp := fingerprint.FromHashes(op.Hashes)
-		if op.G == segment.GranularityDocument {
-			_, err = engine.ObserveDocumentEditFP(op.Seg, op.Service, fp)
-		} else {
-			_, err = engine.ObserveEditFP(op.Seg, op.Service, fp)
-		}
-		return err
-
-	case recObserveBatch:
-		svc, items, err := decodeObserveBatch(rec.Data)
-		if err != nil {
-			return err
-		}
-		_, err = engine.ObserveBatchFP(svc, items)
-		return err
-
-	case recSuppress:
-		op, err := decodeControl(rec.Data)
-		if err != nil {
-			return err
-		}
-		// A suppression that is already in effect (tag no longer on the
-		// segment) is a no-op on re-application: replay stays idempotent.
-		return ignoreApplied(engine.Suppress(op.User, op.Seg, op.Tag, op.Justification))
-
-	case recAllocateTag:
-		op, err := decodeControl(rec.Data)
-		if err != nil {
-			return err
-		}
-		// Re-allocating a tag the journal already allocated is a no-op.
-		return ignoreApplied(engine.AllocateTag(op.User, op.Tag))
-
-	case recAddSegTag:
-		op, err := decodeControl(rec.Data)
-		if err != nil {
-			return err
-		}
-		return engine.AddTagToSegment(op.User, op.Seg, op.Tag)
-
-	case recGrantTag:
-		op, err := decodeControl(rec.Data)
-		if err != nil {
-			return err
-		}
-		return engine.GrantTag(op.User, op.Service, op.Tag)
-
-	case recRevokeTag:
-		op, err := decodeControl(rec.Data)
-		if err != nil {
-			return err
-		}
-		return engine.RevokeTag(op.User, op.Service, op.Tag)
-
-	case recAudit:
-		entries, err := decodeAudit(rec.Data)
-		if err != nil {
-			return err
-		}
-		auditLog := d.registry.Audit()
-		for _, e := range entries {
-			// Entries regenerated by an op replay are amended at the end
-			// (so their original timestamps win); standalone appends
-			// (overrides) are replayed here.
-			if e.Seq > uint64(auditLog.Len()) {
-				auditLog.Append(audit.Entry{
-					User:          e.User,
-					Action:        e.Action,
-					Tag:           e.Tag,
-					Segment:       e.Segment,
-					Service:       e.Service,
-					Justification: e.Justification,
-				})
-			}
-			amend[e.Seq] = e
-		}
-		return nil
-
-	default:
-		return fmt.Errorf("store: unknown WAL record type %d", rec.Type)
-	}
-}
-
-// ignoreApplied swallows errors that mean "this effect is already
-// present", which is exactly what re-running a WAL record over state
-// that already includes it produces. Keeping these benign makes replay
-// semantically idempotent: applying the log twice converges to the same
-// state instead of failing halfway.
-func ignoreApplied(err error) error {
-	if errors.Is(err, tdm.ErrTagExists) || errors.Is(err, tdm.ErrTagNotOnSegment) {
-		return nil
-	}
-	return err
 }
 
 // --- policy.Journal --------------------------------------------------------
@@ -583,6 +443,29 @@ func (d *Durable) checkpointLoop() {
 
 // Sync forces the WAL to stable storage regardless of fsync policy.
 func (d *Durable) Sync() error { return d.log.Sync() }
+
+// WAL exposes the underlying log for read-side consumers (the
+// replication stream endpoint reads raw frames and waits for appends
+// through it). Appends must still go through the Journal interface.
+func (d *Durable) WAL() *wal.Log { return d.log }
+
+// CaptureCheckpoint captures a consistent snapshot behind a fresh WAL
+// epoch barrier without installing it on disk: the replication snapshot
+// endpoint serves it to bootstrapping replicas, which then stream from
+// segment snap.WALSeg onwards. The extra segment rotation it costs is
+// harmless — the next durable Checkpoint simply rotates again.
+func (d *Durable) CaptureCheckpoint() (*Snapshot, error) {
+	d.barrier.Lock()
+	barrier, err := d.log.Rotate()
+	if err != nil {
+		d.barrier.Unlock()
+		return nil, err
+	}
+	snap := Capture(d.tracker, d.registry)
+	d.barrier.Unlock()
+	snap.WALSeg = barrier
+	return &snap, nil
+}
 
 // Stats returns the current durability summary.
 func (d *Durable) Stats() DurabilityStats {

@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"github.com/lsds/browserflow/internal/fingerprint"
@@ -26,10 +28,13 @@ const DefaultClientTimeout = 5 * time.Second
 // fingerprints text locally (the text never leaves the device) and ships
 // only the winnowed hashes.
 type Client struct {
-	base   string
-	device string
-	cfg    fingerprint.Config
-	http   *http.Client
+	base       string
+	device     string
+	cfg        fingerprint.Config
+	http       *http.Client
+	termSource func() uint64
+	keySeq     atomic.Int64
+	keyEpoch   int64
 }
 
 // ClientOption customises a Client.
@@ -73,6 +78,15 @@ func WithBreaker(b *resilience.Breaker) ClientOption {
 	}
 }
 
+// WithTermSource stamps every request with the highest replication term
+// the caller has observed (X-BF-Term). A stale primary receiving such a
+// request fences itself instead of accepting the write — the client-side
+// half of the fencing protocol. The failover layer (ClusterClient)
+// installs this automatically.
+func WithTermSource(fn func() uint64) ClientOption {
+	return func(c *Client) { c.termSource = fn }
+}
+
 // NewClient returns a Client for the service at base (e.g.
 // "http://tags.corp:7000"), identifying itself as device. By default calls
 // time out after DefaultClientTimeout; resilience middleware is opt-in via
@@ -85,10 +99,11 @@ func NewClient(base, device string, cfg fingerprint.Config, opts ...ClientOption
 		return nil, fmt.Errorf("tagserver: base URL and device are required")
 	}
 	c := &Client{
-		base:   base,
-		device: device,
-		cfg:    cfg,
-		http:   &http.Client{Timeout: DefaultClientTimeout},
+		base:     base,
+		device:   device,
+		cfg:      cfg,
+		http:     &http.Client{Timeout: DefaultClientTimeout},
+		keyEpoch: time.Now().UnixNano(),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -128,6 +143,33 @@ func IsUnavailable(err error) bool {
 		return true
 	}
 	return errors.Is(err, resilience.ErrCircuitOpen)
+}
+
+// NotPrimaryError is a 421 Misdirected Request from a replica or fenced
+// ex-primary: the write must be re-sent to Primary (when known). Term is
+// the responding node's fencing term; callers fold it into their term
+// source so stale primaries get fenced on contact.
+type NotPrimaryError struct {
+	Op      string
+	Primary string
+	Term    uint64
+}
+
+// Error implements error.
+func (e *NotPrimaryError) Error() string {
+	if e.Primary == "" {
+		return fmt.Sprintf("tagserver: %s: node is not the primary (term %d, primary unknown)", e.Op, e.Term)
+	}
+	return fmt.Sprintf("tagserver: %s: node is not the primary (term %d); writes go to %s", e.Op, e.Term, e.Primary)
+}
+
+// AsNotPrimary unwraps a NotPrimaryError from err, if present.
+func AsNotPrimary(err error) (*NotPrimaryError, bool) {
+	var np *NotPrimaryError
+	if errors.As(err, &np) {
+		return np, true
+	}
+	return nil, false
 }
 
 // Verdict is the client-side decision result.
@@ -320,6 +362,15 @@ func (c *Client) Health(ctx context.Context) error {
 	return nil
 }
 
+// HealthStatus fetches the full /healthz document, including the node's
+// replication role, term and lag. Failover layers use it to discover
+// which node is the primary and to bound replica read staleness.
+func (c *Client) HealthStatus(ctx context.Context) (HealthResponse, error) {
+	var out HealthResponse
+	err := c.getJSON(ctx, "/healthz", &out)
+	return out, err
+}
+
 // getJSON performs a GET and decodes the JSON response, classifying
 // transport errors, 5xx statuses, and malformed bodies as unavailability.
 func (c *Client) getJSON(ctx context.Context, pathAndQuery string, into interface{}) error {
@@ -369,6 +420,12 @@ func (c *Client) post(ctx context.Context, path string, req interface{}) (*http.
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// Every tag-service mutation becomes an idempotent WAL record on the
+	// server (re-applying it converges to the same state), so mark the
+	// request replay-safe: the retry layer may then re-send a POST even
+	// when the first attempt's delivery status is unknown.
+	hreq.Header.Set(resilience.IdempotencyKeyHeader, c.idempotencyKey())
+	c.stampTerm(hreq)
 	resp, err := c.http.Do(hreq)
 	if err != nil {
 		return nil, &UnavailableError{Op: path, Err: err}
@@ -376,13 +433,57 @@ func (c *Client) post(ctx context.Context, path string, req interface{}) (*http.
 	return resp, nil
 }
 
+// idempotencyKey mints a unique per-logical-request key: retries of the
+// same request reuse it (the header is set once before the retry layer),
+// distinct requests never collide.
+func (c *Client) idempotencyKey() string {
+	return fmt.Sprintf("%s-%d-%d", c.device, c.keyEpoch, c.keySeq.Add(1))
+}
+
+// stampTerm adds the highest observed replication term, when a source is
+// installed.
+func (c *Client) stampTerm(req *http.Request) {
+	if c.termSource != nil {
+		if term := c.termSource(); term > 0 {
+			req.Header.Set("X-BF-Term", strconv.FormatUint(term, 10))
+		}
+	}
+}
+
 // statusError converts a non-200 response into an error, classifying 5xx
-// as unavailability. The caller closes the body.
+// as unavailability and 421 as a replication redirect. The caller closes
+// the body.
 func statusError(path string, resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+	if resp.StatusCode == http.StatusMisdirectedRequest {
+		return notPrimaryError(path, resp, body)
+	}
 	err := fmt.Errorf("tagserver: %s status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
 	if resp.StatusCode >= http.StatusInternalServerError {
 		return &UnavailableError{Op: path, Err: err}
 	}
 	return err
+}
+
+// notPrimaryError builds a NotPrimaryError from a 421 response: the JSON
+// body's primary/term fields, with the X-BF-Primary / X-BF-Term headers
+// as fallback.
+func notPrimaryError(path string, resp *http.Response, body []byte) *NotPrimaryError {
+	np := &NotPrimaryError{Op: path}
+	var wire struct {
+		Primary string `json:"primary"`
+		Term    uint64 `json:"term"`
+	}
+	if json.Unmarshal(body, &wire) == nil {
+		np.Primary, np.Term = wire.Primary, wire.Term
+	}
+	if np.Primary == "" {
+		np.Primary = resp.Header.Get("X-BF-Primary")
+	}
+	if np.Term == 0 {
+		if term, err := strconv.ParseUint(resp.Header.Get("X-BF-Term"), 10, 64); err == nil {
+			np.Term = term
+		}
+	}
+	return np
 }

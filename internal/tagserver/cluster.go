@@ -1,0 +1,286 @@
+package tagserver
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/segment"
+	"github.com/lsds/browserflow/internal/tdm"
+)
+
+// ClusterClient splits traffic across a replicated tag service: reads
+// (check/upload/label/stats) round-robin over replicas and fail over to
+// the primary; writes (observe/suppress) go to the primary and follow
+// 421 redirects when the cluster has failed over to a new one. The
+// client tracks the highest replication term it has seen and stamps it
+// on every write, so a deposed primary that answers is fenced on contact
+// rather than accepting a stale write.
+type ClusterClient struct {
+	device string
+	cfg    fingerprint.Config
+	opts   []ClientOption
+
+	mu       sync.Mutex
+	primary  string
+	replicas []string
+	clients  map[string]*Client
+	rr       int
+	term     uint64
+
+	// maxRedirects bounds how many 421 redirects one write follows.
+	maxRedirects int
+}
+
+// NewClusterClient builds a client over a primary and any number of
+// read replicas. opts apply to every per-node Client it constructs.
+func NewClusterClient(primary string, replicas []string, device string, cfg fingerprint.Config, opts ...ClientOption) (*ClusterClient, error) {
+	if primary == "" {
+		return nil, fmt.Errorf("tagserver: cluster primary URL is required")
+	}
+	cc := &ClusterClient{
+		device:       device,
+		cfg:          cfg,
+		opts:         opts,
+		primary:      primary,
+		replicas:     append([]string(nil), replicas...),
+		clients:      make(map[string]*Client),
+		maxRedirects: 3,
+	}
+	// Validate eagerly: constructing the primary client surfaces bad
+	// config now rather than on the first call.
+	if _, err := cc.clientFor(primary); err != nil {
+		return nil, err
+	}
+	return cc, nil
+}
+
+// Term returns the highest replication term this client has observed.
+func (cc *ClusterClient) Term() uint64 {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.term
+}
+
+// Primary returns the address writes are currently sent to.
+func (cc *ClusterClient) Primary() string {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.primary
+}
+
+// observe folds a 421's term and primary into the client's routing state.
+func (cc *ClusterClient) observe(np *NotPrimaryError) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if np.Term > cc.term {
+		cc.term = np.Term
+	}
+	if np.Primary != "" && np.Primary != cc.primary {
+		cc.primary = np.Primary
+	}
+}
+
+// clientFor returns (building if needed) the per-node client for base.
+func (cc *ClusterClient) clientFor(base string) (*Client, error) {
+	cc.mu.Lock()
+	if c, ok := cc.clients[base]; ok {
+		cc.mu.Unlock()
+		return c, nil
+	}
+	cc.mu.Unlock()
+
+	opts := append(append([]ClientOption(nil), cc.opts...), WithTermSource(cc.Term))
+	c, err := NewClient(base, cc.device, cc.cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if existing, ok := cc.clients[base]; ok {
+		return existing, nil
+	}
+	cc.clients[base] = c
+	return c, nil
+}
+
+// discoverPrimary probes every known node's /healthz for one that
+// reports the primary role, adopting it for future writes.
+func (cc *ClusterClient) discoverPrimary(ctx context.Context) bool {
+	cc.mu.Lock()
+	candidates := append([]string{cc.primary}, cc.replicas...)
+	cc.mu.Unlock()
+	for _, base := range candidates {
+		c, err := cc.clientFor(base)
+		if err != nil {
+			continue
+		}
+		health, err := c.HealthStatus(ctx)
+		if err != nil || health.Replication == nil {
+			continue
+		}
+		cc.mu.Lock()
+		if health.Replication.Term > cc.term {
+			cc.term = health.Replication.Term
+		}
+		cc.mu.Unlock()
+		if health.Replication.Role == "primary" {
+			cc.mu.Lock()
+			cc.primary = base
+			cc.mu.Unlock()
+			return true
+		}
+		if p := health.Replication.Primary; p != "" {
+			cc.mu.Lock()
+			cc.primary = p
+			cc.mu.Unlock()
+			return true
+		}
+	}
+	return false
+}
+
+// write runs fn against the current primary, following up to
+// maxRedirects 421 redirects (learning the new primary from the error
+// or, when it is not advertised, from the replicas' health endpoints).
+func (cc *ClusterClient) write(ctx context.Context, fn func(*Client) error) error {
+	var lastErr error
+	for attempt := 0; attempt <= cc.maxRedirects; attempt++ {
+		c, err := cc.clientFor(cc.Primary())
+		if err != nil {
+			return err
+		}
+		err = fn(c)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		np, ok := AsNotPrimary(err)
+		if !ok {
+			if IsUnavailable(err) && cc.discoverPrimary(ctx) {
+				continue
+			}
+			return err
+		}
+		cc.observe(np)
+		if np.Primary == "" && !cc.discoverPrimary(ctx) {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// nextReadOrder returns the bases to try for one read: replicas in
+// round-robin order, then the primary as the fallback.
+func (cc *ClusterClient) nextReadOrder() []string {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	order := make([]string, 0, len(cc.replicas)+1)
+	n := len(cc.replicas)
+	if n > 0 {
+		start := cc.rr % n
+		cc.rr++
+		for i := 0; i < n; i++ {
+			order = append(order, cc.replicas[(start+i)%n])
+		}
+	}
+	return append(order, cc.primary)
+}
+
+// read runs fn against replicas (round-robin) and falls back to the
+// primary when every replica is unavailable.
+func (cc *ClusterClient) read(fn func(*Client) error) error {
+	var lastErr error
+	for _, base := range cc.nextReadOrder() {
+		c, err := cc.clientFor(base)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = fn(c)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !IsUnavailable(err) {
+			// Application-level rejection: failing over will not help.
+			return err
+		}
+	}
+	return lastErr
+}
+
+// ObserveBatch flushes coalesced edits to the primary (following
+// failovers), returning one verdict per item.
+func (cc *ClusterClient) ObserveBatch(ctx context.Context, service string, items []BatchItem) ([]Verdict, error) {
+	var out []Verdict
+	err := cc.write(ctx, func(c *Client) error {
+		v, err := c.ObserveBatchCtx(ctx, service, items)
+		if err == nil {
+			out = v
+		}
+		return err
+	})
+	return out, err
+}
+
+// Observe records one paragraph edit on the primary.
+func (cc *ClusterClient) Observe(ctx context.Context, service string, seg segment.ID, text string) (Verdict, error) {
+	var out Verdict
+	err := cc.write(ctx, func(c *Client) error {
+		v, err := c.ObserveCtx(ctx, service, seg, text)
+		if err == nil {
+			out = v
+		}
+		return err
+	})
+	return out, err
+}
+
+// Suppress declassifies a tag via the primary.
+func (cc *ClusterClient) Suppress(ctx context.Context, user string, seg segment.ID, tag tdm.Tag, justification string) error {
+	return cc.write(ctx, func(c *Client) error {
+		return c.SuppressCtx(ctx, user, seg, tag, justification)
+	})
+}
+
+// Check evaluates ad-hoc text against a destination on any replica
+// (primary fallback).
+func (cc *ClusterClient) Check(ctx context.Context, text, dest string) (Verdict, error) {
+	var out Verdict
+	err := cc.read(func(c *Client) error {
+		v, err := c.CheckCtx(ctx, text, dest)
+		if err == nil {
+			out = v
+		}
+		return err
+	})
+	return out, err
+}
+
+// Label fetches a segment's label from any replica (primary fallback).
+func (cc *ClusterClient) Label(ctx context.Context, seg segment.ID) (LabelResponse, error) {
+	var out LabelResponse
+	err := cc.read(func(c *Client) error {
+		l, err := c.LabelCtx(ctx, seg)
+		if err == nil {
+			out = l
+		}
+		return err
+	})
+	return out, err
+}
+
+// Stats fetches database sizes from any replica (primary fallback).
+func (cc *ClusterClient) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	err := cc.read(func(c *Client) error {
+		s, err := c.StatsCtx(ctx)
+		if err == nil {
+			out = s
+		}
+		return err
+	})
+	return out, err
+}

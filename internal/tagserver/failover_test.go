@@ -438,12 +438,39 @@ func TestFailoverMidDrainRelapse(t *testing.T) {
 }
 
 // Acceptance criterion: no retry is ever issued for a non-idempotent
-// request whose body was delivered upstream — asserted with the fault
-// injector's delivery counter.
+// request whose body was delivered upstream *unless the sender opted in
+// with an Idempotency-Key* — asserted with the fault injector's delivery
+// counter. (The tagserver Client does opt in — every mutation becomes an
+// idempotent WAL record — so the keyless contract is pinned with a raw
+// request here, and the opt-in behaviour in the test that follows.)
 func TestNoRetryForDeliveredPost(t *testing.T) {
 	srv, _ := newService(t)
 	inj := faultinject.New(srv.Client().Transport, 1)
 	inj.AddRule(faultinject.Rule{PathPrefix: "/v1/check", Kind: faultinject.KindResetAfterSend})
+	rt := resilience.NewRetryTransport(inj, resilience.RetryPolicy{MaxAttempts: 4, Sleep: func(time.Duration) {}})
+	httpc := &http.Client{Transport: rt}
+
+	resp, err := httpc.Post(srv.URL+"/v1/check", "application/json",
+		strings.NewReader(`{"device":"laptop","dest":"docs","hashes":[1,2,3]}`))
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("expected error for reset-after-send")
+	}
+	if got := inj.Delivered("POST", "/v1/check"); got != 1 {
+		t.Errorf("delivered=%d, want exactly 1 (no replay of a delivered keyless POST)", got)
+	}
+	if got := inj.Attempts("/v1/check"); got != 1 {
+		t.Errorf("attempts=%d, want 1 — a delivered keyless POST must never be retried", got)
+	}
+}
+
+// The Client marks its requests replay-safe with an Idempotency-Key, so
+// an ambiguous failure (reset after delivery) IS retried and the call
+// succeeds on the second attempt.
+func TestClientPostsCarryIdempotencyKey(t *testing.T) {
+	srv, _ := newService(t)
+	inj := faultinject.New(srv.Client().Transport, 1)
+	inj.AddRule(faultinject.Rule{PathPrefix: "/v1/check", Kind: faultinject.KindResetAfterSend, Times: 1})
 	client, err := NewClient(srv.URL, "laptop", fpConfig(),
 		WithTransport(inj),
 		WithRetry(resilience.RetryPolicy{MaxAttempts: 4, Sleep: func(time.Duration) {}}),
@@ -451,14 +478,11 @@ func TestNoRetryForDeliveredPost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Check("some text heading for the wire", "docs"); err == nil {
-		t.Fatal("expected error for reset-after-send")
+	if _, err := client.Check("some text heading for the wire", "docs"); err != nil {
+		t.Fatalf("check with idempotency key should survive one reset: %v", err)
 	}
-	if got := inj.Delivered("POST", "/v1/check"); got != 1 {
-		t.Errorf("delivered=%d, want exactly 1 (no replay of a delivered POST)", got)
-	}
-	if got := inj.Attempts("/v1/check"); got != 1 {
-		t.Errorf("attempts=%d, want 1 — a delivered POST must never be retried", got)
+	if got := inj.Attempts("/v1/check"); got != 2 {
+		t.Errorf("attempts=%d, want 2 (one reset + one successful retry)", got)
 	}
 }
 

@@ -127,6 +127,25 @@ type HealthResponse struct {
 	// Durability summarises the WAL + checkpoint subsystem; nil when the
 	// server runs without a durability layer.
 	Durability *HealthDurability `json:"durability,omitempty"`
+
+	// Replication summarises the node's cluster role; nil when the server
+	// runs standalone.
+	Replication *HealthReplication `json:"replication,omitempty"`
+}
+
+// HealthReplication is the /healthz view of the replication subsystem:
+// the node's role and fencing term, and — on replicas — how far behind
+// the primary it is, so callers can bound read staleness.
+type HealthReplication struct {
+	Role           string `json:"role"`
+	Term           uint64 `json:"term"`
+	Primary        string `json:"primary,omitempty"`
+	Position       string `json:"position,omitempty"`
+	LagRecords     int64  `json:"lag_records"`
+	AppliedRecords int64  `json:"appliedRecords,omitempty"`
+	Bootstraps     int64  `json:"bootstraps,omitempty"`
+	Connected      bool   `json:"connected"`
+	LastError      string `json:"lastError,omitempty"`
 }
 
 // HealthDurability is the /healthz view of the durability subsystem.
@@ -163,16 +182,31 @@ func WithMaxBodyBytes(n int64) ServerOption {
 // /metrics (Prometheus gauges/counters) and /healthz. Pass
 // (*store.Durable).Stats.
 func WithDurabilityStats(fn func() store.DurabilityStats) ServerOption {
+	return WithDurabilitySource(func() (store.DurabilityStats, bool) { return fn(), true })
+}
+
+// WithDurabilitySource is WithDurabilityStats for nodes whose durability
+// layer appears at runtime (a replica opens its journal only when
+// promoted): the source reports ok=false until stats exist.
+func WithDurabilitySource(fn func() (store.DurabilityStats, bool)) ServerOption {
 	return func(s *Server) { s.durability = fn }
+}
+
+// WithReplicationStatus exposes the node's replication role, term and
+// lag on /healthz and /metrics. The callback is invoked per request, so
+// it may reflect a live promotion.
+func WithReplicationStatus(fn func() HealthReplication) ServerOption {
+	return func(s *Server) { s.replication = fn }
 }
 
 // Server is the shared tag service. It is safe for concurrent use.
 type Server struct {
-	engine     *policy.Engine
-	mux        *http.ServeMux
-	maxBody    int64
-	started    time.Time
-	durability func() store.DurabilityStats
+	engine      *policy.Engine
+	mux         *http.ServeMux
+	maxBody     int64
+	started     time.Time
+	durability  func() (store.DurabilityStats, bool)
+	replication func() HealthReplication
 
 	// Operational counters, exported in Prometheus text format at
 	// /metrics.
@@ -368,6 +402,15 @@ func statusFor(err error) int {
 	return http.StatusBadRequest
 }
 
+// durabilityStats loads the durability source when one is installed and
+// currently reporting (a replica has none until promotion).
+func (s *Server) durabilityStats() (store.DurabilityStats, bool) {
+	if s.durability == nil {
+		return store.DurabilityStats{}, false
+	}
+	return s.durability()
+}
+
 func (s *Server) countViolation(v policy.Verdict) {
 	if v.Violation() {
 		s.violations.Add(1)
@@ -387,8 +430,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE browserflow_segments gauge\nbrowserflow_segments %d\n", stats.Segments)
 	fmt.Fprintf(w, "# TYPE browserflow_distinct_hashes gauge\nbrowserflow_distinct_hashes %d\n", stats.DistinctHashes)
 	fmt.Fprintf(w, "# TYPE browserflow_audit_entries gauge\nbrowserflow_audit_entries %d\n", s.engine.Registry().Audit().Len())
-	if s.durability != nil {
-		d := s.durability()
+	if s.replication != nil {
+		rs := s.replication()
+		fmt.Fprintf(w, "# TYPE browserflow_replication_role gauge\nbrowserflow_replication_role{role=%q} 1\n", rs.Role)
+		fmt.Fprintf(w, "# TYPE browserflow_replication_term gauge\nbrowserflow_replication_term %d\n", rs.Term)
+		fmt.Fprintf(w, "# TYPE browserflow_replication_lag_records gauge\nbrowserflow_replication_lag_records %d\n", rs.LagRecords)
+		fmt.Fprintf(w, "# TYPE browserflow_replication_applied_records counter\nbrowserflow_replication_applied_records %d\n", rs.AppliedRecords)
+		fmt.Fprintf(w, "# TYPE browserflow_replication_bootstraps_total counter\nbrowserflow_replication_bootstraps_total %d\n", rs.Bootstraps)
+		connected := 0
+		if rs.Connected {
+			connected = 1
+		}
+		fmt.Fprintf(w, "# TYPE browserflow_replication_connected gauge\nbrowserflow_replication_connected %d\n", connected)
+	}
+	if d, ok := s.durabilityStats(); ok {
 		fmt.Fprintf(w, "# TYPE browserflow_wal_records_total counter\nbrowserflow_wal_records_total %d\n", d.WAL.RecordsAppended)
 		fmt.Fprintf(w, "# TYPE browserflow_wal_bytes_total counter\nbrowserflow_wal_bytes_total %d\n", d.WAL.BytesAppended)
 		fmt.Fprintf(w, "# TYPE browserflow_wal_fsyncs_total counter\nbrowserflow_wal_fsyncs_total %d\n", d.WAL.Fsyncs)
@@ -446,8 +501,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Uptime:   time.Since(s.started).Round(time.Second).String(),
 		Segments: stats.Segments,
 	}
-	if s.durability != nil {
-		d := s.durability()
+	if rs := s.replication; rs != nil {
+		status := rs()
+		resp.Replication = &status
+	}
+	if d, ok := s.durabilityStats(); ok {
 		hd := &HealthDurability{
 			WALRecords:       d.WAL.RecordsAppended,
 			WALSegments:      d.WAL.Segments,

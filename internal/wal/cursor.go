@@ -1,0 +1,334 @@
+// Cursor support: exported positions into the log, frame-granular tail
+// reads, and change notification. This is the substrate of WAL-shipping
+// replication (internal/replication): a primary serves raw frame bytes
+// from ReadFrom, replicas mirror them verbatim so their directories stay
+// byte-identical prefixes of the primary's, and WaitFrom gives the stream
+// endpoint its long-poll wakeup without busy-reading segment files.
+package wal
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+)
+
+// Exported framing constants for consumers that ship or mirror raw
+// segment bytes.
+const (
+	// HeaderSize is the length of a segment file header.
+	HeaderSize = headerSize
+
+	// FrameOverhead is the length of one frame header (CRC + length +
+	// type) preceding the payload.
+	FrameOverhead = frameOverhead
+)
+
+// ErrPositionGone reports a read position that the log can no longer
+// serve: either the segments below it were truncated away by a
+// checkpoint (the reader must re-bootstrap from a snapshot), or the
+// position lies beyond the log's end (the reader has diverged — e.g. it
+// mirrored bytes a crashed primary lost to torn-tail truncation).
+var ErrPositionGone = errors.New("wal: position gone")
+
+// Pos addresses a byte offset within a segment of the log. The zero Pos
+// means "from the very beginning". Offsets always point at a frame
+// boundary (or a segment end); the first valid offset in any segment is
+// HeaderSize.
+type Pos struct {
+	Segment uint64
+	Offset  int64
+}
+
+// String renders the position as "<segment>,<offset>" — the wire form
+// used by the replication stream's from= parameter.
+func (p Pos) String() string { return fmt.Sprintf("%d,%d", p.Segment, p.Offset) }
+
+// ParsePos inverts Pos.String.
+func ParsePos(s string) (Pos, error) {
+	var p Pos
+	if _, err := fmt.Sscanf(s, "%d,%d", &p.Segment, &p.Offset); err != nil {
+		return Pos{}, fmt.Errorf("wal: bad position %q (want \"segment,offset\"): %w", s, err)
+	}
+	if p.Offset < 0 {
+		return Pos{}, fmt.Errorf("wal: bad position %q: negative offset", s)
+	}
+	return p, nil
+}
+
+// IsZero reports whether p is the zero position.
+func (p Pos) IsZero() bool { return p == Pos{} }
+
+// Less orders positions lexicographically by (segment, offset).
+func (p Pos) Less(q Pos) bool {
+	if p.Segment != q.Segment {
+		return p.Segment < q.Segment
+	}
+	return p.Offset < q.Offset
+}
+
+// SegmentHeader returns the canonical 17-byte header of segment idx.
+// Mirroring consumers write it so their segment files are byte-identical
+// to the primary's.
+func SegmentHeader(idx uint64) []byte {
+	hdr := make([]byte, headerSize)
+	copy(hdr, segMagic)
+	hdr[8] = formatVersion
+	binary.BigEndian.PutUint64(hdr[9:17], idx)
+	return hdr
+}
+
+// DecodeFrames parses a buffer of concatenated frames (the byte form
+// produced by Log.ReadFrom and shipped over the replication stream). It
+// returns the decoded records and the number of bytes consumed. A
+// trailing partial or corrupt frame stops the scan without error:
+// consumers on unreliable transports apply the valid prefix and re-fetch
+// the rest. maxRecord <= 0 means DefaultMaxRecordBytes.
+func DecodeFrames(data []byte, maxRecord int) ([]Record, int) {
+	if maxRecord <= 0 {
+		maxRecord = DefaultMaxRecordBytes
+	}
+	var recs []Record
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameOverhead {
+			break
+		}
+		wantCRC := binary.BigEndian.Uint32(rest[0:4])
+		length := binary.BigEndian.Uint32(rest[4:8])
+		if int64(length) > int64(maxRecord) {
+			break
+		}
+		total := frameOverhead + int(length)
+		if len(rest) < total {
+			break
+		}
+		if crc32.Checksum(rest[4:total], castagnoli) != wantCRC {
+			break
+		}
+		recs = append(recs, Record{
+			Type: rest[8],
+			Data: append([]byte(nil), rest[frameOverhead:total]...),
+		})
+		off += total
+	}
+	return recs, off
+}
+
+// End returns the position one past the last appended byte — where the
+// next record will land.
+func (l *Log) End() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Pos{Segment: l.curSeg, Offset: l.curSize}
+}
+
+// normalizeLocked canonicalises p against the live segment set: the zero
+// position becomes the start of the oldest segment, sub-header offsets
+// snap to HeaderSize, and positions at the end of a sealed segment roll
+// over to the start of the next. It reports ok=false when the position
+// cannot be served, with ahead=true when it lies beyond the log end
+// (divergence) as opposed to below its truncation floor.
+func (l *Log) normalizeLocked(p Pos) (_ Pos, ok, ahead bool) {
+	if p.IsZero() {
+		if len(l.segs) == 0 {
+			return p, false, false
+		}
+		p = Pos{Segment: l.segs[0], Offset: headerSize}
+	}
+	if p.Offset < headerSize {
+		p.Offset = headerSize
+	}
+	for {
+		if p.Segment == l.curSeg {
+			if p.Offset > l.curSize {
+				return p, false, true
+			}
+			return p, true, false
+		}
+		sz, live := l.sizes[p.Segment]
+		if !live {
+			return p, false, p.Segment > l.curSeg
+		}
+		if p.Offset > sz {
+			return p, false, true
+		}
+		if p.Offset == sz {
+			// Rollover: the next live segment (usually +1, but MinSegment
+			// recovery floors can leave index gaps).
+			next, found := l.nextLiveLocked(p.Segment)
+			if !found {
+				return p, false, true
+			}
+			p = Pos{Segment: next, Offset: headerSize}
+			continue
+		}
+		return p, true, false
+	}
+}
+
+// nextLiveLocked returns the smallest live segment index strictly above
+// seg.
+func (l *Log) nextLiveLocked(seg uint64) (uint64, bool) {
+	for _, idx := range l.segs {
+		if idx > seg {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// positionErr renders a normalizeLocked failure as an ErrPositionGone.
+func positionErr(p Pos, ahead bool) error {
+	if ahead {
+		return fmt.Errorf("%w: position %s is beyond the log end", ErrPositionGone, p)
+	}
+	return fmt.Errorf("%w: position %s was truncated below the checkpoint floor", ErrPositionGone, p)
+}
+
+// ReadFrom returns up to maxBytes of raw, CRC-framed record bytes
+// starting at position from, never crossing a segment boundary. It
+// reports the number of whole records in the returned bytes, the
+// normalised position the bytes actually start at (which may differ from
+// the request when it rolls over a sealed segment's end), and the
+// position immediately after them. A caught-up reader gets (nil, 0,
+// end, end, nil). maxBytes <= 0 means 1 MiB; the first record is always
+// included whole even when it alone exceeds maxBytes.
+func (l *Log) ReadFrom(from Pos, maxBytes int) (frames []byte, n int, start, next Pos, err error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, 0, from, from, ErrClosed
+	}
+	p, ok, ahead := l.normalizeLocked(from)
+	if !ok {
+		l.mu.Unlock()
+		return nil, 0, from, from, positionErr(p, ahead)
+	}
+	limit := l.sizes[p.Segment]
+	if p.Segment == l.curSeg {
+		limit = l.curSize
+	}
+	dir, maxRecord := l.opts.Dir, l.opts.MaxRecordBytes
+	l.mu.Unlock()
+
+	if p.Offset == limit {
+		// normalizeLocked only leaves a position at a segment end when
+		// that segment is the current one: caught up.
+		return nil, 0, p, p, nil
+	}
+	path := filepath.Join(dir, SegmentName(p.Segment))
+	data, err := l.fs.ReadFile(path)
+	if err != nil {
+		return nil, 0, p, p, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	if int64(len(data)) > limit {
+		// The current segment grew after we snapshotted curSize; serve
+		// only the bytes the snapshot covers so callers see a stable
+		// prefix.
+		data = data[:limit]
+	}
+	if int64(len(data)) < limit {
+		return nil, 0, p, p, fmt.Errorf("wal: read %s: %d bytes on disk, expected %d", path, len(data), limit)
+	}
+	span, count, scanErr := scanFrameRange(data, int(p.Offset), maxRecord, maxBytes)
+	if scanErr != nil {
+		return nil, 0, p, p, &CorruptError{Path: path, Offset: p.Offset + int64(span), Reason: scanErr.Error()}
+	}
+	out := append([]byte(nil), data[p.Offset:int(p.Offset)+span]...)
+	return out, count, p, Pos{Segment: p.Segment, Offset: p.Offset + int64(span)}, nil
+}
+
+// scanFrameRange walks whole frames in data[off:], stopping once span
+// would exceed maxBytes (but always admitting the first frame). It
+// returns the byte span and record count of the valid run; err is
+// non-nil when a frame inside the range is malformed.
+func scanFrameRange(data []byte, off, maxRecord, maxBytes int) (span, count int, err error) {
+	start := off
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameOverhead {
+			return off - start, count, fmt.Errorf("truncated frame header (%d bytes)", len(rest))
+		}
+		wantCRC := binary.BigEndian.Uint32(rest[0:4])
+		length := binary.BigEndian.Uint32(rest[4:8])
+		if int64(length) > int64(maxRecord) {
+			return off - start, count, fmt.Errorf("frame length %d exceeds limit %d", length, maxRecord)
+		}
+		total := frameOverhead + int(length)
+		if len(rest) < total {
+			return off - start, count, fmt.Errorf("truncated frame: have %d of %d bytes", len(rest), total)
+		}
+		if count > 0 && off-start+total > maxBytes {
+			break
+		}
+		if crc32.Checksum(rest[4:total], castagnoli) != wantCRC {
+			return off - start, count, fmt.Errorf("frame CRC mismatch")
+		}
+		off += total
+		count++
+	}
+	return off - start, count, nil
+}
+
+// WaitFrom blocks until the log holds records at or after position from,
+// the context is done, or the log is closed. It returns nil when data is
+// available, the context error on cancellation, ErrClosed after Close,
+// and ErrPositionGone when the position can no longer be served.
+func (l *Log) WaitFrom(ctx context.Context, from Pos) error {
+	for {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return ErrClosed
+		}
+		p, ok, ahead := l.normalizeLocked(from)
+		if !ok {
+			l.mu.Unlock()
+			return positionErr(p, ahead)
+		}
+		if p.Segment != l.curSeg || p.Offset < l.curSize {
+			l.mu.Unlock()
+			return nil
+		}
+		ch := l.notify
+		l.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// CountFrom counts the records at or after position from — the primary's
+// measure of a replica's lag. The caught-up fast path costs one mutex
+// acquisition and no I/O.
+func (l *Log) CountFrom(from Pos) (int64, error) {
+	var total int64
+	pos := from
+	for {
+		_, n, _, next, err := l.ReadFrom(pos, 1<<20)
+		if err != nil {
+			return total, err
+		}
+		if n == 0 {
+			return total, nil
+		}
+		total += int64(n)
+		pos = next
+	}
+}
+
+// notifyLocked wakes every WaitFrom blocked on the previous notify
+// channel. Callers hold l.mu.
+func (l *Log) notifyLocked() {
+	close(l.notify)
+	l.notify = make(chan struct{})
+}

@@ -1,0 +1,405 @@
+package wal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTestLog(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	opts.Dir = dir
+	if opts.Policy == 0 {
+		opts.Policy = SyncNone
+	}
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func appendN(t *testing.T, l *Log, start, n int) {
+	t.Helper()
+	for i := start; i < start+n; i++ {
+		if err := l.Append(Record{Type: 1, Data: []byte(fmt.Sprintf("record-%04d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPosStringParseRoundTrip(t *testing.T) {
+	for _, p := range []Pos{{}, {Segment: 1, Offset: 17}, {Segment: 1 << 40, Offset: 123456789}} {
+		got, err := ParsePos(p.String())
+		if err != nil {
+			t.Fatalf("ParsePos(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Errorf("round trip %v -> %q -> %v", p, p.String(), got)
+		}
+	}
+	for _, bad := range []string{"", "1", "1,", "x,y", "1,-5"} {
+		if _, err := ParsePos(bad); err == nil {
+			t.Errorf("ParsePos(%q) succeeded, want error", bad)
+		}
+	}
+	if !(Pos{Segment: 1, Offset: 99}).Less(Pos{Segment: 2, Offset: 17}) {
+		t.Error("segment ordering broken")
+	}
+	if !(Pos{Segment: 2, Offset: 17}).Less(Pos{Segment: 2, Offset: 18}) {
+		t.Error("offset ordering broken")
+	}
+}
+
+// ReadFrom must hand back the exact bytes on disk so a mirroring consumer
+// stays byte-identical: reading the whole log via the cursor and decoding
+// the frames must match Replay, and the raw bytes must match the segment
+// files themselves.
+func TestReadFromMatchesDiskBytes(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, Options{SegmentBytes: 256}) // force several rotations
+	appendN(t, l, 0, 50)
+
+	var (
+		streamed []Record
+		perSeg   = map[uint64]*bytes.Buffer{}
+	)
+	pos := Pos{}
+	for {
+		frames, n, start, next, err := l.ReadFrom(pos, 100) // small reads: exercise chunking
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		recs, used := DecodeFrames(frames, 0)
+		if used != len(frames) || len(recs) != n {
+			t.Fatalf("DecodeFrames used %d of %d bytes, %d of %d records", used, len(frames), len(recs), n)
+		}
+		streamed = append(streamed, recs...)
+		buf := perSeg[start.Segment]
+		if buf == nil {
+			buf = &bytes.Buffer{}
+			perSeg[start.Segment] = buf
+		}
+		buf.Write(frames)
+		pos = next
+	}
+	if len(streamed) != 50 {
+		t.Fatalf("streamed %d records, want 50", len(streamed))
+	}
+
+	var replayed []Record
+	if err := l.Replay(0, func(seg uint64, rec Record) error {
+		replayed = append(replayed, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(streamed) {
+		t.Fatalf("replay found %d records, cursor streamed %d", len(replayed), len(streamed))
+	}
+	for i := range replayed {
+		if replayed[i].Type != streamed[i].Type || !bytes.Equal(replayed[i].Data, streamed[i].Data) {
+			t.Fatalf("record %d differs between Replay and cursor", i)
+		}
+	}
+
+	// Byte-identity: header + streamed frames must equal the file bytes.
+	for seg, buf := range perSeg {
+		disk, err := os.ReadFile(filepath.Join(dir, SegmentName(seg)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append(SegmentHeader(seg), buf.Bytes()...)
+		if !bytes.Equal(disk, want) {
+			t.Errorf("segment %d: mirrored bytes differ from disk (%d vs %d bytes)", seg, len(want), len(disk))
+		}
+	}
+	if pos != l.End() {
+		t.Errorf("cursor stopped at %v, End() = %v", pos, l.End())
+	}
+}
+
+func TestReadFromCaughtUpAndCount(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, Options{})
+	appendN(t, l, 0, 7)
+
+	n, err := l.CountFrom(Pos{})
+	if err != nil || n != 7 {
+		t.Fatalf("CountFrom(zero) = %d, %v; want 7, nil", n, err)
+	}
+	end := l.End()
+	if n, err := l.CountFrom(end); err != nil || n != 0 {
+		t.Fatalf("CountFrom(end) = %d, %v; want 0, nil", n, err)
+	}
+	frames, cnt, _, next, err := l.ReadFrom(end, 0)
+	if err != nil || cnt != 0 || len(frames) != 0 || next != end {
+		t.Fatalf("ReadFrom(end) = %d bytes, %d recs, next=%v, err=%v", len(frames), cnt, next, err)
+	}
+}
+
+func TestReadFromRollsOverSealedSegment(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, Options{})
+	appendN(t, l, 0, 3)
+	endOfFirst := l.End()
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3, 2)
+
+	// Reading from the sealed segment's end must roll into the next one.
+	frames, n, start, _, err := l.ReadFrom(endOfFirst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("rollover read %d records, want 2", n)
+	}
+	if start.Segment != endOfFirst.Segment+1 || start.Offset != HeaderSize {
+		t.Fatalf("rollover start = %v, want {%d,%d}", start, endOfFirst.Segment+1, HeaderSize)
+	}
+	recs, _ := DecodeFrames(frames, 0)
+	if string(recs[0].Data) != "record-0003" {
+		t.Fatalf("rollover first record = %q", recs[0].Data)
+	}
+}
+
+func TestReadFromPositionGone(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, Options{})
+	appendN(t, l, 0, 3)
+	barrier, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateBefore(barrier); err != nil {
+		t.Fatal(err)
+	}
+	// Below the truncation floor.
+	if _, _, _, _, err := l.ReadFrom(Pos{Segment: 1, Offset: HeaderSize}, 0); !errors.Is(err, ErrPositionGone) {
+		t.Errorf("truncated position: err = %v, want ErrPositionGone", err)
+	}
+	// Beyond the end (diverged reader).
+	end := l.End()
+	for _, ahead := range []Pos{
+		{Segment: end.Segment, Offset: end.Offset + 9},
+		{Segment: end.Segment + 5, Offset: HeaderSize},
+	} {
+		if _, _, _, _, err := l.ReadFrom(ahead, 0); !errors.Is(err, ErrPositionGone) {
+			t.Errorf("ahead position %v: err = %v, want ErrPositionGone", ahead, err)
+		}
+	}
+}
+
+func TestWaitFromWakesOnAppend(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, Options{})
+	end := l.End()
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- l.WaitFrom(ctx, end)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter block
+	appendN(t, l, 0, 1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitFrom = %v, want nil after append", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitFrom did not wake on append")
+	}
+
+	// Data already present: returns immediately.
+	if err := l.WaitFrom(context.Background(), Pos{}); err != nil {
+		t.Fatalf("WaitFrom with data available = %v", err)
+	}
+
+	// Context cancellation unblocks.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := l.WaitFrom(ctx, l.End()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitFrom after deadline = %v", err)
+	}
+}
+
+func TestWaitFromWakesOnClose(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, Options{})
+	done := make(chan error, 1)
+	go func() { done <- l.WaitFrom(context.Background(), l.End()) }()
+	time.Sleep(20 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("WaitFrom after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitFrom did not wake on Close")
+	}
+}
+
+// Reader must visit exactly the records Replay visits, track positions
+// that ReadFrom accepts, and support resuming mid-segment.
+func TestReaderMatchesReplayAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, Options{SegmentBytes: 256})
+	appendN(t, l, 0, 40)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(OSFS{}, dir, Pos{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		all  []Record
+		mids []Pos
+	)
+	for {
+		mids = append(mids, r.Pos())
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, rec)
+	}
+	if len(all) != 40 {
+		t.Fatalf("reader found %d records, want 40", len(all))
+	}
+
+	// Resume from the position before record 25.
+	r2, err := NewReader(OSFS{}, dir, mids[25], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 25; i < 40; i++ {
+		rec, err := r2.Next()
+		if err != nil {
+			t.Fatalf("resumed reader at %d: %v", i, err)
+		}
+		if !bytes.Equal(rec.Data, all[i].Data) {
+			t.Fatalf("resumed record %d = %q, want %q", i, rec.Data, all[i].Data)
+		}
+	}
+	if _, err := r2.Next(); err != io.EOF {
+		t.Fatalf("resumed reader end = %v, want io.EOF", err)
+	}
+}
+
+// OpenTail performs Open's validation without creating an append
+// segment: a torn tail is truncated and End lands exactly at the last
+// valid byte, so a restarting replica resumes streaming from there.
+func TestOpenTailTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, Options{})
+	appendN(t, l, 0, 5)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	end := l.End()
+	seg := end.Segment
+	l.Close()
+
+	path := filepath.Join(dir, SegmentName(seg))
+	// Append garbage: a torn half-written frame.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	info, err := OpenTail(OSFS{}, dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.End != end {
+		t.Errorf("OpenTail End = %v, want %v", info.End, end)
+	}
+	if info.Records != 5 {
+		t.Errorf("OpenTail Records = %d, want 5", info.Records)
+	}
+	if info.TornBytesTruncated != 6 {
+		t.Errorf("OpenTail TornBytesTruncated = %d, want 6", info.TornBytesTruncated)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != end.Offset {
+		t.Errorf("segment size after OpenTail = %d, want %d", fi.Size(), end.Offset)
+	}
+	// And unlike Open, no fresh append segment appears.
+	segs, err := ListSegments(OSFS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != len(info.Segments) {
+		t.Errorf("OpenTail created segments: %v vs %v", segs, info.Segments)
+	}
+}
+
+// OpenTail on an empty or missing directory reports a zero End, telling
+// the replica it must bootstrap from a snapshot.
+func TestOpenTailEmpty(t *testing.T) {
+	info, err := OpenTail(OSFS{}, filepath.Join(t.TempDir(), "nope"), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.End.IsZero() || info.Records != 0 || len(info.Segments) != 0 {
+		t.Errorf("OpenTail on missing dir = %+v, want zero", info)
+	}
+}
+
+// Mid-log corruption stays fatal for OpenTail, same as Open.
+func TestOpenTailMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, Options{})
+	appendN(t, l, 0, 3)
+	first := l.End().Segment
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3, 3)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Flip a byte in the middle of the first (now older) segment.
+	path := filepath.Join(dir, SegmentName(first))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[HeaderSize+10] ^= 0xff
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var corrupt *CorruptError
+	if _, err := OpenTail(OSFS{}, dir, 0, nil); !errors.As(err, &corrupt) {
+		t.Fatalf("OpenTail over mid-log corruption = %v, want *CorruptError", err)
+	}
+}

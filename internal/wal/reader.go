@@ -1,0 +1,233 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+)
+
+// TailInfo describes a validated log directory that was opened for
+// reading only — no fresh append segment is created, so the directory's
+// bytes are exactly what a byte-mirroring consumer (a replica) has
+// accumulated.
+type TailInfo struct {
+	// Segments are the live segment indexes, ascending.
+	Segments []uint64
+
+	// End is the position one past the last valid record — where the
+	// next mirrored byte belongs. Zero when the directory holds no
+	// segments.
+	End Pos
+
+	// Records is the number of valid records across all segments.
+	Records int64
+
+	// TornBytesTruncated is how many trailing bytes the torn-tail scan
+	// discarded from the newest segment.
+	TornBytesTruncated int64
+}
+
+// OpenTail validates dir with Open's exact recovery semantics — strict
+// mid-log corruption checks, torn-tail truncation (or removal) of the
+// newest segment — but does not open the log for appending. Replicas use
+// it after a restart to find the position their mirrored copy of the
+// primary's log ends at, so they can resume the replication stream
+// without re-bootstrapping. maxRecord <= 0 means DefaultMaxRecordBytes;
+// logf may be nil.
+func OpenTail(fs FS, dir string, maxRecord int, logf func(string, ...interface{})) (TailInfo, error) {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	if maxRecord <= 0 {
+		maxRecord = DefaultMaxRecordBytes
+	}
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	var info TailInfo
+	segs, err := ListSegments(fs, dir)
+	if err != nil {
+		return info, err
+	}
+	for i, idx := range segs {
+		path := filepath.Join(dir, SegmentName(idx))
+		data, err := fs.ReadFile(path)
+		if err != nil {
+			return info, fmt.Errorf("wal: read %s: %w", path, err)
+		}
+		recs, validLen, scanErr := scanSegment(data, idx, maxRecord)
+		last := i == len(segs)-1
+		if scanErr != nil && !last {
+			return info, &CorruptError{Path: path, Offset: int64(validLen), Reason: scanErr.Error()}
+		}
+		end := int64(len(data))
+		if scanErr != nil {
+			if validLen < headerSize {
+				logf("wal: removing torn segment %s (%s)", path, scanErr)
+				info.TornBytesTruncated += int64(len(data))
+				if err := fs.Remove(path); err != nil {
+					return info, fmt.Errorf("wal: remove torn segment: %w", err)
+				}
+				continue
+			}
+			logf("wal: truncating torn tail of %s at byte %d (%s)", path, validLen, scanErr)
+			info.TornBytesTruncated += int64(len(data) - validLen)
+			if err := fs.Truncate(path, int64(validLen)); err != nil {
+				return info, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+			end = int64(validLen)
+		}
+		info.Segments = append(info.Segments, idx)
+		info.Records += int64(len(recs))
+		info.End = Pos{Segment: idx, Offset: end}
+	}
+	return info, nil
+}
+
+// Reader iterates the records of a log directory from a starting
+// position, loading one segment image at a time. It is a read-only,
+// FS-level view: it takes no locks and sees whatever bytes are on disk
+// when each segment is loaded. Replication and recovery use it so that
+// segment-walk logic lives in one place.
+type Reader struct {
+	fs        FS
+	dir       string
+	maxRecord int
+	segs      []uint64 // remaining segments to visit (current not included)
+	data      []byte   // loaded segment image (nil before first load)
+	seg       uint64   // index of the loaded segment
+	off       int      // next frame offset within data
+	loaded    bool
+}
+
+// NewReader positions a Reader at from within dir. A zero from starts at
+// the oldest segment. If from.Segment no longer exists (truncated below a
+// checkpoint), iteration starts at the first live segment above it.
+// maxRecord <= 0 means DefaultMaxRecordBytes.
+func NewReader(fs FS, dir string, from Pos, maxRecord int) (*Reader, error) {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	if maxRecord <= 0 {
+		maxRecord = DefaultMaxRecordBytes
+	}
+	segs, err := ListSegments(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{fs: fs, dir: dir, maxRecord: maxRecord}
+	for i, idx := range segs {
+		if idx >= from.Segment {
+			r.segs = segs[i:]
+			break
+		}
+	}
+	if len(r.segs) > 0 && r.segs[0] == from.Segment && from.Offset > headerSize {
+		// Resume mid-segment.
+		if err := r.load(r.segs[0], int(from.Offset)); err != nil {
+			return nil, err
+		}
+		r.segs = r.segs[1:]
+	}
+	return r, nil
+}
+
+// load reads segment idx and validates its header, positioning the scan
+// at off.
+func (r *Reader) load(idx uint64, off int) error {
+	path := filepath.Join(r.dir, SegmentName(idx))
+	data, err := r.fs.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	if len(data) < headerSize {
+		return &CorruptError{Path: path, Offset: 0, Reason: fmt.Sprintf("short header: %d bytes", len(data))}
+	}
+	if _, _, scanErr := scanSegment(data[:headerSize], idx, r.maxRecord); scanErr != nil {
+		return &CorruptError{Path: path, Offset: 0, Reason: scanErr.Error()}
+	}
+	if off < headerSize {
+		off = headerSize
+	}
+	if off > len(data) {
+		return &CorruptError{Path: path, Offset: int64(len(data)), Reason: fmt.Sprintf("start offset %d beyond segment end", off)}
+	}
+	r.data, r.seg, r.off, r.loaded = data, idx, off, true
+	return nil
+}
+
+// Next returns the next record, or io.EOF at the end of the log. A
+// malformed frame in the newest segment is treated as the end (torn
+// tail); in any older segment it is a *CorruptError.
+func (r *Reader) Next() (Record, error) {
+	for {
+		if !r.loaded {
+			if len(r.segs) == 0 {
+				return Record{}, io.EOF
+			}
+			idx := r.segs[0]
+			r.segs = r.segs[1:]
+			if err := r.load(idx, headerSize); err != nil {
+				if len(r.segs) == 0 {
+					if _, corrupt := err.(*CorruptError); corrupt {
+						return Record{}, io.EOF // torn newest segment
+					}
+				}
+				return Record{}, err
+			}
+		}
+		if r.off >= len(r.data) {
+			r.loaded = false
+			continue
+		}
+		recs, span, scanErr := scanFrameAt(r.data, r.off, r.maxRecord)
+		if scanErr != nil {
+			if len(r.segs) == 0 {
+				return Record{}, io.EOF // torn tail of the newest segment
+			}
+			path := filepath.Join(r.dir, SegmentName(r.seg))
+			return Record{}, &CorruptError{Path: path, Offset: int64(r.off), Reason: scanErr.Error()}
+		}
+		r.off += span
+		return recs, nil
+	}
+}
+
+// Pos returns the position of the next record Next would return (or the
+// end of the last visited segment at EOF).
+func (r *Reader) Pos() Pos {
+	if !r.loaded {
+		if len(r.segs) > 0 {
+			return Pos{Segment: r.segs[0], Offset: headerSize}
+		}
+		return Pos{Segment: r.seg, Offset: int64(r.off)}
+	}
+	return Pos{Segment: r.seg, Offset: int64(r.off)}
+}
+
+// scanFrameAt decodes the single frame at data[off:].
+func scanFrameAt(data []byte, off, maxRecord int) (Record, int, error) {
+	rest := data[off:]
+	if len(rest) < frameOverhead {
+		return Record{}, 0, fmt.Errorf("truncated frame header (%d bytes)", len(rest))
+	}
+	wantCRC := binary.BigEndian.Uint32(rest[0:4])
+	length := binary.BigEndian.Uint32(rest[4:8])
+	if int64(length) > int64(maxRecord) {
+		return Record{}, 0, fmt.Errorf("frame length %d exceeds limit %d", length, maxRecord)
+	}
+	total := frameOverhead + int(length)
+	if len(rest) < total {
+		return Record{}, 0, fmt.Errorf("truncated frame: have %d of %d bytes", len(rest), total)
+	}
+	if crc32.Checksum(rest[4:total], castagnoli) != wantCRC {
+		return Record{}, 0, fmt.Errorf("frame CRC mismatch")
+	}
+	rec := Record{
+		Type: rest[8],
+		Data: append([]byte(nil), rest[frameOverhead:total]...),
+	}
+	return rec, total, nil
+}

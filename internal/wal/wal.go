@@ -233,8 +233,10 @@ type Log struct {
 	cur     File
 	curSeg  uint64
 	curSize int64
-	segs    []uint64 // live segment indexes, ascending (includes curSeg)
-	dirty   bool     // bytes written since the last sync
+	segs    []uint64          // live segment indexes, ascending (includes curSeg)
+	sizes   map[uint64]int64  // live segment sizes in bytes (curSeg tracks curSize)
+	notify  chan struct{}     // closed+replaced on append: wakes WaitFrom
+	dirty   bool              // bytes written since the last sync
 	closed  bool
 
 	records   int64
@@ -253,8 +255,9 @@ func SegmentName(idx uint64) string {
 	return fmt.Sprintf("wal-%016x.log", idx)
 }
 
-// parseSegmentName inverts SegmentName.
-func parseSegmentName(name string) (uint64, bool) {
+// ParseSegmentName inverts SegmentName, reporting false for file names
+// that are not WAL segments.
+func ParseSegmentName(name string) (uint64, bool) {
 	var idx uint64
 	if _, err := fmt.Sscanf(name, "wal-%016x.log", &idx); err != nil {
 		return 0, false
@@ -264,6 +267,9 @@ func parseSegmentName(name string) (uint64, bool) {
 	}
 	return idx, true
 }
+
+// parseSegmentName is the internal alias of ParseSegmentName.
+func parseSegmentName(name string) (uint64, bool) { return ParseSegmentName(name) }
 
 // Open validates the log directory (truncating a torn tail, failing on
 // mid-log corruption), then creates a fresh segment for appends.
@@ -279,6 +285,8 @@ func Open(o Options) (*Log, error) {
 		opts:     opts,
 		fs:       opts.FS,
 		fsyncLat: metrics.NewRecorder(),
+		sizes:    make(map[uint64]int64),
+		notify:   make(chan struct{}),
 	}
 
 	segs, err := ListSegments(opts.FS, opts.Dir)
@@ -316,6 +324,9 @@ func Open(o Options) (*Log, error) {
 			if err := opts.FS.Truncate(path, int64(validLen)); err != nil {
 				return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
 			}
+			l.sizes[idx] = int64(validLen)
+		} else {
+			l.sizes[idx] = int64(len(data))
 		}
 		l.recovered += int64(len(recs))
 	}
@@ -454,11 +465,7 @@ func (l *Log) createSegmentLocked(idx uint64) error {
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
-	hdr := make([]byte, headerSize)
-	copy(hdr, segMagic)
-	hdr[8] = formatVersion
-	binary.BigEndian.PutUint64(hdr[9:17], idx)
-	if _, err := f.Write(hdr); err != nil {
+	if _, err := f.Write(SegmentHeader(idx)); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: write segment header: %w", err)
 	}
@@ -479,6 +486,7 @@ func (l *Log) createSegmentLocked(idx uint64) error {
 	l.curSeg = idx
 	l.curSize = headerSize
 	l.segs = append(l.segs, idx)
+	l.sizes[idx] = headerSize
 	return nil
 }
 
@@ -504,9 +512,11 @@ func (l *Log) Append(rec Record) error {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	l.curSize += int64(len(frame))
+	l.sizes[l.curSeg] = l.curSize
 	l.records++
 	l.bytes += int64(len(frame))
 	l.dirty = true
+	l.notifyLocked()
 	if l.opts.Policy == SyncAlways {
 		return l.syncLocked()
 	}
@@ -581,6 +591,7 @@ func (l *Log) TruncateBefore(seg uint64) error {
 				kept = append(kept, idx)
 				continue
 			}
+			delete(l.sizes, idx)
 			removed++
 			continue
 		}
@@ -687,6 +698,7 @@ func (l *Log) Close() error {
 		err = fmt.Errorf("wal: close: %w", cerr)
 	}
 	l.closed = true
+	l.notifyLocked() // wake any WaitFrom so it observes the close
 	l.mu.Unlock()
 	if l.flushDone != nil {
 		<-l.flushDone
