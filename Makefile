@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check crash repl fuzz cover bench repl-bench benchall experiments clean
+.PHONY: all build vet test race check crash repl fuzz obs cover bench repl-bench obs-bench benchall experiments clean
 
 all: build check
 
@@ -15,6 +15,7 @@ check: vet
 	$(GO) test -race ./...
 	$(MAKE) crash
 	$(MAKE) repl
+	$(MAKE) obs
 	$(MAKE) fuzz
 
 # crash runs only the durability crash-injection suites, race-enabled.
@@ -26,6 +27,16 @@ crash:
 # primary + 2 replica subprocess run, and the operator CLI flow.
 repl:
 	$(GO) test -race -run 'Replica|Partition|Chaos|Promot|Stream|Replication|Idempotent|Cluster|NotPrimary' ./internal/replication ./internal/tagserver ./cmd/bftagd ./cmd/bfctl
+
+# obs runs the observability suites race-enabled: the deterministic-clock
+# registry/exposition golden tests, the trace ring + propagation suites,
+# the concurrent scrape stress, the end-to-end chaos trace stitch
+# (client retry → proxy → primary engine/WAL → replica apply under one
+# trace ID), the /healthz replication/durability field coverage, and the
+# bfctl metrics/trace operator commands.
+obs:
+	$(GO) test -race ./internal/obs ./internal/metrics
+	$(GO) test -race -run 'Trace|Healthz|ObsGauges|Metrics|Instrument|Prometheus|Span' ./internal/tagserver ./internal/proxy ./cmd/bfctl
 
 # fuzz smoke: ten seconds per recovery parser (Go runs one fuzz target
 # per invocation, hence two commands).
@@ -61,6 +72,13 @@ bench:
 # records it as BENCH_4.json.
 repl-bench:
 	$(GO) run ./cmd/bfbench -experiment replication -benchjson BENCH_4.json
+
+# obs-bench measures what the observability layer costs the Algorithm 1
+# hot path (RED per call, full tracing, concurrent Prometheus scrape,
+# and the batched server path the < 5% bar applies to) and records it
+# as BENCH_5.json.
+obs-bench:
+	$(GO) run ./cmd/bfbench -experiment obs-overhead -benchjson BENCH_5.json
 
 # benchall runs every benchmark in the repository.
 benchall:

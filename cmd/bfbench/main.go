@@ -164,6 +164,26 @@ func run(args []string) error {
 			}
 			return r.Format(), nil
 		},
+		"obs-overhead": func() (string, error) {
+			r, err := expt.RunObsOverhead(scale, params)
+			if err != nil {
+				return "", err
+			}
+			// -benchjson records the instrumentation-tier series
+			// (BENCH_5.json); only when obs-overhead is the selected
+			// experiment, so an `-experiment all -benchjson` run keeps the
+			// hotpath result.
+			if *benchJSON != "" && *experiment == "obs-overhead" {
+				data, err := json.MarshalIndent(r, "", "  ")
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+					return "", fmt.Errorf("write %s: %w", *benchJSON, err)
+				}
+			}
+			return r.Format(), nil
+		},
 		"hotpath": func() (string, error) {
 			r, err := expt.RunHotPath(scale, params)
 			if err != nil {
@@ -184,7 +204,7 @@ func run(args []string) error {
 	order := []string{"table1", "fig8", "fig9a", "fig9b", "fig9adoc",
 		"fig9bdoc", "fig10", "fig11", "fig12", "fig13", "ablation-cache",
 		"ablation-auth", "ablation-winnow", "baseline", "orgsim", "usability",
-		"hotpath", "replication"}
+		"hotpath", "replication", "obs-overhead"}
 
 	selected := order
 	if *experiment != "all" {

@@ -72,12 +72,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return errors.New("command required: init, add-service, observe, check, sources, attribute, suppress, allocate, grant, label, stats, audit, promote, repl-status")
+		return errors.New("command required: init, add-service, observe, check, sources, attribute, suppress, allocate, grant, label, stats, audit, promote, repl-status, metrics, trace")
 	}
 	cmd := fs.Arg(0)
 
 	// Replication operator commands talk to /v1/repl/* directly.
 	if handled, err := dispatchRepl(cmd, *serverURL, *oldPrimary, *force, stdout); handled {
+		return err
+	}
+
+	// Observability operator commands: `metrics` dumps /v1/metrics,
+	// `trace <id>` prints one trace's spans from /v1/debug/traces.
+	if handled, err := dispatchObs(cmd, *serverURL, fs.Arg(1), stdout); handled {
 		return err
 	}
 

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+)
+
+// obsHTTP is the client for observability operator calls. Metrics and
+// trace lookups are read-only control-plane requests; a short timeout
+// keeps a wedged node from hanging the CLI.
+var obsHTTP = &http.Client{Timeout: 10 * time.Second}
+
+// wireSpan mirrors the JSON shape of one span served by
+// /v1/debug/traces (internal/obs.Span).
+type wireSpan struct {
+	Trace    string            `json:"trace"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Err      string            `json:"err,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// wireTraces mirrors the JSON envelope of /v1/debug/traces.
+type wireTraces struct {
+	Trace string     `json:"trace"`
+	Spans []wireSpan `json:"spans"`
+}
+
+// obsGet fetches one observability endpoint, bounding the body read.
+func obsGet(base, pathAndQuery string) ([]byte, error) {
+	resp, err := obsHTTP.Get(strings.TrimRight(base, "/") + pathAndQuery)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+// runMetrics dumps a node's Prometheus exposition (/v1/metrics).
+func runMetrics(server string, stdout io.Writer) error {
+	body, err := obsGet(server, "/v1/metrics")
+	if err != nil {
+		return err
+	}
+	_, err = stdout.Write(body)
+	return err
+}
+
+// runTrace fetches and pretty-prints the spans of one trace ID from a
+// node's span ring (/v1/debug/traces?trace=<id>), oldest first. Without
+// an ID it lists the distinct trace IDs currently buffered.
+func runTrace(server, traceID string, stdout io.Writer) error {
+	q := "/v1/debug/traces"
+	if traceID != "" {
+		q += "?trace=" + url.QueryEscape(traceID)
+	}
+	body, err := obsGet(server, q)
+	if err != nil {
+		return err
+	}
+	var out wireTraces
+	if err := json.Unmarshal(body, &out); err != nil {
+		return fmt.Errorf("decode traces: %w", err)
+	}
+
+	if traceID == "" {
+		// Listing mode: summarise the buffered traces.
+		counts := map[string]int{}
+		var order []string
+		for _, s := range out.Spans {
+			if counts[s.Trace] == 0 {
+				order = append(order, s.Trace)
+			}
+			counts[s.Trace]++
+		}
+		sort.Strings(order)
+		if len(order) == 0 {
+			fmt.Fprintln(stdout, "no spans buffered")
+			return nil
+		}
+		for _, id := range order {
+			fmt.Fprintf(stdout, "%s  %d span(s)\n", id, counts[id])
+		}
+		return nil
+	}
+
+	if len(out.Spans) == 0 {
+		fmt.Fprintf(stdout, "trace %s: no spans buffered on %s\n", traceID, server)
+		return nil
+	}
+	fmt.Fprintf(stdout, "trace %s (%d spans)\n", traceID, len(out.Spans))
+	for _, s := range out.Spans {
+		fmt.Fprintf(stdout, "  %-28s %12s", s.Name, s.Duration.Round(time.Microsecond))
+		if len(s.Attrs) > 0 {
+			keys := make([]string, 0, len(s.Attrs))
+			for k := range s.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(stdout, " %s=%s", k, s.Attrs[k])
+			}
+		}
+		if s.Err != "" {
+			fmt.Fprintf(stdout, " err=%q", s.Err)
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+// dispatchObs routes the observability operator commands; it reports
+// whether cmd was one of them. `bfctl -server URL metrics` dumps the
+// Prometheus exposition; `bfctl -server URL trace <id>` prints one
+// trace's spans (omit <id> to list buffered trace IDs).
+func dispatchObs(cmd, server, traceID string, stdout io.Writer) (bool, error) {
+	switch cmd {
+	case "metrics":
+		if server == "" {
+			return true, errors.New("metrics requires -server")
+		}
+		return true, runMetrics(server, stdout)
+	case "trace":
+		if server == "" {
+			return true, errors.New("trace requires -server")
+		}
+		return true, runTrace(server, traceID, stdout)
+	}
+	return false, nil
+}

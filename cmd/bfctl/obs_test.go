@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/obs"
+)
+
+// obsTestServer serves the observability surface of a node with a few
+// recorded spans and metrics.
+func obsTestServer(t *testing.T) (*httptest.Server, *obs.Obs) {
+	t.Helper()
+	o := obs.New(nil, 64)
+	o.Registry().Counter("bf_test_total", "Test counter.").Add(7)
+	mux := http.NewServeMux()
+	mux.Handle("/v1/metrics", o.MetricsHandler())
+	mux.Handle("/v1/debug/traces", o.TracesHandler())
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, o
+}
+
+func TestBfctlMetrics(t *testing.T) {
+	srv, _ := obsTestServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"-server", srv.URL, "metrics"}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if !strings.Contains(out.String(), "bf_test_total 7") {
+		t.Fatalf("metrics output missing counter:\n%s", out.String())
+	}
+}
+
+func TestBfctlTrace(t *testing.T) {
+	srv, o := obsTestServer(t)
+	id := o.NewTraceID()
+	ctx := obs.WithTrace(t.Context(), id, o.Traces())
+	sp := obs.StartSpan(ctx, "engine.observe")
+	sp.SetAttr("seg", "wiki/a#p0")
+	sp.End(nil)
+
+	var out bytes.Buffer
+	if err := run([]string{"-server", srv.URL, "trace", id}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, id) || !strings.Contains(got, "engine.observe") || !strings.Contains(got, "seg=wiki/a#p0") {
+		t.Fatalf("trace output missing span details:\n%s", got)
+	}
+
+	// Listing mode: no ID enumerates buffered trace IDs.
+	out.Reset()
+	if err := run([]string{"-server", srv.URL, "trace"}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("trace list: %v", err)
+	}
+	if !strings.Contains(out.String(), id) || !strings.Contains(out.String(), "1 span(s)") {
+		t.Fatalf("trace listing missing id:\n%s", out.String())
+	}
+}
+
+func TestBfctlMetricsRequiresServer(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"metrics"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("expected error without -server")
+	}
+	if err := run([]string{"trace", "bf-x"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("expected error without -server")
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"github.com/lsds/browserflow"
 	"github.com/lsds/browserflow/internal/dlpmon"
+	"github.com/lsds/browserflow/internal/obs"
 	"github.com/lsds/browserflow/internal/proxy"
 	"github.com/lsds/browserflow/internal/webapp"
 )
@@ -64,6 +65,7 @@ func run(args []string) error {
 		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "per-request write timeout")
 		grace        = fs.Duration("shutdown-grace", 10*time.Second, "time allowed for in-flight requests to drain on SIGINT/SIGTERM")
 		maxBody      = fs.Int64("max-body", proxy.DefaultMaxBodyBytes, "maximum inspected request body size in bytes (413 past this)")
+		debugListen  = fs.String("debug-listen", "", "serve pprof + /v1/metrics + /v1/debug/traces on this address (loopback only; empty disables)")
 		sensitive    stringList
 	)
 	fs.Var(&sensitive, "sensitive", "file whose contents are sensitive (repeatable)")
@@ -92,7 +94,10 @@ func run(args []string) error {
 		}
 	}
 
-	cfg := proxy.Config{Upstream: upstream, Monitor: monitor, MaxBodyBytes: *maxBody}
+	// The proxy is the trace root: requests without an X-BF-Trace header
+	// are minted one here and carry it to the upstream.
+	o := obs.New(nil, 0)
+	cfg := proxy.Config{Upstream: upstream, Monitor: monitor, MaxBodyBytes: *maxBody, Obs: o}
 	if *statePath != "" {
 		mw, err := browserflow.New(browserflow.DefaultConfig())
 		if err != nil {
@@ -131,6 +136,20 @@ func run(args []string) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
+	// Opt-in debug surface: pprof, Prometheus exposition and the span
+	// ring on their own (ideally loopback) listener.
+	var dbgSrv *http.Server
+	if *debugListen != "" {
+		dbgLn, err := net.Listen("tcp", *debugListen)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listen: %w", err)
+		}
+		dbgSrv = &http.Server{Handler: o.DebugHandler(), ReadHeaderTimeout: *readTimeout}
+		go func() { errCh <- dbgSrv.Serve(dbgLn) }()
+		fmt.Printf("bfproxy: debug API (pprof, metrics, traces) on %s\n", dbgLn.Addr())
+	}
+
 	fmt.Printf("bfproxy: %s -> %s (%d sensitive documents)\n", ln.Addr(), upstream, monitor.CorpusSize())
 
 	select {
@@ -141,6 +160,12 @@ func run(args []string) error {
 		fmt.Fprintln(os.Stderr, "bfproxy: shutting down...")
 		shCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
-		return srv.Shutdown(shCtx)
+		shutdownErr := srv.Shutdown(shCtx)
+		if dbgSrv != nil {
+			if err := dbgSrv.Shutdown(shCtx); err != nil && shutdownErr == nil {
+				shutdownErr = err
+			}
+		}
+		return shutdownErr
 	}
 }

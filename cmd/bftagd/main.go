@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"github.com/lsds/browserflow"
+	"github.com/lsds/browserflow/internal/obs"
 	"github.com/lsds/browserflow/internal/replication"
 	"github.com/lsds/browserflow/internal/store"
 	"github.com/lsds/browserflow/internal/tagserver"
@@ -91,6 +92,7 @@ func run(args []string) error {
 		replListen   = fs.String("repl-listen", "", "serve the /v1/repl/* API on this separate address (default: the main -addr)")
 		termFile     = fs.String("term-file", "", "file persisting the replication fencing term (default: <wal-dir>/TERM)")
 		advertise    = fs.String("advertise", "", "base URL peers are told to dial for this node (default: http://<listen addr>)")
+		debugListen  = fs.String("debug-listen", "", "serve pprof + /v1/metrics + /v1/debug/traces on this address (loopback only; empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,6 +125,10 @@ func run(args []string) error {
 	if *advertise == "" {
 		*advertise = "http://" + ln.Addr().String()
 	}
+
+	// Observability bundle: RED metrics + span ring shared by the tag
+	// service handlers, the replication API, and the replica applier.
+	o := obs.New(nil, 0)
 
 	// durableBox is the journal behind /healthz durability stats; on a
 	// replica it is nil until promotion installs one.
@@ -157,6 +163,7 @@ func run(args []string) error {
 			return err
 		}
 		replService = replication.NewService(node, replication.PrimaryOptions{Logf: logf}, logf)
+		replService.SetObs(o)
 		replService.OnPromote(func(d *store.Durable) {
 			durableBox.Store(d)
 		})
@@ -165,7 +172,7 @@ func run(args []string) error {
 	// Durable primary mode: recover checkpoint + WAL, then journal every
 	// mutation and serve the replication log.
 	var durable *store.Durable
-	serverOpts := []tagserver.ServerOption{tagserver.WithMaxBodyBytes(*maxBody)}
+	serverOpts := []tagserver.ServerOption{tagserver.WithMaxBodyBytes(*maxBody), tagserver.WithObs(o)}
 	serverOpts = append(serverOpts, tagserver.WithDurabilitySource(func() (store.DurabilityStats, bool) {
 		if d := durableBox.Load(); d != nil {
 			return d.Stats(), true
@@ -181,6 +188,7 @@ func run(args []string) error {
 				Primary:        st.Primary,
 				Position:       st.Position,
 				LagRecords:     st.LagRecords,
+				LagBytes:       st.LagBytes,
 				AppliedRecords: st.AppliedRecords,
 				Bootstraps:     st.Bootstraps,
 				Connected:      st.Connected,
@@ -204,6 +212,7 @@ func run(args []string) error {
 			PromoteFsyncInterval:   *fsyncEvery,
 			PromoteCheckpointEvery: *ckptEvery,
 			Logf:                   logf,
+			Obs:                    o,
 		})
 		if err != nil {
 			ln.Close()
@@ -345,6 +354,20 @@ func run(args []string) error {
 		fmt.Printf("bftagd: replication API on %s\n", replLn.Addr())
 	}
 
+	// Opt-in debug surface: pprof, Prometheus exposition and the span
+	// ring on their own (ideally loopback) listener.
+	var dbgSrv *http.Server
+	if *debugListen != "" {
+		dbgLn, err := net.Listen("tcp", *debugListen)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listen: %w", err)
+		}
+		dbgSrv = &http.Server{Handler: o.DebugHandler(), ReadHeaderTimeout: *readTimeout}
+		go func() { errCh <- dbgSrv.Serve(dbgLn) }()
+		fmt.Printf("bftagd: debug API (pprof, metrics, traces) on %s\n", dbgLn.Addr())
+	}
+
 	stats := mw.Stats()
 	fmt.Printf("bftagd: serving on %s (%d segments, %d hashes)\n",
 		ln.Addr(), stats.ParagraphSegments, stats.DistinctHashes)
@@ -360,6 +383,11 @@ func run(args []string) error {
 		shutdownErr := srv.Shutdown(shCtx)
 		if replSrv != nil {
 			if err := replSrv.Shutdown(shCtx); err != nil && shutdownErr == nil {
+				shutdownErr = err
+			}
+		}
+		if dbgSrv != nil {
+			if err := dbgSrv.Shutdown(shCtx); err != nil && shutdownErr == nil {
 				shutdownErr = err
 			}
 		}

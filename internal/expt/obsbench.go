@@ -1,0 +1,421 @@
+package expt
+
+// Observability-overhead benchmark backing BENCH_5.json. The obs layer
+// rides on the Algorithm 1 hot path in three tiers: disabled (no
+// registry, untraced context — what BENCH_2 measures), metrics-only
+// (RED counters + latency histogram per operation, the default
+// production path for requests without an X-BF-Trace header), and fully
+// traced (spans recorded into the ring on every operation, the opt-in
+// debug path). A fourth tier re-runs the metrics path while a
+// background goroutine scrapes the Prometheus exposition on a 50ms
+// cadence, proving reads don't stall writers.
+//
+// The < 5% acceptance bar from the observability PR applies to the
+// server's actual write hot path: the batched observe endpoint, where
+// the RED wrapper runs once per flush (64 items), not once per item.
+// The per-item tiers are reported too as the worst case — a deployment
+// that turns off batching pays the whole wrapper per observation.
+//
+// Tier rounds are interleaved (off, metrics, ... then again) and the
+// minimum ns/op per tier is kept, so a noisy-neighbour slowdown hits
+// every tier with equal probability instead of biasing one.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/lsds/browserflow/internal/audit"
+	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/obs"
+	"github.com/lsds/browserflow/internal/policy"
+	"github.com/lsds/browserflow/internal/tdm"
+)
+
+// ObsOverheadMode is one instrumentation tier's measured cost.
+type ObsOverheadMode struct {
+	Mode      string  `json:"mode"`
+	NsPerOp   float64 `json:"nsPerOp"`
+	OpsPerSec float64 `json:"opsPerSec"`
+
+	// OverheadPct is the slowdown relative to the tier family's "off"
+	// baseline, in percent (negative means within noise).
+	OverheadPct float64 `json:"overheadPct"`
+}
+
+// ObsOverheadResult is the full BENCH_5.json payload.
+type ObsOverheadResult struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	// Goroutines is the concurrency the tiers were measured at.
+	Goroutines int `json:"goroutines"`
+
+	// PerOp are the singular-observe tiers: the whole RED wrapper (or
+	// span recording) charged to every engine call.
+	PerOp []ObsOverheadMode `json:"perOp"`
+
+	// Batch are the batched-flush tiers (ns/item over 64-item flushes):
+	// the RED wrapper charged once per flush, as the server's
+	// /v1/observe_batch hot path does.
+	Batch []ObsOverheadMode `json:"batch"`
+
+	// PerOpMetricsOverheadPct is the singular-path RED overhead — the
+	// worst case (informational).
+	PerOpMetricsOverheadPct float64 `json:"perOpMetricsOverheadPct"`
+
+	// PerOpTracedOverheadPct is the full-span tier's overhead
+	// (informational; tracing is per-request opt-in).
+	PerOpTracedOverheadPct float64 `json:"perOpTracedOverheadPct"`
+
+	// BatchMetricsOverheadPct is the batched hot path's RED overhead —
+	// the number the < 5% acceptance bar applies to.
+	BatchMetricsOverheadPct float64 `json:"batchMetricsOverheadPct"`
+
+	// ScrapeBytes counts exposition bytes served by the background
+	// scraper during the metrics+scrape tier (proves it actually ran).
+	ScrapeBytes int64 `json:"scrapeBytes"`
+
+	// PassUnder5Pct reports whether BatchMetricsOverheadPct < 5.
+	PassUnder5Pct bool `json:"passUnder5Pct"`
+}
+
+// obsOverheadEngine builds one fresh engine stack for a tier.
+func obsOverheadEngine(params disclosure.Params) (*policy.Engine, error) {
+	tracker, err := disclosure.NewTracker(params)
+	if err != nil {
+		return nil, err
+	}
+	registry := tdm.NewRegistry(audit.NewLog())
+	if err := registry.RegisterService("wiki", tdm.NewTagSet("tw"), tdm.NewTagSet("tw")); err != nil {
+		return nil, err
+	}
+	return policy.NewEngine(tracker, registry, policy.ModeAdvisory)
+}
+
+// obsOverheadObserve is one tier's per-op closure over a fresh engine.
+type obsOverheadObserve func(worker int, o HotPathObs) error
+
+// benchObsTier measures one tier at g goroutines over the shared
+// pre-fingerprinted streams, mirroring benchConcurrent's shape.
+func benchObsTier(mk func() (obsOverheadObserve, error), streams [][]HotPathObs, g int) (testing.BenchmarkResult, error) {
+	var setupErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		observe, err := mk()
+		if err != nil {
+			setupErr = err
+			b.FailNow()
+		}
+		for w, stream := range streams {
+			for _, o := range stream[:len(stream)/2] {
+				if err := observe(w, o); err != nil {
+					setupErr = err
+					b.FailNow()
+				}
+			}
+		}
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		var firstErr error
+		var errMu sync.Mutex
+		for w := 0; w < g; w++ {
+			n := b.N / g
+			if w < b.N%g {
+				n++
+			}
+			wg.Add(1)
+			go func(w, n int) {
+				defer wg.Done()
+				stream := streams[w%len(streams)]
+				for i := 0; i < n; i++ {
+					if err := observe(w, stream[i%len(stream)]); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}(w, n)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			setupErr = firstErr
+			b.FailNow()
+		}
+	})
+	return res, setupErr
+}
+
+// obsTier pairs a tier name with its engine+instrumentation factory.
+type obsTier struct {
+	name string
+	mk   func() (obsOverheadObserve, error)
+}
+
+// RunObsOverhead produces the BENCH_5.json payload.
+func RunObsOverhead(scale Scale, params disclosure.Params) (ObsOverheadResult, error) {
+	const (
+		workers       = 8
+		segsPerWorker = 16
+		variants      = 4
+		goroutines    = 8
+		traceRing     = 4096
+		flushSize     = 64
+		rounds        = 4
+	)
+	streams, err := HotPathWorkload(scale, workers, segsPerWorker, variants, params.Fingerprint)
+	if err != nil {
+		return ObsOverheadResult{}, err
+	}
+	result := ObsOverheadResult{GOMAXPROCS: runtime.GOMAXPROCS(0), Goroutines: goroutines}
+
+	// testing.Benchmark re-invokes the body with growing b.N, so the
+	// scrape tier's setup runs more than once; each new setup stops the
+	// previous round's scraper so only one scrapes the live registry.
+	var scrapeBytes atomic.Int64
+	var scrapeStop chan struct{}
+	var scrapeWG sync.WaitGroup
+	stopScraper := func() {
+		if scrapeStop != nil {
+			close(scrapeStop)
+			scrapeStop = nil
+			scrapeWG.Wait()
+		}
+	}
+
+	redTier := func(withScraper bool) func() (obsOverheadObserve, error) {
+		return func() (obsOverheadObserve, error) {
+			engine, err := obsOverheadEngine(params)
+			if err != nil {
+				return nil, err
+			}
+			o := obs.New(nil, traceRing)
+			reg := o.Registry()
+			requests := reg.Counter(`bf_http_requests_total{endpoint="observe",code="200"}`, "Requests by endpoint and status code.")
+			latency := reg.Histogram(`bf_http_request_seconds{endpoint="observe"}`, "Request latency by endpoint.", nil)
+			rate := reg.RateWindow(`bf_http_request_rate{endpoint="observe"}`, "Requests per second by endpoint.", 10)
+			if withScraper {
+				stopScraper()
+				scrapeStop = make(chan struct{})
+				stop := scrapeStop
+				scrapeWG.Add(1)
+				go func() {
+					defer scrapeWG.Done()
+					var counting countingWriter
+					// 50ms cadence: ~20 scrapes/sec, already two orders of
+					// magnitude denser than a real Prometheus interval,
+					// without busy-looping a core away from the workload.
+					tick := time.NewTicker(50 * time.Millisecond)
+					defer tick.Stop()
+					for {
+						select {
+						case <-stop:
+							scrapeBytes.Add(counting.n)
+							return
+						case <-tick.C:
+							reg.WritePrometheus(&counting)
+						}
+					}
+				}()
+			}
+			ctx := context.Background() // obs enabled, no X-BF-Trace header
+			return func(_ int, hp HotPathObs) error {
+				start := reg.Now()
+				_, err := engine.ObserveEditFPCtx(ctx, hp.Seg, "wiki", hp.FP)
+				elapsed := reg.Since(start)
+				requests.Inc()
+				latency.Observe(elapsed)
+				rate.MarkAt(start.Add(elapsed))
+				return err
+			}, nil
+		}
+	}
+
+	perOpTiers := []obsTier{
+		{"off", func() (obsOverheadObserve, error) {
+			engine, err := obsOverheadEngine(params)
+			if err != nil {
+				return nil, err
+			}
+			ctx := context.Background()
+			return func(_ int, o HotPathObs) error {
+				_, err := engine.ObserveEditFPCtx(ctx, o.Seg, "wiki", o.FP)
+				return err
+			}, nil
+		}},
+		{"metrics", redTier(false)},
+		{"traced", func() (obsOverheadObserve, error) {
+			engine, err := obsOverheadEngine(params)
+			if err != nil {
+				return nil, err
+			}
+			o := obs.New(nil, traceRing)
+			// One traced context per worker, as if every request carried
+			// its own X-BF-Trace header.
+			ctxs := make([]context.Context, workers)
+			for w := range ctxs {
+				ctxs[w] = obs.WithTrace(context.Background(), o.NewTraceID(), o.Traces())
+			}
+			return func(w int, hp HotPathObs) error {
+				ctx := ctxs[w%len(ctxs)]
+				start := time.Now()
+				_, err := engine.ObserveEditFPCtx(ctx, hp.Seg, "wiki", hp.FP)
+				obs.RecordSpan(ctx, "http.observe", start, time.Since(start), err, nil)
+				return err
+			}, nil
+		}},
+		{"metrics+scrape", redTier(true)},
+	}
+
+	// Batched hot path: flushes of 64 pre-fingerprinted observations, as
+	// the server's /v1/observe_batch endpoint sees them; the metrics tier
+	// pays the RED wrapper once per flush.
+	flushes := make([][]disclosure.BatchObservation, variants)
+	for v := 0; v < variants; v++ {
+		items := make([]disclosure.BatchObservation, 0, flushSize)
+		for k := 0; k < flushSize; k++ {
+			o := streams[k%workers][(v*segsPerWorker+k/workers)%len(streams[k%workers])]
+			items = append(items, disclosure.BatchObservation{Seg: o.Seg, FP: o.FP})
+		}
+		flushes[v] = items
+	}
+	mkBatch := func(withRED bool) func() (obsOverheadObserve, error) {
+		return func() (obsOverheadObserve, error) {
+			engine, err := obsOverheadEngine(params)
+			if err != nil {
+				return nil, err
+			}
+			o := obs.New(nil, traceRing)
+			reg := o.Registry()
+			requests := reg.Counter(`bf_http_requests_total{endpoint="observe_batch",code="200"}`, "Requests by endpoint and status code.")
+			latency := reg.Histogram(`bf_http_request_seconds{endpoint="observe_batch"}`, "Request latency by endpoint.", nil)
+			rate := reg.RateWindow(`bf_http_request_rate{endpoint="observe_batch"}`, "Requests per second by endpoint.", 10)
+			ctx := context.Background()
+			var flushCount atomic.Uint64
+			return func(_ int, _ HotPathObs) error {
+				items := flushes[int(flushCount.Add(1))%variants]
+				if !withRED {
+					_, err := engine.ObserveBatchFPCtx(ctx, "wiki", items)
+					return err
+				}
+				start := reg.Now()
+				_, err := engine.ObserveBatchFPCtx(ctx, "wiki", items)
+				elapsed := reg.Since(start)
+				requests.Inc()
+				latency.Observe(elapsed)
+				rate.MarkAt(start.Add(elapsed))
+				return err
+			}, nil
+		}
+	}
+	batchTiers := []obsTier{
+		{"batch-off", mkBatch(false)},
+		{"batch-metrics", mkBatch(true)},
+	}
+
+	measure := func(tiers []obsTier, g int) (map[string]float64, error) {
+		mins := make(map[string]float64)
+		for round := 0; round < rounds; round++ {
+			for _, tier := range tiers {
+				res, err := benchObsTier(tier.mk, streams, g)
+				if tier.name == "metrics+scrape" {
+					stopScraper()
+				}
+				if err != nil {
+					return nil, fmt.Errorf("obs-overhead %s: %w", tier.name, err)
+				}
+				ns := float64(res.NsPerOp())
+				if cur, ok := mins[tier.name]; !ok || ns < cur {
+					mins[tier.name] = ns
+				}
+			}
+		}
+		return mins, nil
+	}
+	modes := func(tiers []obsTier, mins map[string]float64, base string, perNs float64) []ObsOverheadMode {
+		out := make([]ObsOverheadMode, 0, len(tiers))
+		for _, tier := range tiers {
+			ns := mins[tier.name] / perNs
+			ops := 0.0
+			if ns > 0 {
+				ops = 1e9 / ns
+			}
+			m := ObsOverheadMode{Mode: tier.name, NsPerOp: ns, OpsPerSec: ops}
+			if b := mins[base] / perNs; b > 0 && tier.name != base {
+				m.OverheadPct = (ns - b) / b * 100
+			}
+			out = append(out, m)
+		}
+		return out
+	}
+
+	perOpMins, err := measure(perOpTiers, goroutines)
+	if err != nil {
+		return ObsOverheadResult{}, err
+	}
+	result.PerOp = modes(perOpTiers, perOpMins, "off", 1)
+
+	batchMins, err := measure(batchTiers, goroutines)
+	if err != nil {
+		return ObsOverheadResult{}, err
+	}
+	result.Batch = modes(batchTiers, batchMins, "batch-off", flushSize)
+
+	for _, m := range result.PerOp {
+		switch m.Mode {
+		case "metrics":
+			result.PerOpMetricsOverheadPct = m.OverheadPct
+		case "traced":
+			result.PerOpTracedOverheadPct = m.OverheadPct
+		}
+	}
+	for _, m := range result.Batch {
+		if m.Mode == "batch-metrics" {
+			result.BatchMetricsOverheadPct = m.OverheadPct
+		}
+	}
+	result.ScrapeBytes = scrapeBytes.Load()
+	result.PassUnder5Pct = result.BatchMetricsOverheadPct < 5
+	return result, nil
+}
+
+// countingWriter tallies bytes and discards them; a sync-free io.Writer
+// for the single scraper goroutine.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+var _ io.Writer = (*countingWriter)(nil)
+
+// Format renders the result as the table bfbench prints.
+func (r ObsOverheadResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Observability overhead (GOMAXPROCS=%d, g=%d, best of interleaved rounds)\n", r.GOMAXPROCS, r.Goroutines)
+	b.WriteString("\nSingular observe (RED wrapper per engine call — worst case):\n")
+	fmt.Fprintf(&b, "  %-16s %12s %12s %10s\n", "tier", "ns/op", "ops/sec", "overhead")
+	for _, m := range r.PerOp {
+		fmt.Fprintf(&b, "  %-16s %12.0f %12.0f %9.1f%%\n", m.Mode, m.NsPerOp, m.OpsPerSec, m.OverheadPct)
+	}
+	b.WriteString("\nBatched observe (RED wrapper per 64-item flush — server hot path, ns/item):\n")
+	fmt.Fprintf(&b, "  %-16s %12s %12s %10s\n", "tier", "ns/item", "items/sec", "overhead")
+	for _, m := range r.Batch {
+		fmt.Fprintf(&b, "  %-16s %12.0f %12.0f %9.1f%%\n", m.Mode, m.NsPerOp, m.OpsPerSec, m.OverheadPct)
+	}
+	fmt.Fprintf(&b, "\n  scrape served %d exposition bytes during metrics+scrape\n", r.ScrapeBytes)
+	verdict := "PASS"
+	if !r.PassUnder5Pct {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "  batched hot-path overhead %.1f%% (< 5%% bar: %s)\n", r.BatchMetricsOverheadPct, verdict)
+	return b.String()
+}

@@ -17,6 +17,12 @@ import (
 type Recorder struct {
 	mu      sync.Mutex
 	samples []time.Duration
+
+	// sorted caches the sorted snapshot served to Percentile /
+	// FractionBelow / CDF / Summarize. It is invalidated (set to nil)
+	// by Add and Reset, so a burst of percentile queries between
+	// recordings sorts the samples exactly once instead of per call.
+	sorted []time.Duration
 }
 
 // NewRecorder returns an empty Recorder.
@@ -28,6 +34,7 @@ func NewRecorder() *Recorder {
 func (r *Recorder) Add(d time.Duration) {
 	r.mu.Lock()
 	r.samples = append(r.samples, d)
+	r.sorted = nil
 	r.mu.Unlock()
 }
 
@@ -49,16 +56,26 @@ func (r *Recorder) Count() int {
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.samples = nil
+	r.sorted = nil
 	r.mu.Unlock()
 }
 
-// snapshotSorted returns a sorted copy of the samples.
+// snapshotSorted returns a sorted view of the samples. The slice is
+// cached across calls until the next Add/Reset, so repeated percentile
+// queries (the common pattern in the experiment harness: P50, P95, P99
+// back to back) pay for one copy+sort instead of one per query. Callers
+// must treat the returned slice as read-only; all callers in this
+// package do.
 func (r *Recorder) snapshotSorted() []time.Duration {
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sorted != nil {
+		return r.sorted
+	}
 	out := make([]time.Duration, len(r.samples))
 	copy(out, r.samples)
-	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	r.sorted = out
 	return out
 }
 

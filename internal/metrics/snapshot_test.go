@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSnapshotCacheReuse asserts the sorted-snapshot cache: repeated
+// percentile queries between recordings must not re-copy or re-sort
+// the sample slice (zero allocations after the first query), and an
+// Add or Reset must invalidate the cache.
+func TestSnapshotCacheReuse(t *testing.T) {
+	r := NewRecorder()
+	fill(r, 10_000)
+
+	// Prime the cache.
+	if got := r.Percentile(50); got != 5000*time.Millisecond {
+		t.Fatalf("P50=%v, want 5s", got)
+	}
+	// Subsequent queries reuse the cached snapshot: zero allocations.
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = r.Percentile(99)
+		_ = r.FractionBelow(time.Second)
+		_ = r.Summarize()
+	})
+	if allocs > 0 {
+		t.Fatalf("cached percentile queries allocated %.1f times per run, want 0 (snapshot re-sorted per call?)", allocs)
+	}
+
+	// Add invalidates: the next query sees the new sample.
+	r.Add(20_000 * time.Millisecond)
+	if got := r.Percentile(100); got != 20_000*time.Millisecond {
+		t.Fatalf("P100 after Add = %v, want 20s (stale cache?)", got)
+	}
+
+	// Reset invalidates too.
+	r.Reset()
+	if got := r.Percentile(50); got != 0 {
+		t.Fatalf("P50 after Reset = %v, want 0 (stale cache?)", got)
+	}
+	// And the recorder still works after a reset.
+	fill(r, 100)
+	if got := r.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("P50 after refill = %v, want 50ms", got)
+	}
+}
+
+// BenchmarkPercentileRepeated is the regression benchmark guarding the
+// snapshot cache: it issues the harness's typical P50/P95/P99 triple
+// against a large static sample set. Before the cache, every call
+// copied and sorted all samples (O(n log n) per query); with the cache
+// the steady state is O(1) lookups.
+func BenchmarkPercentileRepeated(b *testing.B) {
+	r := NewRecorder()
+	fill(r, 100_000)
+	r.Percentile(50) // prime
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Percentile(50)
+		_ = r.Percentile(95)
+		_ = r.Percentile(99)
+	}
+}
+
+// BenchmarkSummarizeLarge guards Summarize on a large sample set with
+// the cache warm.
+func BenchmarkSummarizeLarge(b *testing.B) {
+	r := NewRecorder()
+	fill(r, 100_000)
+	r.Summarize() // prime
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Summarize()
+	}
+}

@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler serves the opt-in debug surface daemons mount on a
+// -debug-listen address: net/http/pprof under /debug/pprof/, the
+// Prometheus exposition at /v1/metrics, and the span ring at
+// /v1/debug/traces. The handler carries no authentication — bind it to
+// loopback (the daemons' flag docs say so) and never to a public
+// address. Safe on a nil *Obs: only the pprof endpoints are mounted.
+func (o *Obs) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if o != nil {
+		mux.Handle("/v1/metrics", o.MetricsHandler())
+		mux.Handle("/v1/debug/traces", o.TracesHandler())
+	}
+	return mux
+}

@@ -1,0 +1,482 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// numStripes is the number of independent cells a Counter spreads its
+// increments over. Must be a power of two.
+const numStripes = 16
+
+// cacheLine pads striped cells so adjacent stripes do not share a cache
+// line (false sharing would serialise the "independent" stripes).
+const cacheLine = 64
+
+type stripedCell struct {
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// stripeIdx picks a stripe for the calling goroutine. Goroutine stacks
+// are distinct allocations, so the address of a stack variable is a
+// cheap, stable-enough per-goroutine discriminator. Bits below the frame
+// alignment are discarded.
+func stripeIdx() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b)) >> 9 & (numStripes - 1))
+}
+
+// Counter is a monotone event counter. Add is a single atomic add on a
+// lock-striped cell; Value sums the stripes.
+type Counter struct {
+	cells [numStripes]stripedCell
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be >= 0; counters are monotone).
+func (c *Counter) Add(n uint64) {
+	c.cells[stripeIdx()].v.Add(n)
+}
+
+// Value returns the current total. Concurrent adds may or may not be
+// included, but the value never decreases across calls.
+func (c *Counter) Value() uint64 {
+	var t uint64
+	for i := range c.cells {
+		t += c.cells[i].v.Load()
+	}
+	return t
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt stores an integral value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Add adds delta (CAS loop; gauges are not hot-path).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefBuckets are the default latency histogram bounds in seconds,
+// spanning 100µs to ~10s — the range the paper's tail-latency figures
+// (§6.2) care about.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe performs one
+// atomic add on the matching bucket cell and one atomic add on the
+// nanosecond sum — no locks, no allocation. The exposed _count is
+// derived from the bucket cells in a single pass, so a scraped snapshot
+// always satisfies count == Σ buckets (no torn snapshots).
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, seconds
+	cells   []atomic.Uint64
+	sumNano atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{
+		bounds: b,
+		cells:  make([]atomic.Uint64, len(b)+1), // +1 = +Inf overflow
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	sec := d.Seconds()
+	// Binary search for the first bound >= sec (le semantics: a value
+	// exactly on a boundary lands in that boundary's bucket).
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < sec {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.cells[lo].Add(1)
+	h.sumNano.Add(int64(d))
+}
+
+// HistogramSnapshot is a consistent view of a histogram: Counts has one
+// entry per bound plus the +Inf overflow, and Count == Σ Counts.
+type HistogramSnapshot struct {
+	Bounds  []float64
+	Counts  []uint64
+	Count   uint64
+	SumSecs float64
+}
+
+// Snapshot reads every bucket cell once and derives the total from the
+// same reads, so the invariant Count == Σ Counts holds even under
+// concurrent observation.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.cells)),
+	}
+	for i := range h.cells {
+		c := h.cells[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.SumSecs = time.Duration(h.sumNano.Load()).Seconds()
+	return s
+}
+
+// rateSlot is one second of a RateWindow ring.
+type rateSlot struct {
+	epoch atomic.Int64 // unix second this slot currently represents
+	count atomic.Uint64
+}
+
+// RateWindow counts events over a sliding window of whole seconds and
+// reports events/second. Mark is lock-free: one epoch check and one
+// atomic add. The window is aligned to the registry clock, so rollover
+// is deterministic under a fake clock.
+type RateWindow struct {
+	clock Clock
+	slots []rateSlot
+}
+
+func newRateWindow(clock Clock, windowSecs int) *RateWindow {
+	if windowSecs < 1 {
+		windowSecs = 1
+	}
+	// One extra slot so the current (partial) second never aliases the
+	// oldest full second being summed.
+	return &RateWindow{clock: clock, slots: make([]rateSlot, windowSecs+1)}
+}
+
+// Mark records one event at the current clock second.
+func (w *RateWindow) Mark() { w.MarkN(1) }
+
+// MarkN records n events at the current clock second.
+func (w *RateWindow) MarkN(n uint64) { w.markSec(w.clock().Unix(), n) }
+
+// MarkAt records one event at t's second. Callers that already hold a
+// timestamp (e.g. the RED wrapper, which reads the clock for the
+// latency histogram anyway) use this to avoid a second clock read on
+// the hot path.
+func (w *RateWindow) MarkAt(t time.Time) { w.markSec(t.Unix(), 1) }
+
+func (w *RateWindow) markSec(sec int64, n uint64) {
+	s := &w.slots[int(sec%int64(len(w.slots)))]
+	if e := s.epoch.Load(); e != sec {
+		// The slot has rolled around to a new second: claim it and reset.
+		// A racing marker that loses the CAS observes the new epoch on
+		// retry and adds to the freshly reset counter.
+		if s.epoch.CompareAndSwap(e, sec) {
+			s.count.Store(0)
+		}
+	}
+	s.count.Add(n)
+}
+
+// Rate returns events/second over the last window, excluding the
+// current in-progress second.
+func (w *RateWindow) Rate() float64 {
+	sec := w.clock().Unix()
+	window := int64(len(w.slots) - 1)
+	var total uint64
+	for i := range w.slots {
+		e := w.slots[i].epoch.Load()
+		if e >= sec-window && e < sec {
+			total += w.slots[i].count.Load()
+		}
+	}
+	return float64(total) / float64(window)
+}
+
+const (
+	kindCounter = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+	kindRate
+)
+
+type metric struct {
+	name   string // full series name, possibly with {labels}
+	family string // name up to '{'
+	help   string
+	kind   int
+	ctr    *Counter
+	gauge  *Gauge
+	fn     func() float64
+	hist   *Histogram
+	rate   *RateWindow
+}
+
+// Registry is a process-wide metric registry. Metric creation
+// (get-or-create by name) takes a lock; all recording on the returned
+// metric objects is lock-free. The exposition output is fully sorted,
+// so two registries fed identical events under identical clocks produce
+// byte-identical output.
+type Registry struct {
+	clock   Clock
+	real    bool // clock is the wall clock; Since may take the monotonic fast path
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+// NewRegistry builds a registry with the given clock (nil means time.Now).
+func NewRegistry(clock Clock) *Registry {
+	real := clock == nil
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Registry{clock: clock, real: real, metrics: make(map[string]*metric)}
+}
+
+// Clock returns the registry's time source.
+func (r *Registry) Clock() Clock {
+	if r == nil {
+		return time.Now
+	}
+	return r.clock
+}
+
+// Now is shorthand for Clock()(). Safe on nil (falls back to time.Now).
+func (r *Registry) Now() time.Time { return r.Clock()() }
+
+// Since returns the elapsed time since start on the registry's clock.
+// Under the real clock it uses time.Since, which reads only the cheap
+// monotonic counter instead of the full wall clock — about half the
+// cost of a second Now() on the latency-measurement hot path. Fake
+// clocks keep the deterministic Sub path.
+func (r *Registry) Since(start time.Time) time.Duration {
+	if r == nil || r.real {
+		return time.Since(start)
+	}
+	return r.clock().Sub(start)
+}
+
+func (r *Registry) lookup(name string, kind int) (*metric, bool) {
+	r.mu.RLock()
+	m, ok := r.metrics[name]
+	r.mu.RUnlock()
+	if ok && m.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+	}
+	return m, ok
+}
+
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func (r *Registry) register(name, help string, kind int, build func(*metric)) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return m
+	}
+	m := &metric{name: name, family: family(name), help: help, kind: kind}
+	build(m)
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. name may carry a Prometheus label suffix, e.g.
+// `bf_http_requests_total{endpoint="observe",code="200"}`.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	if m, ok := r.lookup(name, kindCounter); ok {
+		return m.ctr
+	}
+	return r.register(name, help, kindCounter, func(m *metric) { m.ctr = &Counter{} }).ctr
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	if m, ok := r.lookup(name, kindGauge); ok {
+		return m.gauge
+	}
+	return r.register(name, help, kindGauge, func(m *metric) { m.gauge = &Gauge{} }).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time. Re-registering the same name replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kindGaugeFunc {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		m.fn = fn
+		return
+	}
+	r.metrics[name] = &metric{name: name, family: family(name), help: help, kind: kindGaugeFunc, fn: fn}
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds (seconds) if needed; nil bounds means
+// DefBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return newHistogram(DefBuckets)
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	if m, ok := r.lookup(name, kindHistogram); ok {
+		return m.hist
+	}
+	return r.register(name, help, kindHistogram, func(m *metric) { m.hist = newHistogram(bounds) }).hist
+}
+
+// RateWindow returns the rate window registered under name, creating it
+// with the given window length (seconds) if needed. Exposed as a gauge
+// reporting events/second.
+func (r *Registry) RateWindow(name, help string, windowSecs int) *RateWindow {
+	if r == nil {
+		return newRateWindow(time.Now, windowSecs)
+	}
+	if m, ok := r.lookup(name, kindRate); ok {
+		return m.rate
+	}
+	return r.register(name, help, kindRate, func(m *metric) { m.rate = newRateWindow(r.clock, windowSecs) }).rate
+}
+
+// fmtFloat renders a float the same way every time: integral values are
+// printed without an exponent or trailing zeros, everything else uses
+// the shortest round-trip representation.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func typeName(kind int) string {
+	switch kind {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// WritePrometheus writes the registry contents in Prometheus text
+// exposition format. Families and series are emitted in sorted order;
+// with a deterministic clock and identical event sequences the output
+// is byte-identical across runs.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].family != ms[j].family {
+			return ms[i].family < ms[j].family
+		}
+		return ms[i].name < ms[j].name
+	})
+	var b strings.Builder
+	lastFamily := ""
+	for _, m := range ms {
+		if m.family != lastFamily {
+			if m.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", m.family, m.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.family, typeName(m.kind))
+			lastFamily = m.family
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.ctr.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s %s\n", m.name, fmtFloat(m.gauge.Value()))
+		case kindGaugeFunc:
+			fmt.Fprintf(&b, "%s %s\n", m.name, fmtFloat(m.fn()))
+		case kindRate:
+			fmt.Fprintf(&b, "%s %s\n", m.name, fmtFloat(m.rate.Rate()))
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			base, labels := splitLabels(m.name)
+			var cum uint64
+			for i, bound := range s.Bounds {
+				cum += s.Counts[i]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", base, withLabel(labels, "le", fmtFloat(bound)), cum)
+			}
+			cum += s.Counts[len(s.Counts)-1]
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", base, withLabel(labels, "le", "+Inf"), cum)
+			fmt.Fprintf(&b, "%s_sum%s %s\n", base, labels, fmtFloat(s.SumSecs))
+			fmt.Fprintf(&b, "%s_count%s %d\n", base, labels, s.Count)
+		}
+	}
+	io.WriteString(w, b.String())
+}
+
+// splitLabels separates `name{a="b"}` into `name` and `{a="b"}`.
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// withLabel appends key="value" to an existing (possibly empty) label set.
+func withLabel(labels, key, value string) string {
+	extra := key + `="` + value + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}

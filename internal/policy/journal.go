@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -32,12 +33,16 @@ type Journal interface {
 	// as the read side of a checkpoint barrier. It must never be nil.
 	Begin() (end func())
 
-	// Observe records a singular fingerprint observation.
-	Observe(seg segment.ID, service string, g segment.Granularity, hashes []uint32) error
+	// Observe records a singular fingerprint observation. ctx carries
+	// the request's trace (internal/obs), which the implementation
+	// journals alongside the record and times its WAL append against;
+	// context.Background() is valid and disables both.
+	Observe(ctx context.Context, seg segment.ID, service string, g segment.Granularity, hashes []uint32) error
 
 	// ObserveBatch records a batched flush. Every item carries a
 	// caller-computed fingerprint (the engine normalises text items).
-	ObserveBatch(service string, items []disclosure.BatchObservation) error
+	// ctx carries the request trace exactly as in Observe.
+	ObserveBatch(ctx context.Context, service string, items []disclosure.BatchObservation) error
 
 	// Suppress records an accepted tag suppression.
 	Suppress(user string, seg segment.ID, tag tdm.Tag, justification string) error
@@ -87,12 +92,12 @@ func (e *Engine) begin() func() {
 }
 
 // journalObserve records a singular observation.
-func (e *Engine) journalObserve(seg segment.ID, service string, g segment.Granularity, hashes []uint32) error {
+func (e *Engine) journalObserve(ctx context.Context, seg segment.ID, service string, g segment.Granularity, hashes []uint32) error {
 	j := e.journalRef()
 	if j == nil {
 		return nil
 	}
-	if err := j.Observe(seg, service, g, hashes); err != nil {
+	if err := j.Observe(ctx, seg, service, g, hashes); err != nil {
 		return fmt.Errorf("%w: %v", ErrJournal, err)
 	}
 	return nil

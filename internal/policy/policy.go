@@ -14,12 +14,15 @@
 package policy
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 
 	"github.com/lsds/browserflow/internal/audit"
 	"github.com/lsds/browserflow/internal/disclosure"
 	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/obs"
 	"github.com/lsds/browserflow/internal/segment"
 	"github.com/lsds/browserflow/internal/tdm"
 )
@@ -203,6 +206,19 @@ func (e *Engine) ObserveDocumentEdit(doc segment.ID, service, text string) (Verd
 // ObserveEditFP is ObserveEdit for a fingerprint computed by the caller —
 // remote (tag-server) clients keep text on-device and ship hashes only.
 func (e *Engine) ObserveEditFP(seg segment.ID, service string, fp *fingerprint.Fingerprint) (Verdict, error) {
+	return e.ObserveEditFPCtx(context.Background(), seg, service, fp)
+}
+
+// ObserveEditFPCtx is ObserveEditFP with a request context: when ctx
+// carries a trace (internal/obs) the engine records an "engine.observe"
+// span and the journal attributes the WAL append to the same trace.
+func (e *Engine) ObserveEditFPCtx(ctx context.Context, seg segment.ID, service string, fp *fingerprint.Fingerprint) (verdict Verdict, err error) {
+	sp := obs.StartSpan(ctx, "engine.observe")
+	if sp.Active() {
+		sp.SetAttr("seg", string(seg))
+		sp.SetAttr("hashes", strconv.Itoa(len(fp.Hashes())))
+		defer func() { sp.End(err) }()
+	}
 	if end := e.begin(); end != nil {
 		defer end()
 	}
@@ -214,7 +230,7 @@ func (e *Engine) ObserveEditFP(seg segment.ID, service string, fp *fingerprint.F
 		return Verdict{}, err
 	}
 	e.registry.RefreshImplicit(seg, report.SourceSegs())
-	if err := e.journalObserve(seg, service, segment.GranularityParagraph, fp.Hashes()); err != nil {
+	if err := e.journalObserve(ctx, seg, service, segment.GranularityParagraph, fp.Hashes()); err != nil {
 		return Verdict{}, err
 	}
 	return e.verdictFor(seg, service, report.Sources, report.CacheHit)
@@ -223,6 +239,18 @@ func (e *Engine) ObserveEditFP(seg segment.ID, service string, fp *fingerprint.F
 // ObserveDocumentEditFP is ObserveDocumentEdit for a caller-computed
 // fingerprint.
 func (e *Engine) ObserveDocumentEditFP(doc segment.ID, service string, fp *fingerprint.Fingerprint) (Verdict, error) {
+	return e.ObserveDocumentEditFPCtx(context.Background(), doc, service, fp)
+}
+
+// ObserveDocumentEditFPCtx is ObserveDocumentEditFP with a request
+// context carrying the trace, as in ObserveEditFPCtx.
+func (e *Engine) ObserveDocumentEditFPCtx(ctx context.Context, doc segment.ID, service string, fp *fingerprint.Fingerprint) (verdict Verdict, err error) {
+	sp := obs.StartSpan(ctx, "engine.observe_document")
+	if sp.Active() {
+		sp.SetAttr("seg", string(doc))
+		sp.SetAttr("hashes", strconv.Itoa(len(fp.Hashes())))
+		defer func() { sp.End(err) }()
+	}
 	if end := e.begin(); end != nil {
 		defer end()
 	}
@@ -234,7 +262,7 @@ func (e *Engine) ObserveDocumentEditFP(doc segment.ID, service string, fp *finge
 		return Verdict{}, err
 	}
 	e.registry.RefreshImplicit(doc, report.SourceSegs())
-	if err := e.journalObserve(doc, service, segment.GranularityDocument, fp.Hashes()); err != nil {
+	if err := e.journalObserve(ctx, doc, service, segment.GranularityDocument, fp.Hashes()); err != nil {
 		return Verdict{}, err
 	}
 	return e.verdictFor(doc, service, report.Sources, report.CacheHit)
@@ -246,8 +274,20 @@ func (e *Engine) ObserveDocumentEditFP(doc segment.ID, service string, fp *finge
 // applied in order, exactly as the equivalent sequence of singular
 // Observe*EditFP calls would be.
 func (e *Engine) ObserveBatchFP(service string, items []disclosure.BatchObservation) ([]Verdict, error) {
+	return e.ObserveBatchFPCtx(context.Background(), service, items)
+}
+
+// ObserveBatchFPCtx is ObserveBatchFP with a request context: when ctx
+// carries a trace the engine records an "engine.observe_batch" span and
+// the journal attributes the batched WAL append to the same trace.
+func (e *Engine) ObserveBatchFPCtx(ctx context.Context, service string, items []disclosure.BatchObservation) (verdicts []Verdict, err error) {
 	if len(items) == 0 {
 		return nil, nil
+	}
+	sp := obs.StartSpan(ctx, "engine.observe_batch")
+	if sp.Active() {
+		sp.SetAttr("items", strconv.Itoa(len(items)))
+		defer func() { sp.End(err) }()
 	}
 	if end := e.begin(); end != nil {
 		defer end()
@@ -278,11 +318,11 @@ func (e *Engine) ObserveBatchFP(service string, items []disclosure.BatchObservat
 		return nil, err
 	}
 	if journal != nil {
-		if err := journal.ObserveBatch(service, items); err != nil {
+		if err := journal.ObserveBatch(ctx, service, items); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
 		}
 	}
-	verdicts := make([]Verdict, len(reports))
+	verdicts = make([]Verdict, len(reports))
 	for i, report := range reports {
 		e.registry.RefreshImplicit(report.Seg, report.SourceSegs())
 		v, err := e.verdictFor(report.Seg, service, report.Sources, report.CacheHit)

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"github.com/lsds/browserflow/internal/dlpmon"
+	"github.com/lsds/browserflow/internal/obs"
 	"github.com/lsds/browserflow/internal/policy"
 )
 
@@ -52,6 +53,12 @@ type Config struct {
 	// inspection (default DefaultMaxBodyBytes). Larger requests are
 	// rejected with 413 before any inspection or forwarding.
 	MaxBodyBytes int64
+
+	// Obs, if set, makes the proxy the trace root: requests without an
+	// X-BF-Trace header are minted one, every hop below (engine, WAL,
+	// replica apply) attaches spans to it, and forward/block outcomes are
+	// counted in the bundle's registry. Nil disables instrumentation.
+	Obs *obs.Obs
 }
 
 // Stats counts proxy outcomes.
@@ -94,11 +101,34 @@ func (p *Proxy) Stats() Stats {
 
 // ServeHTTP inspects and forwards one request.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	outcome := "error"
+	if o := p.cfg.Obs; o != nil {
+		trace := r.Header.Get(obs.TraceHeader)
+		if trace == "" {
+			trace = o.NewTraceID()
+		}
+		r = r.WithContext(obs.WithTrace(r.Context(), trace, o.Traces()))
+		w.Header().Set(obs.TraceHeader, trace)
+		sp := obs.StartSpan(r.Context(), "proxy.request")
+		start := o.Registry().Now()
+		defer func() {
+			sp.SetAttr("outcome", outcome)
+			sp.End(nil)
+			reg := o.Registry()
+			reg.Counter("bf_proxy_requests_total{outcome=\""+outcome+"\"}",
+				"Proxy requests by outcome (forwarded, blocked, error).").Add(1)
+			reg.Histogram("bf_proxy_request_seconds",
+				"Proxy end-to-end request latency.", nil).
+				Observe(reg.Now().Sub(start))
+		}()
+	}
+
 	body, err := p.readBody(w, r)
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			p.blocked.Add(1)
+			outcome = "blocked"
 			http.Error(w, fmt.Sprintf("proxy: request body exceeds %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
 			return
 		}
@@ -117,6 +147,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		if verdict.Blocked() {
 			p.blocked.Add(1)
+			outcome = "blocked"
 			http.Error(w, fmt.Sprintf("proxy: blocked, request discloses %q", verdict.Matches[0].Name), http.StatusForbidden)
 			return
 		}
@@ -133,6 +164,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				}
 				if verdict.Decision == policy.DecisionBlock {
 					p.blocked.Add(1)
+					outcome = "blocked"
 					http.Error(w, fmt.Sprintf("proxy: blocked, discloses %v to %s", verdict.Violating, service), http.StatusForbidden)
 					return
 				}
@@ -147,6 +179,8 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out.Header = r.Header.Clone()
+	// Propagate the request trace to the upstream so its spans join ours.
+	obs.StampRequest(out)
 	resp, err := p.cfg.Transport.RoundTrip(out)
 	if err != nil {
 		http.Error(w, "proxy: upstream: "+err.Error(), http.StatusBadGateway)
@@ -154,6 +188,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	defer resp.Body.Close()
 	p.forwarded.Add(1)
+	outcome = "forwarded"
 
 	for k, vs := range resp.Header {
 		for _, v := range vs {

@@ -41,6 +41,11 @@ const (
 	// HeaderLag is the number of records remaining after the batch (the
 	// replica's lag once it applies the batch).
 	HeaderLag = "X-BF-Lag"
+
+	// HeaderLagBytes is the number of framed WAL bytes remaining after
+	// the batch — the byte-granularity companion of HeaderLag, exported
+	// as the replica's lag-bytes gauge.
+	HeaderLagBytes = "X-BF-Lag-Bytes"
 )
 
 const (
@@ -229,11 +234,16 @@ func (p *Primary) handleStream(w http.ResponseWriter, r *http.Request) {
 	if lagErr != nil {
 		lag = 0
 	}
+	lagBytes, lagErr := log.BytesFrom(next)
+	if lagErr != nil {
+		lagBytes = 0
+	}
 	setTermHeaders(w, p.node)
 	w.Header().Set(HeaderPos, start.String())
 	w.Header().Set(HeaderNextPos, next.String())
 	w.Header().Set(HeaderBatchBytes, strconv.Itoa(len(frames)))
 	w.Header().Set(HeaderLag, strconv.FormatInt(lag, 10))
+	w.Header().Set(HeaderLagBytes, strconv.FormatInt(lagBytes, 10))
 	if n == 0 {
 		w.WriteHeader(http.StatusNoContent)
 		return

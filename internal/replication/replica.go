@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/obs"
 	"github.com/lsds/browserflow/internal/policy"
 	"github.com/lsds/browserflow/internal/store"
 	"github.com/lsds/browserflow/internal/tdm"
@@ -72,6 +73,12 @@ type ReplicaOptions struct {
 
 	// Logf receives replication notes; nil discards.
 	Logf func(format string, args ...interface{})
+
+	// Obs, when set, receives replication metrics (lag records/bytes,
+	// applied records, bootstraps, connected flag, stream round + apply
+	// latency histograms) and "replica.apply" spans attributed to the
+	// trace IDs journalled inside streamed observe records.
+	Obs *obs.Obs
 }
 
 func (o ReplicaOptions) withDefaults() ReplicaOptions {
@@ -107,6 +114,7 @@ type ReplicaStatus struct {
 	Primary        string `json:"primary,omitempty"`
 	Position       string `json:"position"`
 	LagRecords     int64  `json:"lag_records"`
+	LagBytes       int64  `json:"lag_bytes"`
 	AppliedRecords int64  `json:"appliedRecords"`
 	Bootstraps     int64  `json:"bootstraps"`
 	Connected      bool   `json:"connected"`
@@ -128,6 +136,7 @@ type Replica struct {
 	applier     *store.Applier
 	pos         wal.Pos
 	lag         int64
+	lagBytes    int64
 	applied     int64
 	bootstraps  int64
 	connected   bool
@@ -163,7 +172,45 @@ func OpenReplica(node *Node, engine *policy.Engine, opts ReplicaOptions) (*Repli
 	if err := r.recoverLocal(); err != nil {
 		return nil, err
 	}
+	r.exposeMetrics()
 	return r, nil
+}
+
+// newApplier builds a record applier wired to the observability span
+// ring (when configured), so streamed observe records that carry a
+// journalled trace ID emit "replica.apply" spans.
+func (r *Replica) newApplier() (*store.Applier, error) {
+	applier, err := store.NewApplier(r.tracker, r.registry)
+	if err != nil {
+		return nil, err
+	}
+	applier.SetTraceLog(r.opts.Obs.Traces())
+	return applier, nil
+}
+
+// exposeMetrics registers the replica's replication gauges on the
+// configured registry (no-op without one). Values are read from Status
+// at scrape time.
+func (r *Replica) exposeMetrics() {
+	reg := r.opts.Obs.Registry()
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("bf_repl_lag_records", "Records the primary holds that this replica has not applied.",
+		func() float64 { return float64(r.Status().LagRecords) })
+	reg.GaugeFunc("bf_repl_lag_bytes", "Framed WAL bytes the primary holds that this replica has not applied.",
+		func() float64 { return float64(r.Status().LagBytes) })
+	reg.GaugeFunc("bf_repl_applied_records", "Records applied since the last bootstrap.",
+		func() float64 { return float64(r.Status().AppliedRecords) })
+	reg.GaugeFunc("bf_repl_bootstraps", "Snapshot bootstraps performed.",
+		func() float64 { return float64(r.Status().Bootstraps) })
+	reg.GaugeFunc("bf_repl_connected", "1 when the replica's last primary round succeeded.",
+		func() float64 {
+			if r.Status().Connected {
+				return 1
+			}
+			return 0
+		})
 }
 
 // recoverLocal validates the mirror (truncating a torn tail), restores
@@ -199,7 +246,7 @@ func (r *Replica) recoverLocal() error {
 		return nil
 	}
 
-	applier, err := store.NewApplier(r.tracker, r.registry)
+	applier, err := r.newApplier()
 	if err != nil {
 		return fmt.Errorf("replication: build applier: %w", err)
 	}
@@ -394,7 +441,7 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 	if err := snap.Restore(r.tracker, r.registry); err != nil {
 		return fmt.Errorf("replication: restore snapshot: %w", err)
 	}
-	applier, err := store.NewApplier(r.tracker, r.registry)
+	applier, err := r.newApplier()
 	if err != nil {
 		return err
 	}
@@ -447,6 +494,7 @@ func (r *Replica) streamOnce(ctx context.Context, pos wal.Pos) error {
 		r.connected = true
 		r.lastErr = ""
 		r.lag = 0
+		r.lagBytes = 0
 		if next := resp.Header.Get(HeaderNextPos); next != "" {
 			if p, perr := wal.ParsePos(next); perr == nil && !p.IsZero() {
 				r.pos = p
@@ -475,6 +523,8 @@ func (r *Replica) streamOnce(ctx context.Context, pos wal.Pos) error {
 // header guards against truncated bodies: only the valid frame prefix is
 // mirrored and applied, and the cursor advances exactly past it.
 func (r *Replica) applyBatch(pos wal.Pos, resp *http.Response) error {
+	reg := r.opts.Obs.Registry()
+	applyStart := reg.Now()
 	startHdr := resp.Header.Get(HeaderPos)
 	start := pos
 	if startHdr != "" {
@@ -538,19 +588,37 @@ func (r *Replica) applyBatch(pos wal.Pos, resp *http.Response) error {
 			lag = n
 		}
 	}
+	lagBytes := int64(0)
+	if v := resp.Header.Get(HeaderLagBytes); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			lagBytes = n
+		}
+	}
 	if used < len(body) || (want >= 0 && used < want) {
 		// We dropped a torn tail; the primary still has those records.
 		lag++
+		if want >= 0 && used < want {
+			lagBytes += int64(want - used)
+		}
 	}
 
 	r.mu.Lock()
 	r.pos = next
 	r.applied += int64(len(recs))
 	r.lag = lag
+	r.lagBytes = lagBytes
 	r.connected = true
 	r.lastErr = ""
 	ckptDue := next.Segment > r.lastCkptSeg
 	r.mu.Unlock()
+
+	if reg != nil {
+		reg.Counter("bf_repl_batches_total", "Stream batches applied.").Inc()
+		reg.Counter("bf_repl_records_total", "Streamed records applied.").Add(uint64(len(recs)))
+		reg.Counter("bf_repl_bytes_total", "Streamed WAL bytes mirrored.").Add(uint64(used))
+		reg.Histogram("bf_repl_apply_seconds", "Mirror+apply latency per stream batch.", nil).
+			Observe(reg.Now().Sub(applyStart))
+	}
 
 	if ckptDue {
 		if err := r.checkpointLocal(next.Segment); err != nil {
@@ -618,6 +686,7 @@ func (r *Replica) Status() ReplicaStatus {
 		Primary:        primary,
 		Position:       r.pos.String(),
 		LagRecords:     r.lag,
+		LagBytes:       r.lagBytes,
 		AppliedRecords: r.applied,
 		Bootstraps:     r.bootstraps,
 		Connected:      r.connected,

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"sync"
 
+	"github.com/lsds/browserflow/internal/obs"
 	"github.com/lsds/browserflow/internal/store"
 )
 
@@ -19,6 +20,7 @@ type Service struct {
 	mu      sync.Mutex
 	primary *Primary
 	replica *Replica
+	obs     *obs.Obs
 
 	// onPromote observes a successful in-place promotion; bftagd uses it
 	// to repoint health/metrics at the freshly opened durable store.
@@ -33,6 +35,14 @@ func NewService(node *Node, primaryOpts PrimaryOptions, logf func(format string,
 		logf = func(string, ...interface{}) {}
 	}
 	return &Service{node: node, primaryOpts: primaryOpts, logf: logf}
+}
+
+// SetObs installs the observability bundle; call before Handler so the
+// /v1/repl/* endpoints are wrapped with RED metrics and trace lifting.
+func (s *Service) SetObs(o *obs.Obs) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = o
 }
 
 // SetPrimary installs the serving side (the node is a primary).
@@ -86,18 +96,27 @@ func (s *Service) Status() ReplicaStatus {
 	return st
 }
 
-// Handler returns the /v1/repl/* mux.
+// Handler returns the /v1/repl/* mux. When an observability bundle is
+// installed (SetObs), every endpoint is wrapped with RED metrics and
+// inbound trace lifting; Instrument is nil-safe, so uninstrumented
+// deployments serve the raw handlers unchanged.
 func (s *Service) Handler() http.Handler {
+	s.mu.Lock()
+	o := s.obs
+	s.mu.Unlock()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/repl/snapshot", s.withPrimary(func(p *Primary, w http.ResponseWriter, r *http.Request) {
+	handle := func(path, endpoint string, h http.HandlerFunc) {
+		mux.Handle(path, o.Instrument(endpoint, h))
+	}
+	handle("/v1/repl/snapshot", "repl.snapshot", s.withPrimary(func(p *Primary, w http.ResponseWriter, r *http.Request) {
 		p.handleSnapshot(w, r)
 	}))
-	mux.HandleFunc("/v1/repl/stream", s.withPrimary(func(p *Primary, w http.ResponseWriter, r *http.Request) {
+	handle("/v1/repl/stream", "repl.stream", s.withPrimary(func(p *Primary, w http.ResponseWriter, r *http.Request) {
 		p.handleStream(w, r)
 	}))
-	mux.HandleFunc("/v1/repl/fence", handleFence(s.node, s.logf))
-	mux.HandleFunc("/v1/repl/status", s.handleStatus)
-	mux.HandleFunc("/v1/repl/promote", s.handlePromote)
+	handle("/v1/repl/fence", "repl.fence", handleFence(s.node, s.logf))
+	handle("/v1/repl/status", "repl.status", s.handleStatus)
+	handle("/v1/repl/promote", "repl.promote", s.handlePromote)
 	return mux
 }
 

@@ -28,6 +28,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"github.com/lsds/browserflow/internal/obs"
 )
 
 // Middleware wraps an http.RoundTripper with additional behaviour.
@@ -253,6 +255,13 @@ func (t *RetryTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		if t.policy.OnRetry != nil {
 			t.policy.OnRetry(req, attempt+1, delay, reason)
 		}
+		// When the request rides a trace, the scheduled retry becomes a
+		// span on it, so an end-to-end trace shows every extra attempt a
+		// flaky transport cost the caller. No-op on untraced requests.
+		obs.RecordSpan(ctx, "resilience.retry", time.Now(), delay, lastErr, map[string]string{
+			"attempt": fmt.Sprintf("%d", attempt+1),
+			"reason":  reason,
+		})
 		if !t.sleep(ctx, delay) {
 			t.giveUps.Add(1)
 			return nil, ctx.Err()

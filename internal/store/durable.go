@@ -25,6 +25,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -33,6 +34,7 @@ import (
 
 	"github.com/lsds/browserflow/internal/audit"
 	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/obs"
 	"github.com/lsds/browserflow/internal/policy"
 	"github.com/lsds/browserflow/internal/segment"
 	"github.com/lsds/browserflow/internal/tdm"
@@ -306,14 +308,30 @@ func (d *Durable) append(rec wal.Record, err error) error {
 	return d.log.Append(rec)
 }
 
-// Observe implements policy.Journal.
-func (d *Durable) Observe(seg segment.ID, service string, g segment.Granularity, hashes []uint32) error {
-	return d.append(encodeObserve(seg, service, g, hashes))
+// appendTraced appends a record and, when ctx carries a trace, records
+// a "wal.append" span timing the append (frame + fsync per policy).
+func (d *Durable) appendTraced(ctx context.Context, rec wal.Record, err error) error {
+	if err != nil {
+		return err
+	}
+	sp := obs.StartSpan(ctx, "wal.append")
+	err = d.log.Append(rec)
+	sp.End(err)
+	return err
+}
+
+// Observe implements policy.Journal. The request's trace ID (if any)
+// is journalled with the record, so streaming replicas can attribute
+// their apply work to the originating request.
+func (d *Durable) Observe(ctx context.Context, seg segment.ID, service string, g segment.Granularity, hashes []uint32) error {
+	rec, err := encodeObserve(seg, service, g, hashes, obs.TraceID(ctx))
+	return d.appendTraced(ctx, rec, err)
 }
 
 // ObserveBatch implements policy.Journal.
-func (d *Durable) ObserveBatch(service string, items []disclosure.BatchObservation) error {
-	return d.append(encodeObserveBatch(service, items))
+func (d *Durable) ObserveBatch(ctx context.Context, service string, items []disclosure.BatchObservation) error {
+	rec, err := encodeObserveBatch(service, items, obs.TraceID(ctx))
+	return d.appendTraced(ctx, rec, err)
 }
 
 // Suppress implements policy.Journal.

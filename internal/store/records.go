@@ -140,24 +140,36 @@ type observeOp struct {
 	Service string
 	G       segment.Granularity
 	Hashes  []uint32
+
+	// Trace is the optional request trace ID journalled with the
+	// observation (an opaque identifier, never text), so replica
+	// appliers can attribute their apply spans to the originating
+	// request.
+	Trace string
 }
 
 // encodeObserve frames a singular observation:
 //
-//	gran(1) | seg | service | hashes
+//	gran(1) | seg | service | hashes [| trace]
 //
 // with strings as uvarint-length-prefixed bytes and hashes as
-// uvarint-count-prefixed big-endian uint32s.
-func encodeObserve(seg segment.ID, service string, g segment.Granularity, hashes []uint32) (wal.Record, error) {
+// uvarint-count-prefixed big-endian uint32s. The trailing trace ID is
+// optional: records written before tracing existed (or for untraced
+// requests) simply end after the hashes, and the decoder accepts both
+// forms.
+func encodeObserve(seg segment.ID, service string, g segment.Granularity, hashes []uint32, trace string) (wal.Record, error) {
 	gc, err := granCode(g)
 	if err != nil {
 		return wal.Record{}, err
 	}
-	buf := make([]byte, 0, 1+10+len(seg)+len(service)+4*len(hashes)+10)
+	buf := make([]byte, 0, 1+10+len(seg)+len(service)+4*len(hashes)+10+len(trace))
 	buf = append(buf, gc)
 	buf = appendString(buf, string(seg))
 	buf = appendString(buf, service)
 	buf = appendHashes(buf, hashes)
+	if trace != "" {
+		buf = appendString(buf, trace)
+	}
 	return wal.Record{Type: recObserve, Data: buf}, nil
 }
 
@@ -183,17 +195,26 @@ func decodeObserve(data []byte) (observeOp, error) {
 	if err != nil {
 		return observeOp{}, err
 	}
+	var trace string
+	if r.off < len(r.data) { // optional trailing trace ID
+		trace, err = r.string("trace")
+		if err != nil {
+			return observeOp{}, err
+		}
+	}
 	if err := r.done(); err != nil {
 		return observeOp{}, err
 	}
-	return observeOp{Seg: segment.ID(seg), Service: svc, G: g, Hashes: hs}, nil
+	return observeOp{Seg: segment.ID(seg), Service: svc, G: g, Hashes: hs, Trace: trace}, nil
 }
 
 // encodeObserveBatch frames a batched flush:
 //
-//	service | uvarint(nItems) | nItems × (gran(1) | seg | hashes)
-func encodeObserveBatch(service string, items []disclosure.BatchObservation) (wal.Record, error) {
-	buf := make([]byte, 0, 16+len(service)+len(items)*64)
+//	service | uvarint(nItems) | nItems × (gran(1) | seg | hashes) [| trace]
+//
+// The trailing trace ID is optional, exactly as in encodeObserve.
+func encodeObserveBatch(service string, items []disclosure.BatchObservation, trace string) (wal.Record, error) {
+	buf := make([]byte, 0, 16+len(service)+len(items)*64+len(trace))
 	buf = appendString(buf, service)
 	buf = binary.AppendUvarint(buf, uint64(len(items)))
 	for i, item := range items {
@@ -212,39 +233,42 @@ func encodeObserveBatch(service string, items []disclosure.BatchObservation) (wa
 		buf = appendString(buf, string(item.Seg))
 		buf = appendHashes(buf, item.FP.Hashes())
 	}
+	if trace != "" {
+		buf = appendString(buf, trace)
+	}
 	return wal.Record{Type: recObserveBatch, Data: buf}, nil
 }
 
-func decodeObserveBatch(data []byte) (string, []disclosure.BatchObservation, error) {
+func decodeObserveBatch(data []byte) (string, []disclosure.BatchObservation, string, error) {
 	r := &reader{data: data}
 	svc, err := r.string("service")
 	if err != nil {
-		return "", nil, err
+		return "", nil, "", err
 	}
 	n, err := r.uvarint("item count")
 	if err != nil {
-		return "", nil, err
+		return "", nil, "", err
 	}
 	if n > uint64(len(data)) { // each item takes at least one byte
-		return "", nil, fmt.Errorf("store: WAL batch record claims %d items in %d bytes", n, len(data))
+		return "", nil, "", fmt.Errorf("store: WAL batch record claims %d items in %d bytes", n, len(data))
 	}
 	items := make([]disclosure.BatchObservation, 0, n)
 	for i := uint64(0); i < n; i++ {
 		gc, err := r.byte("granularity")
 		if err != nil {
-			return "", nil, err
+			return "", nil, "", err
 		}
 		g, err := granFromCode(gc)
 		if err != nil {
-			return "", nil, err
+			return "", nil, "", err
 		}
 		seg, err := r.string("segment")
 		if err != nil {
-			return "", nil, err
+			return "", nil, "", err
 		}
 		hs, err := r.hashes("hashes")
 		if err != nil {
-			return "", nil, err
+			return "", nil, "", err
 		}
 		items = append(items, disclosure.BatchObservation{
 			Seg:         segment.ID(seg),
@@ -252,10 +276,17 @@ func decodeObserveBatch(data []byte) (string, []disclosure.BatchObservation, err
 			Granularity: g,
 		})
 	}
-	if err := r.done(); err != nil {
-		return "", nil, err
+	var trace string
+	if r.off < len(r.data) { // optional trailing trace ID
+		trace, err = r.string("trace")
+		if err != nil {
+			return "", nil, "", err
+		}
 	}
-	return svc, items, nil
+	if err := r.done(); err != nil {
+		return "", nil, "", err
+	}
+	return svc, items, trace, nil
 }
 
 // controlOp is the JSON form of the rare control-plane mutations.

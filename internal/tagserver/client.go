@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/obs"
 	"github.com/lsds/browserflow/internal/resilience"
 	"github.com/lsds/browserflow/internal/segment"
 	"github.com/lsds/browserflow/internal/tdm"
@@ -378,6 +379,7 @@ func (c *Client) getJSON(ctx context.Context, pathAndQuery string, into interfac
 	if err != nil {
 		return err
 	}
+	obs.StampRequest(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return &UnavailableError{Op: pathAndQuery, Err: err}
@@ -426,6 +428,9 @@ func (c *Client) post(ctx context.Context, path string, req interface{}) (*http.
 	// when the first attempt's delivery status is unknown.
 	hreq.Header.Set(resilience.IdempotencyKeyHeader, c.idempotencyKey())
 	c.stampTerm(hreq)
+	// Carry the caller's trace (if any) to the server so its spans —
+	// handler, engine observe, WAL append — join the same trace ID.
+	obs.StampRequest(hreq)
 	resp, err := c.http.Do(hreq)
 	if err != nil {
 		return nil, &UnavailableError{Op: path, Err: err}

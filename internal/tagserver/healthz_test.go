@@ -1,0 +1,222 @@
+package tagserver
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/lsds/browserflow/internal/obs"
+	"github.com/lsds/browserflow/internal/store"
+	"github.com/lsds/browserflow/internal/wal"
+)
+
+// getHealth fetches and decodes /healthz.
+func getHealth(t *testing.T, base string) HealthResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var out HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// getBody fetches one path and returns the body as a string.
+func getBody(t *testing.T, base, path string) string {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestHealthzReplicationBlock covers the /healthz replication block: the
+// node's role, fencing term, and byte/record lag must round-trip so
+// callers can bound read staleness.
+func TestHealthzReplicationBlock(t *testing.T) {
+	w := newTraceWorld(t)
+	status := HealthReplication{
+		Role:           "replica",
+		Term:           7,
+		Primary:        "http://primary:7000",
+		Position:       "3,128",
+		LagRecords:     5,
+		LagBytes:       4096,
+		AppliedRecords: 41,
+		Bootstraps:     2,
+		Connected:      true,
+		LastError:      "transient: conn reset",
+	}
+	server, err := NewServer(w.engine, WithReplicationStatus(func() HealthReplication { return status }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	health := getHealth(t, srv.URL)
+	if health.Replication == nil {
+		t.Fatal("healthz missing replication block")
+	}
+	got := *health.Replication
+	if got != status {
+		t.Fatalf("replication block mismatch:\n got %+v\nwant %+v", got, status)
+	}
+
+	// The same numbers surface as Prometheus gauges on /v1/metrics.
+	metrics := getBody(t, srv.URL, "/v1/metrics")
+	for _, want := range []string{
+		`browserflow_replication_role{role="replica"} 1`,
+		"browserflow_replication_term 7",
+		"browserflow_replication_lag_records 5",
+		"browserflow_replication_lag_bytes 4096",
+		"browserflow_replication_applied_records 41",
+		"browserflow_replication_connected 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestHealthzNoReplication: a standalone server reports no replication
+// block at all (nil, not zero-valued).
+func TestHealthzNoReplication(t *testing.T) {
+	w := newTraceWorld(t)
+	server, err := NewServer(w.engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+	health := getHealth(t, srv.URL)
+	if health.Replication != nil {
+		t.Fatalf("standalone server grew a replication block: %+v", health.Replication)
+	}
+	if health.Durability != nil {
+		t.Fatalf("journal-less server grew a durability block: %+v", health.Durability)
+	}
+}
+
+// TestHealthzDurabilityBlock covers the durability fields: WAL record
+// counts, checkpoint tallies and the checkpoint age that monitoring
+// alerts on.
+func TestHealthzDurabilityBlock(t *testing.T) {
+	w := newTraceWorld(t)
+	durable, err := store.OpenDurable(store.DurableOptions{Dir: t.TempDir(), Fsync: wal.SyncAlways}, w.tracker, w.registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer durable.Close()
+	w.engine.SetJournal(durable)
+
+	server, err := NewServer(w.engine, WithDurabilityStats(durable.Stats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	// Journal a mutation, then checkpoint so LastCheckpointAge appears.
+	if _, err := w.engine.ObserveEdit("wiki/a#p0", "wiki", "quarterly revenue forecast revised downwards"); err != nil {
+		t.Fatal(err)
+	}
+	if err := durable.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	health := getHealth(t, srv.URL)
+	if health.Durability == nil {
+		t.Fatal("healthz missing durability block")
+	}
+	d := health.Durability
+	if d.WALRecords == 0 {
+		t.Error("WALRecords = 0 after a journalled observe")
+	}
+	if d.Fsyncs == 0 {
+		t.Error("Fsyncs = 0 under SyncAlways")
+	}
+	if d.Checkpoints != 1 {
+		t.Errorf("Checkpoints = %d, want 1", d.Checkpoints)
+	}
+	if d.CheckpointErrors != 0 {
+		t.Errorf("CheckpointErrors = %d, want 0", d.CheckpointErrors)
+	}
+	if d.LastCheckpointAge == "" {
+		t.Error("LastCheckpointAge empty after a checkpoint")
+	}
+	if _, err := time.ParseDuration(d.LastCheckpointAge); err != nil {
+		t.Errorf("LastCheckpointAge %q is not a duration: %v", d.LastCheckpointAge, err)
+	}
+}
+
+// TestObsGaugesOnMetrics: with WithObs + durability + replication
+// sources installed, the engine-level gauges appear in the obs section
+// of /v1/metrics (lag bytes, checkpoint age, fsync quantiles, term).
+func TestObsGaugesOnMetrics(t *testing.T) {
+	w := newTraceWorld(t)
+	durable, err := store.OpenDurable(store.DurableOptions{Dir: t.TempDir(), Fsync: wal.SyncAlways}, w.tracker, w.registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer durable.Close()
+	w.engine.SetJournal(durable)
+
+	o := obs.New(nil, 0)
+	server, err := NewServer(w.engine,
+		WithObs(o),
+		WithDurabilityStats(durable.Stats),
+		WithReplicationStatus(func() HealthReplication {
+			return HealthReplication{Role: "replica", Term: 9, LagBytes: 1234, Connected: true}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	if _, err := w.engine.ObserveEdit("wiki/a#p0", "wiki", "customer escalation about data residency"); err != nil {
+		t.Fatal(err)
+	}
+	if err := durable.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	metrics := getBody(t, srv.URL, "/v1/metrics")
+	for _, want := range []string{
+		"bf_node_repl_lag_bytes 1234",
+		"bf_node_repl_term 9",
+		"bf_decision_cache_hit_ratio",
+		"bf_wal_fsync_p50_seconds",
+		"bf_wal_fsync_p99_seconds",
+		"bf_checkpoint_age_seconds",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("obs metrics missing %q", want)
+		}
+	}
+
+	// Traces surface on /v1/debug/traces when WithObs is installed.
+	traces := getBody(t, srv.URL, "/v1/debug/traces")
+	if !strings.Contains(traces, `"spans"`) {
+		t.Errorf("/v1/debug/traces not serving span JSON: %s", traces)
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"github.com/lsds/browserflow/internal/disclosure"
 	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/obs"
 	"github.com/lsds/browserflow/internal/policy"
 	"github.com/lsds/browserflow/internal/segment"
 	"github.com/lsds/browserflow/internal/store"
@@ -142,6 +143,7 @@ type HealthReplication struct {
 	Primary        string `json:"primary,omitempty"`
 	Position       string `json:"position,omitempty"`
 	LagRecords     int64  `json:"lag_records"`
+	LagBytes       int64  `json:"lag_bytes"`
 	AppliedRecords int64  `json:"appliedRecords,omitempty"`
 	Bootstraps     int64  `json:"bootstraps,omitempty"`
 	Connected      bool   `json:"connected"`
@@ -199,6 +201,15 @@ func WithReplicationStatus(fn func() HealthReplication) ServerOption {
 	return func(s *Server) { s.replication = fn }
 }
 
+// WithObs installs an observability bundle: every endpoint is wrapped
+// with RED metrics and X-BF-Trace lifting, the bundle's Prometheus
+// families are appended to /v1/metrics, the span ring is served at
+// /v1/debug/traces, and engine-level gauges (decision-cache hit ratio,
+// WAL fsync latency, checkpoint age, replication lag) are registered.
+func WithObs(o *obs.Obs) ServerOption {
+	return func(s *Server) { s.obs = o }
+}
+
 // Server is the shared tag service. It is safe for concurrent use.
 type Server struct {
 	engine      *policy.Engine
@@ -207,6 +218,7 @@ type Server struct {
 	started     time.Time
 	durability  func() (store.DurabilityStats, bool)
 	replication func() HealthReplication
+	obs         *obs.Obs
 
 	// Operational counters, exported in Prometheus text format at
 	// /metrics.
@@ -215,6 +227,8 @@ type Server struct {
 	uploads      atomic.Int64
 	suppressions atomic.Int64
 	violations   atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -233,17 +247,77 @@ func NewServer(engine *policy.Engine, opts ...ServerOption) (*Server, error) {
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.mux.HandleFunc("/v1/observe", s.handleObserve)
-	s.mux.HandleFunc("/v1/observe/batch", s.handleObserveBatch)
-	s.mux.HandleFunc("/v1/check", s.handleCheck)
-	s.mux.HandleFunc("/v1/upload", s.handleUpload)
-	s.mux.HandleFunc("/v1/suppress", s.handleSuppress)
-	s.mux.HandleFunc("/v1/label", s.handleLabel)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	// Instrument is nil-safe: without WithObs the raw handlers serve
+	// unchanged; with it every endpoint gains RED metrics and trace
+	// lifting under a stable endpoint label.
+	handle := func(path, endpoint string, h http.HandlerFunc) {
+		s.mux.Handle(path, s.obs.Instrument(endpoint, h))
+	}
+	handle("/v1/observe", "observe", s.handleObserve)
+	handle("/v1/observe/batch", "observe_batch", s.handleObserveBatch)
+	handle("/v1/check", "check", s.handleCheck)
+	handle("/v1/upload", "upload", s.handleUpload)
+	handle("/v1/suppress", "suppress", s.handleSuppress)
+	handle("/v1/label", "label", s.handleLabel)
+	handle("/v1/stats", "stats", s.handleStats)
+	handle("/v1/metrics", "metrics", s.handleMetrics)
+	handle("/healthz", "healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.obs != nil {
+		s.mux.Handle("/v1/debug/traces", s.obs.TracesHandler())
+		s.registerEngineGauges()
+	}
 	return s, nil
+}
+
+// registerEngineGauges publishes engine-level health as gauges in the
+// obs registry: decision-cache hit ratio, WAL fsync latency quantiles,
+// checkpoint age, and replication lag. GaugeFuncs are sampled at scrape
+// time, so a live promotion (durability appearing on a replica) is
+// reflected without re-registration.
+func (s *Server) registerEngineGauges() {
+	reg := s.obs.Registry()
+	reg.GaugeFunc("bf_decision_cache_hit_ratio",
+		"Fraction of verdicts answered from the disclosure decision cache.",
+		func() float64 {
+			hits, misses := float64(s.cacheHits.Load()), float64(s.cacheMisses.Load())
+			if hits+misses == 0 {
+				return 0
+			}
+			return hits / (hits + misses)
+		})
+	reg.GaugeFunc("bf_segments", "Tracked segments.", func() float64 {
+		return float64(s.engine.Tracker().Paragraphs().Stats().Segments)
+	})
+	reg.GaugeFunc("bf_wal_fsync_p50_seconds",
+		"Median WAL fsync latency.", func() float64 {
+			if d, ok := s.durabilityStats(); ok {
+				return d.WAL.FsyncLatency.P50.Seconds()
+			}
+			return 0
+		})
+	reg.GaugeFunc("bf_wal_fsync_p99_seconds",
+		"99th-percentile WAL fsync latency.", func() float64 {
+			if d, ok := s.durabilityStats(); ok {
+				return d.WAL.FsyncLatency.P99.Seconds()
+			}
+			return 0
+		})
+	reg.GaugeFunc("bf_checkpoint_age_seconds",
+		"Seconds since the last successful checkpoint.", func() float64 {
+			if d, ok := s.durabilityStats(); ok && !d.LastCheckpointAt.IsZero() {
+				return reg.Now().Sub(d.LastCheckpointAt).Seconds()
+			}
+			return 0
+		})
+	if s.replication != nil {
+		reg.GaugeFunc("bf_node_repl_lag_bytes",
+			"Framed WAL bytes this node trails its primary by (0 on a primary).",
+			func() float64 { return float64(s.replication().LagBytes) })
+		reg.GaugeFunc("bf_node_repl_term",
+			"The node's replication fencing term.",
+			func() float64 { return float64(s.replication().Term) })
+	}
 }
 
 // Observes returns the number of observations served (batch items count
@@ -271,9 +345,9 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	)
 	switch req.Granularity {
 	case "", "paragraph":
-		verdict, err = s.engine.ObserveEditFP(req.Seg, req.Service, fingerprint.FromHashes(req.Hashes))
+		verdict, err = s.engine.ObserveEditFPCtx(r.Context(), req.Seg, req.Service, fingerprint.FromHashes(req.Hashes))
 	case "document":
-		verdict, err = s.engine.ObserveDocumentEditFP(req.Seg, req.Service, fingerprint.FromHashes(req.Hashes))
+		verdict, err = s.engine.ObserveDocumentEditFPCtx(r.Context(), req.Seg, req.Service, fingerprint.FromHashes(req.Hashes))
 	default:
 		http.Error(w, "unknown granularity", http.StatusBadRequest)
 		return
@@ -283,7 +357,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observes.Add(1)
-	s.countViolation(verdict)
+	s.countVerdict(verdict)
 	writeVerdict(w, verdict)
 }
 
@@ -323,7 +397,7 @@ func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
 			Granularity: g,
 		}
 	}
-	verdicts, err := s.engine.ObserveBatchFP(req.Service, items)
+	verdicts, err := s.engine.ObserveBatchFPCtx(r.Context(), req.Service, items)
 	if err != nil {
 		http.Error(w, err.Error(), statusFor(err))
 		return
@@ -331,7 +405,7 @@ func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
 	s.observes.Add(int64(len(verdicts)))
 	resp := BatchObserveResponse{Verdicts: make([]VerdictResponse, len(verdicts))}
 	for i, v := range verdicts {
-		s.countViolation(v)
+		s.countVerdict(v)
 		resp.Verdicts[i] = verdictResponse(v)
 	}
 	writeJSON(w, resp)
@@ -352,7 +426,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.checks.Add(1)
-	s.countViolation(verdict)
+	s.countVerdict(verdict)
 	writeVerdict(w, verdict)
 }
 
@@ -371,7 +445,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.uploads.Add(1)
-	s.countViolation(verdict)
+	s.countVerdict(verdict)
 	writeVerdict(w, verdict)
 }
 
@@ -411,9 +485,17 @@ func (s *Server) durabilityStats() (store.DurabilityStats, bool) {
 	return s.durability()
 }
 
-func (s *Server) countViolation(v policy.Verdict) {
+// countVerdict folds one verdict into the operational counters: the
+// violation tally and the decision-cache hit/miss split that feeds the
+// bf_decision_cache_hit_ratio gauge.
+func (s *Server) countVerdict(v policy.Verdict) {
 	if v.Violation() {
 		s.violations.Add(1)
+	}
+	if v.CacheHit {
+		s.cacheHits.Add(1)
+	} else {
+		s.cacheMisses.Add(1)
 	}
 }
 
@@ -427,6 +509,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE browserflow_uploads_total counter\nbrowserflow_uploads_total %d\n", s.uploads.Load())
 	fmt.Fprintf(w, "# TYPE browserflow_suppressions_total counter\nbrowserflow_suppressions_total %d\n", s.suppressions.Load())
 	fmt.Fprintf(w, "# TYPE browserflow_violations_total counter\nbrowserflow_violations_total %d\n", s.violations.Load())
+	fmt.Fprintf(w, "# TYPE browserflow_decision_cache_hits_total counter\nbrowserflow_decision_cache_hits_total %d\n", s.cacheHits.Load())
+	fmt.Fprintf(w, "# TYPE browserflow_decision_cache_misses_total counter\nbrowserflow_decision_cache_misses_total %d\n", s.cacheMisses.Load())
 	fmt.Fprintf(w, "# TYPE browserflow_segments gauge\nbrowserflow_segments %d\n", stats.Segments)
 	fmt.Fprintf(w, "# TYPE browserflow_distinct_hashes gauge\nbrowserflow_distinct_hashes %d\n", stats.DistinctHashes)
 	fmt.Fprintf(w, "# TYPE browserflow_audit_entries gauge\nbrowserflow_audit_entries %d\n", s.engine.Registry().Audit().Len())
@@ -435,6 +519,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "# TYPE browserflow_replication_role gauge\nbrowserflow_replication_role{role=%q} 1\n", rs.Role)
 		fmt.Fprintf(w, "# TYPE browserflow_replication_term gauge\nbrowserflow_replication_term %d\n", rs.Term)
 		fmt.Fprintf(w, "# TYPE browserflow_replication_lag_records gauge\nbrowserflow_replication_lag_records %d\n", rs.LagRecords)
+		fmt.Fprintf(w, "# TYPE browserflow_replication_lag_bytes gauge\nbrowserflow_replication_lag_bytes %d\n", rs.LagBytes)
 		fmt.Fprintf(w, "# TYPE browserflow_replication_applied_records counter\nbrowserflow_replication_applied_records %d\n", rs.AppliedRecords)
 		fmt.Fprintf(w, "# TYPE browserflow_replication_bootstraps_total counter\nbrowserflow_replication_bootstraps_total %d\n", rs.Bootstraps)
 		connected := 0
@@ -461,6 +546,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 		fmt.Fprintf(w, "# TYPE browserflow_recovery_records_replayed gauge\nbrowserflow_recovery_records_replayed %d\n", d.Recovery.RecordsReplayed)
 		fmt.Fprintf(w, "# TYPE browserflow_recovery_corrupt_checkpoints gauge\nbrowserflow_recovery_corrupt_checkpoints %d\n", d.Recovery.CorruptCheckpoints)
+	}
+	// The obs registry's families (bf_*) follow the legacy browserflow_*
+	// block; its output is deterministically sorted, so two scrapes under
+	// a fake clock are byte-identical.
+	if s.obs != nil {
+		s.obs.Registry().WritePrometheus(w)
 	}
 }
 

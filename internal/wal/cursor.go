@@ -326,6 +326,42 @@ func (l *Log) CountFrom(from Pos) (int64, error) {
 	}
 }
 
+// BytesFrom returns how many framed record bytes lie at or after
+// position from — the primary's byte-granularity measure of a replica's
+// lag. Per-segment file headers are not counted (they are not payload
+// the replica is missing). Unlike CountFrom it costs one mutex
+// acquisition and no I/O: the live segment size table already holds
+// every number needed.
+func (l *Log) BytesFrom(from Pos) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	p, ok, ahead := l.normalizeLocked(from)
+	if !ok {
+		return 0, positionErr(p, ahead)
+	}
+	var total int64
+	for _, idx := range l.segs {
+		if idx < p.Segment {
+			continue
+		}
+		sz := l.sizes[idx]
+		if idx == l.curSeg {
+			sz = l.curSize
+		}
+		start := int64(headerSize)
+		if idx == p.Segment {
+			start = p.Offset
+		}
+		if sz > start {
+			total += sz - start
+		}
+	}
+	return total, nil
+}
+
 // notifyLocked wakes every WaitFrom blocked on the previous notify
 // channel. Callers hold l.mu.
 func (l *Log) notifyLocked() {
