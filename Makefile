@@ -2,21 +2,24 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check crash repl fuzz obs cover bench repl-bench obs-bench benchall experiments clean
+.PHONY: all build vet test race check crash repl fuzz obs overload vuln cover bench repl-bench obs-bench load-bench benchall experiments clean
 
 all: build check
 
 # check is the gate: static analysis, the full suite under the race
 # detector (which includes the crash/corruption-injection recovery
 # property suite in internal/store), the replication partition/promotion
-# suite, and a short fuzz smoke over the two recovery parsers that read
-# attacker-controlled bytes after a crash.
+# suite, the overload/admission chaos suite, a short fuzz smoke over the
+# two recovery parsers that read attacker-controlled bytes after a crash,
+# and a vulnerability scan when govulncheck is installed.
 check: vet
 	$(GO) test -race ./...
 	$(MAKE) crash
 	$(MAKE) repl
 	$(MAKE) obs
+	$(MAKE) overload
 	$(MAKE) fuzz
+	$(MAKE) vuln
 
 # crash runs only the durability crash-injection suites, race-enabled.
 crash:
@@ -37,6 +40,26 @@ repl:
 obs:
 	$(GO) test -race ./internal/obs ./internal/metrics
 	$(GO) test -race -run 'Trace|Healthz|ObsGauges|Metrics|Instrument|Prometheus|Span' ./internal/tagserver ./internal/proxy ./cmd/bfctl
+
+# overload runs the admission/backpressure chaos suites race-enabled:
+# coalescing equivalence vs the unbatched engine, sustained 2x-saturation
+# shed-and-recover, priority-lane degradation, control-plane liveness
+# under queue saturation, inflight-gate shedding at the proxy, Retry-After
+# handling in the resilient client, and the SIGTERM drain-before-WAL-close
+# ordering in the daemon.
+overload:
+	$(GO) test -race ./internal/admission
+	$(GO) test -race -run 'Overload|Saturation|Shed|RetryAfter|Stall|Inflight|Drain|Bfload' ./internal/tagserver ./internal/proxy ./internal/resilience ./internal/faultinject ./cmd/bftagd ./cmd/bfload
+
+# vuln scans the module with govulncheck when it is installed; absent the
+# tool (the default container has no network to fetch it), the gate is a
+# no-op so check stays runnable offline.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 # fuzz smoke: ten seconds per recovery parser (Go runs one fuzz target
 # per invocation, hence two commands).
@@ -79,6 +102,11 @@ repl-bench:
 # as BENCH_5.json.
 obs-bench:
 	$(GO) run ./cmd/bfbench -experiment obs-overhead -benchjson BENCH_5.json
+
+# load-bench ramps open-loop editors against an in-process tag service
+# until the p99 SLO breaks and records the capacity as BENCH_6.json.
+load-bench:
+	$(GO) run ./cmd/bfload -editors 100 -step 25 -max-editors 600 -think 50ms -duration 3s -slo 250ms -out BENCH_6.json
 
 # benchall runs every benchmark in the repository.
 benchall:

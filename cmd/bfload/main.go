@@ -1,0 +1,364 @@
+// Command bfload is an open-loop load generator for the BrowserFlow tag
+// service. It models N concurrent editors typing with fixed think time:
+// each editor fires one observe per keystroke batch at its *intended*
+// schedule, never waiting for the previous response, and every latency is
+// measured from the intended send time. This is the wrk2 discipline that
+// avoids coordinated omission: a server that stalls does not slow the
+// offered load down, it accumulates backlog and the stall shows up in the
+// tail instead of being silently edited out of the measurement.
+//
+// bfload ramps the editor count in steps until the p99 latency SLO or the
+// shed-rate bound is breached, then reports the largest editor count the
+// node sustained. 429 responses count as shed, not errors: shedding under
+// overload is the admission pipeline doing its job, and the capacity
+// number is "editors served within SLO while shedding stays rare".
+//
+// Usage:
+//
+//	bfload                                # in-process server, ramp to breach
+//	bfload -target http://host:7000       # load an external bftagd
+//	bfload -editors 100 -step 100 -slo 250ms -out BENCH_6.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/lsds/browserflow/internal/admission"
+	"github.com/lsds/browserflow/internal/audit"
+	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/policy"
+	"github.com/lsds/browserflow/internal/tagserver"
+	"github.com/lsds/browserflow/internal/tdm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bfload:", err)
+		os.Exit(1)
+	}
+}
+
+// stepResult is one rung of the ramp.
+type stepResult struct {
+	Editors    int     `json:"editors"`
+	OfferedRPS float64 `json:"offeredRPS"`
+	DoneRPS    float64 `json:"doneRPS"`
+	P50Ms      float64 `json:"p50Ms"`
+	P99Ms      float64 `json:"p99Ms"`
+	MaxMs      float64 `json:"maxMs"`
+	OK         int64   `json:"ok"`
+	Shed       int64   `json:"shed"`
+	Errors     int64   `json:"errors"`
+	ShedRate   float64 `json:"shedRate"`
+	Breached   bool    `json:"breached"`
+}
+
+// benchReport is the BENCH_6.json document.
+type benchReport struct {
+	Bench          string       `json:"bench"`
+	Date           string       `json:"date"`
+	Target         string       `json:"target"`
+	ThinkMs        float64      `json:"thinkMs"`
+	Stride         int          `json:"stride"`
+	SLOMs          float64      `json:"sloMs"`
+	MaxShedRate    float64      `json:"maxShedRate"`
+	StepDurationMs float64      `json:"stepDurationMs"`
+	Steps          []stepResult `json:"steps"`
+	EditorsPerNode int          `json:"editorsPerNode"`
+	RampExhausted  bool         `json:"rampExhausted,omitempty"`
+}
+
+// collector aggregates per-request outcomes for one ramp step.
+type collector struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	ok        int64
+	shed      int64
+	errs      int64
+}
+
+func (c *collector) record(lat time.Duration, status int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case err != nil:
+		c.errs++
+	case status == http.StatusOK:
+		c.ok++
+		c.latencies = append(c.latencies, lat)
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		c.shed++
+	default:
+		c.errs++
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bfload", flag.ContinueOnError)
+	var (
+		target     = fs.String("target", "", "tag-service base URL (empty runs an in-process server)")
+		editors    = fs.Int("editors", 50, "editor count for the first ramp step")
+		step       = fs.Int("step", 50, "editors added per ramp step")
+		maxEditors = fs.Int("max-editors", 5000, "stop ramping past this editor count")
+		think      = fs.Duration("think", 50*time.Millisecond, "think time between an editor's keystroke batches")
+		stride     = fs.Int("stride", 20, "characters typed per observe (keystroke batch size)")
+		duration   = fs.Duration("duration", 3*time.Second, "measurement window per ramp step")
+		slo        = fs.Duration("slo", 250*time.Millisecond, "p99 latency SLO; the ramp stops when a step breaches it")
+		maxShed    = fs.Float64("max-shed", 0.01, "shed-rate bound; the ramp stops when a step exceeds it")
+		warmup     = fs.Duration("warmup", 500*time.Millisecond, "per-step settling window excluded from measurement (connection setup, cold caches)")
+		out        = fs.String("out", "", "write the BENCH_6 report to this JSON file")
+		service    = fs.String("service", "docs", "service name observes are attributed to")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *editors <= 0 || *step <= 0 || *stride <= 0 {
+		return fmt.Errorf("-editors, -step and -stride must be positive")
+	}
+
+	base := *target
+	if base == "" {
+		srv, err := inprocServer()
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		base = srv.URL
+		fmt.Println("bfload: in-process tag service at", base)
+	}
+
+	states := keystrokeStates(documentText(1600), *stride)
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        4096,
+			MaxIdleConnsPerHost: 4096,
+		},
+	}
+
+	report := benchReport{
+		Bench:          "BENCH_6",
+		Date:           time.Now().UTC().Format(time.RFC3339),
+		Target:         base,
+		ThinkMs:        float64(*think) / float64(time.Millisecond),
+		Stride:         *stride,
+		SLOMs:          float64(*slo) / float64(time.Millisecond),
+		MaxShedRate:    *maxShed,
+		StepDurationMs: float64(*duration) / float64(time.Millisecond),
+	}
+
+	lastGood := 0
+	for n := *editors; n <= *maxEditors; n += *step {
+		res := runStep(client, base, *service, n, states, *think, *duration, *warmup)
+		res.Breached = time.Duration(res.P99Ms*float64(time.Millisecond)) > *slo ||
+			res.ShedRate > *maxShed || res.Errors > 0
+		report.Steps = append(report.Steps, res)
+		fmt.Printf("bfload: editors=%-5d offered=%.0f/s done=%.0f/s p50=%.1fms p99=%.1fms shed=%.2f%% errs=%d%s\n",
+			n, res.OfferedRPS, res.DoneRPS, res.P50Ms, res.P99Ms, 100*res.ShedRate, res.Errors,
+			map[bool]string{true: "  <-- SLO breach"}[res.Breached])
+		if res.Breached {
+			break
+		}
+		lastGood = n
+	}
+	report.EditorsPerNode = lastGood
+	if len(report.Steps) > 0 && !report.Steps[len(report.Steps)-1].Breached {
+		report.RampExhausted = true
+	}
+	fmt.Printf("bfload: capacity %d editors/node (p99 SLO %s, shed bound %.1f%%)\n",
+		report.EditorsPerNode, *slo, 100**maxShed)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("bfload: wrote", *out)
+	}
+	return nil
+}
+
+// runStep drives n open-loop editors for warmup+window; requests whose
+// intended send time falls inside the warmup are sent but not measured.
+func runStep(client *http.Client, base, service string, n int, states [][]uint32, think, window, warmup time.Duration) stepResult {
+	col := &collector{}
+	ctx, cancel := context.WithTimeout(context.Background(), warmup+window)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	measureFrom := start.Add(warmup)
+	for e := 0; e < n; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			editorLoop(ctx, client, base, service, e, states, think, measureFrom, col)
+		}(e)
+	}
+	wg.Wait()
+	elapsed := time.Since(start) - warmup
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	sort.Slice(col.latencies, func(i, j int) bool { return col.latencies[i] < col.latencies[j] })
+	total := col.ok + col.shed + col.errs
+	res := stepResult{
+		Editors:    n,
+		OfferedRPS: float64(total) / elapsed.Seconds(),
+		DoneRPS:    float64(col.ok) / elapsed.Seconds(),
+		OK:         col.ok,
+		Shed:       col.shed,
+		Errors:     col.errs,
+	}
+	if total > 0 {
+		res.ShedRate = float64(col.shed) / float64(total)
+	}
+	if len(col.latencies) > 0 {
+		res.P50Ms = ms(quantile(col.latencies, 0.50))
+		res.P99Ms = ms(quantile(col.latencies, 0.99))
+		res.MaxMs = ms(col.latencies[len(col.latencies)-1])
+	}
+	return res
+}
+
+// editorLoop fires observes on the editor's intended schedule, never
+// waiting for responses (open loop). Latency for request i is measured
+// from start+i*think, the moment the keystroke happened, not from when
+// the client got around to sending it.
+func editorLoop(ctx context.Context, client *http.Client, base, service string, editor int, states [][]uint32, think time.Duration, measureFrom time.Time, col *collector) {
+	seg := fmt.Sprintf("load/e%d#p0", editor)
+	start := time.Now()
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
+	for i := 0; ; i++ {
+		intended := start.Add(time.Duration(i) * think)
+		if d := time.Until(intended); d > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(d):
+			}
+		} else if ctx.Err() != nil {
+			return
+		}
+		hashes := states[i%len(states)]
+		inflight.Add(1)
+		go func(intended time.Time) {
+			defer inflight.Done()
+			status, err := observe(client, base, service, seg, hashes)
+			if !intended.Before(measureFrom) {
+				col.record(time.Since(intended), status, err)
+			}
+		}(intended)
+	}
+}
+
+func observe(client *http.Client, base, service, seg string, hashes []uint32) (int, error) {
+	body, err := json.Marshal(map[string]any{
+		"service": service,
+		"seg":     seg,
+		"hashes":  hashes,
+	})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(base+"/v1/observe", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// inprocServer assembles engine + admission pipeline + tag server in
+// process, so bfload with no -target benchmarks this build directly.
+func inprocServer() (*httptest.Server, error) {
+	tracker, err := disclosure.NewTracker(disclosure.Params{
+		Fingerprint: fingerprint.DefaultConfig(),
+		Tpar:        0.5,
+		Tdoc:        0.5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	registry := tdm.NewRegistry(audit.NewLog())
+	if err := registry.RegisterService("wiki", tdm.NewTagSet("tw"), tdm.NewTagSet("tw")); err != nil {
+		return nil, err
+	}
+	if err := registry.RegisterService("docs", tdm.NewTagSet(), tdm.NewTagSet()); err != nil {
+		return nil, err
+	}
+	engine, err := policy.NewEngine(tracker, registry, policy.ModeAdvisory)
+	if err != nil {
+		return nil, err
+	}
+	pipeline, err := admission.New(engine, admission.Config{})
+	if err != nil {
+		return nil, err
+	}
+	server, err := tagserver.NewServer(engine, tagserver.WithAdmission(pipeline))
+	if err != nil {
+		return nil, err
+	}
+	return httptest.NewServer(server), nil
+}
+
+// documentText generates a deterministic pseudo-document: enough distinct
+// n-grams for realistic fingerprints, identical across runs.
+func documentText(chars int) string {
+	rng := rand.New(rand.NewSource(6))
+	var b strings.Builder
+	for b.Len() < chars {
+		word := make([]byte, 3+rng.Intn(8))
+		for i := range word {
+			word[i] = byte('a' + rng.Intn(26))
+		}
+		b.Write(word)
+		b.WriteByte(' ')
+	}
+	return b.String()[:chars]
+}
+
+// keystrokeStates returns the fingerprint hash sets of the document's
+// growing prefixes, one per stride characters — what a browser extension
+// would ship as the user types.
+func keystrokeStates(text string, stride int) [][]uint32 {
+	var states [][]uint32
+	for end := stride; end <= len(text); end += stride {
+		fp, err := fingerprint.Compute(text[:end], fingerprint.DefaultConfig())
+		if err != nil || fp.Empty() {
+			continue
+		}
+		states = append(states, fp.Hashes())
+	}
+	if len(states) == 0 {
+		fp, _ := fingerprint.Compute(text, fingerprint.DefaultConfig())
+		states = append(states, fp.Hashes())
+	}
+	return states
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(float64(len(sorted)) * q)
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

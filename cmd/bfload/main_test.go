@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// A tiny ramp against the in-process server completes and writes a
+// well-formed BENCH_6 report.
+func TestBfloadSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{
+		"-editors", "2",
+		"-step", "2",
+		"-max-editors", "2",
+		"-think", "20ms",
+		"-duration", "300ms",
+		"-slo", "5s", // generous: the smoke test asserts mechanics, not capacity
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if report.Bench != "BENCH_6" {
+		t.Errorf("bench=%q, want BENCH_6", report.Bench)
+	}
+	if len(report.Steps) != 1 {
+		t.Fatalf("steps=%d, want 1", len(report.Steps))
+	}
+	st := report.Steps[0]
+	if st.Editors != 2 {
+		t.Errorf("step editors=%d, want 2", st.Editors)
+	}
+	if st.OK == 0 {
+		t.Error("no successful observes recorded")
+	}
+	if st.Errors != 0 {
+		t.Errorf("errors=%d, want 0", st.Errors)
+	}
+	if st.P99Ms <= 0 {
+		t.Errorf("p99=%v, want > 0", st.P99Ms)
+	}
+	if report.EditorsPerNode != 2 {
+		t.Errorf("editorsPerNode=%d, want 2", report.EditorsPerNode)
+	}
+	if !report.RampExhausted {
+		t.Error("ramp should report exhausted (no breach at max-editors)")
+	}
+}
+
+// keystrokeStates produces strictly growing prefixes with usable hashes.
+func TestKeystrokeStates(t *testing.T) {
+	states := keystrokeStates(documentText(800), 40)
+	if len(states) < 10 {
+		t.Fatalf("states=%d, want >= 10", len(states))
+	}
+	prev := 0
+	for i, s := range states {
+		if len(s) == 0 {
+			t.Fatalf("state %d has no hashes", i)
+		}
+		if len(s) < prev {
+			// Winnowing can plateau but prefixes should not shrink much;
+			// a shrink of more than a window's worth means corruption.
+			if prev-len(s) > 8 {
+				t.Fatalf("state %d shrank from %d to %d hashes", i, prev, len(s))
+			}
+		}
+		prev = len(s)
+	}
+}

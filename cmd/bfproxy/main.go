@@ -12,8 +12,9 @@
 //	        -write-timeout 30s -shutdown-grace 10s -max-body 8388608
 //
 // The gateway carries read/write timeouts, bounds inspected request
-// bodies (413 past -max-body), and drains in-flight requests gracefully
-// on SIGINT/SIGTERM.
+// bodies (413 past -max-body), sheds arrivals past -max-inflight with
+// 429 + Retry-After, and drains in-flight requests gracefully on
+// SIGINT/SIGTERM.
 package main
 
 import (
@@ -65,6 +66,7 @@ func run(args []string) error {
 		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "per-request write timeout")
 		grace        = fs.Duration("shutdown-grace", 10*time.Second, "time allowed for in-flight requests to drain on SIGINT/SIGTERM")
 		maxBody      = fs.Int64("max-body", proxy.DefaultMaxBodyBytes, "maximum inspected request body size in bytes (413 past this)")
+		maxInflight  = fs.Int("max-inflight", 256, "maximum concurrently served requests; arrivals past it are shed with 429 (0 disables)")
 		debugListen  = fs.String("debug-listen", "", "serve pprof + /v1/metrics + /v1/debug/traces on this address (loopback only; empty disables)")
 		sensitive    stringList
 	)
@@ -97,7 +99,7 @@ func run(args []string) error {
 	// The proxy is the trace root: requests without an X-BF-Trace header
 	// are minted one here and carry it to the upstream.
 	o := obs.New(nil, 0)
-	cfg := proxy.Config{Upstream: upstream, Monitor: monitor, MaxBodyBytes: *maxBody, Obs: o}
+	cfg := proxy.Config{Upstream: upstream, Monitor: monitor, MaxBodyBytes: *maxBody, MaxInflight: *maxInflight, Obs: o}
 	if *statePath != "" {
 		mw, err := browserflow.New(browserflow.DefaultConfig())
 		if err != nil {

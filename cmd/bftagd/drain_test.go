@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// healthAdmission mirrors the /healthz admission section the test polls.
+type healthAdmission struct {
+	Admission *struct {
+		Interactive struct {
+			Depth     int    `json:"depth"`
+			Submitted uint64 `json:"submitted"`
+			Executed  uint64 `json:"executed"`
+		} `json:"interactive"`
+	} `json:"admission"`
+	Segments int `json:"segments"`
+}
+
+func getAdmissionHealth(t *testing.T, base string) healthAdmission {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h healthAdmission
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// A SIGTERM arriving while an observe sits in the admission queue (held
+// there by a long debounce window) must not lose it: the shutdown path
+// drains the queue through the engine BEFORE closing the WAL, so the
+// queued observe is durably journaled and survives a restart.
+func TestShutdownDrainsAdmissionBeforeWALClose(t *testing.T) {
+	dir := t.TempDir()
+	policyPath := filepath.Join(dir, "policy.json")
+	policyJSON := `{"services":[{"name":"wiki","privilege":["tw"],"confidentiality":["tw"]}]}`
+	if err := os.WriteFile(policyPath, []byte(policyJSON), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	walDir := filepath.Join(dir, "wal")
+	addr := freeAddr(t)
+	base := "http://" + addr
+
+	args := []string{
+		"-policy", policyPath,
+		"-wal-dir", walDir,
+		"-addr", addr,
+		"-shutdown-grace", "10s",
+		"-coalesce-window", "30s", // park observes in the queue: only drain (or the window) releases them
+		"-admit-workers", "1",
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(args) }()
+	waitHealthy(t, base)
+
+	// Fire an observe; the debounce window keeps it queued, so the POST
+	// blocks awaiting its verdict.
+	obsCh := make(chan int, 1)
+	go func() {
+		body := `{"device":"d","service":"wiki","seg":"wiki/s#p0","hashes":[1,2,3]}`
+		resp, err := http.Post(base+"/v1/observe", "application/json", strings.NewReader(body))
+		if err != nil {
+			obsCh <- -1
+			return
+		}
+		resp.Body.Close()
+		obsCh <- resp.StatusCode
+	}()
+
+	// Wait until it is admitted and sitting in the interactive lane.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h := getAdmissionHealth(t, base)
+		if h.Admission != nil && h.Admission.Interactive.Depth >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("observe never reached the admission queue")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// SIGTERM with the observe still queued. Drain must execute it (the
+	// client gets its verdict) and journal it before the WAL closes.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case status := <-obsCh:
+		if status != http.StatusOK {
+			t.Fatalf("queued observe status=%d, want 200 (drained through the engine)", status)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("queued observe never completed during shutdown drain")
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want clean drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+
+	// Restart on the same WAL: the drained observe was durably recorded.
+	addr2 := freeAddr(t)
+	base2 := "http://" + addr2
+	errCh2 := make(chan error, 1)
+	go func() {
+		errCh2 <- run([]string{
+			"-policy", policyPath,
+			"-wal-dir", walDir,
+			"-addr", addr2,
+			"-shutdown-grace", "5s",
+		})
+	}()
+	waitHealthy(t, base2)
+	if h := getAdmissionHealth(t, base2); h.Segments < 1 {
+		t.Errorf("recovered segments=%d, want >=1: drained observe was lost", h.Segments)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh2:
+		if err != nil {
+			t.Fatalf("second run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("second daemon did not shut down")
+	}
+}

@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"github.com/lsds/browserflow"
+	"github.com/lsds/browserflow/internal/admission"
 	"github.com/lsds/browserflow/internal/obs"
 	"github.com/lsds/browserflow/internal/replication"
 	"github.com/lsds/browserflow/internal/store"
@@ -93,6 +94,13 @@ func run(args []string) error {
 		termFile     = fs.String("term-file", "", "file persisting the replication fencing term (default: <wal-dir>/TERM)")
 		advertise    = fs.String("advertise", "", "base URL peers are told to dial for this node (default: http://<listen addr>)")
 		debugListen  = fs.String("debug-listen", "", "serve pprof + /v1/metrics + /v1/debug/traces on this address (loopback only; empty disables)")
+
+		admitOn        = fs.Bool("admission", true, "route observes through the admission pipeline (coalescing, bounded queues, 429 load shedding)")
+		coalesceWindow = fs.Duration("coalesce-window", 0, "debounce window folding a segment's keystroke observes into one engine call (0 folds only under backlog)")
+		admitQueue     = fs.Int("admit-queue", 4096, "interactive admission queue depth (arrivals past it are shed with 429)")
+		admitBulkQueue = fs.Int("admit-bulk-queue", 256, "bulk (batch flush) admission queue depth")
+		admitWorkers   = fs.Int("admit-workers", 0, "admission worker concurrency (0 = GOMAXPROCS)")
+		admitDwell     = fs.Duration("admit-max-dwell", 2*time.Second, "interactive head-of-line age past which arrivals are shed; the bulk lane sheds at a quarter of it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -276,6 +284,32 @@ func run(args []string) error {
 		}
 	}
 
+	// Admission control in front of the engine: per-segment coalescing of
+	// keystroke observes, bounded lanes with 429 + Retry-After shedding, and
+	// graceful drain. Created after the durability wiring so every drained
+	// job reaches the journal, and closed (deferred below, explicitly on
+	// SIGTERM) BEFORE the durable store: drain-then-close is what keeps
+	// accepted-but-queued observes from being lost on shutdown.
+	var pipeline *admission.Pipeline
+	if *admitOn {
+		pipeline, err = admission.New(mw.Engine(), admission.Config{
+			CoalesceWindow:   *coalesceWindow,
+			InteractiveQueue: *admitQueue,
+			BulkQueue:        *admitBulkQueue,
+			Workers:          *admitWorkers,
+			MaxDwell:         *admitDwell,
+			Obs:              o,
+		})
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		serverOpts = append(serverOpts, tagserver.WithAdmission(pipeline))
+		// Registered after the durableBox defer, so it runs before it:
+		// queues drain through the engine while the WAL is still open.
+		defer pipeline.Close(context.Background()) //nolint:errcheck
+	}
+
 	server, err := tagserver.NewServer(mw.Engine(), serverOpts...)
 	if err != nil {
 		return err
@@ -380,7 +414,27 @@ func run(args []string) error {
 		fmt.Fprintln(os.Stderr, "bftagd: shutting down...")
 		shCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
+		// Drain the admission queues CONCURRENTLY with the HTTP shutdown:
+		// in-flight observe handlers are blocked awaiting verdicts for
+		// queued (possibly debouncing) jobs, and srv.Shutdown waits for
+		// those handlers — draining after it returns would deadlock until
+		// the grace expires. Drain completes (so handlers unblock and
+		// Shutdown can finish), and only then does the durable store
+		// close: every accepted-but-queued observe reaches the WAL, or a
+		// clean SIGTERM silently drops acknowledged work.
+		drainCh := make(chan error, 1)
+		if pipeline != nil {
+			go func() { drainCh <- pipeline.Close(shCtx) }()
+		} else {
+			drainCh <- nil
+		}
 		shutdownErr := srv.Shutdown(shCtx)
+		if err := <-drainCh; err != nil {
+			fmt.Fprintln(os.Stderr, "bftagd: drain admission:", err)
+			if shutdownErr == nil {
+				shutdownErr = err
+			}
+		}
 		if replSrv != nil {
 			if err := replSrv.Shutdown(shCtx); err != nil && shutdownErr == nil {
 				shutdownErr = err

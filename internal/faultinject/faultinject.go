@@ -1,7 +1,8 @@
 // Package faultinject provides a deterministic, seedable fault-injecting
 // http.RoundTripper for chaos testing the remote tag-service path. Rules
 // match requests by path prefix and method and inject connection errors,
-// latency, synthetic 5xx statuses, truncated bodies, or malformed JSON —
+// latency, stalled response bodies, synthetic 5xx statuses, truncated
+// bodies, or malformed JSON —
 // everything a flaky shared service or a middlebox can do to a client.
 //
 // The injector also keeps per-path delivery counters, which lets tests
@@ -37,6 +38,14 @@ const (
 
 	// KindLatency delays the request by Rule.Latency, then delivers it.
 	KindLatency Kind = "latency"
+
+	// KindStall delivers the request normally but stalls the response: the
+	// status and headers come back immediately, then the first body read
+	// blocks for Rule.Latency before any byte arrives. This is a slow
+	// consumer or congested middlebox, not an error — nothing fails, the
+	// caller just waits. Overload tests use it to pin down slow-consumer
+	// behaviour deterministically.
+	KindStall Kind = "stall"
 
 	// KindStatus consumes the request and answers with Rule.Status
 	// (default 503) without contacting the upstream.
@@ -257,6 +266,14 @@ func (i *Injector) RoundTrip(req *http.Request) (*http.Response, error) {
 		sleep(ruleCopy.Latency)
 		return i.deliver(req)
 
+	case KindStall:
+		resp, err := i.deliver(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &stalledBody{ReadCloser: resp.Body, delay: ruleCopy.Latency, sleep: sleep}
+		return resp, nil
+
 	case KindStatus:
 		// The server consumed the request, then answered with an error
 		// status: the body counts as delivered.
@@ -329,6 +346,20 @@ func (i *Injector) consume(req *http.Request) {
 	}
 	io.Copy(io.Discard, req.Body) //nolint:errcheck
 	req.Body.Close()
+}
+
+// stalledBody delays the first Read by delay, then reads through. The
+// delay applies once per response, not per read.
+type stalledBody struct {
+	io.ReadCloser
+	delay time.Duration
+	sleep func(time.Duration)
+	once  sync.Once
+}
+
+func (s *stalledBody) Read(p []byte) (int, error) {
+	s.once.Do(func() { s.sleep(s.delay) })
+	return s.ReadCloser.Read(p)
 }
 
 func syntheticResponse(req *http.Request, status int, body string) *http.Response {

@@ -239,3 +239,40 @@ func TestClearRulesAndReset(t *testing.T) {
 		t.Error("Reset did not clear counters")
 	}
 }
+
+// A stalled response delivers status and headers, then delays the first
+// body read — slow consumer, not an error.
+func TestStallDelaysBodyNotDelivery(t *testing.T) {
+	srv := upstream(t)
+	inj := New(srv.Client().Transport, 1)
+	var slept time.Duration
+	inj.SetSleep(func(d time.Duration) { slept += d })
+	inj.AddRule(Rule{Kind: KindStall, Latency: 400 * time.Millisecond})
+
+	resp, err := do(t, inj, http.MethodPost, srv.URL+"/v1/observe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Headers are here, no sleep yet: the stall hits the body, not the
+	// round-trip.
+	if resp.StatusCode != 200 {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	if slept != 0 {
+		t.Fatalf("slept %v before the body was read", slept)
+	}
+	if inj.Delivered("POST", "/v1/observe") != 1 {
+		t.Error("stalled request should count as delivered")
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 400*time.Millisecond {
+		t.Errorf("slept=%v, want 400ms on first body read", slept)
+	}
+	if out["decision"] != "allow" {
+		t.Errorf("body=%v, want intact payload after the stall", out)
+	}
+}

@@ -59,20 +59,32 @@ type Config struct {
 	// replica apply) attaches spans to it, and forward/block outcomes are
 	// counted in the bundle's registry. Nil disables instrumentation.
 	Obs *obs.Obs
+
+	// MaxInflight bounds concurrently served requests. Arrivals past the
+	// bound are shed immediately with 429 and a Retry-After hint instead
+	// of queueing: the proxy buffers every body it inspects, so admitting
+	// unbounded concurrency converts a traffic burst into memory growth.
+	// 0 disables the gate.
+	MaxInflight int
 }
 
 // Stats counts proxy outcomes.
 type Stats struct {
 	Forwarded int64
 	Blocked   int64
+
+	// Shed counts requests rejected with 429 by the MaxInflight gate.
+	Shed int64
 }
 
 // Proxy is an inspecting HTTP forwarder. It implements http.Handler.
 type Proxy struct {
-	cfg Config
+	cfg      Config
+	inflight chan struct{} // nil when MaxInflight is 0
 
 	forwarded atomic.Int64
 	blocked   atomic.Int64
+	shed      atomic.Int64
 }
 
 var _ http.Handler = (*Proxy)(nil)
@@ -91,16 +103,45 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.Engine != nil && cfg.ServiceOf == nil {
 		return nil, fmt.Errorf("proxy: Engine requires ServiceOf")
 	}
-	return &Proxy{cfg: cfg}, nil
+	if cfg.MaxInflight < 0 {
+		return nil, fmt.Errorf("proxy: MaxInflight must be >= 0")
+	}
+	p := &Proxy{cfg: cfg}
+	if cfg.MaxInflight > 0 {
+		p.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	return p, nil
 }
 
-// Stats returns the forward/block counters.
+// Stats returns the forward/block/shed counters.
 func (p *Proxy) Stats() Stats {
-	return Stats{Forwarded: p.forwarded.Load(), Blocked: p.blocked.Load()}
+	return Stats{
+		Forwarded: p.forwarded.Load(),
+		Blocked:   p.blocked.Load(),
+		Shed:      p.shed.Load(),
+	}
 }
 
 // ServeHTTP inspects and forwards one request.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Inflight gate first: shed before buffering or inspecting anything,
+	// so an overloaded proxy answers in constant time and memory.
+	if p.inflight != nil {
+		select {
+		case p.inflight <- struct{}{}:
+			defer func() { <-p.inflight }()
+		default:
+			p.shed.Add(1)
+			if o := p.cfg.Obs; o != nil {
+				o.Registry().Counter("bf_proxy_requests_total{outcome=\"shed\"}",
+					"Proxy requests by outcome (forwarded, blocked, shed, error).").Add(1)
+			}
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, fmt.Sprintf("proxy: overloaded, %d requests in flight", p.cfg.MaxInflight), http.StatusTooManyRequests)
+			return
+		}
+	}
+
 	outcome := "error"
 	if o := p.cfg.Obs; o != nil {
 		trace := r.Header.Get(obs.TraceHeader)
@@ -116,7 +157,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			sp.End(nil)
 			reg := o.Registry()
 			reg.Counter("bf_proxy_requests_total{outcome=\""+outcome+"\"}",
-				"Proxy requests by outcome (forwarded, blocked, error).").Add(1)
+				"Proxy requests by outcome (forwarded, blocked, shed, error).").Add(1)
 			reg.Histogram("bf_proxy_request_seconds",
 				"Proxy end-to-end request latency.", nil).
 				Observe(reg.Now().Sub(start))

@@ -230,3 +230,86 @@ func TestUpstreamFailure(t *testing.T) {
 		t.Errorf("status=%d, want 502", resp.StatusCode)
 	}
 }
+
+// TestMaxInflightSheds saturates the inflight gate with requests parked in
+// a slow upstream and asserts the overflow arrival is shed immediately
+// with 429 + Retry-After while admitted requests complete normally.
+func TestMaxInflightSheds(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(200)
+	}))
+	defer slow.Close()
+
+	p, err := New(Config{Upstream: mustURL(t, slow.URL), MaxInflight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	// Fill both slots.
+	type result struct {
+		status int
+		err    error
+	}
+	done := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(front.URL+"/x", "text/plain", strings.NewReader("hi"))
+			if err != nil {
+				done <- result{err: err}
+				return
+			}
+			resp.Body.Close()
+			done <- result{status: resp.StatusCode}
+		}()
+	}
+	<-entered
+	<-entered
+
+	// The third arrival must shed without waiting for the slow upstream.
+	resp, err := http.Post(front.URL+"/x", "text/plain", strings.NewReader("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status=%d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		r := <-done
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.status != 200 {
+			t.Errorf("admitted status=%d, want 200", r.status)
+		}
+	}
+
+	st := p.Stats()
+	if st.Shed != 1 {
+		t.Errorf("Shed=%d, want 1", st.Shed)
+	}
+	if st.Forwarded != 2 {
+		t.Errorf("Forwarded=%d, want 2", st.Forwarded)
+	}
+
+	// Slots freed: a new request is admitted again.
+	resp2, err := http.Post(front.URL+"/x", "text/plain", strings.NewReader("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Errorf("post-recovery status=%d, want 200", resp2.StatusCode)
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -102,9 +104,17 @@ type RetryPolicy struct {
 	PerAttemptTimeout time.Duration
 
 	// RetryStatuses are response codes treated as transient server
-	// failures (default 502, 503, 504). They are retried for idempotent
-	// requests only — the body was delivered.
+	// failures (default 429, 502, 503, 504). They are retried for
+	// idempotent requests only — the body was delivered. 429 is
+	// retryable-with-hint: the admission layer shed the request and its
+	// Retry-After header says when capacity should exist again.
 	RetryStatuses []int
+
+	// MaxRetryAfter caps how far a server's Retry-After hint can stretch
+	// a single inter-attempt delay (default 30s). The hint only ever
+	// lengthens the computed backoff, never shortens it — a server asking
+	// for patience gets at least the jittered exponential wait.
+	MaxRetryAfter time.Duration
 
 	// Rand supplies the jitter; nil uses a locked global source. Seeding
 	// it makes backoff sequences deterministic for tests.
@@ -130,9 +140,38 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 		p.MaxDelay = 2 * time.Second
 	}
 	if p.RetryStatuses == nil {
-		p.RetryStatuses = []int{http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout}
+		p.RetryStatuses = []int{http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout}
+	}
+	if p.MaxRetryAfter <= 0 {
+		p.MaxRetryAfter = 30 * time.Second
 	}
 	return p
+}
+
+// ParseRetryAfter parses an HTTP Retry-After header value: either a
+// non-negative decimal number of seconds or an HTTP-date. now anchors
+// date-form values (pass time.Now() outside tests). ok is false for empty
+// or malformed values; a date already in the past parses as (0, true).
+func ParseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	when, err := http.ParseTime(v)
+	if err != nil {
+		return 0, false
+	}
+	d := when.Sub(now)
+	if d < 0 {
+		d = 0
+	}
+	return d, true
 }
 
 // RetryTransport retries transient failures with capped exponential
@@ -216,6 +255,7 @@ func (t *RetryTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		resp, err := t.next.RoundTrip(attemptReq)
 
 		var reason string
+		var hint time.Duration
 		switch {
 		case err == nil && !t.retryStatus[resp.StatusCode]:
 			// Success (or a non-transient failure status the caller
@@ -228,6 +268,12 @@ func (t *RetryTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 				return holdCancel(resp, cancel), nil
 			}
 			reason = fmt.Sprintf("status %d", resp.StatusCode)
+			// Read the Retry-After hint before the body (and with it the
+			// header view) is released.
+			if h, ok := ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+				hint = h
+				reason += fmt.Sprintf(" (retry-after %s)", h)
+			}
 			drainClose(resp)
 			release(cancel)
 			lastErr = fmt.Errorf("resilience: upstream status %d", resp.StatusCode)
@@ -251,6 +297,14 @@ func (t *RetryTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 			break
 		}
 		delay := t.backoff(attempt)
+		// Honor the server's Retry-After: it never shortens the jittered
+		// backoff, only stretches it (bounded by MaxRetryAfter).
+		if hint > t.policy.MaxRetryAfter {
+			hint = t.policy.MaxRetryAfter
+		}
+		if hint > delay {
+			delay = hint
+		}
 		t.retries.Add(1)
 		if t.policy.OnRetry != nil {
 			t.policy.OnRetry(req, attempt+1, delay, reason)

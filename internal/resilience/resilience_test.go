@@ -326,3 +326,120 @@ func TestChainOrder(t *testing.T) {
 type roundTripFunc func(*http.Request) (*http.Response, error)
 
 func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }
+
+// statusWithRetryAfter scripts a response carrying a Retry-After header.
+func statusWithRetryAfter(code int, retryAfter string) func(*http.Request) (*http.Response, error) {
+	return func(req *http.Request) (*http.Response, error) {
+		return &http.Response{
+			StatusCode: code,
+			Body:       io.NopCloser(strings.NewReader("body")),
+			Header:     http.Header{"Retry-After": []string{retryAfter}},
+			Request:    req,
+		}, nil
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 1, 2, 15, 0, 0, 0, time.UTC)
+	tests := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"7", 7 * time.Second, true},
+		{" 12 ", 12 * time.Second, true},
+		{"0", 0, true},
+		{"-3", 0, false},
+		{"soon", 0, false},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0, true}, // past date: retry now
+	}
+	for _, tt := range tests {
+		got, ok := ParseRetryAfter(tt.in, now)
+		if got != tt.want || ok != tt.ok {
+			t.Errorf("ParseRetryAfter(%q) = (%v, %v), want (%v, %v)", tt.in, got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+// A 429 is retryable by default, and its Retry-After hint stretches the
+// inter-attempt delay past the computed backoff.
+func Test429RetryHonorsRetryAfterHint(t *testing.T) {
+	var slept []time.Duration
+	policy := fastPolicy() // backoff capped at 4ms
+	policy.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	script := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		statusWithRetryAfter(http.StatusTooManyRequests, "3"),
+		ok200(),
+	}}
+	resp, err := get(t, NewRetryTransport(script, policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || script.Calls() != 2 {
+		t.Fatalf("status=%d calls=%d", resp.StatusCode, script.Calls())
+	}
+	if len(slept) != 1 || slept[0] != 3*time.Second {
+		t.Errorf("slept=%v, want one 3s wait from the Retry-After hint", slept)
+	}
+}
+
+// An abusive Retry-After is clamped to MaxRetryAfter.
+func TestRetryAfterClampedToMax(t *testing.T) {
+	var slept []time.Duration
+	policy := fastPolicy()
+	policy.MaxRetryAfter = 5 * time.Second
+	policy.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	script := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		statusWithRetryAfter(http.StatusServiceUnavailable, "3600"),
+		ok200(),
+	}}
+	resp, err := get(t, NewRetryTransport(script, policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(slept) != 1 || slept[0] != 5*time.Second {
+		t.Errorf("slept=%v, want the 5s MaxRetryAfter clamp", slept)
+	}
+}
+
+// A hint below the computed backoff never shortens the wait.
+func TestRetryAfterNeverShortensBackoff(t *testing.T) {
+	var slept []time.Duration
+	policy := fastPolicy()
+	policy.BaseDelay = 2 * time.Second
+	policy.MaxDelay = 2 * time.Second
+	policy.Rand = nil // deterministic enough: delay in [0, 2s]
+	policy.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	script := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		statusWithRetryAfter(http.StatusTooManyRequests, "0"),
+		ok200(),
+	}}
+	resp, err := get(t, NewRetryTransport(script, policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(slept) != 1 || slept[0] < 0 || slept[0] > 2*time.Second {
+		t.Errorf("slept=%v, want the jittered backoff, not the 0s hint", slept)
+	}
+}
+
+// A non-idempotent POST is still never replayed on 429: the shed response
+// was delivered.
+func TestNoRetryForPostWith429(t *testing.T) {
+	script := &scriptRT{steps: []func(*http.Request) (*http.Response, error){
+		statusWithRetryAfter(http.StatusTooManyRequests, "2"),
+	}}
+	resp, err := post(t, NewRetryTransport(script, fastPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || script.Calls() != 1 {
+		t.Errorf("status=%d calls=%d, want the 429 surfaced without replay", resp.StatusCode, script.Calls())
+	}
+}

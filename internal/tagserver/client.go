@@ -146,6 +146,30 @@ func IsUnavailable(err error) bool {
 	return errors.Is(err, resilience.ErrCircuitOpen)
 }
 
+// OverloadedError is a 429 from the admission layer: the service is alive
+// but shedding load. RetryAfter carries the server's hint on when capacity
+// should exist again (0 when the header was absent or malformed). It is
+// always wrapped in an UnavailableError, so failover layers treat a shed
+// like a transient outage: fail open and replay later.
+type OverloadedError struct {
+	Op         string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("tagserver: %s: service overloaded, retry after %s", e.Op, e.RetryAfter)
+}
+
+// AsOverloaded unwraps an OverloadedError from err, if present.
+func AsOverloaded(err error) (*OverloadedError, bool) {
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		return oe, true
+	}
+	return nil, false
+}
+
 // NotPrimaryError is a 421 Misdirected Request from a replica or fenced
 // ex-primary: the write must be re-sent to Primary (when known). Term is
 // the responding node's fencing term; callers fold it into their term
@@ -462,6 +486,10 @@ func statusError(path string, resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
 	if resp.StatusCode == http.StatusMisdirectedRequest {
 		return notPrimaryError(path, resp, body)
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		hint, _ := resilience.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+		return &UnavailableError{Op: path, Err: &OverloadedError{Op: path, RetryAfter: hint}}
 	}
 	err := fmt.Errorf("tagserver: %s status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
 	if resp.StatusCode >= http.StatusInternalServerError {

@@ -21,10 +21,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"github.com/lsds/browserflow/internal/admission"
 	"github.com/lsds/browserflow/internal/disclosure"
 	"github.com/lsds/browserflow/internal/fingerprint"
 	"github.com/lsds/browserflow/internal/obs"
@@ -132,6 +135,29 @@ type HealthResponse struct {
 	// Replication summarises the node's cluster role; nil when the server
 	// runs standalone.
 	Replication *HealthReplication `json:"replication,omitempty"`
+
+	// Admission summarises the ingest admission pipeline; nil when the
+	// server runs without one. It is served from a side path (no queueing),
+	// so it stays live while the ingest lanes are shedding.
+	Admission *HealthAdmission `json:"admission,omitempty"`
+}
+
+// HealthAdmission is the /healthz view of the admission pipeline.
+type HealthAdmission struct {
+	Draining    bool                `json:"draining"`
+	Folds       uint64              `json:"folds"`
+	Interactive HealthAdmissionLane `json:"interactive"`
+	Bulk        HealthAdmissionLane `json:"bulk"`
+}
+
+// HealthAdmissionLane is one lane's live state.
+type HealthAdmissionLane struct {
+	Depth         int    `json:"depth"`
+	Cap           int    `json:"cap"`
+	Submitted     uint64 `json:"submitted"`
+	Executed      uint64 `json:"executed"`
+	Shed          uint64 `json:"shed"`
+	DeadlineDrops uint64 `json:"deadlineDrops"`
 }
 
 // HealthReplication is the /healthz view of the replication subsystem:
@@ -201,6 +227,16 @@ func WithReplicationStatus(fn func() HealthReplication) ServerOption {
 	return func(s *Server) { s.replication = fn }
 }
 
+// WithAdmission routes /v1/observe and /v1/observe/batch through an
+// admission pipeline: single observes ride the interactive lane (with
+// per-segment coalescing), batch flushes ride the bulk lane. Shed requests
+// are answered 429 with a Retry-After hint instead of queueing without
+// bound. Side paths (/healthz, /v1/metrics, checks, uploads) bypass the
+// pipeline so operators can always see a saturated server.
+func WithAdmission(p *admission.Pipeline) ServerOption {
+	return func(s *Server) { s.admission = p }
+}
+
 // WithObs installs an observability bundle: every endpoint is wrapped
 // with RED metrics and X-BF-Trace lifting, the bundle's Prometheus
 // families are appended to /v1/metrics, the span ring is served at
@@ -218,6 +254,7 @@ type Server struct {
 	started     time.Time
 	durability  func() (store.DurabilityStats, bool)
 	replication func() HealthReplication
+	admission   *admission.Pipeline
 	obs         *obs.Obs
 
 	// Operational counters, exported in Prometheus text format at
@@ -339,20 +376,31 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "seg and service required", http.StatusBadRequest)
 		return
 	}
-	var (
-		verdict policy.Verdict
-		err     error
-	)
+	var gran segment.Granularity
 	switch req.Granularity {
 	case "", "paragraph":
-		verdict, err = s.engine.ObserveEditFPCtx(r.Context(), req.Seg, req.Service, fingerprint.FromHashes(req.Hashes))
+		gran = segment.GranularityParagraph
 	case "document":
-		verdict, err = s.engine.ObserveDocumentEditFPCtx(r.Context(), req.Seg, req.Service, fingerprint.FromHashes(req.Hashes))
+		gran = segment.GranularityDocument
 	default:
 		http.Error(w, "unknown granularity", http.StatusBadRequest)
 		return
 	}
+	var (
+		verdict policy.Verdict
+		err     error
+	)
+	if s.admission != nil {
+		verdict, err = s.admission.Observe(r.Context(), req.Service, req.Seg, gran, fingerprint.FromHashes(req.Hashes))
+	} else if gran == segment.GranularityDocument {
+		verdict, err = s.engine.ObserveDocumentEditFPCtx(r.Context(), req.Seg, req.Service, fingerprint.FromHashes(req.Hashes))
+	} else {
+		verdict, err = s.engine.ObserveEditFPCtx(r.Context(), req.Seg, req.Service, fingerprint.FromHashes(req.Hashes))
+	}
 	if err != nil {
+		if writeOverload(w, err) {
+			return
+		}
 		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
@@ -397,8 +445,19 @@ func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
 			Granularity: g,
 		}
 	}
-	verdicts, err := s.engine.ObserveBatchFPCtx(r.Context(), req.Service, items)
+	var (
+		verdicts []policy.Verdict
+		err      error
+	)
+	if s.admission != nil {
+		verdicts, err = s.admission.ObserveBatch(r.Context(), req.Service, items)
+	} else {
+		verdicts, err = s.engine.ObserveBatchFPCtx(r.Context(), req.Service, items)
+	}
 	if err != nil {
+		if writeOverload(w, err) {
+			return
+		}
 		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
@@ -463,6 +522,29 @@ func (s *Server) handleSuppress(w http.ResponseWriter, r *http.Request) {
 	}
 	s.suppressions.Add(1)
 	writeJSON(w, map[string]bool{"ok": true})
+}
+
+// writeOverload answers admission sheds: 429 Too Many Requests with a
+// Retry-After hint (seconds, rounded up) so well-behaved clients back off
+// for at least as long as the backlog is old. A pipeline that is draining
+// for shutdown answers 503 instead — the capacity is not coming back here,
+// and failover clients treat 503 as "try another node".
+func writeOverload(w http.ResponseWriter, err error) bool {
+	oe, ok := admission.AsOverload(err)
+	if !ok {
+		return false
+	}
+	secs := int(math.Ceil(oe.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	status := http.StatusTooManyRequests
+	if oe.Reason == admission.ReasonDraining {
+		status = http.StatusServiceUnavailable
+	}
+	http.Error(w, err.Error(), status)
+	return true
 }
 
 // statusFor maps engine errors to HTTP statuses: journal append failures
@@ -547,6 +629,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "# TYPE browserflow_recovery_records_replayed gauge\nbrowserflow_recovery_records_replayed %d\n", d.Recovery.RecordsReplayed)
 		fmt.Fprintf(w, "# TYPE browserflow_recovery_corrupt_checkpoints gauge\nbrowserflow_recovery_corrupt_checkpoints %d\n", d.Recovery.CorruptCheckpoints)
 	}
+	if s.admission != nil {
+		st := s.admission.Stats()
+		fmt.Fprintf(w, "# TYPE browserflow_admission_queue_depth gauge\n")
+		fmt.Fprintf(w, "browserflow_admission_queue_depth{lane=\"interactive\"} %d\n", st.Interactive.Depth)
+		fmt.Fprintf(w, "browserflow_admission_queue_depth{lane=\"bulk\"} %d\n", st.Bulk.Depth)
+		fmt.Fprintf(w, "# TYPE browserflow_admission_shed_total counter\n")
+		fmt.Fprintf(w, "browserflow_admission_shed_total{lane=\"interactive\"} %d\n", st.Interactive.Shed)
+		fmt.Fprintf(w, "browserflow_admission_shed_total{lane=\"bulk\"} %d\n", st.Bulk.Shed)
+		fmt.Fprintf(w, "# TYPE browserflow_admission_folds_total counter\nbrowserflow_admission_folds_total %d\n", st.Folds)
+		fmt.Fprintf(w, "# TYPE browserflow_admission_deadline_drops_total counter\nbrowserflow_admission_deadline_drops_total %d\n",
+			st.Interactive.DeadlineDrops+st.Bulk.DeadlineDrops)
+	}
 	// The obs registry's families (bf_*) follow the legacy browserflow_*
 	// block; its output is deterministically sorted, so two scrapes under
 	// a fake clock are byte-identical.
@@ -595,6 +689,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if rs := s.replication; rs != nil {
 		status := rs()
 		resp.Replication = &status
+	}
+	if s.admission != nil {
+		st := s.admission.Stats()
+		lane := func(ls admission.LaneStats) HealthAdmissionLane {
+			return HealthAdmissionLane{
+				Depth:         ls.Depth,
+				Cap:           ls.Cap,
+				Submitted:     ls.Submitted,
+				Executed:      ls.Executed,
+				Shed:          ls.Shed,
+				DeadlineDrops: ls.DeadlineDrops,
+			}
+		}
+		resp.Admission = &HealthAdmission{
+			Draining:    st.Draining,
+			Folds:       st.Folds,
+			Interactive: lane(st.Interactive),
+			Bulk:        lane(st.Bulk),
+		}
 	}
 	if d, ok := s.durabilityStats(); ok {
 		hd := &HealthDurability{
