@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check crash repl fuzz obs overload vuln cover bench repl-bench obs-bench load-bench benchall experiments clean
+.PHONY: all build vet test race check crash repl fuzz obs overload vuln cover bench repl-bench obs-bench load-bench corpus corpus-bench benchall experiments clean
 
 all: build check
 
@@ -19,6 +19,7 @@ check: vet
 	$(MAKE) obs
 	$(MAKE) overload
 	$(MAKE) fuzz
+	$(MAKE) corpus
 	$(MAKE) vuln
 
 # crash runs only the durability crash-injection suites, race-enabled.
@@ -62,11 +63,13 @@ vuln:
 	fi
 
 # fuzz smoke: ten seconds per recovery parser (Go runs one fuzz target
-# per invocation, hence two commands).
+# per invocation, hence one command each): the WAL segment reader, the
+# legacy JSON snapshot loader, and the BFLOWSNB binary checkpoint decoder.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz 'FuzzOpenSegment' -fuzztime $(FUZZTIME) ./internal/wal
 	$(GO) test -fuzz 'FuzzLoadSnapshot' -fuzztime $(FUZZTIME) ./internal/store
+	$(GO) test -fuzz 'FuzzRestoreBinarySnapshot' -fuzztime $(FUZZTIME) ./internal/store
 
 build:
 	$(GO) build ./...
@@ -107,6 +110,22 @@ obs-bench:
 # until the p99 SLO breaks and records the capacity as BENCH_6.json.
 load-bench:
 	$(GO) run ./cmd/bfload -editors 100 -step 25 -max-editors 600 -think 50ms -duration 3s -slo 250ms -out BENCH_6.json
+
+# corpus is the memory-regression gate in check: load 1M distinct hashes
+# (the paper's corpus is ~10M across 180 e-books), measure bytes/hash and
+# checkpoint recovery, and FAIL if process RSS exceeds the budget. The
+# legacy-JSON comparison is disabled here because materialising the JSON
+# image would dominate the budget.
+CORPUS_RSS_BUDGET_MB ?= 256
+corpus:
+	$(GO) run ./cmd/bfbench -experiment corpus -hashes 1000000 \
+		-compare-json=false -rss-budget-mb $(CORPUS_RSS_BUDGET_MB)
+
+# corpus-bench runs the full 1M/5M/10M ladder with the legacy-JSON
+# recovery comparison and records it as BENCH_7.json, printing
+# benchstat-style deltas against the previous recording.
+corpus-bench:
+	$(GO) run ./cmd/bfbench -experiment corpus -benchjson BENCH_7.json
 
 # benchall runs every benchmark in the repository.
 benchall:

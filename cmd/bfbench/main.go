@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"github.com/lsds/browserflow/internal/disclosure"
@@ -45,6 +46,9 @@ func run(args []string) error {
 		probes     = fs.Int("probes", 20, "paste probes per step (fig13)")
 		outDir     = fs.String("out", "", "also write each experiment's output to <out>/<name>.txt")
 		benchJSON  = fs.String("benchjson", "", "write the hotpath experiment's result as JSON to this file")
+		hashes     = fs.String("hashes", "", "comma-separated distinct-hash targets for -experiment corpus (default 1000000,5000000,10000000)")
+		rssBudget  = fs.Int("rss-budget-mb", 0, "fail -experiment corpus if process RSS exceeds this budget (MB)")
+		cmpJSON    = fs.Bool("compare-json", true, "also time the legacy JSON snapshot parse in -experiment corpus")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -184,6 +188,56 @@ func run(args []string) error {
 			}
 			return r.Format(), nil
 		},
+		"corpus": func() (string, error) {
+			cfg := expt.DefaultCorpusConfig()
+			cfg.Seed = *seed
+			cfg.CompareJSON = *cmpJSON
+			cfg.RSSBudgetMB = *rssBudget
+			cfg.Logf = func(format string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+			if *hashes != "" {
+				cfg.StepHashes = cfg.StepHashes[:0]
+				for _, f := range strings.Split(*hashes, ",") {
+					n, err := strconv.Atoi(strings.TrimSpace(f))
+					if err != nil || n <= 0 {
+						return "", fmt.Errorf("bad -hashes value %q", f)
+					}
+					cfg.StepHashes = append(cfg.StepHashes, n)
+				}
+			}
+			// Load the previous run before -benchjson overwrites it, so the
+			// output ends with benchstat-style deltas against it.
+			var prev *expt.CorpusResult
+			if *benchJSON != "" {
+				if data, err := os.ReadFile(*benchJSON); err == nil {
+					var p expt.CorpusResult
+					if json.Unmarshal(data, &p) == nil && len(p.Steps) > 0 {
+						prev = &p
+					}
+				}
+			}
+			r, err := expt.RunCorpus(cfg, params)
+			if err != nil {
+				return "", err
+			}
+			out := r.Format()
+			if prev != nil {
+				out += "\n" + expt.FormatCorpusDelta(*prev, r)
+			}
+			// -benchjson records BENCH_7.json; only when corpus is the
+			// selected experiment, same convention as replication above.
+			if *benchJSON != "" && *experiment == "corpus" {
+				data, err := json.MarshalIndent(r, "", "  ")
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+					return "", fmt.Errorf("write %s: %w", *benchJSON, err)
+				}
+			}
+			return out, nil
+		},
 		"hotpath": func() (string, error) {
 			r, err := expt.RunHotPath(scale, params)
 			if err != nil {
@@ -201,6 +255,8 @@ func run(args []string) error {
 			return r.Format(), nil
 		},
 	}
+	// corpus is deliberately excluded: the 10M-hash ladder takes minutes
+	// and is run on demand (`make corpus`, `make corpus-bench`).
 	order := []string{"table1", "fig8", "fig9a", "fig9b", "fig9adoc",
 		"fig9bdoc", "fig10", "fig11", "fig12", "fig13", "ablation-cache",
 		"ablation-auth", "ablation-winnow", "baseline", "orgsim", "usability",
@@ -209,7 +265,7 @@ func run(args []string) error {
 	selected := order
 	if *experiment != "all" {
 		if _, ok := runners[*experiment]; !ok {
-			return fmt.Errorf("unknown experiment %q (try: %s, all)", *experiment, strings.Join(order, ", "))
+			return fmt.Errorf("unknown experiment %q (try: %s, corpus, all)", *experiment, strings.Join(order, ", "))
 		}
 		selected = []string{*experiment}
 	}

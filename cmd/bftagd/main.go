@@ -84,6 +84,7 @@ func run(args []string) error {
 		ckptEvery    = fs.Duration("checkpoint-every", time.Minute, "background checkpoint cadence (0 = checkpoint only at shutdown)")
 		addr         = fs.String("addr", ":7000", "listen address")
 		expire       = fs.Duration("expire-every", 0, "run fingerprint expiry at this interval (0 disables)")
+		compactEvery = fs.Duration("compact-every", 10*time.Minute, "merge index heads into their compacted runs at this interval (0 disables)")
 		retain       = fs.Uint64("retain", 100000, "observations to retain when expiry runs")
 		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "per-request read timeout")
 		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "per-request write timeout")
@@ -321,6 +322,28 @@ func run(args []string) error {
 	if *expire > 0 {
 		janitor := store.NewJanitor(mw.Tracker(), *expire, *retain)
 		defer janitor.Shutdown()
+	}
+
+	// Periodic index compaction: merge the mutable posting heads into their
+	// delta-encoded runs so a long-lived daemon converges on the compact
+	// corpus-scale layout instead of accumulating head growth between the
+	// size-triggered merges.
+	if *compactEvery > 0 {
+		compactStop := make(chan struct{})
+		go func() {
+			ticker := time.NewTicker(*compactEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					mw.Tracker().Paragraphs().Compact()
+					mw.Tracker().Documents().Compact()
+				case <-compactStop:
+					return
+				}
+			}
+		}()
+		defer close(compactStop)
 	}
 
 	// Legacy periodic persistence keyed on observation traffic; superseded

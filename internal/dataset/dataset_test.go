@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -327,5 +328,52 @@ func TestStatsEmptyInputs(t *testing.T) {
 	}
 	if s := EbookStats(nil); s.Documents != 0 {
 		t.Error("empty ebook stats")
+	}
+}
+
+func TestGenerateEbooksFuncMatchesBatch(t *testing.T) {
+	cfg := EbookConfig{Seed: 7, Books: 4, MinBytes: 2 << 10, MaxBytes: 6 << 10, PopularPassages: 3}
+	want := GenerateEbooks(cfg)
+	var got []Ebook
+	if err := GenerateEbooksFunc(cfg, func(b Ebook) error {
+		got = append(got, b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d books, batch produced %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Title != want[i].Title {
+			t.Fatalf("book %d title %q != %q", i, got[i].Title, want[i].Title)
+		}
+		if len(got[i].Paragraphs) != len(want[i].Paragraphs) {
+			t.Fatalf("book %d has %d paragraphs, want %d", i, len(got[i].Paragraphs), len(want[i].Paragraphs))
+		}
+		for j := range want[i].Paragraphs {
+			if got[i].Paragraphs[j] != want[i].Paragraphs[j] {
+				t.Fatalf("book %d paragraph %d diverged", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateEbooksFuncStopsOnError(t *testing.T) {
+	cfg := EbookConfig{Seed: 7, Books: 10, MinBytes: 2 << 10, MaxBytes: 4 << 10}
+	calls := 0
+	sentinel := errors.New("stop")
+	err := GenerateEbooksFunc(cfg, func(Ebook) error {
+		calls++
+		if calls == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err=%v, want sentinel", err)
+	}
+	if calls != 2 {
+		t.Fatalf("generator kept going after error: %d calls", calls)
 	}
 }

@@ -65,7 +65,27 @@ func DefaultEbookConfig() EbookConfig {
 // GenerateEbooks builds the book corpus. Books share one large vocabulary
 // (like English prose), so popular phrases occasionally collide across
 // books — the realistic overlap that drives Figure 12's W1/W3 latencies.
+//
+// The whole corpus is materialised at once; corpus-scale callers (10M+
+// hashes) should stream it book by book with GenerateEbooksFunc instead.
 func GenerateEbooks(cfg EbookConfig) []Ebook {
+	books := make([]Ebook, 0, max(cfg.Books, 1))
+	// The only error source is fn, and this fn never fails.
+	_ = GenerateEbooksFunc(cfg, func(book Ebook) error {
+		books = append(books, book)
+		return nil
+	})
+	return books
+}
+
+// GenerateEbooksFunc generates the corpus one book at a time, invoking fn
+// with each completed book in generation order. The caller may ingest and
+// drop every book as it arrives, so loading a corpus far larger than memory
+// (the 10M-hash scalability runs) peaks at one book (~MaxBytes) of text
+// instead of the whole corpus. Generation is deterministic: a given cfg
+// yields byte-identical books whether consumed through GenerateEbooks or
+// streamed here. An error from fn stops generation and is returned.
+func GenerateEbooksFunc(cfg EbookConfig, fn func(book Ebook) error) error {
 	if cfg.Books < 1 {
 		cfg.Books = 1
 	}
@@ -90,7 +110,6 @@ func GenerateEbooks(cfg EbookConfig) []Ebook {
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	books := make([]Ebook, 0, cfg.Books)
 	for b := 0; b < cfg.Books; b++ {
 		gen := NewTextGen(cfg.Seed+int64(b)*1009, 3000)
 		target := cfg.MinBytes
@@ -113,9 +132,11 @@ func GenerateEbooks(cfg EbookConfig) []Ebook {
 			book.Paragraphs = append(book.Paragraphs, p)
 			size += len(p) + 2
 		}
-		books = append(books, book)
+		if err := fn(book); err != nil {
+			return err
+		}
 	}
-	return books
+	return nil
 }
 
 // Page returns roughly one page (~2 KB) of a book starting at paragraph

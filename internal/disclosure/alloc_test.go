@@ -1,0 +1,97 @@
+package disclosure
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+// TestObserveSteadyStateAllocs pins the corpus-scale hot-path property: a
+// re-observation whose text is unchanged — the overwhelmingly common case
+// for per-keystroke observes of a stable paragraph — performs zero heap
+// allocations end to end. The fingerprint comes out of the pooled scratch,
+// the decision cache answers without recomputing Algorithm 1, and a
+// non-disclosing report carries no sources to copy.
+func TestObserveSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	tr, err := NewTracker(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate the databases so the observe is not trivially empty.
+	for i := 0; i < 16; i++ {
+		seg := segment.ID(fmt.Sprintf("wiki/seed#p%d", i))
+		text := fmt.Sprintf("seed paragraph %d with enough repeated filler text to fingerprint properly and stand alone", i)
+		if _, err := tr.ObserveParagraph(seg, text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg := segment.ID("pad/steady#p0")
+	text := "an entirely original paragraph that discloses nothing from the seeds but is long enough to carry a full fingerprint of its own"
+	// Warm-up: create the cache entry and grow the pooled scratch.
+	if _, err := tr.ObserveParagraph(seg, text); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ObserveParagraph(seg, text); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		report, err := tr.ObserveParagraph(seg, text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !report.CacheHit {
+			t.Fatal("steady-state observe missed the decision cache")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state ObserveParagraph allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkObserveSteadyState measures the cache-hit observe loop; the
+// allocs/op column is the regression signal for the zero-alloc property.
+func BenchmarkObserveSteadyState(b *testing.B) {
+	tr, err := NewTracker(DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seg := segment.ID("pad/bench#p0")
+	text := "a benchmark paragraph that is observed over and over again without changing so every iteration is a decision cache hit"
+	if _, err := tr.ObserveParagraph(seg, text); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.ObserveParagraph(seg, text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObserveChurn measures the cache-miss path: the text alternates,
+// so every observe recomputes Algorithm 1 and clones the fingerprint for
+// retention. This bounds the allocation cost of a real edit.
+func BenchmarkObserveChurn(b *testing.B) {
+	tr, err := NewTracker(DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seg := segment.ID("pad/churn#p0")
+	texts := [2]string{
+		"first version of the churning paragraph with plenty of text to fingerprint across several windows of hashes",
+		"second version of the churning paragraph with plenty of text to fingerprint across several windows of hashes",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.ObserveParagraph(seg, texts[i&1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

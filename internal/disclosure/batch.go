@@ -61,14 +61,16 @@ func (t *Tracker) ObserveBatch(items []BatchObservation) ([]Report, error) {
 			return nil, fmt.Errorf("disclosure: batch item %d: unknown granularity %v", i, item.Granularity)
 		}
 		fp := item.FP
+		borrowed := false
 		if fp == nil {
 			var err error
-			fp, err = fingerprint.Compute(item.Text, t.params.Fingerprint)
+			fp, err = sc.fps.ComputeShared(item.Text, t.params.Fingerprint)
 			if err != nil {
 				return nil, fmt.Errorf("disclosure: batch item %d: %w", i, err)
 			}
+			borrowed = true
 		}
-		report, err := t.observeFPScratch(item.Seg, fp, g, db, sc)
+		report, err := t.observeFPScratch(item.Seg, fp, borrowed, g, db, sc)
 		if err != nil {
 			return nil, fmt.Errorf("disclosure: batch item %d: %w", i, err)
 		}

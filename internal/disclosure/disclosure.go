@@ -276,16 +276,20 @@ func (t *Tracker) QueryParagraphFP(fp *fingerprint.Fingerprint, exclude segment.
 }
 
 func (t *Tracker) observe(seg segment.ID, text string, g segment.Granularity, db *index.DB) (Report, error) {
-	fp, err := fingerprint.Compute(text, t.params.Fingerprint)
+	sc := t.scratchPool.Get().(*observeScratch)
+	fp, err := sc.fps.ComputeShared(text, t.params.Fingerprint)
 	if err != nil {
+		t.scratchPool.Put(sc)
 		return Report{}, err
 	}
-	return t.observeFP(seg, fp, g, db)
+	report, err := t.observeFPScratch(seg, fp, true, g, db, sc)
+	t.scratchPool.Put(sc)
+	return report, err
 }
 
 func (t *Tracker) observeFP(seg segment.ID, fp *fingerprint.Fingerprint, g segment.Granularity, db *index.DB) (Report, error) {
 	sc := t.scratchPool.Get().(*observeScratch)
-	report, err := t.observeFPScratch(seg, fp, g, db, sc)
+	report, err := t.observeFPScratch(seg, fp, false, g, db, sc)
 	t.scratchPool.Put(sc)
 	return report, err
 }
@@ -293,7 +297,12 @@ func (t *Tracker) observeFP(seg segment.ID, fp *fingerprint.Fingerprint, g segme
 // observeFPScratch is observeFP with an optional reusable scratch space
 // (see ObserveBatch): a batch flush amortises the per-observation map and
 // candidate-buffer allocations across all its items.
-func (t *Tracker) observeFPScratch(seg segment.ID, fp *fingerprint.Fingerprint, g segment.Granularity, db *index.DB, sc *observeScratch) (Report, error) {
+//
+// borrowed marks fp as scratch-shared (it aliases sc.fps and is valid only
+// for this call): the decision-cache fast path never retains it, so a
+// cache hit stays allocation-free, and a miss detaches it with one Clone
+// just before the retention points (index update, incremental prev state).
+func (t *Tracker) observeFPScratch(seg segment.ID, fp *fingerprint.Fingerprint, borrowed bool, g segment.Granularity, db *index.DB, sc *observeScratch) (Report, error) {
 	digest := fp.Digest()
 	st := t.stripeFor(seg)
 	if !t.params.DisableCache {
@@ -308,6 +317,12 @@ func (t *Tracker) observeFPScratch(seg segment.ID, fp *fingerprint.Fingerprint, 
 			return report, nil
 		}
 		st.mu.Unlock()
+	}
+	if borrowed {
+		// Past the cache check the fingerprint is retained (db.Update
+		// stores it as the segment's latest fingerprint; the incremental
+		// path keeps it as prev state) — detach it from the scratch first.
+		fp = fp.Clone()
 	}
 
 	// raw is backed by the (possibly pooled) scratch buffer — it must be
@@ -369,20 +384,26 @@ func (t *Tracker) observeFPScratch(seg segment.ID, fp *fingerprint.Fingerprint, 
 // QueryParagraph runs Algorithm 1 for text against the paragraph database
 // without recording the text as a new observation.
 func (t *Tracker) QueryParagraph(text string, exclude segment.ID) ([]Source, error) {
-	fp, err := fingerprint.Compute(text, t.params.Fingerprint)
-	if err != nil {
-		return nil, err
-	}
-	return t.sources(fp, exclude, t.pars), nil
+	return t.query(text, exclude, t.pars)
 }
 
 // QueryDocument is QueryParagraph at document granularity.
 func (t *Tracker) QueryDocument(text string, exclude segment.ID) ([]Source, error) {
-	fp, err := fingerprint.Compute(text, t.params.Fingerprint)
+	return t.query(text, exclude, t.docs)
+}
+
+// query fingerprints text into the pooled scratch (queries never retain the
+// fingerprint, so no detach is needed) and runs Algorithm 1.
+func (t *Tracker) query(text string, exclude segment.ID, db *index.DB) ([]Source, error) {
+	sc := t.scratchPool.Get().(*observeScratch)
+	fp, err := sc.fps.ComputeShared(text, t.params.Fingerprint)
 	if err != nil {
+		t.scratchPool.Put(sc)
 		return nil, err
 	}
-	return t.sources(fp, exclude, t.docs), nil
+	out := cloneSources(t.sourcesScratch(fp, exclude, db, sc))
+	t.scratchPool.Put(sc)
+	return out, nil
 }
 
 // observeScratch holds the per-observation working set of Algorithm 1 so
@@ -391,7 +412,15 @@ func (t *Tracker) QueryDocument(text string, exclude segment.ID) ([]Source, erro
 type observeScratch struct {
 	checked map[segment.ID]bool
 	cands   []segment.ID
+	holders []segment.ID
 	out     []Source
+
+	// fps holds the fingerprinting buffers (normalised text, hash
+	// sequence, winnowing ring), so text-bearing observes compute their
+	// fingerprint without per-call allocations. Fingerprints produced from
+	// it alias the scratch and are cloned at the single point they are
+	// retained (see observeFPScratch).
+	fps fingerprint.Scratch
 }
 
 func newObserveScratch() *observeScratch {
@@ -450,9 +479,11 @@ func (t *Tracker) sourcesScratch(fp *fingerprint.Fingerprint, self segment.ID, d
 		sc.reset()
 	}
 	if t.params.DisableAuthoritative {
-		// Ablation path: every holder of every hash is a candidate.
+		// Ablation path: every holder of every hash is a candidate. The
+		// holder lists reuse one scratch buffer across all hashes.
 		for _, h := range fp.Hashes() {
-			for _, p := range db.Holders(h) {
+			sc.holders = db.AppendHolders(h, sc.holders[:0])
+			for _, p := range sc.holders {
 				t.evaluateInto(fp, p, self, db, sc)
 			}
 		}

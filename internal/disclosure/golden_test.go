@@ -157,6 +157,44 @@ func TestGoldenEquivalenceSingleShard(t *testing.T) {
 	runGolden(t, params)
 }
 
+// TestGoldenEquivalencePeriodicCompact replays the corpus while merging
+// the index heads into their compacted runs every few observations — the
+// cadence a long-lived bftagd runs with -compact-every. Reports must stay
+// byte-identical to the never-merging seed, pinning that mid-stream
+// compaction is invisible to Algorithm 1.
+func TestGoldenEquivalencePeriodicCompact(t *testing.T) {
+	params := disclosure.DefaultParams()
+	stream := goldenStream(t)
+	ref := expt.NewSeedTracker(params)
+	tracker, err := disclosure.NewTracker(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, obs := range stream {
+		want, err := ref.Observe(obs.seg, obs.text, obs.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got disclosure.Report
+		if obs.g == segment.GranularityDocument {
+			got, err = tracker.ObserveDocument(obs.seg, obs.text)
+		} else {
+			got, err = tracker.ObserveParagraph(obs.seg, obs.text)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJSON, gotJSON := reportJSON(t, want), reportJSON(t, got)
+		if wantJSON != gotJSON {
+			t.Fatalf("observation %d (%s): report diverged after periodic compaction\nseed: %s\n new: %s", i, obs.seg, wantJSON, gotJSON)
+		}
+		if i%23 == 22 {
+			tracker.Paragraphs().Compact()
+			tracker.Documents().Compact()
+		}
+	}
+}
+
 // TestGoldenEquivalenceBatch replays the same corpus through ObserveBatch
 // in flushes and requires the flushed reports to match the seed's
 // one-by-one replay.

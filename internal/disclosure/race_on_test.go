@@ -1,0 +1,5 @@
+//go:build race
+
+package disclosure
+
+const raceEnabled = true

@@ -17,9 +17,6 @@ package fingerprint
 import (
 	"fmt"
 	"slices"
-
-	"github.com/lsds/browserflow/internal/normalize"
-	"github.com/lsds/browserflow/internal/rollhash"
 )
 
 // Config holds the fingerprinting parameters. The paper's evaluation (§6)
@@ -87,30 +84,8 @@ type Fingerprint struct {
 // normalisation) yield an empty fingerprint — the systematic false-negative
 // source for very short paragraphs that §6.1 reports.
 func Compute(text string, cfg Config) (*Fingerprint, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	norm := normalize.Normalize(text)
-	hashes, err := rollhash.NGrams([]byte(norm.Text), cfg.NGram)
-	if err != nil {
-		return nil, err
-	}
-	fp := &Fingerprint{}
-	if len(hashes) == 0 {
-		return fp, nil
-	}
-
-	selected := winnow(hashes, cfg.Window)
-	fp.positions = make([]Position, 0, len(selected))
-	raw := make([]uint32, 0, len(selected))
-	for _, hashIdx := range selected {
-		h := hashes[hashIdx]
-		start, end := norm.OrigRange(hashIdx, hashIdx+cfg.NGram)
-		fp.positions = append(fp.positions, Position{Hash: h, Start: start, End: end})
-		raw = append(raw, h)
-	}
-	fp.sorted = sortedDistinct(raw)
-	return fp, nil
+	var sc Scratch
+	return sc.Compute(text, cfg)
 }
 
 // sortedDistinct sorts raw ascending and removes duplicates in place,
@@ -146,37 +121,42 @@ func winnow(hashes []uint32, window int) []int {
 	if len(hashes) == 0 {
 		return nil
 	}
+	return winnowInto(nil, hashes, window, make([]int, window+1))
+}
+
+// winnowInto is the deque core of winnow: it appends the selected indices
+// to dst, using ring (length window+1) as the candidate buffer, and
+// returns the extended dst. Given capacity in both, it allocates nothing —
+// the fixed scratch ring of the zero-allocation observe path.
+func winnowInto(dst []int, hashes []uint32, window int, ring []int) []int {
+	if len(hashes) == 0 {
+		return dst
+	}
 	if len(hashes) <= window {
-		return []int{minIndex(hashes, 0, len(hashes))}
+		return append(dst, minIndex(hashes, 0, len(hashes)))
 	}
 	// Ring buffer of candidate indices; head..tail (exclusive) in push
 	// order, at most window entries live at once.
-	ring := make([]int, window+1)
+	n := len(ring)
 	head, tail := 0, 0
-	push := func(i int) { ring[tail%len(ring)] = i; tail++ }
-	popBack := func() { tail-- }
-	popFront := func() { head++ }
-	front := func() int { return ring[head%len(ring)] }
-	back := func() int { return ring[(tail-1)%len(ring)] }
-
-	var selected []int
 	prevSel := -1
 	for i, h := range hashes {
-		for tail > head && hashes[back()] >= h {
-			popBack()
+		for tail > head && hashes[ring[(tail-1)%n]] >= h {
+			tail--
 		}
-		push(i)
-		if front() <= i-window {
-			popFront()
+		ring[tail%n] = i
+		tail++
+		if ring[head%n] <= i-window {
+			head++
 		}
 		if i >= window-1 {
-			if sel := front(); sel != prevSel {
-				selected = append(selected, sel)
+			if sel := ring[head%n]; sel != prevSel {
+				dst = append(dst, sel)
 				prevSel = sel
 			}
 		}
 	}
-	return selected
+	return dst
 }
 
 // minIndex returns the index of the rightmost minimum of hashes[lo:hi].
@@ -306,4 +286,36 @@ func FromHashes(hashes []uint32) *Fingerprint {
 	raw := make([]uint32, len(hashes))
 	copy(raw, hashes)
 	return &Fingerprint{sorted: sortedDistinct(raw)}
+}
+
+// Clone returns an owned deep copy of f. Its primary use is detaching a
+// scratch-shared fingerprint (see Scratch.ComputeShared) from its scratch
+// buffers at the moment a caller decides to retain it.
+func (f *Fingerprint) Clone() *Fingerprint {
+	g := &Fingerprint{}
+	if len(f.sorted) > 0 {
+		g.sorted = append(make([]uint32, 0, len(f.sorted)), f.sorted...)
+	}
+	if len(f.positions) > 0 {
+		g.positions = append(make([]Position, 0, len(f.positions)), f.positions...)
+	}
+	return g
+}
+
+// FromSortedHashes builds a Fingerprint that takes ownership of hashes,
+// which the caller promises are strictly ascending and never mutated
+// afterwards — the allocation-free restore path used by binary snapshot
+// recovery, where the decoder already produced a validated sorted slice.
+// Input that breaks the promise falls back to the copying constructor, so
+// the fingerprint invariant holds regardless.
+func FromSortedHashes(hashes []uint32) *Fingerprint {
+	for i := 1; i < len(hashes); i++ {
+		if hashes[i] <= hashes[i-1] {
+			return FromHashes(hashes)
+		}
+	}
+	if len(hashes) == 0 {
+		return &Fingerprint{}
+	}
+	return &Fingerprint{sorted: hashes}
 }

@@ -1,0 +1,5 @@
+//go:build race
+
+package fingerprint
+
+const raceEnabled = true

@@ -1,0 +1,114 @@
+package fingerprint
+
+import (
+	"github.com/lsds/browserflow/internal/normalize"
+	"github.com/lsds/browserflow/internal/rollhash"
+)
+
+// Scratch holds every intermediate buffer of the fingerprinting pipeline —
+// the normalised text, the rolling-hash state, the n-gram hash sequence,
+// the winnowing ring and the selected-hash staging area — so repeated
+// fingerprint computations reuse one fixed working set instead of
+// reallocating it per call. This is what makes the per-keystroke observe
+// loop allocation-free at steady state: once the buffers have grown to the
+// size of the largest text seen, ComputeShared and AppendHashes perform no
+// heap allocations at all.
+//
+// A Scratch is not safe for concurrent use; pool instances per goroutine
+// (the disclosure tracker recycles one per observation via a sync.Pool).
+// The zero value is ready to use.
+type Scratch struct {
+	hasher   rollhash.Hasher
+	norm     []byte
+	hashes   []uint32
+	ring     []int
+	selected []int
+	raw      []uint32
+	fp       Fingerprint
+}
+
+// AppendHashes appends the winnowed fingerprint hashes of text — distinct,
+// ascending — to dst and returns the extended slice. It is equivalent to
+// appending Compute(text, cfg).Hashes() but draws every intermediate buffer
+// from the scratch and computes no positions. dst must not alias any of
+// sc's internal buffers (pass a caller-owned slice or nil).
+func (sc *Scratch) AppendHashes(dst []uint32, text string, cfg Config) ([]uint32, error) {
+	if err := cfg.Validate(); err != nil {
+		return dst, err
+	}
+	sc.norm = normalize.AppendText(sc.norm[:0], text)
+	if err := sc.hasher.Init(cfg.NGram); err != nil {
+		return dst, err
+	}
+	sc.hashes = sc.hasher.AppendNGrams(sc.hashes[:0], sc.norm)
+	if len(sc.hashes) == 0 {
+		return dst, nil
+	}
+	if cap(sc.ring) < cfg.Window+1 {
+		sc.ring = make([]int, cfg.Window+1)
+	}
+	sc.selected = winnowInto(sc.selected[:0], sc.hashes, cfg.Window, sc.ring[:cfg.Window+1])
+	base := len(dst)
+	for _, idx := range sc.selected {
+		dst = append(dst, sc.hashes[idx])
+	}
+	// Sort and deduplicate the appended tail in place; the prefix of dst is
+	// untouched.
+	tail := sortedDistinct(dst[base:])
+	return dst[:base+len(tail)], nil
+}
+
+// ComputeShared fingerprints text like Compute but returns a fingerprint
+// that ALIASES the scratch: it is valid only until the next call on sc and
+// MUST NOT be retained — callers that decide to keep it detach it first
+// with Clone. Positions are not computed (Positions and PositionsOf return
+// nothing), so the result serves hash-set consumers only: the observe hot
+// path, digests, set operations.
+//
+// At steady state the call performs zero heap allocations; that property
+// is pinned by TestComputeSharedZeroAlloc.
+func (sc *Scratch) ComputeShared(text string, cfg Config) (*Fingerprint, error) {
+	raw, err := sc.AppendHashes(sc.raw[:0], text, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sc.raw = raw
+	sc.fp = Fingerprint{}
+	if len(raw) > 0 {
+		sc.fp.sorted = raw
+	}
+	return &sc.fp, nil
+}
+
+// Compute is the scratch-backed form of the package-level Compute,
+// including positions: the result is fully owned by the caller (safe to
+// retain), and only the owned output slices allocate — all intermediate
+// buffers come from the scratch.
+func (sc *Scratch) Compute(text string, cfg Config) (*Fingerprint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	norm := normalize.Normalize(text)
+	if err := sc.hasher.Init(cfg.NGram); err != nil {
+		return nil, err
+	}
+	sc.hashes = sc.hasher.AppendNGrams(sc.hashes[:0], []byte(norm.Text))
+	fp := &Fingerprint{}
+	if len(sc.hashes) == 0 {
+		return fp, nil
+	}
+	if cap(sc.ring) < cfg.Window+1 {
+		sc.ring = make([]int, cfg.Window+1)
+	}
+	sc.selected = winnowInto(sc.selected[:0], sc.hashes, cfg.Window, sc.ring[:cfg.Window+1])
+	fp.positions = make([]Position, 0, len(sc.selected))
+	raw := make([]uint32, 0, len(sc.selected))
+	for _, hashIdx := range sc.selected {
+		h := sc.hashes[hashIdx]
+		start, end := norm.OrigRange(hashIdx, hashIdx+cfg.NGram)
+		fp.positions = append(fp.positions, Position{Hash: h, Start: start, End: end})
+		raw = append(raw, h)
+	}
+	fp.sorted = sortedDistinct(raw)
+	return fp, nil
+}

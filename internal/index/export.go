@@ -60,12 +60,26 @@ func (db *DB) Export() ExportData {
 		ss.mu.RUnlock()
 	}
 	sort.Slice(data.Segments, func(i, j int) bool { return data.Segments[i].Seg < data.Segments[j].Seg })
+	view := idsView{tab: &db.segtab}
 	for si := range db.hashShards {
 		sh := &db.hashShards[si]
 		sh.mu.RLock()
-		for h, b := range sh.buckets {
+		for h, b := range sh.head {
 			for _, p := range b.postings {
 				data.Postings = append(data.Postings, PostingRecord{Hash: h, Seg: p.Seg, Seq: p.Seq})
+			}
+		}
+		for g := range sh.run.hashes {
+			s, e := sh.run.bounds(g)
+			for i := s; i < e; i++ {
+				if sh.run.segs[i] == tombstoneRef {
+					continue
+				}
+				data.Postings = append(data.Postings, PostingRecord{
+					Hash: sh.run.hashes[g],
+					Seg:  view.id(sh.run.segs[i]),
+					Seq:  sh.run.seqs[i],
+				})
 			}
 		}
 		sh.mu.RUnlock()
@@ -94,51 +108,43 @@ func (db *DB) Import(data ExportData) error {
 		}
 	}
 
-	// Reset all stripes and counters.
-	for si := range db.hashShards {
-		sh := &db.hashShards[si]
-		sh.mu.Lock()
-		sh.buckets = make(map[uint32]*bucket)
-		sh.mu.Unlock()
-	}
-	for si := range db.segShards {
-		ss := &db.segShards[si]
-		ss.mu.Lock()
-		ss.par = make(map[segment.ID]*parEntry)
-		ss.mu.Unlock()
-	}
-	db.segments.Store(0)
-	db.distinct.Store(0)
-	db.postings.Store(0)
-
+	db.reset()
 	db.defaultThreshold = data.DefaultThreshold
 	db.clock.Store(data.Clock)
 
 	// Postings must be replayed in seq order to restore first-seen
 	// semantics; Export writes them sorted, but do not trust external data.
+	// Runs are empty after reset, so plain head-bucket inserts suffice;
+	// compaction happens lazily once mutation resumes (or via Compact).
 	postings := make([]PostingRecord, len(data.Postings))
 	copy(postings, data.Postings)
 	sort.Slice(postings, func(i, j int) bool { return postings[i].Seq < postings[j].Seq })
 	for _, p := range postings {
 		sh := &db.hashShards[db.hashShardIdx(p.Hash)]
 		sh.mu.Lock()
-		b := sh.buckets[p.Hash]
+		b := sh.head[p.Hash]
 		if b == nil {
 			b = &bucket{}
-			sh.buckets[p.Hash] = b
+			sh.head[p.Hash] = b
 			db.distinct.Add(1)
 		}
 		if b.insert(p.Seg, p.Seq) {
 			db.postings.Add(1)
+			db.headN.Add(1)
+			sh.headPostings++
 		}
 		sh.mu.Unlock()
 	}
 	for _, rec := range data.Segments {
 		ss := db.segShardFor(rec.Seg)
 		ss.mu.Lock()
-		if _, ok := ss.par[rec.Seg]; !ok {
+		prev, ok := ss.par[rec.Seg]
+		if !ok {
 			db.segments.Add(1)
+		} else if prev.fp != nil {
+			db.parHashes.Add(int64(-prev.fp.Len()))
 		}
+		db.parHashes.Add(int64(len(rec.Hashes)))
 		ss.par[rec.Seg] = &parEntry{
 			fp:        fingerprint.FromHashes(rec.Hashes),
 			threshold: rec.Threshold,
@@ -147,4 +153,33 @@ func (db *DB) Import(data ExportData) error {
 		ss.mu.Unlock()
 	}
 	return nil
+}
+
+// reset empties every stripe, the ref table and all counters (the clock is
+// left for the caller to set). It must not run concurrently with other
+// operations on the same DB.
+func (db *DB) reset() {
+	for si := range db.hashShards {
+		sh := &db.hashShards[si]
+		sh.mu.Lock()
+		sh.head = make(map[uint32]*bucket)
+		sh.run = run{}
+		sh.big = nil
+		sh.headPostings = 0
+		sh.dead = 0
+		sh.mu.Unlock()
+	}
+	for si := range db.segShards {
+		ss := &db.segShards[si]
+		ss.mu.Lock()
+		ss.par = make(map[segment.ID]*parEntry)
+		ss.mu.Unlock()
+	}
+	db.segtab.reset()
+	db.segments.Store(0)
+	db.distinct.Store(0)
+	db.postings.Store(0)
+	db.headN.Store(0)
+	db.deadN.Store(0)
+	db.parHashes.Store(0)
 }

@@ -25,11 +25,23 @@
 //     segment ID, so observations of different segments never contend.
 //   - The logical clock and the Stats counters (segments, distinct hashes,
 //     postings) are atomics maintained incrementally by every mutation, so
-//     Stats() is O(1) instead of a full DBhash scan.
+//     Stats() never scans DBhash.
+//
+// # Storage layout
+//
+// Each hash shard is a small LSM tree: recent postings live in a mutable
+// head (map of hash → bucket, exactly the pre-compaction layout), and the
+// bulk lives in one immutable compacted run of columnar arrays with
+// interned segment refs (see run.go). Inline merges migrate the head into
+// the run once it outgrows the merge policy, keeping steady-state memory
+// near the compacted figure while the hot insert path still writes to a
+// plain map. Verdict and oldest-holder semantics are identical in every
+// merge state; only the physical layout changes.
 //
 // Lock ordering: a segment-stripe lock may be held while hash-shard locks
 // are acquired (one at a time), never the reverse, and never two locks of
-// the same kind at once. Per-segment mutations (Update, RemoveSegment) hold
+// the same kind at once. The segment-ref table is a leaf lock acquirable
+// under any shard lock. Per-segment mutations (Update, RemoveSegment) hold
 // the segment stripe for their whole critical section so that a segment's
 // DBpar entry and its DBhash postings cannot interleave with a concurrent
 // removal of the same segment.
@@ -52,8 +64,8 @@ type Posting struct {
 }
 
 // Stats summarises the size of a DB, used by the scalability experiments
-// (Figure 13). All fields are maintained incrementally, so reading them is
-// O(1) in the database size.
+// (Figure 13). All fields are maintained incrementally, so reading them
+// never scans the index.
 type Stats struct {
 	// Segments is the number of tracked segments.
 	Segments int
@@ -61,31 +73,38 @@ type Stats struct {
 	// DistinctHashes is the number of distinct fingerprint hashes in DBhash.
 	DistinctHashes int
 
-	// Postings is the total number of (hash, segment) associations.
+	// Postings is the total number of live (hash, segment) associations.
 	Postings int
 
+	// HeadPostings is how many postings still live in the mutable heads
+	// (the rest are compacted); Tombstones counts dead run entries not yet
+	// dropped by a merge.
+	HeadPostings int
+	Tombstones   int
+
 	// ApproxBytes is a rough in-memory footprint estimate derived from the
-	// counts (map buckets, posting structs, fingerprint sets). It tracks
-	// growth trends, not exact heap use.
+	// counts (map buckets, posting structs, run arrays, fingerprint sets).
+	// It tracks growth trends, not exact heap use.
 	ApproxBytes int64
 }
 
 // DefaultShards is the lock-stripe count used by New. 64 stripes keep
 // shard collision probability low for typical device concurrency while the
-// fixed overhead (a mutex and a map header per stripe) stays negligible.
+// fixed overhead (a mutex, a map header and run headers per stripe) stays
+// negligible.
 const DefaultShards = 64
 
 // maxShards bounds the configurable stripe count.
 const maxShards = 256
 
-// memberMapThreshold is the posting count past which a bucket switches
+// memberMapThreshold is the posting count past which a head bucket switches
 // from a linear membership scan to a map. Most hashes have a handful of
 // holders, where a scan over a small slice beats a map allocation; hot
 // hashes shared by many segments get the O(1) set the moment the scan
 // would start to hurt.
 const memberMapThreshold = 8
 
-// bucket is the DBhash state of one hash: its postings ordered by
+// bucket is the mutable-head state of one hash: its postings ordered by
 // ascending Seq (so postings[0] is always the oldest, i.e. authoritative,
 // holder — an O(1) read maintained on insert and remove instead of
 // scanned), plus an optional membership set for large buckets.
@@ -150,7 +169,7 @@ func (b *bucket) remove(seg segment.ID) bool {
 	return false
 }
 
-// oldest returns the authoritative holder in O(1).
+// oldest returns the bucket's oldest holder in O(1).
 func (b *bucket) oldest() (segment.ID, bool) {
 	if len(b.postings) == 0 {
 		return "", false
@@ -158,10 +177,18 @@ func (b *bucket) oldest() (segment.ID, bool) {
 	return b.postings[0].Seg, true
 }
 
-// hashShard is one DBhash stripe.
+// hashShard is one DBhash stripe: a mutable head plus one compacted run.
 type hashShard struct {
-	mu      sync.RWMutex
-	buckets map[uint32]*bucket
+	mu   sync.RWMutex
+	head map[uint32]*bucket
+	run  run
+
+	// big holds shard-level membership sets for run groups with many live
+	// postings (see bigGroupMin), keyed by hash → set of live segment refs.
+	big map[uint32]map[uint32]struct{}
+
+	headPostings int // live postings in head
+	dead         int // tombstoned postings in run
 }
 
 // segShard is one DBpar stripe.
@@ -204,13 +231,22 @@ type DB struct {
 	hashShards []hashShard
 	segShards  []segShard
 
+	// segtab interns segment IDs for the compacted runs.
+	segtab segTable
+
 	// clock is the logical time source; increments on every observation.
 	clock atomic.Uint64
 
 	// Incremental Stats counters.
-	segments atomic.Int64
-	distinct atomic.Int64
-	postings atomic.Int64
+	segments  atomic.Int64
+	distinct  atomic.Int64
+	postings  atomic.Int64
+	headN     atomic.Int64 // live postings still in mutable heads
+	deadN     atomic.Int64 // tombstones awaiting merge
+	parHashes atomic.Int64 // total fingerprint hashes across DBpar
+
+	// compactMin tunes the inline merge policy; see SetCompactThreshold.
+	compactMin atomic.Int64
 
 	hookMu  sync.RWMutex
 	onEvict EvictFunc
@@ -241,7 +277,7 @@ func NewWithShards(defaultThreshold float64, n int) *DB {
 	}
 	db.hashShift = 32 - bits
 	for i := range db.hashShards {
-		db.hashShards[i].buckets = make(map[uint32]*bucket)
+		db.hashShards[i].head = make(map[uint32]*bucket)
 	}
 	for i := range db.segShards {
 		db.segShards[i].par = make(map[segment.ID]*parEntry)
@@ -342,6 +378,10 @@ func (db *DB) Update(seg segment.ID, fp *fingerprint.Fingerprint) uint64 {
 		ss.par[seg] = entry
 		db.segments.Add(1)
 	}
+	if entry.fp != nil {
+		db.parHashes.Add(int64(-entry.fp.Len()))
+	}
+	db.parHashes.Add(int64(fp.Len()))
 	entry.fp = fp
 	entry.updated = now
 	hs := fp.Hashes()
@@ -375,6 +415,37 @@ func countMissing(hs, posted []uint32) int {
 	return k
 }
 
+// shardInsertLocked records the (h, seg, seq) posting unless it already
+// exists in the shard's head or run. ref/hasRef is seg's interned ref
+// resolved after the shard lock was acquired (run entries can only mention
+// refs interned before that point). Caller holds sh.mu for writing.
+func (db *DB) shardInsertLocked(sh *hashShard, h uint32, seg segment.ID, ref uint32, hasRef bool, seq uint64) {
+	b := sh.head[h]
+	if b != nil && b.has(seg) {
+		return
+	}
+	runLive := false
+	if g := sh.run.find(h, db.shardBitsOf()); g >= 0 {
+		var inRun bool
+		inRun, runLive = sh.runHasSeg(h, g, ref, hasRef)
+		if inRun {
+			return
+		}
+	}
+	if b == nil {
+		b = &bucket{}
+		sh.head[h] = b
+		if !runLive {
+			db.distinct.Add(1)
+		}
+	}
+	if b.insert(seg, seq) {
+		db.postings.Add(1)
+		db.headN.Add(1)
+		sh.headPostings++
+	}
+}
+
 // insertPostings records first-seen postings for hs (ascending) at time
 // now, locking each hash shard exactly once per contiguous run.
 func (db *DB) insertPostings(seg segment.ID, hs []uint32, now uint64) {
@@ -383,17 +454,11 @@ func (db *DB) insertPostings(seg segment.ID, hs []uint32, now uint64) {
 		sh := &db.hashShards[si]
 		j := i
 		sh.mu.Lock()
+		ref, hasRef := db.segtab.refOf(seg)
 		for ; j < len(hs) && db.hashShardIdx(hs[j]) == si; j++ {
-			b := sh.buckets[hs[j]]
-			if b == nil {
-				b = &bucket{}
-				sh.buckets[hs[j]] = b
-				db.distinct.Add(1)
-			}
-			if b.insert(seg, now) {
-				db.postings.Add(1)
-			}
+			db.shardInsertLocked(sh, hs[j], seg, ref, hasRef, now)
 		}
+		db.maybeCompactLocked(sh)
 		sh.mu.Unlock()
 		i = j
 	}
@@ -401,17 +466,18 @@ func (db *DB) insertPostings(seg segment.ID, hs []uint32, now uint64) {
 
 // insertNewPostings records postings for the hashes of hs (ascending) that
 // are absent from posted (ascending) and returns the merged union. Hashes
-// present in posted already have first-seen postings, which insertPostings
-// never refreshes, so skipping them is behaviour-identical while avoiding
-// their bucket probes and shard locks. New hashes arrive in ascending
-// order, so each hash shard is still locked at most once per contiguous
-// run.
+// present in posted already have first-seen postings, which are never
+// refreshed, so skipping them is behaviour-identical while avoiding their
+// bucket probes and shard locks. New hashes arrive in ascending order, so
+// each hash shard is still locked at most once per contiguous run.
 func (db *DB) insertNewPostings(seg segment.ID, hs, posted []uint32, now uint64) []uint32 {
 	union := make([]uint32, 0, len(posted)+len(hs))
 	var (
-		sh  *hashShard
-		cur = -1
-		j   = 0
+		sh     *hashShard
+		cur    = -1
+		j      = 0
+		ref    uint32
+		hasRef bool
 	)
 	for _, h := range hs {
 		for j < len(posted) && posted[j] < h {
@@ -426,49 +492,66 @@ func (db *DB) insertNewPostings(seg segment.ID, hs, posted []uint32, now uint64)
 		union = append(union, h)
 		if si := db.hashShardIdx(h); si != cur {
 			if sh != nil {
+				db.maybeCompactLocked(sh)
 				sh.mu.Unlock()
 			}
 			sh = &db.hashShards[si]
 			sh.mu.Lock()
+			ref, hasRef = db.segtab.refOf(seg)
 			cur = si
 		}
-		b := sh.buckets[h]
-		if b == nil {
-			b = &bucket{}
-			sh.buckets[h] = b
-			db.distinct.Add(1)
-		}
-		if b.insert(seg, now) {
-			db.postings.Add(1)
-		}
+		db.shardInsertLocked(sh, h, seg, ref, hasRef, now)
 	}
 	if sh != nil {
+		db.maybeCompactLocked(sh)
 		sh.mu.Unlock()
 	}
 	return append(union, posted[j:]...)
 }
 
-// removePostings drops seg's postings for hs (ascending), deleting emptied
-// buckets.
+// removePostings drops seg's postings for hs (ascending): head postings are
+// deleted in place, run postings are tombstoned for the next merge.
 func (db *DB) removePostings(seg segment.ID, hs []uint32) {
 	for i := 0; i < len(hs); {
 		si := db.hashShardIdx(hs[i])
 		sh := &db.hashShards[si]
 		j := i
 		sh.mu.Lock()
+		ref, hasRef := db.segtab.refOf(seg)
 		for ; j < len(hs) && db.hashShardIdx(hs[j]) == si; j++ {
-			b := sh.buckets[hs[j]]
-			if b == nil {
+			h := hs[j]
+			g := sh.run.find(h, db.shardBitsOf())
+			if b := sh.head[h]; b != nil && b.remove(seg) {
+				db.postings.Add(-1)
+				db.headN.Add(-1)
+				sh.headPostings--
+				if len(b.postings) == 0 {
+					delete(sh.head, h)
+					runLive := false
+					if g >= 0 {
+						_, _, runLive = sh.run.firstLive(g)
+					}
+					if !runLive {
+						db.distinct.Add(-1)
+					}
+				}
 				continue
 			}
-			if b.remove(seg) {
-				db.postings.Add(-1)
+			if g < 0 || !hasRef {
+				continue
 			}
-			if len(b.postings) == 0 {
-				delete(sh.buckets, hs[j])
-				db.distinct.Add(-1)
+			killed, anyLive := sh.tombstone(h, g, ref)
+			if killed {
+				db.postings.Add(-1)
+				db.deadN.Add(1)
+				if !anyLive {
+					if _, ok := sh.head[h]; !ok {
+						db.distinct.Add(-1)
+					}
+				}
 			}
 		}
+		db.maybeCompactLocked(sh)
 		sh.mu.Unlock()
 		i = j
 	}
@@ -531,30 +614,28 @@ func (db *DB) Origin(seg segment.ID) (fp *fingerprint.Fingerprint, threshold flo
 // authoritative source for h.
 func (db *DB) OldestHolder(h uint32) (segment.ID, bool) {
 	sh := &db.hashShards[db.hashShardIdx(h)]
+	view := idsView{tab: &db.segtab}
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	if b := sh.buckets[h]; b != nil {
-		return b.oldest()
-	}
-	return "", false
+	return db.oldestLocked(sh, h, &view)
 }
 
 // AppendOldestHolders appends the oldest holder of every hash in hs
 // (ascending, as returned by Fingerprint.Hashes) to out and returns the
 // extended slice. Hashes with no holder contribute nothing; duplicates are
 // not removed. Each hash shard is locked at most once, which is what makes
-// the candidate-discovery loop of Algorithm 1 cheap under sharding.
+// the candidate-discovery loop of Algorithm 1 cheap under sharding, and
+// caller-provided capacity in out is reused without reallocation.
 func (db *DB) AppendOldestHolders(hs []uint32, out []segment.ID) []segment.ID {
+	view := idsView{tab: &db.segtab}
 	for i := 0; i < len(hs); {
 		si := db.hashShardIdx(hs[i])
 		sh := &db.hashShards[si]
 		j := i
 		sh.mu.RLock()
 		for ; j < len(hs) && db.hashShardIdx(hs[j]) == si; j++ {
-			if b := sh.buckets[hs[j]]; b != nil {
-				if seg, ok := b.oldest(); ok {
-					out = append(out, seg)
-				}
+			if seg, ok := db.oldestLocked(sh, hs[j], &view); ok {
+				out = append(out, seg)
 			}
 		}
 		sh.mu.RUnlock()
@@ -563,20 +644,44 @@ func (db *DB) AppendOldestHolders(hs []uint32, out []segment.ID) []segment.ID {
 	return out
 }
 
-// Holders returns every segment associated with h, oldest first.
-func (db *DB) Holders(h uint32) []segment.ID {
+// AppendHolders appends every segment associated with h, oldest first, to
+// out and returns the extended slice — the capacity-reusing form of
+// Holders for batch callers.
+func (db *DB) AppendHolders(h uint32, out []segment.ID) []segment.ID {
 	sh := &db.hashShards[db.hashShardIdx(h)]
+	view := idsView{tab: &db.segtab}
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	b := sh.buckets[h]
-	if b == nil {
-		return nil
+	b := sh.head[h]
+	g := sh.run.find(h, db.shardBitsOf())
+	var s, e int
+	if g >= 0 {
+		s, e = sh.run.bounds(g)
 	}
-	out := make([]segment.ID, len(b.postings))
-	for i, p := range b.postings {
-		out[i] = p.Seg
+	bi := 0
+	for i := s; i < e || (b != nil && bi < len(b.postings)); {
+		takeRun := false
+		if i < e {
+			if sh.run.segs[i] == tombstoneRef {
+				i++
+				continue
+			}
+			takeRun = b == nil || bi >= len(b.postings) || sh.run.seqs[i] <= b.postings[bi].Seq
+		}
+		if takeRun {
+			out = append(out, view.id(sh.run.segs[i]))
+			i++
+		} else {
+			out = append(out, b.postings[bi].Seg)
+			bi++
+		}
 	}
 	return out
+}
+
+// Holders returns every segment associated with h, oldest first.
+func (db *DB) Holders(h uint32) []segment.ID {
+	return db.AppendHolders(h, nil)
 }
 
 // AuthoritativeCount returns |Fauthoritative(seg)|: how many of seg's
@@ -593,11 +698,10 @@ func (db *DB) AuthoritativeCount(seg segment.ID) int {
 		sh := &db.hashShards[si]
 		j := i
 		sh.mu.RLock()
+		ref, hasRef := db.segtab.refOf(seg)
 		for ; j < len(hs) && db.hashShardIdx(hs[j]) == si; j++ {
-			if b := sh.buckets[hs[j]]; b != nil {
-				if holder, ok := b.oldest(); ok && holder == seg {
-					n++
-				}
+			if db.oldestIsLocked(sh, hs[j], seg, ref, hasRef) {
+				n++
 			}
 		}
 		sh.mu.RUnlock()
@@ -623,6 +727,8 @@ func (db *DB) AuthoritativeOverlap(src segment.ID, target *fingerprint.Fingerpri
 	var (
 		sh       *hashShard
 		curShard = -1
+		ref      uint32
+		hasRef   bool
 	)
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -639,12 +745,11 @@ func (db *DB) AuthoritativeOverlap(src segment.ID, target *fingerprint.Fingerpri
 				}
 				sh = &db.hashShards[si]
 				sh.mu.RLock()
+				ref, hasRef = db.segtab.refOf(src)
 				curShard = si
 			}
-			if bk := sh.buckets[h]; bk != nil {
-				if holder, ok := bk.oldest(); ok && holder == src {
-					overlap++
-				}
+			if db.oldestIsLocked(sh, h, src, ref, hasRef) {
+				overlap++
 			}
 			i++
 			j++
@@ -669,6 +774,7 @@ func (db *DB) RemoveSegment(seg segment.ID) {
 	delete(ss.par, seg)
 	db.segments.Add(-1)
 	if entry.fp != nil {
+		db.parHashes.Add(int64(-entry.fp.Len()))
 		db.removePostings(seg, entry.fp.Hashes())
 	}
 	ss.mu.Unlock()
@@ -679,30 +785,59 @@ func (db *DB) RemoveSegment(seg segment.ID) {
 // given logical time, and drops segments whose last update is older. This
 // implements the periodic removal of old fingerprints recommended in §4.4.
 // It returns the number of postings removed.
+//
+// Shards that lose postings are compacted on the way out, so expiry both
+// frees the postings and reclaims the tombstone space in one pass.
 func (db *DB) ExpireBefore(seq uint64) int {
 	removed := 0
 	for si := range db.hashShards {
 		sh := &db.hashShards[si]
 		sh.mu.Lock()
-		for h, b := range sh.buckets {
+		liveBefore := sh.liveHashCountLocked()
+		shardRemoved := 0
+		// Run pass: tombstone expired entries group by group.
+		for g := range sh.run.hashes {
+			s, e := sh.run.bounds(g)
+			for i := s; i < e; i++ {
+				if sh.run.segs[i] == tombstoneRef || sh.run.seqs[i] >= seq {
+					continue
+				}
+				if set, ok := sh.big[sh.run.hashes[g]]; ok {
+					delete(set, sh.run.segs[i])
+				}
+				sh.run.segs[i] = tombstoneRef
+				sh.dead++
+				db.deadN.Add(1)
+				shardRemoved++
+			}
+		}
+		// Head pass: filter each bucket in place.
+		for h, b := range sh.head {
 			kept := b.postings[:0]
 			for _, p := range b.postings {
 				if p.Seq >= seq {
 					kept = append(kept, p)
 				} else {
-					removed++
+					shardRemoved++
+					sh.headPostings--
+					db.headN.Add(-1)
 					if b.members != nil {
 						delete(b.members, p.Seg)
 					}
 				}
 			}
 			if len(kept) == 0 {
-				delete(sh.buckets, h)
-				db.distinct.Add(-1)
+				delete(sh.head, h)
 			} else {
 				b.postings = kept
 			}
 		}
+		if shardRemoved > 0 || sh.dead > 0 {
+			db.compactShardLocked(sh)
+			// After a merge the live hashes are exactly the run's groups.
+			db.distinct.Add(int64(len(sh.run.hashes) - liveBefore))
+		}
+		removed += shardRemoved
 		sh.mu.Unlock()
 	}
 	db.postings.Add(int64(-removed))
@@ -714,6 +849,9 @@ func (db *DB) ExpireBefore(seq uint64) int {
 		for seg, entry := range ss.par {
 			if entry.updated < seq {
 				delete(ss.par, seg)
+				if entry.fp != nil {
+					db.parHashes.Add(int64(-entry.fp.Len()))
+				}
 				evicted = append(evicted, seg)
 			} else if removed > 0 {
 				// Expired postings may belong to surviving segments, so
@@ -749,19 +887,26 @@ func (db *DB) Segments() []segment.ID {
 	return out
 }
 
-// Stats returns current size statistics in O(1): every counter is
-// maintained incrementally by Update, RemoveSegment and ExpireBefore
-// instead of recomputed by iterating DBhash.
+// Stats returns current size statistics from the incrementally maintained
+// counters; no shard is locked and no structure is scanned.
 func (db *DB) Stats() Stats {
 	s := Stats{
 		Segments:       int(db.segments.Load()),
 		DistinctHashes: int(db.distinct.Load()),
 		Postings:       int(db.postings.Load()),
+		HeadPostings:   int(db.headN.Load()),
+		Tombstones:     int(db.deadN.Load()),
 	}
-	// Rough per-item costs: a DBhash map entry (bucket share + slice
-	// header) ≈ 56 B, a posting (segment.ID string header + seq) ≈ 40 B
-	// with the shared string bytes amortised, a fingerprint hash in a
-	// DBpar set ≈ 48 B, a segment entry ≈ 160 B.
-	s.ApproxBytes = int64(s.DistinctHashes)*56 + int64(s.Postings)*(40+48) + int64(s.Segments)*160
+	// Rough per-item costs. Head postings still pay the map-of-buckets
+	// price (map entry share + slice header + posting struct ≈ 88 B);
+	// compacted postings pay the columnar price (4 B interned ref + 8 B
+	// seq + hash/offset array share ≈ 14 B). DBpar fingerprints store each
+	// hash twice (sorted set + posted union ≈ 16 B), segments ≈ 200 B of
+	// entry, table and ID overhead.
+	compacted := s.Postings - s.HeadPostings
+	s.ApproxBytes = int64(s.HeadPostings)*88 +
+		int64(compacted+s.Tombstones)*14 +
+		int64(db.parHashes.Load())*16 +
+		int64(s.Segments)*200
 	return s
 }

@@ -90,34 +90,21 @@ func TestConcurrentUpdateExpireInvariants(t *testing.T) {
 }
 
 // checkInvariants asserts the quiescent structural invariants listed in
-// the file comment.
+// the file comment, over the merged view of each shard's mutable head and
+// compacted run.
 func checkInvariants(t *testing.T, db *DB) {
 	t.Helper()
-	var distinct, postings int
+	var distinct, postings, headN, dead int
+	view := idsView{tab: &db.segtab}
 	for si := range db.hashShards {
 		sh := &db.hashShards[si]
 		sh.mu.RLock()
-		for h, b := range sh.buckets {
+		shardHead := 0
+		for h, b := range sh.head {
 			if len(b.postings) == 0 {
-				t.Errorf("hash %#x: empty bucket not deleted", h)
+				t.Errorf("hash %#x: empty head bucket not deleted", h)
 			}
-			distinct++
-			postings += len(b.postings)
-			seen := make(map[segment.ID]bool, len(b.postings))
-			minSeq := b.postings[0].Seq
-			for i, p := range b.postings {
-				if seen[p.Seg] {
-					t.Errorf("hash %#x: duplicate posting for %s", h, p.Seg)
-				}
-				seen[p.Seg] = true
-				if p.Seq < minSeq {
-					t.Errorf("hash %#x: posting %d (seq %d) older than head (seq %d): authoritative holder is not the oldest poster",
-						h, i, p.Seq, minSeq)
-				}
-				if i > 0 && b.postings[i-1].Seq > p.Seq {
-					t.Errorf("hash %#x: postings out of Seq order at %d", h, i)
-				}
-			}
+			shardHead += len(b.postings)
 			if b.members != nil {
 				if len(b.members) != len(b.postings) {
 					t.Errorf("hash %#x: member set size %d != postings %d", h, len(b.members), len(b.postings))
@@ -128,9 +115,46 @@ func checkInvariants(t *testing.T, db *DB) {
 					}
 				}
 			}
-			oldest, ok := b.oldest()
-			if !ok || oldest != b.postings[0].Seg {
-				t.Errorf("hash %#x: oldest() = %q, want %q", h, oldest, b.postings[0].Seg)
+		}
+		if shardHead != sh.headPostings {
+			t.Errorf("shard %d: headPostings counter %d != recount %d", si, sh.headPostings, shardHead)
+		}
+		headN += shardHead
+		shardDead := 0
+		for _, r := range sh.run.segs {
+			if r == tombstoneRef {
+				shardDead++
+			}
+		}
+		if shardDead != sh.dead {
+			t.Errorf("shard %d: dead counter %d != recount %d", si, sh.dead, shardDead)
+		}
+		dead += shardDead
+		for g := 1; g < len(sh.run.hashes); g++ {
+			if sh.run.hashes[g-1] >= sh.run.hashes[g] {
+				t.Errorf("shard %d: run hashes out of order at group %d", si, g)
+			}
+		}
+		for _, h := range shardHashesLocked(sh) {
+			ps := db.appendMergedLocked(sh, h, &view, nil)
+			if len(ps) == 0 {
+				continue // fully tombstoned group awaiting merge
+			}
+			distinct++
+			postings += len(ps)
+			seen := make(map[segment.ID]bool, len(ps))
+			for i, p := range ps {
+				if seen[p.Seg] {
+					t.Errorf("hash %#x: duplicate posting for %s", h, p.Seg)
+				}
+				seen[p.Seg] = true
+				if i > 0 && ps[i-1].Seq > p.Seq {
+					t.Errorf("hash %#x: postings out of Seq order at %d", h, i)
+				}
+			}
+			oldest, ok := db.oldestLocked(sh, h, &view)
+			if !ok || oldest != ps[0].Seg {
+				t.Errorf("hash %#x: oldest = %q, want %q", h, oldest, ps[0].Seg)
 			}
 		}
 		sh.mu.RUnlock()
@@ -143,9 +167,10 @@ func checkInvariants(t *testing.T, db *DB) {
 		ss.mu.RUnlock()
 	}
 	s := db.Stats()
-	if s.DistinctHashes != distinct || s.Postings != postings || s.Segments != segs {
-		t.Errorf("counters drifted: Stats %+v, recount distinct=%d postings=%d segments=%d",
-			s, distinct, postings, segs)
+	if s.DistinctHashes != distinct || s.Postings != postings || s.Segments != segs ||
+		s.HeadPostings != headN || s.Tombstones != dead {
+		t.Errorf("counters drifted: Stats %+v, recount distinct=%d postings=%d segments=%d head=%d dead=%d",
+			s, distinct, postings, segs, headN, dead)
 	}
 }
 

@@ -52,6 +52,23 @@ func Normalize(s string) Result {
 	return Result{Orig: s, Text: string(buf), Offsets: offsets}
 }
 
+// AppendText appends the normalised form of s (lower-case letters and
+// digits only) to buf and returns the extended slice, without recording
+// origin offsets. It is the capacity-reusing path for callers that need
+// hashes but not attribution: with sufficient capacity in buf the call
+// performs no allocations.
+func AppendText(buf []byte, s string) []byte {
+	var enc [utf8.UTFMax]byte
+	for _, r := range s {
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+			continue
+		}
+		n := utf8.EncodeRune(enc[:], unicode.ToLower(r))
+		buf = append(buf, enc[:n]...)
+	}
+	return buf
+}
+
 // OrigRange maps a half-open byte range [start, end) of the normalised text
 // to the corresponding half-open byte range in the original text, covering
 // every originating rune. It returns (0, 0) for an empty or out-of-bounds

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/lsds/browserflow/internal/store"
@@ -47,6 +48,14 @@ const (
 	// as the replica's lag-bytes gauge.
 	HeaderLagBytes = "X-BF-Lag-Bytes"
 )
+
+// SnapshotContentType is the media type of a binary bootstrap snapshot:
+// the body is a plaintext BFLOWSNB image (see store/binsnap.go), served
+// verbatim so the replica can both bulk-restore it and persist it as a
+// local checkpoint without re-encoding. Replicas opt in via the Accept
+// header; the primary answers legacy JSON otherwise, so mixed-version
+// pairs keep working during a rolling upgrade.
+const SnapshotContentType = "application/x-bflow-snapshot"
 
 const (
 	// DefaultMaxBatchBytes bounds one stream batch body.
@@ -154,6 +163,22 @@ func (p *Primary) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		p.writeNotPrimary(w)
 		return
 	}
+	if strings.Contains(r.Header.Get("Accept"), SnapshotContentType) {
+		blob, barrier, err := p.durable.CaptureCheckpointBytes()
+		if err != nil {
+			writeError(w, p.node, http.StatusInternalServerError, "capture checkpoint: "+err.Error())
+			return
+		}
+		setTermHeaders(w, p.node)
+		w.Header().Set("Content-Type", SnapshotContentType)
+		w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write(blob); err != nil {
+			p.logf("replication: stream snapshot (barrier %d): %v", barrier, err)
+		}
+		return
+	}
+	// Legacy replica: JSON Snapshot struct.
 	snap, err := p.durable.CaptureCheckpoint()
 	if err != nil {
 		writeError(w, p.node, http.StatusInternalServerError, "capture checkpoint: "+err.Error())

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -226,15 +227,14 @@ func (r *Replica) recoverLocal() error {
 		return nil
 	}
 
-	restore := func(s *store.Snapshot) error { return s.Restore(r.tracker, r.registry) }
-	snap, name, corrupt, err := store.LoadNewestCheckpoint(r.opts.FS, r.opts.Dir, r.opts.Key, restore, r.opts.Logf)
+	barrier, name, corrupt, err := store.RecoverNewestCheckpoint(r.opts.FS, r.opts.Dir, r.opts.Key, r.tracker, r.registry, r.opts.Logf)
 	if err != nil {
 		return fmt.Errorf("replication: load local checkpoint: %w", err)
 	}
 	if corrupt > 0 {
 		r.opts.Logf("replication: skipped %d corrupt local checkpoints", corrupt)
 	}
-	if snap == nil {
+	if name == "" {
 		// Without a checkpoint the mirrored segments are not provably a
 		// full history; start over from a fresh snapshot.
 		if len(info.Segments) > 0 {
@@ -250,7 +250,7 @@ func (r *Replica) recoverLocal() error {
 	if err != nil {
 		return fmt.Errorf("replication: build applier: %w", err)
 	}
-	reader, err := wal.NewReader(r.opts.FS, r.opts.Dir, wal.Pos{Segment: snap.WALSeg, Offset: wal.HeaderSize}, r.opts.MaxRecordBytes)
+	reader, err := wal.NewReader(r.opts.FS, r.opts.Dir, wal.Pos{Segment: barrier, Offset: wal.HeaderSize}, r.opts.MaxRecordBytes)
 	if err != nil {
 		return fmt.Errorf("replication: open mirror reader: %w", err)
 	}
@@ -277,14 +277,14 @@ func (r *Replica) recoverLocal() error {
 	// Resume at the mirror's end, floored at the checkpoint barrier (a
 	// checkpoint with no mirrored segments yet resumes at the barrier).
 	pos := info.End
-	if barrier := (wal.Pos{Segment: snap.WALSeg, Offset: wal.HeaderSize}); pos.Less(barrier) {
-		pos = barrier
+	if floor := (wal.Pos{Segment: barrier, Offset: wal.HeaderSize}); pos.Less(floor) {
+		pos = floor
 	}
 
 	r.applier = applier
 	r.pos = pos
 	r.applied = replayed
-	r.lastCkptSeg = snap.WALSeg
+	r.lastCkptSeg = barrier
 	r.opts.Logf("replication: recovered from %s + %d mirrored records; resuming at %s",
 		name, replayed, pos)
 	return nil
@@ -407,7 +407,9 @@ func (r *Replica) observeResponseTerm(resp *http.Response) {
 // bootstrap wipes the local mirror and rebuilds it from the primary's
 // snapshot endpoint: restore state wholesale, persist the snapshot as a
 // local checkpoint, and position the cursor at the snapshot's WAL epoch
-// barrier.
+// barrier. The replica asks for the binary snapshot format (bulk restore,
+// raw bytes persisted verbatim) and falls back to decoding the legacy
+// JSON body when talking to an older primary.
 func (r *Replica) bootstrap(ctx context.Context) error {
 	rctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
 	defer cancel()
@@ -415,6 +417,7 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	req.Header.Set("Accept", SnapshotContentType+", application/json")
 	resp, err := r.opts.HTTPClient.Do(req)
 	if err != nil {
 		return fmt.Errorf("replication: fetch snapshot: %w", err)
@@ -427,39 +430,64 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("replication: snapshot endpoint: status %d", resp.StatusCode)
 	}
-	var snap store.Snapshot
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		return fmt.Errorf("replication: decode snapshot: %w", err)
-	}
-	if snap.WALSeg == 0 {
-		return fmt.Errorf("replication: snapshot carries no WAL barrier")
-	}
 
-	if err := r.mirror.wipe(); err != nil {
-		return err
-	}
-	if err := snap.Restore(r.tracker, r.registry); err != nil {
-		return fmt.Errorf("replication: restore snapshot: %w", err)
+	var barrier uint64
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), SnapshotContentType) {
+		blob, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return fmt.Errorf("replication: read snapshot body: %w", err)
+		}
+		if err := r.mirror.wipe(); err != nil {
+			return err
+		}
+		meta, err := store.RestoreBytes("primary snapshot", blob, r.tracker, r.registry)
+		if err != nil {
+			return fmt.Errorf("replication: restore snapshot: %w", err)
+		}
+		if meta.WALSeg == 0 {
+			return fmt.Errorf("replication: snapshot carries no WAL barrier")
+		}
+		barrier = meta.WALSeg
+		// Persist the received image verbatim — same bytes, no re-encode.
+		ckpt := filepath.Join(r.opts.Dir, store.CheckpointName(barrier))
+		if err := store.SaveCheckpointBytes(r.opts.FS, ckpt, blob, r.opts.Key); err != nil {
+			return fmt.Errorf("replication: save local checkpoint: %w", err)
+		}
+	} else {
+		var snap store.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			return fmt.Errorf("replication: decode snapshot: %w", err)
+		}
+		if snap.WALSeg == 0 {
+			return fmt.Errorf("replication: snapshot carries no WAL barrier")
+		}
+		if err := r.mirror.wipe(); err != nil {
+			return err
+		}
+		if err := snap.Restore(r.tracker, r.registry); err != nil {
+			return fmt.Errorf("replication: restore snapshot: %w", err)
+		}
+		barrier = snap.WALSeg
+		ckpt := filepath.Join(r.opts.Dir, store.CheckpointName(barrier))
+		if err := store.SaveFS(r.opts.FS, ckpt, snap, r.opts.Key); err != nil {
+			return fmt.Errorf("replication: save local checkpoint: %w", err)
+		}
 	}
 	applier, err := r.newApplier()
 	if err != nil {
 		return err
 	}
-	ckpt := filepath.Join(r.opts.Dir, store.CheckpointName(snap.WALSeg))
-	if err := store.SaveFS(r.opts.FS, ckpt, snap, r.opts.Key); err != nil {
-		return fmt.Errorf("replication: save local checkpoint: %w", err)
-	}
 
 	r.mu.Lock()
 	r.applier = applier
-	r.pos = wal.Pos{Segment: snap.WALSeg, Offset: wal.HeaderSize}
+	r.pos = wal.Pos{Segment: barrier, Offset: wal.HeaderSize}
 	r.applied = 0
 	r.bootstraps++
-	r.lastCkptSeg = snap.WALSeg
+	r.lastCkptSeg = barrier
 	r.connected = true
 	r.lastErr = ""
 	r.mu.Unlock()
-	r.opts.Logf("replication: bootstrapped from snapshot at barrier %d", snap.WALSeg)
+	r.opts.Logf("replication: bootstrapped from snapshot at barrier %d", barrier)
 	return nil
 }
 
@@ -633,10 +661,12 @@ func (r *Replica) applyBatch(pos wal.Pos, resp *http.Response) error {
 // prunes old checkpoints. Mirrored segments are never pruned: the mirror
 // stays a literal byte prefix of the primary's log.
 func (r *Replica) checkpointLocal(seg uint64) error {
-	snap := store.Capture(r.tracker, r.registry)
-	snap.WALSeg = seg
+	blob, err := store.CaptureBytes(r.tracker, r.registry, seg)
+	if err != nil {
+		return err
+	}
 	path := filepath.Join(r.opts.Dir, store.CheckpointName(seg))
-	if err := store.SaveFS(r.opts.FS, path, snap, r.opts.Key); err != nil {
+	if err := store.SaveCheckpointBytes(r.opts.FS, path, blob, r.opts.Key); err != nil {
 		return err
 	}
 	r.mu.Lock()

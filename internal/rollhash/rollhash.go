@@ -32,18 +32,34 @@ type Hasher struct {
 
 // New returns a Hasher over windows of n bytes.
 func New(n int) (*Hasher, error) {
+	h := &Hasher{}
+	if err := h.Init(n); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Init (re)configures h for windows of n bytes, clearing any buffered
+// state. The ring buffer is reused when it already has capacity, so a
+// Hasher embedded in a caller's scratch space can switch window lengths —
+// or be reset for a new input — without allocating.
+func (h *Hasher) Init(n int) error {
 	if n <= 0 {
-		return nil, ErrWindowSize
+		return ErrWindowSize
 	}
 	pow := uint32(1)
 	for i := 0; i < n-1; i++ {
 		pow *= Base
 	}
-	return &Hasher{
-		n:    n,
-		pow:  pow,
-		ring: make([]byte, n),
-	}, nil
+	h.n = n
+	h.pow = pow
+	if cap(h.ring) < n {
+		h.ring = make([]byte, n)
+	} else {
+		h.ring = h.ring[:n]
+	}
+	h.Reset()
+	return nil
 }
 
 // WindowLen returns the configured window length n.
@@ -90,21 +106,46 @@ func Sum(data []byte) uint32 {
 	return hash
 }
 
+// AppendNGrams appends the rolling hashes of every n-gram of data to dst
+// and returns the extended slice, resetting h first. Inputs shorter than
+// one window append nothing. With a warm Hasher and sufficient capacity in
+// dst the call performs no allocations — the S2 building block of the
+// zero-allocation fingerprinting scratch path.
+func (h *Hasher) AppendNGrams(dst []uint32, data []byte) []uint32 {
+	if len(data) < h.n {
+		return dst
+	}
+	h.Reset()
+	for _, b := range data {
+		if v, ok := h.Roll(b); ok {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// AppendNGrams appends the rolling hashes of every n-gram of data to dst.
+// It is the capacity-reusing form of NGrams.
+func AppendNGrams(dst []uint32, data []byte, n int) ([]uint32, error) {
+	var h Hasher
+	if err := h.Init(n); err != nil {
+		return dst, err
+	}
+	return h.AppendNGrams(dst, data), nil
+}
+
 // NGrams returns the rolling hashes of every n-gram of data, in order. It
 // returns nil if data holds fewer than n bytes.
 func NGrams(data []byte, n int) ([]uint32, error) {
-	h, err := New(n)
-	if err != nil {
-		return nil, err
+	if n <= 0 {
+		return nil, ErrWindowSize
 	}
 	if len(data) < n {
 		return nil, nil
 	}
-	hashes := make([]uint32, 0, len(data)-n+1)
-	for _, b := range data {
-		if v, ok := h.Roll(b); ok {
-			hashes = append(hashes, v)
-		}
+	var h Hasher
+	if err := h.Init(n); err != nil {
+		return nil, err
 	}
-	return hashes, nil
+	return h.AppendNGrams(make([]uint32, 0, len(data)-n+1), data), nil
 }

@@ -1,0 +1,212 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/faultinject"
+	"github.com/lsds/browserflow/internal/wal"
+)
+
+// TestCaptureRestoreBytes pins the checkpointer fast path: live state →
+// binary image → bulk restore, without a Snapshot struct in between.
+func TestCaptureRestoreBytes(t *testing.T) {
+	tracker, registry := buildState(t)
+	blob, err := CaptureBytes(tracker, registry, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsBinarySnapshot(blob) {
+		t.Fatal("CaptureBytes did not produce a BFLOWSNB image")
+	}
+	tracker2, registry2 := freshState(t)
+	meta, err := RestoreBytes("mem.bf", blob, tracker2, registry2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.WALSeg != 9 {
+		t.Fatalf("WALSeg = %d, want 9", meta.WALSeg)
+	}
+	if meta.SavedAt.IsZero() {
+		t.Fatal("SavedAt not restored")
+	}
+	verifyRestored(t, tracker2, registry2)
+}
+
+// TestSaveWritesBinaryFormat pins that the struct-level Save path now
+// emits the sectioned binary container, and that the resulting file still
+// loads through the generic Load.
+func TestSaveWritesBinaryFormat(t *testing.T) {
+	tracker, registry := buildState(t)
+	path := filepath.Join(t.TempDir(), "state.bf")
+	if err := Save(path, Capture(tracker, registry), nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsBinarySnapshot(raw) {
+		t.Fatalf("saved file starts with %q, want BFLOWSNB", raw[:8])
+	}
+	s, err := Load(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker2, registry2 := freshState(t)
+	if err := s.Restore(tracker2, registry2); err != nil {
+		t.Fatal(err)
+	}
+	verifyRestored(t, tracker2, registry2)
+}
+
+// TestRecoverLegacyJSONCheckpoint pins backward compatibility: a
+// checkpoint written in the old BFLOWSNP framed-JSON format (and an even
+// older bare-JSON one) still restores through the recovery scan.
+func TestRecoverLegacyJSONCheckpoint(t *testing.T) {
+	for _, framed := range []bool{true, false} {
+		tracker, registry := buildState(t)
+		snap := Capture(tracker, registry)
+		snap.WALSeg = 3
+		payload, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if framed {
+			payload = framePlain(payload)
+		}
+		fs := faultinject.NewMemFS(1)
+		dir := "durable"
+		if err := fs.MkdirAll(dir, 0o700); err != nil {
+			t.Fatal(err)
+		}
+		if err := saveBlobFS(fs, filepath.Join(dir, CheckpointName(3)), payload); err != nil {
+			t.Fatal(err)
+		}
+		tracker2, registry2 := freshState(t)
+		barrier, name, corrupt, err := RecoverNewestCheckpoint(fs, dir, nil, tracker2, registry2, t.Logf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if barrier != 3 || name != CheckpointName(3) || corrupt != 0 {
+			t.Fatalf("framed=%v: recovered (%d, %s, %d), want (3, %s, 0)", framed, barrier, name, corrupt, CheckpointName(3))
+		}
+		verifyRestored(t, tracker2, registry2)
+	}
+}
+
+// TestRecoverSkipsCorruptBinaryCheckpoint: the newest checkpoint is
+// damaged, so recovery must fall back to the older spare and count the
+// corruption.
+func TestRecoverSkipsCorruptBinaryCheckpoint(t *testing.T) {
+	tracker, registry := buildState(t)
+	fs := faultinject.NewMemFS(2)
+	dir := "durable"
+	if err := fs.MkdirAll(dir, 0o700); err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range []uint64{1, 2} {
+		blob, err := CaptureBytes(tracker, registry, seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := saveBlobFS(fs, filepath.Join(dir, CheckpointName(seg)), blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newest := filepath.Join(dir, CheckpointName(2))
+	size, err := fs.Size(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.FlipByte(newest, size/2, 0x40); err != nil {
+		t.Fatal(err)
+	}
+	tracker2, registry2 := freshState(t)
+	barrier, name, corrupt, err := RecoverNewestCheckpoint(fs, dir, nil, tracker2, registry2, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if barrier != 1 || name != CheckpointName(1) || corrupt != 1 {
+		t.Fatalf("recovered (%d, %s, %d), want (1, %s, 1)", barrier, name, corrupt, CheckpointName(1))
+	}
+	verifyRestored(t, tracker2, registry2)
+}
+
+// TestBinarySnapshotCorruptionSweep damages a valid image at every layer
+// — truncations across the whole length, bit flips in header, table and
+// payloads, garbage tails — and requires a typed *CorruptSnapshotError
+// with a sane offset, no panic, and an untouched tracker.
+func TestBinarySnapshotCorruptionSweep(t *testing.T) {
+	tracker, registry := buildState(t)
+	blob, err := CaptureBytes(tracker, registry, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(mut []byte, what string) {
+		t.Helper()
+		tracker2, registry2 := freshState(t)
+		before := tracker2.Paragraphs().Stats()
+		_, err := RestoreBytes("mut.bf", mut, tracker2, registry2)
+		if err == nil {
+			t.Fatalf("%s: corrupted image accepted", what)
+		}
+		var ce *CorruptSnapshotError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: error is not a CorruptSnapshotError: %v", what, err)
+		}
+		if ce.Offset < 0 || ce.Offset > int64(len(mut))+1 {
+			t.Fatalf("%s: implausible offset %d (len %d)", what, ce.Offset, len(mut))
+		}
+		if after := tracker2.Paragraphs().Stats(); after != before {
+			t.Fatalf("%s: rejected restore mutated index: %+v -> %+v", what, before, after)
+		}
+	}
+	// Truncate at every length below the full image.
+	for cut := 0; cut < len(blob); cut += 7 {
+		check(blob[:cut], "truncate")
+	}
+	// Flip one bit at every offset.
+	for off := 0; off < len(blob); off += 3 {
+		mut := append([]byte(nil), blob...)
+		mut[off] ^= 0x10
+		check(mut, "bitflip")
+	}
+	// Garbage tail.
+	check(append(append([]byte(nil), blob...), 0x00), "tail")
+}
+
+// TestMapFileFallbacks pins the FS capability check: MemFS has no mmap,
+// so MapFile must silently fall back to ReadFile; OSFS maps on unix.
+func TestMapFileFallbacks(t *testing.T) {
+	fs := faultinject.NewMemFS(3)
+	if err := fs.MkdirAll("d", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveBlobFS(fs, "d/x", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, release, mapped, err := wal.MapFile(fs, "d/x")
+	if err != nil || mapped || string(data) != "hello" {
+		t.Fatalf("MemFS MapFile = (%q, mapped=%v, %v), want heap fallback", data, mapped, err)
+	}
+	if err := release(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "y")
+	if err := os.WriteFile(path, []byte("world"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	data, release, mapped, err = wal.MapFile(wal.OSFS{}, path)
+	if err != nil || string(data) != "world" {
+		t.Fatalf("OSFS MapFile = (%q, %v)", data, err)
+	}
+	t.Logf("OSFS MapFile mapped=%v", mapped)
+	if err := release(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -201,18 +201,15 @@ func (d *Durable) recover() error {
 		return fmt.Errorf("store: mkdir %s: %w", d.opts.Dir, err)
 	}
 
-	// 1. Newest checkpoint that loads and restores cleanly wins.
-	restore := func(s *Snapshot) error { return s.Restore(d.tracker, d.registry) }
-	snap, name, corrupt, err := LoadNewestCheckpoint(d.fs, d.opts.Dir, d.opts.Key, restore, d.opts.Logf)
+	// 1. Newest checkpoint that loads and restores cleanly wins. Binary
+	// checkpoints bulk-load straight into the index DBs (via mmap when
+	// the filesystem supports it); legacy JSON checkpoints still work.
+	barrier, name, corrupt, err := RecoverNewestCheckpoint(d.fs, d.opts.Dir, d.opts.Key, d.tracker, d.registry, d.opts.Logf)
 	if err != nil {
 		return err
 	}
 	d.recovery.CorruptCheckpoints = corrupt
-	var barrier uint64
-	if snap != nil {
-		d.recovery.CheckpointLoaded = name
-		barrier = snap.WALSeg
-	}
+	d.recovery.CheckpointLoaded = name
 	d.recovery.CheckpointSeg = barrier
 
 	// 2. Segments entirely covered by the checkpoint are obsolete; clear
@@ -371,18 +368,12 @@ func (d *Durable) AuditAppend(entries []audit.Entry) error {
 // safe to call concurrently with traffic; mutations block only for the
 // rotate + in-memory capture, never for the file write.
 func (d *Durable) Checkpoint() error {
-	d.barrier.Lock()
-	barrier, err := d.log.Rotate()
+	blob, barrier, err := d.CaptureCheckpointBytes()
 	if err != nil {
-		d.barrier.Unlock()
 		return err
 	}
-	snap := Capture(d.tracker, d.registry)
-	d.barrier.Unlock()
-	snap.WALSeg = barrier
-
 	path := filepath.Join(d.opts.Dir, checkpointName(barrier))
-	if err := SaveFS(d.fs, path, snap, d.opts.Key); err != nil {
+	if err := SaveCheckpointBytes(d.fs, path, blob, d.opts.Key); err != nil {
 		d.mu.Lock()
 		d.checkpointErrs++
 		d.mu.Unlock()
@@ -483,6 +474,30 @@ func (d *Durable) CaptureCheckpoint() (*Snapshot, error) {
 	d.barrier.Unlock()
 	snap.WALSeg = barrier
 	return &snap, nil
+}
+
+// CaptureCheckpointBytes is CaptureCheckpoint in wire form: it rotates to
+// a fresh WAL epoch barrier and encodes the state behind it straight into
+// a plaintext BFLOWSNB image, without materialising the intermediate
+// Snapshot struct. The checkpointer seals and installs the bytes; the
+// replication snapshot endpoint serves them to bootstrapping replicas
+// verbatim.
+func (d *Durable) CaptureCheckpointBytes() (blob []byte, barrier uint64, err error) {
+	d.barrier.Lock()
+	barrier, err = d.log.Rotate()
+	if err != nil {
+		d.barrier.Unlock()
+		return nil, 0, err
+	}
+	blob, err = CaptureBytes(d.tracker, d.registry, barrier)
+	d.barrier.Unlock()
+	if err != nil {
+		d.mu.Lock()
+		d.checkpointErrs++
+		d.mu.Unlock()
+		return nil, 0, fmt.Errorf("store: capture checkpoint: %w", err)
+	}
+	return blob, barrier, nil
 }
 
 // Stats returns the current durability summary.

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -14,31 +15,34 @@ func FuzzLoadSnapshot(f *testing.F) {
 	key := DeriveKey("fuzz-passphrase")
 
 	// Seed corpus: every accepted format plus near-miss corruptions.
-	valid, err := encodeSnapshot(Snapshot{SavedAt: time.Unix(42, 0).UTC()}, nil)
+	valid, err := encodeSnapshot(Snapshot{Version: SnapshotVersion, SavedAt: time.Unix(42, 0).UTC()}, nil)
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Add(valid)                                // framed plaintext
-	f.Add([]byte(`{"savedAt":1}`))              // legacy bare JSON
+	f.Add(valid) // sectioned binary (current format)
+	legacyJSON := framePlain([]byte(`{"version":1,"savedAt":"2024-01-02T03:04:05Z"}`))
+	f.Add(legacyJSON)                           // framed JSON (legacy)
+	f.Add([]byte(`{"savedAt":1}`))              // bare JSON (oldest legacy)
 	f.Add([]byte(`{`))                          // truncated JSON
 	f.Add([]byte{})                             // empty file
 	f.Add(valid[:len(valid)-2])                 // truncated payload
-	short := append([]byte(nil), valid[:12]...) // truncated header
+	short := append([]byte(nil), valid[:12]...) // truncated section table
 	f.Add(short)
 	flipped := append([]byte(nil), valid...)
-	flipped[len(flipped)-1] ^= 0x01 // checksum mismatch
+	flipped[len(flipped)-1] ^= 0x01 // section checksum mismatch
 	f.Add(flipped)
 	badVer := append([]byte(nil), valid...)
-	badVer[8] = 0xFF // unsupported version
+	badVer[8] = 0xFF // unsupported container version
 	f.Add(badVer)
-	sealed, err := encodeSnapshot(Snapshot{SavedAt: time.Unix(42, 0).UTC()}, key)
+	sealed, err := encodeSnapshot(Snapshot{Version: SnapshotVersion, SavedAt: time.Unix(42, 0).UTC()}, key)
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(sealed)                 // encrypted
 	f.Add(sealed[:len(sealed)-1]) // damaged GCM tag
 	f.Add([]byte("BFLOWENC"))     // encrypted magic, no body
-	f.Add([]byte("BFLOWSNP"))     // plain magic, no header
+	f.Add([]byte("BFLOWSNP"))     // legacy plain magic, no header
+	f.Add([]byte("BFLOWSNB"))     // binary magic, no header
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, k := range [][]byte{nil, key} {
@@ -46,15 +50,59 @@ func FuzzLoadSnapshot(f *testing.F) {
 			if err != nil {
 				continue // rejecting corrupt input is the expected outcome
 			}
-			// Accepted snapshots must survive a round trip bit-for-bit at
-			// the semantic level: encode and decode again.
+			// Accepted snapshots must survive a round trip at the semantic
+			// level. Legacy JSON can carry index states the stricter binary
+			// encoder rejects (e.g. postings beyond the clock) — refusing
+			// to re-encode those is fine, silently corrupting them is not.
 			enc, err := encodeSnapshot(s, k)
 			if err != nil {
-				t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+				continue
 			}
 			if _, err := decodeSnapshot("fuzz.bf", enc, k); err != nil {
 				t.Fatalf("re-decode of accepted snapshot failed: %v", err)
 			}
+		}
+	})
+}
+
+// FuzzRestoreBinarySnapshot drives the recovery fast path (RestoreBytes)
+// with corrupted BFLOWSNB images. The contract under test: never panic,
+// reject with a typed *CorruptSnapshotError (or a decode error) carrying
+// a file offset, and never commit a partial load — after a rejected
+// restore the tracker still answers exactly like the pre-restore state.
+func FuzzRestoreBinarySnapshot(f *testing.F) {
+	tracker, registry := buildState(f)
+	valid, err := CaptureBytes(tracker, registry, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1]) // truncated last section
+	f.Add(valid[:9])            // truncated section table
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/2] ^= 0x80 // payload bit flip
+	f.Add(flip)
+	tail := append(append([]byte(nil), valid...), 0xAA) // garbage tail
+	f.Add(tail)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tracker, registry := freshState(t)
+		before := tracker.Paragraphs().Stats()
+		meta, err := RestoreBytes("fuzz.bf", data, tracker, registry)
+		if err != nil {
+			var ce *CorruptSnapshotError
+			if errors.As(err, &ce) && ce.Offset < 0 {
+				t.Fatalf("negative corruption offset: %+v", ce)
+			}
+			// A rejected restore must leave the index untouched.
+			if after := tracker.Paragraphs().Stats(); after != before {
+				t.Fatalf("rejected restore mutated index: %+v -> %+v", before, after)
+			}
+			return
+		}
+		// An accepted restore must be re-capturable.
+		if _, err := CaptureBytes(tracker, registry, meta.WALSeg); err != nil {
+			t.Fatalf("re-capture of accepted restore failed: %v", err)
 		}
 	})
 }

@@ -32,14 +32,14 @@ const SnapshotVersion = 1
 // keys vs plaintext files.
 var magic = []byte("BFLOWENC")
 
-// plainMagic prefixes integrity-framed plaintext snapshots. Encrypted
-// files get integrity from the GCM tag; plaintext files carry an explicit
-// header so torn or bit-flipped snapshots are detected instead of being
-// half-parsed:
+// plainMagic prefixes the *legacy* integrity-framed plaintext JSON
+// snapshots (format version 1):
 //
 //	BFLOWSNP(8) | version(1) | payloadLen(8 BE) | crc32c(4) | JSON payload
 //
-// Files with neither magic are treated as legacy bare-JSON snapshots.
+// New snapshots are written in the sectioned BFLOWSNB binary format (see
+// binsnap.go); BFLOWSNP files are still read. Files with no known magic
+// are treated as oldest-legacy bare-JSON snapshots.
 var plainMagic = []byte("BFLOWSNP")
 
 // plainHeaderSize is the fixed-size prefix before the JSON payload.
@@ -132,6 +132,12 @@ func SaveFS(fs wal.FS, path string, s Snapshot, key []byte) error {
 	if err != nil {
 		return err
 	}
+	return saveBlobFS(fs, path, data)
+}
+
+// saveBlobFS atomically and durably installs pre-encoded snapshot bytes
+// at path: temp file fsynced before the rename, parent directory after.
+func saveBlobFS(fs wal.FS, path string, data []byte) error {
 	tmpName, err := writeTemp(fs, path, data)
 	if err != nil {
 		return err
@@ -146,16 +152,19 @@ func SaveFS(fs wal.FS, path string, s Snapshot, key []byte) error {
 	return nil
 }
 
-// encodeSnapshot marshals and frames (or seals) a snapshot.
+// encodeSnapshot encodes (and seals, when keyed) a snapshot in the
+// sectioned BFLOWSNB binary format. The image carries its own per-section
+// CRC framing, so plaintext output needs no extra envelope; an encrypted
+// file is the sealed binary image and gets integrity from the GCM tag.
 func encodeSnapshot(s Snapshot, key []byte) ([]byte, error) {
-	plain, err := json.Marshal(s)
+	plain, err := encodeBinarySnapshot(s)
 	if err != nil {
-		return nil, fmt.Errorf("marshal snapshot: %w", err)
+		return nil, err
 	}
 	if key != nil {
 		return seal(plain, key)
 	}
-	return framePlain(plain), nil
+	return plain, nil
 }
 
 // framePlain wraps a JSON payload in the BFLOWSNP integrity header.
@@ -247,17 +256,29 @@ func LoadFS(fs wal.FS, path string, key []byte) (Snapshot, error) {
 	return decodeSnapshot(path, data, key)
 }
 
-// decodeSnapshot reverses encodeSnapshot (with legacy bare-JSON fallback).
-func decodeSnapshot(path string, data []byte, key []byte) (Snapshot, error) {
-	var err error
-	switch {
-	case len(data) >= len(magic) && string(data[:len(magic)]) == string(magic):
+// unsealSnapshot strips the BFLOWENC envelope when present, returning
+// the inner (binary or JSON) snapshot bytes unchanged otherwise.
+func unsealSnapshot(data, key []byte) ([]byte, error) {
+	if len(data) >= len(magic) && string(data[:len(magic)]) == string(magic) {
 		if key == nil {
-			return Snapshot{}, ErrBadKey
+			return nil, ErrBadKey
 		}
-		if data, err = open(data, key); err != nil {
-			return Snapshot{}, err
-		}
+		return open(data, key)
+	}
+	return data, nil
+}
+
+// decodeSnapshot reverses encodeSnapshot. The inner payload format is
+// sniffed by magic after unsealing: BFLOWSNB sectioned binary (current),
+// BFLOWSNP framed JSON (legacy) or bare JSON (oldest legacy).
+func decodeSnapshot(path string, data []byte, key []byte) (Snapshot, error) {
+	data, err := unsealSnapshot(data, key)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	switch {
+	case IsBinarySnapshot(data):
+		return decodeBinarySnapshot(path, data)
 	case len(data) >= len(plainMagic) && string(data[:len(plainMagic)]) == string(plainMagic):
 		if data, err = unframePlain(path, data); err != nil {
 			return Snapshot{}, err

@@ -17,7 +17,7 @@ import (
 
 const secretText = "The confidential migration plan moves every internal workload to the new data centre by March."
 
-func buildState(t *testing.T) (*disclosure.Tracker, *tdm.Registry) {
+func buildState(t testing.TB) (*disclosure.Tracker, *tdm.Registry) {
 	t.Helper()
 	tracker, err := disclosure.NewTracker(disclosure.Params{
 		Fingerprint: fingerprint.Config{NGram: 6, Window: 4},

@@ -41,6 +41,36 @@ type FS interface {
 	SyncDir(dir string) error
 }
 
+// MapFS is an optional FS capability: filesystems that can memory-map a
+// file expose its full contents as a read-only view without copying it
+// onto the heap. Callers discover the capability with a type assertion
+// and MUST fall back to ReadFile when it is absent or Map fails — an
+// in-memory or exotic filesystem not supporting mmap is expected, not an
+// error. The returned release function unmaps the view; the slice must
+// not be touched afterwards.
+type MapFS interface {
+	Map(name string) (data []byte, release func() error, err error)
+}
+
+// MapFile returns the contents of name through fs's MapFS capability when
+// available, falling back to a plain ReadFile copy. mapped reports which
+// path was taken; release must be called exactly once when the caller is
+// done with data (it is a no-op for the ReadFile fallback).
+func MapFile(fs FS, name string) (data []byte, release func() error, mapped bool, err error) {
+	if mf, ok := fs.(MapFS); ok {
+		if data, rel, err := mf.Map(name); err == nil {
+			return data, rel, true, nil
+		}
+		// Fall through: mmap refusal (platform, filesystem, empty file
+		// semantics) downgrades to a heap read, never to a failure.
+	}
+	data, err = fs.ReadFile(name)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return data, func() error { return nil }, false, nil
+}
+
 // File is the subset of *os.File the write-ahead log needs.
 type File interface {
 	io.Writer

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package wal
+
+import "errors"
+
+// Map implements MapFS on platforms without a usable mmap by reporting
+// the capability unavailable; MapFile then degrades to ReadFile.
+func (OSFS) Map(name string) ([]byte, func() error, error) {
+	return nil, nil, errors.New("wal: memory mapping unsupported on this platform")
+}

@@ -1,0 +1,41 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+var _ MapFS = OSFS{}
+
+// Map implements MapFS with a read-only private mapping of the whole
+// file. Checkpoint recovery uses it to decode multi-gigabyte snapshots
+// without first copying them onto the heap; pages are faulted in on
+// demand and dropped by the kernel once the mapping is released.
+func (OSFS) Map(name string) ([]byte, func() error, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		// mmap(2) rejects zero-length mappings; an empty file has an
+		// empty, trivially-releasable view.
+		return nil, func() error { return nil }, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("wal: %s too large to map (%d bytes)", name, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: mmap %s: %w", name, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
