@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check crash repl fuzz obs overload vuln cover bench repl-bench obs-bench load-bench corpus corpus-bench benchall experiments clean
+.PHONY: all build vet test race check crash repl fuzz obs overload scrub vuln cover bench repl-bench obs-bench load-bench scrub-bench corpus corpus-bench benchall experiments clean
 
 all: build check
 
@@ -18,6 +18,7 @@ check: vet
 	$(MAKE) repl
 	$(MAKE) obs
 	$(MAKE) overload
+	$(MAKE) scrub
 	$(MAKE) fuzz
 	$(MAKE) corpus
 	$(MAKE) vuln
@@ -52,6 +53,17 @@ overload:
 	$(GO) test -race ./internal/admission
 	$(GO) test -race -run 'Overload|Saturation|Shed|RetryAfter|Stall|Inflight|Drain|Bfload' ./internal/tagserver ./internal/proxy ./internal/resilience ./internal/faultinject ./cmd/bftagd ./cmd/bfload
 
+# scrub runs the self-healing storage chaos suites race-enabled: at-rest
+# decay detection and quarantine (scrubber + recovery paths), disk-fault
+# degradation under injected EIO/ENOSPC/EROFS with fail-open/fail-closed
+# policies and ENOSPC prune self-recovery, the 503 + Retry-After HTTP
+# surface of a degraded node, replica anti-entropy digest exchange with
+# divergence-triggered re-bootstrap, the digest set-algebra/codec suites,
+# and the bfctl fsck / scrub-status operator commands.
+scrub:
+	$(GO) test -race -run 'Scrub|Quarantine|Degrad|DiskFault|ENOSPC|ReadOnly|Diverg|Digest|Fsck|VerifySegment' \
+		./internal/store ./internal/wal ./internal/index ./internal/replication ./internal/tagserver ./cmd/bfctl
+
 # vuln scans the module with govulncheck when it is installed; absent the
 # tool (the default container has no network to fetch it), the gate is a
 # no-op so check stays runnable offline.
@@ -64,12 +76,14 @@ vuln:
 
 # fuzz smoke: ten seconds per recovery parser (Go runs one fuzz target
 # per invocation, hence one command each): the WAL segment reader, the
-# legacy JSON snapshot loader, and the BFLOWSNB binary checkpoint decoder.
+# legacy JSON snapshot loader, the BFLOWSNB binary checkpoint decoder,
+# and the index digest codec the anti-entropy comparator trusts.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz 'FuzzOpenSegment' -fuzztime $(FUZZTIME) ./internal/wal
 	$(GO) test -fuzz 'FuzzLoadSnapshot' -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -fuzz 'FuzzRestoreBinarySnapshot' -fuzztime $(FUZZTIME) ./internal/store
+	$(GO) test -fuzz 'FuzzDecodeDigest' -fuzztime $(FUZZTIME) ./internal/index
 
 build:
 	$(GO) build ./...
@@ -110,6 +124,12 @@ obs-bench:
 # until the p99 SLO breaks and records the capacity as BENCH_6.json.
 load-bench:
 	$(GO) run ./cmd/bfload -editors 100 -step 25 -max-editors 600 -think 50ms -duration 3s -slo 250ms -out BENCH_6.json
+
+# scrub-bench measures what the at-rest scrubber costs the journalled
+# observe hot path (scrubber off vs an aggressive 1s cadence, the < 3%
+# bar) and records it as BENCH_8.json.
+scrub-bench:
+	$(GO) run ./cmd/bfbench -experiment scrub-overhead -benchjson BENCH_8.json
 
 # corpus is the memory-regression gate in check: load 1M distinct hashes
 # (the paper's corpus is ~10M across 180 e-books), measure bytes/hash and

@@ -254,13 +254,31 @@ func run(args []string) error {
 			}
 			return r.Format(), nil
 		},
+		"scrub-overhead": func() (string, error) {
+			r, err := expt.RunScrubOverhead(scale, params)
+			if err != nil {
+				return "", err
+			}
+			// -benchjson records BENCH_8.json; only when scrub-overhead is
+			// the selected experiment, same convention as replication above.
+			if *benchJSON != "" && *experiment == "scrub-overhead" {
+				data, err := json.MarshalIndent(r, "", "  ")
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+					return "", fmt.Errorf("write %s: %w", *benchJSON, err)
+				}
+			}
+			return r.Format(), nil
+		},
 	}
 	// corpus is deliberately excluded: the 10M-hash ladder takes minutes
 	// and is run on demand (`make corpus`, `make corpus-bench`).
 	order := []string{"table1", "fig8", "fig9a", "fig9b", "fig9adoc",
 		"fig9bdoc", "fig10", "fig11", "fig12", "fig13", "ablation-cache",
 		"ablation-auth", "ablation-winnow", "baseline", "orgsim", "usability",
-		"hotpath", "replication", "obs-overhead"}
+		"hotpath", "replication", "obs-overhead", "scrub-overhead"}
 
 	selected := order
 	if *experiment != "all" {

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/audit"
+	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/policy"
+	"github.com/lsds/browserflow/internal/segment"
+	"github.com/lsds/browserflow/internal/store"
+	"github.com/lsds/browserflow/internal/tdm"
+	"github.com/lsds/browserflow/internal/wal"
+)
+
+// seedDurableDir builds a real durable directory on the OS filesystem:
+// some journalled mutations, a sealed segment, and one checkpoint.
+func seedDurableDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	tracker, err := disclosure.NewTracker(disclosure.Params{
+		Fingerprint: fingerprint.Config{NGram: 6, Window: 3},
+		Tpar:        0.3, Tdoc: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := tdm.NewRegistry(audit.NewLog())
+	if err := registry.RegisterService("wiki", tdm.NewTagSet("tw"), tdm.NewTagSet("tw")); err != nil {
+		t.Fatal(err)
+	}
+	engine, err := policy.NewEngine(tracker, registry, policy.ModeAdvisory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable, err := store.OpenDurable(store.DurableOptions{Dir: dir, Fsync: wal.SyncAlways}, tracker, registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.SetJournal(durable)
+	observe := func(seg segment.ID, text string) {
+		t.Helper()
+		if _, err := engine.ObserveEdit(seg, "wiki", text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	observe("wiki/doc#p0", "the quarterly revenue forecast was revised downwards")
+	observe("wiki/doc#p1", "launch codes and rollout schedule for the atlas project")
+	if err := durable.Close(); err != nil { // Close checkpoints + truncates
+		t.Fatal(err)
+	}
+	// Close's checkpoint pruned every covered segment, so re-open the raw
+	// WAL and seal a segment with records that no checkpoint covers —
+	// exactly the kind of file a scrub-era fsck has to verify.
+	log, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := log.Append(wal.Record{Type: 1, Data: []byte("post-checkpoint payload with enough bytes to flip")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := log.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestFsckCleanAndCorrupt: a clean directory passes; after a bit flip in
+// a sealed segment, fsck reports the file with a byte offset and errors.
+func TestFsckCleanAndCorrupt(t *testing.T) {
+	dir := seedDurableDir(t)
+
+	var out bytes.Buffer
+	if err := run([]string{"-wal-dir", dir, "fsck"}, nil, &out); err != nil {
+		t.Fatalf("clean fsck failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 corrupt") {
+		t.Fatalf("clean fsck output missing summary:\n%s", out.String())
+	}
+
+	// Flip one payload byte in the first surviving sealed segment.
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no segments to corrupt: %v (matches %v)", err, matches)
+	}
+	var seg string
+	for _, m := range matches {
+		if info, err := os.Stat(m); err == nil && info.Size() > wal.HeaderSize+8 {
+			seg = m
+			break
+		}
+	}
+	if seg == "" {
+		t.Fatalf("no segment with records among %v", matches)
+	}
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[wal.HeaderSize+5] ^= 0x20
+	if err := os.WriteFile(seg, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	err = run([]string{"-wal-dir", dir, "fsck"}, nil, &out)
+	if err == nil {
+		t.Fatalf("fsck passed a corrupt segment:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "CORRUPT") || !strings.Contains(out.String(), "at byte") {
+		t.Fatalf("fsck output missing corruption report with byte offset:\n%s", out.String())
+	}
+}
+
+// TestFsckRequiresDir: fsck without -wal-dir is an error, not a panic.
+func TestFsckRequiresDir(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"fsck"}, nil, &out); err == nil {
+		t.Fatal("fsck without -wal-dir succeeded")
+	}
+}
+
+// TestScrubStatusCommand renders a node's /healthz storage block.
+func TestScrubStatusCommand(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+			"status": "ok",
+			"storage": map[string]any{
+				"scrubPasses":      4,
+				"lastScrubAge":     "32s",
+				"framesVerified":   1234,
+				"corruptionsFound": 1,
+				"quarantines":      1,
+				"quarantinedFiles": 1,
+				"lastCorruption":   "wal-0000000000000002.log: frame CRC mismatch",
+				"diskDegraded":     true,
+				"degradedCause":    "enospc",
+				"failOpen":         false,
+				"droppedRecords":   0,
+				"diskRecoveries":   2,
+			},
+		})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-server", srv.URL, "scrub-status"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"scrub passes:      4",
+		"last pass age:     32s",
+		"frames verified:   1234",
+		"quarantines:       1 (on disk now: 1)",
+		"DEGRADED (enospc, fail-closed)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("scrub-status output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	"github.com/lsds/browserflow"
 	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/store"
 	"github.com/lsds/browserflow/internal/tagserver"
 )
 
@@ -55,6 +56,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		device     = fs.String("device", "bfctl", "device name reported to the tag service")
 		oldPrimary = fs.String("old-primary", "", "deposed primary to fence after promote")
 		force      = fs.Bool("force", false, "promote even when the replica lags its primary")
+		walDir     = fs.String("wal-dir", "", "durable directory to verify offline (fsck)")
 
 		name = fs.String("name", "", "service name (add-service)")
 		lp   = fs.String("lp", "", "comma-separated privilege tags (add-service)")
@@ -72,7 +74,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return errors.New("command required: init, add-service, observe, check, sources, attribute, suppress, allocate, grant, label, stats, audit, promote, repl-status, metrics, trace")
+		return errors.New("command required: init, add-service, observe, check, sources, attribute, suppress, allocate, grant, label, stats, audit, promote, repl-status, metrics, trace, fsck, scrub-status")
 	}
 	cmd := fs.Arg(0)
 
@@ -84,6 +86,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	// Observability operator commands: `metrics` dumps /v1/metrics,
 	// `trace <id>` prints one trace's spans from /v1/debug/traces.
 	if handled, err := dispatchObs(cmd, *serverURL, fs.Arg(1), stdout); handled {
+		return err
+	}
+
+	// Self-healing storage operator commands: `fsck` verifies a durable
+	// directory offline, `scrub-status` shows a node's scrub state.
+	var fsckKey []byte
+	if *passphrase != "" {
+		fsckKey = store.DeriveKey(*passphrase)
+	}
+	if handled, err := dispatchStorage(cmd, *walDir, fsckKey, *serverURL, stdout); handled {
 		return err
 	}
 

@@ -57,6 +57,7 @@ import (
 	"github.com/lsds/browserflow"
 	"github.com/lsds/browserflow/internal/admission"
 	"github.com/lsds/browserflow/internal/obs"
+	policyPkg "github.com/lsds/browserflow/internal/policy"
 	"github.com/lsds/browserflow/internal/replication"
 	"github.com/lsds/browserflow/internal/store"
 	"github.com/lsds/browserflow/internal/tagserver"
@@ -82,6 +83,9 @@ func run(args []string) error {
 		fsyncMode    = fs.String("fsync", "always", "WAL fsync policy: always | interval | none")
 		fsyncEvery   = fs.Duration("fsync-interval", wal.DefaultSyncInterval, "group-commit cadence for -fsync interval")
 		ckptEvery    = fs.Duration("checkpoint-every", time.Minute, "background checkpoint cadence (0 = checkpoint only at shutdown)")
+		scrubEvery   = fs.Duration("scrub-every", time.Hour, "at-rest scrub cadence re-verifying sealed WAL segments and checkpoints (0 disables)")
+		scrubRateMB  = fs.Int("scrub-rate-mb", 8, "scrub read-rate bound in MiB/s (0 = unthrottled)")
+		onDiskFull   = fs.String("on-disk-full", store.OnDiskFullPrune, "ENOSPC policy: prune (free obsolete segments/checkpoints and retry) | fail (degrade immediately)")
 		addr         = fs.String("addr", ":7000", "listen address")
 		expire       = fs.Duration("expire-every", 0, "run fingerprint expiry at this interval (0 disables)")
 		compactEvery = fs.Duration("compact-every", 10*time.Minute, "merge index heads into their compacted runs at this interval (0 disables)")
@@ -248,6 +252,14 @@ func run(args []string) error {
 			Fsync:           policy,
 			FsyncInterval:   *fsyncEvery,
 			CheckpointEvery: *ckptEvery,
+			ScrubEvery:      *scrubEvery,
+			ScrubRateMB:     *scrubRateMB,
+			OnDiskFull:      *onDiskFull,
+			// Disk-fault policy follows the engine mode: an advisory
+			// deployment keeps serving verdicts from memory on a dead disk
+			// (fail-open); enforcing/encrypting deployments stop acking
+			// (fail-closed) — nothing is confirmed the journal cannot hold.
+			FailOpen: mw.Engine().Mode() == policyPkg.ModeAdvisory,
 			Logf: func(format string, args ...interface{}) {
 				fmt.Fprintf(os.Stderr, "bftagd: "+format+"\n", args...)
 			},

@@ -1,0 +1,25 @@
+package disclosure
+
+import "github.com/lsds/browserflow/internal/index"
+
+// TrackerDigest summarises both granularity databases for anti-entropy.
+// Two trackers that applied the same logical record set — in any order,
+// with any batching — report the same digest, so a primary can detect a
+// replica whose in-memory state has silently diverged even though both
+// stand at the same WAL position.
+type TrackerDigest struct {
+	Paragraphs index.Digest `json:"paragraphs"`
+	Documents  index.Digest `json:"documents"`
+	// Combined is the order-salted fold of both databases' Combined
+	// digests — the single value replicas attach to stream rounds.
+	Combined uint64 `json:"combined"`
+}
+
+// Digest snapshots the tracker's anti-entropy digest. Each database is
+// read under its shard locks; a quiescent tracker always reports a
+// stable value.
+func (t *Tracker) Digest() TrackerDigest {
+	p := t.pars.Digest()
+	d := t.docs.Digest()
+	return TrackerDigest{Paragraphs: p, Documents: d, Combined: index.Fold(p, d)}
+}

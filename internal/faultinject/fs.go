@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"syscall"
 
 	"github.com/lsds/browserflow/internal/wal"
 )
@@ -48,6 +49,16 @@ type MemFS struct {
 	crashed      bool
 	tornWrites   bool
 	flipBitProb  float64
+
+	// Disk-fault injection (distinct from crashes: the process survives,
+	// the medium misbehaves). All injected errors wrap real syscall
+	// errnos so errors.Is-based classification sees exactly what it
+	// would on a real disk.
+	eioBudget int64 // bytes still writable before EIO; -1 = disabled
+	eioActive bool  // sticky: Write/Sync fail until ClearWriteError
+	capacity  int64 // total byte budget across files; 0 = unlimited
+	used      int64 // bytes currently held by files
+	readOnly  bool  // mutating ops fail with EROFS
 }
 
 type memFile struct {
@@ -58,11 +69,77 @@ type memFile struct {
 // NewMemFS returns an empty MemFS with a deterministic random source.
 func NewMemFS(seed int64) *MemFS {
 	return &MemFS{
-		rng:     rand.New(rand.NewSource(seed)),
-		files:   make(map[string]*memFile),
-		durable: make(map[string]*memFile),
-		dirs:    make(map[string]bool),
+		rng:       rand.New(rand.NewSource(seed)),
+		files:     make(map[string]*memFile),
+		durable:   make(map[string]*memFile),
+		dirs:      make(map[string]bool),
+		eioBudget: -1,
 	}
+}
+
+// FailWritesAfter arms an I/O-error injection: the next n bytes write
+// normally, then every Write and Sync fails with an error wrapping
+// syscall.EIO until ClearWriteError. n = 0 kills the very next write —
+// a disk that died mid-flight. Negative disarms.
+func (m *MemFS) FailWritesAfter(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n < 0 {
+		m.eioBudget = -1
+		m.eioActive = false
+		return
+	}
+	m.eioBudget = n
+	m.eioActive = false
+}
+
+// ClearWriteError heals a fired (or armed) EIO injection — the medium
+// works again, as after a controller reset or cable reseat.
+func (m *MemFS) ClearWriteError() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.eioBudget = -1
+	m.eioActive = false
+}
+
+// WriteErrorActive reports whether the EIO injection has fired and is
+// still failing writes.
+func (m *MemFS) WriteErrorActive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.eioActive
+}
+
+// SetCapacity bounds the total bytes held across all files; writes that
+// would exceed it fail with an error wrapping syscall.ENOSPC. Remove and
+// Truncate free space, so pruning old checkpoints/segments genuinely
+// recovers the disk. Zero removes the bound.
+func (m *MemFS) SetCapacity(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.capacity = n
+}
+
+// Used returns the bytes currently held across all files.
+func (m *MemFS) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// SetReadOnly makes every mutating operation (writes, creates, renames,
+// removals, truncations) fail with an error wrapping syscall.EROFS —
+// the kernel having remounted the filesystem read-only after an error.
+func (m *MemFS) SetReadOnly(v bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.readOnly = v
+}
+
+// injectErr builds the PathError for an injected fault; the wrapped
+// errno survives errors.Is through the WAL's append/fsync wrapping.
+func injectErr(op, path string, errno error) error {
+	return &os.PathError{Op: op, Path: path, Err: errno}
 }
 
 // CrashAfterWrites schedules a crash to fire on the n-th Write from now
@@ -146,8 +223,10 @@ func (m *MemFS) Crash() {
 	m.files = files
 	// The post-reboot durable view is exactly what survived.
 	m.durable = make(map[string]*memFile, len(files))
+	m.used = 0
 	for name, f := range files {
 		m.durable[name] = f
+		m.used += int64(len(f.data))
 	}
 	m.crashed = false
 	m.crashAtWrite = 0
@@ -202,6 +281,9 @@ func (m *MemFS) OpenFile(name string, flag int, _ os.FileMode) (wal.File, error)
 		return nil, ErrCrashed
 	}
 	name = filepath.Clean(name)
+	if m.readOnly {
+		return nil, injectErr("open", name, syscall.EROFS)
+	}
 	f, ok := m.files[name]
 	switch {
 	case ok && flag&os.O_EXCL != 0:
@@ -212,6 +294,7 @@ func (m *MemFS) OpenFile(name string, flag int, _ os.FileMode) (wal.File, error)
 		f = &memFile{}
 		m.files[name] = f
 	case flag&os.O_TRUNC != 0:
+		m.used -= int64(len(f.data))
 		f.data = nil
 		f.synced = 0
 	}
@@ -237,10 +320,33 @@ func (h *memHandle) Write(p []byte) (int, error) {
 		if m.tornWrites && len(p) > 0 {
 			n = m.rng.Intn(len(p)) // strictly partial
 			h.file.data = append(h.file.data, p[:n]...)
+			m.used += int64(n)
 		}
 		return n, ErrCrashed
 	}
+	if m.readOnly {
+		return 0, injectErr("write", h.name, syscall.EROFS)
+	}
+	if m.eioActive {
+		return 0, injectErr("write", h.name, syscall.EIO)
+	}
+	if m.eioBudget >= 0 {
+		if int64(len(p)) > m.eioBudget {
+			// The disk dies mid-write: a strictly partial prefix lands.
+			n := int(m.eioBudget)
+			h.file.data = append(h.file.data, p[:n]...)
+			m.used += int64(n)
+			m.eioBudget = 0
+			m.eioActive = true
+			return n, injectErr("write", h.name, syscall.EIO)
+		}
+		m.eioBudget -= int64(len(p))
+	}
+	if m.capacity > 0 && m.used+int64(len(p)) > m.capacity {
+		return 0, injectErr("write", h.name, syscall.ENOSPC)
+	}
 	h.file.data = append(h.file.data, p...)
+	m.used += int64(len(p))
 	return len(p), nil
 }
 
@@ -259,6 +365,9 @@ func (h *memHandle) Sync() error {
 	if m.crashAtSync > 0 && m.syncOps >= m.crashAtSync {
 		m.crashed = true
 		return ErrCrashed
+	}
+	if m.eioActive {
+		return injectErr("fsync", h.name, syscall.EIO)
 	}
 	h.file.synced = len(h.file.data)
 	return nil
@@ -300,6 +409,9 @@ func (m *MemFS) Rename(oldname, newname string) error {
 		return ErrCrashed
 	}
 	oldname, newname = filepath.Clean(oldname), filepath.Clean(newname)
+	if m.readOnly {
+		return injectErr("rename", oldname, syscall.EROFS)
+	}
 	f, ok := m.files[oldname]
 	if !ok {
 		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
@@ -317,9 +429,14 @@ func (m *MemFS) Remove(name string) error {
 		return ErrCrashed
 	}
 	name = filepath.Clean(name)
-	if _, ok := m.files[name]; !ok {
+	if m.readOnly {
+		return injectErr("remove", name, syscall.EROFS)
+	}
+	f, ok := m.files[name]
+	if !ok {
 		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
 	}
+	m.used -= int64(len(f.data))
 	delete(m.files, name)
 	return nil
 }
@@ -331,6 +448,9 @@ func (m *MemFS) Truncate(name string, size int64) error {
 	if m.crashed {
 		return ErrCrashed
 	}
+	if m.readOnly {
+		return injectErr("truncate", name, syscall.EROFS)
+	}
 	f, ok := m.files[filepath.Clean(name)]
 	if !ok {
 		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrNotExist}
@@ -338,6 +458,7 @@ func (m *MemFS) Truncate(name string, size int64) error {
 	if size < 0 || size > int64(len(f.data)) {
 		return fmt.Errorf("faultinject: truncate size %d out of range [0,%d]", size, len(f.data))
 	}
+	m.used -= int64(len(f.data)) - size
 	f.data = f.data[:size]
 	if f.synced > int(size) {
 		f.synced = int(size)
@@ -386,6 +507,9 @@ func (m *MemFS) MkdirAll(dir string, _ os.FileMode) error {
 		return ErrCrashed
 	}
 	dir = filepath.Clean(dir)
+	if m.readOnly {
+		return injectErr("mkdir", dir, syscall.EROFS)
+	}
 	for dir != "/" && dir != "." && dir != "" {
 		m.dirs[dir] = true
 		dir = filepath.Dir(dir)

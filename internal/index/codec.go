@@ -576,6 +576,7 @@ func (db *DB) CommitSnapshot(p *PreparedSnapshot) {
 	db.distinct.Store(distinct)
 	db.postings.Store(int64(p.total))
 	db.parHashes.Store(parHashes)
+	db.RecomputeDigests()
 }
 
 // EncodeExportBinary encodes an ExportData snapshot into the binary codec,

@@ -152,6 +152,7 @@ func (db *DB) Import(data ExportData) error {
 		}
 		ss.mu.Unlock()
 	}
+	db.RecomputeDigests()
 	return nil
 }
 
@@ -167,12 +168,14 @@ func (db *DB) reset() {
 		sh.big = nil
 		sh.headPostings = 0
 		sh.dead = 0
+		sh.digest = 0
 		sh.mu.Unlock()
 	}
 	for si := range db.segShards {
 		ss := &db.segShards[si]
 		ss.mu.Lock()
 		ss.par = make(map[segment.ID]*parEntry)
+		ss.digest = 0
 		ss.mu.Unlock()
 	}
 	db.segtab.reset()

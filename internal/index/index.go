@@ -154,19 +154,20 @@ func (b *bucket) insert(seg segment.ID, seq uint64) bool {
 	return true
 }
 
-// remove deletes seg's posting, preserving Seq order, and reports whether
-// one was removed.
-func (b *bucket) remove(seg segment.ID) bool {
+// remove deletes seg's posting, preserving Seq order. It returns the
+// removed posting's Seq (the digest maintenance needs it) and whether one
+// was removed.
+func (b *bucket) remove(seg segment.ID) (uint64, bool) {
 	for i, p := range b.postings {
 		if p.Seg == seg {
 			b.postings = append(b.postings[:i], b.postings[i+1:]...)
 			if b.members != nil {
 				delete(b.members, seg)
 			}
-			return true
+			return p.Seq, true
 		}
 	}
-	return false
+	return 0, false
 }
 
 // oldest returns the bucket's oldest holder in O(1).
@@ -189,12 +190,20 @@ type hashShard struct {
 
 	headPostings int // live postings in head
 	dead         int // tombstoned postings in run
+
+	// digest is the XOR-fold of postingCode over the shard's live
+	// postings, maintained incrementally (see digest.go).
+	digest uint64
 }
 
 // segShard is one DBpar stripe.
 type segShard struct {
 	mu  sync.RWMutex
 	par map[segment.ID]*parEntry
+
+	// digest is the XOR-fold of parCode over the stripe's entries,
+	// maintained incrementally (see digest.go).
+	digest uint64
 }
 
 type parEntry struct {
@@ -211,6 +220,11 @@ type parEntry struct {
 	// entry, restored snapshot, or reset by ExpireBefore), which makes
 	// the next Update take the full insert path and rebuild it.
 	posted []uint32
+
+	// code is this entry's current parCode contribution to the stripe
+	// digest, cached so replacing the entry can XOR the old value out
+	// without refolding the previous fingerprint.
+	code uint64
 }
 
 // EvictFunc observes segments dropped by RemoveSegment or ExpireBefore. It
@@ -395,6 +409,9 @@ func (db *DB) Update(seg segment.ID, fp *fingerprint.Fingerprint) uint64 {
 	case countMissing(hs, entry.posted) > 0:
 		entry.posted = db.insertNewPostings(seg, hs, entry.posted, now)
 	}
+	ss.digest ^= entry.code
+	entry.code = parCode(segDigestKey(string(seg)), entry)
+	ss.digest ^= entry.code
 	ss.mu.Unlock()
 	return now
 }
@@ -443,6 +460,7 @@ func (db *DB) shardInsertLocked(sh *hashShard, h uint32, seg segment.ID, ref uin
 		db.postings.Add(1)
 		db.headN.Add(1)
 		sh.headPostings++
+		sh.digest ^= postingCode(h, segDigestKey(string(seg)), seq)
 	}
 }
 
@@ -518,32 +536,37 @@ func (db *DB) removePostings(seg segment.ID, hs []uint32) {
 		j := i
 		sh.mu.Lock()
 		ref, hasRef := db.segtab.refOf(seg)
+		segKey := segDigestKey(string(seg))
 		for ; j < len(hs) && db.hashShardIdx(hs[j]) == si; j++ {
 			h := hs[j]
 			g := sh.run.find(h, db.shardBitsOf())
-			if b := sh.head[h]; b != nil && b.remove(seg) {
-				db.postings.Add(-1)
-				db.headN.Add(-1)
-				sh.headPostings--
-				if len(b.postings) == 0 {
-					delete(sh.head, h)
-					runLive := false
-					if g >= 0 {
-						_, _, runLive = sh.run.firstLive(g)
+			if b := sh.head[h]; b != nil {
+				if seq, ok := b.remove(seg); ok {
+					db.postings.Add(-1)
+					db.headN.Add(-1)
+					sh.headPostings--
+					sh.digest ^= postingCode(h, segKey, seq)
+					if len(b.postings) == 0 {
+						delete(sh.head, h)
+						runLive := false
+						if g >= 0 {
+							_, _, runLive = sh.run.firstLive(g)
+						}
+						if !runLive {
+							db.distinct.Add(-1)
+						}
 					}
-					if !runLive {
-						db.distinct.Add(-1)
-					}
+					continue
 				}
-				continue
 			}
 			if g < 0 || !hasRef {
 				continue
 			}
-			killed, anyLive := sh.tombstone(h, g, ref)
+			seq, killed, anyLive := sh.tombstone(h, g, ref)
 			if killed {
 				db.postings.Add(-1)
 				db.deadN.Add(1)
+				sh.digest ^= postingCode(h, segKey, seq)
 				if !anyLive {
 					if _, ok := sh.head[h]; !ok {
 						db.distinct.Add(-1)
@@ -570,6 +593,9 @@ func (db *DB) SetThreshold(seg segment.ID, t float64) {
 		db.segments.Add(1)
 	}
 	entry.threshold = t
+	ss.digest ^= entry.code
+	entry.code = parCode(segDigestKey(string(seg)), entry)
+	ss.digest ^= entry.code
 	ss.mu.Unlock()
 }
 
@@ -773,6 +799,7 @@ func (db *DB) RemoveSegment(seg segment.ID) {
 	}
 	delete(ss.par, seg)
 	db.segments.Add(-1)
+	ss.digest ^= entry.code
 	if entry.fp != nil {
 		db.parHashes.Add(int64(-entry.fp.Len()))
 		db.removePostings(seg, entry.fp.Hashes())
@@ -790,6 +817,7 @@ func (db *DB) RemoveSegment(seg segment.ID) {
 // frees the postings and reclaims the tombstone space in one pass.
 func (db *DB) ExpireBefore(seq uint64) int {
 	removed := 0
+	view := idsView{tab: &db.segtab}
 	for si := range db.hashShards {
 		sh := &db.hashShards[si]
 		sh.mu.Lock()
@@ -805,6 +833,8 @@ func (db *DB) ExpireBefore(seq uint64) int {
 				if set, ok := sh.big[sh.run.hashes[g]]; ok {
 					delete(set, sh.run.segs[i])
 				}
+				sh.digest ^= postingCode(sh.run.hashes[g],
+					segDigestKey(string(view.id(sh.run.segs[i]))), sh.run.seqs[i])
 				sh.run.segs[i] = tombstoneRef
 				sh.dead++
 				db.deadN.Add(1)
@@ -821,6 +851,7 @@ func (db *DB) ExpireBefore(seq uint64) int {
 					shardRemoved++
 					sh.headPostings--
 					db.headN.Add(-1)
+					sh.digest ^= postingCode(h, segDigestKey(string(p.Seg)), p.Seq)
 					if b.members != nil {
 						delete(b.members, p.Seg)
 					}
@@ -849,6 +880,7 @@ func (db *DB) ExpireBefore(seq uint64) int {
 		for seg, entry := range ss.par {
 			if entry.updated < seq {
 				delete(ss.par, seg)
+				ss.digest ^= entry.code
 				if entry.fp != nil {
 					db.parHashes.Add(int64(-entry.fp.Len()))
 				}

@@ -223,12 +223,14 @@ func (sh *hashShard) runHasSeg(h uint32, g int, ref uint32, hasRef bool) (inRun,
 	return false, anyLive
 }
 
-// tombstone marks (h, ref) dead in group g and reports whether a live
-// posting was killed and whether any live posting remains in the group.
-func (sh *hashShard) tombstone(h uint32, g int, ref uint32) (killed, anyLive bool) {
+// tombstone marks (h, ref) dead in group g, returning the killed
+// posting's seq (for digest maintenance), whether a live posting was
+// killed and whether any live posting remains in the group.
+func (sh *hashShard) tombstone(h uint32, g int, ref uint32) (seq uint64, killed, anyLive bool) {
 	s, e := sh.run.bounds(g)
 	for i := s; i < e; i++ {
 		if sh.run.segs[i] == ref {
+			seq = sh.run.seqs[i]
 			sh.run.segs[i] = tombstoneRef
 			killed = true
 			break
@@ -242,10 +244,10 @@ func (sh *hashShard) tombstone(h uint32, g int, ref uint32) (killed, anyLive boo
 	}
 	for i := s; i < e; i++ {
 		if sh.run.segs[i] != tombstoneRef {
-			return killed, true
+			return seq, killed, true
 		}
 	}
-	return killed, false
+	return seq, killed, false
 }
 
 // liveHashCountLocked counts hashes with at least one live posting (head

@@ -8,8 +8,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"github.com/lsds/browserflow/internal/disclosure"
 	"github.com/lsds/browserflow/internal/store"
 	"github.com/lsds/browserflow/internal/wal"
 )
@@ -47,6 +49,17 @@ const (
 	// the batch — the byte-granularity companion of HeaderLag, exported
 	// as the replica's lag-bytes gauge.
 	HeaderLagBytes = "X-BF-Lag-Bytes"
+
+	// HeaderDigest carries the sender's tracker state digest (16 hex
+	// chars: the order-salted fold of both index databases, see
+	// index.Fold). Replicas attach it to stream requests; the primary
+	// adjudicates it whenever the replica is caught up.
+	HeaderDigest = "X-BF-Digest"
+
+	// HeaderDiverged marks a 410 caused by a confirmed digest divergence
+	// rather than a truncated log. The replica re-bootstraps either way;
+	// the cause is made explicit for logs and the divergence counters.
+	HeaderDiverged = "X-BF-Diverged"
 )
 
 // SnapshotContentType is the media type of a binary bootstrap snapshot:
@@ -82,7 +95,34 @@ type Primary struct {
 	maxBatch int
 	maxWait  time.Duration
 	logf     func(string, ...interface{})
+
+	// Anti-entropy adjudication: a replica claiming digest D while caught
+	// up at position P earns one strike per stream round; divergence is
+	// confirmed — and the replica told to re-bootstrap — only after the
+	// same (P, D) claim mismatches divergenceStrikes rounds in a row.
+	// Transient mismatches (the primary appended between serving the
+	// batch and computing its own digest) never repeat at the same pair,
+	// because applying the new records moves the replica's P and D both.
+	strikeMu    sync.Mutex
+	strikes     map[strikeKey]int
+	divergences int64
 }
+
+// strikeKey identifies one replica claim under adjudication.
+type strikeKey struct {
+	pos    string
+	digest string
+}
+
+const (
+	// divergenceStrikes is how many consecutive caught-up mismatches of
+	// the same (position, digest) claim confirm a divergence.
+	divergenceStrikes = 3
+
+	// maxStrikeEntries bounds the adjudication map; a full map is reset
+	// rather than grown (strikes are cheap to re-earn).
+	maxStrikeEntries = 64
+)
 
 // PrimaryOptions configures NewPrimary.
 type PrimaryOptions struct {
@@ -114,6 +154,7 @@ func NewPrimary(node *Node, durable *store.Durable, opts PrimaryOptions) *Primar
 		maxBatch: opts.MaxBatchBytes,
 		maxWait:  opts.MaxWait,
 		logf:     opts.Logf,
+		strikes:  make(map[strikeKey]int),
 	}
 }
 
@@ -270,6 +311,16 @@ func (p *Primary) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(HeaderLag, strconv.FormatInt(lag, 10))
 	w.Header().Set(HeaderLagBytes, strconv.FormatInt(lagBytes, 10))
 	if n == 0 {
+		// The replica is caught up: this is the only moment its digest is
+		// directly comparable to ours, so adjudicate the claim it sent.
+		if remote := r.Header.Get(HeaderDigest); remote != "" {
+			if p.adjudicateDigest(next, remote) {
+				w.Header().Set(HeaderDiverged, "digest-mismatch")
+				writeError(w, p.node, http.StatusGone,
+					"replica state diverged at "+next.String()+"; re-bootstrap")
+				return
+			}
+		}
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
@@ -277,6 +328,68 @@ func (p *Primary) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", strconv.Itoa(len(frames)))
 	w.WriteHeader(http.StatusOK)
 	w.Write(frames) //nolint:errcheck
+}
+
+// adjudicateDigest scores a caught-up replica's digest claim against the
+// primary's own state digest. A match clears the claim's strikes; a
+// mismatch earns one, and divergenceStrikes consecutive mismatches at the
+// same (position, digest) pair confirm the divergence. It reports whether
+// the replica should be ordered to re-bootstrap.
+func (p *Primary) adjudicateDigest(pos wal.Pos, remote string) bool {
+	local := fmt.Sprintf("%016x", p.durable.StateDigest().Combined)
+	key := strikeKey{pos: pos.String(), digest: remote}
+	p.strikeMu.Lock()
+	defer p.strikeMu.Unlock()
+	if remote == local {
+		delete(p.strikes, key)
+		return false
+	}
+	if _, ok := p.strikes[key]; !ok && len(p.strikes) >= maxStrikeEntries {
+		p.strikes = make(map[strikeKey]int)
+	}
+	p.strikes[key]++
+	if p.strikes[key] < divergenceStrikes {
+		return false
+	}
+	delete(p.strikes, key)
+	p.divergences++
+	p.logf("replication: replica diverged at %s (digest %s, want %s); ordering re-bootstrap", pos, remote, local)
+	return true
+}
+
+// Divergences reports how many replica divergences this primary has
+// confirmed since it started serving.
+func (p *Primary) Divergences() int64 {
+	p.strikeMu.Lock()
+	defer p.strikeMu.Unlock()
+	return p.divergences
+}
+
+// handleDigest serves the primary's current state digest — the per-DB
+// breakdown plus the combined fold — with the WAL end position it was
+// computed at, so operators (bfctl) and tests can compare nodes directly.
+func (p *Primary) handleDigest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, p.node, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if !p.observeRequestTerm(r) {
+		p.writeNotPrimary(w)
+		return
+	}
+	digest := p.durable.StateDigest()
+	setTermHeaders(w, p.node)
+	w.Header().Set(HeaderDigest, fmt.Sprintf("%016x", digest.Combined))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct { //nolint:errcheck
+		Position    string                   `json:"position"`
+		Digest      disclosure.TrackerDigest `json:"digest"`
+		Divergences int64                    `json:"divergences"`
+	}{
+		Position:    p.durable.WAL().End().String(),
+		Digest:      digest,
+		Divergences: p.Divergences(),
+	})
 }
 
 // writeStreamError maps ReadFrom errors onto the wire.

@@ -118,6 +118,7 @@ type ReplicaStatus struct {
 	LagBytes       int64  `json:"lag_bytes"`
 	AppliedRecords int64  `json:"appliedRecords"`
 	Bootstraps     int64  `json:"bootstraps"`
+	Divergences    int64  `json:"divergences"`
 	Connected      bool   `json:"connected"`
 	LastError      string `json:"lastError,omitempty"`
 }
@@ -140,6 +141,7 @@ type Replica struct {
 	lagBytes    int64
 	applied     int64
 	bootstraps  int64
+	divergences int64
 	connected   bool
 	lastErr     string
 	lastCkptSeg uint64
@@ -205,6 +207,8 @@ func (r *Replica) exposeMetrics() {
 		func() float64 { return float64(r.Status().AppliedRecords) })
 	reg.GaugeFunc("bf_repl_bootstraps", "Snapshot bootstraps performed.",
 		func() float64 { return float64(r.Status().Bootstraps) })
+	reg.GaugeFunc("bf_repl_divergences", "State divergences the primary confirmed against this replica.",
+		func() float64 { return float64(r.Status().Divergences) })
 	reg.GaugeFunc("bf_repl_connected", "1 when the replica's last primary round succeeded.",
 		func() float64 {
 			if r.Status().Connected {
@@ -501,6 +505,10 @@ func (r *Replica) streamOnce(ctx context.Context, pos wal.Pos) error {
 	if err != nil {
 		return err
 	}
+	// Attach the local state digest: when this round finds us caught up,
+	// the primary compares it against its own and orders a re-bootstrap
+	// if our in-memory state has silently diverged.
+	req.Header.Set(HeaderDigest, fmt.Sprintf("%016x", r.tracker.Digest().Combined))
 	resp, err := r.opts.HTTPClient.Do(req)
 	if err != nil {
 		return fmt.Errorf("replication: stream: %w", err)
@@ -533,8 +541,16 @@ func (r *Replica) streamOnce(ctx context.Context, pos wal.Pos) error {
 
 	case http.StatusGone:
 		// Our position fell off the primary's log (checkpoint-truncated
-		// below, or we are ahead of a newly recovered primary).
-		r.opts.Logf("replication: position %s gone on primary; re-bootstrapping", pos)
+		// below, or we are ahead of a newly recovered primary) — or the
+		// primary confirmed our state digest diverged from its own.
+		if resp.Header.Get(HeaderDiverged) != "" {
+			r.mu.Lock()
+			r.divergences++
+			r.mu.Unlock()
+			r.opts.Logf("replication: primary confirmed state divergence at %s; re-bootstrapping", pos)
+		} else {
+			r.opts.Logf("replication: position %s gone on primary; re-bootstrapping", pos)
+		}
 		r.resetForBootstrap()
 		return nil
 
@@ -719,6 +735,7 @@ func (r *Replica) Status() ReplicaStatus {
 		LagBytes:       r.lagBytes,
 		AppliedRecords: r.applied,
 		Bootstraps:     r.bootstraps,
+		Divergences:    r.divergences,
 		Connected:      r.connected,
 		LastError:      r.lastErr,
 	}

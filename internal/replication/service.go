@@ -114,6 +114,9 @@ func (s *Service) Handler() http.Handler {
 	handle("/v1/repl/stream", "repl.stream", s.withPrimary(func(p *Primary, w http.ResponseWriter, r *http.Request) {
 		p.handleStream(w, r)
 	}))
+	handle("/v1/repl/digest", "repl.digest", s.withPrimary(func(p *Primary, w http.ResponseWriter, r *http.Request) {
+		p.handleDigest(w, r)
+	}))
 	handle("/v1/repl/fence", "repl.fence", handleFence(s.node, s.logf))
 	handle("/v1/repl/status", "repl.status", s.handleStatus)
 	handle("/v1/repl/promote", "repl.promote", s.handlePromote)

@@ -75,6 +75,32 @@ type DurableOptions struct {
 	// DefaultKeepCheckpoints).
 	KeepCheckpoints int
 
+	// ScrubEvery is the at-rest scrub cadence: every interval the
+	// scrubber re-verifies the CRCs of all sealed WAL segments and
+	// checkpoint files and quarantines decayed ones. 0 disables the
+	// background scrubber (ScrubPass may still be called explicitly).
+	ScrubEvery time.Duration
+
+	// ScrubRateMB caps the scrubber's read bandwidth in MiB/s so a large
+	// directory cannot starve foreground I/O. 0 means unthrottled.
+	ScrubRateMB int
+
+	// FailOpen selects the disk-fault degradation policy: true keeps
+	// serving and silently drops journal records while the disk is down
+	// (advisory deployments — verdicts matter more than the journal);
+	// false refuses writes with a DegradedError so no mutation is acked
+	// that the journal cannot hold (enforcing deployments).
+	FailOpen bool
+
+	// OnDiskFull chooses the ENOSPC response: OnDiskFullPrune (default)
+	// frees obsolete segments and spare checkpoints and retries the
+	// append; OnDiskFullFail degrades immediately.
+	OnDiskFull string
+
+	// ProbeEvery is how often a degraded node probes the medium for
+	// recovery (default 1s).
+	ProbeEvery time.Duration
+
 	// Logf receives recovery and checkpoint notes; nil discards them.
 	Logf func(format string, args ...interface{})
 }
@@ -108,6 +134,11 @@ type RecoveryStats struct {
 	// scan discarded.
 	TornBytesTruncated int64
 
+	// ReplaySkipped counts records that failed to apply during a
+	// gap-degraded replay (a quarantined segment removed state they
+	// depended on). Zero unless the log had recovery gaps.
+	ReplaySkipped int64
+
 	// Duration is the wall-clock time recovery took.
 	Duration time.Duration
 }
@@ -121,6 +152,8 @@ type DurabilityStats struct {
 	LastCheckpointSeg uint64
 	LastCheckpointAt  time.Time
 	Recovery          RecoveryStats
+	Disk              DiskState
+	Scrub             ScrubStats
 }
 
 // Durable is the durability subsystem: WAL journal + checkpointer +
@@ -146,9 +179,22 @@ type Durable struct {
 	lastCheckpointAt  time.Time
 	recordsAtLastCkpt int64
 
-	stop   chan struct{}
-	done   chan struct{}
-	closed bool
+	// Disk-fault degradation state (see faults.go).
+	degraded       bool
+	degradedSince  time.Time
+	degradedCause  string
+	droppedRecords int64
+	diskRecoveries int64
+	probing        bool
+
+	// At-rest scrub state (see scrub.go).
+	scrub ScrubStats
+
+	stop    chan struct{}
+	done    chan struct{}
+	quiesce chan struct{} // closed by Close; stops scrub + probe loops
+	wg      sync.WaitGroup
+	closed  bool
 }
 
 var _ policy.Journal = (*Durable)(nil)
@@ -177,11 +223,21 @@ func OpenDurable(opts DurableOptions, tracker *disclosure.Tracker, registry *tdm
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...interface{}) {}
 	}
+	if opts.OnDiskFull == "" {
+		opts.OnDiskFull = OnDiskFullPrune
+	}
+	if opts.OnDiskFull != OnDiskFullPrune && opts.OnDiskFull != OnDiskFullFail {
+		return nil, fmt.Errorf("store: unknown OnDiskFull policy %q", opts.OnDiskFull)
+	}
+	if opts.ProbeEvery <= 0 {
+		opts.ProbeEvery = time.Second
+	}
 	d := &Durable{
 		opts:     opts,
 		fs:       opts.FS,
 		tracker:  tracker,
 		registry: registry,
+		quiesce:  make(chan struct{}),
 	}
 	if err := d.recover(); err != nil {
 		return nil, err
@@ -190,6 +246,10 @@ func OpenDurable(opts DurableOptions, tracker *disclosure.Tracker, registry *tdm
 		d.stop = make(chan struct{})
 		d.done = make(chan struct{})
 		go d.checkpointLoop()
+	}
+	if opts.ScrubEvery > 0 {
+		d.wg.Add(1)
+		go d.scrubLoop()
 	}
 	return d, nil
 }
@@ -223,17 +283,21 @@ func (d *Durable) recover() error {
 		d.recovery.ObsoleteSegments = removed
 	}
 
-	// 3. Open the WAL: torn tail truncated, mid-log corruption fatal. The
+	// 3. Open the WAL: torn tail truncated; a mid-log CRC mismatch in a
+	// sealed segment (at-rest decay, not a torn write) quarantines that
+	// segment and recovery resumes at the next valid segment boundary
+	// rather than refusing to start — the gap is counted and logged. The
 	// MinSegment floor keeps new appends above the checkpoint's epoch even
 	// when every segment file was lost with the crash.
 	log, err := wal.Open(wal.Options{
-		Dir:          d.opts.Dir,
-		FS:           d.fs,
-		Policy:       d.opts.Fsync,
-		Interval:     d.opts.FsyncInterval,
-		SegmentBytes: d.opts.SegmentBytes,
-		MinSegment:   barrier + 1,
-		Logf:         d.opts.Logf,
+		Dir:               d.opts.Dir,
+		FS:                d.fs,
+		Policy:            d.opts.Fsync,
+		Interval:          d.opts.FsyncInterval,
+		SegmentBytes:      d.opts.SegmentBytes,
+		MinSegment:        barrier + 1,
+		QuarantineCorrupt: true,
+		Logf:              d.opts.Logf,
 	})
 	if err != nil {
 		return err
@@ -269,13 +333,26 @@ func orEmpty(s, alt string) string {
 
 // replay applies every WAL record in segments >= barrier through the
 // shared Applier (the same idempotent path streaming replicas use).
+// When the log came up with recovery gaps (quarantined segments), a
+// record that fails to apply is skipped and counted instead of fatal:
+// the state it depended on died with the quarantined segment, and
+// refusing to start would turn one decayed file into a dead node.
 func (d *Durable) replay(barrier uint64) error {
 	applier, err := NewApplier(d.tracker, d.registry)
 	if err != nil {
 		return err
 	}
+	walStats := d.log.Stats()
+	tolerate := walStats.RecoveryGaps > 0 || walStats.QuarantinedSegments > 0
 	replayErr := d.log.Replay(barrier, func(seg uint64, rec wal.Record) error {
 		if err := applier.Apply(rec); err != nil {
+			if tolerate {
+				d.recovery.ReplaySkipped++
+				if d.recovery.ReplaySkipped <= 3 {
+					d.opts.Logf("store: replay over gap: skipping record in segment %d: %v", seg, err)
+				}
+				return nil
+			}
 			return fmt.Errorf("store: replay segment %d: %w", seg, err)
 		}
 		d.recovery.RecordsReplayed++
@@ -302,7 +379,7 @@ func (d *Durable) append(rec wal.Record, err error) error {
 	if err != nil {
 		return err
 	}
-	return d.log.Append(rec)
+	return d.journalAppend(rec)
 }
 
 // appendTraced appends a record and, when ctx carries a trace, records
@@ -312,7 +389,7 @@ func (d *Durable) appendTraced(ctx context.Context, rec wal.Record, err error) e
 		return err
 	}
 	sp := obs.StartSpan(ctx, "wal.append")
-	err = d.log.Append(rec)
+	err = d.journalAppend(rec)
 	sp.End(err)
 	return err
 }
@@ -384,7 +461,7 @@ func (d *Durable) Checkpoint() error {
 	if err := d.log.TruncateBefore(barrier); err != nil {
 		d.opts.Logf("store: wal truncate after checkpoint: %v", err)
 	}
-	if err := d.pruneCheckpoints(barrier); err != nil {
+	if err := d.pruneCheckpoints(barrier, d.opts.KeepCheckpoints); err != nil {
 		d.opts.Logf("store: prune checkpoints: %v", err)
 	}
 
@@ -397,9 +474,10 @@ func (d *Durable) Checkpoint() error {
 	return nil
 }
 
-// pruneCheckpoints removes old checkpoint files, keeping the newest
-// KeepCheckpoints (the one at barrier included).
-func (d *Durable) pruneCheckpoints(barrier uint64) error {
+// pruneCheckpoints removes old checkpoint files, keeping the newest keep
+// of them (the one at barrier included). The emergency ENOSPC path calls
+// it with keep=1 to free every spare.
+func (d *Durable) pruneCheckpoints(barrier uint64, keep int) error {
 	names, err := d.fs.ReadDirNames(d.opts.Dir)
 	if err != nil {
 		return err
@@ -411,7 +489,7 @@ func (d *Durable) pruneCheckpoints(barrier uint64) error {
 		}
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i] > segs[j] })
-	for _, seg := range segs[minInt(len(segs), d.opts.KeepCheckpoints):] {
+	for _, seg := range segs[minInt(len(segs), keep):] {
 		if err := d.fs.Remove(filepath.Join(d.opts.Dir, checkpointName(seg))); err != nil {
 			return err
 		}
@@ -458,6 +536,13 @@ func (d *Durable) Sync() error { return d.log.Sync() }
 // through it). Appends must still go through the Journal interface.
 func (d *Durable) WAL() *wal.Log { return d.log }
 
+// StateDigest returns the tracker's anti-entropy digest. The primary
+// serves it on /v1/repl/digest and compares it against the digest each
+// caught-up replica reports on its stream rounds.
+func (d *Durable) StateDigest() disclosure.TrackerDigest {
+	return d.tracker.Digest()
+}
+
 // CaptureCheckpoint captures a consistent snapshot behind a fresh WAL
 // epoch barrier without installing it on disk: the replication snapshot
 // endpoint serves it to bootstrapping replicas, which then stream from
@@ -502,8 +587,11 @@ func (d *Durable) CaptureCheckpointBytes() (blob []byte, barrier uint64, err err
 
 // Stats returns the current durability summary.
 func (d *Durable) Stats() DurabilityStats {
+	quarantined := wal.CountQuarantined(d.fs, d.opts.Dir)
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	scrub := d.scrub
+	scrub.QuarantinedFiles = quarantined
 	return DurabilityStats{
 		WAL:               d.log.Stats(),
 		Checkpoints:       d.checkpoints,
@@ -511,6 +599,16 @@ func (d *Durable) Stats() DurabilityStats {
 		LastCheckpointSeg: d.lastCheckpointSeg,
 		LastCheckpointAt:  d.lastCheckpointAt,
 		Recovery:          d.recovery,
+		Disk: DiskState{
+			Degraded:       d.degraded,
+			FailOpen:       d.opts.FailOpen,
+			Cause:          d.degradedCause,
+			Since:          d.degradedSince,
+			DroppedRecords: d.droppedRecords,
+			Recoveries:     d.diskRecoveries,
+			ProbeEvery:     d.opts.ProbeEvery,
+		},
+		Scrub: scrub,
 	}
 }
 
@@ -526,6 +624,8 @@ func (d *Durable) Close() error {
 	}
 	d.closed = true
 	d.mu.Unlock()
+	close(d.quiesce) // stop the scrubber and any recovery probe loop
+	d.wg.Wait()
 	if d.stop != nil {
 		close(d.stop)
 		<-d.done

@@ -140,6 +140,29 @@ type HealthResponse struct {
 	// server runs without one. It is served from a side path (no queueing),
 	// so it stays live while the ingest lanes are shedding.
 	Admission *HealthAdmission `json:"admission,omitempty"`
+
+	// Storage summarises the self-healing storage layer — scrub freshness,
+	// quarantine inventory and disk degradation; nil without a durability
+	// layer.
+	Storage *HealthStorage `json:"storage,omitempty"`
+}
+
+// HealthStorage is the /healthz view of the self-healing storage layer.
+// Monitoring alerts on LastScrubAge going stale, QuarantinedFiles > 0 and
+// DiskDegraded; the rest contextualises those.
+type HealthStorage struct {
+	ScrubPasses      int64  `json:"scrubPasses"`
+	LastScrubAge     string `json:"lastScrubAge,omitempty"`
+	FramesVerified   int64  `json:"framesVerified"`
+	CorruptionsFound int64  `json:"corruptionsFound"`
+	Quarantines      int64  `json:"quarantines"`
+	QuarantinedFiles int    `json:"quarantinedFiles"`
+	LastCorruption   string `json:"lastCorruption,omitempty"`
+	DiskDegraded     bool   `json:"diskDegraded"`
+	DegradedCause    string `json:"degradedCause,omitempty"`
+	FailOpen         bool   `json:"failOpen"`
+	DroppedRecords   int64  `json:"droppedRecords"`
+	DiskRecoveries   int64  `json:"diskRecoveries"`
 }
 
 // HealthAdmission is the /healthz view of the admission pipeline.
@@ -347,6 +370,48 @@ func (s *Server) registerEngineGauges() {
 			}
 			return 0
 		})
+	reg.GaugeFunc("bf_scrub_frames_verified_total",
+		"WAL frames re-verified clean by the at-rest scrubber.", func() float64 {
+			if d, ok := s.durabilityStats(); ok {
+				return float64(d.Scrub.FramesVerified)
+			}
+			return 0
+		})
+	reg.GaugeFunc("bf_scrub_corruptions_found_total",
+		"At-rest corruptions the scrubber found.", func() float64 {
+			if d, ok := s.durabilityStats(); ok {
+				return float64(d.Scrub.CorruptionsFound)
+			}
+			return 0
+		})
+	reg.GaugeFunc("bf_scrub_quarantines_total",
+		"Decayed files renamed aside by the scrubber.", func() float64 {
+			if d, ok := s.durabilityStats(); ok {
+				return float64(d.Scrub.Quarantines)
+			}
+			return 0
+		})
+	reg.GaugeFunc("bf_scrub_last_pass_age_seconds",
+		"Seconds since the last completed scrub pass (0 before the first).", func() float64 {
+			if d, ok := s.durabilityStats(); ok && !d.Scrub.LastPassAt.IsZero() {
+				return reg.Now().Sub(d.Scrub.LastPassAt).Seconds()
+			}
+			return 0
+		})
+	reg.GaugeFunc("bf_quarantined_files",
+		"Quarantined files currently present in the durable directory.", func() float64 {
+			if d, ok := s.durabilityStats(); ok {
+				return float64(d.Scrub.QuarantinedFiles)
+			}
+			return 0
+		})
+	reg.GaugeFunc("bf_disk_degraded",
+		"1 while the journal is disk-fault degraded.", func() float64 {
+			if d, ok := s.durabilityStats(); ok && d.Disk.Degraded {
+				return 1
+			}
+			return 0
+		})
 	if s.replication != nil {
 		reg.GaugeFunc("bf_node_repl_lag_bytes",
 			"Framed WAL bytes this node trails its primary by (0 on a primary).",
@@ -398,10 +463,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		verdict, err = s.engine.ObserveEditFPCtx(r.Context(), req.Seg, req.Service, fingerprint.FromHashes(req.Hashes))
 	}
 	if err != nil {
-		if writeOverload(w, err) {
-			return
-		}
-		http.Error(w, err.Error(), statusFor(err))
+		s.writeEngineError(w, err)
 		return
 	}
 	s.observes.Add(1)
@@ -455,10 +517,7 @@ func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
 		verdicts, err = s.engine.ObserveBatchFPCtx(r.Context(), req.Service, items)
 	}
 	if err != nil {
-		if writeOverload(w, err) {
-			return
-		}
-		http.Error(w, err.Error(), statusFor(err))
+		s.writeEngineError(w, err)
 		return
 	}
 	s.observes.Add(int64(len(verdicts)))
@@ -517,7 +576,7 @@ func (s *Server) handleSuppress(w http.ResponseWriter, r *http.Request) {
 	// declassification and its audit record hit the durability journal and
 	// survive a crash.
 	if err := s.engine.Suppress(req.User, req.Seg, req.Tag, req.Justification); err != nil {
-		http.Error(w, err.Error(), statusFor(err))
+		s.writeEngineError(w, err)
 		return
 	}
 	s.suppressions.Add(1)
@@ -545,6 +604,30 @@ func writeOverload(w http.ResponseWriter, err error) bool {
 	}
 	http.Error(w, err.Error(), status)
 	return true
+}
+
+// writeEngineError answers an engine mutation failure: admission sheds get
+// their overload mapping, journal failures 503, everything else 400. When
+// the journal failure is the fail-closed disk-degraded state, a
+// Retry-After of the probe cadence tells clients exactly when recovery
+// could next be detected. The engine flattens the journal's typed error
+// (fmt %v), so the degraded state is read from the durability source, not
+// the error chain.
+func (s *Server) writeEngineError(w http.ResponseWriter, err error) {
+	if writeOverload(w, err) {
+		return
+	}
+	status := statusFor(err)
+	if status == http.StatusServiceUnavailable {
+		if d, ok := s.durabilityStats(); ok && d.Disk.Degraded {
+			secs := int(math.Ceil(d.Disk.ProbeEvery.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+	}
+	http.Error(w, err.Error(), status)
 }
 
 // statusFor maps engine errors to HTTP statuses: journal append failures
@@ -628,6 +711,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 		fmt.Fprintf(w, "# TYPE browserflow_recovery_records_replayed gauge\nbrowserflow_recovery_records_replayed %d\n", d.Recovery.RecordsReplayed)
 		fmt.Fprintf(w, "# TYPE browserflow_recovery_corrupt_checkpoints gauge\nbrowserflow_recovery_corrupt_checkpoints %d\n", d.Recovery.CorruptCheckpoints)
+		fmt.Fprintf(w, "# TYPE browserflow_scrub_passes_total counter\nbrowserflow_scrub_passes_total %d\n", d.Scrub.Passes)
+		fmt.Fprintf(w, "# TYPE browserflow_scrub_frames_verified_total counter\nbrowserflow_scrub_frames_verified_total %d\n", d.Scrub.FramesVerified)
+		fmt.Fprintf(w, "# TYPE browserflow_scrub_corruptions_found_total counter\nbrowserflow_scrub_corruptions_found_total %d\n", d.Scrub.CorruptionsFound)
+		fmt.Fprintf(w, "# TYPE browserflow_scrub_quarantines_total counter\nbrowserflow_scrub_quarantines_total %d\n", d.Scrub.Quarantines)
+		fmt.Fprintf(w, "# TYPE browserflow_quarantined_files gauge\nbrowserflow_quarantined_files %d\n", d.Scrub.QuarantinedFiles)
+		degraded := 0
+		if d.Disk.Degraded {
+			degraded = 1
+		}
+		fmt.Fprintf(w, "# TYPE browserflow_disk_degraded gauge\nbrowserflow_disk_degraded %d\n", degraded)
+		fmt.Fprintf(w, "# TYPE browserflow_disk_dropped_records counter\nbrowserflow_disk_dropped_records %d\n", d.Disk.DroppedRecords)
+		fmt.Fprintf(w, "# TYPE browserflow_disk_recoveries_total counter\nbrowserflow_disk_recoveries_total %d\n", d.Disk.Recoveries)
 	}
 	if s.admission != nil {
 		st := s.admission.Stats()
@@ -710,6 +805,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	if d, ok := s.durabilityStats(); ok {
+		hs := &HealthStorage{
+			ScrubPasses:      d.Scrub.Passes,
+			FramesVerified:   d.Scrub.FramesVerified,
+			CorruptionsFound: d.Scrub.CorruptionsFound,
+			Quarantines:      d.Scrub.Quarantines,
+			QuarantinedFiles: d.Scrub.QuarantinedFiles,
+			LastCorruption:   d.Scrub.LastCorruption,
+			DiskDegraded:     d.Disk.Degraded,
+			DegradedCause:    d.Disk.Cause,
+			FailOpen:         d.Disk.FailOpen,
+			DroppedRecords:   d.Disk.DroppedRecords,
+			DiskRecoveries:   d.Disk.Recoveries,
+		}
+		if !d.Scrub.LastPassAt.IsZero() {
+			hs.LastScrubAge = time.Since(d.Scrub.LastPassAt).Round(time.Second).String()
+		}
+		resp.Storage = hs
 		hd := &HealthDurability{
 			WALRecords:       d.WAL.RecordsAppended,
 			WALSegments:      d.WAL.Segments,

@@ -1,0 +1,190 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildSealedLog appends records across several segments and returns the
+// sealed segment indexes (ascending) after closing the log.
+func buildSealedLog(t *testing.T, dir string, segments, perSeg int) []uint64 {
+	t.Helper()
+	l, err := Open(Options{Dir: dir, Policy: SyncAlways, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sealed []uint64
+	for s := 0; s < segments; s++ {
+		for r := 0; r < perSeg; r++ {
+			if err := l.Append(Record{Type: 1, Data: []byte{byte(s), byte(r), 0xaa}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sealed = append(sealed, l.CurrentSegment())
+		if _, err := l.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sealed
+}
+
+// flipByte corrupts one byte inside a record frame of segment idx.
+func flipByte(t *testing.T, dir string, idx uint64, off int64) {
+	t.Helper()
+	path := filepath.Join(dir, SegmentName(idx))
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := []byte{0}
+	if _, err := f.ReadAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0x41
+	if _, err := f.WriteAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifySegmentFile(t *testing.T) {
+	dir := t.TempDir()
+	sealed := buildSealedLog(t, dir, 2, 5)
+
+	recs, _, err := VerifySegmentFile(nil, dir, sealed[0], 0)
+	if err != nil {
+		t.Fatalf("valid segment failed verification: %v", err)
+	}
+	if recs != 5 {
+		t.Fatalf("verified %d records, want 5", recs)
+	}
+
+	flipByte(t, dir, sealed[0], headerSize+frameOverhead+1)
+	_, _, err = VerifySegmentFile(nil, dir, sealed[0], 0)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("corrupted segment verified clean (err=%v)", err)
+	}
+	if ce.Offset != headerSize {
+		t.Fatalf("corruption reported at byte %d, want %d (frame start)", ce.Offset, headerSize)
+	}
+}
+
+func TestOpenQuarantinesCorruptSealedSegment(t *testing.T) {
+	dir := t.TempDir()
+	sealed := buildSealedLog(t, dir, 3, 4)
+	flipByte(t, dir, sealed[1], headerSize+5)
+
+	// Strict mode still refuses.
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("strict Open accepted mid-log corruption")
+	} else {
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("strict Open error = %v, want *CorruptError", err)
+		}
+	}
+
+	l, err := Open(Options{Dir: dir, QuarantineCorrupt: true})
+	if err != nil {
+		t.Fatalf("quarantining Open failed: %v", err)
+	}
+	defer l.Close()
+	st := l.Stats()
+	if st.QuarantinedSegments != 1 {
+		t.Fatalf("QuarantinedSegments = %d, want 1", st.QuarantinedSegments)
+	}
+	if st.RecoveryGaps != 1 {
+		t.Fatalf("RecoveryGaps = %d, want 1", st.RecoveryGaps)
+	}
+	// Recovered records exclude the quarantined segment (4 per segment,
+	// one of three sealed segments gone).
+	if st.RecoveredRecords != 8 {
+		t.Fatalf("RecoveredRecords = %d, want 8", st.RecoveredRecords)
+	}
+	qpath := filepath.Join(dir, SegmentName(sealed[1])+QuarantineSuffix)
+	if _, err := os.Stat(qpath); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, SegmentName(sealed[1]))); !os.IsNotExist(err) {
+		t.Fatalf("corrupt segment still present under its original name (err=%v)", err)
+	}
+	if got := CountQuarantined(nil, dir); got != 1 {
+		t.Fatalf("CountQuarantined = %d, want 1", got)
+	}
+
+	// Replay sees only the surviving segments, in order, no error.
+	var seen []uint64
+	if err := l.Replay(0, func(seg uint64, rec Record) error {
+		seen = append(seen, seg)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay over the gap failed: %v", err)
+	}
+	if len(seen) != 8 {
+		t.Fatalf("replayed %d records, want 8", len(seen))
+	}
+	for _, seg := range seen {
+		if seg == sealed[1] {
+			t.Fatal("replay surfaced a record from the quarantined segment")
+		}
+	}
+
+	// A second restart over the gap is clean (the quarantined name no
+	// longer parses as a segment) and still reports the gap.
+	l.Close()
+	l2, err := Open(Options{Dir: dir, QuarantineCorrupt: true})
+	if err != nil {
+		t.Fatalf("restart over quarantine gap failed: %v", err)
+	}
+	defer l2.Close()
+	if st := l2.Stats(); st.RecoveryGaps == 0 {
+		t.Fatal("restart did not report the recovery gap")
+	}
+}
+
+func TestLogQuarantineLiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(Record{Type: 1, Data: []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+	sealedIdx := l.CurrentSegment()
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := l.Quarantine(l.CurrentSegment()); err == nil {
+		t.Fatal("quarantining the active segment succeeded")
+	}
+	if err := l.Quarantine(sealedIdx + 100); err == nil {
+		t.Fatal("quarantining an unknown segment succeeded")
+	}
+
+	if err := l.Quarantine(sealedIdx); err != nil {
+		t.Fatalf("quarantining sealed segment: %v", err)
+	}
+	if got := l.Stats().QuarantinedSegments; got != 1 {
+		t.Fatalf("QuarantinedSegments = %d, want 1", got)
+	}
+	for _, s := range l.SealedSegments() {
+		if s == sealedIdx {
+			t.Fatal("quarantined segment still listed as sealed")
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, SegmentName(sealedIdx)+QuarantineSuffix)); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if err := l.Quarantine(sealedIdx); err == nil {
+		t.Fatal("double quarantine succeeded")
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -172,6 +173,16 @@ type Options struct {
 	// DefaultMaxRecordBytes).
 	MaxRecordBytes int
 
+	// QuarantineCorrupt changes how Open treats mid-log corruption in a
+	// sealed (non-newest) segment: instead of refusing to start, the
+	// corrupt segment is renamed aside with QuarantineSuffix and recovery
+	// resumes from the next valid segment boundary, reporting the gap in
+	// Stats. The default (false) keeps the strict fail-fast behaviour;
+	// store.Durable opts in because its recovery can re-cover the gap
+	// from the newest checkpoint and the anti-entropy digests catch any
+	// replica the gap diverged.
+	QuarantineCorrupt bool
+
 	// Logf, when set, receives recovery notes (torn tails truncated,
 	// segments removed).
 	Logf func(format string, args ...interface{})
@@ -221,6 +232,13 @@ type Stats struct {
 	// scan discarded.
 	RecoveredRecords   int64
 	TornBytesTruncated int64
+
+	// QuarantinedSegments counts segments this Log renamed aside (at Open
+	// under QuarantineCorrupt, or live via Quarantine). RecoveryGaps is
+	// the number of missing segment indexes inside the live range at
+	// Open — each gap is a span of records that recovery skipped.
+	QuarantinedSegments int64
+	RecoveryGaps        int
 }
 
 // Log is an append-only, CRC-framed, segmented write-ahead log. It is safe
@@ -233,18 +251,20 @@ type Log struct {
 	cur     File
 	curSeg  uint64
 	curSize int64
-	segs    []uint64          // live segment indexes, ascending (includes curSeg)
-	sizes   map[uint64]int64  // live segment sizes in bytes (curSeg tracks curSize)
-	notify  chan struct{}     // closed+replaced on append: wakes WaitFrom
-	dirty   bool              // bytes written since the last sync
+	segs    []uint64         // live segment indexes, ascending (includes curSeg)
+	sizes   map[uint64]int64 // live segment sizes in bytes (curSeg tracks curSize)
+	notify  chan struct{}    // closed+replaced on append: wakes WaitFrom
+	dirty   bool             // bytes written since the last sync
 	closed  bool
 
-	records   int64
-	bytes     int64
-	fsyncs    int64
-	recovered int64
-	tornBytes int64
-	fsyncLat  *metrics.Recorder
+	records     int64
+	bytes       int64
+	fsyncs      int64
+	recovered   int64
+	tornBytes   int64
+	quarantined int64
+	gaps        int
+	fsyncLat    *metrics.Recorder
 
 	stopFlush chan struct{}
 	flushDone chan struct{}
@@ -304,7 +324,22 @@ func Open(o Options) (*Log, error) {
 		recs, validLen, scanErr := scanSegment(data, idx, opts.MaxRecordBytes)
 		last := i == len(segs)-1
 		if scanErr != nil && !last {
-			return nil, &CorruptError{Path: path, Offset: int64(validLen), Reason: scanErr.Error()}
+			if !opts.QuarantineCorrupt {
+				return nil, &CorruptError{Path: path, Offset: int64(validLen), Reason: scanErr.Error()}
+			}
+			// Mid-log corruption with quarantine enabled: pull the whole
+			// segment aside (a partial replay of an interior segment would
+			// resurrect a state the log never contained) and leave a gap
+			// for recovery to report. Records above the newest checkpoint
+			// that lived here are lost locally; anti-entropy digests
+			// detect and repair any replica this diverges.
+			opts.Logf("wal: quarantining corrupt sealed segment %s (byte %d: %s)", path, validLen, scanErr)
+			if err := quarantineFile(opts.FS, opts.Dir, path); err != nil {
+				return nil, err
+			}
+			l.quarantined++
+			segs[i] = 0 // mark removed
+			continue
 		}
 		if scanErr != nil {
 			// Torn tail on the newest segment: truncate at the first bad
@@ -337,6 +372,37 @@ func Open(o Options) (*Log, error) {
 		}
 	}
 	l.segs = append([]uint64(nil), live...)
+	for i := 1; i < len(l.segs); i++ {
+		if missing := int(l.segs[i] - l.segs[i-1] - 1); missing > 0 {
+			l.gaps += missing
+			opts.Logf("wal: recovery gap: segments %d..%d missing (quarantined or lost)",
+				l.segs[i-1]+1, l.segs[i]-1)
+		}
+	}
+	// A gap at the front of the log is invisible to the pairwise scan:
+	// detect it through quarantined segment files at or above the
+	// checkpoint barrier the MinSegment floor encodes — those records
+	// would otherwise have been replayed. Quarantine files below the
+	// floor are old decay already healed by a later checkpoint.
+	if names, err := opts.FS.ReadDirNames(opts.Dir); err == nil {
+		var floor uint64
+		if opts.MinSegment > 0 {
+			floor = opts.MinSegment - 1
+		}
+		for _, name := range names {
+			if !strings.HasSuffix(name, QuarantineSuffix) {
+				continue
+			}
+			idx, ok := parseSegmentName(strings.TrimSuffix(name, QuarantineSuffix))
+			if !ok || idx < floor {
+				continue
+			}
+			if len(l.segs) == 0 || idx < l.segs[0] {
+				l.gaps++
+				opts.Logf("wal: recovery gap: segment %d quarantined ahead of the live log", idx)
+			}
+		}
+	}
 
 	next := uint64(1)
 	if n := len(l.segs); n > 0 {
@@ -648,14 +714,16 @@ func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return Stats{
-		RecordsAppended:    l.records,
-		BytesAppended:      l.bytes,
-		Fsyncs:             l.fsyncs,
-		FsyncLatency:       l.fsyncLat.Summarize(),
-		Segments:           len(l.segs),
-		CurrentSegment:     l.curSeg,
-		RecoveredRecords:   l.recovered,
-		TornBytesTruncated: l.tornBytes,
+		RecordsAppended:     l.records,
+		BytesAppended:       l.bytes,
+		Fsyncs:              l.fsyncs,
+		FsyncLatency:        l.fsyncLat.Summarize(),
+		Segments:            len(l.segs),
+		CurrentSegment:      l.curSeg,
+		RecoveredRecords:    l.recovered,
+		TornBytesTruncated:  l.tornBytes,
+		QuarantinedSegments: l.quarantined,
+		RecoveryGaps:        l.gaps,
 	}
 }
 
