@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check crash repl fuzz obs overload scrub vuln cover bench repl-bench obs-bench load-bench scrub-bench corpus corpus-bench benchall experiments clean
+.PHONY: all build vet test race check crash repl part fuzz obs overload scrub vuln cover bench repl-bench obs-bench load-bench scrub-bench part-bench corpus corpus-bench benchall experiments clean
 
 all: build check
 
@@ -16,6 +16,7 @@ check: vet
 	$(GO) test -race ./...
 	$(MAKE) crash
 	$(MAKE) repl
+	$(MAKE) part
 	$(MAKE) obs
 	$(MAKE) overload
 	$(MAKE) scrub
@@ -32,6 +33,17 @@ crash:
 # primary + 2 replica subprocess run, and the operator CLI flow.
 repl:
 	$(GO) test -race -run 'Replica|Partition|Chaos|Promot|Stream|Replication|Idempotent|Cluster|NotPrimary' ./internal/replication ./internal/tagserver ./cmd/bftagd ./cmd/bfctl
+
+# part runs the partitioned-cluster suites race-enabled: the ring codec
+# and split arithmetic, the golden byte-equivalence suite (2- and
+# 3-partition verdicts identical to a single node), the router/merge
+# unit suites, and the 3-partition × 2-replica subprocess chaos run
+# (primary kill -9 + fenced promotion, mid-split kill -9 of the
+# filtered bootstrap, live reshard with ring flip + prune, zero
+# acked-write loss at fsync=always).
+part:
+	$(GO) test -race ./internal/partition
+	$(GO) test -race -run 'PartitionChaos' ./cmd/bftagd
 
 # obs runs the observability suites race-enabled: the deterministic-clock
 # registry/exposition golden tests, the trace ring + propagation suites,
@@ -84,6 +96,7 @@ fuzz:
 	$(GO) test -fuzz 'FuzzLoadSnapshot' -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -fuzz 'FuzzRestoreBinarySnapshot' -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -fuzz 'FuzzDecodeDigest' -fuzztime $(FUZZTIME) ./internal/index
+	$(GO) test -fuzz 'FuzzDecodeRing' -fuzztime $(FUZZTIME) ./internal/partition
 
 build:
 	$(GO) build ./...
@@ -130,6 +143,13 @@ load-bench:
 # bar) and records it as BENCH_8.json.
 scrub-bench:
 	$(GO) run ./cmd/bfbench -experiment scrub-overhead -benchjson BENCH_8.json
+
+# part-bench measures aggregate observe throughput as the keyspace
+# spreads over 1/2/3 partitions of fixed per-node capacity behind the
+# routing tier (the ≥1.6x-at-2-partitions bar) and records it as
+# BENCH_9.json.
+part-bench:
+	$(GO) run ./cmd/bfbench -experiment partition -benchjson BENCH_9.json
 
 # corpus is the memory-regression gate in check: load 1M distinct hashes
 # (the paper's corpus is ~10M across 180 e-books), measure bytes/hash and

@@ -254,6 +254,25 @@ func run(args []string) error {
 			}
 			return r.Format(), nil
 		},
+		"partition": func() (string, error) {
+			r, err := expt.RunPartition(expt.DefaultPartBenchConfig())
+			if err != nil {
+				return "", err
+			}
+			// -benchjson records the partition scaling series (BENCH_9.json);
+			// only when partition is the selected experiment, same convention
+			// as replication above.
+			if *benchJSON != "" && *experiment == "partition" {
+				data, err := json.MarshalIndent(r, "", "  ")
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+					return "", fmt.Errorf("write %s: %w", *benchJSON, err)
+				}
+			}
+			return r.Format(), nil
+		},
 		"scrub-overhead": func() (string, error) {
 			r, err := expt.RunScrubOverhead(scale, params)
 			if err != nil {
@@ -278,7 +297,7 @@ func run(args []string) error {
 	order := []string{"table1", "fig8", "fig9a", "fig9b", "fig9adoc",
 		"fig9bdoc", "fig10", "fig11", "fig12", "fig13", "ablation-cache",
 		"ablation-auth", "ablation-winnow", "baseline", "orgsim", "usability",
-		"hotpath", "replication", "obs-overhead", "scrub-overhead"}
+		"hotpath", "replication", "obs-overhead", "scrub-overhead", "partition"}
 
 	selected := order
 	if *experiment != "all" {

@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 
@@ -62,6 +63,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		lp   = fs.String("lp", "", "comma-separated privilege tags (add-service)")
 		lc   = fs.String("lc", "", "comma-separated confidentiality tags (add-service)")
 
+		srcPartition = fs.String("src-partition", "", "partition being split (split)")
+		splitAt      = fs.Uint64("split-at", 0, "last partition key the source keeps (split)")
+		newPartition = fs.String("new-partition", "", "partition ID for the moved range (split)")
+		target       = fs.String("target", "", "split-target replica URL to promote (split)")
+		targetNodes  = fs.String("target-nodes", "", "comma-separated node URLs of the new partition group (split; default: -target)")
+
 		service = fs.String("service", "", "origin service (observe)")
 		seg     = fs.String("seg", "", "segment ID")
 		text    = fs.String("text", "", "text ('-' reads stdin)")
@@ -74,12 +81,28 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return errors.New("command required: init, add-service, observe, check, sources, attribute, suppress, allocate, grant, label, stats, audit, promote, repl-status, metrics, trace, fsck, scrub-status")
+		return errors.New("command required: init, add-service, observe, check, sources, attribute, suppress, allocate, grant, label, stats, audit, promote, repl-status, split, ring, metrics, trace, fsck, scrub-status")
 	}
 	cmd := fs.Arg(0)
 
 	// Replication operator commands talk to /v1/repl/* directly.
 	if handled, err := dispatchRepl(cmd, *serverURL, *oldPrimary, *force, stdout); handled {
+		return err
+	}
+
+	// Partition operator commands: `split` reshards a partition live,
+	// `ring` prints the whole-cluster topology.
+	if *splitAt > math.MaxUint32 {
+		return fmt.Errorf("-split-at %d exceeds the 32-bit keyspace", *splitAt)
+	}
+	var tnodes []string
+	if *targetNodes != "" {
+		tnodes = strings.Split(*targetNodes, ",")
+	}
+	if handled, err := dispatchPart(cmd, splitArgs{
+		server: *serverURL, srcID: *srcPartition, at: uint32(*splitAt),
+		newID: *newPartition, target: *target, targetNodes: tnodes, force: *force,
+	}, stdout); handled {
 		return err
 	}
 

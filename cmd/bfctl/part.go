@@ -1,0 +1,250 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/lsds/browserflow/internal/partition"
+)
+
+// partGetRing fetches and decodes a node's installed ring.
+func partGetRing(base string) (*partition.Ring, error) {
+	resp, err := replHTTP.Get(strings.TrimRight(base, "/") + "/v1/part/ring")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return partition.DecodeRing(body)
+}
+
+// partSetRing installs an encoded ring on a node.
+func partSetRing(base string, encoded []byte) error {
+	resp, err := replHTTP.Post(strings.TrimRight(base, "/")+"/v1/part/ring",
+		"application/octet-stream", bytes.NewReader(encoded))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// partPrune drops the inclusive key range [lo, hi] on a node.
+func partPrune(base string, lo, hi uint32) (int, error) {
+	payload, err := json.Marshal(map[string]uint32{"lo": lo, "hi": hi})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := replHTTP.Post(strings.TrimRight(base, "/")+"/v1/part/prune",
+		"application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var out struct {
+		Removed int `json:"removed"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return 0, fmt.Errorf("decode prune response: %w", err)
+	}
+	return out.Removed, nil
+}
+
+// nodeHealth is the slice of /healthz the topology view needs.
+type nodeHealth struct {
+	Status      string `json:"status"`
+	Replication *struct {
+		Role string `json:"role"`
+		Term uint64 `json:"term"`
+	} `json:"replication"`
+	Partition *struct {
+		ID          string `json:"id"`
+		RingVersion uint64 `json:"ringVersion"`
+		Resharding  bool   `json:"resharding"`
+	} `json:"partition"`
+}
+
+func getNodeHealth(base string) (nodeHealth, error) {
+	var h nodeHealth
+	resp, err := replHTTP.Get(strings.TrimRight(base, "/") + "/healthz")
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// runTopology prints the whole-cluster view: every partition's key range
+// and every member node's role, term and ring version — the operator's
+// one-look answer to "who owns what, and does everyone agree on the
+// topology".
+func runTopology(ring *partition.Ring, stdout io.Writer) {
+	fmt.Fprintf(stdout, "ring:     v%d, %d partitions\n", ring.Version, len(ring.Partitions))
+	for _, p := range ring.Partitions {
+		fmt.Fprintf(stdout, "partition %s  range [%d, %d]\n", p.ID, p.Lo, p.Hi)
+		for _, node := range p.Nodes {
+			h, err := getNodeHealth(node)
+			if err != nil {
+				fmt.Fprintf(stdout, "  %-28s unreachable: %v\n", node, err)
+				continue
+			}
+			role, term := "standalone", uint64(0)
+			if h.Replication != nil {
+				role, term = h.Replication.Role, h.Replication.Term
+			}
+			line := fmt.Sprintf("  %-28s %-8s term %d", node, role, term)
+			if h.Partition != nil {
+				line += fmt.Sprintf("  ring v%d", h.Partition.RingVersion)
+				if h.Partition.RingVersion != ring.Version {
+					line += " (STALE)"
+				}
+				if h.Partition.Resharding {
+					line += " resharding"
+				}
+			}
+			fmt.Fprintln(stdout, line)
+		}
+	}
+}
+
+// splitArgs carries the `split` command's inputs.
+type splitArgs struct {
+	server      string // source partition primary
+	srcID       string // partition being split
+	at          uint32 // last key the source keeps
+	newID       string // ID for the moved range's partition
+	target      string // split-target replica to promote
+	targetNodes []string
+	force       bool
+}
+
+// runSplit drives a live reshard to completion:
+//
+//  1. fetch the ring from the source and build version v+1 with the
+//     range [at+1, hi] moved to newID;
+//  2. refuse while the split target still lags the source (its filtered
+//     mirror is missing acked writes) unless -force;
+//  3. promote the target under a bumped fencing term, so the source's
+//     guard 421s any write that races the flip;
+//  4. install the new ring on every node (source first — it must stop
+//     claiming the moved range before the prune);
+//  5. prune the moved range from the source.
+//
+// Every step is idempotent: re-running a half-finished split converges.
+func runSplit(a splitArgs, stdout io.Writer) error {
+	ring, err := partGetRing(a.server)
+	if err != nil {
+		return fmt.Errorf("fetch ring from %s: %w", a.server, err)
+	}
+	src, ok := ring.ByID(a.srcID)
+	if !ok {
+		return fmt.Errorf("ring v%d has no partition %q", ring.Version, a.srcID)
+	}
+	srcHi := src.Hi
+	if len(a.targetNodes) == 0 {
+		a.targetNodes = []string{a.target}
+	}
+	next, err := partition.SplitRing(ring, a.srcID, a.at, a.newID, a.targetNodes)
+	if err != nil {
+		return err
+	}
+
+	st, err := replGetStatus(a.target)
+	if err != nil {
+		return fmt.Errorf("status %s: %w", a.target, err)
+	}
+	if st.Role != "primary" {
+		if st.LagRecords > 0 && !a.force {
+			return fmt.Errorf("split target lags source by %d records; wait for catch-up or pass -force to abandon them", st.LagRecords)
+		}
+		if err := runPromote(a.target, "", a.force, stdout); err != nil {
+			return fmt.Errorf("promote split target: %w", err)
+		}
+	} else {
+		fmt.Fprintf(stdout, "split target %s already primary at term %d\n", a.target, st.Term)
+	}
+
+	encoded, err := partition.EncodeRing(next)
+	if err != nil {
+		return err
+	}
+	// The source must flip first: once the new ring is in, it answers 421
+	// for the moved range instead of accepting writes the target will
+	// never see.
+	if err := partSetRing(a.server, encoded); err != nil {
+		return fmt.Errorf("install ring v%d on source %s: %w", next.Version, a.server, err)
+	}
+	fmt.Fprintf(stdout, "ring v%d installed on source %s\n", next.Version, a.server)
+	for _, p := range next.Partitions {
+		for _, node := range p.Nodes {
+			if node == a.server {
+				continue
+			}
+			if err := partSetRing(node, encoded); err != nil {
+				fmt.Fprintf(stdout, "warning: install ring v%d on %s: %v (routers will carry it on first 421)\n", next.Version, node, err)
+				continue
+			}
+			fmt.Fprintf(stdout, "ring v%d installed on %s\n", next.Version, node)
+		}
+	}
+
+	removed, err := partPrune(a.server, a.at+1, srcHi)
+	if err != nil {
+		return fmt.Errorf("prune moved range on source: %w", err)
+	}
+	fmt.Fprintf(stdout, "split complete: %s keeps [%d, %d], %s owns [%d, %d] (%d segments pruned from source)\n",
+		a.srcID, src.Lo, a.at, a.newID, a.at+1, srcHi, removed)
+	return nil
+}
+
+// dispatchPart routes the partition operator commands; it reports
+// whether cmd was one of them.
+func dispatchPart(cmd string, a splitArgs, stdout io.Writer) (bool, error) {
+	switch cmd {
+	case "split":
+		switch {
+		case a.server == "":
+			return true, errors.New("split requires -server (the source partition primary)")
+		case a.srcID == "":
+			return true, errors.New("split requires -src-partition")
+		case a.newID == "":
+			return true, errors.New("split requires -new-partition")
+		case a.target == "":
+			return true, errors.New("split requires -target (the filtered replica to promote)")
+		}
+		return true, runSplit(a, stdout)
+	case "ring":
+		if a.server == "" {
+			return true, errors.New("ring requires -server")
+		}
+		ring, err := partGetRing(a.server)
+		if err != nil {
+			return true, err
+		}
+		runTopology(ring, stdout)
+		return true, nil
+	}
+	return false, nil
+}

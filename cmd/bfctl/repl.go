@@ -66,6 +66,12 @@ func runReplStatus(server string, stdout io.Writer) error {
 	if st.LastError != "" {
 		fmt.Fprintf(stdout, "last error: %s\n", st.LastError)
 	}
+	// On a partitioned node, widen to the whole-cluster view: its ring
+	// names every group, and each member's health names its role.
+	if ring, err := partGetRing(server); err == nil {
+		fmt.Fprintln(stdout)
+		runTopology(ring, stdout)
+	}
 	return nil
 }
 

@@ -39,6 +39,7 @@ import (
 	"github.com/lsds/browserflow/internal/disclosure"
 	"github.com/lsds/browserflow/internal/fingerprint"
 	"github.com/lsds/browserflow/internal/policy"
+	"github.com/lsds/browserflow/internal/segment"
 	"github.com/lsds/browserflow/internal/tagserver"
 	"github.com/lsds/browserflow/internal/tdm"
 )
@@ -108,7 +109,7 @@ func (c *collector) record(lat time.Duration, status int, err error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bfload", flag.ContinueOnError)
 	var (
-		target     = fs.String("target", "", "tag-service base URL (empty runs an in-process server)")
+		target     = fs.String("target", "", "tag-service base URL, or a comma-separated node list (primary first) driven through the failover-aware cluster client; empty runs an in-process server")
 		editors    = fs.Int("editors", 50, "editor count for the first ramp step")
 		step       = fs.Int("step", 50, "editors added per ramp step")
 		maxEditors = fs.Int("max-editors", 5000, "stop ramping past this editor count")
@@ -148,6 +149,33 @@ func run(args []string) error {
 		},
 	}
 
+	// A comma-separated target is a replicated group: drive observes
+	// through the cluster client so 421 failovers are followed instead of
+	// counted as errors.
+	obsFn := func(service, seg string, hashes []uint32) (int, error) {
+		return observe(client, base, service, seg, hashes)
+	}
+	if nodes := strings.Split(base, ","); len(nodes) > 1 {
+		cc, err := tagserver.NewClusterClient(nodes[0], nodes[1:], "bfload", fingerprint.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		obsFn = func(service, seg string, hashes []uint32) (int, error) {
+			_, err := cc.ObserveHashes(context.Background(), service, segment.ID(seg), hashes, "")
+			switch {
+			case err == nil:
+				return http.StatusOK, nil
+			case isOverloaded(err):
+				return http.StatusTooManyRequests, nil
+			case tagserver.IsUnavailable(err):
+				return http.StatusServiceUnavailable, nil
+			default:
+				return 0, err
+			}
+		}
+		fmt.Printf("bfload: cluster client over %d nodes (primary %s)\n", len(nodes), nodes[0])
+	}
+
 	report := benchReport{
 		Bench:          "BENCH_6",
 		Date:           time.Now().UTC().Format(time.RFC3339),
@@ -161,7 +189,7 @@ func run(args []string) error {
 
 	lastGood := 0
 	for n := *editors; n <= *maxEditors; n += *step {
-		res := runStep(client, base, *service, n, states, *think, *duration, *warmup)
+		res := runStep(obsFn, *service, n, states, *think, *duration, *warmup)
 		res.Breached = time.Duration(res.P99Ms*float64(time.Millisecond)) > *slo ||
 			res.ShedRate > *maxShed || res.Errors > 0
 		report.Steps = append(report.Steps, res)
@@ -193,9 +221,18 @@ func run(args []string) error {
 	return nil
 }
 
+// observeFn issues one observation, returning the effective HTTP status.
+type observeFn func(service, seg string, hashes []uint32) (int, error)
+
+// isOverloaded reports whether err is the cluster client's 429 surface.
+func isOverloaded(err error) bool {
+	_, ok := tagserver.AsOverloaded(err)
+	return ok
+}
+
 // runStep drives n open-loop editors for warmup+window; requests whose
 // intended send time falls inside the warmup are sent but not measured.
-func runStep(client *http.Client, base, service string, n int, states [][]uint32, think, window, warmup time.Duration) stepResult {
+func runStep(obsFn observeFn, service string, n int, states [][]uint32, think, window, warmup time.Duration) stepResult {
 	col := &collector{}
 	ctx, cancel := context.WithTimeout(context.Background(), warmup+window)
 	defer cancel()
@@ -207,7 +244,7 @@ func runStep(client *http.Client, base, service string, n int, states [][]uint32
 		wg.Add(1)
 		go func(e int) {
 			defer wg.Done()
-			editorLoop(ctx, client, base, service, e, states, think, measureFrom, col)
+			editorLoop(ctx, obsFn, service, e, states, think, measureFrom, col)
 		}(e)
 	}
 	wg.Wait()
@@ -240,7 +277,7 @@ func runStep(client *http.Client, base, service string, n int, states [][]uint32
 // waiting for responses (open loop). Latency for request i is measured
 // from start+i*think, the moment the keystroke happened, not from when
 // the client got around to sending it.
-func editorLoop(ctx context.Context, client *http.Client, base, service string, editor int, states [][]uint32, think time.Duration, measureFrom time.Time, col *collector) {
+func editorLoop(ctx context.Context, obsFn observeFn, service string, editor int, states [][]uint32, think time.Duration, measureFrom time.Time, col *collector) {
 	seg := fmt.Sprintf("load/e%d#p0", editor)
 	start := time.Now()
 	var inflight sync.WaitGroup
@@ -260,7 +297,7 @@ func editorLoop(ctx context.Context, client *http.Client, base, service string, 
 		inflight.Add(1)
 		go func(intended time.Time) {
 			defer inflight.Done()
-			status, err := observe(client, base, service, seg, hashes)
+			status, err := obsFn(service, seg, hashes)
 			if !intended.Before(measureFrom) {
 				col.record(time.Since(intended), status, err)
 			}

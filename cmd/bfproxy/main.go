@@ -10,6 +10,14 @@
 //	bfproxy -upstream http://host:8080 -state s.bf -passphrase pw
 //	bfproxy -upstream http://host:8080 -read-timeout 10s \
 //	        -write-timeout 30s -shutdown-grace 10s -max-body 8388608
+//	bfproxy -ring-file /etc/bf/ring -addr :8000
+//
+// With -ring-file, bfproxy instead runs the partition routing tier: a
+// stateless front over a consistent-hash-partitioned tag-service
+// cluster that speaks the classic wire API, routes single-partition
+// observes in one round trip, scatter-gathers cross-partition checks
+// with per-partition deadlines (-scatter-timeout), and follows 421
+// ring redirects as the cluster reshards.
 //
 // The gateway carries read/write timeouts, bounds inspected request
 // bodies (413 past -max-body), sheds arrivals past -max-inflight with
@@ -68,11 +76,25 @@ func run(args []string) error {
 		maxBody      = fs.Int64("max-body", proxy.DefaultMaxBodyBytes, "maximum inspected request body size in bytes (413 past this)")
 		maxInflight  = fs.Int("max-inflight", 256, "maximum concurrently served requests; arrivals past it are shed with 429 (0 disables)")
 		debugListen  = fs.String("debug-listen", "", "serve pprof + /v1/metrics + /v1/debug/traces on this address (loopback only; empty disables)")
+		ringFile     = fs.String("ring-file", "", "partition ring file: serve the cluster routing tier instead of the inspecting forwarder")
+		device       = fs.String("device", "router", "device name the routing tier stamps on partition nodes' audit trails")
+		scatterTO    = fs.Duration("scatter-timeout", 5*time.Second, "per-partition deadline for scatter-gather queries (routing tier)")
 		sensitive    stringList
 	)
 	fs.Var(&sensitive, "sensitive", "file whose contents are sensitive (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ringFile != "" {
+		return runRouter(routerConfig{
+			ringFile:       *ringFile,
+			addr:           *addr,
+			device:         *device,
+			scatterTimeout: *scatterTO,
+			readTimeout:    *readTimeout,
+			writeTimeout:   *writeTimeout,
+			grace:          *grace,
+		})
 	}
 	if *upstreamRaw == "" {
 		return fmt.Errorf("-upstream is required")

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/partition"
+)
+
+// routerConfig carries the flag values the routing-tier mode uses.
+type routerConfig struct {
+	ringFile       string
+	addr           string
+	device         string
+	scatterTimeout time.Duration
+	readTimeout    time.Duration
+	writeTimeout   time.Duration
+	grace          time.Duration
+}
+
+// runRouter serves the partition routing tier: a stateless front that
+// speaks the node wire protocol to clients and scatter-gathers
+// cross-partition disclosure queries over the ring's primary groups.
+func runRouter(cfg routerConfig) error {
+	ring, err := partition.LoadRingFile(cfg.ringFile)
+	if err != nil {
+		return err
+	}
+	logf := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "bfproxy: "+format+"\n", args...)
+	}
+	rt, err := partition.NewRouter(ring, partition.RouterOptions{
+		Device:         cfg.device,
+		FP:             fingerprint.DefaultConfig(),
+		ScatterTimeout: cfg.scatterTimeout,
+		Logf:           logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+
+	// Fold the partitions' logical clocks into the router's before
+	// serving, so a restarted router stamps ahead of the cluster.
+	primeCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	rt.Prime(primeCtx)
+	cancel()
+
+	srv := &http.Server{
+		Handler:           partition.NewHandler(rt),
+		ReadTimeout:       cfg.readTimeout,
+		ReadHeaderTimeout: cfg.readTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       2 * cfg.readTimeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	fmt.Printf("bfproxy: routing tier on %s (ring v%d, %d partitions, clock %d)\n",
+		ln.Addr(), ring.Version, len(ring.Partitions), rt.Clock())
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "bfproxy: shutting down...")
+		shCtx, cancel := context.WithTimeout(context.Background(), cfg.grace)
+		defer cancel()
+		return srv.Shutdown(shCtx)
+	}
+}

@@ -100,6 +100,10 @@ func run(args []string) error {
 		advertise    = fs.String("advertise", "", "base URL peers are told to dial for this node (default: http://<listen addr>)")
 		debugListen  = fs.String("debug-listen", "", "serve pprof + /v1/metrics + /v1/debug/traces on this address (loopback only; empty disables)")
 
+		ringFile    = fs.String("ring-file", "", "partition ring file (enables partition mode; flips are persisted here)")
+		partitionID = fs.String("partition-id", "", "this node's partition ID in the ring (required with -ring-file)")
+		splitRange  = fs.String("split-range", "", "inclusive key range lo:hi this node owns during a split (filtered replica bootstrap, or restart of a promoted split target)")
+
 		admitOn        = fs.Bool("admission", true, "route observes through the admission pipeline (coalescing, bounded queues, 429 load shedding)")
 		coalesceWindow = fs.Duration("coalesce-window", 0, "debounce window folding a segment's keystroke observes into one engine call (0 folds only under backlog)")
 		admitQueue     = fs.Int("admit-queue", 4096, "interactive admission queue depth (arrivals past it are shed with 429)")
@@ -115,6 +119,20 @@ func run(args []string) error {
 	}
 	if *replicaOf != "" && *walDir == "" {
 		return fmt.Errorf("-replica-of requires -wal-dir for the mirrored log")
+	}
+	if *ringFile != "" && *partitionID == "" {
+		return fmt.Errorf("-ring-file requires -partition-id")
+	}
+	if *splitRange != "" && *ringFile == "" {
+		return fmt.Errorf("-split-range requires -ring-file")
+	}
+	var split *replication.SplitRange
+	if *splitRange != "" {
+		var serr error
+		split, serr = parseSplitRange(*splitRange)
+		if serr != nil {
+			return serr
+		}
 	}
 	mw, err := browserflow.NewFromPolicyFile(*policyPath)
 	if err != nil {
@@ -152,6 +170,26 @@ func run(args []string) error {
 		}
 	}()
 
+	// Partition mode: the node loads its ring, answers ownership 421s for
+	// segments homed elsewhere, and serves the /v1/part/* scatter-gather
+	// API to the routing tier.
+	var pstate *partState
+	if *ringFile != "" {
+		pstate, err = newPartState(*partitionID, *ringFile, split, logf)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	// Filtered snapshots let a split target bootstrap only the moving key
+	// range; the filter rebuilds the checkpoint with out-of-range index
+	// state removed (labels stay — they are global shadow state).
+	filterSnapshot := func(blob []byte, lo, hi uint32) ([]byte, error) {
+		return store.FilterSnapshotRange(blob, mw.Tracker().Params(), lo, hi)
+	}
+	primaryOpts := replication.PrimaryOptions{Logf: logf, FilterSnapshot: filterSnapshot}
+
 	// Replication state: every durable node gets a fencing term and the
 	// /v1/repl/* API; plain snapshot-mode nodes are standalone.
 	var node *replication.Node
@@ -175,7 +213,7 @@ func run(args []string) error {
 			ln.Close()
 			return err
 		}
-		replService = replication.NewService(node, replication.PrimaryOptions{Logf: logf}, logf)
+		replService = replication.NewService(node, primaryOpts, logf)
 		replService.SetObs(o)
 		replService.OnPromote(func(d *store.Durable) {
 			durableBox.Store(d)
@@ -224,6 +262,7 @@ func run(args []string) error {
 			PromoteFsync:           policy,
 			PromoteFsyncInterval:   *fsyncEvery,
 			PromoteCheckpointEvery: *ckptEvery,
+			Split:                  split,
 			Logf:                   logf,
 			Obs:                    o,
 		})
@@ -255,6 +294,7 @@ func run(args []string) error {
 			ScrubEvery:      *scrubEvery,
 			ScrubRateMB:     *scrubRateMB,
 			OnDiskFull:      *onDiskFull,
+			SegmentFilter:   durableSegmentFilter(split),
 			// Disk-fault policy follows the engine mode: an advisory
 			// deployment keeps serving verdicts from memory on a dead disk
 			// (fail-open); enforcing/encrypting deployments stop acking
@@ -278,7 +318,7 @@ func run(args []string) error {
 		}
 
 		mw.Engine().SetJournal(durable)
-		replService.SetPrimary(replication.NewPrimary(node, durable, replication.PrimaryOptions{Logf: logf}))
+		replService.SetPrimary(replication.NewPrimary(node, durable, primaryOpts))
 
 		rec := durable.Stats().Recovery
 		fmt.Printf("bftagd: durability on (%s, fsync=%s): recovered %d WAL records", *walDir, policy, rec.RecordsReplayed)
@@ -323,6 +363,9 @@ func run(args []string) error {
 		defer pipeline.Close(context.Background()) //nolint:errcheck
 	}
 
+	if pstate != nil {
+		serverOpts = append(serverOpts, tagserver.WithPartition(pstate))
+	}
 	server, err := tagserver.NewServer(mw.Engine(), serverOpts...)
 	if err != nil {
 		return err

@@ -1,0 +1,350 @@
+package expt
+
+// Scatter-gather scaling benchmark for the partitioned cluster
+// (BENCH_9.json). P in-process partition nodes — each with a fixed
+// per-node service capacity — sit behind the same Router the bfproxy
+// routing tier serves. The workload models a deployed tag service:
+// most observes are re-observations that hit the home partition's
+// decision cache in one round trip, a few percent are novel segments
+// that pay the full two-phase cross-partition resolve. It measures
+// aggregate observe throughput at 1, 2 and 3 partitions; the paper's
+// claim is that the single-partition round trip keeps the common case
+// flat, so capacity scales with the partition count.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/partition"
+	"github.com/lsds/browserflow/internal/segment"
+	"github.com/lsds/browserflow/internal/tagserver"
+)
+
+// PartBenchConfig sizes the partition benchmark.
+type PartBenchConfig struct {
+	// Observes per measured point.
+	Observes int
+
+	// Workers is the number of concurrent clients driving the router.
+	Workers int
+
+	// HotSegs is the size of the re-observed working set.
+	HotSegs int
+
+	// NovelPermille is the per-mille share of observes that are novel
+	// segments (full cross-partition resolve); the rest re-observe the
+	// hot set and hit the decision cache.
+	NovelPermille int
+
+	// NodeInflight caps concurrent requests per node and ServiceTime is
+	// the simulated per-request service cost, together modelling a node
+	// of fixed capacity so the scaling measured is the routing tier's,
+	// not the test host's.
+	NodeInflight int
+	ServiceTime  time.Duration
+
+	// Partitions lists the cluster sizes measured.
+	Partitions []int
+
+	// Seed feeds the deterministic workload generator.
+	Seed int64
+}
+
+// DefaultPartBenchConfig returns the sizing used by `make part-bench`.
+func DefaultPartBenchConfig() PartBenchConfig {
+	return PartBenchConfig{
+		Observes:      2400,
+		Workers:       48,
+		HotSegs:       240,
+		NovelPermille: 30,
+		NodeInflight:  2,
+		ServiceTime:   5 * time.Millisecond,
+		Partitions:    []int{1, 2, 3},
+		Seed:          1,
+	}
+}
+
+// PartBenchPoint is one cluster-size measurement.
+type PartBenchPoint struct {
+	Partitions   int     `json:"partitions"`
+	Observes     int     `json:"observes"`
+	ObserveQPS   float64 `json:"observeQPS"`
+	SpeedupVsOne float64 `json:"speedupVsOne"`
+}
+
+// PartBenchResult is the serialisable outcome of the partition
+// benchmark.
+type PartBenchResult struct {
+	HotSegs       int              `json:"hotSegs"`
+	NovelPermille int              `json:"novelPermille"`
+	NodeInflight  int              `json:"nodeInflight"`
+	ServiceMicros float64          `json:"serviceMicros"`
+	Points        []PartBenchPoint `json:"points"`
+}
+
+// Format renders the result as a text table.
+func (r PartBenchResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Partitioned observe throughput (%d-segment hot set, %d‰ novel, %d inflight × %.0fµs per node)\n",
+		r.HotSegs, r.NovelPermille, r.NodeInflight, r.ServiceMicros)
+	fmt.Fprintf(&b, "  %-12s %-10s %-12s %s\n", "partitions", "observes", "observe QPS", "speedup")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %-12d %-10d %-12.0f %.2fx\n", p.Partitions, p.Observes, p.ObserveQPS, p.SpeedupVsOne)
+	}
+	return b.String()
+}
+
+// partBenchState is a fixed-ring PartitionState for in-process nodes.
+type partBenchState struct {
+	id   string
+	ring *partition.Ring
+	enc  []byte
+}
+
+func (ps *partBenchState) ID() string          { return ps.id }
+func (ps *partBenchState) RingVersion() uint64 { return ps.ring.Version }
+func (ps *partBenchState) Owns(seg segment.ID) bool {
+	p, ok := ps.ring.ByID(ps.id)
+	return ok && p.Contains(segment.Key(seg))
+}
+func (ps *partBenchState) KeyRange() (uint32, uint32) {
+	p, _ := ps.ring.ByID(ps.id)
+	return p.Lo, p.Hi
+}
+func (ps *partBenchState) Sole() bool        { return len(ps.ring.Partitions) == 1 }
+func (ps *partBenchState) Resharding() bool  { return false }
+func (ps *partBenchState) RingBytes() []byte { return ps.enc }
+func (ps *partBenchState) SetRing([]byte) (uint64, error) {
+	return 0, fmt.Errorf("partbench: ring is fixed")
+}
+
+// cappedHandler models a node of fixed capacity: at most inflight
+// requests in service, each costing cost of simulated work. Without
+// this, in-process nodes share the host's cores and the partition count
+// would not change aggregate capacity.
+type cappedHandler struct {
+	h        http.Handler
+	inflight chan struct{}
+	cost     time.Duration
+}
+
+func (c *cappedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.inflight <- struct{}{}
+	defer func() { <-c.inflight }()
+	time.Sleep(c.cost)
+	c.h.ServeHTTP(w, r)
+}
+
+// startPartBenchCluster brings up p capped partition nodes and a router
+// over them.
+func startPartBenchCluster(p int, cfg PartBenchConfig) (*partition.Router, func(), error) {
+	var (
+		servers []*httptest.Server
+		states  []*partBenchState
+		urls    []string
+	)
+	cleanup := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for i := 0; i < p; i++ {
+		_, _, engine, err := newReplBenchEngine(disclosure.DefaultParams())
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		ps := &partBenchState{id: fmt.Sprintf("p%d", i)}
+		server, err := tagserver.NewServer(engine, tagserver.WithPartition(ps))
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		srv := httptest.NewServer(&cappedHandler{
+			h:        server,
+			inflight: make(chan struct{}, cfg.NodeInflight),
+			cost:     cfg.ServiceTime,
+		})
+		servers = append(servers, srv)
+		states = append(states, ps)
+		urls = append(urls, srv.URL)
+	}
+	ring, err := evenPartBenchRing(urls)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	enc, err := partition.EncodeRing(ring)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	for _, ps := range states {
+		ps.ring, ps.enc = ring, enc
+	}
+	rt, err := partition.NewRouter(ring, partition.RouterOptions{FP: fingerprint.DefaultConfig()})
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	rt.Prime(context.Background())
+	return rt, cleanup, nil
+}
+
+// evenPartBenchRing splits the keyspace into equal inclusive ranges.
+func evenPartBenchRing(urls []string) (*partition.Ring, error) {
+	p := len(urls)
+	width := (uint64(1) << 32) / uint64(p)
+	ring := &partition.Ring{Version: 1}
+	for i := 0; i < p; i++ {
+		lo := uint32(uint64(i) * width)
+		hi := uint32((uint64(1) << 32) - 1)
+		if i < p-1 {
+			hi = uint32(uint64(i+1)*width - 1)
+		}
+		ring.Partitions = append(ring.Partitions, partition.Partition{
+			ID: fmt.Sprintf("p%d", i), Lo: lo, Hi: hi, Nodes: []string{urls[i]},
+		})
+	}
+	if err := ring.Validate(); err != nil {
+		return nil, err
+	}
+	return ring, nil
+}
+
+// partBenchOp is one pre-generated observation.
+type partBenchOp struct {
+	seg    segment.ID
+	hashes []uint32
+}
+
+// stratifiedSeg mints a segment name whose placement key falls in
+// keyspace sextile i%6, advancing the shared name counter until one
+// lands there. Six strata divide evenly into both the 2- and
+// 3-partition rings.
+func stratifiedSeg(prefix string, i int, seq *int) segment.ID {
+	width := (uint64(1) << 32) / 6
+	j := uint64(i % 6)
+	lo := uint32(j * width)
+	hi := uint32((uint64(1) << 32) - 1)
+	if j < 5 {
+		hi = uint32((j+1)*width - 1)
+	}
+	for {
+		*seq++
+		seg := segment.ID(fmt.Sprintf("%s%d#p0", prefix, *seq))
+		if k := segment.Key(seg); k >= lo && k <= hi {
+			return seg
+		}
+	}
+}
+
+// RunPartition measures aggregate observe throughput as the keyspace
+// spreads over 1..N partitions of fixed per-node capacity.
+func RunPartition(cfg PartBenchConfig) (PartBenchResult, error) {
+	res := PartBenchResult{
+		HotSegs:       cfg.HotSegs,
+		NovelPermille: cfg.NovelPermille,
+		NodeInflight:  cfg.NodeInflight,
+		ServiceMicros: float64(cfg.ServiceTime.Microseconds()),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	randHashes := func() []uint32 {
+		hs := make([]uint32, 40)
+		for i := range hs {
+			hs[i] = rng.Uint32()
+		}
+		return hs
+	}
+	// A production working set is large enough that hash placement
+	// balances; a few hundred benchmark segments are not, and sampling
+	// noise would skew per-partition load. Stratify generated segments
+	// across keyspace sextiles so the set splits evenly at both two and
+	// three partitions.
+	nameSeq := 0
+	hot := make([]partBenchOp, cfg.HotSegs)
+	for i := range hot {
+		hot[i] = partBenchOp{
+			seg:    stratifiedSeg("pad/hot", i, &nameSeq),
+			hashes: randHashes(),
+		}
+	}
+
+	for _, p := range cfg.Partitions {
+		rt, cleanup, err := startPartBenchCluster(p, cfg)
+		if err != nil {
+			return res, err
+		}
+		// Warm the working set so the measured 90% are cache hits, the
+		// way a long-lived deployment re-observes stable pages.
+		ctx := context.Background()
+		for _, op := range hot {
+			if _, err := rt.ObserveHashes(ctx, "pad", op.seg, op.hashes, ""); err != nil {
+				cleanup()
+				return res, fmt.Errorf("partbench: warmup p=%d: %w", p, err)
+			}
+		}
+		// Pre-generate each worker's op stream: mostly hot re-observes,
+		// NovelPermille novel segments paying the cross-partition resolve.
+		per := cfg.Observes / cfg.Workers
+		streams := make([][]partBenchOp, cfg.Workers)
+		for w := range streams {
+			ops := make([]partBenchOp, per)
+			for i := range ops {
+				if rng.Intn(1000) < cfg.NovelPermille {
+					ops[i] = partBenchOp{
+						seg:    stratifiedSeg(fmt.Sprintf("pad/novel-p%d-", p), w*per+i, &nameSeq),
+						hashes: randHashes(),
+					}
+				} else {
+					ops[i] = hot[rng.Intn(len(hot))]
+				}
+			}
+			streams[w] = ops
+		}
+
+		var wg sync.WaitGroup
+		errCh := make(chan error, cfg.Workers)
+		start := time.Now()
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(ops []partBenchOp) {
+				defer wg.Done()
+				for _, op := range ops {
+					if _, err := rt.ObserveHashes(ctx, "pad", op.seg, op.hashes, ""); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(streams[w])
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		cleanup()
+		select {
+		case err := <-errCh:
+			return res, fmt.Errorf("partbench: p=%d: %w", p, err)
+		default:
+		}
+		point := PartBenchPoint{
+			Partitions: p,
+			Observes:   per * cfg.Workers,
+			ObserveQPS: float64(per*cfg.Workers) / elapsed.Seconds(),
+		}
+		if len(res.Points) > 0 && res.Points[0].Partitions == 1 && res.Points[0].ObserveQPS > 0 {
+			point.SpeedupVsOne = point.ObserveQPS / res.Points[0].ObserveQPS
+		} else if p == 1 {
+			point.SpeedupVsOne = 1
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}

@@ -646,6 +646,58 @@ func (db *DB) OldestHolder(h uint32) (segment.ID, bool) {
 	return db.oldestLocked(sh, h, &view)
 }
 
+// SetClockFloor raises the logical clock to at least floor (it never moves
+// the clock backwards). Partition nodes call this with the router's
+// Lamport stamp before applying a routed write, so first-observation
+// sequence numbers across independent partitions order the same way the
+// single shared clock of one node would.
+func (db *DB) SetClockFloor(floor uint64) {
+	for {
+		cur := db.clock.Load()
+		if cur >= floor {
+			return
+		}
+		if db.clock.CompareAndSwap(cur, floor) {
+			return
+		}
+	}
+}
+
+// OldestRef names the authoritative (oldest) holder of the Idx'th query
+// hash together with the logical time of its first observation. The Seq
+// is what lets a router compare authority claims across partitions: each
+// partition resolves its local oldest holder, and the partition-spanning
+// oldest is simply the reply with the smallest Seq.
+type OldestRef struct {
+	Idx int
+	Seg segment.ID
+	Seq uint64
+}
+
+// AppendOldestRefs appends an OldestRef for every hash in hs (ascending,
+// as returned by Fingerprint.Hashes) that has at least one holder, and
+// returns the extended slice. Like AppendOldestHolders it locks each hash
+// shard at most once and reuses caller capacity; unlike it, each entry
+// carries the hash's index and the holder's first-observation sequence so
+// cross-partition authority can be merged without a second round trip.
+func (db *DB) AppendOldestRefs(hs []uint32, out []OldestRef) []OldestRef {
+	view := idsView{tab: &db.segtab}
+	for i := 0; i < len(hs); {
+		si := db.hashShardIdx(hs[i])
+		sh := &db.hashShards[si]
+		j := i
+		sh.mu.RLock()
+		for ; j < len(hs) && db.hashShardIdx(hs[j]) == si; j++ {
+			if seg, seq, ok := db.oldestRefLocked(sh, hs[j], &view); ok {
+				out = append(out, OldestRef{Idx: j, Seg: seg, Seq: seq})
+			}
+		}
+		sh.mu.RUnlock()
+		i = j
+	}
+	return out
+}
+
 // AppendOldestHolders appends the oldest holder of every hash in hs
 // (ascending, as returned by Fingerprint.Hashes) to out and returns the
 // extended slice. Hashes with no holder contribute nothing; duplicates are

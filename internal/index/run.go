@@ -468,6 +468,28 @@ func (db *DB) oldestLocked(sh *hashShard, h uint32, view *idsView) (segment.ID, 
 	return headSeg, haveH
 }
 
+// oldestRefLocked is oldestLocked extended with the winning posting's
+// sequence number, for callers that compare authority across databases
+// (the cross-partition merge of the routing tier).
+func (db *DB) oldestRefLocked(sh *hashShard, h uint32, view *idsView) (segment.ID, uint64, bool) {
+	var (
+		headSeg segment.ID
+		headSeq uint64
+		haveH   bool
+	)
+	if b := sh.head[h]; b != nil && len(b.postings) > 0 {
+		headSeg, headSeq, haveH = b.postings[0].Seg, b.postings[0].Seq, true
+	}
+	if g := sh.run.find(h, db.shardBitsOf()); g >= 0 {
+		if ref, seq, ok := sh.run.firstLive(g); ok {
+			if !haveH || seq <= headSeq {
+				return view.id(ref), seq, true
+			}
+		}
+	}
+	return headSeg, headSeq, haveH
+}
+
 // oldestIsLocked reports whether seg (with interned ref, if any) is the
 // authoritative holder of h — the allocation-free comparison used by
 // AuthoritativeCount/Overlap, which never needs the ID string of the

@@ -1,0 +1,378 @@
+package partition_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/audit"
+	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/partition"
+	"github.com/lsds/browserflow/internal/policy"
+	"github.com/lsds/browserflow/internal/segment"
+	"github.com/lsds/browserflow/internal/tagserver"
+	"github.com/lsds/browserflow/internal/tdm"
+)
+
+// The golden suite holds the partitioned cluster to its core contract:
+// for the same request script, a 2- or 3-partition cluster behind the
+// routing tier answers with bytes identical to a single node. Three
+// scripts model the seed web-app scenarios: a wiki->docs paste (Dpar
+// violation), an itool->notes copy with a declassification, and
+// document-granularity edit tracking (Ddoc).
+
+// op is one scripted wire request.
+type op struct {
+	kind    string // observe, batch, check, suppress, upload, label
+	service string
+	seg     string
+	text    string
+	texts   []string // batch: one per item, segs derived
+	dest    string
+	user    string
+	tag     string
+	why     string
+	gran    string
+}
+
+// The scripts use enough distinct segments that an even 2- or 3-way
+// keyspace split places origins and destinations on different
+// partitions (asserted in TestGoldenScriptsSpanPartitions).
+const (
+	wikiPlan   = "The 2027 acquisition plan targets Initech for three hundred million dollars pending diligence on their flux capacitor patents and the retention of their core engineering group."
+	wikiBudget = "Quarterly budget review: the platform group is over plan by twelve percent, driven by the new datacenter lease and unbudgeted compliance tooling for the audit."
+	iToolPerf  = "Performance review draft for the infrastructure team lead: exceeds expectations on incident response, needs development on cross-team communication and delegation."
+	docsIntro  = "This public engineering blog post describes our migration to an incremental winnowing pipeline and the throughput lessons we learned along the way."
+)
+
+func scripts() map[string][]op {
+	return map[string][]op{
+		// A user pastes confidential wiki content into a public docs page:
+		// the observe on the docs segment must attribute the wiki origin
+		// and flag the release.
+		"wiki-paste": {
+			{kind: "observe", service: "wiki", seg: "wiki/acquisitions#p0", text: wikiPlan},
+			{kind: "observe", service: "wiki", seg: "wiki/budget#p0", text: wikiBudget},
+			{kind: "observe", service: "docs", seg: "docs/blog-draft#p0", text: docsIntro},
+			{kind: "observe", service: "docs", seg: "docs/blog-draft#p1", text: wikiPlan},
+			{kind: "check", dest: "docs", text: wikiPlan},
+			{kind: "check", dest: "docs", text: docsIntro},
+			{kind: "label", seg: "docs/blog-draft#p1"},
+			{kind: "upload", seg: "docs/blog-draft#p1", dest: "docs"},
+			{kind: "observe", service: "docs", seg: "docs/blog-draft#p1", text: wikiPlan}, // re-observe: decision cache
+		},
+		// An itool performance review is copied into notes; after a
+		// manager suppresses the tag with justification, the release
+		// check relaxes.
+		"itool-notes": {
+			{kind: "observe", service: "itool", seg: "itool/reviews#p0", text: iToolPerf},
+			{kind: "observe", service: "notes", seg: "notes/todo#p0", text: iToolPerf},
+			{kind: "label", seg: "notes/todo#p0"},
+			{kind: "upload", seg: "notes/todo#p0", dest: "notes"},
+			{kind: "suppress", user: "alice", seg: "itool/reviews#p0", tag: "ti", why: "review published"},
+			{kind: "label", seg: "itool/reviews#p0"},
+			{kind: "upload", seg: "itool/reviews#p0", dest: "notes"},
+		},
+		// Document-granularity tracking across edits, flushed as batches
+		// the way the extension ships coalesced DOM mutations.
+		"docs-edits": {
+			{kind: "observe", service: "wiki", seg: "wiki/roadmap", text: wikiPlan + " " + wikiBudget, gran: "document"},
+			{kind: "batch", service: "docs", texts: []string{docsIntro, wikiBudget}, gran: "document"},
+			{kind: "observe", service: "docs", seg: "docs/summary", text: wikiPlan + " " + docsIntro, gran: "document"},
+			{kind: "check", dest: "docs", text: wikiBudget},
+			{kind: "label", seg: "docs/summary"},
+		},
+	}
+}
+
+// newEngine builds the fixture engine: wiki and itool are confidential
+// origins, docs and notes are public destinations.
+func newEngine(t *testing.T) *policy.Engine {
+	t.Helper()
+	tracker, err := disclosure.NewTracker(disclosure.Params{
+		Fingerprint: fingerprint.DefaultConfig(),
+		Tpar:        0.5,
+		Tdoc:        0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := tdm.NewRegistry(audit.NewLog())
+	for _, svc := range []struct {
+		name     string
+		lp, lc   tdm.TagSet
+	}{
+		{"wiki", tdm.NewTagSet("tw"), tdm.NewTagSet("tw")},
+		{"itool", tdm.NewTagSet("ti"), tdm.NewTagSet("ti")},
+		{"docs", tdm.NewTagSet(), tdm.NewTagSet()},
+		{"notes", tdm.NewTagSet(), tdm.NewTagSet()},
+	} {
+		if err := registry.RegisterService(svc.name, svc.lp, svc.lc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	engine, err := policy.NewEngine(tracker, registry, policy.ModeEnforcing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine
+}
+
+// testPartState is a minimal tagserver.PartitionState over a shared ring.
+type testPartState struct {
+	id      string
+	mu      sync.Mutex
+	ring    *partition.Ring
+	encoded []byte
+}
+
+func (ps *testPartState) set(t *testing.T, r *partition.Ring) {
+	t.Helper()
+	encoded, err := partition.EncodeRing(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.mu.Lock()
+	ps.ring, ps.encoded = r, encoded
+	ps.mu.Unlock()
+}
+
+func (ps *testPartState) ID() string { return ps.id }
+
+func (ps *testPartState) RingVersion() uint64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.ring.Version
+}
+
+func (ps *testPartState) Owns(seg segment.ID) bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	p, ok := ps.ring.ByID(ps.id)
+	return ok && p.Contains(segment.Key(seg))
+}
+
+func (ps *testPartState) KeyRange() (uint32, uint32) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	p, _ := ps.ring.ByID(ps.id)
+	return p.Lo, p.Hi
+}
+
+func (ps *testPartState) Sole() bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return len(ps.ring.Partitions) == 1
+}
+
+func (ps *testPartState) Resharding() bool { return false }
+
+func (ps *testPartState) RingBytes() []byte {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.encoded
+}
+
+func (ps *testPartState) SetRing(encoded []byte) (uint64, error) {
+	ring, err := partition.DecodeRing(encoded)
+	if err != nil {
+		return 0, err
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ring.Version <= ps.ring.Version {
+		return 0, fmt.Errorf("ring v%d not newer than v%d", ring.Version, ps.ring.Version)
+	}
+	ps.ring, ps.encoded = ring, append([]byte(nil), encoded...)
+	return ring.Version, nil
+}
+
+// evenRing splits the keyspace into p equal inclusive ranges.
+func evenRing(t *testing.T, urls []string) *partition.Ring {
+	t.Helper()
+	p := len(urls)
+	width := uint64(math.MaxUint32+1) / uint64(p)
+	ring := &partition.Ring{Version: 1}
+	for i := 0; i < p; i++ {
+		lo := uint32(uint64(i) * width)
+		hi := uint32(math.MaxUint32)
+		if i < p-1 {
+			hi = uint32(uint64(i+1)*width - 1)
+		}
+		ring.Partitions = append(ring.Partitions, partition.Partition{
+			ID: fmt.Sprintf("p%d", i), Lo: lo, Hi: hi, Nodes: []string{urls[i]},
+		})
+	}
+	if err := ring.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return ring
+}
+
+// startCluster brings up p partition nodes plus a routing tier over
+// them, returning the router front's base URL.
+func startCluster(t *testing.T, p int) string {
+	t.Helper()
+	states := make([]*testPartState, p)
+	urls := make([]string, p)
+	for i := 0; i < p; i++ {
+		states[i] = &testPartState{id: fmt.Sprintf("p%d", i)}
+		server, err := tagserver.NewServer(newEngine(t), tagserver.WithPartition(states[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(server)
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	ring := evenRing(t, urls)
+	for _, ps := range states {
+		ps.set(t, ring)
+	}
+	rt, err := partition.NewRouter(ring, partition.RouterOptions{FP: fingerprint.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Prime(t.Context())
+	front := httptest.NewServer(partition.NewHandler(rt))
+	t.Cleanup(front.Close)
+	return front.URL
+}
+
+// startSingle brings up the single-node reference.
+func startSingle(t *testing.T) string {
+	t.Helper()
+	server, err := tagserver.NewServer(newEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// hashesOf fingerprints text with the shared config.
+func hashesOf(t *testing.T, text string) []uint32 {
+	t.Helper()
+	fp, err := fingerprint.Compute(text, fingerprint.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Empty() {
+		t.Fatalf("fingerprint of %q is empty; lengthen the fixture text", text[:20])
+	}
+	return fp.Hashes()
+}
+
+// play executes one op against base and returns "status\nbody".
+func play(t *testing.T, base string, o op) string {
+	t.Helper()
+	var (
+		path    string
+		payload interface{}
+	)
+	switch o.kind {
+	case "observe":
+		path = "/v1/observe"
+		payload = tagserver.ObserveRequest{Device: "golden", Service: o.service, Seg: segment.ID(o.seg), Hashes: hashesOf(t, o.text), Granularity: o.gran}
+	case "batch":
+		path = "/v1/observe/batch"
+		items := make([]tagserver.BatchObserveItem, len(o.texts))
+		for i, text := range o.texts {
+			items[i] = tagserver.BatchObserveItem{
+				Seg:         segment.ID(fmt.Sprintf("docs/batch#p%d", i)),
+				Hashes:      hashesOf(t, text),
+				Granularity: o.gran,
+			}
+		}
+		payload = tagserver.BatchObserveRequest{Device: "golden", Service: o.service, Items: items}
+	case "check":
+		path = "/v1/check"
+		payload = tagserver.CheckRequest{Device: "golden", Dest: o.dest, Hashes: hashesOf(t, o.text)}
+	case "suppress":
+		path = "/v1/suppress"
+		payload = tagserver.SuppressRequest{User: o.user, Seg: segment.ID(o.seg), Tag: tdm.Tag(o.tag), Justification: o.why}
+	case "upload":
+		path = "/v1/upload"
+		payload = tagserver.UploadRequest{Device: "golden", Seg: segment.ID(o.seg), Dest: o.dest}
+	case "label":
+		resp, err := http.Get(base + "/v1/label?seg=" + url.QueryEscape(o.seg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Sprintf("%d\n%s", resp.StatusCode, body)
+	default:
+		t.Fatalf("unknown op kind %q", o.kind)
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return fmt.Sprintf("%d\n%s", resp.StatusCode, body)
+}
+
+// TestGoldenPartitionedVerdicts replays each scenario against a single
+// node and against 2- and 3-partition clusters, requiring byte-identical
+// responses at every step.
+func TestGoldenPartitionedVerdicts(t *testing.T) {
+	for name, script := range scripts() {
+		t.Run(name, func(t *testing.T) {
+			single := startSingle(t)
+			want := make([]string, len(script))
+			for i, o := range script {
+				want[i] = play(t, single, o)
+			}
+			for _, p := range []int{2, 3} {
+				t.Run(fmt.Sprintf("partitions=%d", p), func(t *testing.T) {
+					front := startCluster(t, p)
+					for i, o := range script {
+						got := play(t, front, o)
+						if got != want[i] {
+							t.Errorf("step %d (%s %s%s): partitioned response diverged\nsingle:      %q\npartitioned: %q",
+								i, o.kind, o.seg, o.dest, want[i], got)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestGoldenScriptsSpanPartitions pins the fixtures to actually exercise
+// cross-partition resolution: under an even 2-way split, the scripted
+// segments must not all land on one partition.
+func TestGoldenScriptsSpanPartitions(t *testing.T) {
+	ring := evenRing(t, []string{"http://a", "http://b"})
+	seen := map[string]bool{}
+	for _, script := range scripts() {
+		for _, o := range script {
+			if o.seg == "" {
+				continue
+			}
+			home, ok := ring.Home(segment.ID(o.seg))
+			if !ok {
+				t.Fatalf("no home for %s", o.seg)
+			}
+			seen[home.ID] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all scripted segments land on one partition (%v); rename fixtures so the scripts cross partitions", seen)
+	}
+}

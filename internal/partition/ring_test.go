@@ -1,0 +1,229 @@
+package partition
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+func twoRing(t *testing.T) *Ring {
+	t.Helper()
+	r := &Ring{
+		Version: 3,
+		Partitions: []Partition{
+			{ID: "p0", Lo: 0, Hi: math.MaxUint32 / 2, Nodes: []string{"http://a:1", "http://a:2"}},
+			{ID: "p1", Lo: math.MaxUint32/2 + 1, Hi: math.MaxUint32, Nodes: []string{"http://b:1"}},
+		},
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	return r
+}
+
+func TestRingFindCoversKeyspace(t *testing.T) {
+	r := twoRing(t)
+	for _, key := range []uint32{0, 1, math.MaxUint32 / 2, math.MaxUint32/2 + 1, math.MaxUint32} {
+		p, ok := r.Find(key)
+		if !ok {
+			t.Fatalf("Find(%d): no partition", key)
+		}
+		if !p.Contains(key) {
+			t.Fatalf("Find(%d) = %q [%d,%d]: does not contain key", key, p.ID, p.Lo, p.Hi)
+		}
+	}
+	// Home agrees with segment.Key.
+	seg := segment.ID("wiki/guide#p3")
+	p, ok := r.Home(seg)
+	if !ok {
+		t.Fatalf("Home: no partition")
+	}
+	if want, _ := r.Find(segment.Key(seg)); want.ID != p.ID {
+		t.Fatalf("Home = %q, Find(Key) = %q", p.ID, want.ID)
+	}
+}
+
+func TestRingValidateRejectsBadTopologies(t *testing.T) {
+	max := uint32(math.MaxUint32)
+	cases := []struct {
+		name string
+		ps   []Partition
+	}{
+		{"empty", nil},
+		{"gap-at-zero", []Partition{{ID: "a", Lo: 1, Hi: max, Nodes: []string{"n"}}}},
+		{"gap-at-end", []Partition{{ID: "a", Lo: 0, Hi: max - 1, Nodes: []string{"n"}}}},
+		{"overlap", []Partition{
+			{ID: "a", Lo: 0, Hi: 10, Nodes: []string{"n"}},
+			{ID: "b", Lo: 10, Hi: max, Nodes: []string{"n"}},
+		}},
+		{"hole", []Partition{
+			{ID: "a", Lo: 0, Hi: 10, Nodes: []string{"n"}},
+			{ID: "b", Lo: 12, Hi: max, Nodes: []string{"n"}},
+		}},
+		{"dup-id", []Partition{
+			{ID: "a", Lo: 0, Hi: 10, Nodes: []string{"n"}},
+			{ID: "a", Lo: 11, Hi: max, Nodes: []string{"n"}},
+		}},
+		{"empty-id", []Partition{{ID: "", Lo: 0, Hi: max, Nodes: []string{"n"}}}},
+		{"no-nodes", []Partition{{ID: "a", Lo: 0, Hi: max}}},
+		{"inverted", []Partition{
+			{ID: "a", Lo: 0, Hi: max, Nodes: []string{"n"}},
+			{ID: "b", Lo: 20, Hi: 10, Nodes: []string{"n"}},
+		}},
+	}
+	for _, tc := range cases {
+		r := &Ring{Version: 1, Partitions: tc.ps}
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid ring", tc.name)
+		}
+	}
+}
+
+func TestRingCodecRoundTrip(t *testing.T) {
+	r := twoRing(t)
+	data, err := EncodeRing(r)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeRing(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Version != r.Version || len(got.Partitions) != len(r.Partitions) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range r.Partitions {
+		if got.Partitions[i].ID != r.Partitions[i].ID ||
+			got.Partitions[i].Lo != r.Partitions[i].Lo ||
+			got.Partitions[i].Hi != r.Partitions[i].Hi {
+			t.Fatalf("partition %d mismatch: %+v vs %+v", i, got.Partitions[i], r.Partitions[i])
+		}
+	}
+}
+
+func TestRingCodecFailsClosed(t *testing.T) {
+	r := twoRing(t)
+	data, err := EncodeRing(r)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// Bit flip anywhere in the payload or frame must be rejected.
+	for _, off := range []int{0, 4, len(ringMagic) + 1, len(ringMagic) + 6, len(data) - 2} {
+		bad := bytes.Clone(data)
+		bad[off] ^= 0x40
+		if _, err := DecodeRing(bad); err == nil {
+			t.Errorf("flip at %d: decode accepted corrupt ring", off)
+		}
+	}
+	// Truncations.
+	for _, n := range []int{0, 3, len(ringMagic), len(ringMagic) + 4, len(data) - 1} {
+		if _, err := DecodeRing(data[:n]); err == nil {
+			t.Errorf("truncate to %d: decode accepted corrupt ring", n)
+		}
+	}
+}
+
+func TestRingFileRoundTrip(t *testing.T) {
+	r := twoRing(t)
+	path := filepath.Join(t.TempDir(), "ring")
+	if err := SaveRingFile(path, r); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := LoadRingFile(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got.Version != r.Version {
+		t.Fatalf("version %d, want %d", got.Version, r.Version)
+	}
+	// Corrupt on disk → load fails closed.
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRingFile(path); err == nil {
+		t.Fatal("load accepted corrupt ring file")
+	}
+}
+
+func TestSplitRing(t *testing.T) {
+	r := SingleRing("p0", "http://a:1")
+	next, err := SplitRing(r, "p0", math.MaxUint32/2, "p1", []string{"http://b:1"})
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if next.Version != r.Version+1 {
+		t.Fatalf("version %d, want %d", next.Version, r.Version+1)
+	}
+	if len(next.Partitions) != 2 {
+		t.Fatalf("partitions %d, want 2", len(next.Partitions))
+	}
+	p0, _ := next.ByID("p0")
+	p1, _ := next.ByID("p1")
+	if p0.Lo != 0 || p0.Hi != math.MaxUint32/2 {
+		t.Fatalf("p0 range [%d,%d]", p0.Lo, p0.Hi)
+	}
+	if p1.Lo != math.MaxUint32/2+1 || p1.Hi != math.MaxUint32 {
+		t.Fatalf("p1 range [%d,%d]", p1.Lo, p1.Hi)
+	}
+	// Source ring unchanged (Clone semantics).
+	if len(r.Partitions) != 1 || r.Partitions[0].Hi != math.MaxUint32 {
+		t.Fatalf("source ring mutated: %+v", r.Partitions)
+	}
+	// Invalid split points.
+	if _, err := SplitRing(next, "p0", math.MaxUint32/2, "p2", []string{"n"}); err == nil {
+		t.Fatal("split at hi accepted")
+	}
+	if _, err := SplitRing(next, "missing", 10, "p2", []string{"n"}); err == nil {
+		t.Fatal("split of unknown partition accepted")
+	}
+	if _, err := SplitRing(next, "p0", 10, "p1", []string{"n"}); err == nil {
+		t.Fatal("split onto duplicate id accepted")
+	}
+}
+
+// FuzzDecodeRing proves the ring parser fails closed: arbitrary bytes
+// either decode to a ring that re-validates, or error — never panic, never
+// a partially-valid topology. Routers trust this file at startup, so a
+// corrupt ring must refuse to load rather than misroute segments.
+func FuzzDecodeRing(f *testing.F) {
+	r := &Ring{
+		Version: 7,
+		Partitions: []Partition{
+			{ID: "p0", Lo: 0, Hi: 1 << 30, Nodes: []string{"http://a:1"}},
+			{ID: "p1", Lo: 1<<30 + 1, Hi: math.MaxUint32, Nodes: []string{"http://b:1", "http://b:2"}},
+		},
+	}
+	if seed, err := EncodeRing(r); err == nil {
+		f.Add(seed)
+		f.Add(seed[:len(seed)-3])
+		mut := bytes.Clone(seed)
+		mut[len(ringMagic)+5] ^= 0x10
+		f.Add(mut)
+	}
+	f.Add([]byte(ringMagic))
+	f.Add([]byte("BFRING01\x00\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeRing(data)
+		if err != nil {
+			if got != nil {
+				t.Fatalf("error %v returned non-nil ring", err)
+			}
+			return
+		}
+		// Accepted rings must satisfy every structural invariant.
+		if err := got.Validate(); err != nil {
+			t.Fatalf("decoded ring fails validation: %v", err)
+		}
+		for _, key := range []uint32{0, 1 << 16, math.MaxUint32} {
+			if _, ok := got.Find(key); !ok {
+				t.Fatalf("decoded ring does not cover key %d", key)
+			}
+		}
+	})
+}

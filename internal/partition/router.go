@@ -1,0 +1,486 @@
+package partition
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/policy"
+	"github.com/lsds/browserflow/internal/segment"
+	"github.com/lsds/browserflow/internal/tagserver"
+	"github.com/lsds/browserflow/internal/tdm"
+)
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Device names the router on partition nodes' audit and idempotency
+	// trails. Defaults to "router".
+	Device string
+
+	// FP is the fingerprint configuration shared with the cluster.
+	FP fingerprint.Config
+
+	// ClientOptions apply to every per-node client the router builds.
+	ClientOptions []tagserver.ClientOption
+
+	// ScatterTimeout bounds each partition's leg of a scatter-gather
+	// query. A partition that cannot answer within the deadline fails the
+	// whole request: a missing contribution could hide the authoritative
+	// holder of a hash, and for a DLP system "could not check" must not
+	// become "allowed". Defaults to 5s.
+	ScatterTimeout time.Duration
+
+	// MaxRingRefreshes bounds how many stale-ring redirects (421 with a
+	// ring version) one request follows before giving up. Defaults to 2.
+	MaxRingRefreshes int
+
+	// Logf, when set, receives routing-tier events (ring flips, refreshes).
+	Logf func(format string, args ...interface{})
+}
+
+// Router is the partition-aware routing tier. It holds a versioned ring,
+// one failover-aware ClusterClient per partition group, and a Lamport
+// clock whose stamps impose the cross-partition first-observation order.
+// Routers are stateless apart from the ring and the clock: any number can
+// front the same cluster, and a restarted router re-learns both (the ring
+// from any node, the clock by folding partition clocks — see Prime).
+type Router struct {
+	opts  RouterOptions
+	clock atomic.Uint64
+
+	mu      sync.Mutex
+	ring    *Ring
+	clients map[string]*tagserver.ClusterClient // partition ID -> group client
+}
+
+// NewRouter builds a router over a validated ring.
+func NewRouter(ring *Ring, opts RouterOptions) (*Router, error) {
+	if err := ring.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Device == "" {
+		opts.Device = "router"
+	}
+	if opts.ScatterTimeout <= 0 {
+		opts.ScatterTimeout = 5 * time.Second
+	}
+	if opts.MaxRingRefreshes <= 0 {
+		opts.MaxRingRefreshes = 2
+	}
+	rt := &Router{opts: opts}
+	if err := rt.install(ring); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+func (rt *Router) logf(format string, args ...interface{}) {
+	if rt.opts.Logf != nil {
+		rt.opts.Logf(format, args...)
+	}
+}
+
+// install swaps in a new ring, building group clients for its partitions.
+// Clients are reused across versions when a partition keeps its ID and
+// node set, so long-lived routers keep their discovered-primary state
+// through splits that do not touch the group.
+func (rt *Router) install(ring *Ring) error {
+	next := make(map[string]*tagserver.ClusterClient, len(ring.Partitions))
+	rt.mu.Lock()
+	old := rt.clients
+	rt.mu.Unlock()
+	for i := range ring.Partitions {
+		p := &ring.Partitions[i]
+		if cc := old[p.ID]; cc != nil && sameNodes(cc, p.Nodes) {
+			next[p.ID] = cc
+			continue
+		}
+		cc, err := tagserver.NewClusterClient(p.Nodes[0], p.Nodes[1:], rt.opts.Device, rt.opts.FP, rt.opts.ClientOptions...)
+		if err != nil {
+			return fmt.Errorf("partition %q: %w", p.ID, err)
+		}
+		next[p.ID] = cc
+	}
+	rt.mu.Lock()
+	rt.ring = ring
+	rt.clients = next
+	rt.mu.Unlock()
+	return nil
+}
+
+func sameNodes(cc *tagserver.ClusterClient, nodes []string) bool {
+	// The cluster client mutates its primary on failover; comparing the
+	// bootstrap list is enough to decide reuse (discovery re-converges).
+	return cc != nil && cc.Bootstrap() == strings.Join(nodes, ",")
+}
+
+// Ring returns the currently installed ring.
+func (rt *Router) Ring() *Ring {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ring
+}
+
+// SetRing installs a newer ring version; older or equal versions are
+// ignored (refreshes race benignly).
+func (rt *Router) SetRing(ring *Ring) error {
+	if err := ring.Validate(); err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	cur := rt.ring.Version
+	rt.mu.Unlock()
+	if ring.Version <= cur {
+		return nil
+	}
+	rt.logf("partition: installing ring v%d (%d partitions)", ring.Version, len(ring.Partitions))
+	return rt.install(ring)
+}
+
+// snapshot returns the ring and the group client for each of its
+// partitions under one lock acquisition.
+func (rt *Router) snapshot() (*Ring, map[string]*tagserver.ClusterClient) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ring, rt.clients
+}
+
+// tick mints the next Lamport stamp.
+func (rt *Router) tick() uint64 { return rt.clock.Add(1) }
+
+// fold raises the Lamport clock to at least c.
+func (rt *Router) fold(c uint64) {
+	for {
+		cur := rt.clock.Load()
+		if c <= cur || rt.clock.CompareAndSwap(cur, c) {
+			return
+		}
+	}
+}
+
+// Clock returns the router's current Lamport time.
+func (rt *Router) Clock() uint64 { return rt.clock.Load() }
+
+// Prime folds every partition's logical clock into the router's, so a
+// freshly (re)started router stamps ahead of the cluster instead of in
+// its past — the invariant that keeps journal replay deterministic. Nodes
+// that cannot be reached are skipped (their clock folds in on the first
+// scatter that touches them).
+func (rt *Router) Prime(ctx context.Context) {
+	ring, clients := rt.snapshot()
+	replies := rt.scatter(ctx, ring, clients, nil, nil, "")
+	for _, r := range replies {
+		if r != nil {
+			rt.fold(r.Clock)
+		}
+	}
+}
+
+// refreshRing refetches the ring after a stale-ring 421, trying every
+// partition group until one serves a newer version.
+func (rt *Router) refreshRing(ctx context.Context) error {
+	_, clients := rt.snapshot()
+	var lastErr error
+	for id, cc := range clients {
+		encoded, _, err := cc.PartRing(ctx)
+		if err != nil {
+			lastErr = fmt.Errorf("partition %q: %w", id, err)
+			continue
+		}
+		ring, err := DecodeRing(encoded)
+		if err != nil {
+			lastErr = fmt.Errorf("partition %q: %w", id, err)
+			continue
+		}
+		if ring.Version > rt.Ring().Version {
+			return rt.SetRing(ring)
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("partition: no node served a newer ring")
+	}
+	return lastErr
+}
+
+// isRingRedirect reports whether err is a partition-ownership 421 (the
+// node is healthy but the router's ring is stale).
+func isRingRedirect(err error) bool {
+	np, ok := tagserver.AsNotPrimary(err)
+	return ok && np.RingVersion > 0
+}
+
+// homeFor resolves seg's home partition and its group client.
+func homeFor(ring *Ring, clients map[string]*tagserver.ClusterClient, seg segment.ID) (*Partition, *tagserver.ClusterClient, error) {
+	home, ok := ring.Home(seg)
+	if !ok {
+		return nil, nil, fmt.Errorf("partition: ring v%d does not cover key %d", ring.Version, segment.Key(seg))
+	}
+	cc := clients[home.ID]
+	if cc == nil {
+		return nil, nil, fmt.Errorf("partition: no client for partition %q", home.ID)
+	}
+	return home, cc, nil
+}
+
+// scatter queries every partition except skip for its contribution to a
+// disclosure resolve, each leg under its own deadline. A leg that fails
+// yields a nil entry; callers that need completeness must check.
+func (rt *Router) scatter(ctx context.Context, ring *Ring, clients map[string]*tagserver.ClusterClient, errs []error, hashes []uint32, granularity string) []*tagserver.PartResolveWire {
+	return rt.scatterExcept(ctx, ring, clients, errs, hashes, granularity, "")
+}
+
+func (rt *Router) scatterExcept(ctx context.Context, ring *Ring, clients map[string]*tagserver.ClusterClient, errs []error, hashes []uint32, granularity, skip string) []*tagserver.PartResolveWire {
+	replies := make([]*tagserver.PartResolveWire, len(ring.Partitions))
+	var wg sync.WaitGroup
+	for i := range ring.Partitions {
+		p := &ring.Partitions[i]
+		if p.ID == skip {
+			continue
+		}
+		cc := clients[p.ID]
+		if cc == nil {
+			if errs != nil {
+				errs[i] = fmt.Errorf("partition %q: no client", p.ID)
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, id string, cc *tagserver.ClusterClient) {
+			defer wg.Done()
+			legCtx, cancel := context.WithTimeout(ctx, rt.opts.ScatterTimeout)
+			defer cancel()
+			r, err := cc.PartQuery(legCtx, hashes, granularity)
+			if err != nil {
+				if errs != nil {
+					errs[i] = fmt.Errorf("partition %q: %w", id, err)
+				}
+				return
+			}
+			replies[i] = &r
+		}(i, p.ID, cc)
+	}
+	wg.Wait()
+	return replies
+}
+
+// ObserveHashes routes one observation: phase 1 at the segment's home
+// partition (decision-cache probe), on a miss a scatter-gather resolve
+// across the other partitions, phase 2 applying the merged result at the
+// home. A sole-partition ring short-circuits inside the node (one round
+// trip); a stale ring is refreshed on 421 and the observation re-routed.
+func (rt *Router) ObserveHashes(ctx context.Context, service string, seg segment.ID, hashes []uint32, granularity string) (tagserver.VerdictResponse, error) {
+	hs := fingerprint.FromHashes(hashes).Hashes()
+	var lastErr error
+	for refresh := 0; refresh <= rt.opts.MaxRingRefreshes; refresh++ {
+		ring, clients := rt.snapshot()
+		home, cc, err := homeFor(ring, clients, seg)
+		if err != nil {
+			return tagserver.VerdictResponse{}, err
+		}
+		stamp := rt.tick()
+		resp, err := cc.PartObserve(ctx, service, seg, hs, granularity, stamp, nil)
+		if err != nil {
+			if isRingRedirect(err) {
+				lastErr = err
+				if rerr := rt.refreshRing(ctx); rerr != nil {
+					return tagserver.VerdictResponse{}, fmt.Errorf("stale ring: %w (refresh failed: %v)", err, rerr)
+				}
+				continue
+			}
+			return tagserver.VerdictResponse{}, err
+		}
+		if resp.Verdict != nil {
+			return *resp.Verdict, nil
+		}
+
+		// Cache miss: gather the other partitions' contributions and merge.
+		replies := make([]policy.PartResolve, 0, len(ring.Partitions))
+		replies = append(replies, tagserver.FromWireResolve(resp.Resolve))
+		errs := make([]error, len(ring.Partitions))
+		wires := rt.scatterExcept(ctx, ring, clients, errs, hs, granularity, home.ID)
+		for i := range wires {
+			if errs[i] != nil {
+				// Fail closed: a missing contribution could hide the
+				// authoritative holder and flip a block to an allow.
+				return tagserver.VerdictResponse{}, fmt.Errorf("partition scatter: %w", errs[i])
+			}
+			if wires[i] != nil {
+				replies = append(replies, tagserver.FromWireResolve(wires[i]))
+			}
+		}
+		sources, tags, maxClock := policy.MergeResolves(len(hs), seg, replies)
+		rt.fold(maxClock)
+
+		resolved := &tagserver.PartResolved{Sources: tagserver.ToWireSources(sources), Tags: tags}
+		resp, err = cc.PartObserve(ctx, service, seg, hs, granularity, stamp, resolved)
+		if err != nil {
+			if isRingRedirect(err) {
+				// Ownership moved between the phases; the merged resolve may
+				// predate the move, so re-route the whole observation.
+				lastErr = err
+				if rerr := rt.refreshRing(ctx); rerr != nil {
+					return tagserver.VerdictResponse{}, fmt.Errorf("stale ring: %w (refresh failed: %v)", err, rerr)
+				}
+				continue
+			}
+			return tagserver.VerdictResponse{}, err
+		}
+		if resp.Verdict == nil {
+			return tagserver.VerdictResponse{}, fmt.Errorf("partition %q: resolved observe returned no verdict", home.ID)
+		}
+		return *resp.Verdict, nil
+	}
+	return tagserver.VerdictResponse{}, fmt.Errorf("partition: ring refresh loop exhausted: %w", lastErr)
+}
+
+// CheckHashes routes a release check: scatter the disclosure query to
+// every partition, merge, and evaluate the resolved check on one node
+// (the first partition — enforcement state for ad-hoc checks is the
+// service table, which every node carries).
+func (rt *Router) CheckHashes(ctx context.Context, dest string, hashes []uint32) (tagserver.VerdictResponse, error) {
+	hs := fingerprint.FromHashes(hashes).Hashes()
+	ring, clients := rt.snapshot()
+	errs := make([]error, len(ring.Partitions))
+	wires := rt.scatter(ctx, ring, clients, errs, hs, "")
+	replies := make([]policy.PartResolve, 0, len(wires))
+	for i := range wires {
+		if errs[i] != nil {
+			return tagserver.VerdictResponse{}, fmt.Errorf("partition scatter: %w", errs[i])
+		}
+		if wires[i] != nil {
+			replies = append(replies, tagserver.FromWireResolve(wires[i]))
+		}
+	}
+	// No observer to exclude: ad-hoc content is not a tracked segment.
+	sources, tags, maxClock := policy.MergeResolves(len(hs), "", replies)
+	rt.fold(maxClock)
+
+	// The check label's implicit set is the union of the winning sources'
+	// explicit tags — exactly what checkSources computes from a shared
+	// registry.
+	implicit := unionTags(tags)
+	cc := clients[ring.Partitions[0].ID]
+	if cc == nil {
+		return tagserver.VerdictResponse{}, fmt.Errorf("partition: no client for %q", ring.Partitions[0].ID)
+	}
+	v, err := cc.PartCheck(ctx, dest, tagserver.ToWireSources(sources), implicit)
+	if err != nil {
+		return tagserver.VerdictResponse{}, err
+	}
+	return tagserver.VerdictResponse{Decision: v.Decision, Violating: v.Violating, Sources: v.Sources}, nil
+}
+
+// unionTags flattens a per-source tag map into a sorted distinct list.
+func unionTags(tags map[segment.ID][]string) []string {
+	if len(tags) == 0 {
+		return nil
+	}
+	set := make(map[string]struct{})
+	for _, names := range tags {
+		for _, n := range names {
+			set[n] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Suppress routes a declassification to the segment's home partition
+// (labels and their audit trail live there), refreshing the ring on 421.
+func (rt *Router) Suppress(ctx context.Context, user string, seg segment.ID, tag tdm.Tag, justification string) error {
+	var lastErr error
+	for refresh := 0; refresh <= rt.opts.MaxRingRefreshes; refresh++ {
+		ring, clients := rt.snapshot()
+		_, cc, err := homeFor(ring, clients, seg)
+		if err != nil {
+			return err
+		}
+		err = cc.PartSuppress(ctx, user, seg, tag, justification)
+		if err == nil || !isRingRedirect(err) {
+			return err
+		}
+		lastErr = err
+		if rerr := rt.refreshRing(ctx); rerr != nil {
+			return fmt.Errorf("stale ring: %w (refresh failed: %v)", err, rerr)
+		}
+	}
+	return fmt.Errorf("partition: ring refresh loop exhausted: %w", lastErr)
+}
+
+// Upload routes a tracked-segment release check to the segment's home
+// partition, where its label lives.
+func (rt *Router) Upload(ctx context.Context, seg segment.ID, dest string) (tagserver.VerdictResponse, error) {
+	ring, clients := rt.snapshot()
+	_, cc, err := homeFor(ring, clients, seg)
+	if err != nil {
+		return tagserver.VerdictResponse{}, err
+	}
+	v, err := cc.Upload(ctx, seg, dest)
+	if err != nil {
+		return tagserver.VerdictResponse{}, err
+	}
+	return tagserver.VerdictResponse{Decision: v.Decision, Violating: v.Violating, Sources: v.Sources}, nil
+}
+
+// Label fetches a segment's label from its home partition.
+func (rt *Router) Label(ctx context.Context, seg segment.ID) (tagserver.LabelResponse, error) {
+	ring, clients := rt.snapshot()
+	_, cc, err := homeFor(ring, clients, seg)
+	if err != nil {
+		return tagserver.LabelResponse{}, err
+	}
+	return cc.Label(ctx, seg)
+}
+
+// Stats sums database sizes across partitions. DistinctHashes is an upper
+// bound: a hash held by segments on two partitions counts once per
+// partition.
+func (rt *Router) Stats(ctx context.Context) (tagserver.StatsResponse, error) {
+	ring, clients := rt.snapshot()
+	var (
+		mu  sync.Mutex
+		sum tagserver.StatsResponse
+		wg  sync.WaitGroup
+	)
+	errs := make([]error, len(ring.Partitions))
+	for i := range ring.Partitions {
+		p := &ring.Partitions[i]
+		cc := clients[p.ID]
+		if cc == nil {
+			errs[i] = fmt.Errorf("partition %q: no client", p.ID)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, cc *tagserver.ClusterClient) {
+			defer wg.Done()
+			legCtx, cancel := context.WithTimeout(ctx, rt.opts.ScatterTimeout)
+			defer cancel()
+			s, err := cc.Stats(legCtx)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			sum.Segments += s.Segments
+			sum.DistinctHashes += s.DistinctHashes
+			sum.AuditEntries += s.AuditEntries
+			mu.Unlock()
+		}(i, cc)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return tagserver.StatsResponse{}, err
+		}
+	}
+	return sum, nil
+}

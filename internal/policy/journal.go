@@ -61,6 +61,17 @@ type Journal interface {
 	// original Seq and Time), so recovery can restore timestamps that
 	// replaying the operation would otherwise regenerate.
 	AuditAppend(entries []audit.Entry) error
+
+	// ObserveResolved records a routed (partition-mode) observation whose
+	// disclosure sources were resolved by the routing tier, together with
+	// the router's Lamport stamp and the sources' explicit tags. Replaying
+	// it applies the recorded result instead of re-running Algorithm 1,
+	// whose inputs on one partition are only a slice of cluster state.
+	ObserveResolved(ctx context.Context, seg segment.ID, service string, g segment.Granularity, hashes []uint32, clock uint64, sources []disclosure.Source, tags map[segment.ID][]string) error
+
+	// PruneRange records the removal of a partition key range after a
+	// split hands it to a new partition.
+	PruneRange(ctx context.Context, lo, hi uint32) error
 }
 
 // SetJournal installs (or, with nil, disables) the durability journal.
@@ -101,6 +112,24 @@ func (e *Engine) journalObserve(ctx context.Context, seg segment.ID, service str
 		return fmt.Errorf("%w: %v", ErrJournal, err)
 	}
 	return nil
+}
+
+// journalObserveResolved records a routed observation with pre-resolved
+// sources.
+func (e *Engine) journalObserveResolved(ctx context.Context, seg segment.ID, service string, g segment.Granularity, hashes []uint32, clock uint64, sources []disclosure.Source, tags map[segment.ID][]string) error {
+	j := e.journalRef()
+	if j == nil {
+		return nil
+	}
+	if err := j.ObserveResolved(ctx, seg, service, g, hashes, clock, sources, tags); err != nil {
+		return journalErr(err)
+	}
+	return nil
+}
+
+// journalErr wraps a journal failure in ErrJournal.
+func journalErr(err error) error {
+	return fmt.Errorf("%w: %v", ErrJournal, err)
 }
 
 // journalOp records a control operation plus whatever audit entries it

@@ -12,6 +12,8 @@ var mutatingPaths = map[string]bool{
 	"/v1/observe":       true,
 	"/v1/observe/batch": true,
 	"/v1/suppress":      true,
+	"/v1/part/observe":  true,
+	"/v1/part/prune":    true,
 }
 
 // Guard fences the tag-service API by role: a replica (or fenced

@@ -94,6 +94,7 @@ type Primary struct {
 	durable  *store.Durable
 	maxBatch int
 	maxWait  time.Duration
+	filter   func(blob []byte, lo, hi uint32) ([]byte, error)
 	logf     func(string, ...interface{})
 
 	// Anti-entropy adjudication: a replica claiming digest D while caught
@@ -132,6 +133,13 @@ type PrimaryOptions struct {
 	// MaxWait caps a stream long-poll (default DefaultMaxWait).
 	MaxWait time.Duration
 
+	// FilterSnapshot, when set, re-encodes a checkpoint image restricted
+	// to the inclusive partition-key range [lo, hi] (see
+	// store.FilterSnapshotRange); it serves /v1/repl/snapshot?lo=&hi=
+	// requests from a split target's filtered replica. Nil rejects
+	// filtered snapshot requests.
+	FilterSnapshot func(blob []byte, lo, hi uint32) ([]byte, error)
+
 	// Logf receives serving notes; nil discards.
 	Logf func(format string, args ...interface{})
 }
@@ -153,6 +161,7 @@ func NewPrimary(node *Node, durable *store.Durable, opts PrimaryOptions) *Primar
 		durable:  durable,
 		maxBatch: opts.MaxBatchBytes,
 		maxWait:  opts.MaxWait,
+		filter:   opts.FilterSnapshot,
 		logf:     opts.Logf,
 		strikes:  make(map[strikeKey]int),
 	}
@@ -204,11 +213,36 @@ func (p *Primary) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		p.writeNotPrimary(w)
 		return
 	}
+	// ?lo=&hi= asks for a snapshot restricted to a partition-key range
+	// (a split target bootstrapping a filtered replica). Only the binary
+	// format supports it.
+	var filtered bool
+	var lo, hi uint32
+	if q := r.URL.Query(); q.Get("lo") != "" || q.Get("hi") != "" {
+		loVal, loErr := strconv.ParseUint(q.Get("lo"), 10, 32)
+		hiVal, hiErr := strconv.ParseUint(q.Get("hi"), 10, 32)
+		if loErr != nil || hiErr != nil || loVal > hiVal {
+			writeError(w, p.node, http.StatusBadRequest, "bad lo/hi key range")
+			return
+		}
+		if p.filter == nil {
+			writeError(w, p.node, http.StatusNotImplemented, "filtered snapshots not supported by this primary")
+			return
+		}
+		filtered, lo, hi = true, uint32(loVal), uint32(hiVal)
+	}
 	if strings.Contains(r.Header.Get("Accept"), SnapshotContentType) {
 		blob, barrier, err := p.durable.CaptureCheckpointBytes()
 		if err != nil {
 			writeError(w, p.node, http.StatusInternalServerError, "capture checkpoint: "+err.Error())
 			return
+		}
+		if filtered {
+			blob, err = p.filter(blob, lo, hi)
+			if err != nil {
+				writeError(w, p.node, http.StatusInternalServerError, "filter checkpoint: "+err.Error())
+				return
+			}
 		}
 		setTermHeaders(w, p.node)
 		w.Header().Set("Content-Type", SnapshotContentType)
@@ -217,6 +251,10 @@ func (p *Primary) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		if _, err := w.Write(blob); err != nil {
 			p.logf("replication: stream snapshot (barrier %d): %v", barrier, err)
 		}
+		return
+	}
+	if filtered {
+		writeError(w, p.node, http.StatusBadRequest, "filtered snapshots require Accept: "+SnapshotContentType)
 		return
 	}
 	// Legacy replica: JSON Snapshot struct.

@@ -15,6 +15,7 @@ import (
 	"github.com/lsds/browserflow/internal/disclosure"
 	"github.com/lsds/browserflow/internal/obs"
 	"github.com/lsds/browserflow/internal/policy"
+	"github.com/lsds/browserflow/internal/segment"
 	"github.com/lsds/browserflow/internal/store"
 	"github.com/lsds/browserflow/internal/tdm"
 	"github.com/lsds/browserflow/internal/wal"
@@ -80,7 +81,25 @@ type ReplicaOptions struct {
 	// latency histograms) and "replica.apply" spans attributed to the
 	// trace IDs journalled inside streamed observe records.
 	Obs *obs.Obs
+
+	// Split makes this a filtered replica for a partition split: the
+	// bootstrap snapshot is restricted to the inclusive key range, the
+	// mirror still copies the primary's WAL bytes verbatim but streamed
+	// records materialise tracker state only for in-range segments
+	// (registry effects stay global), and digest-based anti-entropy is
+	// disabled — a filtered replica's state digest is intentionally not
+	// the primary's. Nil replicates everything.
+	Split *SplitRange
 }
+
+// SplitRange is the inclusive partition-key range a filtered replica
+// materialises (see segment.Key).
+type SplitRange struct {
+	Lo, Hi uint32
+}
+
+// Contains reports whether partition key k falls in the range.
+func (sr SplitRange) Contains(k uint32) bool { return k >= sr.Lo && k <= sr.Hi }
 
 func (o ReplicaOptions) withDefaults() ReplicaOptions {
 	if o.FS == nil {
@@ -188,6 +207,12 @@ func (r *Replica) newApplier() (*store.Applier, error) {
 		return nil, err
 	}
 	applier.SetTraceLog(r.opts.Obs.Traces())
+	if sr := r.opts.Split; sr != nil {
+		split := *sr
+		applier.SetSegmentFilter(func(seg segment.ID) bool {
+			return split.Contains(segment.Key(seg))
+		})
+	}
 	return applier, nil
 }
 
@@ -417,7 +442,11 @@ func (r *Replica) observeResponseTerm(resp *http.Response) {
 func (r *Replica) bootstrap(ctx context.Context) error {
 	rctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
 	defer cancel()
-	req, err := r.newRequest(rctx, http.MethodGet, "/v1/repl/snapshot", "")
+	query := ""
+	if sr := r.opts.Split; sr != nil {
+		query = fmt.Sprintf("lo=%d&hi=%d", sr.Lo, sr.Hi)
+	}
+	req, err := r.newRequest(rctx, http.MethodGet, "/v1/repl/snapshot", query)
 	if err != nil {
 		return err
 	}
@@ -458,6 +487,11 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 			return fmt.Errorf("replication: save local checkpoint: %w", err)
 		}
 	} else {
+		if r.opts.Split != nil {
+			// The filter runs in the primary's binary snapshot path; a
+			// legacy JSON body would silently carry the whole keyspace.
+			return fmt.Errorf("replication: filtered bootstrap requires a binary snapshot; primary answered JSON")
+		}
 		var snap store.Snapshot
 		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 			return fmt.Errorf("replication: decode snapshot: %w", err)
@@ -507,8 +541,12 @@ func (r *Replica) streamOnce(ctx context.Context, pos wal.Pos) error {
 	}
 	// Attach the local state digest: when this round finds us caught up,
 	// the primary compares it against its own and orders a re-bootstrap
-	// if our in-memory state has silently diverged.
-	req.Header.Set(HeaderDigest, fmt.Sprintf("%016x", r.tracker.Digest().Combined))
+	// if our in-memory state has silently diverged. A filtered replica
+	// never claims a digest — holding a slice of the keyspace is not
+	// divergence.
+	if r.opts.Split == nil {
+		req.Header.Set(HeaderDigest, fmt.Sprintf("%016x", r.tracker.Digest().Combined))
+	}
 	resp, err := r.opts.HTTPClient.Do(req)
 	if err != nil {
 		return fmt.Errorf("replication: stream: %w", err)
@@ -757,7 +795,7 @@ func (r *Replica) Promote() (*store.Durable, uint64, error) {
 	if err := r.mirror.closeFile(); err != nil {
 		return nil, 0, fmt.Errorf("replication: close mirror: %w", err)
 	}
-	durable, err := store.OpenDurable(store.DurableOptions{
+	opts := store.DurableOptions{
 		Dir:             r.opts.Dir,
 		FS:              r.opts.FS,
 		Key:             r.opts.Key,
@@ -767,7 +805,16 @@ func (r *Replica) Promote() (*store.Durable, uint64, error) {
 		CheckpointEvery: r.opts.PromoteCheckpointEvery,
 		KeepCheckpoints: r.opts.KeepCheckpoints,
 		Logf:            r.opts.Logf,
-	}, r.tracker, r.registry)
+	}
+	if sr := r.opts.Split; sr != nil {
+		// The mirror holds the source's WAL bytes verbatim; recovery (and
+		// any later restart over this directory) must keep filtering index
+		// updates to the moved range.
+		opts.SegmentFilter = func(seg segment.ID) bool {
+			return sr.Contains(segment.Key(seg))
+		}
+	}
+	durable, err := store.OpenDurable(opts, r.tracker, r.registry)
 	if err != nil {
 		return nil, 0, fmt.Errorf("replication: open durable store after promotion: %w", err)
 	}

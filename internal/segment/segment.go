@@ -69,6 +69,25 @@ func (id ID) IsParagraph() bool {
 	return strings.IndexByte(string(id), '#') >= 0
 }
 
+// Key maps a segment ID onto the 32-bit partition keyspace (FNV-1a). A
+// paragraph and its owning document hash independently, so a document's
+// paragraphs spread across partitions while each individual segment has
+// exactly one home. The partition ring assigns contiguous key ranges to
+// partitions; Key is the only routing function, shared by routers and
+// partition nodes so ownership decisions agree byte-for-byte.
+func Key(id ID) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return h
+}
+
 // Paragraph is one paragraph of a document.
 type Paragraph struct {
 	// ID is the paragraph's segment ID.

@@ -103,6 +103,13 @@ type DurableOptions struct {
 
 	// Logf receives recovery and checkpoint notes; nil discards them.
 	Logf func(format string, args ...interface{})
+
+	// SegmentFilter, when set, restricts tracker-state replay to segments
+	// it accepts — how a promoted split target recovers from a WAL whose
+	// bytes were mirrored from the source partition verbatim: registry
+	// effects (labels are global shadow state) apply unconditionally,
+	// index updates for out-of-range segments are skipped.
+	SegmentFilter func(segment.ID) bool
 }
 
 // RecoveryStats describes what recovery found and did.
@@ -342,6 +349,9 @@ func (d *Durable) replay(barrier uint64) error {
 	if err != nil {
 		return err
 	}
+	if d.opts.SegmentFilter != nil {
+		applier.SetSegmentFilter(d.opts.SegmentFilter)
+	}
 	walStats := d.log.Stats()
 	tolerate := walStats.RecoveryGaps > 0 || walStats.QuarantinedSegments > 0
 	replayErr := d.log.Replay(barrier, func(seg uint64, rec wal.Record) error {
@@ -436,6 +446,23 @@ func (d *Durable) RevokeTag(user, service string, tag tdm.Tag) error {
 // AuditAppend implements policy.Journal.
 func (d *Durable) AuditAppend(entries []audit.Entry) error {
 	return d.append(encodeAudit(entries))
+}
+
+// ObserveResolved implements policy.Journal for partition-mode
+// observations applied with router-resolved sources.
+func (d *Durable) ObserveResolved(ctx context.Context, seg segment.ID, service string, g segment.Granularity, hashes []uint32, clock uint64, sources []disclosure.Source, tags map[segment.ID][]string) error {
+	rec, err := encodeObserveResolved(observeResolvedOp{
+		Seg: seg, Service: service, G: g, Clock: clock,
+		Hashes: hashes, Sources: sources, Tags: tags,
+		Trace: obs.TraceID(ctx),
+	})
+	return d.appendTraced(ctx, rec, err)
+}
+
+// PruneRange implements policy.Journal for post-split key-range removal.
+func (d *Durable) PruneRange(ctx context.Context, lo, hi uint32) error {
+	rec, err := encodePruneRange(lo, hi)
+	return d.appendTraced(ctx, rec, err)
 }
 
 // --- checkpointer ----------------------------------------------------------

@@ -1,0 +1,48 @@
+// partition.go — checkpoint filtering for partition splits. A split
+// bootstraps the target from a checkpoint of the source restricted to
+// the moving key range; the WAL tail is then mirrored verbatim with the
+// target's applier filtering per record (see Applier.SetSegmentFilter).
+package store
+
+import (
+	"fmt"
+
+	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/segment"
+	"github.com/lsds/browserflow/internal/tdm"
+)
+
+// FilterSnapshotRange re-encodes a BFLOWSNB checkpoint image with the
+// fingerprint-index state restricted to segments whose partition key
+// (segment.Key) falls in the inclusive range [lo, hi]. Registry and
+// audit state are kept whole — labels are global shadow state in a
+// partitioned cluster, so the target needs every segment's tags even
+// when it indexes only a slice of the fingerprints.
+//
+// The filter round-trips through a scratch tracker built with params
+// (which must match the source engine's), removing out-of-range
+// segments before re-capturing. Index clocks and posting sequence
+// numbers survive the round trip verbatim, so oldest-holder order on
+// the target is identical to the source's for every retained posting.
+func FilterSnapshotRange(blob []byte, params disclosure.Params, lo, hi uint32) ([]byte, error) {
+	tracker, err := disclosure.NewTracker(params)
+	if err != nil {
+		return nil, fmt.Errorf("store: filter snapshot: %w", err)
+	}
+	registry := tdm.NewRegistry(nil)
+	meta, err := RestoreBytes("filter-snapshot", blob, tracker, registry)
+	if err != nil {
+		return nil, err
+	}
+	for _, db := range []interface {
+		Segments() []segment.ID
+		RemoveSegment(segment.ID)
+	}{tracker.Paragraphs(), tracker.Documents()} {
+		for _, seg := range db.Segments() {
+			if k := segment.Key(seg); k < lo || k > hi {
+				db.RemoveSegment(seg)
+			}
+		}
+	}
+	return CaptureBytes(tracker, registry, meta.WALSeg)
+}

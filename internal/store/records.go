@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"math"
+	"sort"
 
 	"github.com/lsds/browserflow/internal/audit"
 	"github.com/lsds/browserflow/internal/disclosure"
@@ -25,6 +27,18 @@ const (
 	recGrantTag     byte = 6
 	recRevokeTag    byte = 7
 	recAudit        byte = 8
+
+	// recObserveResolved is a partition-mode observation whose disclosure
+	// sources were resolved by the routing tier (or came from the decision
+	// cache). It carries the resolved result and the router's Lamport
+	// stamp, so replay installs the result instead of re-running
+	// Algorithm 1 — one partition's database holds only a slice of the
+	// cluster state the original evaluation saw.
+	recObserveResolved byte = 9
+
+	// recPruneRange records the post-split removal of a partition key
+	// range from the tracker.
+	recPruneRange byte = 10
 )
 
 // Binary granularity codes for observe records.
@@ -287,6 +301,191 @@ func decodeObserveBatch(data []byte) (string, []disclosure.BatchObservation, str
 		return "", nil, "", err
 	}
 	return svc, items, trace, nil
+}
+
+// appendFloat64 appends the IEEE 754 bits big-endian.
+func appendFloat64(buf []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+func (r *reader) float64(what string) (float64, error) {
+	if len(r.data)-r.off < 8 {
+		return 0, r.err(what)
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.data[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+// observeResolvedOp is one decoded partition-mode resolved observation.
+type observeResolvedOp struct {
+	Seg     segment.ID
+	Service string
+	G       segment.Granularity
+	Clock   uint64
+	Hashes  []uint32
+	Sources []disclosure.Source
+	Tags    map[segment.ID][]string
+	Trace   string
+}
+
+// encodeObserveResolved frames a resolved observation:
+//
+//	gran(1) | seg | service | uvarint(clock) | hashes
+//	| uvarint(nSources) × (seg | f64(disclosure) | f64(threshold))
+//	| uvarint(nTagSets) × (seg | uvarint(nTags) × tag) [| trace]
+//
+// Disclosure values are stored as exact IEEE 754 bits: replay must
+// reproduce the cached sources byte-for-byte, and the values are ratios
+// of partition-spanning quantities this node cannot recompute.
+func encodeObserveResolved(op observeResolvedOp) (wal.Record, error) {
+	gc, err := granCode(op.G)
+	if err != nil {
+		return wal.Record{}, err
+	}
+	buf := make([]byte, 0, 1+10+len(op.Seg)+len(op.Service)+4*len(op.Hashes)+32*len(op.Sources)+10+len(op.Trace))
+	buf = append(buf, gc)
+	buf = appendString(buf, string(op.Seg))
+	buf = appendString(buf, op.Service)
+	buf = binary.AppendUvarint(buf, op.Clock)
+	buf = appendHashes(buf, op.Hashes)
+	buf = binary.AppendUvarint(buf, uint64(len(op.Sources)))
+	for _, src := range op.Sources {
+		buf = appendString(buf, string(src.Seg))
+		buf = appendFloat64(buf, src.Disclosure)
+		buf = appendFloat64(buf, src.Threshold)
+	}
+	// Tag sets in sorted segment order, so identical logical records
+	// encode to identical bytes (replicas mirror WAL bytes verbatim).
+	segs := make([]string, 0, len(op.Tags))
+	for seg := range op.Tags {
+		segs = append(segs, string(seg))
+	}
+	sort.Strings(segs)
+	buf = binary.AppendUvarint(buf, uint64(len(segs)))
+	for _, seg := range segs {
+		buf = appendString(buf, seg)
+		names := op.Tags[segment.ID(seg)]
+		buf = binary.AppendUvarint(buf, uint64(len(names)))
+		for _, n := range names {
+			buf = appendString(buf, n)
+		}
+	}
+	if op.Trace != "" {
+		buf = appendString(buf, op.Trace)
+	}
+	return wal.Record{Type: recObserveResolved, Data: buf}, nil
+}
+
+func decodeObserveResolved(data []byte) (observeResolvedOp, error) {
+	r := &reader{data: data}
+	var op observeResolvedOp
+	gc, err := r.byte("granularity")
+	if err != nil {
+		return op, err
+	}
+	if op.G, err = granFromCode(gc); err != nil {
+		return op, err
+	}
+	seg, err := r.string("segment")
+	if err != nil {
+		return op, err
+	}
+	op.Seg = segment.ID(seg)
+	if op.Service, err = r.string("service"); err != nil {
+		return op, err
+	}
+	if op.Clock, err = r.uvarint("clock"); err != nil {
+		return op, err
+	}
+	if op.Hashes, err = r.hashes("hashes"); err != nil {
+		return op, err
+	}
+	nSrc, err := r.uvarint("source count")
+	if err != nil {
+		return op, err
+	}
+	if nSrc > uint64(len(data)) { // each source takes at least one byte
+		return op, fmt.Errorf("store: WAL resolved record claims %d sources in %d bytes", nSrc, len(data))
+	}
+	for i := uint64(0); i < nSrc; i++ {
+		s, err := r.string("source segment")
+		if err != nil {
+			return op, err
+		}
+		d, err := r.float64("source disclosure")
+		if err != nil {
+			return op, err
+		}
+		thr, err := r.float64("source threshold")
+		if err != nil {
+			return op, err
+		}
+		op.Sources = append(op.Sources, disclosure.Source{Seg: segment.ID(s), Disclosure: d, Threshold: thr})
+	}
+	nTags, err := r.uvarint("tag set count")
+	if err != nil {
+		return op, err
+	}
+	if nTags > uint64(len(data)) {
+		return op, fmt.Errorf("store: WAL resolved record claims %d tag sets in %d bytes", nTags, len(data))
+	}
+	for i := uint64(0); i < nTags; i++ {
+		s, err := r.string("tagged segment")
+		if err != nil {
+			return op, err
+		}
+		n, err := r.uvarint("tag count")
+		if err != nil {
+			return op, err
+		}
+		if n > uint64(len(data)) {
+			return op, fmt.Errorf("store: WAL resolved record claims %d tags in %d bytes", n, len(data))
+		}
+		names := make([]string, 0, n)
+		for j := uint64(0); j < n; j++ {
+			name, err := r.string("tag")
+			if err != nil {
+				return op, err
+			}
+			names = append(names, name)
+		}
+		if op.Tags == nil {
+			op.Tags = make(map[segment.ID][]string)
+		}
+		op.Tags[segment.ID(s)] = names
+	}
+	if r.off < len(r.data) { // optional trailing trace ID
+		if op.Trace, err = r.string("trace"); err != nil {
+			return op, err
+		}
+	}
+	if err := r.done(); err != nil {
+		return op, err
+	}
+	return op, nil
+}
+
+// pruneOp is the JSON form of a key-range prune (rare, inspectable).
+type pruneOp struct {
+	Lo uint32 `json:"lo"`
+	Hi uint32 `json:"hi"`
+}
+
+func encodePruneRange(lo, hi uint32) (wal.Record, error) {
+	data, err := json.Marshal(pruneOp{Lo: lo, Hi: hi})
+	if err != nil {
+		return wal.Record{}, fmt.Errorf("store: encode prune record: %w", err)
+	}
+	return wal.Record{Type: recPruneRange, Data: data}, nil
+}
+
+func decodePruneRange(data []byte) (pruneOp, error) {
+	var op pruneOp
+	if err := json.Unmarshal(data, &op); err != nil {
+		return pruneOp{}, fmt.Errorf("store: decode prune record: %w", err)
+	}
+	return op, nil
 }
 
 // controlOp is the JSON form of the rare control-plane mutations.

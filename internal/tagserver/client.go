@@ -178,6 +178,18 @@ type NotPrimaryError struct {
 	Op      string
 	Primary string
 	Term    uint64
+
+	// RingVersion, when non-zero, marks a partition-ownership redirect
+	// rather than a replication failover: the responding node IS a healthy
+	// primary, it just does not own the segment under ring RingVersion.
+	// Retrying against another node cannot help; the caller (the routing
+	// tier) must refresh its ring and re-route.
+	RingVersion uint64
+
+	// RetryAfter is the server's Retry-After hint (0 when absent): how
+	// long to wait before re-dispatching, e.g. while a promotion is in
+	// flight.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -479,6 +491,20 @@ func (c *Client) stampTerm(req *http.Request) {
 	}
 }
 
+// StatusError is a non-200, non-redirect HTTP status the node produced
+// deliberately — typically a 4xx like "unknown segment". It preserves
+// the code and body so a relaying tier (the partition router) can
+// re-emit the node's answer verbatim instead of rewrapping it.
+type StatusError struct {
+	Op      string
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("tagserver: %s status %d: %s", e.Op, e.Code, e.Message)
+}
+
 // statusError converts a non-200 response into an error, classifying 5xx
 // as unavailability and 421 as a replication redirect. The caller closes
 // the body.
@@ -491,7 +517,7 @@ func statusError(path string, resp *http.Response) error {
 		hint, _ := resilience.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 		return &UnavailableError{Op: path, Err: &OverloadedError{Op: path, RetryAfter: hint}}
 	}
-	err := fmt.Errorf("tagserver: %s status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
+	err := &StatusError{Op: path, Code: resp.StatusCode, Message: string(bytes.TrimSpace(body))}
 	if resp.StatusCode >= http.StatusInternalServerError {
 		return &UnavailableError{Op: path, Err: err}
 	}
@@ -517,6 +543,14 @@ func notPrimaryError(path string, resp *http.Response, body []byte) *NotPrimaryE
 		if term, err := strconv.ParseUint(resp.Header.Get("X-BF-Term"), 10, 64); err == nil {
 			np.Term = term
 		}
+	}
+	if v, err := strconv.ParseUint(resp.Header.Get(HeaderRingVersion), 10, 64); err == nil {
+		np.RingVersion = v
+	}
+	// A 421 during promotion may hint when the new primary will be
+	// electable; honour it exactly like a 429's backoff hint.
+	if hint, ok := resilience.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+		np.RetryAfter = hint
 	}
 	return np
 }

@@ -3,7 +3,9 @@ package tagserver
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 
 	"github.com/lsds/browserflow/internal/fingerprint"
 	"github.com/lsds/browserflow/internal/segment"
@@ -22,12 +24,13 @@ type ClusterClient struct {
 	cfg    fingerprint.Config
 	opts   []ClientOption
 
-	mu       sync.Mutex
-	primary  string
-	replicas []string
-	clients  map[string]*Client
-	rr       int
-	term     uint64
+	mu        sync.Mutex
+	primary   string
+	replicas  []string
+	bootstrap []string
+	clients   map[string]*Client
+	rr        int
+	term      uint64
 
 	// maxRedirects bounds how many 421 redirects one write follows.
 	maxRedirects int
@@ -45,6 +48,7 @@ func NewClusterClient(primary string, replicas []string, device string, cfg fing
 		opts:         opts,
 		primary:      primary,
 		replicas:     append([]string(nil), replicas...),
+		bootstrap:    append([]string{primary}, replicas...),
 		clients:      make(map[string]*Client),
 		maxRedirects: 3,
 	}
@@ -54,6 +58,18 @@ func NewClusterClient(primary string, replicas []string, device string, cfg fing
 		return nil, err
 	}
 	return cc, nil
+}
+
+// Bootstrap returns the comma-joined node list the client was built
+// over (primary first) — the identity a routing tier compares to decide
+// whether a ring change touched this group.
+func (cc *ClusterClient) Bootstrap() string {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if len(cc.bootstrap) == 0 {
+		return ""
+	}
+	return strings.Join(cc.bootstrap, ",")
 }
 
 // Term returns the highest replication term this client has observed.
@@ -144,13 +160,25 @@ func (cc *ClusterClient) discoverPrimary(ctx context.Context) bool {
 // write runs fn against the current primary, following up to
 // maxRedirects 421 redirects (learning the new primary from the error
 // or, when it is not advertised, from the replicas' health endpoints).
+// The hop cap bounds the redirect chase even when a mid-promotion
+// cluster ping-pongs (a fenced ex-primary advertising the candidate,
+// the candidate still advertising the ex-primary): a redirect back to a
+// node already tried this write stops following addresses and falls
+// back to health discovery. A 421 carrying a Retry-After hint (a
+// promotion in flight) is honoured like a 429's backoff before the next
+// hop; a 421 carrying a ring version is a partition-ownership redirect
+// and is returned to the caller — only the routing tier can fix a stale
+// ring.
 func (cc *ClusterClient) write(ctx context.Context, fn func(*Client) error) error {
 	var lastErr error
+	visited := make(map[string]bool, cc.maxRedirects+1)
 	for attempt := 0; attempt <= cc.maxRedirects; attempt++ {
-		c, err := cc.clientFor(cc.Primary())
+		base := cc.Primary()
+		c, err := cc.clientFor(base)
 		if err != nil {
 			return err
 		}
+		visited[base] = true
 		err = fn(c)
 		if err == nil {
 			return nil
@@ -163,9 +191,21 @@ func (cc *ClusterClient) write(ctx context.Context, fn func(*Client) error) erro
 			}
 			return err
 		}
-		cc.observe(np)
-		if np.Primary == "" && !cc.discoverPrimary(ctx) {
+		if np.RingVersion > 0 {
 			return err
+		}
+		cc.observe(np)
+		if np.RetryAfter > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(np.RetryAfter):
+			}
+		}
+		if np.Primary == "" || visited[cc.Primary()] {
+			if !cc.discoverPrimary(ctx) {
+				return err
+			}
 		}
 	}
 	return lastErr
@@ -238,11 +278,106 @@ func (cc *ClusterClient) Observe(ctx context.Context, service string, seg segmen
 	return out, err
 }
 
+// ObserveHashes records one pre-fingerprinted observation on the
+// primary (following failovers) — the primitive load drivers use when
+// they pre-compute fingerprints once and replay them.
+func (cc *ClusterClient) ObserveHashes(ctx context.Context, service string, seg segment.ID, hashes []uint32, granularity string) (Verdict, error) {
+	var out Verdict
+	err := cc.write(ctx, func(c *Client) error {
+		v, err := c.ObserveHashes(ctx, service, seg, hashes, granularity)
+		if err == nil {
+			out = v
+		}
+		return err
+	})
+	return out, err
+}
+
+// PartObserve sends a routed observation to the partition's primary,
+// following replication failovers. A partition-ownership 421 (ring
+// version set) is returned to the caller for a ring refresh.
+func (cc *ClusterClient) PartObserve(ctx context.Context, service string, seg segment.ID, hashes []uint32, granularity string, clock uint64, resolved *PartResolved) (PartObserveResponse, error) {
+	var out PartObserveResponse
+	err := cc.write(ctx, func(c *Client) error {
+		r, err := c.PartObserve(ctx, service, seg, hashes, granularity, clock, resolved)
+		if err == nil {
+			out = r
+		}
+		return err
+	})
+	return out, err
+}
+
+// PartQuery fetches the partition's scatter contribution from its
+// primary. Queries deliberately do not round-robin over replicas: a
+// lagging replica's contribution could miss a just-observed source and
+// change a verdict a single node would have produced.
+func (cc *ClusterClient) PartQuery(ctx context.Context, hashes []uint32, granularity string) (PartResolveWire, error) {
+	var out PartResolveWire
+	err := cc.write(ctx, func(c *Client) error {
+		r, err := c.PartQuery(ctx, hashes, granularity)
+		if err == nil {
+			out = r
+		}
+		return err
+	})
+	return out, err
+}
+
+// PartCheck evaluates a resolved release check on the partition's
+// primary.
+func (cc *ClusterClient) PartCheck(ctx context.Context, dest string, sources []PartSource, implicit []string) (Verdict, error) {
+	var out Verdict
+	err := cc.write(ctx, func(c *Client) error {
+		v, err := c.PartCheck(ctx, dest, sources, implicit)
+		if err == nil {
+			out = v
+		}
+		return err
+	})
+	return out, err
+}
+
+// PartRing fetches the encoded ring from any reachable node (replicas
+// first, primary fallback — the ring is installed cluster-wide).
+func (cc *ClusterClient) PartRing(ctx context.Context) (encoded []byte, version uint64, err error) {
+	rerr := cc.read(func(c *Client) error {
+		b, v, err := c.PartRing(ctx)
+		if err == nil {
+			encoded, version = b, v
+		}
+		return err
+	})
+	return encoded, version, rerr
+}
+
+// PartSuppress declassifies a tag via the partition's primary,
+// surfacing ownership 421s to the caller like PartObserve.
+func (cc *ClusterClient) PartSuppress(ctx context.Context, user string, seg segment.ID, tag tdm.Tag, justification string) error {
+	return cc.write(ctx, func(c *Client) error {
+		return c.SuppressCtx(ctx, user, seg, tag, justification)
+	})
+}
+
 // Suppress declassifies a tag via the primary.
 func (cc *ClusterClient) Suppress(ctx context.Context, user string, seg segment.ID, tag tdm.Tag, justification string) error {
 	return cc.write(ctx, func(c *Client) error {
 		return c.SuppressCtx(ctx, user, seg, tag, justification)
 	})
+}
+
+// Upload evaluates a tracked segment's release on any replica (primary
+// fallback) — the check is against the segment's stored label.
+func (cc *ClusterClient) Upload(ctx context.Context, seg segment.ID, dest string) (Verdict, error) {
+	var out Verdict
+	err := cc.read(func(c *Client) error {
+		v, err := c.CheckUploadCtx(ctx, seg, dest)
+		if err == nil {
+			out = v
+		}
+		return err
+	})
+	return out, err
 }
 
 // Check evaluates ad-hoc text against a destination on any replica

@@ -1,0 +1,549 @@
+// partition.go — the tag service's partitioned-cluster surface. In a
+// partitioned deployment every node owns one contiguous partition-key
+// range (segment.Key hashes), and the routing tier (bfproxy -ring-file)
+// scatter-gathers cross-partition disclosure queries:
+//
+//	POST /v1/part/observe  phase 1 (no body.resolved): cache probe at the
+//	                       segment's home; a hit answers the verdict, a
+//	                       miss returns this partition's scatter
+//	                       contribution. phase 2 (body.resolved set):
+//	                       apply the router-merged result.
+//	POST /v1/part/query    read-only scatter contribution (checks, and
+//	                       the remote half of an observe resolution).
+//	POST /v1/part/check    evaluate a release check from router-resolved
+//	                       sources and implicit tags.
+//	GET/POST /v1/part/ring fetch / install the encoded ring config.
+//	POST /v1/part/prune    drop a key range after a split moves it.
+//
+// A mutation for a segment this node does not own is answered 421 with
+// X-BF-Ring-Version, so a router holding a stale ring refreshes and
+// re-dispatches instead of writing to the wrong partition.
+package tagserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/index"
+	"github.com/lsds/browserflow/internal/obs"
+	"github.com/lsds/browserflow/internal/policy"
+	"github.com/lsds/browserflow/internal/segment"
+)
+
+// HeaderRingVersion carries the responding node's ring version on
+// partition-ownership 421s and on /v1/part/ring responses, so routers
+// know whether their ring is stale before re-fetching it.
+const HeaderRingVersion = "X-BF-Ring-Version"
+
+// PartitionState is the node-side view of the cluster ring the server
+// consults for ownership and health. It is implemented by bftagd (which
+// owns the ring file) so the tagserver package stays decoupled from the
+// ring codec.
+type PartitionState interface {
+	// ID is this node's partition id.
+	ID() string
+
+	// RingVersion is the installed ring's version.
+	RingVersion() uint64
+
+	// Owns reports whether seg's partition key falls in this partition's
+	// range under the installed ring.
+	Owns(seg segment.ID) bool
+
+	// KeyRange is this partition's inclusive partition-key range.
+	KeyRange() (lo, hi uint32)
+
+	// Sole reports whether the ring holds exactly one partition, in which
+	// case observes complete locally in one round trip.
+	Sole() bool
+
+	// Resharding reports whether a split is currently moving a slice of
+	// this partition's range.
+	Resharding() bool
+
+	// RingBytes returns the installed ring in its encoded (BFRING01)
+	// form, nil when none is installed.
+	RingBytes() []byte
+
+	// SetRing validates and installs an encoded ring, returning the new
+	// version. Version-monotone: an older or equal version is rejected.
+	SetRing(encoded []byte) (uint64, error)
+}
+
+// WithPartition installs the node's partition state, enabling the
+// /v1/part/* surface and partition-aware ownership checks on the
+// classic mutation endpoints.
+func WithPartition(ps PartitionState) ServerOption {
+	return func(s *Server) { s.partition = ps }
+}
+
+// HealthPartition is the /healthz view of the node's partition.
+type HealthPartition struct {
+	ID          string `json:"id"`
+	RingVersion uint64 `json:"ringVersion"`
+	RangeLo     uint32 `json:"rangeLo"`
+	RangeHi     uint32 `json:"rangeHi"`
+	Resharding  bool   `json:"resharding"`
+}
+
+// --- wire types -------------------------------------------------------------
+
+// PartOldestRef names the partition-local oldest holder of one query
+// hash (I indexes the request's hash list).
+type PartOldestRef struct {
+	I   int        `json:"i"`
+	Seg segment.ID `json:"seg"`
+	Seq uint64     `json:"seq"`
+}
+
+// PartCandWire carries one candidate's evaluation facts: fingerprint
+// length, disclosure threshold, the hash indices it holds, and its
+// explicit tags.
+type PartCandWire struct {
+	Seg  segment.ID `json:"seg"`
+	Len  int        `json:"len"`
+	Thr  float64    `json:"thr"`
+	Ov   []int      `json:"ov,omitempty"`
+	Tags []string   `json:"tags,omitempty"`
+}
+
+// PartResolveWire is one partition's scatter-gather contribution.
+type PartResolveWire struct {
+	Clock  uint64          `json:"clock"`
+	Oldest []PartOldestRef `json:"oldest,omitempty"`
+	Cands  []PartCandWire  `json:"cands,omitempty"`
+}
+
+// PartSource is one resolved disclosure source on the wire (threshold
+// included so the home partition can seed its decision cache).
+type PartSource struct {
+	Seg        segment.ID `json:"seg"`
+	Disclosure float64    `json:"disclosure"`
+	Threshold  float64    `json:"threshold"`
+}
+
+// PartResolved is the router-merged disclosure result a phase-2 observe
+// applies.
+type PartResolved struct {
+	Sources []PartSource            `json:"sources"`
+	Tags    map[segment.ID][]string `json:"tags,omitempty"`
+}
+
+// PartObserveRequest is a routed observation. Clock is the router's
+// Lamport stamp (0 lets the home partition self-stamp). Resolved nil
+// means phase 1; set means phase 2.
+type PartObserveRequest struct {
+	Device      string        `json:"device,omitempty"`
+	Service     string        `json:"service"`
+	Seg         segment.ID    `json:"seg"`
+	Hashes      []uint32      `json:"hashes"`
+	Granularity string        `json:"granularity,omitempty"`
+	Clock       uint64        `json:"clock,omitempty"`
+	Resolved    *PartResolved `json:"resolved,omitempty"`
+}
+
+// PartObserveResponse carries either a final verdict (phase 1 hit, sole
+// mode, or phase 2) or the home partition's scatter contribution for
+// the router to merge.
+type PartObserveResponse struct {
+	Verdict *VerdictResponse `json:"verdict,omitempty"`
+	Resolve *PartResolveWire `json:"resolve,omitempty"`
+}
+
+// PartQueryRequest asks a partition for its scatter contribution.
+type PartQueryRequest struct {
+	Hashes      []uint32 `json:"hashes"`
+	Granularity string   `json:"granularity,omitempty"`
+}
+
+// PartCheckRequest evaluates a release check from router-resolved
+// sources and the scatter-computed implicit tag union.
+type PartCheckRequest struct {
+	Device   string       `json:"device,omitempty"`
+	Dest     string       `json:"dest"`
+	Sources  []PartSource `json:"sources,omitempty"`
+	Implicit []string     `json:"implicit,omitempty"`
+}
+
+// PartPruneRequest drops the inclusive key range after a split.
+type PartPruneRequest struct {
+	Lo uint32 `json:"lo"`
+	Hi uint32 `json:"hi"`
+}
+
+// PartPruneResponse reports how many segments the prune removed.
+type PartPruneResponse struct {
+	Removed int `json:"removed"`
+}
+
+// PartRingResponse acknowledges a ring install.
+type PartRingResponse struct {
+	Version uint64 `json:"version"`
+}
+
+// --- wire conversions -------------------------------------------------------
+
+// toWireResolve converts an engine scatter contribution to its wire form.
+func toWireResolve(r policy.PartResolve) *PartResolveWire {
+	out := &PartResolveWire{Clock: r.Clock}
+	for _, o := range r.Oldest {
+		out.Oldest = append(out.Oldest, PartOldestRef{I: o.Idx, Seg: o.Seg, Seq: o.Seq})
+	}
+	for _, c := range r.Cands {
+		out.Cands = append(out.Cands, PartCandWire{Seg: c.Seg, Len: c.Len, Thr: c.Threshold, Ov: c.Overlap, Tags: c.Tags})
+	}
+	return out
+}
+
+// FromWireResolve converts a wire scatter contribution back to engine
+// form — the router's side of the conversion.
+func FromWireResolve(r *PartResolveWire) policy.PartResolve {
+	out := policy.PartResolve{Clock: r.Clock}
+	for _, o := range r.Oldest {
+		out.Oldest = append(out.Oldest, index.OldestRef{Idx: o.I, Seg: o.Seg, Seq: o.Seq})
+	}
+	for _, c := range r.Cands {
+		out.Cands = append(out.Cands, policy.PartCand{Seg: c.Seg, Len: c.Len, Threshold: c.Thr, Overlap: c.Ov, Tags: c.Tags})
+	}
+	return out
+}
+
+// FromWireResolved converts a router-merged result to engine form.
+func FromWireResolved(r *PartResolved) ([]disclosure.Source, map[segment.ID][]string) {
+	var sources []disclosure.Source
+	for _, s := range r.Sources {
+		sources = append(sources, disclosure.Source{Seg: s.Seg, Disclosure: s.Disclosure, Threshold: s.Threshold})
+	}
+	return sources, r.Tags
+}
+
+// ToWireSources converts resolved sources to wire form.
+func ToWireSources(sources []disclosure.Source) []PartSource {
+	out := make([]PartSource, 0, len(sources))
+	for _, s := range sources {
+		out = append(out, PartSource{Seg: s.Seg, Disclosure: s.Disclosure, Threshold: s.Threshold})
+	}
+	return out
+}
+
+// --- server handlers --------------------------------------------------------
+
+// registerPartitionHandlers mounts the /v1/part/* surface (no-op when
+// the server runs unpartitioned).
+func (s *Server) registerPartitionHandlers(handle func(path, endpoint string, h http.HandlerFunc)) {
+	if s.partition == nil {
+		return
+	}
+	handle("/v1/part/observe", "part_observe", s.handlePartObserve)
+	handle("/v1/part/query", "part_query", s.handlePartQuery)
+	handle("/v1/part/check", "part_check", s.handlePartCheck)
+	handle("/v1/part/ring", "part_ring", s.handlePartRing)
+	handle("/v1/part/prune", "part_prune", s.handlePartPrune)
+}
+
+// writeNotOwner answers a mutation for a segment this partition does not
+// own: 421 plus the ring version, so a router with a stale ring fetches
+// the fresh one and re-dispatches.
+func (s *Server) writeNotOwner(w http.ResponseWriter, seg segment.ID) {
+	ps := s.partition
+	w.Header().Set(HeaderRingVersion, strconv.FormatUint(ps.RingVersion(), 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusMisdirectedRequest)
+	json.NewEncoder(w).Encode(map[string]interface{}{ //nolint:errcheck
+		"error":       fmt.Sprintf("partition %s does not own segment %q (ring v%d)", ps.ID(), seg, ps.RingVersion()),
+		"ringVersion": ps.RingVersion(),
+	})
+}
+
+// parseGranularity maps the wire granularity to the engine's.
+func parseGranularity(v string) (segment.Granularity, bool) {
+	switch v {
+	case "", "paragraph":
+		return segment.GranularityParagraph, true
+	case "document":
+		return segment.GranularityDocument, true
+	default:
+		return segment.GranularityParagraph, false
+	}
+}
+
+func (s *Server) handlePartObserve(w http.ResponseWriter, r *http.Request) {
+	var req PartObserveRequest
+	if !s.decodePost(w, r, &req) {
+		return
+	}
+	if req.Seg == "" || req.Service == "" {
+		http.Error(w, "seg and service required", http.StatusBadRequest)
+		return
+	}
+	gran, ok := parseGranularity(req.Granularity)
+	if !ok {
+		http.Error(w, "unknown granularity", http.StatusBadRequest)
+		return
+	}
+	if !s.partition.Owns(req.Seg) {
+		s.writeNotOwner(w, req.Seg)
+		return
+	}
+	fp := fingerprint.FromHashes(req.Hashes)
+	if req.Resolved != nil {
+		sources, tags := FromWireResolved(req.Resolved)
+		verdict, err := s.engine.ObserveResolvedFPCtx(r.Context(), req.Seg, req.Service, fp, gran, req.Clock, sources, tags)
+		if err != nil {
+			s.writeEngineError(w, err)
+			return
+		}
+		s.observes.Add(1)
+		s.countVerdict(verdict)
+		vr := verdictResponse(verdict)
+		writeJSON(w, PartObserveResponse{Verdict: &vr})
+		return
+	}
+	if s.partition.Sole() {
+		verdict, err := s.engine.ObserveSoleFPCtx(r.Context(), req.Seg, req.Service, fp, gran, req.Clock)
+		if err != nil {
+			s.writeEngineError(w, err)
+			return
+		}
+		s.observes.Add(1)
+		s.countVerdict(verdict)
+		vr := verdictResponse(verdict)
+		writeJSON(w, PartObserveResponse{Verdict: &vr})
+		return
+	}
+	verdict, resolve, done, err := s.engine.ObservePart(r.Context(), req.Seg, req.Service, fp, gran, req.Clock)
+	if err != nil {
+		s.writeEngineError(w, err)
+		return
+	}
+	if done {
+		s.observes.Add(1)
+		s.countVerdict(verdict)
+		vr := verdictResponse(verdict)
+		writeJSON(w, PartObserveResponse{Verdict: &vr})
+		return
+	}
+	writeJSON(w, PartObserveResponse{Resolve: toWireResolve(resolve)})
+}
+
+func (s *Server) handlePartQuery(w http.ResponseWriter, r *http.Request) {
+	var req PartQueryRequest
+	if !s.decodePost(w, r, &req) {
+		return
+	}
+	gran, ok := parseGranularity(req.Granularity)
+	if !ok {
+		http.Error(w, "unknown granularity", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, toWireResolve(s.engine.PartQuery(req.Hashes, gran)))
+}
+
+func (s *Server) handlePartCheck(w http.ResponseWriter, r *http.Request) {
+	var req PartCheckRequest
+	if !s.decodePost(w, r, &req) {
+		return
+	}
+	if req.Dest == "" {
+		http.Error(w, "dest required", http.StatusBadRequest)
+		return
+	}
+	sources := make([]disclosure.Source, 0, len(req.Sources))
+	for _, src := range req.Sources {
+		sources = append(sources, disclosure.Source{Seg: src.Seg, Disclosure: src.Disclosure, Threshold: src.Threshold})
+	}
+	verdict, err := s.engine.CheckResolved(req.Dest, sources, req.Implicit)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.checks.Add(1)
+	s.countVerdict(verdict)
+	writeVerdict(w, verdict)
+}
+
+// handlePartRing serves (GET) and installs (POST) the encoded ring. The
+// POST side is deliberately outside the replication guard: a ring flip
+// must reach replicas and fenced ex-primaries too, or they would keep
+// answering ownership checks against a stale ring after promotion.
+func (s *Server) handlePartRing(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		rb := s.partition.RingBytes()
+		if rb == nil {
+			http.Error(w, "no ring installed", http.StatusNotFound)
+			return
+		}
+		w.Header().Set(HeaderRingVersion, strconv.FormatUint(s.partition.RingVersion(), 10))
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(rb) //nolint:errcheck
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+		if err != nil {
+			http.Error(w, "read ring body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		version, err := s.partition.SetRing(body)
+		if err != nil {
+			http.Error(w, "install ring: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set(HeaderRingVersion, strconv.FormatUint(version, 10))
+		writeJSON(w, PartRingResponse{Version: version})
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handlePartPrune(w http.ResponseWriter, r *http.Request) {
+	var req PartPruneRequest
+	if !s.decodePost(w, r, &req) {
+		return
+	}
+	if req.Lo > req.Hi {
+		http.Error(w, "lo must be <= hi", http.StatusBadRequest)
+		return
+	}
+	removed, err := s.engine.PruneRange(r.Context(), req.Lo, req.Hi)
+	if err != nil {
+		s.writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, PartPruneResponse{Removed: removed})
+}
+
+// --- client methods ---------------------------------------------------------
+
+// PartObserve sends a routed observation (phase 1 when resolved is nil,
+// phase 2 otherwise). Exactly one of the response's Verdict / Resolve is
+// set on success.
+func (c *Client) PartObserve(ctx context.Context, service string, seg segment.ID, hashes []uint32, granularity string, clock uint64, resolved *PartResolved) (PartObserveResponse, error) {
+	const path = "/v1/part/observe"
+	resp, err := c.post(ctx, path, PartObserveRequest{
+		Device:      c.device,
+		Service:     service,
+		Seg:         seg,
+		Hashes:      hashes,
+		Granularity: granularity,
+		Clock:       clock,
+		Resolved:    resolved,
+	})
+	if err != nil {
+		return PartObserveResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return PartObserveResponse{}, statusError(path, resp)
+	}
+	var out PartObserveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return PartObserveResponse{}, &UnavailableError{Op: path, Err: fmt.Errorf("decode response: %w", err)}
+	}
+	if out.Verdict == nil && out.Resolve == nil {
+		return PartObserveResponse{}, &UnavailableError{Op: path, Err: fmt.Errorf("response carries neither verdict nor resolve")}
+	}
+	return out, nil
+}
+
+// PartQuery fetches a partition's scatter contribution for hashes.
+func (c *Client) PartQuery(ctx context.Context, hashes []uint32, granularity string) (PartResolveWire, error) {
+	const path = "/v1/part/query"
+	resp, err := c.post(ctx, path, PartQueryRequest{Hashes: hashes, Granularity: granularity})
+	if err != nil {
+		return PartResolveWire{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return PartResolveWire{}, statusError(path, resp)
+	}
+	var out PartResolveWire
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return PartResolveWire{}, &UnavailableError{Op: path, Err: fmt.Errorf("decode response: %w", err)}
+	}
+	return out, nil
+}
+
+// PartCheck evaluates a release check from resolved sources and implicit
+// tags.
+func (c *Client) PartCheck(ctx context.Context, dest string, sources []PartSource, implicit []string) (Verdict, error) {
+	return c.postVerdict(ctx, "/v1/part/check", PartCheckRequest{
+		Device:   c.device,
+		Dest:     dest,
+		Sources:  sources,
+		Implicit: implicit,
+	})
+}
+
+// PartRing fetches the node's encoded ring and its version.
+func (c *Client) PartRing(ctx context.Context) ([]byte, uint64, error) {
+	const path = "/v1/part/ring"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	obs.StampRequest(req)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, 0, &UnavailableError{Op: path, Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, statusError(path, resp)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, 0, &UnavailableError{Op: path, Err: err}
+	}
+	version, _ := strconv.ParseUint(resp.Header.Get(HeaderRingVersion), 10, 64)
+	return body, version, nil
+}
+
+// PartSetRing installs an encoded ring on the node, returning the
+// installed version.
+func (c *Client) PartSetRing(ctx context.Context, encoded []byte) (uint64, error) {
+	const path = "/v1/part/ring"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(encoded))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	obs.StampRequest(req)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, &UnavailableError{Op: path, Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, statusError(path, resp)
+	}
+	var out PartRingResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, &UnavailableError{Op: path, Err: fmt.Errorf("decode response: %w", err)}
+	}
+	return out.Version, nil
+}
+
+// PartPrune drops the inclusive key range [lo, hi] on the node.
+func (c *Client) PartPrune(ctx context.Context, lo, hi uint32) (int, error) {
+	const path = "/v1/part/prune"
+	resp, err := c.post(ctx, path, PartPruneRequest{Lo: lo, Hi: hi})
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, statusError(path, resp)
+	}
+	var out PartPruneResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, &UnavailableError{Op: path, Err: fmt.Errorf("decode response: %w", err)}
+	}
+	return out.Removed, nil
+}

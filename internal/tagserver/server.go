@@ -145,6 +145,10 @@ type HealthResponse struct {
 	// quarantine inventory and disk degradation; nil without a durability
 	// layer.
 	Storage *HealthStorage `json:"storage,omitempty"`
+
+	// Partition summarises the node's place in the cluster ring; nil on an
+	// unpartitioned node.
+	Partition *HealthPartition `json:"partition,omitempty"`
 }
 
 // HealthStorage is the /healthz view of the self-healing storage layer.
@@ -279,6 +283,7 @@ type Server struct {
 	replication func() HealthReplication
 	admission   *admission.Pipeline
 	obs         *obs.Obs
+	partition   PartitionState
 
 	// Operational counters, exported in Prometheus text format at
 	// /metrics.
@@ -322,6 +327,7 @@ func NewServer(engine *policy.Engine, opts ...ServerOption) (*Server, error) {
 	handle("/v1/stats", "stats", s.handleStats)
 	handle("/v1/metrics", "metrics", s.handleMetrics)
 	handle("/healthz", "healthz", s.handleHealthz)
+	s.registerPartitionHandlers(handle)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	if s.obs != nil {
 		s.mux.Handle("/v1/debug/traces", s.obs.TracesHandler())
@@ -455,7 +461,22 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		verdict policy.Verdict
 		err     error
 	)
-	if s.admission != nil {
+	if ps := s.partition; ps != nil {
+		// Partition mode: every observe journals a resolved (stamped)
+		// record so a later split can replay this node's WAL
+		// deterministically. Sole rings complete locally; a multi-partition
+		// node cannot resolve cross-partition sources itself, so classic
+		// observes must come through the routing tier.
+		if !ps.Owns(req.Seg) {
+			s.writeNotOwner(w, req.Seg)
+			return
+		}
+		if !ps.Sole() {
+			http.Error(w, "node is a cluster partition: observations go through the routing tier (/v1/part/observe)", http.StatusConflict)
+			return
+		}
+		verdict, err = s.engine.ObserveSoleFPCtx(r.Context(), req.Seg, req.Service, fingerprint.FromHashes(req.Hashes), gran, 0)
+	} else if s.admission != nil {
 		verdict, err = s.admission.Observe(r.Context(), req.Service, req.Seg, gran, fingerprint.FromHashes(req.Hashes))
 	} else if gran == segment.GranularityDocument {
 		verdict, err = s.engine.ObserveDocumentEditFPCtx(r.Context(), req.Seg, req.Service, fingerprint.FromHashes(req.Hashes))
@@ -511,7 +532,26 @@ func (s *Server) handleObserveBatch(w http.ResponseWriter, r *http.Request) {
 		verdicts []policy.Verdict
 		err      error
 	)
-	if s.admission != nil {
+	if ps := s.partition; ps != nil {
+		// Partition mode: batch records carry no Lamport stamps, so apply
+		// items one by one through the sole-mode path (stamped resolved
+		// records) to keep a split's filtered replay deterministic.
+		if !ps.Sole() {
+			http.Error(w, "node is a cluster partition: observations go through the routing tier (/v1/part/observe)", http.StatusConflict)
+			return
+		}
+		verdicts = make([]policy.Verdict, len(items))
+		for i, item := range items {
+			if !ps.Owns(item.Seg) {
+				s.writeNotOwner(w, item.Seg)
+				return
+			}
+			verdicts[i], err = s.engine.ObserveSoleFPCtx(r.Context(), item.Seg, req.Service, item.FP, item.Granularity, 0)
+			if err != nil {
+				break
+			}
+		}
+	} else if s.admission != nil {
 		verdicts, err = s.admission.ObserveBatch(r.Context(), req.Service, items)
 	} else {
 		verdicts, err = s.engine.ObserveBatchFPCtx(r.Context(), req.Service, items)
@@ -570,6 +610,12 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSuppress(w http.ResponseWriter, r *http.Request) {
 	var req SuppressRequest
 	if !s.decodePost(w, r, &req) {
+		return
+	}
+	if ps := s.partition; ps != nil && !ps.Owns(req.Seg) {
+		// Suppressions mutate the segment's home label; the audit trail
+		// lives there too.
+		s.writeNotOwner(w, req.Seg)
 		return
 	}
 	// Route through the engine (not Registry().SuppressTag directly) so the
@@ -784,6 +830,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if rs := s.replication; rs != nil {
 		status := rs()
 		resp.Replication = &status
+	}
+	if ps := s.partition; ps != nil {
+		lo, hi := ps.KeyRange()
+		resp.Partition = &HealthPartition{
+			ID:          ps.ID(),
+			RingVersion: ps.RingVersion(),
+			RangeLo:     lo,
+			RangeHi:     hi,
+			Resharding:  ps.Resharding(),
+		}
 	}
 	if s.admission != nil {
 		st := s.admission.Stats()

@@ -141,6 +141,25 @@ func (r *Registry) ObserveSegment(seg segment.ID, service string) (*Label, error
 	return label.Clone(), nil
 }
 
+// UpsertExplicit replaces seg's explicit tag set, creating the label if
+// absent and preserving implicit and suppressed tags. This is the shadow
+// label mechanism of the partitioned cluster: when a routed observation
+// resolves disclosure sources homed on other partitions, their explicit
+// tags ride along in the reply and are mirrored here so the subsequent
+// RefreshImplicit sees the same source labels a single shared registry
+// would. Deliberately not audited — every mutation being mirrored was
+// already audited at the source segment's home partition.
+func (r *Registry) UpsertExplicit(seg segment.ID, tags []Tag) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	label, ok := r.labels[seg]
+	if !ok {
+		label = NewLabel()
+		r.labels[seg] = label
+	}
+	label.explicit = NewTagSet(tags...)
+}
+
 // Label returns a copy of seg's label, or nil if the segment is unknown.
 func (r *Registry) Label(seg segment.ID) *Label {
 	r.mu.RLock()
