@@ -8,8 +8,10 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"github.com/lsds/browserflow/internal/partition"
+	"github.com/lsds/browserflow/internal/wal"
 )
 
 // partGetRing fetches and decodes a node's installed ring.
@@ -140,17 +142,66 @@ type splitArgs struct {
 	force       bool
 }
 
+// splitCatchUpTimeout bounds how long runSplit waits for the split
+// target's mirror to cover the source's post-flip WAL position.
+// Overridable for tests.
+var splitCatchUpTimeout = 30 * time.Second
+
+// waitSplitCatchUp blocks until the target's mirrored WAL position
+// covers the source's current high-water mark, so promotion cannot
+// abandon acked writes for the moved range. It runs after the source's
+// ring flip: from then on the source 421s moved-range writes, so the
+// mark the target must reach no longer grows for that range and the
+// wait converges under live traffic.
+func waitSplitCatchUp(source, target string, force bool, stdout io.Writer) error {
+	srcSt, err := replGetStatus(source)
+	if err != nil {
+		return fmt.Errorf("status %s: %w", source, err)
+	}
+	srcPos, err := wal.ParsePos(srcSt.Position)
+	if err != nil {
+		return fmt.Errorf("source %s position: %w", source, err)
+	}
+	deadline := time.Now().Add(splitCatchUpTimeout)
+	for {
+		st, err := replGetStatus(target)
+		if err != nil {
+			return fmt.Errorf("status %s: %w", target, err)
+		}
+		if pos, perr := wal.ParsePos(st.Position); perr == nil && !pos.Less(srcPos) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if force {
+				fmt.Fprintf(stdout, "warning: split target %s mirror at %s has not covered source position %s; -force abandons the gap\n",
+					target, st.Position, srcSt.Position)
+				return nil
+			}
+			return fmt.Errorf("split target %s mirror at %s has not covered the source's position %s after %s; wait for catch-up or pass -force to abandon the gap",
+				target, st.Position, srcSt.Position, splitCatchUpTimeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
 // runSplit drives a live reshard to completion:
 //
 //  1. fetch the ring from the source and build version v+1 with the
-//     range [at+1, hi] moved to newID;
-//  2. refuse while the split target still lags the source (its filtered
-//     mirror is missing acked writes) unless -force;
-//  3. promote the target under a bumped fencing term, so the source's
-//     guard 421s any write that races the flip;
-//  4. install the new ring on every node (source first — it must stop
-//     claiming the moved range before the prune);
-//  5. prune the moved range from the source.
+//     range [at+1, hi] moved to newID (a re-run that finds the split
+//     ring already installed converges on it);
+//  2. install the new ring on the source FIRST, while the target is
+//     still mirroring: from that moment the source answers 421 for the
+//     moved range, so no write can be acked there that the target's
+//     stopped mirror would never see (the moved range is briefly
+//     routable-but-unowned until step 4 — fail-closed unavailability,
+//     never silent loss);
+//  3. wait until the target's mirror covers the source's now-frozen
+//     high-water mark (refusing to proceed on timeout unless -force);
+//  4. promote the target under a bumped fencing term (no -old-primary:
+//     the source stays primary of the kept range, so it must not be
+//     term-fenced — the ring flip in step 2 is the moved range's fence);
+//  5. install the new ring on the rest of the cluster;
+//  6. prune the moved range from the source.
 //
 // Every step is idempotent: re-running a half-finished split converges.
 func runSplit(a splitArgs, stdout io.Writer) error {
@@ -158,15 +209,36 @@ func runSplit(a splitArgs, stdout io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("fetch ring from %s: %w", a.server, err)
 	}
-	src, ok := ring.ByID(a.srcID)
-	if !ok {
-		return fmt.Errorf("ring v%d has no partition %q", ring.Version, a.srcID)
+	var (
+		next    *partition.Ring
+		srcHi   uint32
+		flipped bool // the source already carries the post-split ring (re-run)
+	)
+	if moved, ok := ring.ByID(a.newID); ok {
+		// Re-run of a half-finished split: the source's installed ring
+		// already has the moved range; converge on it instead of minting
+		// another version.
+		src, ok := ring.ByID(a.srcID)
+		if !ok || src.Hi != a.at || moved.Lo != a.at+1 {
+			return fmt.Errorf("ring v%d already has partition %q but not as a split of %q at %d; refusing to continue",
+				ring.Version, a.newID, a.srcID, a.at)
+		}
+		next, srcHi, flipped = ring, moved.Hi, true
+		fmt.Fprintf(stdout, "ring v%d already carries the split; resuming\n", ring.Version)
+	} else {
+		src, ok := ring.ByID(a.srcID)
+		if !ok {
+			return fmt.Errorf("ring v%d has no partition %q", ring.Version, a.srcID)
+		}
+		srcHi = src.Hi
+		if len(a.targetNodes) == 0 {
+			a.targetNodes = []string{a.target}
+		}
+		if next, err = partition.SplitRing(ring, a.srcID, a.at, a.newID, a.targetNodes); err != nil {
+			return err
+		}
 	}
-	srcHi := src.Hi
-	if len(a.targetNodes) == 0 {
-		a.targetNodes = []string{a.target}
-	}
-	next, err := partition.SplitRing(ring, a.srcID, a.at, a.newID, a.targetNodes)
+	encoded, err := partition.EncodeRing(next)
 	if err != nil {
 		return err
 	}
@@ -176,27 +248,35 @@ func runSplit(a splitArgs, stdout io.Writer) error {
 		return fmt.Errorf("status %s: %w", a.target, err)
 	}
 	if st.Role != "primary" {
-		if st.LagRecords > 0 && !a.force {
-			return fmt.Errorf("split target lags source by %d records; wait for catch-up or pass -force to abandon them", st.LagRecords)
+		if !st.Connected && !a.force {
+			return fmt.Errorf("split target %s is not mirroring the source (last error: %s); fix it or pass -force", a.target, st.LastError)
 		}
-		if err := runPromote(a.target, "", a.force, stdout); err != nil {
+		// Flip the source before the target stops mirroring (step 2).
+		if !flipped {
+			if err := partSetRing(a.server, encoded); err != nil {
+				return fmt.Errorf("install ring v%d on source %s: %w", next.Version, a.server, err)
+			}
+			fmt.Fprintf(stdout, "ring v%d installed on source %s (moved range now fenced there)\n", next.Version, a.server)
+		}
+		if err := waitSplitCatchUp(a.server, a.target, a.force, stdout); err != nil {
+			return err
+		}
+		// Skip the generic lag check: the catch-up above proved the mirror
+		// covers every record the source acked before the flip, and records
+		// past that mark are kept-range traffic the target's filter drops.
+		if err := promote(a.target, "", a.force, true, stdout); err != nil {
 			return fmt.Errorf("promote split target: %w", err)
 		}
 	} else {
 		fmt.Fprintf(stdout, "split target %s already primary at term %d\n", a.target, st.Term)
+		if !flipped {
+			if err := partSetRing(a.server, encoded); err != nil {
+				return fmt.Errorf("install ring v%d on source %s: %w", next.Version, a.server, err)
+			}
+			fmt.Fprintf(stdout, "ring v%d installed on source %s\n", next.Version, a.server)
+		}
 	}
 
-	encoded, err := partition.EncodeRing(next)
-	if err != nil {
-		return err
-	}
-	// The source must flip first: once the new ring is in, it answers 421
-	// for the moved range instead of accepting writes the target will
-	// never see.
-	if err := partSetRing(a.server, encoded); err != nil {
-		return fmt.Errorf("install ring v%d on source %s: %w", next.Version, a.server, err)
-	}
-	fmt.Fprintf(stdout, "ring v%d installed on source %s\n", next.Version, a.server)
 	for _, p := range next.Partitions {
 		for _, node := range p.Nodes {
 			if node == a.server {
@@ -214,8 +294,9 @@ func runSplit(a splitArgs, stdout io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("prune moved range on source: %w", err)
 	}
+	kept, _ := next.ByID(a.srcID)
 	fmt.Fprintf(stdout, "split complete: %s keeps [%d, %d], %s owns [%d, %d] (%d segments pruned from source)\n",
-		a.srcID, src.Lo, a.at, a.newID, a.at+1, srcHi, removed)
+		a.srcID, kept.Lo, a.at, a.newID, a.at+1, srcHi, removed)
 	return nil
 }
 

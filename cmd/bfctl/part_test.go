@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lsds/browserflow/internal/partition"
+)
+
+// splitEventLog records the cluster-wide order of split operations so
+// tests can assert the protocol's safety ordering.
+type splitEventLog struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (l *splitEventLog) add(e string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}
+
+func (l *splitEventLog) index(e string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, got := range l.events {
+		if got == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// fakePartNode serves the slices of /v1/repl/* and /v1/part/* that
+// runSplit drives, against a mutable status.
+type fakePartNode struct {
+	name   string
+	log    *splitEventLog
+	mu     sync.Mutex
+	status replStatus
+	ring   []byte
+	// onRingInstall runs after a ring POST is recorded — the happy-path
+	// test uses it to simulate the target's mirror draining once the
+	// source stops acking moved-range writes.
+	onRingInstall func()
+	srv           *httptest.Server
+}
+
+func (n *fakePartNode) setStatus(mutate func(*replStatus)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	mutate(&n.status)
+}
+
+func newFakePartNode(t *testing.T, name string, log *splitEventLog, status replStatus, ring []byte) *fakePartNode {
+	t.Helper()
+	n := &fakePartNode{name: name, log: log, status: status, ring: ring}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/repl/status", func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		st := n.status
+		n.mu.Unlock()
+		json.NewEncoder(w).Encode(st) //nolint:errcheck
+	})
+	mux.HandleFunc("/v1/repl/promote", func(w http.ResponseWriter, r *http.Request) {
+		n.log.add(n.name + ":promote")
+		n.setStatus(func(st *replStatus) { st.Role, st.Term = "primary", st.Term+1 })
+		n.mu.Lock()
+		term := n.status.Term
+		n.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+			"promoted": true, "role": "primary", "term": term, "primary": n.srv.URL,
+		})
+	})
+	mux.HandleFunc("/v1/part/ring", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			n.mu.Lock()
+			ring := n.ring
+			n.mu.Unlock()
+			w.Write(ring) //nolint:errcheck
+		case http.MethodPost:
+			n.log.add(n.name + ":ring")
+			if n.onRingInstall != nil {
+				n.onRingInstall()
+			}
+			json.NewEncoder(w).Encode(map[string]any{"version": 2}) //nolint:errcheck
+		}
+	})
+	mux.HandleFunc("/v1/part/prune", func(w http.ResponseWriter, r *http.Request) {
+		n.log.add(n.name + ":prune")
+		json.NewEncoder(w).Encode(map[string]any{"removed": 7}) //nolint:errcheck
+	})
+	n.srv = httptest.NewServer(mux)
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+// TestSplitFlipsSourceBeforePromote pins the split protocol's write-loss
+// guard: the source must install the post-split ring (fencing the moved
+// range) BEFORE the target is promoted — promotion stops the target's
+// mirror, so any write the source acks after it would be silently
+// destroyed by the prune. The target only reports catch-up after the
+// source's flip, so passing also proves the catch-up wait runs between
+// the two.
+func TestSplitFlipsSourceBeforePromote(t *testing.T) {
+	log := &splitEventLog{}
+	source := newFakePartNode(t, "source", log, replStatus{
+		Role: "primary", Term: 1, Position: "3,400", Connected: true,
+	}, nil)
+	target := newFakePartNode(t, "target", log, replStatus{
+		Role: "replica", Term: 1, Position: "3,100", Connected: true,
+	}, nil)
+
+	ring := partition.SingleRing("p0", source.srv.URL)
+	encoded, err := partition.EncodeRing(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source.ring = encoded
+	// The mirror drains only once the source stops acking moved-range
+	// writes — i.e. after its ring flip.
+	source.onRingInstall = func() {
+		target.setStatus(func(st *replStatus) { st.Position = "3,400" })
+	}
+
+	var out bytes.Buffer
+	err = runSplit(splitArgs{
+		server: source.srv.URL, srcID: "p0", at: math.MaxUint32 / 2,
+		newID: "p1", target: target.srv.URL,
+	}, &out)
+	if err != nil {
+		t.Fatalf("split: %v\n%s", err, out.String())
+	}
+
+	flip, promote, prune := log.index("source:ring"), log.index("target:promote"), log.index("source:prune")
+	if flip == -1 || promote == -1 || prune == -1 {
+		t.Fatalf("split skipped a step: events %v", log.events)
+	}
+	if flip > promote {
+		t.Errorf("source ring flip (%d) after target promote (%d): the mirror-stop window is open; events %v",
+			flip, promote, log.events)
+	}
+	if prune < promote || prune < log.index("target:ring") {
+		t.Errorf("prune ran before the topology settled: events %v", log.events)
+	}
+}
+
+// TestSplitRefusesWhenTargetCannotCatchUp: if the target's mirror never
+// covers the source's post-flip position, the split must stop before
+// promotion and before anything is pruned — the acked writes still only
+// exist on the source.
+func TestSplitRefusesWhenTargetCannotCatchUp(t *testing.T) {
+	oldTimeout := splitCatchUpTimeout
+	splitCatchUpTimeout = 200 * time.Millisecond
+	t.Cleanup(func() { splitCatchUpTimeout = oldTimeout })
+
+	log := &splitEventLog{}
+	source := newFakePartNode(t, "source", log, replStatus{
+		Role: "primary", Term: 1, Position: "3,400", Connected: true,
+	}, nil)
+	target := newFakePartNode(t, "target", log, replStatus{
+		Role: "replica", Term: 1, Position: "3,100", Connected: true,
+	}, nil)
+
+	ring := partition.SingleRing("p0", source.srv.URL)
+	encoded, err := partition.EncodeRing(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source.ring = encoded
+
+	var out bytes.Buffer
+	err = runSplit(splitArgs{
+		server: source.srv.URL, srcID: "p0", at: math.MaxUint32 / 2,
+		newID: "p1", target: target.srv.URL,
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "has not covered") {
+		t.Fatalf("split with a stuck target: err = %v, want catch-up refusal", err)
+	}
+	if log.index("target:promote") != -1 {
+		t.Errorf("stuck target was promoted anyway: events %v", log.events)
+	}
+	if log.index("source:prune") != -1 {
+		t.Errorf("moved range pruned despite failed catch-up: events %v", log.events)
+	}
+}

@@ -82,6 +82,15 @@ func runReplStatus(server string, stdout io.Writer) error {
 // explicitly so the old node refuses writes even before any client
 // carries the new term to it.
 func runPromote(server, oldPrimary string, force bool, stdout io.Writer) error {
+	return promote(server, oldPrimary, force, false, stdout)
+}
+
+// promote implements runPromote. skipLagCheck is for callers that have
+// already established a stronger catch-up guarantee than the raw record
+// lag (bfctl split verifies the target's mirror covers the source's
+// frozen high-water mark, after which any remaining lag is traffic its
+// segment filter discards anyway).
+func promote(server, oldPrimary string, force, skipLagCheck bool, stdout io.Writer) error {
 	st, err := replGetStatus(server)
 	if err != nil {
 		return fmt.Errorf("status %s: %w", server, err)
@@ -90,7 +99,7 @@ func runPromote(server, oldPrimary string, force bool, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "%s is already primary at term %d\n", server, st.Term)
 		return nil
 	}
-	if st.LagRecords > 0 && !force {
+	if st.LagRecords > 0 && !force && !skipLagCheck {
 		return fmt.Errorf("replica lags primary by %d records; catch up first or pass -force to abandon them", st.LagRecords)
 	}
 	if !st.Connected && !force {

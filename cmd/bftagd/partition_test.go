@@ -186,9 +186,11 @@ func segInRange(t *testing.T, prefix string, lo, hi uint32) segment.ID {
 //     promoted and the old primary, restarted, is fenced — the tier keeps
 //     answering identically with zero acked-write loss;
 //  4. p2 is split live: a filtered replica mirrors only the moving key
-//     range, is SIGKILLed mid-bootstrap and resumes from its local WAL,
-//     then is promoted; ring v2 flips source-first and the moved range is
-//     pruned — the tier follows the 421 ring redirect on its own;
+//     range, is SIGKILLed mid-bootstrap and resumes from its local WAL;
+//     ring v2 flips on the source first (fencing the moved range while
+//     the mirror still runs), the caught-up target is promoted and the
+//     moved range pruned — the tier follows the 421 ring redirect on its
+//     own;
 //  5. after the dust settles, verdicts still match byte-for-byte and the
 //     per-partition segment counts sum to the reference's.
 func TestPartitionChaos(t *testing.T) {
@@ -375,13 +377,12 @@ func TestPartitionChaos(t *testing.T) {
 	target.restart(t)
 	waitCaughtUp(t, target.base)
 
-	// Complete the split the way bfctl split does: promote the target,
-	// flip the ring on the source FIRST (it must start answering 421 for
-	// the moved range before anything is pruned), then everywhere else,
-	// then prune the moved range from the source.
-	if status, body := postJSON(t, target.base+"/v1/repl/promote", "application/json"); status != http.StatusOK {
-		t.Fatalf("promote split target: %d %s", status, body)
-	}
+	// Complete the split the way bfctl split does: flip the ring on the
+	// source FIRST, while the target is still mirroring — from then on
+	// the source 421s writes for the moved range, so none can be acked
+	// there that the target's stopped mirror would miss — wait for the
+	// target to cover the source's frozen high-water mark, promote it,
+	// flip the rest of the cluster, then prune the moved range.
 	next, err := partition.SplitRing(ring, "p2", at, "p3", []string{target.base})
 	if err != nil {
 		t.Fatal(err)
@@ -402,6 +403,10 @@ func TestPartitionChaos(t *testing.T) {
 	}
 	if status, body := installRing(groups[2].primary.base); status != http.StatusOK {
 		t.Fatalf("install ring v2 on split source: %d %s", status, body)
+	}
+	waitCaughtUp(t, target.base)
+	if status, body := postJSON(t, target.base+"/v1/repl/promote", "application/json"); status != http.StatusOK {
+		t.Fatalf("promote split target: %d %s", status, body)
 	}
 	for _, base := range []string{
 		groups[0].primary.base, groups[0].replica.base,

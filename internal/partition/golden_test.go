@@ -354,6 +354,53 @@ func TestGoldenPartitionedVerdicts(t *testing.T) {
 	}
 }
 
+// TestPrimeFoldsBothGranularityClocks holds Prime to the
+// stamps-ahead-of-cluster invariant for both clock families: paragraph
+// and document observations advance independent logical clocks, and a
+// restarted router that folded only one could stamp behind the other,
+// breaking deterministic replay.
+func TestPrimeFoldsBothGranularityClocks(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		seen = map[string]bool{}
+	)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/part/query" {
+			http.NotFound(w, r)
+			return
+		}
+		var req tagserver.PartQueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		seen[req.Granularity] = true
+		mu.Unlock()
+		clock := uint64(5)
+		if req.Granularity == "document" {
+			clock = 9
+		}
+		json.NewEncoder(w).Encode(tagserver.PartResolveWire{Clock: clock}) //nolint:errcheck
+	}))
+	t.Cleanup(srv.Close)
+
+	rt, err := partition.NewRouter(partition.SingleRing("p0", srv.URL), partition.RouterOptions{FP: fingerprint.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Prime(t.Context())
+
+	mu.Lock()
+	defer mu.Unlock()
+	if !seen["paragraph"] || !seen["document"] {
+		t.Fatalf("Prime queried granularities %v, want both paragraph and document", seen)
+	}
+	if got := rt.Clock(); got < 9 {
+		t.Fatalf("primed clock = %d, want >= 9 (the document clock)", got)
+	}
+}
+
 // TestGoldenScriptsSpanPartitions pins the fixtures to actually exercise
 // cross-partition resolution: under an even 2-way split, the scripted
 // segments must not all land on one partition.

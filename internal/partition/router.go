@@ -107,9 +107,15 @@ func (rt *Router) install(ring *Ring) error {
 		next[p.ID] = cc
 	}
 	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	// Re-check monotonicity under the same lock as the swap: two racing
+	// refreshes can both pass SetRing's version check, and the slower
+	// (older) install must not clobber the newer ring.
+	if rt.ring != nil && ring.Version <= rt.ring.Version {
+		return nil
+	}
 	rt.ring = ring
 	rt.clients = next
-	rt.mu.Unlock()
 	return nil
 }
 
@@ -173,10 +179,15 @@ func (rt *Router) Clock() uint64 { return rt.clock.Load() }
 // scatter that touches them).
 func (rt *Router) Prime(ctx context.Context) {
 	ring, clients := rt.snapshot()
-	replies := rt.scatter(ctx, ring, clients, nil, nil, "")
-	for _, r := range replies {
-		if r != nil {
-			rt.fold(r.Clock)
+	// Paragraph and document observations advance independent clocks;
+	// folding only one could still stamp behind the cluster, so prime
+	// from both.
+	for _, gran := range []string{"paragraph", "document"} {
+		replies := rt.scatter(ctx, ring, clients, nil, nil, gran)
+		for _, r := range replies {
+			if r != nil {
+				rt.fold(r.Clock)
+			}
 		}
 	}
 }

@@ -1,0 +1,49 @@
+package partition
+
+import (
+	"testing"
+
+	"github.com/lsds/browserflow/internal/fingerprint"
+)
+
+// TestInstallDiscardsStaleRing pins the topology version to monotone
+// under racing refreshes: SetRing's version check and install's ring
+// swap are separate lock acquisitions, so a refresh that lost the race
+// to a newer ring must be discarded by install itself, not regress the
+// version.
+func TestInstallDiscardsStaleRing(t *testing.T) {
+	rt, err := NewRouter(SingleRing("p0", "http://a"), RouterOptions{FP: fingerprint.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v3 := SingleRing("p0", "http://a")
+	v3.Version = 3
+	if err := rt.SetRing(v3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the losing side of the race: a v2 refresh passed SetRing's
+	// check before v3 was swapped in, and its install runs afterwards.
+	v2 := SingleRing("p0", "http://b")
+	v2.Version = 2
+	if err := rt.install(v2); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Ring().Version; got != 3 {
+		t.Fatalf("ring version regressed to v%d after stale install, want v3", got)
+	}
+	if nodes := rt.Ring().Partitions[0].Nodes[0]; nodes != "http://a" {
+		t.Fatalf("stale install replaced the newer ring's nodes: %s", nodes)
+	}
+
+	// Equal versions are discarded too.
+	dup := SingleRing("p0", "http://c")
+	dup.Version = 3
+	if err := rt.install(dup); err != nil {
+		t.Fatal(err)
+	}
+	if nodes := rt.Ring().Partitions[0].Nodes[0]; nodes != "http://a" {
+		t.Fatalf("equal-version install replaced the installed ring's nodes: %s", nodes)
+	}
+}

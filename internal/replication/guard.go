@@ -5,14 +5,21 @@ import (
 	"strconv"
 )
 
-// mutatingPaths are the tag-service endpoints that change state. Reads
-// (/v1/check, /v1/upload, /v1/label, /v1/stats, metrics, health) are
-// served by every role; mutations linearise through the primary.
+// mutatingPaths are the tag-service endpoints only the primary may
+// serve. Reads (/v1/check, /v1/upload, /v1/label, /v1/stats, metrics,
+// health) are served by every role; mutations linearise through the
+// primary. /v1/part/query is read-only but still primary-only: a
+// scatter contribution must reflect every acked observe, and a replica
+// or fenced ex-primary can lag — a stale contribution missing a
+// just-observed source would flip a block into an allow, so queries
+// 421 off-role and the routing tier rediscovers the real primary
+// through the usual redirect chain.
 var mutatingPaths = map[string]bool{
 	"/v1/observe":       true,
 	"/v1/observe/batch": true,
 	"/v1/suppress":      true,
 	"/v1/part/observe":  true,
+	"/v1/part/query":    true,
 	"/v1/part/prune":    true,
 }
 

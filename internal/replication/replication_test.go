@@ -470,6 +470,18 @@ func TestPromotionFencesOldPrimary(t *testing.T) {
 	if rresp.StatusCode != http.StatusOK {
 		t.Fatalf("read on fenced primary: status %d, want 200", rresp.StatusCode)
 	}
+	// Scatter contributions are primary-only even though they are
+	// read-only: a fenced ex-primary serving them could hide a
+	// just-observed source and flip a block into an allow, so the guard
+	// 421s the query and the router rediscovers the real primary.
+	qresp, err := http.Post(guarded.URL+"/v1/part/query", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qresp.Body.Close()
+	if qresp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("part query on fenced primary: status %d, want 421", qresp.StatusCode)
+	}
 
 	// The new primary's durable state survives a reopen: recover a fresh
 	// world from its directory and compare.

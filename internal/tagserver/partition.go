@@ -10,6 +10,10 @@
 //	                       apply the router-merged result.
 //	POST /v1/part/query    read-only scatter contribution (checks, and
 //	                       the remote half of an observe resolution).
+//	                       Primary-only despite being read-only: the
+//	                       replication guard 421s it on replicas and
+//	                       fenced ex-primaries, whose lagging state
+//	                       could hide the authoritative holder.
 //	POST /v1/part/check    evaluate a release check from router-resolved
 //	                       sources and implicit tags.
 //	GET/POST /v1/part/ring fetch / install the encoded ring config.
