@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check crash repl part fuzz obs overload scrub vuln cover bench repl-bench obs-bench load-bench scrub-bench part-bench corpus corpus-bench benchall experiments clean
+.PHONY: all build vet test race check crash repl part fuzz obs overload scrub policy vuln cover bench repl-bench obs-bench load-bench scrub-bench part-bench corpus corpus-bench benchall experiments clean
 
 all: build check
 
@@ -20,6 +20,7 @@ check: vet
 	$(MAKE) obs
 	$(MAKE) overload
 	$(MAKE) scrub
+	$(MAKE) policy
 	$(MAKE) fuzz
 	$(MAKE) corpus
 	$(MAKE) vuln
@@ -76,6 +77,32 @@ scrub:
 	$(GO) test -race -run 'Scrub|Quarantine|Degrad|DiskFault|ENOSPC|ReadOnly|Diverg|Digest|Fsck|VerifySegment' \
 		./internal/store ./internal/wal ./internal/index ./internal/replication ./internal/tagserver ./cmd/bfctl
 
+# policy runs the policy-language verification harness race-enabled: the
+# analyzer/compiler/property suites with a coverage floor on the package
+# that decides what may leave the browser, the golden byte-equivalence
+# suite (compiled bitset verdicts identical to the semilattice across the
+# seed scenario scripts, plus the alloc pins), the bfctl linter against
+# every broken fixture (must flag each) and every shipping fixture (must
+# pass), and a short fuzz smoke over both policy fuzz targets.
+POLICY_COVER_FLOOR ?= 90
+policy:
+	$(GO) test -race -coverprofile=/tmp/policyfile.cover ./internal/policyfile
+	@total=$$($(GO) tool cover -func=/tmp/policyfile.cover | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "policy: internal/policyfile coverage $$total% (floor $(POLICY_COVER_FLOOR)%)"; \
+	awk "BEGIN { exit !($$total >= $(POLICY_COVER_FLOOR)) }" || \
+		{ echo "policy: coverage $$total% below floor $(POLICY_COVER_FLOOR)%"; exit 1; }
+	$(GO) test -race -run 'Golden' ./internal/policy
+	@for f in internal/policyfile/testdata/broken-*.json; do \
+		if $(GO) run ./cmd/bfctl policy lint $$f >/dev/null 2>&1; then \
+			echo "policy: lint passed broken fixture $$f"; exit 1; \
+		fi; \
+	done; echo "policy: all broken fixtures flagged"
+	$(GO) run ./cmd/bfctl policy lint internal/policyfile/testdata/seed-webapps.json \
+		internal/policyfile/testdata/enterprise-classes.json \
+		internal/policyfile/testdata/encrypting-notes.json
+	$(GO) test -fuzz 'FuzzParsePolicy' -fuzztime 5s ./internal/policyfile
+	$(GO) test -fuzz 'FuzzCompilePolicy' -fuzztime 5s ./internal/policyfile
+
 # vuln scans the module with govulncheck when it is installed; absent the
 # tool (the default container has no network to fetch it), the gate is a
 # no-op so check stays runnable offline.
@@ -97,6 +124,8 @@ fuzz:
 	$(GO) test -fuzz 'FuzzRestoreBinarySnapshot' -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -fuzz 'FuzzDecodeDigest' -fuzztime $(FUZZTIME) ./internal/index
 	$(GO) test -fuzz 'FuzzDecodeRing' -fuzztime $(FUZZTIME) ./internal/partition
+	$(GO) test -fuzz 'FuzzParsePolicy' -fuzztime $(FUZZTIME) ./internal/policyfile
+	$(GO) test -fuzz 'FuzzCompilePolicy' -fuzztime $(FUZZTIME) ./internal/policyfile
 
 build:
 	$(GO) build ./...

@@ -28,6 +28,7 @@ package browserflow
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/lsds/browserflow/internal/audit"
 	"github.com/lsds/browserflow/internal/disclosure"
@@ -142,6 +143,11 @@ type Middleware struct {
 	registry *tdm.Registry
 	engine   *policy.Engine
 	secrets  *exactmatch.Store
+
+	// compiled is the policy artefact this instance was built from, when
+	// constructed via NewFromPolicyFile: the source of the policy hash and
+	// the declared sanitizer transforms. nil for programmatic construction.
+	compiled *policyfile.Compiled
 }
 
 // New builds a Middleware with the given services registered.
@@ -179,10 +185,18 @@ func New(cfg Config, services ...Service) (*Middleware, error) {
 }
 
 // NewFromPolicyFile builds a Middleware from an administrator-authored
-// policy document (see internal/policyfile for the JSON schema): services,
-// enforcement mode, thresholds and exact-match secrets.
+// policy document (see internal/policyfile for the JSON schema): service
+// classes, propagation rules, transforms, enforcement mode, thresholds and
+// exact-match secrets. The policy is compiled — class inheritance and
+// propagation flattened into per-service labels — and the resulting bitset
+// check table is installed on the registry, so release checks run on the
+// compiled fast path.
 func NewFromPolicyFile(path string) (*Middleware, error) {
 	pf, err := policyfile.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := policyfile.Compile(pf)
 	if err != nil {
 		return nil, err
 	}
@@ -190,32 +204,28 @@ func NewFromPolicyFile(path string) (*Middleware, error) {
 	cfg.Mode = pf.PolicyMode()
 	cfg.Tpar = pf.Tpar
 	cfg.Tdoc = pf.Tdoc
-	services := make([]Service, 0, len(pf.Services))
-	for _, svc := range pf.Services {
+	services := make([]Service, 0, len(compiled.Services))
+	for _, svc := range compiled.Services {
 		services = append(services, Service{
 			Name:            svc.Name,
-			Privilege:       toTags(svc.Privilege),
-			Confidentiality: toTags(svc.Confidentiality),
+			Privilege:       svc.Privilege,
+			Confidentiality: svc.Confidentiality,
 		})
 	}
 	mw, err := New(cfg, services...)
 	if err != nil {
 		return nil, err
 	}
+	if err := mw.registry.InstallCheckTable(compiled.Table); err != nil {
+		return nil, fmt.Errorf("browserflow: %w", err)
+	}
+	mw.compiled = compiled
 	for _, s := range pf.Secrets {
 		if err := mw.RegisterSecret(s.Name, s.Value); err != nil {
 			return nil, err
 		}
 	}
 	return mw, nil
-}
-
-func toTags(ss []string) []Tag {
-	out := make([]Tag, len(ss))
-	for i, s := range ss {
-		out[i] = Tag(s)
-	}
-	return out
 }
 
 // Config returns the middleware configuration.
@@ -265,6 +275,61 @@ func (m *Middleware) CheckText(text, destService string) (Verdict, error) {
 // the justification in the audit trail (§3.1).
 func (m *Middleware) Suppress(user string, seg SegmentID, tag Tag, justification string) error {
 	return m.registry.SuppressTag(user, seg, tag, justification)
+}
+
+// PolicyHash returns the compiled policy fingerprint when the middleware
+// was built from a policy file, "" otherwise. Devices expose it (e.g. on
+// /healthz) so policy drift across a fleet is visible.
+func (m *Middleware) PolicyHash() string {
+	if m.compiled == nil {
+		return ""
+	}
+	return m.compiled.Hash()
+}
+
+// Transforms lists the sanitizer transforms the loaded policy declares.
+func (m *Middleware) Transforms() []string {
+	if m.compiled == nil {
+		return nil
+	}
+	out := make([]string, 0, len(m.compiled.Transforms))
+	for name := range m.compiled.Transforms {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ApplyTransform records that the named policy-declared sanitizer was
+// applied to a segment: every tag the transform suppresses that is present
+// on the label is suppressed (audited declassification), with the
+// transform recorded as the justification — "redaction counts as
+// suppression". Tags the transform lists but the label does not carry are
+// skipped. It returns the tags actually suppressed.
+func (m *Middleware) ApplyTransform(user string, seg SegmentID, transform string) ([]Tag, error) {
+	if m.compiled == nil {
+		return nil, fmt.Errorf("browserflow: no policy file loaded; transforms require NewFromPolicyFile")
+	}
+	tags, ok := m.compiled.Transforms[transform]
+	if !ok {
+		return nil, fmt.Errorf("browserflow: unknown transform %q", transform)
+	}
+	label := m.registry.Label(seg)
+	if label == nil {
+		return nil, nil
+	}
+	present := label.Explicit().Union(label.Implicit())
+	var applied []Tag
+	for _, tag := range tags {
+		if !present.Has(tag) {
+			continue
+		}
+		if err := m.engine.Suppress(user, seg, tag, "transform:"+transform); err != nil {
+			return applied, err
+		}
+		applied = append(applied, tag)
+	}
+	return applied, nil
 }
 
 // Override records a user explicitly permitting a flagged upload.

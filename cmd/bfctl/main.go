@@ -11,6 +11,7 @@
 //	bfctl -state s.bf label -seg wiki/guide#p0
 //	bfctl -state s.bf stats
 //	bfctl -state s.bf audit
+//	bfctl policy lint policy.json shadow-policy.json
 //
 // Against a replicated tag service, bfctl is also the failover operator:
 //
@@ -81,7 +82,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return errors.New("command required: init, add-service, observe, check, sources, attribute, suppress, allocate, grant, label, stats, audit, promote, repl-status, split, ring, metrics, trace, fsck, scrub-status")
+		return errors.New("command required: init, add-service, observe, check, sources, attribute, suppress, allocate, grant, label, stats, audit, promote, repl-status, split, ring, metrics, trace, fsck, scrub-status, policy")
 	}
 	cmd := fs.Arg(0)
 
@@ -109,6 +110,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	// Observability operator commands: `metrics` dumps /v1/metrics,
 	// `trace <id>` prints one trace's spans from /v1/debug/traces.
 	if handled, err := dispatchObs(cmd, *serverURL, fs.Arg(1), stdout); handled {
+		return err
+	}
+
+	// Policy-file operator commands: `policy lint <files...>` runs the
+	// static analyzer bftagd applies at startup.
+	if handled, err := dispatchPolicy(cmd, fs.Args()[1:], stdout); handled {
 		return err
 	}
 

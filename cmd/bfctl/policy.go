@@ -1,0 +1,59 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/lsds/browserflow/internal/policyfile"
+)
+
+// dispatchPolicy handles the policy-file operator family. `policy lint`
+// runs the static analyzer over one or more policy files and prints every
+// diagnostic with its rule ID and byte offset; any diagnostic — warning
+// or error — makes the command fail, so a clean exit means the file is
+// safe to ship to bftagd (which runs the same analysis at startup).
+func dispatchPolicy(cmd string, args []string, stdout io.Writer) (bool, error) {
+	if cmd != "policy" {
+		return false, nil
+	}
+	if len(args) < 1 {
+		return true, errors.New("policy subcommand required: lint")
+	}
+	switch args[0] {
+	case "lint":
+		if len(args) < 2 {
+			return true, errors.New("policy lint requires at least one policy file")
+		}
+		return true, runPolicyLint(args[1:], stdout)
+	default:
+		return true, fmt.Errorf("unknown policy subcommand %q (want: lint)", args[0])
+	}
+}
+
+// runPolicyLint lints each file independently so one broken policy does
+// not hide diagnostics in the others, then fails if any file produced
+// diagnostics.
+func runPolicyLint(paths []string, stdout io.Writer) error {
+	flagged := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		diags := policyfile.Lint(data)
+		if len(diags) == 0 {
+			fmt.Fprintf(stdout, "%s: clean\n", path)
+			continue
+		}
+		flagged++
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: %s\n", path, d)
+		}
+	}
+	if flagged > 0 {
+		return fmt.Errorf("policy lint: %d of %d file(s) flagged", flagged, len(paths))
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// policyFixture resolves a policyfile testdata fixture from the CLI
+// package, so the CLI lints exactly the documents the analyzer's own
+// suite covers.
+func policyFixture(name string) string {
+	return filepath.Join("..", "..", "internal", "policyfile", "testdata", name)
+}
+
+func TestBfctlPolicyLintClean(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"policy", "lint",
+		policyFixture("seed-webapps.json"),
+		policyFixture("enterprise-classes.json"),
+		policyFixture("encrypting-notes.json"),
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatalf("lint of shipping policies failed: %v\n%s", err, out.String())
+	}
+	if got := strings.Count(out.String(), ": clean"); got != 3 {
+		t.Fatalf("want 3 clean lines, got %d:\n%s", got, out.String())
+	}
+}
+
+func TestBfctlPolicyLintBroken(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"policy", "lint",
+		policyFixture("broken-failopen.json"),
+		policyFixture("broken-contradiction.json"),
+	}, strings.NewReader(""), &out)
+	if err == nil {
+		t.Fatalf("lint of broken policies succeeded:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "2 of 2 file(s) flagged") {
+		t.Fatalf("error does not count flagged files: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"[fail-open]", "[contradiction]", "broken-failopen.json", "broken-contradiction.json"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("lint output missing %q:\n%s", want, got)
+		}
+	}
+	// Every diagnostic line carries a byte offset.
+	if !regexp.MustCompile(`at byte \d+`).MatchString(got) {
+		t.Errorf("lint output has no byte offsets:\n%s", got)
+	}
+}
+
+// TestBfctlPolicyLintOneBadApple: a broken file fails the run but does
+// not suppress diagnostics (or the clean verdict) for its siblings.
+func TestBfctlPolicyLintOneBadApple(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"policy", "lint",
+		policyFixture("seed-webapps.json"),
+		policyFixture("broken-dup.json"),
+	}, strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "1 of 2") {
+		t.Fatalf("err=%v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "seed-webapps.json: clean") {
+		t.Errorf("clean sibling not reported:\n%s", got)
+	}
+	if !strings.Contains(got, "[duplicate-service]") {
+		t.Errorf("duplicate-service not flagged:\n%s", got)
+	}
+}
+
+func TestBfctlPolicyUsage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"policy"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("bare policy command succeeded")
+	}
+	if err := run([]string{"policy", "lint"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("lint without files succeeded")
+	}
+	if err := run([]string{"policy", "frobnicate"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("unknown subcommand succeeded")
+	}
+	if err := run([]string{"policy", "lint", policyFixture("no-such-file.json")}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing file succeeded")
+	}
+}

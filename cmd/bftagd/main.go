@@ -11,6 +11,14 @@
 //	bftagd -policy policy.json -read-timeout 10s -write-timeout 30s \
 //	       -shutdown-grace 10s -max-body 1048576
 //
+// The policy file is compiled at startup: service classes and
+// propagation rules are resolved into flat bitset check tables installed
+// on the registry, and the compile fingerprint is published on /healthz
+// so a fleet can be audited for policy agreement. Before compiling, the
+// file is linted (bfctl policy lint's analysis) and the server refuses to
+// start on any diagnostic — including warnings like fail-open holes —
+// unless -policy-lint=false.
+//
 // Devices connect with internal/tagserver.Client; text never leaves the
 // device — only winnowed fingerprint hashes cross the wire. The server
 // exposes /healthz for the client-side failover layer's recovery probes,
@@ -58,6 +66,7 @@ import (
 	"github.com/lsds/browserflow/internal/admission"
 	"github.com/lsds/browserflow/internal/obs"
 	policyPkg "github.com/lsds/browserflow/internal/policy"
+	"github.com/lsds/browserflow/internal/policyfile"
 	"github.com/lsds/browserflow/internal/replication"
 	"github.com/lsds/browserflow/internal/store"
 	"github.com/lsds/browserflow/internal/tagserver"
@@ -76,6 +85,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("bftagd", flag.ContinueOnError)
 	var (
 		policyPath   = fs.String("policy", "", "policy JSON file (required)")
+		policyLint   = fs.Bool("policy-lint", true, "lint the policy file at startup and refuse to serve on any diagnostic (including warnings)")
 		statePath    = fs.String("state", "", "optional state file to load and periodically save (fallback when -wal-dir is unset)")
 		passphrase   = fs.String("passphrase", "", "state passphrase (encrypts snapshots and checkpoints at rest)")
 		saveEvery    = fs.Int("save-every", 500, "save state every N observations (batch items count individually; 0 disables)")
@@ -132,6 +142,18 @@ func run(args []string) error {
 		split, serr = parseSplitRange(*splitRange)
 		if serr != nil {
 			return serr
+		}
+	}
+	if *policyLint {
+		data, rerr := os.ReadFile(*policyPath)
+		if rerr != nil {
+			return rerr
+		}
+		if diags := policyfile.Lint(data); len(diags) > 0 {
+			for _, d := range diags {
+				fmt.Fprintf(os.Stderr, "bftagd: %s: %s\n", *policyPath, d)
+			}
+			return fmt.Errorf("policy lint failed: %d diagnostic(s) in %s (use -policy-lint=false to serve anyway)", len(diags), *policyPath)
 		}
 	}
 	mw, err := browserflow.NewFromPolicyFile(*policyPath)
@@ -223,7 +245,11 @@ func run(args []string) error {
 	// Durable primary mode: recover checkpoint + WAL, then journal every
 	// mutation and serve the replication log.
 	var durable *store.Durable
-	serverOpts := []tagserver.ServerOption{tagserver.WithMaxBodyBytes(*maxBody), tagserver.WithObs(o)}
+	serverOpts := []tagserver.ServerOption{
+		tagserver.WithMaxBodyBytes(*maxBody),
+		tagserver.WithObs(o),
+		tagserver.WithPolicyInfo(mw.PolicyHash(), len(mw.Registry().Services())),
+	}
 	serverOpts = append(serverOpts, tagserver.WithDurabilitySource(func() (store.DurabilityStats, bool) {
 		if d := durableBox.Load(); d != nil {
 			return d.Stats(), true

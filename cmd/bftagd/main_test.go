@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -36,5 +37,33 @@ func TestRunListenFailure(t *testing.T) {
 	}
 	if err := run([]string{"-policy", policyPath, "-state", statePath}); err == nil {
 		t.Error("corrupt state accepted")
+	}
+}
+
+// TestRunPolicyLintGate: a policy with a lint diagnostic — here a
+// fail-open hole, which is only a warning for Validate — must stop the
+// server unless the operator opts out with -policy-lint=false.
+func TestRunPolicyLintGate(t *testing.T) {
+	dir := t.TempDir()
+	policyPath := filepath.Join(dir, "failopen.json")
+	policyJSON := `{"services":[
+		{"name":"wiki","privilege":["tw"],"confidentiality":["tw"]},
+		{"name":"pastebin","privilege":["tw"]}
+	]}`
+	if err := os.WriteFile(policyPath, []byte(policyJSON), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-policy", policyPath})
+	if err == nil {
+		t.Fatal("fail-open policy accepted with lint on")
+	}
+	if !strings.Contains(err.Error(), "policy lint failed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Opting out skips the gate; the unusable address proves we got past
+	// policy loading into the serve path.
+	err = run([]string{"-policy", policyPath, "-policy-lint=false", "-addr", "256.256.256.256:0"})
+	if err == nil || strings.Contains(err.Error(), "policy lint") {
+		t.Fatalf("lint opt-out did not reach the listener: %v", err)
 	}
 }

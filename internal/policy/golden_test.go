@@ -1,0 +1,293 @@
+package policy_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/lsds/browserflow/internal/audit"
+	"github.com/lsds/browserflow/internal/disclosure"
+	"github.com/lsds/browserflow/internal/expt"
+	"github.com/lsds/browserflow/internal/fingerprint"
+	"github.com/lsds/browserflow/internal/policy"
+	"github.com/lsds/browserflow/internal/policyfile"
+	"github.com/lsds/browserflow/internal/segment"
+	"github.com/lsds/browserflow/internal/tdm"
+)
+
+// The policy golden suite holds the compiled bitset check path to its core
+// contract: for the same seed web-app scenario scripts, an engine whose
+// registry runs on a policyfile-compiled check table answers with bytes
+// identical to the seed semilattice path. Sources are cross-checked
+// against expt.SeedTracker, the reference Algorithm 1 engine, so a
+// divergence in either layer is caught where it happens.
+
+const (
+	goldenWikiPlan   = "The 2027 acquisition plan targets Initech for three hundred million dollars pending diligence on their flux capacitor patents and the retention of their core engineering group."
+	goldenWikiBudget = "Quarterly budget review: the platform group is over plan by twelve percent, driven by the new datacenter lease and unbudgeted compliance tooling for the audit."
+	goldenIToolPerf  = "Performance review draft for the infrastructure team lead: exceeds expectations on incident response, needs development on cross-team communication and delegation."
+	goldenDocsIntro  = "This public engineering blog post describes our migration to an incremental winnowing pipeline and the throughput lessons we learned along the way."
+)
+
+// goldenOp is one scripted engine call.
+type goldenOp struct {
+	kind    string // observe, check, upload, suppress, label
+	service string
+	seg     string
+	text    string
+	dest    string
+	user    string
+	tag     string
+	why     string
+	doc     bool
+}
+
+func goldenScripts() map[string][]goldenOp {
+	return map[string][]goldenOp{
+		// A user pastes confidential wiki content into a public docs page.
+		"wiki-paste": {
+			{kind: "observe", service: "wiki", seg: "wiki/acquisitions#p0", text: goldenWikiPlan},
+			{kind: "observe", service: "wiki", seg: "wiki/budget#p0", text: goldenWikiBudget},
+			{kind: "observe", service: "docs", seg: "docs/blog-draft#p0", text: goldenDocsIntro},
+			{kind: "observe", service: "docs", seg: "docs/blog-draft#p1", text: goldenWikiPlan},
+			{kind: "check", dest: "docs", text: goldenWikiPlan},
+			{kind: "check", dest: "docs", text: goldenDocsIntro},
+			{kind: "label", seg: "docs/blog-draft#p1"},
+			{kind: "upload", seg: "docs/blog-draft#p1", dest: "docs"},
+			{kind: "observe", service: "docs", seg: "docs/blog-draft#p1", text: goldenWikiPlan}, // decision cache hit
+		},
+		// An itool performance review copied into notes, then declassified.
+		"itool-notes": {
+			{kind: "observe", service: "itool", seg: "itool/reviews#p0", text: goldenIToolPerf},
+			{kind: "observe", service: "notes", seg: "notes/todo#p0", text: goldenIToolPerf},
+			{kind: "label", seg: "notes/todo#p0"},
+			{kind: "upload", seg: "notes/todo#p0", dest: "notes"},
+			{kind: "suppress", user: "alice", seg: "itool/reviews#p0", tag: "ti", why: "review published"},
+			{kind: "label", seg: "itool/reviews#p0"},
+			{kind: "upload", seg: "itool/reviews#p0", dest: "notes"},
+		},
+		// Document-granularity tracking across edits.
+		"docs-edits": {
+			{kind: "observe", service: "wiki", seg: "wiki/roadmap", text: goldenWikiPlan + " " + goldenWikiBudget, doc: true},
+			{kind: "observe", service: "docs", seg: "docs/batch#p0", text: goldenDocsIntro, doc: true},
+			{kind: "observe", service: "docs", seg: "docs/batch#p1", text: goldenWikiBudget, doc: true},
+			{kind: "observe", service: "docs", seg: "docs/summary", text: goldenWikiPlan + " " + goldenDocsIntro, doc: true},
+			{kind: "check", dest: "docs", text: goldenWikiBudget},
+			{kind: "label", seg: "docs/summary"},
+		},
+	}
+}
+
+// loadSeedPolicy compiles the shipping seed-webapps fixture.
+func loadSeedPolicy(t testing.TB) *policyfile.Compiled {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "policyfile", "testdata", "seed-webapps.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := policyfile.ParseBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := policyfile.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// newCompiledEngine builds an engine from the compiled policy. With
+// bitset true the registry runs on the compiled check table; with false it
+// walks the semilattice, the seed reference path.
+func newCompiledEngine(t testing.TB, c *policyfile.Compiled, bitset bool) *policy.Engine {
+	t.Helper()
+	tracker, err := disclosure.NewTracker(disclosure.Params{
+		Fingerprint: fingerprint.DefaultConfig(),
+		Tpar:        c.Source.Tpar,
+		Tdoc:        c.Source.Tdoc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := tdm.NewRegistry(audit.NewLog())
+	for _, rs := range c.Services {
+		if err := registry.RegisterService(rs.Name, tdm.NewTagSet(rs.Privilege...), tdm.NewTagSet(rs.Confidentiality...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bitset {
+		if err := registry.InstallCheckTable(c.Table); err != nil {
+			t.Fatal(err)
+		}
+	}
+	engine, err := policy.NewEngine(tracker, registry, c.Source.PolicyMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine
+}
+
+// playGolden executes one op and renders the outcome as bytes: the
+// JSON-marshalled verdict (or error string), so any divergence — decision,
+// violating tags, sources, cache bit — shows up in the comparison.
+func playGolden(t *testing.T, e *policy.Engine, o goldenOp) string {
+	t.Helper()
+	render := func(v policy.Verdict, err error) string {
+		if err != nil {
+			return "err: " + err.Error()
+		}
+		b, merr := json.Marshal(v)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		return string(b)
+	}
+	switch o.kind {
+	case "observe":
+		if o.doc {
+			return render(e.ObserveDocumentEdit(segment.ID(o.seg), o.service, o.text))
+		}
+		return render(e.ObserveEdit(segment.ID(o.seg), o.service, o.text))
+	case "check":
+		return render(e.CheckText(o.text, o.dest))
+	case "upload":
+		return render(e.CheckUpload(segment.ID(o.seg), o.dest))
+	case "suppress":
+		if err := e.Suppress(o.user, segment.ID(o.seg), tdm.Tag(o.tag), o.why); err != nil {
+			return "err: " + err.Error()
+		}
+		return "suppressed"
+	case "label":
+		label := e.Registry().Label(segment.ID(o.seg))
+		if label == nil {
+			return "label: <none>"
+		}
+		return "label: " + label.String()
+	default:
+		t.Fatalf("unknown op kind %q", o.kind)
+		return ""
+	}
+}
+
+// TestGoldenBitsetVerdicts replays each scenario against the semilattice
+// engine and the bitset engine, requiring byte-identical renderings at
+// every step, and cross-checks observe attributions against the
+// expt.SeedTracker reference.
+func TestGoldenBitsetVerdicts(t *testing.T) {
+	c := loadSeedPolicy(t)
+	for name, script := range goldenScripts() {
+		t.Run(name, func(t *testing.T) {
+			slow := newCompiledEngine(t, c, false)
+			fast := newCompiledEngine(t, c, true)
+			if !fast.Registry().FastCheckEnabled() || slow.Registry().FastCheckEnabled() {
+				t.Fatal("fixture engines mis-wired")
+			}
+			seed := expt.NewSeedTracker(disclosure.Params{
+				Fingerprint: fingerprint.DefaultConfig(),
+				Tpar:        c.Source.Tpar,
+				Tdoc:        c.Source.Tdoc,
+			})
+			for i, o := range script {
+				want := playGolden(t, slow, o)
+				got := playGolden(t, fast, o)
+				if got != want {
+					t.Errorf("step %d (%s %s%s): bitset verdict diverged\nsemilattice: %q\nbitset:      %q",
+						i, o.kind, o.seg, o.dest, want, got)
+				}
+				if o.kind != "observe" {
+					continue
+				}
+				// Independent oracle: the seed reference tracker must
+				// attribute the same sources the engines reported.
+				g := segment.GranularityParagraph
+				if o.doc {
+					g = segment.GranularityDocument
+				}
+				report, err := seed.Observe(segment.ID(o.seg), o.text, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var v policy.Verdict
+				if err := json.Unmarshal([]byte(got), &v); err != nil {
+					t.Fatalf("step %d: verdict rendering not JSON: %v", i, err)
+				}
+				if len(report.Sources) != len(v.Sources) {
+					t.Fatalf("step %d: seed reference found %d sources, engines found %d (%v vs %v)",
+						i, len(report.Sources), len(v.Sources), report.Sources, v.Sources)
+				}
+				for j := range report.Sources {
+					if report.Sources[j].Seg != v.Sources[j].Seg {
+						t.Errorf("step %d source %d: seed=%s engine=%s", i, j, report.Sources[j].Seg, v.Sources[j].Seg)
+					}
+				}
+			}
+		})
+	}
+}
+
+// observeCacheHitAllocs measures the steady-state cache-hit ObserveEdit
+// allocation count for one engine configuration.
+func observeCacheHitAllocs(t *testing.T, bitset bool) float64 {
+	t.Helper()
+	c := loadSeedPolicy(t)
+	e := newCompiledEngine(t, c, bitset)
+	seg := segment.ID("wiki/steady#p0")
+	// Warm up: label the segment, create the decision-cache entry, grow
+	// the pooled scratch.
+	for i := 0; i < 2; i++ {
+		if _, err := e.ObserveEdit(seg, "wiki", goldenWikiPlan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return testing.AllocsPerRun(200, func() {
+		v, err := e.ObserveEdit(seg, "wiki", goldenWikiPlan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.CacheHit || v.Decision != policy.DecisionAllow {
+			t.Fatalf("steady state broken: %+v", v)
+		}
+	})
+}
+
+// TestGoldenObserveCacheHitAllocs pins the tentpole's perf claim at the
+// engine level: switching the release check from the semilattice walk to
+// the compiled bitset table adds zero allocations to the cache-hit
+// ObserveEdit path (it removes the Effective() set-algebra allocations, so
+// the count must not go up, and in practice goes down).
+func TestGoldenObserveCacheHitAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	slow := observeCacheHitAllocs(t, false)
+	fast := observeCacheHitAllocs(t, true)
+	t.Logf("cache-hit ObserveEdit allocs/op: semilattice=%.1f bitset=%.1f", slow, fast)
+	if fast > slow {
+		t.Errorf("bitset check added allocations to cache-hit ObserveEdit: %.1f -> %.1f", slow, fast)
+	}
+}
+
+// TestGoldenCheckUploadAllocFree pins the pure release check — the
+// interception path that carries no observe bookkeeping — at zero
+// allocations on the allow outcome once the check table is installed.
+func TestGoldenCheckUploadAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	c := loadSeedPolicy(t)
+	e := newCompiledEngine(t, c, true)
+	seg := segment.ID("wiki/steady#p0")
+	if _, err := e.ObserveEdit(seg, "wiki", goldenWikiPlan); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		v, err := e.CheckUpload(seg, "wiki")
+		if err != nil || v.Decision != policy.DecisionAllow {
+			t.Fatalf("v=%+v err=%v", v, err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("bitset CheckUpload allocates %.1f objects/op, want 0", allocs)
+	}
+}

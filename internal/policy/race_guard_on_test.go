@@ -1,0 +1,5 @@
+//go:build race
+
+package policy_test
+
+const raceEnabled = true

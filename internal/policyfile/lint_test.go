@@ -1,0 +1,213 @@
+package policyfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readFixture(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// hasRule reports whether any diagnostic carries the rule, and checks that
+// every diagnostic from a real document points at a byte.
+func hasRule(t *testing.T, diags []Diagnostic, rule string) bool {
+	t.Helper()
+	found := false
+	for _, d := range diags {
+		if d.Offset < 0 {
+			t.Errorf("diagnostic without byte offset: %s", d)
+		}
+		if d.Rule == rule {
+			found = true
+		}
+	}
+	return found
+}
+
+func TestLintShippingPoliciesClean(t *testing.T) {
+	for _, name := range []string{"seed-webapps.json", "enterprise-classes.json", "encrypting-notes.json"} {
+		t.Run(name, func(t *testing.T) {
+			diags := Lint(readFixture(t, name))
+			for _, d := range diags {
+				t.Errorf("unexpected diagnostic: %s", d)
+			}
+			if _, err := ParseBytes(readFixture(t, name)); err != nil {
+				t.Errorf("ParseBytes: %v", err)
+			}
+		})
+	}
+}
+
+func TestLintBrokenFixtures(t *testing.T) {
+	tests := []struct {
+		fixture  string
+		rule     string
+		severity Severity
+	}{
+		{"broken-contradiction.json", "contradiction", SeverityError},
+		{"broken-unreachable.json", "unreachable-tag", SeverityWarning},
+		{"broken-failopen.json", "fail-open", SeverityWarning},
+		{"broken-cycle.json", "inheritance-cycle", SeverityError},
+		{"broken-dup.json", "duplicate-service", SeverityError},
+		{"broken-ungranted.json", "ungranted-tag", SeverityError},
+	}
+	for _, tt := range tests {
+		t.Run(tt.fixture, func(t *testing.T) {
+			diags := Lint(readFixture(t, tt.fixture))
+			if len(diags) == 0 {
+				t.Fatal("lint found nothing")
+			}
+			if !hasRule(t, diags, tt.rule) {
+				t.Errorf("missing %s diagnostic, got: %v", tt.rule, diags)
+			}
+			for _, d := range diags {
+				if d.Rule == tt.rule && d.Severity != tt.severity {
+					t.Errorf("rule %s severity=%v want %v", tt.rule, d.Severity, tt.severity)
+				}
+			}
+		})
+	}
+}
+
+func TestLintSyntaxErrorOffset(t *testing.T) {
+	diags := Lint([]byte(`{"services": [}`))
+	if len(diags) != 1 || diags[0].Rule != "syntax" {
+		t.Fatalf("diags=%v", diags)
+	}
+	if diags[0].Offset <= 0 {
+		t.Errorf("syntax diagnostic offset=%d", diags[0].Offset)
+	}
+	if diags[0].Severity != SeverityError {
+		t.Errorf("severity=%v", diags[0].Severity)
+	}
+}
+
+func TestLintOffsetsPointAtElement(t *testing.T) {
+	doc := `{"services": [{"name": "a", "privilege": ["t"], "confidentiality": ["t"]}, {"name": "a"}]}`
+	diags := Lint([]byte(doc))
+	var dup *Diagnostic
+	for i := range diags {
+		if diags[i].Rule == "duplicate-service" {
+			dup = &diags[i]
+		}
+	}
+	if dup == nil {
+		t.Fatalf("no duplicate-service diagnostic in %v", diags)
+	}
+	if dup.Path != "services[1].name" {
+		t.Errorf("path=%q", dup.Path)
+	}
+	want := int64(strings.Index(doc, `"a"}`))
+	if dup.Offset != want {
+		t.Errorf("offset=%d want %d (byte of the second name)", dup.Offset, want)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Rule: "contradiction", Severity: SeverityError, Path: "services[1]", Offset: 42, Msg: "boom"}
+	if got, want := d.String(), "error: services[1] at byte 42: boom [contradiction]"; got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+	d = Diagnostic{Rule: "fail-open", Severity: SeverityWarning, Offset: -1, Msg: "hole"}
+	if got, want := d.String(), "warning: hole [fail-open]"; got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestValidateIgnoresWarnings(t *testing.T) {
+	// Fixtures whose only findings are warnings must still parse: lint
+	// severity is advisory, load severity is not.
+	for _, name := range []string{"broken-unreachable.json", "broken-failopen.json"} {
+		if _, err := ParseBytes(readFixture(t, name)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// Error-severity fixtures must not.
+	for _, name := range []string{"broken-contradiction.json", "broken-cycle.json", "broken-dup.json", "broken-ungranted.json"} {
+		if _, err := ParseBytes(readFixture(t, name)); err == nil {
+			t.Errorf("%s: parsed", name)
+		}
+	}
+}
+
+func TestValidateInMemoryPaths(t *testing.T) {
+	p := Policy{Services: []ServiceSpec{
+		{Name: "a", Privilege: []string{"t"}, Confidentiality: []string{"t"}},
+		{Name: "a"},
+	}}
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("err type %T", err)
+	}
+	if perr.Offset != -1 || perr.Path != "services[1].name" {
+		t.Errorf("err=%+v", *perr)
+	}
+	if !strings.Contains(err.Error(), "services[1].name") {
+		t.Errorf("rendering %q lost the path", err.Error())
+	}
+}
+
+func TestValidateUngrantedConfidentialityTag(t *testing.T) {
+	p := Policy{Services: []ServiceSpec{
+		{Name: "wiki", Privilege: []string{"tw"}, Confidentiality: []string{"tw", "torphan"}},
+	}}
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("ungranted tag accepted")
+	}
+	if !strings.Contains(err.Error(), "torphan") {
+		t.Errorf("error %q does not name the tag", err.Error())
+	}
+}
+
+func TestLintUnknownClassAndExtends(t *testing.T) {
+	doc := `{"classes":[{"name":"a","extends":["ghost"],"privilege":["t"],"confidentiality":["t"]}],"services":[{"name":"s","class":"phantom","privilege":["t"],"confidentiality":["t"]}]}`
+	diags := Lint([]byte(doc))
+	if !hasRule(t, diags, "unknown-class") {
+		t.Errorf("missing unknown-class: %v", diags)
+	}
+	n := 0
+	for _, d := range diags {
+		if d.Rule == "unknown-class" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("unknown-class count=%d want 2 (extends + service class)", n)
+	}
+}
+
+func TestLintInheritedContradiction(t *testing.T) {
+	// The contradiction is only visible after class resolution: the class
+	// grants the tag, the service distrusts it.
+	doc := `{"classes":[{"name":"c","privilege":["t"],"confidentiality":["t"]}],"services":[{"name":"s","class":"c","untrusted":["t"]}]}`
+	diags := Lint([]byte(doc))
+	if !hasRule(t, diags, "contradiction") {
+		t.Errorf("missing contradiction: %v", diags)
+	}
+}
+
+func TestLintPropagatedFailOpen(t *testing.T) {
+	// The hole is only visible after propagation: "ti implies tc" makes tc
+	// assigned, so granting tc reaches sink with no confidentiality label.
+	doc := `{"services":[
+	  {"name":"itool","privilege":["ti","tc"],"confidentiality":["ti"]},
+	  {"name":"sink","privilege":["tc"]}
+	],"propagation":[{"tag":"ti","implies":["tc"]}]}`
+	diags := Lint([]byte(doc))
+	if !hasRule(t, diags, "fail-open") {
+		t.Errorf("missing fail-open: %v", diags)
+	}
+}

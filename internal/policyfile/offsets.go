@@ -1,0 +1,107 @@
+package policyfile
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// offsetIndex maps JSON paths ("services[2].name") to the byte offset of
+// the value at that path, letting validation and lint diagnostics point
+// at the exact byte of the offending element — the same affordance
+// store.CorruptSnapshotError gives corrupt checkpoints.
+type offsetIndex map[string]int64
+
+// at returns the byte offset recorded for path, or -1 when the index is
+// nil (in-memory policy) or the path was never materialised.
+func (idx offsetIndex) at(path string) int64 {
+	if idx == nil {
+		return -1
+	}
+	if off, ok := idx[path]; ok {
+		return off
+	}
+	return -1
+}
+
+// scanOffsets tokenises the document once, recording where every value
+// starts. It is best-effort: a document that fails to tokenise yields the
+// offsets collected up to the failure (decode has already reported the
+// syntax error with its own offset).
+func scanOffsets(data []byte) offsetIndex {
+	idx := make(offsetIndex)
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var walk func(path string) error
+	walk = func(path string) error {
+		start := valueStart(data, dec.InputOffset())
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		if path != "" {
+			idx[path] = start
+		}
+		delim, ok := tok.(json.Delim)
+		if !ok {
+			return nil
+		}
+		switch delim {
+		case '{':
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return err
+				}
+				key, _ := keyTok.(string)
+				child := key
+				if path != "" {
+					child = path + "." + key
+				}
+				if err := walk(child); err != nil {
+					return err
+				}
+			}
+			_, err = dec.Token() // consume '}'
+			return err
+		case '[':
+			for i := 0; dec.More(); i++ {
+				if err := walk(path + "[" + strconv.Itoa(i) + "]"); err != nil {
+					return err
+				}
+			}
+			_, err = dec.Token() // consume ']'
+			return err
+		}
+		return nil
+	}
+	_ = walk("")
+	return idx
+}
+
+// valueStart advances off past the JSON punctuation and whitespace that
+// separates the previous token from the next value, landing on its first
+// byte.
+func valueStart(data []byte, off int64) int64 {
+	for int(off) < len(data) {
+		switch data[off] {
+		case ' ', '\t', '\n', '\r', ',', ':':
+			off++
+		default:
+			return off
+		}
+	}
+	return off
+}
+
+// tagPath returns the path of the i-th tag in a label list, e.g.
+// tagPath("services", 2, "privilege", 0) -> "services[2].privilege[0]".
+func tagPath(section string, i int, field string, j int) string {
+	return fmt.Sprintf("%s[%d].%s[%d]", section, i, field, j)
+}
+
+// elemPath returns the path of the i-th element of a section.
+func elemPath(section string, i int) string {
+	return fmt.Sprintf("%s[%d]", section, i)
+}

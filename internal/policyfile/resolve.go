@@ -1,0 +1,206 @@
+package policyfile
+
+import (
+	"sort"
+
+	"github.com/lsds/browserflow/internal/tdm"
+)
+
+// ResolvedService is one service's flat labels after class inheritance and
+// propagation expansion: exactly what gets registered with the TDM
+// registry and compiled into a check-table row. Tag slices are sorted.
+type ResolvedService struct {
+	Name            string
+	Privilege       []tdm.Tag
+	Confidentiality []tdm.Tag
+	Untrusted       []tdm.Tag
+}
+
+// stringSet is the resolver's working representation of a label.
+type stringSet map[string]bool
+
+func (s stringSet) addAll(tags []string) {
+	for _, t := range tags {
+		s[t] = true
+	}
+}
+
+func (s stringSet) sorted() []string {
+	out := make([]string, 0, len(s))
+	for t := range s {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func toTags(tags []string) []tdm.Tag {
+	if len(tags) == 0 {
+		return nil
+	}
+	out := make([]tdm.Tag, len(tags))
+	for i, t := range tags {
+		out[i] = tdm.Tag(t)
+	}
+	return out
+}
+
+// classLabels is one class's labels after flattening its extends chain.
+type classLabels struct {
+	priv, conf, untrusted stringSet
+}
+
+// resolver flattens class inheritance and the propagation rule graph. It
+// tolerates broken input (unknown classes, cycles) by resolving what it
+// can — diagnostics reports those defects separately, and Compile refuses
+// to run on a policy that carries any.
+type resolver struct {
+	classes map[string]ClassSpec
+	// resolved memoises classLabels per class; cyclic and unknown
+	// references contribute nothing.
+	resolved map[string]*classLabels
+	// onPath marks classes on the current DFS path; cycles is every class
+	// found to sit on an extends cycle.
+	onPath map[string]bool
+	cycles map[string]bool
+	// implies is the transitive propagation closure: implies[t] is every
+	// tag a segment carrying t also counts as carrying (t excluded).
+	implies map[string]stringSet
+}
+
+func newResolver(p Policy) *resolver {
+	r := &resolver{
+		classes:  make(map[string]ClassSpec, len(p.Classes)),
+		resolved: make(map[string]*classLabels),
+		onPath:   make(map[string]bool),
+		cycles:   make(map[string]bool),
+	}
+	for _, c := range p.Classes {
+		if _, dup := r.classes[c.Name]; !dup {
+			r.classes[c.Name] = c
+		}
+	}
+	for name := range r.classes {
+		r.class(name)
+	}
+	r.implies = closePropagation(p.Propagation)
+	return r
+}
+
+// class resolves one class's flattened labels, memoised. An unknown name
+// yields empty labels; a class on an extends cycle is recorded in cycles
+// and its back-edge contributes nothing (the diagnostics pass reports the
+// cycle as an error, so the partial resolution is never shipped).
+func (r *resolver) class(name string) *classLabels {
+	if got, ok := r.resolved[name]; ok {
+		return got
+	}
+	if r.onPath[name] {
+		r.cycles[name] = true
+		return &classLabels{priv: stringSet{}, conf: stringSet{}, untrusted: stringSet{}}
+	}
+	spec, ok := r.classes[name]
+	out := &classLabels{priv: stringSet{}, conf: stringSet{}, untrusted: stringSet{}}
+	if !ok {
+		r.resolved[name] = out
+		return out
+	}
+	r.onPath[name] = true
+	for _, parent := range spec.Extends {
+		pl := r.class(parent)
+		for t := range pl.priv {
+			out.priv[t] = true
+		}
+		for t := range pl.conf {
+			out.conf[t] = true
+		}
+		for t := range pl.untrusted {
+			out.untrusted[t] = true
+		}
+		if r.cycles[parent] {
+			r.cycles[name] = true
+		}
+	}
+	delete(r.onPath, name)
+	out.priv.addAll(spec.Privilege)
+	out.conf.addAll(spec.Confidentiality)
+	out.untrusted.addAll(spec.Untrusted)
+	r.resolved[name] = out
+	return out
+}
+
+// service resolves one service's flat labels: its own lists unioned with
+// its class chain, with the propagation closure applied to the
+// confidentiality label (a segment authored at the service is born
+// carrying the implied tags too). Privilege is NOT expanded: propagation
+// widens what data counts as tagged, never what a service may receive.
+func (r *resolver) service(s ServiceSpec) (priv, conf, untrusted stringSet) {
+	priv = stringSet{}
+	conf = stringSet{}
+	untrusted = stringSet{}
+	if s.Class != "" {
+		cl := r.class(s.Class)
+		for t := range cl.priv {
+			priv[t] = true
+		}
+		for t := range cl.conf {
+			conf[t] = true
+		}
+		for t := range cl.untrusted {
+			untrusted[t] = true
+		}
+	}
+	priv.addAll(s.Privilege)
+	conf.addAll(s.Confidentiality)
+	untrusted.addAll(s.Untrusted)
+	for t := range conf {
+		for imp := range r.implies[t] {
+			conf[imp] = true
+		}
+	}
+	return priv, conf, untrusted
+}
+
+// resolveService returns the exported form.
+func (r *resolver) resolveService(s ServiceSpec) ResolvedService {
+	priv, conf, untrusted := r.service(s)
+	return ResolvedService{
+		Name:            s.Name,
+		Privilege:       toTags(priv.sorted()),
+		Confidentiality: toTags(conf.sorted()),
+		Untrusted:       toTags(untrusted.sorted()),
+	}
+}
+
+// closePropagation computes the transitive closure of the rule graph.
+// Rules may form cycles ("a implies b implies a"); the closure simply
+// saturates, so cyclic rules are legal and mean the tags are equivalent.
+func closePropagation(rules []PropagationRule) map[string]stringSet {
+	direct := make(map[string]stringSet, len(rules))
+	for _, rule := range rules {
+		set := direct[rule.Tag]
+		if set == nil {
+			set = stringSet{}
+			direct[rule.Tag] = set
+		}
+		set.addAll(rule.Implies)
+	}
+	closure := make(map[string]stringSet, len(direct))
+	for tag := range direct {
+		seen := stringSet{tag: true}
+		stack := []string{tag}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for next := range direct[cur] {
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		delete(seen, tag)
+		closure[tag] = seen
+	}
+	return closure
+}

@@ -220,3 +220,36 @@ func TestObsGaugesOnMetrics(t *testing.T) {
 		t.Errorf("/v1/debug/traces not serving span JSON: %s", traces)
 	}
 }
+
+// TestHealthzPolicyBlock covers the /healthz policy block: nodes started
+// from a compiled policy advertise its fingerprint so operators can
+// confirm fleet-wide policy agreement; nodes without one omit the block.
+func TestHealthzPolicyBlock(t *testing.T) {
+	w := newTraceWorld(t)
+	server, err := NewServer(w.engine, WithPolicyInfo("deadbeef01", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	health := getHealth(t, srv.URL)
+	if health.Policy == nil {
+		t.Fatal("healthz missing policy block")
+	}
+	if health.Policy.Hash != "deadbeef01" || health.Policy.Services != 4 {
+		t.Fatalf("policy block mismatch: %+v", *health.Policy)
+	}
+
+	// No policy: block omitted entirely, and an empty hash is treated as
+	// "no policy" rather than advertised.
+	bare, err := NewServer(newTraceWorld(t).engine, WithPolicyInfo("", 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(bare)
+	defer srv2.Close()
+	if h := getHealth(t, srv2.URL); h.Policy != nil {
+		t.Fatalf("policy block present without a policy: %+v", *h.Policy)
+	}
+}

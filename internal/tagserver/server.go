@@ -149,6 +149,18 @@ type HealthResponse struct {
 	// Partition summarises the node's place in the cluster ring; nil on an
 	// unpartitioned node.
 	Partition *HealthPartition `json:"partition,omitempty"`
+
+	// Policy identifies the compiled policy the node enforces; nil when
+	// the server was started without a policy file.
+	Policy *HealthPolicy `json:"policy,omitempty"`
+}
+
+// HealthPolicy is the /healthz view of the loaded policy: the compile
+// fingerprint lets operators confirm every node in a fleet enforces the
+// same rules without shipping the policy body over the probe.
+type HealthPolicy struct {
+	Hash     string `json:"hash"`
+	Services int    `json:"services,omitempty"`
 }
 
 // HealthStorage is the /healthz view of the self-healing storage layer.
@@ -264,6 +276,17 @@ func WithAdmission(p *admission.Pipeline) ServerOption {
 	return func(s *Server) { s.admission = p }
 }
 
+// WithPolicyInfo publishes the compiled policy's identity on /healthz.
+// Pass the policyfile compile hash and the number of services it
+// resolved; an empty hash leaves the policy section off the probe.
+func WithPolicyInfo(hash string, services int) ServerOption {
+	return func(s *Server) {
+		if hash != "" {
+			s.policyInfo = &HealthPolicy{Hash: hash, Services: services}
+		}
+	}
+}
+
 // WithObs installs an observability bundle: every endpoint is wrapped
 // with RED metrics and X-BF-Trace lifting, the bundle's Prometheus
 // families are appended to /v1/metrics, the span ring is served at
@@ -284,6 +307,7 @@ type Server struct {
 	admission   *admission.Pipeline
 	obs         *obs.Obs
 	partition   PartitionState
+	policyInfo  *HealthPolicy
 
 	// Operational counters, exported in Prometheus text format at
 	// /metrics.
@@ -830,6 +854,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if rs := s.replication; rs != nil {
 		status := rs()
 		resp.Replication = &status
+	}
+	if s.policyInfo != nil {
+		info := *s.policyInfo
+		resp.Policy = &info
 	}
 	if ps := s.partition; ps != nil {
 		lo, hi := ps.KeyRange()

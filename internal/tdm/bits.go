@@ -1,0 +1,182 @@
+package tdm
+
+// Compiled label-check tables: the policy compiler interns every tag that
+// appears in a policy document to a small dense integer and flattens each
+// service's privilege label into a row of uint64 words. The §3.1 release
+// condition effective(label) ⊆ Lp then becomes a handful of word-wise
+// AND-NOT comparisons instead of a walk over the TagSet semilattice — and,
+// unlike the map-backed path, it allocates nothing on the (overwhelmingly
+// common) allow outcome. Tags first seen at runtime (custom tag
+// allocation, shadow labels from other partitions) are interned on demand
+// under the registry write lock, so the table keeps covering the whole
+// universe as it grows.
+
+// Bits is a dense bitset over interned tag IDs. The zero value is an empty
+// set. Word lengths may differ between two Bits values; missing high words
+// are treated as zero.
+type Bits []uint64
+
+// set grows b as needed and sets bit id. It returns the (possibly
+// reallocated) bitset.
+func (b Bits) set(id int) Bits {
+	word := id >> 6
+	for word >= len(b) {
+		b = append(b, 0)
+	}
+	b[word] |= 1 << (uint(id) & 63)
+	return b
+}
+
+// clear clears bit id if present.
+func (b Bits) clear(id int) {
+	word := id >> 6
+	if word < len(b) {
+		b[word] &^= 1 << (uint(id) & 63)
+	}
+}
+
+// has reports whether bit id is set.
+func (b Bits) has(id int) bool {
+	word := id >> 6
+	return word < len(b) && b[word]&(1<<(uint(id)&63)) != 0
+}
+
+// reset zeroes every word in place, keeping capacity (the hot-path
+// recompute reuses the backing array).
+func (b Bits) reset() Bits {
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// SubsetOf reports whether every bit of b is set in o, tolerating
+// different word lengths on either side. It performs no allocation.
+func (b Bits) SubsetOf(o Bits) bool {
+	for i, w := range b {
+		if w == 0 {
+			continue
+		}
+		if i >= len(o) || w&^o[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether no bit is set.
+func (b Bits) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (b Bits) Clone() Bits {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make(Bits, len(b))
+	copy(out, b)
+	return out
+}
+
+// Interner assigns dense integer IDs to tags. It is not safe for
+// concurrent use on its own; the Registry guards its interner with the
+// registry lock.
+type Interner struct {
+	ids   map[Tag]int
+	names []Tag
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[Tag]int)}
+}
+
+// Intern returns t's ID, assigning the next free one on first sight.
+func (in *Interner) Intern(t Tag) int {
+	if id, ok := in.ids[t]; ok {
+		return id
+	}
+	id := len(in.names)
+	in.ids[t] = id
+	in.names = append(in.names, t)
+	return id
+}
+
+// ID returns t's ID without interning.
+func (in *Interner) ID(t Tag) (int, bool) {
+	id, ok := in.ids[t]
+	return id, ok
+}
+
+// Len returns the number of interned tags.
+func (in *Interner) Len() int { return len(in.names) }
+
+// Name returns the tag with the given ID.
+func (in *Interner) Name(id int) Tag { return in.names[id] }
+
+// CheckRow is one service's compiled label pair.
+type CheckRow struct {
+	// Name identifies the service.
+	Name string
+
+	// Priv is the service's privilege label Lp as a bitset row.
+	Priv Bits
+
+	// Conf is the service's confidentiality label Lc as a bitset row.
+	Conf Bits
+}
+
+// CheckTable is the compiled form of a policy document: an interner fixing
+// tag IDs plus one dense privilege/confidentiality row per service. Build
+// one with policyfile.Compile and install it with
+// (*Registry).InstallCheckTable.
+type CheckTable struct {
+	// Tags is the interned tag universe; Tags[i] has ID i.
+	Tags []Tag
+
+	// Rows holds one compiled row per service, sorted by name.
+	Rows []CheckRow
+}
+
+// NewCheckTable builds a table over the given tag order. Rows are added
+// with AddRow.
+func NewCheckTable(tags []Tag) *CheckTable {
+	return &CheckTable{Tags: append([]Tag(nil), tags...)}
+}
+
+// AddRow appends a compiled service row built from tag sets.
+func (ct *CheckTable) AddRow(name string, priv, conf []Tag) error {
+	ids := make(map[Tag]int, len(ct.Tags))
+	for i, t := range ct.Tags {
+		ids[t] = i
+	}
+	row := CheckRow{Name: name}
+	for _, t := range priv {
+		id, ok := ids[t]
+		if !ok {
+			return errUnknownTableTag(t)
+		}
+		row.Priv = row.Priv.set(id)
+	}
+	for _, t := range conf {
+		id, ok := ids[t]
+		if !ok {
+			return errUnknownTableTag(t)
+		}
+		row.Conf = row.Conf.set(id)
+	}
+	ct.Rows = append(ct.Rows, row)
+	return nil
+}
+
+type errUnknownTableTag Tag
+
+func (e errUnknownTableTag) Error() string {
+	return "tdm: check table row references un-interned tag " + string(e)
+}

@@ -110,5 +110,18 @@ func (r *Registry) Import(data ExportData) error {
 	r.labels = labels
 	r.stored = stored
 	r.tagOwners = tagOwners
+	// The compiled fast path, if installed, is derived state: rebuild the
+	// privilege rows and effective bitsets for the imported world. The row
+	// map is replaced wholesale so services absent from the snapshot do
+	// not leave stale rows behind.
+	if f := r.fast; f != nil {
+		f.priv = make(map[string]Bits, len(r.services))
+		for _, svc := range r.services {
+			r.fastService(svc)
+		}
+		for _, label := range r.labels {
+			r.fastRefresh(label)
+		}
+	}
 	return nil
 }

@@ -1,0 +1,5 @@
+//go:build race
+
+package tdm
+
+const raceEnabled = true

@@ -46,6 +46,10 @@ type Registry struct {
 	tagOwners map[Tag]string
 	stored    map[segment.ID]map[string]bool
 
+	// fast, when installed, is the compiled bitset check state (see
+	// fastcheck.go). nil keeps the original semilattice-only behaviour.
+	fast *fastCheck
+
 	auditLog *audit.Log
 }
 
@@ -75,11 +79,13 @@ func (r *Registry) RegisterService(name string, lp, lc TagSet) error {
 	if _, ok := r.services[name]; ok {
 		return fmt.Errorf("%w: %s", ErrServiceExists, name)
 	}
-	r.services[name] = &Service{
+	svc := &Service{
 		Name:            name,
 		Privilege:       lp.Clone(),
 		Confidentiality: lc.Clone(),
 	}
+	r.services[name] = svc
+	r.fastService(svc)
 	return nil
 }
 
@@ -137,6 +143,7 @@ func (r *Registry) ObserveSegment(seg segment.ID, service string) (*Label, error
 			label.AddExplicit(t)
 		}
 		r.labels[seg] = label
+		r.fastRefresh(label)
 	}
 	return label.Clone(), nil
 }
@@ -158,6 +165,8 @@ func (r *Registry) UpsertExplicit(seg segment.ID, tags []Tag) {
 		r.labels[seg] = label
 	}
 	label.explicit = NewTagSet(tags...)
+	label.effValid = false
+	r.fastRefresh(label)
 }
 
 // Label returns a copy of seg's label, or nil if the segment is unknown.
@@ -191,6 +200,7 @@ func (r *Registry) RefreshImplicit(seg segment.ID, sources []segment.ID) {
 	}
 	// The segment's own explicit tags need not be duplicated as implicit.
 	label.SetImplicit(implicit.Minus(label.Explicit()))
+	r.fastRefresh(label)
 }
 
 // CheckRelease evaluates the §3.1 release condition for seg towards
@@ -206,6 +216,15 @@ func (r *Registry) CheckRelease(seg segment.ID, service string) (ok bool, violat
 	label, found := r.labels[seg]
 	if !found {
 		return true, nil, nil
+	}
+	// Compiled fast path: a word-wise subset test over the interned-tag
+	// bitsets, allocation-free on the allow outcome. A violation falls
+	// through to the semilattice, which names the violating tags in the
+	// exact bytes the slow path always produced.
+	if f := r.fast; f != nil && label.effValid {
+		if priv, rowOK := f.priv[service]; rowOK && label.eff.SubsetOf(priv) {
+			return true, nil, nil
+		}
 	}
 	ok, violating = label.ReleasableTo(svc.Privilege)
 	return ok, violating, nil
@@ -227,6 +246,7 @@ func (r *Registry) SuppressTag(user string, seg segment.ID, tag Tag, justificati
 		r.mu.Unlock()
 		return fmt.Errorf("%w: %s on %s", ErrTagNotOnSegment, tag, seg)
 	}
+	r.fastRefresh(label)
 	r.mu.Unlock()
 
 	r.auditLog.Append(audit.Entry{
@@ -287,9 +307,11 @@ func (r *Registry) AddTagToSegment(user string, seg segment.ID, tag Tag) error {
 		r.labels[seg] = label
 	}
 	label.AddExplicit(tag)
+	r.fastRefresh(label)
 	for svcName := range r.stored[seg] {
 		if svc, ok := r.services[svcName]; ok {
 			svc.Privilege.Add(tag)
+			r.fastService(svc)
 		}
 	}
 	return nil
@@ -343,6 +365,7 @@ func (r *Registry) mutatePrivilege(user, service string, tag Tag, add bool) erro
 	} else {
 		svc.Privilege.Remove(tag)
 	}
+	r.fastService(svc)
 	return nil
 }
 
